@@ -1,0 +1,75 @@
+"""Ablation — is the ADS cost model actually earning its keep?
+
+The paper's claim is not just "sieving is good" but that the server
+should decide *per request* whether to sieve.  This ablation runs the
+block-column write workload under four server policies:
+
+- ``never``  — always service pieces directly,
+- ``always`` — always sieve,
+- ``model``  — the paper's conservative cost model (the default),
+- ``aware``  — the model with cache-state knowledge (our extension).
+
+The model policy must track the better of the two forced policies at
+both ends of the size sweep; a fixed policy must lose somewhere.
+"""
+
+import pytest
+
+from repro.bench import Table, write_result
+from repro.mpiio import Hints, Method
+from repro.mpiio.app import mpi_run
+from repro.pvfs import PVFSCluster
+from repro.workloads import BlockColumnWorkload
+
+SIZES = (512, 1024, 2048, 4096)
+
+POLICIES = [
+    ("never", dict(ads_force=False)),
+    ("always", dict(ads_force=True)),
+    ("model", dict()),
+    ("aware", dict(cache_aware_decisions=True)),
+]
+
+
+def _sweep():
+    out = {}
+    for label, kw in POLICIES:
+        series = {}
+        for n in SIZES:
+            w = BlockColumnWorkload(n=n, path=f"/pfs/abl{n}")
+            cluster = PVFSCluster(n_clients=4, n_iods=4, **kw)
+            elapsed = mpi_run(
+                cluster, w.program("write", Hints(method=Method.LIST_IO_ADS))
+            )
+            series[n] = w.total_bytes / elapsed * 1e6 / 2**20
+        out[label] = series
+    return out
+
+
+def test_ablation_ads_policy(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation: ADS decision policy, block-column write (MB/s)",
+        ["policy"] + [f"n={n}" for n in SIZES],
+    )
+    for label, series in results.items():
+        table.add(label, *[series[n] for n in SIZES])
+    out = str(table)
+    print("\n" + out)
+    write_result("ablation_ads_policy", out)
+
+    never, always = results["never"], results["always"]
+    model, aware = results["model"], results["aware"]
+
+    # Fixed policies each lose at one end:
+    assert always[SIZES[-1]] < never[SIZES[-1]]   # always-sieve hurts large
+    assert never[SIZES[0]] < always[SIZES[0]]     # never-sieve hurts small
+
+    # The model tracks the winner at both ends (within 10%).
+    assert model[SIZES[0]] > 0.9 * always[SIZES[0]]
+    assert model[SIZES[-1]] > 0.9 * never[SIZES[-1]]
+
+    # Cache-aware decisions are never materially worse than the model.
+    for n in SIZES:
+        assert aware[n] > 0.85 * model[n], n

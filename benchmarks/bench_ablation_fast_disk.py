@@ -1,0 +1,76 @@
+"""Ablation — "a faster file system leads to a larger impact from
+memory registration and deregistration" (Section 6.4).
+
+Repeat Table 4's Indiv.-vs-Ideal comparison with sync (disk-bound)
+writes on the paper's disk and on a 10x faster disk.  The relative
+penalty of per-buffer registration must grow as the disk speeds up.
+"""
+
+import pytest
+
+from repro.bench import Table, write_result
+from repro.calibration import fast_disk_testbed, paper_testbed
+from repro.core.ogr import GroupRegistrar
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+from repro.transfer import RdmaGatherScatter
+from repro.workloads import SubarrayWorkload
+
+
+def _sync_bandwidth(testbed, warm):
+    cluster = PVFSCluster(
+        n_clients=4,
+        n_iods=4,
+        testbed=testbed,
+        scheme_factory=lambda: RdmaGatherScatter(
+            "individual", deregister_after=not warm
+        ),
+    )
+    seg_lists = []
+    for rank, c in enumerate(cluster.clients):
+        work = SubarrayWorkload(n=2048, proc_row=rank // 2, proc_col=rank % 2)
+        segs = work.allocate(c.node.space)
+        if warm:
+            reg = GroupRegistrar(c.node.hca, c.node.space)
+            reg.release(reg.register(segs, "ogr"))
+        seg_lists.append(segs)
+    total = sum(s.length for s in seg_lists[0])
+
+    def prog(ci):
+        c = cluster.clients[ci]
+        f = yield from c.open("/pfs/fastdisk")
+        yield from c.write_list(
+            f, seg_lists[ci], [Segment(ci * total, total)], use_ads=False, sync=True
+        )
+
+    elapsed = cluster.run([prog(ci) for ci in range(4)])
+    return 4 * total / elapsed * 1e6 / 2**20
+
+
+def _sweep():
+    out = {}
+    for label, tb in (("paper disk", paper_testbed()), ("10x disk", fast_disk_testbed())):
+        ideal = _sync_bandwidth(tb, warm=True)
+        indiv = _sync_bandwidth(tb, warm=False)
+        out[label] = (ideal, indiv, 1 - indiv / ideal)
+    return out
+
+
+def test_ablation_fast_disk(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation: registration impact vs disk speed (sync writes)",
+        ["disk", "Ideal MB/s", "Indiv. MB/s", "degradation"],
+    )
+    for label, (ideal, indiv, deg) in results.items():
+        table.add(label, ideal, indiv, f"{deg:.1%}")
+    out = str(table)
+    print("\n" + out)
+    write_result("ablation_fast_disk", out)
+
+    deg_slow = results["paper disk"][2]
+    deg_fast = results["10x disk"][2]
+    # Faster file system -> larger registration impact (Section 6.4).
+    assert deg_fast > deg_slow
+    assert deg_fast > 1.5 * deg_slow

@@ -1,0 +1,97 @@
+"""Ablation — the hybrid scheme's 64 kB switch point (Section 4.3).
+
+The paper picks the PVFS stripe size (64 kB) as the pack-vs-gather
+threshold.  Sweep the threshold over a read-heavy mixed workload whose
+operations land on both sides of it (single I/O node so request batches
+keep their size):
+
+- a tiny threshold forfeits the eager Fast-RDMA path on small/medium
+  operations (extra rendezvous round trips + registration),
+- a huge threshold drags large operations through the pack copy instead
+  of zero-copy gather.
+
+The default 64 kB must sit within a few percent of the swept optimum.
+"""
+
+import pytest
+
+from repro.calibration import KB, MB
+from repro.bench import Table, write_result
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+from repro.transfer import Hybrid
+
+THRESHOLDS = [2 * KB, 16 * KB, 64 * KB, 512 * KB, 4 * MB]
+
+# (pieces, piece size, repetitions): op totals 16 kB, 64 kB, 256 kB, 1 MB.
+SHAPES = [
+    (16, 1 * KB, 24),
+    (16, 4 * KB, 12),
+    (32, 8 * KB, 6),
+    (64, 16 * KB, 3),
+]
+
+
+def _run_threshold(threshold):
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=1, scheme_factory=lambda: Hybrid(threshold=threshold)
+    )
+    c = cluster.clients[0]
+    plans = []
+    base_off = 0
+    for nsegs, seg, reps in SHAPES:
+        nbytes = nsegs * seg
+        addr = c.node.space.malloc(nbytes)
+        c.node.space.write(addr, bytes(nbytes))
+        mem = [Segment(addr + i * seg, seg) for i in range(nsegs)]
+        for rep in range(reps):
+            fsegs = [
+                Segment(base_off + i * seg * 2, seg) for i in range(nsegs)
+            ]
+            plans.append((mem, fsegs))
+            base_off += nsegs * seg * 2
+
+    def prog():
+        f = yield from c.open("/pfs/mix")
+        # Populate once (writes, untimed below via snapshot of sim.now).
+        for mem, fsegs in plans:
+            yield from c.write_list(f, mem, fsegs, use_ads=True)
+        start = cluster.sim.now
+        for _ in range(2):
+            for mem, fsegs in plans:
+                yield from c.read_list(f, mem, fsegs, use_ads=True)
+        return cluster.sim.now - start
+
+    p = cluster.sim.process(prog())
+    cluster.sim.run()
+    return p.value
+
+
+def _sweep():
+    return {t: _run_threshold(t) for t in THRESHOLDS}
+
+
+def test_ablation_hybrid_threshold(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation: hybrid pack/gather threshold, mixed reads (ms)",
+        ["threshold", "elapsed"],
+    )
+    for t, us in results.items():
+        label = f"{t // KB} kB" if t < MB else f"{t // MB} MB"
+        table.add(label, us / 1e3)
+    out = str(table)
+    print("\n" + out)
+    write_result("ablation_hybrid_threshold", out)
+
+    best = min(results.values())
+    default = results[64 * KB]
+    # The paper's 64 kB choice is within 1% of the swept optimum.  With
+    # warm pin-down caches the low-threshold side costs almost nothing
+    # (gather's registrations are cache hits — the cold-transfer benefit
+    # of packing shows up in the Figure 4 benchmark instead), but
+    # oversized thresholds measurably pay the pack copies.
+    assert default <= 1.01 * best
+    assert results[4 * MB] > 1.03 * default
+    assert results[512 * KB] > default

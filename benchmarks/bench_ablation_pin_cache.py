@@ -1,0 +1,75 @@
+"""Ablation — registration thrashing as the HCA table shrinks.
+
+Section 4.2: "the total number of buffers registered is limited.  When
+the system hits this limitation ... this may lead to registration
+thrashing."  Sweep the HCA translation-table size under a repeated
+Multiple-Message workload; the pin-down-cache hit rate must collapse
+and elapsed time blow up once the table no longer holds the working set.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import Table, write_result
+from repro.calibration import KB, paper_testbed
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+from repro.transfer import MultipleMessage
+
+TABLE_SIZES = [512, 128, 48, 24]
+NPIECES = 64  # working set: 64 buffers (+ pool/staging registrations)
+
+
+def _run(table_size):
+    tb = dataclasses.replace(paper_testbed(), max_registrations=table_size)
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=1, testbed=tb, scheme_factory=MultipleMessage
+    )
+    c = cluster.clients[0]
+    piece = 4 * KB
+    addr = c.node.space.malloc(NPIECES * piece * 2)
+    mem = [Segment(addr + i * piece * 2, piece) for i in range(NPIECES)]
+    for s in mem:
+        c.node.space.write(s.addr, bytes(piece))
+    fsegs = [Segment(i * piece * 2, piece) for i in range(NPIECES)]
+
+    def prog():
+        f = yield from c.open("/pfs/thrash")
+        for _ in range(4):  # repeat: a warm cache should make this free
+            yield from c.write_list(f, mem, fsegs, use_ads=False)
+
+    before = cluster.stats.snapshot()
+    elapsed = cluster.run([prog()])
+    d = cluster.stats.diff(before)
+    hits = d.get("ib.pincache.hits", (0, 0))[0]
+    misses = d.get("ib.pincache.misses", (0, 0))[0]
+    evictions = d.get("ib.pincache.evictions", (0, 0))[0]
+    return elapsed, hits / max(hits + misses, 1), evictions
+
+
+def _sweep():
+    return {n: _run(n) for n in TABLE_SIZES}
+
+
+def test_ablation_pin_cache_thrashing(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation: HCA table size vs pin-down cache behaviour",
+        ["table entries", "elapsed (ms)", "hit rate", "evictions"],
+    )
+    for n, (us, rate, ev) in results.items():
+        table.add(n, us / 1e3, f"{rate:.1%}", ev)
+    out = str(table)
+    print("\n" + out)
+    write_result("ablation_pin_cache", out)
+
+    big = results[TABLE_SIZES[0]]
+    tiny = results[TABLE_SIZES[-1]]
+    # A big table caches the whole working set: high hit rate, no
+    # evictions after warmup; a tiny table thrashes.
+    assert big[1] > 0.7
+    assert tiny[1] < 0.4
+    assert tiny[2] > big[2]
+    assert tiny[0] > big[0]  # thrashing costs real time

@@ -1,0 +1,72 @@
+"""Figure 7 — block-column noncontiguous READ, four methods.
+
+Same Figure 5 pattern as the write benchmark, data either warm in the
+servers' caches or read cold from disk.  Paper observations:
+
+- List I/O is comparable to or outperforms ROMIO Data Sieving.
+- As the array grows, client DS must ship the whole array over the
+  network and falls off, while list I/O moves only the wanted quarter.
+- ADS improves the small-array cases; in the uncached case DS is
+  comparable to list I/O up to ~2048 (disk time dominates) and then
+  falls behind, while ADS declines to sieve for large arrays.
+"""
+
+import pytest
+
+from repro.bench import Table, runners, write_result
+
+SIZES = (512, 1024, 2048, 4096)
+UNCACHED_SIZES = (512, 1024, 2048, 4096, 8192)
+
+
+def _run_both():
+    return {
+        "cached": runners.blockcolumn_sweep("read", "cached", sizes=SIZES),
+        "uncached": runners.blockcolumn_sweep(
+            "read", "uncached", sizes=UNCACHED_SIZES
+        ),
+    }
+
+
+def test_fig7_blockcol_read(benchmark):
+    both = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+
+    for variant, results in both.items():
+        sizes = SIZES if variant == "cached" else UNCACHED_SIZES
+        table = Table(
+            f"Figure 7: block-column read bandwidth (MB/s), {variant}",
+            ["method"] + [f"n={n}" for n in sizes],
+        )
+        for label, series in results.items():
+            table.add(label, *[series[n] for n in sizes])
+        out = str(table)
+        print("\n" + out)
+        write_result(f"fig7_blockcol_read_{variant}", out)
+
+    cached = both["cached"]
+    uncached = both["uncached"]
+    big, small = SIZES[-1], SIZES[0]
+
+    # Cached: list I/O transfers only the wanted quarter; client DS
+    # ships 4x the data and falls behind as the array grows.
+    assert cached["List I/O"][big] > 1.25 * cached["Data Sieving"][big]
+    # ADS wins the small-array cases.
+    assert cached["List I/O + ADS"][small] > 1.2 * cached["List I/O"][small]
+    # ADS merges with plain list I/O at the large end.
+    assert cached["List I/O + ADS"][big] == pytest.approx(
+        cached["List I/O"][big], rel=0.05
+    )
+    # Everything beats Multiple I/O.
+    for label in ("Data Sieving", "List I/O", "List I/O + ADS"):
+        assert cached[label][small] > cached["Multiple I/O"][small], label
+
+    # Uncached: disk dominates; DS stays comparable to ADS over the
+    # small/mid range ("comparable ... up to 2048")...
+    for n in (512, 1024, 2048):
+        r = uncached["Data Sieving"][n] / uncached["List I/O + ADS"][n]
+        assert 0.5 < r < 2.0, n
+    # ...while at the largest size list I/O with ADS comes out on top
+    # (DS's 4x data movement has caught up with it).
+    assert (
+        uncached["List I/O + ADS"][8192] >= 0.95 * uncached["Data Sieving"][8192]
+    )

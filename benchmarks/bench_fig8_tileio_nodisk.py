@@ -1,0 +1,52 @@
+"""Figure 8 — mpi-tile-io WITHOUT disk effects.
+
+Four renderers, a 2x2 tile wall of 1024x768 24-bit displays, 9 MB frame
+file on 4 I/O nodes.  Data written without sync and read from the file
+cache.  Paper results to reproduce in shape:
+
+- List I/O + ADS vs Multiple I/O: 5.7x (write), 8.8x (read).
+- List I/O + ADS vs List I/O:     +8.4% (write), +45% (read).
+- List I/O + ADS vs ROMIO DS:     5.7x (write), +18% (read).
+"""
+
+import pytest
+
+from repro.bench import Table, runners, write_result
+
+
+def test_fig8_tileio_nodisk(benchmark):
+    results = benchmark.pedantic(
+        runners.tileio_cases, args=(False,), rounds=1, iterations=1
+    )
+
+    table = Table(
+        "Figure 8: tiled I/O bandwidth (MB/s), without disk effects",
+        ["method", "write", "read"],
+    )
+    for label, res in results.items():
+        table.add(label, res["write"], res["read"])
+    out = str(table)
+    print("\n" + out)
+    write_result("fig8_tileio_nodisk", out)
+
+    ads = results["List I/O + ADS"]
+    li = results["List I/O"]
+    ds = results["Data Sieving"]
+    multiple = results["Multiple I/O"]
+
+    # ADS is the best method for both directions.
+    for other in (li, ds, multiple):
+        assert ads["write"] >= 0.98 * other["write"]
+        assert ads["read"] > other["read"]
+
+    # Large factors over Multiple I/O (paper: 5.7x / 8.8x).
+    assert ads["write"] / multiple["write"] > 2.0
+    assert ads["read"] / multiple["read"] > 5.0
+
+    # Sizeable read gain over plain list I/O (paper: +45%).
+    assert ads["read"] / li["read"] > 1.3
+
+    # DS writes degrade to Multiple I/O.
+    assert ds["write"] == pytest.approx(multiple["write"], rel=0.02)
+    # DS reads are decent but behind ADS (paper: ADS +18%).
+    assert ads["read"] / ds["read"] > 1.1

@@ -1,0 +1,60 @@
+"""Supplementary — aggregate bandwidth scaling with I/O nodes.
+
+Not a paper table, but the property PVFS exists to provide (Section 2.1:
+"striping files across a set of I/O server nodes to achieve parallel
+accesses and aggregate performance") and the reason the testbed pairs 4
+compute with 4 I/O nodes.  Large contiguous writes from 4 clients must
+scale with the number of I/O daemons until the clients' network links
+saturate.
+"""
+
+import pytest
+
+from repro.bench import Table, write_result
+from repro.calibration import MB
+from repro.pvfs import PVFSCluster
+
+IOD_COUNTS = [1, 2, 4, 8]
+N_CLIENTS = 4
+OP_BYTES = 8 * MB  # per client
+
+
+def _run(n_iods):
+    cluster = PVFSCluster(n_clients=N_CLIENTS, n_iods=n_iods)
+    addrs = []
+    for c in cluster.clients:
+        a = c.node.space.malloc(OP_BYTES)
+        c.node.space.write(a, bytes(OP_BYTES))
+        addrs.append(a)
+
+    def prog(ci):
+        c = cluster.clients[ci]
+        f = yield from c.open("/pfs/scale")
+        yield from c.write(f, addrs[ci], ci * OP_BYTES, OP_BYTES)
+
+    elapsed = cluster.run([prog(ci) for ci in range(N_CLIENTS)])
+    return N_CLIENTS * OP_BYTES / elapsed * 1e6 / MB
+
+
+def _sweep():
+    return {n: _run(n) for n in IOD_COUNTS}
+
+
+def test_scaling_with_iods(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = Table(
+        "Scaling: aggregate write bandwidth vs I/O nodes (4 clients)",
+        ["I/O nodes", "aggregate MB/s"],
+    )
+    for n, bw in results.items():
+        table.add(n, bw)
+    out = str(table)
+    print("\n" + out)
+    write_result("scaling_iods", out)
+
+    # Monotonic scaling...
+    bws = [results[n] for n in IOD_COUNTS]
+    assert all(b > a for a, b in zip(bws, bws[1:]))
+    # ...with a solid win from striping (1 -> 4 iods at least doubles).
+    assert results[4] > 2.0 * results[1]

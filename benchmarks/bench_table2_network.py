@@ -1,0 +1,38 @@
+"""Table 2 — raw network latency and bandwidth.
+
+Paper (8-node InfiniBand testbed):
+
+    VAPI RDMA Write   6.0 us    827 MB/s
+    VAPI RDMA Read   12.4 us    816 MB/s
+    MVAPICH           6.8 us    822 MB/s
+"""
+
+import pytest
+
+from repro.bench import Table, runners, write_result
+
+PAPER = {
+    "VAPI RDMA Write": (6.0, 827),
+    "VAPI RDMA Read": (12.4, 816),
+    "Send/Recv (MVAPICH-like)": (6.8, 822),
+}
+
+
+def test_table2_network(benchmark):
+    results = benchmark.pedantic(runners.network_performance, rounds=1, iterations=1)
+
+    table = Table(
+        "Table 2: network performance (measured through the simulated QP layer)",
+        ["case", "latency (us)", "paper", "bandwidth (MB/s)", "paper"],
+    )
+    for case, (lat, bw) in results.items():
+        plat, pbw = PAPER[case]
+        table.add(case, lat, plat, bw, pbw)
+    out = str(table)
+    print("\n" + out)
+    write_result("table2_network", out)
+
+    for case, (lat, bw) in results.items():
+        plat, pbw = PAPER[case]
+        assert lat == pytest.approx(plat, rel=0.10), case
+        assert bw == pytest.approx(pbw, rel=0.05), case

@@ -1,0 +1,38 @@
+"""Table 3 — local file system performance (bonnie-style).
+
+Paper (ext3 on a Seagate ST340016A ATA disk):
+
+                      write    read
+    without cache     25 MB/s  20 MB/s
+    with cache       303 MB/s  1391 MB/s
+"""
+
+import pytest
+
+from repro.bench import Table, runners, write_result
+
+PAPER = {
+    "write, with cache": 303,
+    "write, without cache": 25,
+    "read, with cache": 1391,
+    "read, without cache": 20,
+}
+
+
+def test_table3_filesystem(benchmark):
+    results = benchmark.pedantic(
+        runners.filesystem_performance, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "Table 3: file system performance (simulated ext3 on ATA disk)",
+        ["case", "MB/s", "paper MB/s"],
+    )
+    for case, bw in results.items():
+        table.add(case, bw, PAPER[case])
+    out = str(table)
+    print("\n" + out)
+    write_result("table3_filesystem", out)
+
+    for case, bw in results.items():
+        assert bw == pytest.approx(PAPER[case], rel=0.12), case

@@ -1,0 +1,73 @@
+"""Table 4 — Optimistic Group Registration impact on list-I/O write.
+
+A 2048x2048 int array distributed block-block over 4 processes; each
+process writes its subarray (1024 rows of 4 kB) contiguously to a
+non-overlapping file region.  Paper rows:
+
+    case     no sync   sync    #reg   overhead (us)
+    Ideal    1010      82      0      0
+    Indiv.    424      73      1024   5254
+    OGR       950      ~82     1      227
+    OGR+Q     879      ~82     11     496
+"""
+
+import pytest
+
+from repro.bench import Table, runners, write_result
+
+PAPER = {
+    "Ideal": (1010, 82, 0, 0),
+    "Indiv.": (424, 73, 1024, 5254),
+    "OGR": (950, 82, 1, 227),
+    "OGR+Q": (879, 82, 11, 496),
+}
+
+
+def test_table4_ogr(benchmark):
+    rows = benchmark.pedantic(runners.table4_ogr, rounds=1, iterations=1)
+
+    table = Table(
+        "Table 4: Optimistic Group Registration impact (per-process values)",
+        ["case", "no sync MB/s", "paper", "sync MB/s", "paper",
+         "# reg", "paper", "overhead us", "paper"],
+    )
+    by_case = {}
+    for r in rows:
+        p = PAPER[r["case"]]
+        table.add(
+            r["case"], r["no_sync_mb_s"], p[0], r["sync_mb_s"], p[1],
+            r["n_reg"], p[2], r["overhead_us"], p[3],
+        )
+        by_case[r["case"]] = r
+    out = str(table)
+    print("\n" + out)
+    write_result("table4_ogr", out)
+
+    ideal, indiv = by_case["Ideal"], by_case["Indiv."]
+    ogr, ogrq = by_case["OGR"], by_case["OGR+Q"]
+
+    # Registration counts are exact reproductions.
+    assert ideal["n_reg"] == 0
+    assert indiv["n_reg"] == 1024
+    assert ogr["n_reg"] == 1
+    assert ogrq["n_reg"] == 11
+
+    # No-sync ordering and rough degradation factors: Indiv. is crippled
+    # (paper: 57% below Ideal), OGR within ~10% of Ideal, OGR+Q between.
+    assert ideal["no_sync_mb_s"] > ogr["no_sync_mb_s"] >= ogrq["no_sync_mb_s"]
+    assert ogrq["no_sync_mb_s"] > indiv["no_sync_mb_s"]
+    assert indiv["no_sync_mb_s"] < 0.70 * ideal["no_sync_mb_s"]
+    assert ogr["no_sync_mb_s"] > 0.85 * ideal["no_sync_mb_s"]
+
+    # Registration overhead ordering (us, per process).
+    assert ideal["overhead_us"] == 0
+    assert ogr["overhead_us"] < ogrq["overhead_us"] < indiv["overhead_us"]
+    # Per-page pinning cost is common to all strategies; OGR saves the
+    # 1023 per-operation overheads (~4.7x less total overhead here; the
+    # paper's hardware showed ~10x).
+    assert indiv["overhead_us"] > 4 * ogrq["overhead_us"]
+
+    # With sync the disk dominates and the cases converge (paper: the
+    # Indiv. penalty shrinks to ~11%).
+    sync_vals = [r["sync_mb_s"] for r in rows]
+    assert max(sync_vals) < 1.35 * min(sync_vals)

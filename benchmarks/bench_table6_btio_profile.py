@@ -1,0 +1,134 @@
+"""Table 6 — BTIO I/O characteristics per method.
+
+The paper profiles, for each method: client request count, registration
+count and cache hits, per-node disk read()/write() counts, and the data
+volumes moved compute<->I/O nodes and compute<->compute.  Paper values
+(class A, 4 procs):
+
+                     Mult.   Coll.   List    ADS     DS
+    req #           163840     160    1360    1360  82040
+    read #           81920    1600   81920    5120   3140
+    write #          81920    1600   81920    2560  81920
+    CN<->ION (MB)      200     200     200     200    490
+    CN<->CN  (MB)        0     150       0       0      0
+"""
+
+import pytest
+
+from repro.calibration import MB
+from repro.bench import Table, runners, write_result
+
+COLS = ["Multiple I/O", "Collective I/O", "List I/O", "List I/O with ADS", "Data Sieving"]
+
+PAPER = {
+    "req #": [163840, 160, 1360, 1360, 82040],
+    "read #": [81920, 1600, 81920, 5120, 3140],
+    "write #": [81920, 1600, 81920, 2560, 81920],
+    "CN<->ION (MB)": [200, 200, 200, 200, 490],
+    "CN<->CN (MB)": [0, 150, 0, 0, 0],
+}
+
+
+def _profile():
+    out = {}
+    for label, method in runners.BTIO_METHODS:
+        if method is None:
+            continue
+        _, flat = runners.btio_run(method.value)
+        delta = {k: (c, t) for k, c, t in flat}
+        moved = (
+            delta.get("ib.rdma_read.ops", (0, 0))[1]
+            + delta.get("ib.rdma_write.ops", (0, 0))[1]
+        )
+        hits = delta.get("ib.pincache.hits", (0, 0))[0]
+        misses = delta.get("ib.pincache.misses", (0, 0))[0]
+        out[label] = {
+            "req #": delta.get("pvfs.client.requests", (0, 0))[0],
+            # The paper's "reg #" counts registration *requests*; most
+            # are satisfied by the pin-down cache ("reg cache hit").
+            # Transfers riding the eager Fast-RDMA path never register,
+            # so small-piece methods can show 0 here.
+            "reg #": hits + misses,
+            "reg cache hit": hits,
+            "actual reg ops": delta.get("ib.reg.ops", (0, 0))[0],
+            "read #": delta.get("disk.read.calls", (0, 0))[0],
+            "write #": delta.get("disk.write.calls", (0, 0))[0],
+            "CN<->ION (MB)": moved / MB,
+            "CN<->CN (MB)": delta.get("mpi.bytes_sent", (0, 0))[1] / MB,
+        }
+    return out
+
+
+def test_table6_btio_profile(benchmark):
+    prof = benchmark.pedantic(_profile, rounds=1, iterations=1)
+
+    rows = ["req #", "reg #", "reg cache hit", "actual reg ops", "read #",
+            "write #", "CN<->ION (MB)", "CN<->CN (MB)"]
+    table = Table(
+        "Table 6: BTIO I/O characteristics (measured / paper)",
+        ["metric"] + COLS,
+    )
+    for row in rows:
+        vals = []
+        for i, col in enumerate(COLS):
+            v = prof[col][row]
+            v = f"{v:,.0f}" if isinstance(v, float) else f"{v:,}"
+            p = PAPER.get(row)
+            vals.append(f"{v}/{PAPER[row][i]:,}" if p else v)
+        table.add(row, *vals)
+    out = str(table)
+    print("\n" + out)
+    write_result("table6_btio_profile", out)
+
+    mult = prof["Multiple I/O"]
+    coll = prof["Collective I/O"]
+    li = prof["List I/O"]
+    ads = prof["List I/O with ADS"]
+    ds = prof["Data Sieving"]
+
+    # Request counts: Multiple issues one request per piece = 163840
+    # (plus ~1.6% extra where pieces split at stripe boundaries); list
+    # I/O batches 128 accesses per request (paper: 1360).
+    assert 163840 <= mult["req #"] <= 167000
+    assert li["req #"] < mult["req #"] / 50
+    assert ads["req #"] == li["req #"]
+    # DS: writes as multiple (81920) plus a few hundred big sieve reads.
+    assert 81920 < ds["req #"] < 84000
+    # Collective: two orders fewer than Multiple.
+    assert coll["req #"] < mult["req #"] / 100
+
+    # Disk ops: Multiple and plain list I/O hit the disk once per piece
+    # (stripe-boundary splits add ~1.6%); ADS collapses them
+    # (paper: 81920 -> 2560 writes, 5120 reads).
+    assert 81920 <= mult["read #"] <= 83500
+    assert 81920 <= mult["write #"] <= 83500
+    assert 81920 <= li["read #"] <= 83500
+    assert 81920 <= li["write #"] <= 83500
+    assert ads["write #"] < 82000 / 10
+    assert ads["read #"] < 82000 / 5
+    # Client DS reads a few big chunks instead of 81920 small ones.
+    assert ds["read #"] < 82000 / 10
+    assert 81920 <= ds["write #"] <= 83500
+
+    # Data volumes: everyone moves ~200 MB except DS (the whole extent,
+    # paper: 490 MB); only collective shuffles data between compute nodes
+    # (paper: 150 MB).
+    for label in ("Multiple I/O", "Collective I/O", "List I/O", "List I/O with ADS"):
+        assert 180 < prof[label]["CN<->ION (MB)"] < 230, label
+    assert ds["CN<->ION (MB)"] > 350
+    assert coll["CN<->CN (MB)"] > 100
+    for label in ("Multiple I/O", "List I/O", "List I/O with ADS", "Data Sieving"):
+        assert prof[label]["CN<->CN (MB)"] == 0, label
+
+    # Registrations: OGR groups each call's buffers into few regions and
+    # the pin-down cache absorbs repeats — actual HCA registrations stay
+    # tiny for every method, and nearly all registration requests hit.
+    for label in COLS:
+        assert prof[label]["actual reg ops"] < 100, label
+        attempts = prof[label]["reg #"]
+        if attempts:
+            hit_rate = prof[label]["reg cache hit"] / attempts
+            assert hit_rate > 0.95, label
+    # Small-piece transfers ride the eager Fast-RDMA path and never
+    # register at all (our design's improvement over the paper's counts).
+    assert mult["reg #"] == 0

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Periodic solver checkpoints: the BTIO pattern at application scale.
+
+A 4-process block-tridiagonal-style solver dumps its 3-D solution array
+(5 doubles per point, diagonal multipartitioning) to a shared PVFS file
+every few hundred timesteps, then reads it back to verify — the NAS
+BTIO benchmark shape of the paper's Section 6.7.  The example compares
+the I/O overhead each access method adds to the (fixed) compute time.
+
+Run:  python examples/checkpoint_solver.py
+"""
+
+from repro.mpiio import Hints, Method
+from repro.mpiio.app import mpi_run
+from repro.pvfs import PVFSCluster
+from repro.workloads import BTIOWorkload
+
+# A scaled-down class-A: 32^3 grid, 4 dumps, 2 s of compute total.
+GRID, DUMPS, COMPUTE_US = 32, 4, 2.0e6
+
+METHODS = [
+    ("no I/O", None),
+    ("Multiple I/O", Method.MULTIPLE),
+    ("Collective I/O", Method.COLLECTIVE),
+    ("List I/O", Method.LIST_IO),
+    ("List I/O + ADS", Method.LIST_IO_ADS),
+    ("Data Sieving", Method.DATA_SIEVING),
+]
+
+
+def main() -> None:
+    w0 = BTIOWorkload(grid=GRID, nprocs=4, dumps=DUMPS, total_compute_us=COMPUTE_US)
+    print(f"solver grid {GRID}^3, {DUMPS} checkpoints, "
+          f"{w0.dump_bytes * DUMPS / 2**20:.1f} MB written + read back")
+    print()
+    print(f"{'method':16s} {'total (s)':>10s} {'I/O overhead (s)':>18s}")
+    base = None
+    for name, method in METHODS:
+        w = BTIOWorkload(
+            grid=GRID, nprocs=4, dumps=DUMPS, total_compute_us=COMPUTE_US,
+            path=f"/pfs/ckpt-{name.replace(' ', '')}",
+        )
+        cluster = PVFSCluster(n_clients=4, n_iods=4)
+        hints = Hints(method=method) if method else None
+        results = {}
+        elapsed = mpi_run(cluster, w.program(hints, results))
+        if method is None:
+            base = elapsed
+            overhead = 0.0
+        else:
+            overhead = elapsed - base
+            assert all(results.values()), f"{name}: verification failed"
+        print(f"{name:16s} {elapsed/1e6:10.3f} {overhead/1e6:18.3f}")
+    print()
+    print("Like the paper's Table 5, list I/O with Active Data Sieving adds")
+    print("the least overhead of the noncollective methods: batched requests")
+    print("cut the request count ~100x and server-side sieving cuts the")
+    print("disk-access count ~30x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Stencil halo exchange with RDMA noncontiguous communication.
+
+The paper closes by noting its transfer schemes "can be used elsewhere
+such as for MPI noncontiguous data transfer" (Section 8).  This example
+is that use case: four ranks each own a block of a 2-D grid and exchange
+boundary *columns* with their horizontal neighbours each iteration.
+Columns are noncontiguous in memory (one element per row), the classic
+worst case for messaging — and exactly what the RDMA gather + bounce
+machinery handles.
+
+Run:  python examples/halo_exchange.py
+"""
+
+from repro.calibration import paper_testbed
+from repro.ib.hca import Node
+from repro.mem.segments import Segment
+from repro.mpiio import MpiComm
+from repro.mpiio.noncontig_comm import NoncontigComm
+from repro.sim import Simulator
+
+NP = 4          # ranks in a row
+N = 256         # local block is N x N doubles
+ELEM = 8
+ITERS = 10
+
+
+def column_segments(base: int, col: int) -> list:
+    """The N memory pieces of one column (one element per row)."""
+    row_bytes = N * ELEM
+    return [Segment(base + r * row_bytes + col * ELEM, ELEM) for r in range(N)]
+
+
+def main() -> None:
+    sim = Simulator()
+    tb = paper_testbed()
+    nodes = [Node(sim, tb, f"rank{i}") for i in range(NP)]
+    comm = MpiComm(sim, nodes)
+    nc = NoncontigComm(comm)
+
+    # Each rank's block, with a recognizable fill.
+    bases = []
+    for r, node in enumerate(nodes):
+        base = node.space.malloc(N * N * ELEM)
+        node.space.write(base, bytes([r + 1]) * (N * N * ELEM))
+        bases.append(base)
+
+    def rank(r):
+        right = (r + 1) % NP
+        left = (r - 1) % NP
+        for _ in range(ITERS):
+            # Send my rightmost column right; receive my left halo.
+            send_cols = column_segments(bases[r], N - 2)
+            recv_cols = column_segments(bases[r], 0)
+            if r % 2 == 0:
+                yield from nc.send_segments(r, right, send_cols)
+                yield from nc.recv_segments(r, left, recv_cols)
+            else:
+                yield from nc.recv_segments(r, left, recv_cols)
+                yield from nc.send_segments(r, right, send_cols)
+            yield from comm.barrier(r)
+
+    procs = [sim.process(rank(r)) for r in range(NP)]
+    sim.run()
+    assert all(p.triggered for p in procs)
+
+    # Verify: rank r's halo column now carries its left neighbour's fill.
+    ok = True
+    for r, node in enumerate(nodes):
+        left = (r - 1) % NP
+        for seg in column_segments(bases[r], 0)[:4]:
+            if node.space.read(seg.addr, ELEM) != bytes([left + 1]) * ELEM:
+                ok = False
+
+    col_bytes = N * ELEM
+    total = NP * ITERS * col_bytes
+    print(f"{NP} ranks exchanged a {N}-element column ({col_bytes} B, "
+          f"{N} noncontiguous pieces) for {ITERS} iterations")
+    print(f"  simulated time: {sim.now/1e3:.2f} ms")
+    print(f"  effective exchange rate: {total/sim.now*1e6/2**20:.0f} MB/s")
+    print(f"  halos verified: {ok}")
+    print()
+    print("One RDMA-gather write ships the whole strided column; per-")
+    print("element messaging would need", N, "sends per column instead.")
+    if not ok:
+        raise SystemExit("halo verification FAILED")
+
+
+if __name__ == "__main__":
+    main()

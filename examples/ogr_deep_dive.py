@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Inside Optimistic Group Registration: watch the algorithm decide.
+
+Walks the three OGR steps (Section 4.2/4.3) on three buffer layouts,
+printing the candidate groups the cost model forms, what optimistic
+registration does with them, and what each approach would have cost:
+
+1. the common case — rows of one subarray (one malloc),
+2. scattered buffers with big allocated gaps,
+3. buffers from several arrays separated by truly unallocated holes
+   (the Table 4 "OGR+Q" case, forcing the OS-query fallback).
+
+Run:  python examples/ogr_deep_dive.py
+"""
+
+from repro.calibration import KB, paper_testbed
+from repro.core.ogr import GroupRegistrar, plan_groups
+from repro.ib.hca import HCA
+from repro.mem import AddressSpace, Segment
+from repro.sim import Simulator
+
+
+def show(label, space, segs):
+    tb = paper_testbed()
+    print(f"--- {label} ---")
+    print(f"  {len(segs)} buffers, {sum(s.length for s in segs)//KB} kB total")
+
+    groups = plan_groups(segs, tb)
+    print(f"  step 1 (group): {len(groups)} candidate region(s)")
+    for g in groups[:4]:
+        print(f"      region at {g.addr:#x}, {g.length//KB} kB")
+    if len(groups) > 4:
+        print(f"      ... and {len(groups) - 4} more")
+
+    hca = HCA(Simulator(), tb)
+    reg = GroupRegistrar(hca, space)
+    out = reg.register(segs, "ogr")
+    print(
+        f"  steps 2-3:      {out.registrations} registration(s), "
+        f"{out.optimistic_failures} optimistic failure(s), "
+        f"{out.os_queries} OS query(ies), {out.cost_us:.0f} us"
+    )
+
+    # What the alternatives would have cost:
+    indiv = sum(tb.reg_cost_us(s.length) + tb.dereg_cost_us(s.length) for s in segs)
+    print(f"  vs individual:  {len(segs)} registrations, {indiv:.0f} us")
+    print()
+
+
+def main() -> None:
+    tb = paper_testbed()
+
+    # Case 1: subarray rows from one allocation.
+    space = AddressSpace(page_size=tb.page_size)
+    base = space.malloc(256 * 8 * KB)
+    rows = [Segment(base + i * 8 * KB, 4 * KB) for i in range(256)]
+    show("rows of one subarray (the common case)", space, rows)
+
+    # Case 2: buffers with large allocated gaps: grouping declines to merge.
+    space = AddressSpace(page_size=tb.page_size)
+    big = space.malloc(64 * 1024 * KB)
+    sparse = [Segment(big + i * 1024 * KB, 4 * KB) for i in range(64)]
+    show("widely scattered buffers (merging would pin megabytes)", space, sparse)
+
+    # Case 3: several arrays with unallocated holes between them.
+    space = AddressSpace(page_size=tb.page_size)
+    segs = []
+    for _ in range(10):
+        b = space.malloc(32 * 8 * KB)
+        segs += [Segment(b + i * 8 * KB, 4 * KB) for i in range(32)]
+        space.skip(4 * tb.page_size)  # a true hole
+    show("buffers from several arrays with unallocated holes (OGR+Q)", space, segs)
+
+    print("OGR gets within one registration of the application-aware ideal")
+    print("in the common case, refuses bad merges when gaps are huge, and")
+    print("pays one cheap OS query when its optimism meets a real hole.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: a simulated PVFS cluster doing noncontiguous I/O.
+
+Builds the paper's 4-client / 4-I/O-node cluster, writes a strided
+pattern with `pvfs_write_list`, reads it back, and shows what the
+Active Data Sieving cost model decided on the servers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.calibration import KB
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+
+
+def main() -> None:
+    cluster = PVFSCluster(n_clients=4, n_iods=4)
+    client = cluster.clients[0]
+
+    # 256 pieces of 2 kB, strided 1-in-4 through the file: the classic
+    # noncontiguous pattern from scientific applications.
+    npieces, piece = 256, 2 * KB
+    addr = client.node.space.malloc(npieces * piece)
+    payload = bytes((i * 31 + 7) % 256 for i in range(npieces * piece))
+    client.node.space.write(addr, payload)
+    mem_segs = [Segment(addr + i * piece, piece) for i in range(npieces)]
+    file_segs = [Segment(i * piece * 4, piece) for i in range(npieces)]
+
+    back = client.node.space.malloc(npieces * piece)
+    back_segs = [Segment(back + i * piece, piece) for i in range(npieces)]
+
+    def program():
+        f = yield from client.open("/pfs/quickstart")
+        t0 = cluster.sim.now
+        yield from client.write_list(f, mem_segs, file_segs, use_ads=True)
+        t_write = cluster.sim.now - t0
+        t0 = cluster.sim.now
+        yield from client.read_list(f, back_segs, file_segs, use_ads=True)
+        t_read = cluster.sim.now - t0
+        return t_write, t_read
+
+    proc = cluster.sim.process(program())
+    cluster.sim.run()
+    t_write, t_read = proc.value
+
+    ok = client.node.space.read(back, npieces * piece) == payload
+    delta = cluster.stat_delta()
+    print(f"wrote+read {npieces} x {piece} B pieces across 4 I/O nodes")
+    print(f"  write: {t_write/1e3:8.2f} ms simulated")
+    print(f"  read:  {t_read/1e3:8.2f} ms simulated")
+    print(f"  data verified: {ok}")
+    print(f"  PVFS requests:      {delta['pvfs.client.requests'][0]}")
+    print(f"  sieved writes:      {delta.get('pvfs.iod.sieve_writes', (0,))[0]} requests")
+    print(f"  sieved reads:       {delta.get('pvfs.iod.sieve_reads', (0,))[0]} requests")
+    print(f"  disk write() calls: {delta.get('disk.write.calls', (0,))[0]}")
+    print(f"  disk read() calls:  {delta.get('disk.read.calls', (0,))[0]}")
+    print()
+    print("With ADS the servers turned hundreds of small disk accesses")
+    print("into a handful of sieved reads/writes - the paper's Section 5.")
+    if not ok:
+        raise SystemExit("data verification FAILED")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""How should noncontiguous data cross an RDMA network?
+
+Replays the experiment behind the paper's Figure 3: one process owns the
+top-left quarter of an N x N int array (rows separated by gaps) and
+ships it to a server.  Compares Multiple Message, Pack/Unpack, and RDMA
+Gather/Scatter under different registration strategies, including
+Optimistic Group Registration.
+
+Run:  python examples/transfer_schemes.py
+"""
+
+from repro.calibration import MB, paper_testbed
+from repro.core.ogr import GroupRegistrar
+from repro.ib import FastRdmaPool, Node, connect
+from repro.sim import Simulator
+from repro.transfer import (
+    Hybrid,
+    MultipleMessage,
+    PackUnpack,
+    RdmaGatherScatter,
+    TransferContext,
+)
+from repro.workloads import SubarrayWorkload
+
+SCHEMES = [
+    ("pack, no reg", PackUnpack(pooled=True), False),
+    ("pack, reg", PackUnpack(pooled=False), False),
+    ("gather, multiple reg", RdmaGatherScatter("individual", deregister_after=True), False),
+    ("gather, one reg", RdmaGatherScatter("one_region", deregister_after=True), False),
+    ("gather, OGR", RdmaGatherScatter("ogr", deregister_after=True), False),
+    ("multiple, no reg", MultipleMessage(), True),
+    ("hybrid (final design)", Hybrid(), False),
+]
+
+
+def bandwidth(scheme, n, warm):
+    sim = Simulator()
+    tb = paper_testbed()
+    client = Node(sim, tb, "client")
+    server = Node(sim, tb, "server")
+    qp, _ = connect(sim, client, server)
+    work = SubarrayWorkload(n=n)
+    segs = work.allocate(client.space)
+    remote = server.space.malloc(work.total_bytes, align=4096)
+    server.hca.table.register(server.space, remote, work.total_bytes)
+    pool = FastRdmaPool(client)
+    if warm:
+        reg = GroupRegistrar(client.hca, client.space)
+        reg.release(reg.register(segs, "ogr"))
+    ctx = TransferContext(qp=qp, mem_segments=segs, remote_addr=remote, pool=pool)
+    sim.process(scheme.write(ctx))
+    sim.run()
+    return work.total_bytes / sim.now * 1e6 / MB  # MB/s
+
+
+def main() -> None:
+    sizes = [512, 1024, 2048, 4096]
+    print("bandwidth (MB/s) shipping one process's (N/2)x(N/2) int subarray")
+    print(f"{'scheme':24s}" + "".join(f"  N={n:>5d}" for n in sizes))
+    for name, scheme, warm in SCHEMES:
+        row = [bandwidth(scheme, n, warm) for n in sizes]
+        print(f"{name:24s}" + "".join(f"  {v:7.0f}" for v in row))
+    print()
+    print("Small arrays: packing through pre-registered buffers wins.")
+    print("Large arrays: zero-copy gather with OGR approaches the 827 MB/s")
+    print("wire rate while per-buffer registration craters - Figure 3.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Reproduction of *Supporting Efficient Noncontiguous Access in PVFS
+over InfiniBand* (Wu, Wyckoff, Panda — IEEE Cluster 2003).
+
+Public API map
+--------------
+- :mod:`repro.calibration` — every cost constant (:class:`Testbed`).
+- :mod:`repro.sim` — the discrete-event engine.
+- :mod:`repro.mem` — simulated virtual address spaces + segment lists.
+- :mod:`repro.ib` — InfiniBand verbs: registration, pin-down cache,
+  queue pairs with RDMA gather/scatter, network time model.
+- :mod:`repro.disk` — I/O-node local file system with page cache.
+- :mod:`repro.transfer` — the noncontiguous transmission schemes.
+- :mod:`repro.core` — the paper's algorithms: list I/O requests,
+  Optimistic Group Registration, Active Data Sieving.
+- :mod:`repro.pvfs` — the parallel file system (clients, manager,
+  I/O daemons, cluster builder).
+- :mod:`repro.mpiio` — MPI datatypes, file views, communicator, and the
+  ROMIO-style access methods.
+- :mod:`repro.workloads` — the evaluation workloads (subarray,
+  block-column, mpi-tile-io, NAS BTIO).
+- :mod:`repro.bench` — experiment runners behind ``benchmarks/``.
+
+Quick start::
+
+    from repro import PVFSCluster, Segment
+
+    cluster = PVFSCluster(n_clients=4, n_iods=4)
+    ...
+
+Run ``python -m repro list`` for the experiment CLI.
+"""
+
+from repro.calibration import Testbed, paper_testbed
+from repro.core import GroupRegistrar, ListIORequest, plan_groups, plan_sieve
+from repro.mem.segments import Segment
+from repro.mpiio import Hints, Method, MPIFile, MpiComm
+from repro.mpiio.app import MpiContext, mpi_run
+from repro.pvfs import PVFSClient, PVFSCluster, PVFSFile
+from repro.sim import Simulator
+from repro.transfer import Hybrid, MultipleMessage, PackUnpack, RdmaGatherScatter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GroupRegistrar",
+    "Hints",
+    "Hybrid",
+    "ListIORequest",
+    "MPIFile",
+    "Method",
+    "MpiComm",
+    "MpiContext",
+    "MultipleMessage",
+    "PVFSClient",
+    "PVFSCluster",
+    "PVFSFile",
+    "PackUnpack",
+    "RdmaGatherScatter",
+    "Segment",
+    "Simulator",
+    "Testbed",
+    "mpi_run",
+    "paper_testbed",
+    "plan_groups",
+    "plan_sieve",
+    "__version__",
+]

@@ -1,0 +1,201 @@
+"""Experiment CLI: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` — show the available experiments.
+- ``run <id> [...]`` — run one or more experiments (``all`` for every
+  one) and print the paper-style tables.
+- ``calibration`` — dump the testbed constants in use.
+
+The heavyweight experiments (table5/table6) take a minute or two each;
+everything else finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from typing import Callable, Dict
+
+from repro.bench import Table, runners
+from repro.calibration import MB, paper_testbed
+
+
+def _table2() -> str:
+    t = Table("Table 2: network performance", ["case", "latency (us)", "MB/s"])
+    for case, (lat, bw) in runners.network_performance().items():
+        t.add(case, lat, bw)
+    return str(t)
+
+
+def _table3() -> str:
+    t = Table("Table 3: file system performance", ["case", "MB/s"])
+    for case, bw in runners.filesystem_performance().items():
+        t.add(case, bw)
+    return str(t)
+
+
+def _fig3() -> str:
+    sizes = (256, 512, 1024, 2048, 4096, 8192)
+    res = runners.fig3_transfer_bandwidths(sizes)
+    t = Table(
+        "Figure 3: transfer-scheme bandwidth (MB/s)",
+        ["scheme"] + [f"N={n}" for n in sizes],
+    )
+    for label, series in res.items():
+        t.add(label, *[series[n] for n in sizes])
+    return str(t)
+
+
+def _fig4() -> str:
+    sizes = (128, 512, 2048, 8192)
+    res = runners.fig4_hybrid_comparison(sizes)
+    out = []
+    for op in ("write", "read"):
+        t = Table(
+            f"Figure 4: noncontiguous {op} (MB/s, 128 segments)",
+            ["scheme"] + [f"{s}B" for s in sizes],
+        )
+        for label, series in res.items():
+            t.add(label, *[series[s][op] for s in sizes])
+        out.append(str(t))
+    return "\n\n".join(out)
+
+
+def _table4() -> str:
+    t = Table(
+        "Table 4: OGR impact (per process)",
+        ["case", "no sync MB/s", "sync MB/s", "# reg", "overhead us"],
+    )
+    for r in runners.table4_ogr():
+        t.add(r["case"], r["no_sync_mb_s"], r["sync_mb_s"], r["n_reg"], r["overhead_us"])
+    return str(t)
+
+
+def _blockcol(op: str, variant: str) -> str:
+    sizes = (512, 1024, 2048, 4096)
+    res = runners.blockcolumn_sweep(op, variant, sizes=sizes)
+    t = Table(
+        f"Block-column {op} ({variant}) bandwidth (MB/s)",
+        ["method"] + [f"n={n}" for n in sizes],
+    )
+    for label, series in res.items():
+        t.add(label, *[series[n] for n in sizes])
+    return str(t)
+
+
+def _fig6() -> str:
+    return _blockcol("write", "nosync") + "\n\n" + _blockcol("write", "sync")
+
+
+def _fig7() -> str:
+    return _blockcol("read", "cached") + "\n\n" + _blockcol("read", "uncached")
+
+
+def _tileio(disk: bool) -> str:
+    res = runners.tileio_cases(disk)
+    label = "with" if disk else "without"
+    t = Table(
+        f"Tiled I/O bandwidth (MB/s), {label} disk effects",
+        ["method", "write", "read"],
+    )
+    for name, r in res.items():
+        t.add(name, r["write"], r["read"])
+    return str(t)
+
+
+def _table5() -> str:
+    t = Table("Table 5: BTIO", ["case", "time (s)", "I/O overhead (s)"])
+    base = None
+    for label, method in runners.BTIO_METHODS:
+        elapsed, _ = runners.btio_run(method.value if method else None)
+        secs = elapsed / 1e6
+        if base is None:
+            base = secs
+        t.add(label, secs, secs - base)
+    return str(t)
+
+
+def _table6() -> str:
+    t = Table(
+        "Table 6: BTIO characteristics",
+        ["case", "req #", "read #", "write #", "CN<->ION MB", "CN<->CN MB"],
+    )
+    for label, method in runners.BTIO_METHODS:
+        if method is None:
+            continue
+        _, flat = runners.btio_run(method.value)
+        d = {k: (c, tot) for k, c, tot in flat}
+        moved = (
+            d.get("ib.rdma_read.ops", (0, 0))[1]
+            + d.get("ib.rdma_write.ops", (0, 0))[1]
+        )
+        t.add(
+            label,
+            d.get("pvfs.client.requests", (0, 0))[0],
+            d.get("disk.read.calls", (0, 0))[0],
+            d.get("disk.write.calls", (0, 0))[0],
+            moved / MB,
+            d.get("mpi.bytes_sent", (0, 0))[1] / MB,
+        )
+    return str(t)
+
+
+EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "table2": _table2,
+    "table3": _table3,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "table4": _table4,
+    "fig6": _fig6,
+    "fig7": _fig7,
+    "fig8": lambda: _tileio(False),
+    "fig9": lambda: _tileio(True),
+    "table5": _table5,
+    "table6": _table6,
+}
+
+
+def _calibration() -> str:
+    tb = paper_testbed()
+    lines = ["Testbed calibration (paper preset):"]
+    for f in dataclasses.fields(tb):
+        lines.append(f"  {f.name:28s} {getattr(tb, f.name)}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Rerun the paper's experiments on the simulated cluster.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("calibration", help="print the testbed constants")
+    run = sub.add_parser("run", help="run experiments and print their tables")
+    run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    args = parser.parse_args(argv)
+
+    if args.cmd == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.cmd == "calibration":
+        print(_calibration())
+        return 0
+
+    ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for i in ids:
+        print(EXPERIMENTS[i]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

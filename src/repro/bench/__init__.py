@@ -1,0 +1,13 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite.
+
+Each experiment of the paper's Section 6 has a *runner* in
+:mod:`repro.bench.runners` that executes the simulation and returns
+structured rows, and the pytest-benchmark targets in ``benchmarks/``
+print the paper-style table (also written to ``benchmarks/results/``)
+and assert its qualitative shape.
+"""
+
+from repro.bench.tables import Table, format_table, write_result
+from repro.bench import runners
+
+__all__ = ["Table", "format_table", "runners", "write_result"]

@@ -1,0 +1,481 @@
+"""Experiment runners: one function per paper table/figure.
+
+Each runner builds a fresh simulated cluster, executes the experiment
+and returns plain dict/row data.  Wall-clock cost is seconds per runner;
+simulated time is computed from the calibrated models.  The heavyweight
+BTIO sweep is memoized because Tables 5 and 6 share its runs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.calibration import MB, paper_testbed
+from repro.core.ogr import GroupRegistrar
+from repro.disk import LocalFileSystem
+from repro.ib import FastRdmaPool, Node, connect
+from repro.mem.segments import Segment
+from repro.mpiio import Hints, Method
+from repro.mpiio.app import mpi_run
+from repro.pvfs import PVFSCluster
+from repro.sim import Simulator
+from repro.transfer import (
+    Hybrid,
+    MultipleMessage,
+    PackUnpack,
+    RdmaGatherScatter,
+    TransferContext,
+    TransferScheme,
+)
+from repro.workloads import (
+    BTIOWorkload,
+    BlockColumnWorkload,
+    SubarrayWorkload,
+    TileIOWorkload,
+)
+
+__all__ = [
+    "network_performance",
+    "filesystem_performance",
+    "fig3_transfer_bandwidths",
+    "fig4_hybrid_comparison",
+    "table4_ogr",
+    "blockcolumn_sweep",
+    "tileio_cases",
+    "btio_run",
+    "BTIO_METHODS",
+]
+
+US_PER_S = 1e6
+
+
+def _mb_s(nbytes: int, us: float) -> float:
+    """bytes over microseconds -> MB/s (MB = 2**20)."""
+    return nbytes / us * US_PER_S / MB
+
+
+# ---------------------------------------------------------------------------
+# Table 2: raw network performance
+# ---------------------------------------------------------------------------
+
+def network_performance() -> Dict[str, Tuple[float, float]]:
+    """{case: (latency_us, bandwidth_MB_s)} measured through the QP layer."""
+    out: Dict[str, Tuple[float, float]] = {}
+    big = 64 * MB
+
+    def measure(op: str) -> Tuple[float, float]:
+        def run_one(nbytes: int) -> float:
+            sim = Simulator()
+            tb = paper_testbed()
+            a = Node(sim, tb, "a", enforce_registration=False)
+            b = Node(sim, tb, "b", enforce_registration=False)
+            qp, _ = connect(sim, a, b)
+            src = a.space.malloc(nbytes)
+            dst = b.space.malloc(nbytes)
+
+            def proc():
+                if op == "write":
+                    yield from qp.rdma_write([Segment(src, nbytes)], dst)
+                elif op == "read":
+                    yield from qp.rdma_read(dst, [Segment(src, nbytes)])
+                else:
+                    yield from qp.send(b"", nbytes)
+
+            sim.process(proc())
+            sim.run()
+            return sim.now
+
+        return run_one(4), _mb_s(big, run_one(big))
+
+    out["VAPI RDMA Write"] = measure("write")
+    out["VAPI RDMA Read"] = measure("read")
+    out["Send/Recv (MVAPICH-like)"] = measure("send")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table 3: local file system performance (bonnie-style)
+# ---------------------------------------------------------------------------
+
+def filesystem_performance(nbytes: int = 64 * MB) -> Dict[str, float]:
+    """{case: MB/s} for sequential write/read with and without cache."""
+    out: Dict[str, float] = {}
+    chunk = MB
+
+    def seq(op: str, cached: bool) -> float:
+        sim = Simulator()
+        fs = LocalFileSystem(sim, paper_testbed(), cache_enabled=True)
+        f = fs.open("bonnie")
+        if op == "read":
+            f.data.extend(bytes(nbytes))
+            if cached:  # warm the cache first
+                def warm():
+                    pos = 0
+                    while pos < nbytes:
+                        yield from f.pread(pos, chunk)
+                        pos += chunk
+                p = sim.process(warm())
+                sim.run()
+            else:
+                fs.drop_caches()
+        start = sim.now
+
+        def work():
+            pos = 0
+            while pos < nbytes:
+                if op == "read":
+                    yield from f.pread(pos, chunk)
+                else:
+                    yield from f.pwrite(pos, bytes(chunk))
+                pos += chunk
+            if op == "write" and not cached:
+                yield from f.fsync()
+
+        sim.process(work())
+        sim.run()
+        return _mb_s(nbytes, sim.now - start)
+
+    out["write, with cache"] = seq("write", True)
+    out["write, without cache"] = seq("write", False)
+    out["read, with cache"] = seq("read", True)
+    out["read, without cache"] = seq("read", False)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: transfer scheme bandwidth for a 2-D subarray
+# ---------------------------------------------------------------------------
+
+FIG3_SCHEMES: List[Tuple[str, Optional[TransferScheme], str]] = [
+    # (label, scheme or None for contiguous baseline, warmup mode)
+    ("contiguous, no reg", None, "warm"),
+    ("multiple, no reg", MultipleMessage(), "warm"),
+    ("gather, one reg", RdmaGatherScatter("one_region", deregister_after=True), "cold"),
+    ("gather, OGR", RdmaGatherScatter("ogr", deregister_after=True), "cold"),
+    ("gather, multiple reg", RdmaGatherScatter("individual", deregister_after=True), "cold"),
+    ("pack, no reg", PackUnpack(pooled=True), "cold"),
+    ("pack, reg", PackUnpack(pooled=False), "cold"),
+]
+
+
+def fig3_transfer_bandwidths(
+    sizes: Sequence[int] = (256, 512, 1024, 2048, 4096, 8192),
+) -> Dict[str, Dict[int, float]]:
+    """{scheme label: {N: MB/s}} for shipping one (N/2)x(N/2) subarray."""
+    out: Dict[str, Dict[int, float]] = {}
+    for label, scheme, mode in FIG3_SCHEMES:
+        series: Dict[int, float] = {}
+        for n in sizes:
+            sim = Simulator()
+            tb = paper_testbed()
+            client = Node(sim, tb, "client")
+            server = Node(sim, tb, "server")
+            qp, _ = connect(sim, client, server)
+            work = SubarrayWorkload(n=n)
+            segs = work.allocate(client.space)
+            remote = server.space.malloc(work.total_bytes, align=tb.page_size)
+            server.hca.table.register(server.space, remote, work.total_bytes)
+            pool = FastRdmaPool(client)
+            if mode == "warm":
+                reg = GroupRegistrar(client.hca, client.space)
+                reg.release(reg.register(segs, "ogr"))
+            if scheme is None:
+                # Contiguous baseline: ship the same bytes as one piece.
+                flat = client.space.malloc(work.total_bytes)
+                reg = GroupRegistrar(client.hca, client.space)
+                reg.release(reg.register([Segment(flat, work.total_bytes)], "ogr"))
+                use_segs = [Segment(flat, work.total_bytes)]
+                use_scheme: TransferScheme = RdmaGatherScatter("ogr")
+            else:
+                use_segs = segs
+                use_scheme = scheme
+            ctx = TransferContext(
+                qp=qp, mem_segments=use_segs, remote_addr=remote, pool=pool
+            )
+            sim.process(use_scheme.write(ctx))
+            sim.run()
+            series[n] = _mb_s(work.total_bytes, sim.now)
+        out[label] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: PVFS-level noncontiguous transfer (pack vs gather vs hybrid)
+# ---------------------------------------------------------------------------
+
+FIG4_SCHEMES = [
+    ("Pack/Unpack", lambda: PackUnpack(pooled=True)),
+    ("RDMA Gather/Scatter", lambda: RdmaGatherScatter("ogr", deregister_after=True)),
+    ("Hybrid", lambda: Hybrid()),
+]
+
+
+def fig4_hybrid_comparison(
+    seg_sizes: Sequence[int] = (128, 256, 512, 1024, 2048, 4096, 8192),
+    nsegments: int = 128,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """{scheme: {segment size: {"write"/"read": aggregate MB/s}}}.
+
+    4 clients and 4 I/O nodes; each client moves ``nsegments`` equal
+    pieces per operation (cache-resident server files: this experiment
+    stresses the network path, Section 6.3).
+    """
+    out: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for label, factory in FIG4_SCHEMES:
+        series: Dict[int, Dict[str, float]] = {}
+        for seg in seg_sizes:
+            res: Dict[str, float] = {}
+            for op in ("write", "read"):
+                cluster = PVFSCluster(
+                    n_clients=4, n_iods=4, scheme_factory=factory
+                )
+                total = seg * nsegments
+                addrs = []
+                for c in cluster.clients:
+                    addr = c.node.space.malloc(total)
+                    c.node.space.write(addr, bytes(total))
+                    addrs.append(addr)
+
+                def prog(ci):
+                    c = cluster.clients[ci]
+                    f = yield from c.open("/pfs/fig4")
+                    mem = [
+                        Segment(addrs[ci] + i * seg, seg)
+                        for i in range(nsegments)
+                    ]
+                    fsegs = [
+                        Segment((i * 4 + ci) * seg, seg) for i in range(nsegments)
+                    ]
+                    if op == "write":
+                        yield from c.write_list(f, mem, fsegs, use_ads=True)
+                    else:
+                        yield from c.read_list(f, mem, fsegs, use_ads=True)
+
+                if op == "read":
+                    # Populate first (untimed).
+                    cluster.run([prog(ci) for ci in range(4)])
+                start = cluster.sim.now
+                cluster.run([prog(ci) for ci in range(4)])
+                res[op] = _mb_s(4 * total, cluster.sim.now - start)
+            series[seg] = res
+        out[label] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table 4: Optimistic Group Registration impact
+# ---------------------------------------------------------------------------
+
+def table4_ogr(n: int = 2048) -> List[Dict[str, object]]:
+    """The four registration cases writing a 2048x2048 int array.
+
+    Returns rows with no-sync MB/s, sync MB/s, registration count, and
+    registration overhead in microseconds (per process).
+    """
+    cases = [
+        ("Ideal", "ogr", True, False),
+        ("Indiv.", "individual", False, False),
+        ("OGR", "ogr", False, False),
+        ("OGR+Q", "ogr", False, True),
+    ]
+    rows: List[Dict[str, object]] = []
+    for label, strategy, warm, with_holes in cases:
+        res = {}
+        for sync in (False, True):
+            cluster = PVFSCluster(
+                n_clients=4,
+                n_iods=4,
+                scheme_factory=lambda s=strategy: RdmaGatherScatter(
+                    s, deregister_after=not warm
+                ),
+            )
+            seg_lists = []
+            for rank, c in enumerate(cluster.clients):
+                space = c.node.space
+                if with_holes:
+                    # 1024 buffers from several arrays with 10 unallocated
+                    # holes among them (the paper's OGR+Q construction):
+                    # 11 allocation clusters separated by 10 holes.
+                    segs: List[Segment] = []
+                    work = SubarrayWorkload(
+                        n=n, proc_row=rank // 2, proc_col=rank % 2
+                    )
+                    nclusters = 11
+                    per_cluster = 1024 // nclusters
+                    row = work.row_bytes
+                    made = 0
+                    for h in range(nclusters):
+                        count = per_cluster if h < nclusters - 1 else 1024 - made
+                        base = space.malloc(count * 2 * row)
+                        segs += [
+                            Segment(base + i * 2 * row, row) for i in range(count)
+                        ]
+                        made += count
+                        if h < nclusters - 1:
+                            space.skip(4 * 4096)  # the unallocated hole
+                else:
+                    work = SubarrayWorkload(
+                        n=n, proc_row=rank // 2, proc_col=rank % 2
+                    )
+                    segs = work.allocate(space)
+                if warm:
+                    reg = GroupRegistrar(c.node.hca, space)
+                    reg.release(reg.register(segs, "ogr"))
+                seg_lists.append(segs)
+
+            total = sum(s.length for s in seg_lists[0])
+
+            def prog(ci):
+                c = cluster.clients[ci]
+                f = yield from c.open("/pfs/table4")
+                fsegs = [Segment(ci * total, total)]
+                yield from c.write_list(
+                    f, seg_lists[ci], fsegs, use_ads=False, sync=sync
+                )
+
+            before = cluster.stats.snapshot()
+            elapsed = cluster.run([prog(ci) for ci in range(4)])
+            delta = cluster.stats.diff(before)
+            key = "sync" if sync else "no_sync"
+            res[key] = _mb_s(4 * total, elapsed)
+            if not sync:
+                regs = delta.get("ib.reg.ops", (0, 0))[0]
+                reg_us = delta.get("ib.reg.us", (0, 0))[1]
+                dereg_us = delta.get("ib.dereg.us", (0, 0))[1]
+                res["n_reg"] = regs // 4  # per process
+                res["overhead_us"] = (reg_us + dereg_us) / 4
+        rows.append(
+            {
+                "case": label,
+                "no_sync_mb_s": res["no_sync"],
+                "sync_mb_s": res["sync"],
+                "n_reg": res["n_reg"],
+                "overhead_us": res["overhead_us"],
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 6/7: block-column MPI-IO benchmark
+# ---------------------------------------------------------------------------
+
+BLOCKCOL_METHODS = [
+    ("Multiple I/O", Method.MULTIPLE),
+    ("Data Sieving", Method.DATA_SIEVING),
+    ("List I/O", Method.LIST_IO),
+    ("List I/O + ADS", Method.LIST_IO_ADS),
+]
+
+
+def blockcolumn_sweep(
+    op: str,
+    variant: str,
+    sizes: Sequence[int] = (512, 1024, 2048, 4096),
+    methods=BLOCKCOL_METHODS,
+) -> Dict[str, Dict[int, float]]:
+    """{method: {array size: aggregate MB/s}}.
+
+    ``variant``: for writes, "nosync" or "sync"; for reads, "cached" or
+    "uncached".
+    """
+    out: Dict[str, Dict[int, float]] = {}
+    for label, method in methods:
+        series: Dict[int, float] = {}
+        for n in sizes:
+            w = BlockColumnWorkload(n=n, path=f"/pfs/bc{n}")
+            cluster = PVFSCluster(n_clients=4, n_iods=4)
+            hints = Hints(method=method, sync=(op == "write" and variant == "sync"))
+            if op == "read":
+                # Populate (untimed), then set the cache state.
+                mpi_run(cluster, w.program("write", Hints(method=Method.LIST_IO)))
+                if variant == "uncached":
+                    cluster.run([iod.fs.sync_all() for iod in cluster.iods])
+                    cluster.drop_all_caches()
+                else:
+                    # Warm: read everything once.
+                    mpi_run(
+                        cluster, w.program("read", Hints(method=Method.LIST_IO))
+                    )
+                start = cluster.sim.now
+                mpi_run(cluster, w.program("read", hints))
+                elapsed = cluster.sim.now - start
+            else:
+                elapsed = mpi_run(cluster, w.program("write", hints))
+            series[n] = _mb_s(w.total_bytes, elapsed)
+        out[label] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 8/9: mpi-tile-io
+# ---------------------------------------------------------------------------
+
+def tileio_cases(disk_effects: bool) -> Dict[str, Dict[str, float]]:
+    """{method: {"write"/"read": MB/s}} for the 9 MB tiled frame.
+
+    ``disk_effects=False`` (Figure 8): writes without sync, reads from
+    warm cache.  ``disk_effects=True`` (Figure 9): writes synced, reads
+    after dropping caches.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for label, method in BLOCKCOL_METHODS:
+        res: Dict[str, float] = {}
+        tile = TileIOWorkload()
+        # --- write ---
+        cluster = PVFSCluster(n_clients=4, n_iods=4)
+        hints = Hints(method=method, sync=disk_effects)
+        elapsed = mpi_run(cluster, tile.program("write", hints))
+        res["write"] = _mb_s(tile.file_bytes, elapsed)
+        # --- read ---
+        cluster = PVFSCluster(n_clients=4, n_iods=4)
+        mpi_run(cluster, tile.program("write", Hints(method=Method.LIST_IO)))
+        if disk_effects:
+            cluster.run([iod.fs.sync_all() for iod in cluster.iods])
+            cluster.drop_all_caches()
+        else:
+            mpi_run(cluster, tile.program("read", Hints(method=Method.LIST_IO)))
+        start = cluster.sim.now
+        mpi_run(cluster, tile.program("read", Hints(method=method)))
+        res["read"] = _mb_s(tile.file_bytes, cluster.sim.now - start)
+        out[label] = res
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Tables 5/6: NAS BTIO
+# ---------------------------------------------------------------------------
+
+BTIO_METHODS: List[Tuple[str, Optional[Method]]] = [
+    ("no I/O", None),
+    ("Multiple I/O", Method.MULTIPLE),
+    ("Collective I/O", Method.COLLECTIVE),
+    ("List I/O", Method.LIST_IO),
+    ("List I/O with ADS", Method.LIST_IO_ADS),
+    ("Data Sieving", Method.DATA_SIEVING),
+]
+
+
+@lru_cache(maxsize=None)
+def btio_run(
+    method_value: Optional[str],
+    grid: int = 64,
+    dumps: int = 10,
+    compute_us: float = 165.6e6,
+) -> Tuple[float, Tuple[Tuple[str, int, float], ...]]:
+    """One BTIO run; returns (elapsed_us, sorted stat deltas).
+
+    Memoized: Tables 5 and 6 share these runs.  ``method_value`` is the
+    Method's string value (hashable), or None for the no-I/O baseline.
+    """
+    w = BTIOWorkload(grid=grid, nprocs=4, dumps=dumps, total_compute_us=compute_us)
+    cluster = PVFSCluster(n_clients=4, n_iods=4)
+    hints = Hints(method=Method(method_value)) if method_value else None
+    results: Dict[int, bool] = {}
+    elapsed = mpi_run(cluster, w.program(hints, results))
+    if method_value and not all(results.values()):
+        raise AssertionError(f"BTIO verification failed for {method_value}")
+    delta = cluster.stat_delta()
+    flat = tuple(sorted((k, v[0], v[1]) for k, v in delta.items()))
+    return elapsed, flat

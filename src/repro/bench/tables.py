@@ -1,0 +1,73 @@
+"""Plain-text table formatting for benchmark output."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["Table", "format_table", "write_result"]
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks", "results")
+
+
+@dataclass
+class Table:
+    """A titled grid of rows for terminal display."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def __str__(self) -> str:
+        return format_table(self)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def format_table(table: Table) -> str:
+    cells = [[_fmt(c) for c in row] for row in table.rows]
+    headers = [str(c) for c in table.columns]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [table.title, "=" * len(table.title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"  * {note}")
+    return "\n".join(lines)
+
+
+def write_result(name: str, content: str) -> str:
+    """Persist a rendered table under benchmarks/results/; returns path."""
+    out_dir = os.path.abspath(RESULTS_DIR)
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(content + "\n")
+    return path

@@ -1,0 +1,171 @@
+"""Testbed calibration constants.
+
+Every cost model in the simulator reads its parameters from a
+:class:`Testbed` instance.  :func:`paper_testbed` returns the constants
+measured on the paper's 8-node cluster (Section 6.1, Tables 2 and 3, and
+the registration micro-measurements of Section 4.2):
+
+- Mellanox InfiniHost MT23108 over an InfiniScale switch:
+  RDMA Write 6.0 us / 827 MB/s, RDMA Read 12.4 us / 816 MB/s.
+- Memory copy bandwidth 1300 MB/s (Section 3.2).
+- Registration cost ``T = a*p + b`` with a=0.77 us/page, b=7.42 us;
+  deregistration a=0.23 us/page, b=1.10 us (Section 4.3).
+- ext3 on a Seagate ST340016A ATA disk: write 25 / read 20 MB/s without
+  cache, write 303 / read 1391 MB/s from cache (Table 3).
+- 4 kB pages, 64 kB PVFS stripes, 64 SGEs per RDMA work request, 128
+  file accesses per PVFS list-I/O request.
+
+All times are **microseconds**; all sizes are **bytes**; bandwidths are
+stored as bytes/us (1 MB/s of the paper's base-2 MB = 2**20/1e6 bytes/us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "MB",
+    "KB",
+    "US_PER_S",
+    "mb_per_s",
+    "Testbed",
+    "paper_testbed",
+    "fast_disk_testbed",
+]
+
+KB = 1024
+MB = 1024 * 1024
+US_PER_S = 1_000_000.0
+
+
+def mb_per_s(x: float) -> float:
+    """Convert a paper-style MB/s (MB = 2**20 bytes) to bytes/us."""
+    return x * MB / US_PER_S
+
+
+@dataclass(frozen=True)
+class Testbed:
+    """All calibration constants for one simulated cluster configuration."""
+
+    # -- virtual memory ---------------------------------------------------
+    page_size: int = 4096
+
+    # -- InfiniBand network (Table 2) --------------------------------------
+    rdma_write_latency_us: float = 6.0
+    rdma_write_bw: float = mb_per_s(827)
+    rdma_read_latency_us: float = 12.4
+    rdma_read_bw: float = mb_per_s(816)
+    send_recv_latency_us: float = 6.8       # MVAPICH-style channel send
+    send_recv_bw: float = mb_per_s(822)
+    sge_per_wr: int = 64                    # max gather/scatter entries per WR
+    per_sge_overhead_us: float = 0.10       # HCA work-request element cost
+    per_wr_overhead_us: float = 1.5         # pipelined cost of each extra WR
+    unaligned_penalty_us: float = 1.0       # per misaligned buffer (Section 4.1)
+
+    # -- memory subsystem ---------------------------------------------------
+    memcpy_bw: float = mb_per_s(1300)       # Section 3.2
+
+    # -- memory registration (Section 4.3) ----------------------------------
+    reg_per_page_us: float = 0.77
+    reg_per_op_us: float = 7.42
+    dereg_per_page_us: float = 0.23
+    dereg_per_op_us: float = 1.10
+    max_registrations: int = 8192           # HCA translation table entries
+    pin_cache_capacity_bytes: int = 256 * MB
+
+    # -- OS address-space queries (Section 4.3) ------------------------------
+    vm_query_syscall_us: float = 70.0       # custom kernel walk, ~1000 holes
+    vm_query_proc_us: float = 1100.0        # reading /proc/<pid>/maps
+    vm_query_holes_unit: int = 1000         # holes covered by the base cost
+    # Portable fallbacks the paper sketches for non-Linux systems:
+    # mincore() scans per page; the signal-probe touches one word per
+    # page and eats a SIGSEGV per hole.
+    mincore_per_page_us: float = 0.15
+    probe_touch_us: float = 0.05            # per resident page touched
+    probe_fault_us: float = 12.0            # per segfault caught
+
+    # -- local disk / ext3 (Table 3) -----------------------------------------
+    disk_read_bw: float = mb_per_s(20)      # uncached
+    disk_write_bw: float = mb_per_s(25)     # uncached
+    cache_read_bw: float = mb_per_s(1391)   # from page cache
+    cache_write_bw: float = mb_per_s(303)   # write-back into cache
+    disk_seek_us: float = 8000.0            # ATA average (long) seek+rotational
+    disk_short_seek_us: float = 1000.0      # track-to-track seek (short-stride cap)
+    disk_stride_floor_us: float = 50.0      # minimum positioning cost, any stride
+    seek_near_bytes: int = 2 * MB           # strides below this are "short"
+    # The ADS model's conservative per-access positioning estimate for
+    # noncontiguous pieces within one stripe file (the O_seek of Table 1).
+    ads_seek_estimate_us: float = 100.0
+    syscall_read_us: float = 15.0           # O_r: per read() call overhead
+    syscall_write_us: float = 15.0          # O_w
+    syscall_seek_us: float = 2.0            # O_seek when no head movement
+    # Per-access bookkeeping on the I/O daemon when servicing a file
+    # access separately: the (lseek, write)/(lseek, read) syscall pair
+    # Table 6 profiles plus PVFS's per-access job/iovec state machine.
+    # Sieving collapses N of these into one per window — a large part of
+    # ADS's win on small pieces.  Calibrated so the tile-io write gain of
+    # Figure 8 (~8%) and the Figure 6/7 ADS cross-over at array size
+    # ~2048 both reproduce.
+    server_access_cpu_us: float = 40.0
+    lock_us: float = 5.0                    # O_lock
+    unlock_us: float = 5.0                  # O_unlock
+    page_cache_bytes: int = 512 * MB
+    readahead_bytes: int = 128 * KB
+
+    # -- PVFS ------------------------------------------------------------------
+    stripe_size: int = 64 * KB
+    listio_max_accesses: int = 128          # file accesses per list request
+    request_msg_bytes: int = 356            # PVFS request struct size
+    reply_msg_bytes: int = 64
+    # Per-request processing on the I/O daemon: decode, job setup, iovec
+    # construction, accounting.  PVFS 1.x spent tens of microseconds per
+    # request here; this cost (paid once per wire request) is the main
+    # reason batching 128 accesses into one list request wins so big.
+    server_request_cpu_us: float = 40.0
+    fast_rdma_threshold: int = 64 * KB      # Fast RDMA eager path (Section 4.3)
+    fast_rdma_buffers: int = 16
+
+    # -- ADS -----------------------------------------------------------------
+    ads_max_sieve_bytes: int = 4 * MB       # temp buffer cap per sieve
+
+    # -- derived helpers -------------------------------------------------------
+    def pages(self, nbytes: int) -> int:
+        """Number of pages spanned by ``nbytes`` (ceiling)."""
+        return -(-nbytes // self.page_size)
+
+    def reg_cost_us(self, nbytes: int) -> float:
+        """Registration cost model T = a*p + b of Section 4.3."""
+        return self.reg_per_page_us * self.pages(nbytes) + self.reg_per_op_us
+
+    def dereg_cost_us(self, nbytes: int) -> float:
+        return self.dereg_per_page_us * self.pages(nbytes) + self.dereg_per_op_us
+
+    def memcpy_us(self, nbytes: int) -> float:
+        return nbytes / self.memcpy_bw
+
+    def vm_query_us(self, nholes: int, via_proc: bool = False) -> float:
+        """Cost of asking the OS for allocation boundaries (Section 4.3)."""
+        base = self.vm_query_proc_us if via_proc else self.vm_query_syscall_us
+        scale = max(1.0, nholes / self.vm_query_holes_unit)
+        return base * scale
+
+
+def paper_testbed() -> Testbed:
+    """The constants of the paper's 8-node InfiniBand cluster."""
+    return Testbed()
+
+
+def fast_disk_testbed(factor: float = 10.0) -> Testbed:
+    """A testbed with ``factor``-times faster disks.
+
+    Section 6.4 observes that "a faster file system leads to a larger
+    impact from memory registration and deregistration"; this preset
+    supports that ablation.
+    """
+    base = Testbed()
+    return replace(
+        base,
+        disk_read_bw=base.disk_read_bw * factor,
+        disk_write_bw=base.disk_write_bw * factor,
+        disk_seek_us=base.disk_seek_us / factor,
+    )

@@ -1,0 +1,22 @@
+"""The paper's core contributions.
+
+- :mod:`repro.core.listio` — the list-I/O request abstraction
+  (Thakur et al.'s interface as implemented by PVFS, Section 3.1).
+- :mod:`repro.core.ogr` — Optimistic Group Registration (Section 4.2/4.3).
+- :mod:`repro.core.ads` — Active Data Sieving with its server-side cost
+  model (Section 5).
+"""
+
+from repro.core.listio import ListIORequest
+from repro.core.ogr import GroupRegistrar, RegistrationOutcome, plan_groups
+from repro.core.ads import AdsCostModel, SievePlan, plan_sieve
+
+__all__ = [
+    "AdsCostModel",
+    "GroupRegistrar",
+    "ListIORequest",
+    "RegistrationOutcome",
+    "SievePlan",
+    "plan_groups",
+    "plan_sieve",
+]

@@ -1,0 +1,169 @@
+"""List-I/O requests: noncontiguity in memory *and* in the file.
+
+This is the interface of Thakur, Gropp and Lusk as adopted by PVFS
+(Section 3.1 of the paper)::
+
+    pvfs_read_list(fd, mem_list_count, mem_offsets[], mem_lengths[],
+                       file_list_count, file_offsets[], file_lengths[])
+
+A request pairs a list of client memory segments with a list of file
+regions.  The two lists may have different shapes but must describe the
+same number of bytes; data maps between them in order (memory order is
+the serialization order of the file regions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.mem.segments import (
+    Segment,
+    segments_from_lists,
+    total_bytes,
+    validate_segments,
+)
+
+__all__ = ["ListIORequest"]
+
+
+@dataclass(frozen=True)
+class ListIORequest:
+    """One noncontiguous access: memory segments <-> file segments."""
+
+    mem_segments: Tuple[Segment, ...]
+    file_segments: Tuple[Segment, ...]
+
+    def __post_init__(self) -> None:
+        validate_segments(self.mem_segments)
+        validate_segments(self.file_segments)
+        mem_total = total_bytes(self.mem_segments)
+        file_total = total_bytes(self.file_segments)
+        if mem_total != file_total:
+            raise ValueError(
+                f"memory describes {mem_total} bytes but file describes "
+                f"{file_total} bytes"
+            )
+        if not self.mem_segments:
+            raise ValueError("empty list-I/O request")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_lists(
+        cls,
+        mem_offsets: Sequence[int],
+        mem_lengths: Sequence[int],
+        file_offsets: Sequence[int],
+        file_lengths: Sequence[int],
+    ) -> "ListIORequest":
+        """Build from the four parallel arrays of the C interface."""
+        return cls(
+            tuple(segments_from_lists(mem_offsets, mem_lengths)),
+            tuple(segments_from_lists(file_offsets, file_lengths)),
+        )
+
+    @classmethod
+    def contiguous(cls, mem_addr: int, file_offset: int, length: int) -> "ListIORequest":
+        """The degenerate single-piece case (ordinary read/write)."""
+        return cls(
+            (Segment(mem_addr, length),),
+            (Segment(file_offset, length),),
+        )
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return total_bytes(self.mem_segments)
+
+    @property
+    def mem_count(self) -> int:
+        return len(self.mem_segments)
+
+    @property
+    def file_count(self) -> int:
+        return len(self.file_segments)
+
+    @property
+    def is_contiguous_in_file(self) -> bool:
+        return len(self.file_segments) == 1
+
+    @property
+    def is_contiguous_in_memory(self) -> bool:
+        return len(self.mem_segments) == 1
+
+    # -- transformations ---------------------------------------------------------
+
+    def mem_pieces_for_file_ranges(self) -> Iterator[Tuple[Segment, Segment]]:
+        """Pair up memory and file bytes: yields (mem_piece, file_piece).
+
+        Walks both segment lists in order, splitting whichever side has
+        the longer current piece, so each yielded pair is contiguous on
+        both sides.  This is the unit the Multiple Message scheme (and a
+        naive list-I/O implementation) transfers per operation.
+        """
+        mi = fi = 0
+        m_off = f_off = 0
+        while mi < len(self.mem_segments) and fi < len(self.file_segments):
+            m = self.mem_segments[mi]
+            f = self.file_segments[fi]
+            n = min(m.length - m_off, f.length - f_off)
+            yield (Segment(m.addr + m_off, n), Segment(f.addr + f_off, n))
+            m_off += n
+            f_off += n
+            if m_off == m.length:
+                mi += 1
+                m_off = 0
+            if f_off == f.length:
+                fi += 1
+                f_off = 0
+
+    def split_file_batches(self, max_accesses: int) -> List["ListIORequest"]:
+        """Split into requests of at most ``max_accesses`` file regions.
+
+        PVFS caps the number of file accesses per wire request (128 by
+        default, Section 6.6); larger requests go out as several
+        request/reply rounds.
+        """
+        if max_accesses <= 0:
+            raise ValueError("max_accesses must be positive")
+        if self.file_count <= max_accesses:
+            return [self]
+        out: List[ListIORequest] = []
+        pairs = list(self.mem_pieces_for_file_ranges())
+        # Walk pairs, cutting whenever a batch would exceed max file pieces.
+        batch_mem: List[Segment] = []
+        batch_file: List[Segment] = []
+        file_seen = 0
+        last_file_end = None
+        for mem_piece, file_piece in pairs:
+            starts_new_file_piece = last_file_end != file_piece.addr
+            if starts_new_file_piece and file_seen == max_accesses:
+                out.append(_build(batch_mem, batch_file))
+                batch_mem, batch_file, file_seen = [], [], 0
+                starts_new_file_piece = True
+            if starts_new_file_piece:
+                file_seen += 1
+            batch_mem.append(mem_piece)
+            batch_file.append(file_piece)
+            last_file_end = file_piece.end
+        if batch_mem:
+            out.append(_build(batch_mem, batch_file))
+        return out
+
+
+def _merge_adjacent(pieces: List[Segment]) -> Tuple[Segment, ...]:
+    """Merge only *adjacent-in-order* touching pieces (keeps ordering)."""
+    merged: List[Segment] = []
+    for p in pieces:
+        if merged and merged[-1].end == p.addr:
+            last = merged[-1]
+            merged[-1] = Segment(last.addr, last.length + p.length)
+        else:
+            merged.append(p)
+    return tuple(merged)
+
+
+def _build(mem: List[Segment], file: List[Segment]) -> ListIORequest:
+    return ListIORequest(_merge_adjacent(mem), _merge_adjacent(file))

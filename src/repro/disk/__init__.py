@@ -1,0 +1,33 @@
+"""I/O-node local disk and file system substrate.
+
+Models the ext3-on-ATA stack of the paper's I/O nodes (Table 3) with:
+
+- a size-dependent raw-disk bandwidth curve ``B_r(s)`` / ``B_w(s)``
+  (small accesses cannot reach streaming rate — the first of the three
+  performance factors in Section 3.3),
+- per-syscall overheads ``O_r`` / ``O_w`` / ``O_seek`` (the second
+  factor: "the cost of making many read/write system calls ... is
+  extremely high"),
+- head-position-aware seek charging (the third factor: "minimizing file
+  seeks"),
+- a page cache with LRU eviction and sequential read-ahead that
+  reproduces the cached-vs-uncached split of Table 3 (write 303 vs 25
+  MB/s, read 1391 vs 20 MB/s), plus ``drop_caches`` and a disable switch
+  for the paper's "eliminate file cache effects" experiment set, and
+- byte-range file locks (``O_lock``/``O_unlock``) used by Active Data
+  Sieving's read-modify-write.
+
+Files store real bytes; timing is simulated, data movement is not.
+"""
+
+from repro.disk.costmodel import DiskCostModel
+from repro.disk.localfile import FileLockError, LocalFile, LocalFileSystem
+from repro.disk.pagecache import PageCache
+
+__all__ = [
+    "DiskCostModel",
+    "FileLockError",
+    "LocalFile",
+    "LocalFileSystem",
+    "PageCache",
+]

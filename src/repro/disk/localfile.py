@@ -1,0 +1,284 @@
+"""Local files on an I/O node: real bytes, simulated time.
+
+Semantics
+---------
+- Files are sparse: ``pwrite`` at any offset grows the file; ``pread``
+  beyond end-of-file returns zeros (PVFS I/O daemons create stripe files
+  and write at arbitrary stripe offsets, so this is the behaviour the
+  upper layers rely on).
+- Every call charges simulated time from :class:`DiskCostModel`:
+  syscall overhead, seek when the disk head is not already positioned,
+  and data time at cache or raw-disk bandwidth depending on residency.
+- Sequential uncached reads are charged at the read-ahead-window rate
+  rather than ``B_r(s)`` of the small request — the kernel's read-ahead
+  is what makes client-side data sieving competitive, and the ADS
+  comparison would be unfairly biased without it.
+- ``pwrite`` is write-back: time is cache-speed, pages become dirty, and
+  ``fsync`` (or dirty-page eviction) pays the raw-disk cost.  Disabling
+  the cache (``cache_enabled=False``) turns both paths into write-through
+  / read-through, which is the paper's "without cache" configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.calibration import Testbed
+from repro.disk.costmodel import DiskCostModel
+from repro.disk.pagecache import PageCache
+from repro.mem.segments import Segment, coalesce
+from repro.sim.engine import Simulator
+from repro.sim.resources import Lock
+from repro.sim.stats import StatRegistry
+
+__all__ = ["FileLockError", "LocalFile", "LocalFileSystem"]
+
+
+class FileLockError(RuntimeError):
+    """Lock protocol misuse (unlock without lock, etc.)."""
+
+
+class LocalFile:
+    """One file: backing bytes plus cached-page and lock state."""
+
+    def __init__(self, fs: "LocalFileSystem", file_id: int, name: str):
+        self.fs = fs
+        self.file_id = file_id
+        self.name = name
+        self.data = bytearray()
+        self._lock = Lock(fs.sim, name=f"{name}.lock")
+
+    # -- metadata ----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def _ensure_size(self, end: int) -> None:
+        if end > len(self.data):
+            self.data.extend(bytes(end - len(self.data)))
+
+    # -- I/O (generator-coroutines, run inside simulated processes) --------
+
+    def pread(self, offset: int, length: int) -> Generator:
+        """Read ``length`` bytes at ``offset``; returns the bytes."""
+        if offset < 0 or length < 0:
+            raise ValueError("negative offset/length")
+        fs = self.fs
+        fs.stats.add("disk.read.calls", length)
+        if length == 0:
+            yield fs.sim.timeout(fs.cost.seek_us())
+            return b""
+        cost = fs._read_cost(self, offset, length)
+        yield fs.sim.timeout(cost)
+        fs._mark_read(self, offset, length)
+        end = min(offset + length, len(self.data))
+        chunk = bytes(self.data[offset:end])
+        if len(chunk) < length:  # sparse tail reads back as zeros
+            chunk += bytes(length - len(chunk))
+        return chunk
+
+    def pwrite(self, offset: int, data: bytes) -> Generator:
+        """Write ``data`` at ``offset`` (write-back); returns bytes written."""
+        if offset < 0:
+            raise ValueError("negative offset")
+        fs = self.fs
+        length = len(data)
+        fs.stats.add("disk.write.calls", length)
+        if length == 0:
+            yield fs.sim.timeout(fs.cost.seek_us())
+            return 0
+        cost, evicted = fs._write_cost(self, offset, length)
+        yield fs.sim.timeout(cost)
+        self._ensure_size(offset + length)
+        self.data[offset : offset + length] = data
+        if evicted:
+            fs.cache.clean_pages(evicted)
+        return length
+
+    def fsync(self) -> Generator:
+        """Flush this file's dirty pages to disk; returns bytes flushed."""
+        fs = self.fs
+        fs.stats.add("disk.fsync.calls")
+        dirty = fs.cache.dirty_pages(self.file_id)
+        if not dirty:
+            yield fs.sim.timeout(fs.testbed.syscall_write_us)
+            return 0
+        page = fs.testbed.page_size
+        runs = coalesce([Segment(pg * page, page) for pg in dirty])
+        total = 0
+        cost = 0.0
+        for run in runs:
+            cost += fs._disk_write_run_cost(self, run.addr, run.length)
+            total += run.length
+        yield fs.sim.timeout(cost)
+        fs.cache.clean_pages([(self.file_id, pg) for pg in dirty])
+        return total
+
+    # -- locking (ADS read-modify-write protection) --------------------------
+
+    def lock(self) -> Generator:
+        """Acquire the file lock, charging ``O_lock``."""
+        yield self._lock.request()
+        yield self.fs.sim.timeout(self.fs.cost.lock_us())
+        self.fs.stats.add("disk.lock.calls")
+
+    def unlock(self) -> Generator:
+        if not self._lock.locked:
+            raise FileLockError(f"unlock of unlocked file {self.name!r}")
+        yield self.fs.sim.timeout(self.fs.cost.unlock_us())
+        self._lock.release()
+        self.fs.stats.add("disk.unlock.calls")
+
+
+class LocalFileSystem:
+    """All local files of one I/O node plus the shared cache and disk head."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        testbed: Testbed,
+        stats: Optional[StatRegistry] = None,
+        name: str = "",
+        cache_enabled: bool = True,
+    ):
+        self.sim = sim
+        self.testbed = testbed
+        self.stats = stats if stats is not None else StatRegistry()
+        self.name = name
+        self.cost = DiskCostModel(testbed)
+        self.cache = PageCache(testbed, self.stats, enabled=cache_enabled)
+        self._files: Dict[str, LocalFile] = {}
+        self._next_id = 0
+        # Disk head position: (file_id, byte offset) after the last raw access.
+        self._head: Optional[Tuple[int, int]] = None
+
+    # -- namespace ------------------------------------------------------------
+
+    def open(self, name: str) -> LocalFile:
+        """Open (creating if needed) a file by name."""
+        f = self._files.get(name)
+        if f is None:
+            f = LocalFile(self, self._next_id, name)
+            self._next_id += 1
+            self._files[name] = f
+        return f
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def unlink(self, name: str) -> None:
+        if name not in self._files:
+            raise FileNotFoundError(name)
+        f = self._files.pop(name)
+        self.cache.drop(f.file_id)
+
+    def files(self) -> List[str]:
+        return sorted(self._files)
+
+    def drop_caches(self) -> int:
+        """Drop all residency info (the "without cache" reset)."""
+        return self.cache.drop()
+
+    def sync_all(self) -> Generator:
+        """fsync every file (benchmark epilogue)."""
+        total = 0
+        for f in list(self._files.values()):
+            total += yield from f.fsync()
+        return total
+
+    # -- cost computation -------------------------------------------------------
+
+    def _seek_needed(self, file_id: int, offset: int) -> bool:
+        return self._head != (file_id, offset)
+
+    def _charge_seek(self, file_id: int, offset: int) -> float:
+        """Raw-disk seek cost if the head must move.
+
+        Short strides (same file, within ``seek_near_bytes``) pay the
+        track-to-track cost; anything else pays a full average seek.
+        Noncontiguous accesses inside one stripe file are short strides,
+        which is what makes servicing them separately merely *bad* rather
+        than hopeless — the regime where the ADS decision is interesting.
+        """
+        if not self._seek_needed(file_id, offset):
+            return 0.0
+        self.stats.add("disk.seek.calls")
+        t = self.testbed
+        if self._head is not None and self._head[0] == file_id:
+            distance = abs(offset - self._head[1])
+            if distance <= t.seek_near_bytes:
+                # Rotational pass-over: skipping bytes on the platter
+                # costs about their transfer time, capped by a real seek.
+                passover = distance / t.disk_read_bw
+                return min(t.disk_short_seek_us, max(t.disk_stride_floor_us, passover))
+        return t.disk_seek_us
+
+    def _read_cost(self, f: LocalFile, offset: int, length: int) -> float:
+        """Time for a pread, accounting residency and sequentiality."""
+        t = self.testbed
+        cost = t.syscall_read_us
+        # Bytes beyond EOF have no disk blocks: the kernel zero-fills at
+        # memory speed (matters for sieve reads over sparse stripe files).
+        in_file = max(0, min(f.size - offset, length))
+        beyond = length - in_file
+        if beyond:
+            cost += beyond / t.cache_read_bw
+        if in_file == 0:
+            return cost
+        length = in_file
+        hit_pages, miss_pages = self.cache.resident_split(f.file_id, offset, length)
+        if miss_pages == 0 and self.cache.enabled:
+            self.stats.add("disk.cache.read_hits", length)
+            return cost + length / t.cache_read_bw
+        self.stats.add("disk.cache.read_misses", length)
+        # Mixed or fully-missing range: resident fraction at cache speed,
+        # the rest from the platter.
+        total_pages = hit_pages + miss_pages
+        miss_bytes = length * miss_pages // total_pages
+        hit_bytes = length - miss_bytes
+        cost += hit_bytes / t.cache_read_bw
+        sequential = not self._seek_needed(f.file_id, offset)
+        if not sequential:
+            cost += self._charge_seek(f.file_id, offset)
+        # Sequential streams run at the read-ahead-window rate; random
+        # small reads pay B_r of their own size.
+        rate_size = max(length, t.readahead_bytes) if sequential else length
+        cost += miss_bytes / self.cost.read_bw(rate_size)
+        self._head = (f.file_id, offset + length)
+        return cost
+
+    def _mark_read(self, f: LocalFile, offset: int, length: int) -> None:
+        evicted = self.cache.touch(f.file_id, offset, length, dirty=False)
+        # Evicting dirty pages from a read is rare; fold write-back into
+        # the *next* fsync rather than this op (the kernel does it async).
+        if evicted:
+            self.cache.clean_pages(evicted)
+            self.stats.add("disk.cache.async_writeback", len(evicted))
+
+    def _write_cost(
+        self, f: LocalFile, offset: int, length: int
+    ) -> Tuple[float, List[Tuple[int, int]]]:
+        """(time, dirty pages evicted) for a pwrite."""
+        t = self.testbed
+        cost = t.syscall_write_us
+        if self.cache.enabled:
+            cost += length / t.cache_write_bw
+            evicted = self.cache.touch(f.file_id, offset, length, dirty=True)
+            for (fid, pg) in evicted:
+                # Synchronous write-back of a dirty victim page.
+                cost += self._disk_write_run_cost_by_id(fid, pg * t.page_size, t.page_size)
+            return cost, evicted
+        cost += self._charge_seek(f.file_id, offset)
+        cost += length / self.cost.write_bw(length)
+        self._head = (f.file_id, offset + length)
+        return cost, []
+
+    def _disk_write_run_cost(self, f: LocalFile, offset: int, length: int) -> float:
+        return self._disk_write_run_cost_by_id(f.file_id, offset, length)
+
+    def _disk_write_run_cost_by_id(self, file_id: int, offset: int, length: int) -> float:
+        cost = self._charge_seek(file_id, offset)
+        cost += length / self.cost.write_bw(length)
+        self._head = (file_id, offset + length)
+        self.stats.add("disk.flush.bytes", length)
+        return cost

@@ -1,0 +1,143 @@
+"""Page-cache residency tracking for one I/O node.
+
+File *contents* always live in the file's backing bytes (correctness is
+independent of caching); the cache tracks which pages are **resident**
+and which are **dirty**, because only the *time* of an access depends on
+residency.  LRU eviction respects a byte budget; evicting a dirty page
+costs a write-back, which the evicting operation is charged for.
+
+Sequential read-ahead: an uncached read additionally marks the following
+``Testbed.readahead_bytes`` as resident (charged at streaming bandwidth),
+the behaviour that makes ROMIO-style data sieving attractive on real
+kernels and which the ADS comparison must therefore include.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Tuple
+
+from repro.calibration import Testbed
+from repro.sim.stats import StatRegistry
+
+__all__ = ["PageCache"]
+
+_PageKey = Tuple[int, int]  # (file_id, page_number)
+
+
+class PageCache:
+    """LRU page cache shared by all files of one local file system."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        stats: StatRegistry,
+        capacity_bytes: int | None = None,
+        enabled: bool = True,
+    ):
+        self.testbed = testbed
+        self.stats = stats
+        self.capacity_bytes = (
+            capacity_bytes if capacity_bytes is not None else testbed.page_cache_bytes
+        )
+        self.enabled = enabled
+        self.page_size = testbed.page_size
+        # page key -> dirty flag; OrderedDict gives LRU ordering.
+        self._pages: "OrderedDict[_PageKey, bool]" = OrderedDict()
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self._pages) * self.page_size
+
+    def page_range(self, offset: int, length: int) -> range:
+        first = offset // self.page_size
+        last = (offset + length - 1) // self.page_size
+        return range(first, last + 1)
+
+    # -- queries ------------------------------------------------------------
+
+    def resident_split(self, file_id: int, offset: int, length: int) -> Tuple[int, int]:
+        """(resident_pages, missing_pages) for the byte range."""
+        if length <= 0:
+            return 0, 0
+        pages = self.page_range(offset, length)
+        if not self.enabled:
+            return 0, len(pages)
+        hit = miss = 0
+        for pg in pages:
+            if (file_id, pg) in self._pages:
+                hit += 1
+            else:
+                miss += 1
+        return hit, miss
+
+    def is_fully_resident(self, file_id: int, offset: int, length: int) -> bool:
+        hit, miss = self.resident_split(file_id, offset, length)
+        return miss == 0 and self.enabled
+
+    # -- mutations -------------------------------------------------------------
+
+    def touch(
+        self, file_id: int, offset: int, length: int, dirty: bool
+    ) -> List[_PageKey]:
+        """Mark a byte range resident (optionally dirty); returns evictions.
+
+        Each returned eviction is a page that was dirty and had to be
+        written back; the caller charges the write-back time.
+        """
+        if not self.enabled or length <= 0:
+            return []
+        evicted_dirty: List[_PageKey] = []
+        for pg in self.page_range(offset, length):
+            key = (file_id, pg)
+            was_dirty = self._pages.pop(key, None)
+            new_dirty = dirty or bool(was_dirty)
+            self._pages[key] = new_dirty
+        max_pages = self.capacity_bytes // self.page_size
+        while len(self._pages) > max_pages:
+            key, was_dirty = self._pages.popitem(last=False)
+            self.stats.add("disk.cache.evictions")
+            if was_dirty:
+                evicted_dirty.append(key)
+        return evicted_dirty
+
+    def readahead_range(self, file_id: int, offset: int, length: int, file_size: int):
+        """Byte range pulled in by read-ahead after reading [offset, +length)."""
+        start = offset + length
+        end = min(start + self.testbed.readahead_bytes, file_size)
+        if not self.enabled or end <= start:
+            return None
+        return (start, end - start)
+
+    def clean_pages(self, keys: Iterable[_PageKey]) -> None:
+        """Mark pages clean after a write-back/fsync."""
+        for key in keys:
+            if key in self._pages:
+                self._pages[key] = False
+
+    def dirty_pages(self, file_id: int) -> List[int]:
+        """Sorted dirty page numbers of one file (fsync's work list)."""
+        return sorted(
+            pg for (fid, pg), dirty in self._pages.items() if fid == file_id and dirty
+        )
+
+    def drop(self, file_id: int | None = None) -> int:
+        """Drop clean+dirty residency (``echo 3 > drop_caches``); returns pages dropped.
+
+        Dirty data is *not* lost — contents live in the file bytes — but
+        experiments that drop caches call fsync first, as the real
+        benchmark scripts do.
+        """
+        if file_id is None:
+            n = len(self._pages)
+            self._pages.clear()
+            return n
+        keys = [k for k in self._pages if k[0] == file_id]
+        for k in keys:
+            del self._pages[k]
+        return len(keys)

@@ -1,0 +1,45 @@
+"""Simulated InfiniBand verbs layer.
+
+Models the pieces of the InfiniBand architecture the paper's design
+decisions hinge on (Sections 2.2, 4.1, 4.2):
+
+- **Memory registration** (:mod:`repro.ib.registration`): buffers must be
+  registered before any transfer; cost follows the paper's ``T = a*p + b``
+  model; the HCA translation table is finite, so excess registrations
+  cause eviction ("registration thrashing").
+- **Pin-down cache** (:mod:`repro.ib.pin_cache`): Tezuka-style LRU cache
+  of registrations so repeated use of the same buffer costs nothing —
+  Table 6's "reg cache hit" row.
+- **Queue pairs** (:mod:`repro.ib.qp`): channel send/recv plus RDMA Write
+  and RDMA Read, each accepting gather/scatter lists of up to 64 SGEs per
+  work request.  RDMA moves real bytes between the two nodes' address
+  spaces and charges simulated time from the network model.
+- **Network model** (:mod:`repro.ib.netmodel`): time formulas calibrated
+  to the paper's Table 2 (827 MB/s, 6.0 us write; 816 MB/s, 12.4 us read).
+- **Fast RDMA** (:mod:`repro.ib.fast_rdma`): the pre-registered eager
+  buffer path the authors' PVFS uses for transfers <= 64 kB.
+"""
+
+from repro.ib.hca import HCA, Node
+from repro.ib.netmodel import NetworkModel
+from repro.ib.pin_cache import PinDownCache
+from repro.ib.registration import (
+    MemoryRegion,
+    RegistrationError,
+    RegistrationTable,
+)
+from repro.ib.qp import QueuePair, connect
+from repro.ib.fast_rdma import FastRdmaPool
+
+__all__ = [
+    "HCA",
+    "FastRdmaPool",
+    "MemoryRegion",
+    "NetworkModel",
+    "Node",
+    "PinDownCache",
+    "QueuePair",
+    "RegistrationError",
+    "RegistrationTable",
+    "connect",
+]

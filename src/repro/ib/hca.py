@@ -1,0 +1,85 @@
+"""Host Channel Adapter and simulated cluster node.
+
+A :class:`Node` bundles what one machine in the cluster owns: a virtual
+address space (:class:`repro.mem.AddressSpace`) and an :class:`HCA`.
+The HCA owns the registration table, the pin-down cache, the network
+cost model, and a capacity-1 send engine that serializes outbound DMA —
+concurrent transfers from one node queue behind each other, which is
+what makes the aggregate-bandwidth experiments (4 clients, 4 servers)
+meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.calibration import Testbed
+from repro.ib.netmodel import NetworkModel
+from repro.ib.pin_cache import PinDownCache
+from repro.ib.registration import RegistrationTable
+from repro.mem.address_space import AddressSpace
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.sim.stats import StatRegistry
+
+__all__ = ["HCA", "Node"]
+
+
+class HCA:
+    """One adapter: registration state + send engine + cost model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        testbed: Testbed,
+        name: str = "",
+        stats: Optional[StatRegistry] = None,
+        enforce_registration: bool = True,
+    ):
+        self.sim = sim
+        self.testbed = testbed
+        self.name = name
+        self.stats = stats if stats is not None else StatRegistry()
+        self.model = NetworkModel(testbed)
+        self.table = RegistrationTable(testbed, stats=self.stats, name=name)
+        self.pin_cache = PinDownCache(self.table)
+        self.send_engine = Resource(sim, capacity=1, name=f"{name}.send")
+        self.enforce_registration = enforce_registration
+
+    def covers(self, addr: int, length: int) -> bool:
+        """Is ``[addr, addr+length)`` inside some registered region?
+
+        Checks the pin-down cache's indexed structure first, then falls
+        back to a scan of directly-registered regions.
+        """
+        if self.pin_cache._find_covering(addr, length) is not None:
+            return True
+        return self.table.covering(addr, length) is not None
+
+
+class Node:
+    """A cluster machine: address space + HCA, addressable by name."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        testbed: Testbed,
+        name: str,
+        stats: Optional[StatRegistry] = None,
+        enforce_registration: bool = True,
+    ):
+        self.sim = sim
+        self.testbed = testbed
+        self.name = name
+        self.stats = stats if stats is not None else StatRegistry()
+        self.space = AddressSpace(page_size=testbed.page_size, name=name)
+        self.hca = HCA(
+            sim,
+            testbed,
+            name=name,
+            stats=self.stats,
+            enforce_registration=enforce_registration,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.name}>"

@@ -1,0 +1,110 @@
+"""Time model for the simulated InfiniBand fabric.
+
+Calibrated to Table 2 of the paper: one-way 4-byte RDMA Write latency
+6.0 us at 827 MB/s, RDMA Read 12.4 us at 816 MB/s, channel send/recv
+(MVAPICH-like) 6.8 us at 822 MB/s.
+
+A data movement of ``n`` bytes split over ``w`` work requests carrying
+``s`` scatter/gather entries in total costs::
+
+    latency + (w - 1) * per_wr + s * per_sge + n / bandwidth
+           + unaligned * penalty
+
+The first work request pays the full one-way latency; subsequent WRs are
+pipelined behind it and only pay the posting/doorbell overhead.  Each SGE
+costs the HCA a descriptor fetch.  Buffers not aligned to the HCA's
+preferred boundary pay a fixed penalty each (Section 4.1 "Buffer
+alignment").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.calibration import Testbed
+from repro.mem.segments import Segment
+
+__all__ = ["NetworkModel"]
+
+_ALIGN = 8  # HCA-preferred buffer alignment in bytes
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Pure cost functions; all state lives in the caller."""
+
+    testbed: Testbed
+
+    # -- helpers -----------------------------------------------------------
+    def work_requests(self, nsegments: int) -> int:
+        """Number of WRs needed for ``nsegments`` SGEs (>=1)."""
+        if nsegments <= 0:
+            raise ValueError(f"need at least one segment, got {nsegments}")
+        return math.ceil(nsegments / self.testbed.sge_per_wr)
+
+    @staticmethod
+    def unaligned_count(segments: Sequence[Segment]) -> int:
+        return sum(1 for s in segments if s.addr % _ALIGN)
+
+    def _transfer_us(
+        self,
+        nbytes: int,
+        nsegments: int,
+        latency: float,
+        bandwidth: float,
+        unaligned: int,
+    ) -> float:
+        if nbytes < 0:
+            raise ValueError("negative byte count")
+        wrs = self.work_requests(max(1, nsegments))
+        t = self.testbed
+        return (
+            latency
+            + (wrs - 1) * t.per_wr_overhead_us
+            + nsegments * t.per_sge_overhead_us
+            + nbytes / bandwidth
+            + unaligned * t.unaligned_penalty_us
+        )
+
+    # -- RDMA --------------------------------------------------------------
+    def rdma_write_us(
+        self, nbytes: int, nsegments: int = 1, unaligned: int = 0
+    ) -> float:
+        """One RDMA Write (optionally gathering ``nsegments`` local pieces)."""
+        return self._transfer_us(
+            nbytes,
+            nsegments,
+            self.testbed.rdma_write_latency_us,
+            self.testbed.rdma_write_bw,
+            unaligned,
+        )
+
+    def rdma_read_us(
+        self, nbytes: int, nsegments: int = 1, unaligned: int = 0
+    ) -> float:
+        """One RDMA Read (optionally scattering into ``nsegments`` pieces)."""
+        return self._transfer_us(
+            nbytes,
+            nsegments,
+            self.testbed.rdma_read_latency_us,
+            self.testbed.rdma_read_bw,
+            unaligned,
+        )
+
+    # -- channel semantics ----------------------------------------------------
+    def send_us(self, nbytes: int) -> float:
+        """One send/recv channel message (request/reply traffic)."""
+        return self._transfer_us(
+            nbytes,
+            1,
+            self.testbed.send_recv_latency_us,
+            self.testbed.send_recv_bw,
+            0,
+        )
+
+    # -- derived figures ---------------------------------------------------------
+    def rdma_write_bandwidth(self, nbytes: int, nsegments: int = 1) -> float:
+        """Achieved bandwidth (bytes/us) for a gather write of this shape."""
+        return nbytes / self.rdma_write_us(nbytes, nsegments)

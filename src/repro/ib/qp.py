@@ -1,0 +1,165 @@
+"""Queue pairs: channel send/recv and RDMA read/write with gather/scatter.
+
+A :class:`QueuePair` is one endpoint of a reliable connection between two
+nodes.  All operations are generator-coroutines to be driven inside a
+simulated process (``yield from qp.rdma_write(...)``); they charge time
+from the network model, hold the initiator's send engine for the duration
+(so one node's concurrent transfers serialize), and move real bytes
+between the two address spaces.
+
+Registration is enforced: RDMA operations raise
+:class:`~repro.ib.registration.RegistrationError` when a local segment or
+the remote window is not covered by a registered region.  This is what
+makes Optimistic Group Registration load-bearing rather than decorative.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence, Tuple
+
+from repro.ib.hca import Node
+from repro.ib.registration import RegistrationError
+from repro.mem.segments import Segment, total_bytes, validate_segments
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Store
+
+__all__ = ["QueuePair", "connect"]
+
+
+class QueuePair:
+    """One directional endpoint; create pairs with :func:`connect`."""
+
+    def __init__(self, sim: Simulator, node: Node, peer_node: Node):
+        self.sim = sim
+        self.node = node
+        self.peer_node = peer_node
+        self.recv_queue = Store(sim, name=f"{node.name}<-{peer_node.name}")
+        self.peer: Optional["QueuePair"] = None  # set by connect()
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_local(self, segments: Sequence[Segment]) -> None:
+        hca = self.node.hca
+        if not hca.enforce_registration:
+            return
+        for s in segments:
+            if not hca.covers(s.addr, s.length):
+                raise RegistrationError(
+                    f"{self.node.name}: local segment [{s.addr:#x}, +{s.length}) "
+                    "is not registered"
+                )
+
+    def _check_remote(self, addr: int, length: int) -> None:
+        hca = self.peer_node.hca
+        if not hca.enforce_registration:
+            return
+        if not hca.covers(addr, length):
+            raise RegistrationError(
+                f"{self.peer_node.name}: remote window [{addr:#x}, +{length}) "
+                "is not registered"
+            )
+
+    def _charge(self, cost_us: float, nbytes: int, op: str) -> Generator:
+        """Hold the send engine for ``cost_us`` and account stats."""
+        engine = self.node.hca.send_engine
+        yield engine.request()
+        try:
+            yield self.sim.timeout(cost_us)
+        finally:
+            engine.release()
+        stats = self.node.stats
+        stats.add(f"ib.{op}.ops", nbytes)
+        stats.counter(f"ib.{op}.us").add(cost_us)
+
+    # -- RDMA write (gather) ----------------------------------------------------
+
+    def rdma_write(
+        self, local_segments: Sequence[Segment], remote_addr: int
+    ) -> Generator:
+        """Gather local segments, deposit contiguously at ``remote_addr``.
+
+        This is the paper's noncontiguous-*write* primitive: many client
+        buffers -> one contiguous server buffer, one (or a few, above 64
+        SGEs) work requests.
+        """
+        segments = list(local_segments)
+        validate_segments(segments)
+        if not segments:
+            raise ValueError("rdma_write needs at least one segment")
+        self._check_local(segments)
+        nbytes = total_bytes(segments)
+        self._check_remote(remote_addr, nbytes)
+
+        model = self.node.hca.model
+        cost = model.rdma_write_us(
+            nbytes,
+            nsegments=len(segments),
+            unaligned=model.unaligned_count(segments),
+        )
+        yield from self._charge(cost, nbytes, "rdma_write")
+
+        data = self.node.space.gather(segments)
+        self.peer_node.space.write(remote_addr, data)
+        return nbytes
+
+    # -- RDMA read (scatter) ---------------------------------------------------------
+
+    def rdma_read(
+        self, remote_addr: int, local_segments: Sequence[Segment]
+    ) -> Generator:
+        """Read a contiguous remote buffer, scatter into local segments.
+
+        The paper's noncontiguous-*read* primitive: one contiguous server
+        buffer -> many client buffers in a single operation.
+        """
+        segments = list(local_segments)
+        validate_segments(segments)
+        if not segments:
+            raise ValueError("rdma_read needs at least one segment")
+        self._check_local(segments)
+        nbytes = total_bytes(segments)
+        self._check_remote(remote_addr, nbytes)
+
+        model = self.node.hca.model
+        cost = model.rdma_read_us(
+            nbytes,
+            nsegments=len(segments),
+            unaligned=model.unaligned_count(segments),
+        )
+        yield from self._charge(cost, nbytes, "rdma_read")
+
+        data = self.peer_node.space.read(remote_addr, nbytes)
+        self.node.space.scatter(segments, data)
+        return nbytes
+
+    # -- channel semantics -------------------------------------------------------------
+
+    def send(self, payload: Any, nbytes: int) -> Generator:
+        """Send a control message (request/reply) to the peer's queue.
+
+        ``payload`` is the Python object delivered; ``nbytes`` is its
+        modeled wire size.  Channel messages do not require registration:
+        the transport copies through pre-registered bounce buffers, as in
+        the authors' PVFS-over-IB transport design.
+        """
+        if nbytes < 0:
+            raise ValueError("negative message size")
+        cost = self.node.hca.model.send_us(nbytes)
+        yield from self._charge(cost, nbytes, "send")
+        if self.peer is None:
+            raise RuntimeError("queue pair is not connected")
+        yield self.peer.recv_queue.put(payload)
+        return nbytes
+
+    def recv(self) -> Event:
+        """Event yielding the next channel message from the peer."""
+        return self.recv_queue.get()
+
+
+def connect(sim: Simulator, a: Node, b: Node) -> Tuple[QueuePair, QueuePair]:
+    """Create a connected pair of endpoints between nodes ``a`` and ``b``."""
+    qa = QueuePair(sim, a, b)
+    qb = QueuePair(sim, b, a)
+    qa.peer = qb
+    qb.peer = qa
+    return qa, qb

@@ -1,0 +1,133 @@
+"""Memory registration: the HCA translation table and its cost model.
+
+Before the HCA may DMA to or from a buffer, the buffer's pages must be
+pinned and their translations loaded into the HCA — *registration*.  The
+paper models the cost as ``T = a*p + b`` (Section 4.3) and measures, on
+the Mellanox InfiniHost testbed:
+
+===============  ==========  =========
+operation        a (us/page)  b (us/op)
+===============  ==========  =========
+registration        0.77        7.42
+deregistration       0.23        1.10
+===============  ==========  =========
+
+Registration *fails* when the region spans pages with no backing
+allocation — the failure OGR optimistically risks.  The translation
+table is finite (``Testbed.max_registrations``); exceeding it raises and
+the pin-down cache layer handles eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Dict, Optional, Sequence
+
+from repro.calibration import Testbed
+from repro.mem.address_space import AddressSpace
+from repro.mem.segments import Segment
+from repro.sim.stats import StatRegistry
+
+__all__ = ["RegistrationError", "MemoryRegion", "RegistrationTable"]
+
+
+class RegistrationError(RuntimeError):
+    """Registration touched unmapped pages or exhausted the HCA table."""
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A registered region; ``lkey`` is the HCA handle."""
+
+    lkey: int
+    addr: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.length
+
+    def covers(self, addr: int, length: int) -> bool:
+        return self.addr <= addr and addr + length <= self.end
+
+
+@dataclass
+class RegistrationTable:
+    """The registrations currently loaded into one HCA.
+
+    ``register``/``deregister`` return the *time cost in microseconds*;
+    the calling simulated process is responsible for yielding a timeout
+    of that duration (keeping this object usable in non-simulated
+    micro-benchmarks too).
+    """
+
+    testbed: Testbed
+    stats: StatRegistry = field(default_factory=StatRegistry)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        self._regions: Dict[int, MemoryRegion] = {}
+        self._keys = count(1)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    @property
+    def registered_bytes(self) -> int:
+        return sum(r.length for r in self._regions.values())
+
+    def register(
+        self, space: AddressSpace, addr: int, length: int
+    ) -> tuple[MemoryRegion, float]:
+        """Pin ``[addr, addr+length)``; returns ``(region, cost_us)``.
+
+        Raises :class:`RegistrationError` if any page of the range has no
+        backing allocation (the OGR "optimistic" failure) or the HCA
+        table is full (registration thrashing territory).
+        """
+        if length <= 0:
+            raise ValueError(f"registration length must be positive, got {length}")
+        if len(self._regions) >= self.testbed.max_registrations:
+            raise RegistrationError(
+                f"HCA {self.name!r} translation table full "
+                f"({self.testbed.max_registrations} regions)"
+            )
+        cost = self.testbed.reg_cost_us(length)
+        self.stats.add("ib.reg.attempts", length)
+        if not space.pages_mapped(addr, length):
+            # The verbs layer discovers the bad page while pinning; the
+            # paper treats the failed attempt as costing a registration.
+            self.stats.add("ib.reg.failures", length)
+            raise RegistrationError(
+                f"registration of [{addr:#x}, +{length}) spans unmapped pages"
+            )
+        region = MemoryRegion(next(self._keys), addr, length)
+        self._regions[region.lkey] = region
+        self.stats.add("ib.reg.ops", length)
+        self.stats.counter("ib.reg.us").add(cost)
+        return region, cost
+
+    def deregister(self, region: MemoryRegion) -> float:
+        """Unpin a region; returns the cost in microseconds."""
+        if region.lkey not in self._regions:
+            raise RegistrationError(f"deregister of unknown region {region}")
+        del self._regions[region.lkey]
+        cost = self.testbed.dereg_cost_us(region.length)
+        self.stats.add("ib.dereg.ops", region.length)
+        self.stats.counter("ib.dereg.us").add(cost)
+        return cost
+
+    def lookup(self, lkey: int) -> Optional[MemoryRegion]:
+        return self._regions.get(lkey)
+
+    def covering(self, addr: int, length: int) -> Optional[MemoryRegion]:
+        """Any registered region fully covering ``[addr, addr+length)``."""
+        for region in self._regions.values():
+            if region.covers(addr, length):
+                return region
+        return None
+
+    def covers_segments(self, segments: Sequence[Segment]) -> bool:
+        """True iff every segment lies inside some registered region."""
+        return all(self.covering(s.addr, s.length) is not None for s in segments)

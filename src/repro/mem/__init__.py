@@ -1,0 +1,39 @@
+"""Client virtual-memory substrate.
+
+The paper's Optimistic Group Registration depends on the *shape* of the
+application's virtual address space: list-I/O buffers may come from one
+big ``malloc`` (common case — rows of a subarray) or from disparate
+allocations separated by unallocated "holes".  Registering a region that
+spans a hole fails, and discovering the true allocation boundaries costs
+an OS query (a custom syscall at ~70 us or ``/proc/<pid>/maps`` at
+~1100 us in the paper).
+
+:class:`AddressSpace` models exactly that: page-granular allocations with
+real backing bytes, deliberate holes, and the two query mechanisms.  All
+data that flows through the simulated cluster originates in and returns
+to an :class:`AddressSpace`, so every transfer scheme is byte-checkable.
+"""
+
+from repro.mem.address_space import AddressSpace, HoleError, OutOfMemoryError
+from repro.mem.segments import (
+    Segment,
+    coalesce,
+    extent,
+    iter_intersections,
+    segments_from_lists,
+    total_bytes,
+    validate_segments,
+)
+
+__all__ = [
+    "AddressSpace",
+    "HoleError",
+    "OutOfMemoryError",
+    "Segment",
+    "coalesce",
+    "extent",
+    "iter_intersections",
+    "segments_from_lists",
+    "total_bytes",
+    "validate_segments",
+]

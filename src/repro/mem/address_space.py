@@ -1,0 +1,269 @@
+"""A simulated process virtual address space with real backing bytes.
+
+Allocation model
+----------------
+A bump allocator hands out virtual addresses starting at ``BASE``.
+``malloc`` reserves a byte range backed by a real ``bytearray``;
+``skip`` advances the allocation pointer *without* mapping anything,
+which is how tests and benchmarks create the unallocated "holes" of
+Section 4.2 (Table 4's "OGR+Q" case builds 1024 buffers with 10 holes).
+
+Mapping is tracked at byte granularity but queried at page granularity,
+mirroring mmap semantics: a page is *mapped* iff some allocation covers
+any byte of it, and registration (in :mod:`repro.ib.registration`)
+requires every page of the region to be mapped.
+
+Query mechanisms (Section 4.3 of the paper):
+
+- :meth:`mapped_runs` — the custom kernel syscall that walks VM
+  structures (~70 us per ~1000 holes).
+- the same data via ``/proc/<pid>/maps`` is just a different *cost*,
+  chosen by the caller via ``Testbed.vm_query_us(via_proc=True)``.
+- :meth:`mincore` — per-page residency bitmap, the portable fallback.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional
+
+from repro.mem.segments import Segment
+
+__all__ = ["AddressSpace", "HoleError", "OutOfMemoryError"]
+
+BASE = 0x1000_0000
+
+
+class HoleError(RuntimeError):
+    """Access or registration touched an unmapped address."""
+
+
+class OutOfMemoryError(RuntimeError):
+    """The address space limit was exhausted."""
+
+
+class _Block:
+    """One allocation: a VA range plus its backing storage."""
+
+    __slots__ = ("addr", "data")
+
+    def __init__(self, addr: int, size: int):
+        self.addr = addr
+        self.data = bytearray(size)
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self.data)
+
+
+class AddressSpace:
+    """Page-granular virtual memory for one simulated process."""
+
+    def __init__(
+        self,
+        page_size: int = 4096,
+        limit: int = 1 << 34,
+        name: str = "",
+    ):
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise ValueError(f"page size must be a positive power of two, got {page_size}")
+        self.page_size = page_size
+        self.limit = limit
+        self.name = name
+        self._brk = BASE
+        # Blocks sorted by address; _starts kept parallel for bisect.
+        self._blocks: List[_Block] = []
+        self._starts: List[int] = []
+
+    # -- allocation --------------------------------------------------------
+
+    def malloc(self, size: int, align: Optional[int] = None) -> int:
+        """Allocate ``size`` mapped bytes; returns the virtual address."""
+        if size <= 0:
+            raise ValueError(f"malloc size must be positive, got {size}")
+        addr = self._brk
+        if align:
+            if align & (align - 1):
+                raise ValueError(f"alignment must be a power of two, got {align}")
+            addr = -(-addr // align) * align
+        if addr + size - BASE > self.limit:
+            raise OutOfMemoryError(
+                f"address space limit {self.limit:#x} exceeded by malloc({size})"
+            )
+        block = _Block(addr, size)
+        idx = bisect.bisect_left(self._starts, addr)
+        self._blocks.insert(idx, block)
+        self._starts.insert(idx, addr)
+        self._brk = addr + size
+        return addr
+
+    def skip(self, size: int) -> None:
+        """Advance the allocator without mapping — creates a hole."""
+        if size <= 0:
+            raise ValueError(f"skip size must be positive, got {size}")
+        self._brk += size
+
+    def free(self, addr: int) -> None:
+        """Unmap the allocation starting exactly at ``addr``."""
+        idx = bisect.bisect_left(self._starts, addr)
+        if idx == len(self._starts) or self._starts[idx] != addr:
+            raise HoleError(f"free({addr:#x}): no allocation starts there")
+        del self._blocks[idx]
+        del self._starts[idx]
+
+    @property
+    def mapped_bytes(self) -> int:
+        return sum(len(b.data) for b in self._blocks)
+
+    # -- lookup --------------------------------------------------------------
+
+    def _block_at(self, addr: int) -> Optional[_Block]:
+        idx = bisect.bisect_right(self._starts, addr) - 1
+        if idx >= 0:
+            block = self._blocks[idx]
+            if block.addr <= addr < block.end:
+                return block
+        return None
+
+    def is_mapped(self, addr: int, length: int = 1) -> bool:
+        """True iff every byte of ``[addr, addr+length)`` is allocated."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        pos = addr
+        end = addr + length
+        while pos < end:
+            block = self._block_at(pos)
+            if block is None:
+                return False
+            pos = block.end
+        return True
+
+    def pages_mapped(self, addr: int, length: int) -> bool:
+        """True iff every *page* of the range has at least one mapped byte.
+
+        This is registration's requirement: the HCA pins whole pages, so a
+        region whose pages are all partially covered registers fine even
+        if some bytes within are unallocated padding.
+        """
+        first = addr // self.page_size
+        last = (addr + length - 1) // self.page_size
+        for pageno in range(first, last + 1):
+            pg_lo = pageno * self.page_size
+            if not self._page_has_mapping(pg_lo):
+                return False
+        return True
+
+    def _page_has_mapping(self, pg_lo: int) -> bool:
+        pg_hi = pg_lo + self.page_size
+        idx = bisect.bisect_right(self._starts, pg_lo) - 1
+        if idx >= 0 and self._blocks[idx].end > pg_lo:
+            return True
+        # Block starting inside the page?
+        nxt = idx + 1
+        return nxt < len(self._blocks) and self._blocks[nxt].addr < pg_hi
+
+    # -- OS query interfaces ---------------------------------------------------
+
+    def mapped_runs(self, lo: int, hi: int) -> List[Segment]:
+        """Allocation runs intersecting ``[lo, hi)``, coalesced.
+
+        This is the information the paper's custom syscall (or
+        ``/proc/<pid>/maps``) returns: the true allocation boundaries OGR
+        needs after an optimistic registration fails.
+        """
+        if hi <= lo:
+            return []
+        runs: List[Segment] = []
+        idx = max(0, bisect.bisect_right(self._starts, lo) - 1)
+        for block in self._blocks[idx:]:
+            if block.addr >= hi:
+                break
+            s = max(block.addr, lo)
+            e = min(block.end, hi)
+            if s < e:
+                if runs and runs[-1].end == s:
+                    prev = runs[-1]
+                    runs[-1] = Segment(prev.addr, e - prev.addr)
+                else:
+                    runs.append(Segment(s, e - s))
+        return runs
+
+    def hole_count(self, lo: int, hi: int) -> int:
+        """Number of unmapped gaps strictly inside ``[lo, hi)``."""
+        runs = self.mapped_runs(lo, hi)
+        if not runs:
+            return 1 if hi > lo else 0
+        holes = len(runs) - 1
+        if runs[0].addr > lo:
+            holes += 1
+        if runs[-1].end < hi:
+            holes += 1
+        return holes
+
+    def mincore(self, addr: int, length: int) -> List[bool]:
+        """Per-page residency bitmap for the range, mmap-style."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        first = addr // self.page_size
+        last = (addr + length - 1) // self.page_size
+        return [
+            self._page_has_mapping(p * self.page_size) for p in range(first, last + 1)
+        ]
+
+    # -- data access -------------------------------------------------------------
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Copy ``data`` into the space; raises :class:`HoleError` on gaps."""
+        view = memoryview(data)
+        pos = addr
+        off = 0
+        while off < len(view):
+            block = self._block_at(pos)
+            if block is None:
+                raise HoleError(f"write touches unmapped address {pos:#x}")
+            n = min(block.end - pos, len(view) - off)
+            start = pos - block.addr
+            block.data[start : start + n] = view[off : off + n]
+            pos += n
+            off += n
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes; raises :class:`HoleError` on gaps."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        out = bytearray(length)
+        pos = addr
+        off = 0
+        while off < length:
+            block = self._block_at(pos)
+            if block is None:
+                raise HoleError(f"read touches unmapped address {pos:#x}")
+            n = min(block.end - pos, length - off)
+            start = pos - block.addr
+            out[off : off + n] = block.data[start : start + n]
+            pos += n
+            off += n
+        return bytes(out)
+
+    def fill(self, addr: int, length: int, byte: int) -> None:
+        """Fill a mapped range with one byte value (test scaffolding)."""
+        self.write(addr, bytes([byte]) * length)
+
+    # -- scatter/gather ------------------------------------------------------------
+
+    def gather(self, segments: Sequence[Segment]) -> bytes:
+        """Concatenate the bytes of ``segments`` in order (the pack copy)."""
+        return b"".join(self.read(s.addr, s.length) for s in segments)
+
+    def scatter(self, segments: Sequence[Segment], data: bytes) -> None:
+        """Distribute ``data`` across ``segments`` in order (the unpack copy)."""
+        need = sum(s.length for s in segments)
+        if need != len(data):
+            raise ValueError(
+                f"scatter size mismatch: segments want {need} bytes, got {len(data)}"
+            )
+        view = memoryview(data)
+        off = 0
+        for s in segments:
+            self.write(s.addr, bytes(view[off : off + s.length]))
+            off += s.length

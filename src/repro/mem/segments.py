@@ -1,0 +1,122 @@
+"""(address, length) segment lists and the operations list I/O needs.
+
+A *segment* is a half-open byte range ``[addr, addr+length)``.  The same
+representation describes memory buffers on the client (``mem_offsets`` /
+``mem_lengths`` of ``pvfs_read_list``) and file regions on the server
+(``file_offsets`` / ``file_lengths``), so these helpers are shared by the
+transfer schemes, OGR, ADS, and the MPI datatype flattener.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, NamedTuple, Sequence, Tuple
+
+__all__ = [
+    "Segment",
+    "validate_segments",
+    "segments_from_lists",
+    "total_bytes",
+    "extent",
+    "coalesce",
+    "iter_intersections",
+]
+
+
+class Segment(NamedTuple):
+    """A contiguous byte range ``[addr, addr + length)``."""
+
+    addr: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.length
+
+    def overlaps(self, other: "Segment") -> bool:
+        return self.addr < other.end and other.addr < self.end
+
+    def contains(self, addr: int) -> bool:
+        return self.addr <= addr < self.end
+
+    def shifted(self, delta: int) -> "Segment":
+        return Segment(self.addr + delta, self.length)
+
+
+def validate_segments(segments: Sequence[Segment], allow_empty: bool = False) -> None:
+    """Reject negative lengths/addresses and (unless allowed) empty pieces.
+
+    List I/O permits zero-length entries at the interface; internal code
+    strips them first, so most call sites validate with the default.
+    """
+    for seg in segments:
+        if seg.addr < 0:
+            raise ValueError(f"negative address in segment {seg}")
+        if seg.length < 0:
+            raise ValueError(f"negative length in segment {seg}")
+        if seg.length == 0 and not allow_empty:
+            raise ValueError(f"zero-length segment {seg} not allowed here")
+
+
+def segments_from_lists(
+    addrs: Sequence[int], lengths: Sequence[int], drop_empty: bool = True
+) -> List[Segment]:
+    """Build a segment list from the paired arrays of the list-I/O API."""
+    if len(addrs) != len(lengths):
+        raise ValueError(
+            f"offset/length arrays differ in length ({len(addrs)} vs {len(lengths)})"
+        )
+    segs = [
+        Segment(int(a), int(n))
+        for a, n in zip(addrs, lengths)
+        if not (drop_empty and n == 0)
+    ]
+    validate_segments(segs)
+    return segs
+
+
+def total_bytes(segments: Iterable[Segment]) -> int:
+    return sum(s.length for s in segments)
+
+
+def extent(segments: Sequence[Segment]) -> Segment:
+    """Smallest single segment covering every input segment."""
+    if not segments:
+        raise ValueError("extent of empty segment list")
+    lo = min(s.addr for s in segments)
+    hi = max(s.end for s in segments)
+    return Segment(lo, hi - lo)
+
+
+def coalesce(segments: Sequence[Segment], sort: bool = True) -> List[Segment]:
+    """Merge touching/overlapping segments into maximal contiguous runs.
+
+    PVFS merges file accesses from one client only when they are actually
+    contiguous (Section 3.1); this is that merge.
+    """
+    if not segments:
+        return []
+    segs = sorted(segments) if sort else list(segments)
+    out = [segs[0]]
+    for seg in segs[1:]:
+        last = out[-1]
+        if seg.addr <= last.end:
+            merged_end = max(last.end, seg.end)
+            out[-1] = Segment(last.addr, merged_end - last.addr)
+        else:
+            out.append(seg)
+    return out
+
+
+def iter_intersections(
+    segments: Sequence[Segment], window: Segment
+) -> Iterator[Tuple[int, Segment]]:
+    """Yield ``(index, clipped_segment)`` for segments intersecting ``window``.
+
+    Used by ADS to locate the wanted pieces inside a sieve buffer and by
+    the striping code to clip file regions to one stripe.
+    """
+    for i, seg in enumerate(segments):
+        lo = max(seg.addr, window.addr)
+        hi = min(seg.end, window.end)
+        if lo < hi:
+            yield i, Segment(lo, hi - lo)

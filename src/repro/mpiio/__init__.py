@@ -1,0 +1,60 @@
+"""MPI-IO / ROMIO layer (Section 2.3 of the paper).
+
+A faithful-in-shape implementation of the pieces the evaluation uses:
+
+- :mod:`repro.mpiio.datatype` — MPI derived datatypes (contiguous,
+  vector, indexed, struct, subarray, resized) with flattening to
+  (offset, length) lists.
+- :mod:`repro.mpiio.fileview` — file views: (displacement, etype,
+  filetype) mapping view-relative byte ranges to absolute file segments.
+- :mod:`repro.mpiio.comm` — a simulated communicator over the compute
+  nodes' InfiniBand connections: barrier, allgather, point-to-point
+  byte exchange (what two-phase collective I/O needs).
+- :mod:`repro.mpiio.romio` — the ADIO-style access methods of the
+  paper's comparison: Multiple I/O, (client) Data Sieving, Collective
+  two-phase I/O, and List I/O with or without Active Data Sieving,
+  selected per file by hints.
+"""
+
+from repro.mpiio.datatype import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    Contiguous,
+    Datatype,
+    Hindexed,
+    Hvector,
+    Indexed,
+    Resized,
+    Struct,
+    Subarray,
+    Vector,
+)
+from repro.mpiio.fileview import FileView
+from repro.mpiio.comm import MpiComm
+from repro.mpiio.hints import Hints, Method
+from repro.mpiio.romio import MPIFile
+
+__all__ = [
+    "BYTE",
+    "CHAR",
+    "DOUBLE",
+    "FLOAT",
+    "INT",
+    "Contiguous",
+    "Datatype",
+    "FileView",
+    "Hindexed",
+    "Hints",
+    "Hvector",
+    "Indexed",
+    "Method",
+    "MPIFile",
+    "MpiComm",
+    "Resized",
+    "Struct",
+    "Subarray",
+    "Vector",
+]

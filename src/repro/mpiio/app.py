@@ -1,0 +1,63 @@
+"""Helpers for running rank-parallel MPI-IO programs on a cluster.
+
+An "MPI program" here is a generator function ``fn(ctx)`` taking an
+:class:`MpiContext` (rank, PVFS client, communicator) — one instance
+runs per compute node, concurrently, inside the discrete-event
+simulation.  :func:`mpi_run` wires the communicator and drives all
+ranks to completion, returning elapsed simulated microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from repro.mpiio.comm import MpiComm
+from repro.mpiio.hints import Hints
+from repro.mpiio.romio import MPIFile
+from repro.pvfs.client import PVFSClient
+from repro.pvfs.cluster import PVFSCluster
+
+__all__ = ["MpiContext", "mpi_run"]
+
+
+@dataclass
+class MpiContext:
+    """What one rank of an MPI-IO program sees."""
+
+    rank: int
+    client: PVFSClient
+    comm: MpiComm
+    cluster: PVFSCluster
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def space(self):
+        return self.client.node.space
+
+    @property
+    def sim(self):
+        return self.client.sim
+
+    def open_mpi(self, path: str, hints: Hints) -> Generator:
+        """Open a PVFS file and wrap it as this rank's MPI-IO handle."""
+        f = yield from self.client.open(path)
+        return MPIFile(self.client, f, hints, comm=self.comm, rank=self.rank)
+
+
+def mpi_run(
+    cluster: PVFSCluster,
+    fn: Callable[[MpiContext], Generator],
+    comm: Optional[MpiComm] = None,
+) -> float:
+    """Run ``fn`` on every rank; returns elapsed simulated microseconds."""
+    if comm is None:
+        comm = MpiComm(cluster.sim, cluster.client_nodes)
+    procs = [
+        fn(MpiContext(rank, cluster.clients[rank], comm, cluster))
+        for rank in range(len(cluster.clients))
+    ]
+    return cluster.run(procs)

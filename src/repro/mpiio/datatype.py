@@ -1,0 +1,339 @@
+"""MPI derived datatypes with flattening.
+
+A datatype describes a layout of typed data within a memory or file
+region: ``size`` bytes of actual data spread over an ``extent``-byte
+span.  :meth:`Datatype.flatten` produces the canonical list of
+(offset, length) segments — relative to the start of one instance —
+with adjacent pieces coalesced, which is exactly the representation
+PVFS list I/O consumes and the representation ROMIO's ADIO layer
+flattens types into internally.
+
+The constructors mirror MPI's: ``MPI_Type_contiguous``, ``_vector`` /
+``_hvector``, ``_indexed`` / ``_hindexed``, ``_create_struct``,
+``_create_subarray`` and ``_create_resized``.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import List, Sequence, Tuple
+
+from repro.mem.segments import Segment
+
+__all__ = [
+    "Datatype",
+    "Primitive",
+    "BYTE",
+    "CHAR",
+    "INT",
+    "FLOAT",
+    "DOUBLE",
+    "Contiguous",
+    "Vector",
+    "Hvector",
+    "Indexed",
+    "Hindexed",
+    "Struct",
+    "Subarray",
+    "Resized",
+]
+
+
+class Datatype:
+    """Base class; subclasses define ``size``, ``extent``, ``_segments``."""
+
+    size: int
+    extent: int
+
+    def _segments(self) -> List[Segment]:
+        raise NotImplementedError
+
+    @cached_property
+    def segments(self) -> Tuple[Segment, ...]:
+        """Flattened (offset, length) pieces of one instance, coalesced."""
+        raw = self._segments()
+        out: List[Segment] = []
+        for seg in raw:
+            if seg.length == 0:
+                continue
+            if out and out[-1].end == seg.addr:
+                prev = out[-1]
+                out[-1] = Segment(prev.addr, prev.length + seg.length)
+            else:
+                out.append(seg)
+        total = sum(s.length for s in out)
+        if total != self.size:
+            raise AssertionError(
+                f"{type(self).__name__}: flatten produced {total} bytes, "
+                f"size says {self.size}"
+            )
+        return tuple(out)
+
+    def flatten(self, count: int = 1, base_offset: int = 0) -> List[Segment]:
+        """Segments of ``count`` consecutive instances at ``base_offset``."""
+        if count < 0:
+            raise ValueError("negative count")
+        if count == 0:
+            return []
+        # Fast path: a dense type tiles into one run (performance-critical
+        # for byte-based Hindexed types with large blocks).
+        if self.extent == self.size and self.is_contiguous:
+            return [Segment(base_offset, count * self.size)]
+        out: List[Segment] = []
+        for i in range(count):
+            start = base_offset + i * self.extent
+            for seg in self.segments:
+                if out and out[-1].end == start + seg.addr:
+                    prev = out[-1]
+                    out[-1] = Segment(prev.addr, prev.length + seg.length)
+                else:
+                    out.append(Segment(start + seg.addr, seg.length))
+        return out
+
+    @property
+    def is_contiguous(self) -> bool:
+        return len(self.segments) == 1 and self.segments[0] == Segment(0, self.size)
+
+    # -- MPI_Pack / MPI_Unpack ---------------------------------------------
+
+    def pack(self, space, addr: int, count: int = 1) -> bytes:
+        """Serialize ``count`` instances at ``addr`` into contiguous bytes.
+
+        The MPI_Pack equivalent over a simulated address space; the
+        caller charges memcpy time (``Testbed.memcpy_us``) if packing
+        inside a timed simulation.
+        """
+        return space.gather(self.flatten(count, addr))
+
+    def unpack(self, space, addr: int, data: bytes, count: int = 1) -> None:
+        """Deserialize contiguous bytes into ``count`` instances at ``addr``."""
+        segs = self.flatten(count, addr)
+        need = count * self.size
+        if len(data) != need:
+            raise ValueError(
+                f"unpack needs exactly {need} bytes for count={count}, "
+                f"got {len(data)}"
+            )
+        space.scatter(segs, data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} size={self.size} extent={self.extent}>"
+
+
+class Primitive(Datatype):
+    """A basic type of ``nbytes`` bytes (MPI_BYTE, MPI_INT, ...)."""
+
+    def __init__(self, nbytes: int, name: str = "prim"):
+        if nbytes <= 0:
+            raise ValueError("primitive size must be positive")
+        self.size = nbytes
+        self.extent = nbytes
+        self.name = name
+
+    def _segments(self) -> List[Segment]:
+        return [Segment(0, self.size)]
+
+
+BYTE = Primitive(1, "MPI_BYTE")
+CHAR = Primitive(1, "MPI_CHAR")
+INT = Primitive(4, "MPI_INT")
+FLOAT = Primitive(4, "MPI_FLOAT")
+DOUBLE = Primitive(8, "MPI_DOUBLE")
+
+
+class Contiguous(Datatype):
+    """``count`` consecutive instances of ``base``."""
+
+    def __init__(self, count: int, base: Datatype):
+        if count < 0:
+            raise ValueError("negative count")
+        self.count = count
+        self.base = base
+        self.size = count * base.size
+        self.extent = count * base.extent
+
+    def _segments(self) -> List[Segment]:
+        return self.base.flatten(self.count)
+
+
+class Hvector(Datatype):
+    """``count`` blocks of ``blocklength`` base items, byte stride."""
+
+    def __init__(self, count: int, blocklength: int, stride_bytes: int, base: Datatype):
+        if count < 0 or blocklength < 0:
+            raise ValueError("negative count/blocklength")
+        self.count = count
+        self.blocklength = blocklength
+        self.stride_bytes = stride_bytes
+        self.base = base
+        self.size = count * blocklength * base.size
+        block_span = blocklength * base.extent
+        if count == 0:
+            self.extent = 0
+        else:
+            self.extent = (count - 1) * stride_bytes + block_span
+
+    def _segments(self) -> List[Segment]:
+        out: List[Segment] = []
+        for i in range(self.count):
+            out += self.base.flatten(self.blocklength, i * self.stride_bytes)
+        return out
+
+
+class Vector(Hvector):
+    """Like :class:`Hvector` but the stride is in base-type extents."""
+
+    def __init__(self, count: int, blocklength: int, stride: int, base: Datatype):
+        super().__init__(count, blocklength, stride * base.extent, base)
+
+
+class Hindexed(Datatype):
+    """Blocks of varying lengths at explicit byte displacements."""
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements_bytes: Sequence[int],
+        base: Datatype,
+    ):
+        if len(blocklengths) != len(displacements_bytes):
+            raise ValueError("blocklengths/displacements length mismatch")
+        self.blocklengths = list(blocklengths)
+        self.displacements = list(displacements_bytes)
+        self.base = base
+        self.size = sum(blocklengths) * base.size
+        if blocklengths:
+            self.extent = max(
+                d + b * base.extent
+                for d, b in zip(self.displacements, self.blocklengths)
+            )
+        else:
+            self.extent = 0
+
+    def _segments(self) -> List[Segment]:
+        out: List[Segment] = []
+        for d, b in sorted(zip(self.displacements, self.blocklengths)):
+            out += self.base.flatten(b, d)
+        return out
+
+
+class Indexed(Hindexed):
+    """Like :class:`Hindexed` but displacements are in base extents."""
+
+    def __init__(
+        self, blocklengths: Sequence[int], displacements: Sequence[int], base: Datatype
+    ):
+        super().__init__(
+            blocklengths, [d * base.extent for d in displacements], base
+        )
+
+
+class Struct(Datatype):
+    """Heterogeneous blocks at byte displacements (MPI_Type_create_struct)."""
+
+    def __init__(
+        self,
+        blocklengths: Sequence[int],
+        displacements_bytes: Sequence[int],
+        types: Sequence[Datatype],
+    ):
+        if not (len(blocklengths) == len(displacements_bytes) == len(types)):
+            raise ValueError("struct field arrays must have equal length")
+        self.blocklengths = list(blocklengths)
+        self.displacements = list(displacements_bytes)
+        self.types = list(types)
+        self.size = sum(b * t.size for b, t in zip(blocklengths, types))
+        self.extent = (
+            max(
+                d + b * t.extent
+                for d, b, t in zip(displacements_bytes, blocklengths, types)
+            )
+            if types
+            else 0
+        )
+
+    def _segments(self) -> List[Segment]:
+        pieces: List[Segment] = []
+        for d, b, t in sorted(
+            zip(self.displacements, self.blocklengths, self.types),
+            key=lambda x: x[0],
+        ):
+            pieces += t.flatten(b, d)
+        return pieces
+
+
+class Subarray(Datatype):
+    """An n-dimensional subarray of an n-dimensional array (C order).
+
+    The workhorse of the paper's workloads: a process's block of a 2-D
+    or 3-D dataset.  ``sizes`` is the full array shape, ``subsizes`` the
+    block shape, ``starts`` the block origin, all in elements of
+    ``base``.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int],
+        subsizes: Sequence[int],
+        starts: Sequence[int],
+        base: Datatype,
+    ):
+        if not (len(sizes) == len(subsizes) == len(starts)):
+            raise ValueError("sizes/subsizes/starts rank mismatch")
+        for n, s, o in zip(sizes, subsizes, starts):
+            if s < 0 or o < 0 or o + s > n:
+                raise ValueError(
+                    f"subarray block [{o}, {o}+{s}) out of bounds for size {n}"
+                )
+        self.sizes = list(sizes)
+        self.subsizes = list(subsizes)
+        self.starts = list(starts)
+        self.base = base
+        nelem = 1
+        for s in subsizes:
+            nelem *= s
+        self.size = nelem * base.size
+        total = 1
+        for n in sizes:
+            total *= n
+        self.extent = total * base.extent
+
+    def _segments(self) -> List[Segment]:
+        # Rows along the last (fastest-varying, C order) dimension are
+        # contiguous; iterate over all index combinations of the outer dims.
+        ext = self.base.extent
+        row_len = self.subsizes[-1]
+        out: List[Segment] = []
+        if row_len == 0 or self.size == 0:
+            return out
+
+        def rec_outer(dim: int, offset_elems: int) -> None:
+            if dim == len(self.sizes) - 1:
+                start = (offset_elems + self.starts[dim]) * ext
+                if self.base.is_contiguous:
+                    out.append(Segment(start, row_len * self.base.size))
+                else:
+                    out.extend(self.base.flatten(row_len, start))
+                return
+            stride = 1
+            for n in self.sizes[dim + 1 :]:
+                stride *= n
+            for i in range(self.subsizes[dim]):
+                rec_outer(dim + 1, offset_elems + (self.starts[dim] + i) * stride)
+
+        rec_outer(0, 0)
+        return out
+
+
+class Resized(Datatype):
+    """Override a type's extent (MPI_Type_create_resized)."""
+
+    def __init__(self, base: Datatype, extent: int, lb: int = 0):
+        if lb != 0:
+            raise NotImplementedError("non-zero lower bound not supported")
+        self.base = base
+        self.size = base.size
+        self.extent = extent
+
+    def _segments(self) -> List[Segment]:
+        return list(self.base.segments)

@@ -1,0 +1,76 @@
+"""MPI file views: mapping view-relative ranges to absolute file offsets.
+
+``MPI_File_set_view(fh, disp, etype, filetype, ...)`` makes the file
+appear to the process as the data bytes selected by tiling ``filetype``
+from byte ``disp`` onward.  :meth:`FileView.map_range` converts a
+contiguous byte range *of visible data* into the absolute (offset,
+length) file segments it occupies — the flattening step ROMIO performs
+before talking to the file system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.mem.segments import Segment
+from repro.mpiio.datatype import BYTE, Datatype
+
+__all__ = ["FileView"]
+
+
+@dataclass(frozen=True)
+class FileView:
+    """A process's view of a file."""
+
+    filetype: Datatype
+    disp: int = 0
+    etype: Datatype = BYTE
+
+    def __post_init__(self) -> None:
+        if self.filetype.size == 0:
+            raise ValueError("filetype selects no data")
+        if self.filetype.size % self.etype.size:
+            raise ValueError("filetype size must be a multiple of etype size")
+
+    @property
+    def bytes_per_tile(self) -> int:
+        return self.filetype.size
+
+    def map_range(self, view_offset: int, length: int) -> List[Segment]:
+        """Absolute file segments for view bytes [view_offset, +length)."""
+        if view_offset < 0 or length < 0:
+            raise ValueError("negative offset/length")
+        out: List[Segment] = []
+        remaining = length
+        tile_data = self.filetype.size
+        tile_span = self.filetype.extent
+        tile_idx, within = divmod(view_offset, tile_data)
+        while remaining > 0:
+            tile_base = self.disp + tile_idx * tile_span
+            consumed = 0  # data bytes seen so far in this tile
+            for seg in self.filetype.segments:
+                if remaining <= 0:
+                    break
+                seg_lo = consumed
+                seg_hi = consumed + seg.length
+                consumed = seg_hi
+                if seg_hi <= within:
+                    continue
+                start_in_seg = max(within - seg_lo, 0)
+                take = min(seg.length - start_in_seg, remaining)
+                abs_off = tile_base + seg.addr + start_in_seg
+                if out and out[-1].end == abs_off:
+                    prev = out[-1]
+                    out[-1] = Segment(prev.addr, prev.length + take)
+                else:
+                    out.append(Segment(abs_off, take))
+                remaining -= take
+                within += take
+            tile_idx += 1
+            within = 0
+        return out
+
+    def contiguous(self) -> bool:
+        """Is the view dense (filetype has no holes)?"""
+        return self.filetype.is_contiguous

@@ -1,0 +1,42 @@
+"""ROMIO hints: how an MPI-IO access is carried out on PVFS.
+
+The paper compares four methods (Section 2.3/6.5), selected in real
+ROMIO via info hints; plus the paper's variant of list I/O with ADS:
+
+- ``Method.MULTIPLE`` — one contiguous PVFS call per piece.
+- ``Method.DATA_SIEVING`` — client-side data sieving (reads only over
+  PVFS; noncontiguous writes degrade to MULTIPLE because PVFS has no
+  client file locks — Section 5.2).
+- ``Method.LIST_IO`` — PVFS list I/O, server ADS disabled.
+- ``Method.LIST_IO_ADS`` — PVFS list I/O with Active Data Sieving.
+- ``Method.COLLECTIVE`` — two-phase collective I/O through aggregators
+  (only meaningful for ``*_all`` calls).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.calibration import MB
+
+__all__ = ["Method", "Hints"]
+
+
+class Method(enum.Enum):
+    MULTIPLE = "multiple"
+    DATA_SIEVING = "data_sieving"
+    LIST_IO = "list_io"
+    LIST_IO_ADS = "list_io_ads"
+    COLLECTIVE = "collective"
+
+
+@dataclass(frozen=True)
+class Hints:
+    """Per-file access configuration (the MPI_Info of a real ROMIO)."""
+
+    method: Method = Method.LIST_IO_ADS
+    ds_buffer_bytes: int = 4 * MB      # ROMIO ind_rd_buffer_size
+    cb_buffer_bytes: int = 4 * MB      # ROMIO cb_buffer_size
+    sync: bool = False                 # fsync on the server per request
+    nocache: bool = False              # server drops caches per request

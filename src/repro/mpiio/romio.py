@@ -1,0 +1,452 @@
+"""The ADIO-style access methods over PVFS.
+
+:class:`MPIFile` is one rank's handle on an MPI-IO file: a PVFS file
+plus a file view, a communicator, and hints selecting the access method.
+``read``/``write`` are independent operations; ``read_all``/``write_all``
+are collective and may use two-phase I/O.
+
+Everything is expressed in *view-relative byte offsets*: the caller
+says "write ``count`` instances of this memory datatype at view offset
+X" and the layer flattens memory and file sides to segment lists, then
+carries the access out per the hinted method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.listio import ListIORequest
+from repro.mem.segments import Segment
+from repro.mpiio.comm import MpiComm
+from repro.mpiio.datatype import BYTE, Datatype
+from repro.mpiio.fileview import FileView
+from repro.mpiio.hints import Hints, Method
+from repro.pvfs.client import PVFSClient, PVFSFile
+
+__all__ = ["MPIFile"]
+
+_PIECE_META_BYTES = 16  # wire size of one (offset, length) descriptor
+
+
+class MPIFile:
+    """One rank's MPI-IO file handle."""
+
+    def __init__(
+        self,
+        client: PVFSClient,
+        pvfs_file: PVFSFile,
+        hints: Hints,
+        comm: Optional[MpiComm] = None,
+        rank: int = 0,
+    ):
+        self.client = client
+        self.pvfs_file = pvfs_file
+        self.hints = hints
+        self.comm = comm
+        self.rank = rank
+        self.view = FileView(filetype=BYTE)
+        # Reusable bounce buffers (lazily allocated, pin-cache friendly).
+        self._ds_buf: Optional[int] = None
+        self._cb_buf: Optional[int] = None
+
+    # -- view -----------------------------------------------------------------
+
+    def set_view(self, view: FileView) -> None:
+        self.view = view
+
+    # -- independent I/O -----------------------------------------------------------
+
+    def write(
+        self, mem_addr: int, mem_type: Datatype, count: int, view_offset: int = 0
+    ) -> Generator:
+        """Independent noncontiguous write; returns bytes written."""
+        mem_segs, file_segs = self._flatten(mem_addr, mem_type, count, view_offset)
+        method = self.hints.method
+        if method == Method.DATA_SIEVING:
+            # PVFS supports no client locks: DS writes degrade to Multiple
+            # I/O, exactly as the paper observes in Figure 6.
+            method = Method.MULTIPLE
+        if method == Method.COLLECTIVE:
+            method = Method.LIST_IO  # independent call: no aggregation
+        return (yield from self._dispatch_write(method, mem_segs, file_segs))
+
+    def read(
+        self, mem_addr: int, mem_type: Datatype, count: int, view_offset: int = 0
+    ) -> Generator:
+        """Independent noncontiguous read; returns bytes read."""
+        mem_segs, file_segs = self._flatten(mem_addr, mem_type, count, view_offset)
+        method = self.hints.method
+        if method == Method.COLLECTIVE:
+            method = Method.LIST_IO
+        if method == Method.DATA_SIEVING:
+            return (yield from self._ds_read(mem_segs, file_segs))
+        return (yield from self._dispatch_read(method, mem_segs, file_segs))
+
+    # -- collective I/O ---------------------------------------------------------------
+
+    def write_all(
+        self, mem_addr: int, mem_type: Datatype, count: int, view_offset: int = 0
+    ) -> Generator:
+        """Collective write: all ranks of the communicator must call."""
+        if self.hints.method != Method.COLLECTIVE or self.comm is None:
+            return (yield from self.write(mem_addr, mem_type, count, view_offset))
+        mem_segs, file_segs = self._flatten(mem_addr, mem_type, count, view_offset)
+        return (yield from self._two_phase_write(mem_segs, file_segs))
+
+    def read_all(
+        self, mem_addr: int, mem_type: Datatype, count: int, view_offset: int = 0
+    ) -> Generator:
+        if self.hints.method != Method.COLLECTIVE or self.comm is None:
+            return (yield from self.read(mem_addr, mem_type, count, view_offset))
+        mem_segs, file_segs = self._flatten(mem_addr, mem_type, count, view_offset)
+        return (yield from self._two_phase_read(mem_segs, file_segs))
+
+    # -- flattening -----------------------------------------------------------------------
+
+    def _flatten(
+        self, mem_addr: int, mem_type: Datatype, count: int, view_offset: int
+    ) -> Tuple[List[Segment], List[Segment]]:
+        mem_segs = mem_type.flatten(count, mem_addr)
+        nbytes = mem_type.size * count
+        file_segs = self.view.map_range(view_offset, nbytes)
+        return mem_segs, file_segs
+
+    # -- method implementations -------------------------------------------------------------
+
+    def _dispatch_write(
+        self, method: Method, mem_segs: List[Segment], file_segs: List[Segment]
+    ) -> Generator:
+        c = self.client
+        f = self.pvfs_file
+        io_kw = dict(sync=self.hints.sync, nocache=self.hints.nocache)
+        if method == Method.MULTIPLE:
+            total = 0
+            req = ListIORequest(tuple(mem_segs), tuple(file_segs))
+            for mem_piece, file_piece in req.mem_pieces_for_file_ranges():
+                total += yield from c.write(
+                    f, mem_piece.addr, file_piece.addr, mem_piece.length, **io_kw
+                )
+            return total
+        use_ads = method == Method.LIST_IO_ADS
+        return (
+            yield from c.write_list(f, mem_segs, file_segs, use_ads=use_ads, **io_kw)
+        )
+
+    def _dispatch_read(
+        self, method: Method, mem_segs: List[Segment], file_segs: List[Segment]
+    ) -> Generator:
+        c = self.client
+        f = self.pvfs_file
+        io_kw = dict(sync=False, nocache=self.hints.nocache)
+        if method == Method.MULTIPLE:
+            total = 0
+            req = ListIORequest(tuple(mem_segs), tuple(file_segs))
+            for mem_piece, file_piece in req.mem_pieces_for_file_ranges():
+                total += yield from c.read(
+                    f, mem_piece.addr, file_piece.addr, mem_piece.length, **io_kw
+                )
+            return total
+        use_ads = method == Method.LIST_IO_ADS
+        return (
+            yield from c.read_list(f, mem_segs, file_segs, use_ads=use_ads, **io_kw)
+        )
+
+    # -- client-side data sieving (reads) ---------------------------------------------------------
+
+    def _ds_buffer(self) -> int:
+        if self._ds_buf is None:
+            self._ds_buf = self.client.node.space.malloc(
+                self.hints.ds_buffer_bytes, align=self.client.testbed.page_size
+            )
+        return self._ds_buf
+
+    def _ds_read(
+        self, mem_segs: List[Segment], file_segs: List[Segment]
+    ) -> Generator:
+        """ROMIO's client data sieving: read the whole extent in chunks.
+
+        The *entire* span between the first and last wanted byte crosses
+        the network — the extra traffic that makes client DS lose to
+        list I/O + server ADS at scale (Figure 7).
+        """
+        c = self.client
+        space = c.node.space
+        buf = self._ds_buffer()
+        cap = self.hints.ds_buffer_bytes
+        lo = min(s.addr for s in file_segs)
+        hi = max(s.end for s in file_segs)
+        # Pair memory pieces with file pieces once, then walk chunks.
+        req = ListIORequest(tuple(mem_segs), tuple(file_segs))
+        pairs = list(req.mem_pieces_for_file_ranges())
+        total = 0
+        chunk_lo = lo
+        while chunk_lo < hi:
+            chunk_len = min(cap, hi - chunk_lo)
+            yield from c.read(
+                f=self.pvfs_file,
+                mem_addr=buf,
+                file_offset=chunk_lo,
+                length=chunk_len,
+                nocache=self.hints.nocache,
+            )
+            # Extract wanted pieces from the sieve buffer (one memcpy).
+            wanted = 0
+            for mem_piece, file_piece in pairs:
+                s = max(file_piece.addr, chunk_lo)
+                e = min(file_piece.end, chunk_lo + chunk_len)
+                if s >= e:
+                    continue
+                take = e - s
+                src = buf + (s - chunk_lo)
+                dst = mem_piece.addr + (s - file_piece.addr)
+                space.write(dst, space.read(src, take))
+                wanted += take
+            if wanted:
+                yield self.client.sim.timeout(self.client.testbed.memcpy_us(wanted))
+            total += wanted
+            chunk_lo += chunk_len
+        return total
+
+    # -- two-phase collective I/O ------------------------------------------------------------------------
+
+    def _cb_buffer(self) -> int:
+        if self._cb_buf is None:
+            self._cb_buf = self.client.node.space.malloc(
+                self.hints.cb_buffer_bytes, align=self.client.testbed.page_size
+            )
+        return self._cb_buf
+
+    def _domains(self, lo: int, hi: int) -> List[Segment]:
+        """Split the aggregate extent into one file domain per rank."""
+        size = self.comm.size
+        span = hi - lo
+        base = span // size
+        rem = span % size
+        out = []
+        pos = lo
+        for r in range(size):
+            n = base + (1 if r < rem else 0)
+            out.append(Segment(pos, n))
+            pos += n
+        return out
+
+    def _pieces_with_data(
+        self, mem_segs: List[Segment], file_segs: List[Segment]
+    ) -> List[Tuple[int, bytes]]:
+        """(absolute file offset, data bytes) pairs of this rank's request."""
+        req = ListIORequest(tuple(mem_segs), tuple(file_segs))
+        space = self.client.node.space
+        return [
+            (file_piece.addr, space.read(mem_piece.addr, mem_piece.length))
+            for mem_piece, file_piece in req.mem_pieces_for_file_ranges()
+        ]
+
+    def _two_phase_write(
+        self, mem_segs: List[Segment], file_segs: List[Segment]
+    ) -> Generator:
+        comm = self.comm
+        rank = self.rank
+        lo = min(s.addr for s in file_segs)
+        hi = max(s.end for s in file_segs)
+        extents = yield from comm.allgather(rank, (lo, hi))
+        glo = min(e[0] for e in extents)
+        ghi = max(e[1] for e in extents)
+        domains = self._domains(glo, ghi)
+
+        # Phase 1: route each piece (with data) to its aggregator(s).
+        # Gathering user data into exchange messages is a real copy.
+        pieces = self._pieces_with_data(mem_segs, file_segs)
+        yield self.client.sim.timeout(
+            self.client.testbed.memcpy_us(sum(len(b) for _, b in pieces))
+        )
+        outgoing: Dict[int, List[Tuple[int, bytes]]] = {r: [] for r in range(comm.size)}
+        for off, data in pieces:
+            pos = off
+            while pos < off + len(data):
+                d = self._domain_of(domains, pos)
+                dom = domains[d]
+                take = min(off + len(data), dom.end) - pos
+                outgoing[d].append((pos, data[pos - off : pos - off + take]))
+                pos += take
+        incoming = yield from comm.exchange(
+            rank,
+            outgoing,
+            nbytes_of=lambda ps: sum(len(b) for _, b in ps)
+            + _PIECE_META_BYTES * len(ps),
+        )
+
+        # Phase 2: aggregate into the collective buffer and write.
+        mine: List[Tuple[int, bytes]] = []
+        for plist in incoming.values():
+            mine.extend(plist)
+        total = yield from self._aggregate_write(domains[rank], mine)
+        yield from comm.barrier(rank)
+        return sum(len(b) for _, b in pieces)
+
+    def _aggregate_write(
+        self, domain: Segment, pieces: List[Tuple[int, bytes]]
+    ) -> Generator:
+        if not pieces:
+            return 0
+        sim = self.client.sim
+        tb = self.client.testbed
+        space = self.client.node.space
+        buf = self._cb_buffer()
+        cap = self.hints.cb_buffer_bytes
+        pieces.sort(key=lambda p: p[0])
+        total = 0
+        win_lo = domain.addr
+        while win_lo < domain.end:
+            win_len = min(cap, domain.end - win_lo)
+            win_hi = win_lo + win_len
+            in_window = [
+                (o, b)
+                for o, b in pieces
+                if o < win_hi and o + len(b) > win_lo
+            ]
+            if not in_window:
+                win_lo = win_hi
+                continue
+            w_first = max(min(o for o, _ in in_window), win_lo)
+            w_last = min(max(o + len(b) for o, b in in_window), win_hi)
+            covered = sum(
+                min(o + len(b), w_last) - max(o, w_first) for o, b in in_window
+            )
+            has_holes = covered < (w_last - w_first)
+            if has_holes:
+                # Read-modify-write of the window span.
+                yield from self.client.read(
+                    self.pvfs_file, buf, w_first, w_last - w_first
+                )
+            assembled = 0
+            for o, b in in_window:
+                s = max(o, w_first)
+                e = min(o + len(b), w_last)
+                space.write(buf + (s - w_first), b[s - o : e - o])
+                assembled += e - s
+            yield sim.timeout(tb.memcpy_us(assembled))
+            yield from self.client.write(
+                self.pvfs_file,
+                buf,
+                w_first,
+                w_last - w_first,
+                sync=self.hints.sync,
+                nocache=self.hints.nocache,
+            )
+            total += assembled
+            win_lo = win_hi
+        return total
+
+    def _two_phase_read(
+        self, mem_segs: List[Segment], file_segs: List[Segment]
+    ) -> Generator:
+        comm = self.comm
+        rank = self.rank
+        sim = self.client.sim
+        tb = self.client.testbed
+        space = self.client.node.space
+        lo = min(s.addr for s in file_segs)
+        hi = max(s.end for s in file_segs)
+        extents = yield from comm.allgather(rank, (lo, hi))
+        glo = min(e[0] for e in extents)
+        ghi = max(e[1] for e in extents)
+        domains = self._domains(glo, ghi)
+
+        # Phase 1: tell each aggregator which ranges we need from it.
+        req = ListIORequest(tuple(mem_segs), tuple(file_segs))
+        pairs = list(req.mem_pieces_for_file_ranges())
+        want: Dict[int, List[Tuple[int, int]]] = {r: [] for r in range(comm.size)}
+        for _, file_piece in pairs:
+            pos = file_piece.addr
+            while pos < file_piece.end:
+                d = self._domain_of(domains, pos)
+                take = min(file_piece.end, domains[d].end) - pos
+                want[d].append((pos, take))
+                pos += take
+        requests = yield from comm.exchange(
+            rank, want, nbytes_of=lambda ps: _PIECE_META_BYTES * max(len(ps), 1)
+        )
+
+        # Phase 2: aggregator reads its domain windows and serves pieces.
+        to_serve: List[Tuple[int, int, int]] = []  # (src_rank, off, length)
+        for src, plist in requests.items():
+            for off, length in plist:
+                to_serve.append((src, off, length))
+        served = yield from self._aggregate_read(domains[rank], to_serve)
+
+        # Phase 3: route data back to the requesters.
+        back: Dict[int, List[Tuple[int, bytes]]] = {r: [] for r in range(comm.size)}
+        for (src, off, _), data in served:
+            back[src].append((off, data))
+        returned = yield from comm.exchange(
+            rank,
+            back,
+            nbytes_of=lambda ps: sum(len(b) for _, b in ps)
+            + _PIECE_META_BYTES * len(ps),
+        )
+
+        # Scatter received bytes into user memory.
+        by_offset: Dict[int, bytes] = {}
+        for plist in returned.values():
+            for off, data in plist:
+                by_offset[off] = data
+        total = 0
+        for mem_piece, file_piece in pairs:
+            pos = file_piece.addr
+            while pos < file_piece.end:
+                data = by_offset.get(pos)
+                if data is None:
+                    raise AssertionError(f"no data returned for offset {pos}")
+                dst = mem_piece.addr + (pos - file_piece.addr)
+                space.write(dst, data)
+                total += len(data)
+                pos += len(data)
+        yield sim.timeout(tb.memcpy_us(total))
+        yield from comm.barrier(rank)
+        return total
+
+    def _aggregate_read(
+        self, domain: Segment, to_serve: List[Tuple[int, int, int]]
+    ) -> Generator:
+        """Read requested ranges of my domain; returns ((src,off,len), bytes)."""
+        out: List[Tuple[Tuple[int, int, int], bytes]] = []
+        if not to_serve:
+            return out
+        space = self.client.node.space
+        buf = self._cb_buffer()
+        cap = self.hints.cb_buffer_bytes
+        lo = min(off for _, off, _ in to_serve)
+        hi = max(off + n for _, off, n in to_serve)
+        win_lo = lo
+        window_data: Dict[int, bytes] = {}
+        while win_lo < hi:
+            win_len = min(cap, hi - win_lo)
+            yield from self.client.read(
+                self.pvfs_file, buf, win_lo, win_len, nocache=self.hints.nocache
+            )
+            window_data[win_lo] = space.read(buf, win_len)
+            win_lo += win_len
+        # Extracting served pieces from the window buffers is a copy.
+        yield self.client.sim.timeout(
+            self.client.testbed.memcpy_us(sum(n for _, _, n in to_serve))
+        )
+        for key in to_serve:
+            _, off, n = key
+            parts = []
+            pos = off
+            while pos < off + n:
+                base = lo + ((pos - lo) // cap) * cap
+                chunk = window_data[base]
+                take = min(off + n, base + len(chunk)) - pos
+                parts.append(chunk[pos - base : pos - base + take])
+                pos += take
+            out.append((key, b"".join(parts)))
+        return out
+
+    @staticmethod
+    def _domain_of(domains: List[Segment], offset: int) -> int:
+        for i, d in enumerate(domains):
+            if d.addr <= offset < d.end:
+                return i
+        # Offsets at/after the last domain end land in the last domain.
+        return len(domains) - 1

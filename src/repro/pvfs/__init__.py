@@ -1,0 +1,53 @@
+"""A simulated PVFS: striped parallel file system over InfiniBand.
+
+The pieces (mirroring PVFS 1.5.x as the paper describes it):
+
+- :mod:`repro.pvfs.striping` — round-robin file striping (64 kB default)
+  and the logical-to-physical mapping of list-I/O file segments.
+- :mod:`repro.pvfs.protocol` — the request/reply wire messages.
+- :mod:`repro.pvfs.manager` — the metadata manager (namespace only; it
+  "does not participate in read/write operations").
+- :mod:`repro.pvfs.iod` — the I/O daemon running on each I/O node:
+  receives list requests, stages data through contiguous registered
+  buffers, and services file accesses either piecewise or via Active
+  Data Sieving under its cost model.
+- :mod:`repro.pvfs.client` — the client library: ``pvfs_read`` /
+  ``pvfs_write`` / ``pvfs_read_list`` / ``pvfs_write_list``.
+- :mod:`repro.pvfs.cluster` — builder wiring clients, manager and I/O
+  daemons into one simulated cluster.
+"""
+
+from repro.pvfs.striping import StripeLayout, StripedPiece
+from repro.pvfs.protocol import (
+    AccessMode,
+    DataReady,
+    Done,
+    IORequest,
+    OpenReply,
+    OpenRequest,
+    ReleaseStaging,
+    TransferDone,
+)
+from repro.pvfs.manager import FileMeta, MetadataManager
+from repro.pvfs.iod import IODaemon
+from repro.pvfs.client import PVFSClient, PVFSFile
+from repro.pvfs.cluster import PVFSCluster
+
+__all__ = [
+    "AccessMode",
+    "DataReady",
+    "Done",
+    "FileMeta",
+    "IODaemon",
+    "IORequest",
+    "MetadataManager",
+    "OpenReply",
+    "OpenRequest",
+    "PVFSClient",
+    "PVFSCluster",
+    "PVFSFile",
+    "ReleaseStaging",
+    "StripeLayout",
+    "StripedPiece",
+    "TransferDone",
+]

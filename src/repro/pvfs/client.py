@@ -1,0 +1,573 @@
+"""The PVFS client library.
+
+Exposes the paper's interface (Section 3.1)::
+
+    pvfs_read_list / pvfs_write_list(fd, mem_offsets, mem_lengths,
+                                         file_offsets, file_lengths)
+
+plus ordinary contiguous read/write as the degenerate single-piece case.
+
+A list operation is partitioned across I/O nodes by the stripe layout,
+batched to at most ``Testbed.listio_max_accesses`` file pieces and
+``max_request_bytes`` per wire request, and executed **concurrently
+against all I/O nodes** — the parallelism that gives PVFS its aggregate
+bandwidth.  Data moves via the pluggable
+:class:`~repro.transfer.base.TransferScheme` (the Hybrid scheme by
+default, i.e. the paper's final design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.calibration import MB
+from repro.core.listio import ListIORequest
+from repro.ib.fast_rdma import FastRdmaPool
+from repro.ib.hca import Node
+from repro.ib.qp import QueuePair
+from repro.mem.segments import Segment
+from repro.pvfs.protocol import (
+    AccessMode,
+    DataReady,
+    Done,
+    FsyncRequest,
+    IORequest,
+    OpenReply,
+    OpenRequest,
+    ReleaseStaging,
+    StripeUnlink,
+    TransferDone,
+    UnlinkReply,
+    UnlinkRequest,
+)
+from repro.pvfs.striping import StripeLayout, StripedPiece
+from repro.sim.engine import Simulator
+from repro.sim.resources import Store
+from repro.transfer.base import TransferContext, TransferScheme
+from repro.transfer.hybrid import Hybrid
+
+__all__ = ["PVFSClient", "PVFSFile"]
+
+DEFAULT_MAX_REQUEST_BYTES = 4 * MB
+
+
+class _Connection:
+    """Client side of one queue pair, with reply routing by request id.
+
+    ``eager_free`` holds the remote fast-buffer addresses this client may
+    RDMA-write eagerly into (credits; returned by ``Done`` replies).
+    """
+
+    def __init__(self, sim: Simulator, qp: QueuePair, eager_buffers=()):
+        self.sim = sim
+        self.qp = qp
+        self._inboxes: Dict[int, Store] = {}
+        self.eager_free: List[int] = list(eager_buffers)
+        sim.process(self._dispatch(), name=f"dispatch:{qp.node.name}")
+
+    def inbox(self, request_id: int) -> Store:
+        box = self._inboxes.get(request_id)
+        if box is None:
+            box = self._inboxes[request_id] = Store(self.sim)
+        return box
+
+    def close_inbox(self, request_id: int) -> None:
+        self._inboxes.pop(request_id, None)
+
+    def _dispatch(self) -> Generator:
+        while True:
+            msg = yield self.qp.recv()
+            if msg is None:
+                return
+            rid = getattr(msg, "request_id", None)
+            if rid is None:
+                raise TypeError(f"client got unroutable message {msg!r}")
+            self.inbox(rid).put(msg)
+
+
+@dataclass
+class PVFSFile:
+    """An open PVFS file: handle + striping geometry."""
+
+    client: "PVFSClient"
+    path: str
+    handle: int
+    layout: StripeLayout
+    size: int = 0
+
+    # Thin wrappers so examples read naturally.
+    def write_list(self, *args, **kwargs):
+        return self.client.write_list(self, *args, **kwargs)
+
+    def read_list(self, *args, **kwargs):
+        return self.client.read_list(self, *args, **kwargs)
+
+    def write(self, *args, **kwargs):
+        return self.client.write(self, *args, **kwargs)
+
+    def read(self, *args, **kwargs):
+        return self.client.read(self, *args, **kwargs)
+
+
+class PVFSClient:
+    """One compute node's PVFS client state."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        manager_qp: QueuePair,
+        iod_qps: Sequence[QueuePair],
+        scheme: Optional[TransferScheme] = None,
+        pool: Optional[FastRdmaPool] = None,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        eager_buffers: Optional[Sequence[Sequence[int]]] = None,
+    ):
+        self.sim = sim
+        self.node = node
+        self.manager_qp = manager_qp
+        if eager_buffers is None:
+            eager_buffers = [()] * len(iod_qps)
+        self.iod_conns = [
+            _Connection(sim, qp, bufs) for qp, bufs in zip(iod_qps, eager_buffers)
+        ]
+        self.scheme = scheme if scheme is not None else Hybrid()
+        self.pool = pool if pool is not None else FastRdmaPool(node)
+        self.max_request_bytes = max_request_bytes
+        self._rid = count(1)
+        self._mgr_inbox = _Connection(sim, manager_qp)
+        self.tracer = None  # set by PVFSCluster.enable_tracing
+
+    def _trace(self, event: str, detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.record(self.node.name, event, detail)
+
+    @property
+    def testbed(self):
+        return self.node.testbed
+
+    # -- application-aware registration (Section 4.2.1) -----------------------
+
+    def register_buffers(self, regions: Sequence[Segment]) -> Generator:
+        """Explicitly pre-register regions the application plans to use.
+
+        The paper's first application-aware alternative: "the PVFS
+        application can be given explicit control of this task and must
+        call routines in the PVFS library to register regions which it
+        plans to use with PVFS."  Registrations stay in the pin-down
+        cache, so subsequent list operations on these regions run in the
+        "Ideal" (all-cached) regime.  Returns the registration outcome.
+        """
+        from repro.core.ogr import GroupRegistrar
+
+        reg = GroupRegistrar(self.node.hca, self.node.space)
+        outcome = reg.register(list(regions), "individual")
+        if outcome.cost_us:
+            yield self.sim.timeout(outcome.cost_us)
+        reg.release(outcome, deregister=False)
+        return outcome
+
+    # -- namespace -----------------------------------------------------------
+
+    def open(self, path: str, create: bool = True) -> Generator:
+        """Open (or create) a file; returns a :class:`PVFSFile`."""
+        rid = next(self._rid)
+        yield from self.manager_qp.send(
+            OpenRequest(path, create=create, request_id=rid),
+            nbytes=self.testbed.request_msg_bytes,
+        )
+        reply = yield self._mgr_inbox.inbox(rid).get()
+        self._mgr_inbox.close_inbox(rid)
+        if not isinstance(reply, OpenReply):
+            raise TypeError(f"unexpected open reply {reply!r}")
+        layout = StripeLayout(reply.stripe_size, reply.n_iods, reply.base_iod)
+        return PVFSFile(self, path, reply.handle, layout, size=reply.size)
+
+    def unlink(self, path: str) -> Generator:
+        """Remove a file: namespace entry plus every stripe file.
+
+        Returns True if the file existed.  As in PVFS, the manager owns
+        the namespace and the I/O daemons own the stripe files; both are
+        told.
+        """
+        rid = next(self._rid)
+        yield from self.manager_qp.send(
+            UnlinkRequest(path, request_id=rid),
+            nbytes=self.testbed.request_msg_bytes,
+        )
+        reply = yield self._mgr_inbox.inbox(rid).get()
+        self._mgr_inbox.close_inbox(rid)
+        if not isinstance(reply, UnlinkReply):
+            raise TypeError(f"unexpected unlink reply {reply!r}")
+        if reply.handle is None:
+            return False
+        for conn in self.iod_conns:
+            srid = next(self._rid)
+            inbox = conn.inbox(srid)
+            yield from conn.qp.send(
+                StripeUnlink(srid, reply.handle),
+                nbytes=self.testbed.request_msg_bytes,
+            )
+            done = yield inbox.get()
+            if not isinstance(done, Done):
+                raise TypeError(f"unexpected stripe unlink reply {done!r}")
+            conn.close_inbox(srid)
+        return True
+
+    def fsync(self, f: PVFSFile) -> Generator:
+        """pvfs_fsync: flush the file's dirty data on every I/O node.
+
+        Issued to all I/O daemons concurrently; returns total bytes
+        flushed across the cluster.
+        """
+
+        def one(conn):
+            rid = next(self._rid)
+            inbox = conn.inbox(rid)
+            yield from conn.qp.send(
+                FsyncRequest(rid, f.handle),
+                nbytes=self.testbed.request_msg_bytes,
+            )
+            done = yield inbox.get()
+            if not isinstance(done, Done):
+                raise TypeError(f"unexpected fsync reply {done!r}")
+            conn.close_inbox(rid)
+            return done.nbytes
+
+        workers = [self.sim.process(one(conn)) for conn in self.iod_conns]
+        flushed = yield self.sim.all_of(workers)
+        return sum(flushed)
+
+    # -- list I/O ----------------------------------------------------------------
+
+    def write_list(
+        self,
+        f: PVFSFile,
+        mem_segments: Sequence[Segment],
+        file_segments: Sequence[Segment],
+        use_ads: bool = True,
+        sync: bool = False,
+        nocache: bool = False,
+    ) -> Generator:
+        """pvfs_write_list: noncontiguous memory -> noncontiguous file."""
+        return (
+            yield from self._list_op(
+                f, "write", mem_segments, file_segments, use_ads, sync, nocache
+            )
+        )
+
+    def read_list(
+        self,
+        f: PVFSFile,
+        mem_segments: Sequence[Segment],
+        file_segments: Sequence[Segment],
+        use_ads: bool = True,
+        sync: bool = False,
+        nocache: bool = False,
+    ) -> Generator:
+        """pvfs_read_list: noncontiguous file -> noncontiguous memory."""
+        return (
+            yield from self._list_op(
+                f, "read", mem_segments, file_segments, use_ads, sync, nocache
+            )
+        )
+
+    # -- contiguous I/O ---------------------------------------------------------------
+
+    def write(self, f: PVFSFile, mem_addr: int, file_offset: int, length: int, **kw) -> Generator:
+        req = ListIORequest.contiguous(mem_addr, file_offset, length)
+        return (
+            yield from self._list_op(
+                f, "write", req.mem_segments, req.file_segments,
+                kw.get("use_ads", False), kw.get("sync", False), kw.get("nocache", False),
+            )
+        )
+
+    def read(self, f: PVFSFile, mem_addr: int, file_offset: int, length: int, **kw) -> Generator:
+        req = ListIORequest.contiguous(mem_addr, file_offset, length)
+        return (
+            yield from self._list_op(
+                f, "read", req.mem_segments, req.file_segments,
+                kw.get("use_ads", False), kw.get("sync", False), kw.get("nocache", False),
+            )
+        )
+
+    # -- machinery -----------------------------------------------------------------------
+
+    def _mode(self, use_ads: bool, sync: bool, nocache: bool) -> AccessMode:
+        mode = AccessMode.NONE
+        if use_ads:
+            mode |= AccessMode.ADS
+        if sync:
+            mode |= AccessMode.SYNC
+        if nocache:
+            mode |= AccessMode.NOCACHE
+        return mode
+
+    def _list_op(
+        self,
+        f: PVFSFile,
+        op: str,
+        mem_segments: Sequence[Segment],
+        file_segments: Sequence[Segment],
+        use_ads: bool,
+        sync: bool,
+        nocache: bool,
+    ) -> Generator:
+        request = ListIORequest(tuple(mem_segments), tuple(file_segments))
+        mode = self._mode(use_ads, sync, nocache)
+        self._trace(
+            "client.op.start",
+            f"op={op} pieces={request.file_count} n={request.total_bytes}",
+        )
+        per_iod = f.layout.split_request(request)
+        # Register the call's buffers once up front (Section 4.3); the
+        # per-request transfers then find them in the pin-down cache.
+        prep_state, prep_cost = self.scheme.prepare(
+            self.node.hca, self.node.space, mem_segments
+        )
+        if prep_cost:
+            yield self.sim.timeout(prep_cost)
+        try:
+            workers = [
+                self.sim.process(
+                    self._iod_worker(f, iod, pieces, op, mode, prep_state is not None),
+                    name=f"{self.node.name}->{iod}.{op}",
+                )
+                for iod, pieces in sorted(per_iod.items())
+            ]
+            totals = yield self.sim.all_of(workers)
+        finally:
+            fin_cost = self.scheme.finish(prep_state)
+            if fin_cost:
+                yield self.sim.timeout(fin_cost)
+        total = sum(totals)
+        if op == "write":
+            end = max(s.end for s in file_segments)
+            if end > f.size:
+                f.size = end
+        self._trace(
+            "client.op.end",
+            f"op={op} pieces={request.file_count} n={request.total_bytes}",
+        )
+        return total
+
+    def _iod_worker(
+        self,
+        f: PVFSFile,
+        iod: int,
+        pieces: List[StripedPiece],
+        op: str,
+        mode: AccessMode,
+        prepared: bool,
+    ) -> Generator:
+        conn = self.iod_conns[iod]
+        total = 0
+        for batch in self._batches(pieces):
+            total += yield from self._one_request(f, conn, batch, op, mode, prepared)
+        return total
+
+    def _batches(self, pieces: List[StripedPiece]) -> List[List[StripedPiece]]:
+        """Cap requests at listio_max_accesses *file accesses* and
+        max_request_bytes.
+
+        Physically adjacent pieces merge into one file access on the wire
+        (PVFS merges contiguous accesses, Section 3.1), so they do not
+        count against the access cap.
+        """
+        max_n = self.testbed.listio_max_accesses
+        max_b = self.max_request_bytes
+        out: List[List[StripedPiece]] = []
+        cur: List[StripedPiece] = []
+        cur_bytes = 0
+        cur_accesses = 0
+        last_end: Optional[int] = None
+        for piece in pieces:
+            for part in self._split_piece(piece, max_b):
+                merges = last_end == part.physical.addr
+                if cur and (
+                    (cur_accesses >= max_n and not merges)
+                    or cur_bytes + part.mem.length > max_b
+                ):
+                    out.append(cur)
+                    cur, cur_bytes, cur_accesses = [], 0, 0
+                    merges = False
+                cur.append(part)
+                cur_bytes += part.mem.length
+                if not merges:
+                    cur_accesses += 1
+                last_end = part.physical.end
+        if cur:
+            out.append(cur)
+        return out
+
+    @staticmethod
+    def _split_piece(piece: StripedPiece, max_b: int) -> List[StripedPiece]:
+        if piece.mem.length <= max_b:
+            return [piece]
+        parts = []
+        off = 0
+        while off < piece.mem.length:
+            n = min(max_b, piece.mem.length - off)
+            parts.append(
+                StripedPiece(
+                    Segment(piece.mem.addr + off, n),
+                    Segment(piece.physical.addr + off, n),
+                    Segment(piece.logical.addr + off, n),
+                )
+            )
+            off += n
+        return parts
+
+    @staticmethod
+    def _coalesce_file_segs(batch: List[StripedPiece]) -> Tuple[Segment, ...]:
+        """Merge adjacent-in-order physical pieces (PVFS's server merge)."""
+        out: List[Segment] = []
+        for p in batch:
+            if out and out[-1].end == p.physical.addr:
+                last = out[-1]
+                out[-1] = Segment(last.addr, last.length + p.physical.length)
+            else:
+                out.append(p.physical)
+        return tuple(out)
+
+    def _one_request(
+        self,
+        f: PVFSFile,
+        conn: _Connection,
+        batch: List[StripedPiece],
+        op: str,
+        mode: AccessMode,
+        prepared: bool = False,
+    ) -> Generator:
+        rid = next(self._rid)
+        file_segs = self._coalesce_file_segs(batch)
+        mem_segs = [p.mem for p in batch]
+        total = sum(p.mem.length for p in batch)
+
+        # Fast-RDMA eager path (Section 4.3): small transfers through
+        # pre-registered buffers, skipping the rendezvous round trip.
+        # The transfer must fit one fast buffer on both sides.
+        if self.scheme.use_eager(total, self.testbed) and self.pool.fits(total):
+            if op == "write" and conn.eager_free:
+                return (
+                    yield from self._eager_write(
+                        f, conn, rid, file_segs, mem_segs, total, mode
+                    )
+                )
+            if op == "read" and self.pool.fits(total) and self.pool.free_count:
+                return (
+                    yield from self._eager_read(
+                        f, conn, rid, file_segs, mem_segs, total, mode
+                    )
+                )
+
+        req = IORequest(
+            request_id=rid,
+            handle=f.handle,
+            op=op,
+            file_segments=file_segs,
+            total_bytes=total,
+            mode=mode,
+        )
+        self.node.stats.add("pvfs.client.requests", total)
+        inbox = conn.inbox(rid)
+        yield from conn.qp.send(req, nbytes=self.testbed.request_msg_bytes)
+        ready = yield inbox.get()
+        if not isinstance(ready, DataReady):
+            raise TypeError(f"expected DataReady, got {ready!r}")
+        ctx = TransferContext(
+            qp=conn.qp,
+            mem_segments=mem_segs,
+            remote_addr=ready.staging_addr,
+            pool=self.pool,
+            prepared=prepared,
+        )
+        if op == "write":
+            yield from self.scheme.write(ctx)
+            yield from conn.qp.send(
+                TransferDone(rid), nbytes=self.testbed.reply_msg_bytes
+            )
+            done = yield inbox.get()
+            if not isinstance(done, Done):
+                raise TypeError(f"expected Done, got {done!r}")
+            if done.error:
+                raise RuntimeError(f"server error: {done.error}")
+        else:
+            yield from self.scheme.read(ctx)
+            yield from conn.qp.send(
+                ReleaseStaging(rid), nbytes=self.testbed.reply_msg_bytes
+            )
+        conn.close_inbox(rid)
+        return total
+
+    # -- Fast-RDMA eager paths --------------------------------------------
+
+    def _eager_write(
+        self, f, conn, rid, file_segs, mem_segs, total, mode
+    ) -> Generator:
+        """Pack into a fast buffer, push data ahead of the request."""
+        server_buf = conn.eager_free.pop()
+        client_buf = yield from self.pool.acquire()
+        space = self.node.space
+        try:
+            # Pack the noncontiguous pieces (the memcpy of Pack/Unpack).
+            yield self.sim.timeout(self.testbed.memcpy_us(total))
+            space.write(client_buf, space.gather(mem_segs))
+            yield from conn.qp.rdma_write([Segment(client_buf, total)], server_buf)
+        finally:
+            self.pool.release(client_buf)
+        req = IORequest(
+            request_id=rid,
+            handle=f.handle,
+            op="write",
+            file_segments=file_segs,
+            total_bytes=total,
+            mode=mode,
+            eager_buffer=server_buf,
+        )
+        self.node.stats.add("pvfs.client.requests", total)
+        self.node.stats.add("pvfs.client.eager_writes", total)
+        inbox = conn.inbox(rid)
+        yield from conn.qp.send(req, nbytes=self.testbed.request_msg_bytes)
+        done = yield inbox.get()
+        if not isinstance(done, Done):
+            raise TypeError(f"expected Done, got {done!r}")
+        if done.error:
+            raise RuntimeError(f"server error: {done.error}")
+        conn.eager_free.append(server_buf)
+        conn.close_inbox(rid)
+        return total
+
+    def _eager_read(
+        self, f, conn, rid, file_segs, mem_segs, total, mode
+    ) -> Generator:
+        """Ask the server to push results into our fast buffer."""
+        client_buf = yield from self.pool.acquire()
+        try:
+            req = IORequest(
+                request_id=rid,
+                handle=f.handle,
+                op="read",
+                file_segments=file_segs,
+                total_bytes=total,
+                mode=mode,
+                eager_buffer=client_buf,
+            )
+            self.node.stats.add("pvfs.client.requests", total)
+            self.node.stats.add("pvfs.client.eager_reads", total)
+            inbox = conn.inbox(rid)
+            yield from conn.qp.send(req, nbytes=self.testbed.request_msg_bytes)
+            done = yield inbox.get()
+            if not isinstance(done, Done):
+                raise TypeError(f"expected Done, got {done!r}")
+            # Unpack from the fast buffer into the user's pieces.
+            yield self.sim.timeout(self.testbed.memcpy_us(total))
+            space = self.node.space
+            space.scatter(mem_segs, space.read(client_buf, total))
+        finally:
+            self.pool.release(client_buf)
+        conn.close_inbox(rid)
+        return total

@@ -1,0 +1,237 @@
+"""Cluster builder: wire clients, metadata manager, and I/O daemons.
+
+The default geometry matches the paper's experiments: 4 compute nodes
+and 4 I/O server nodes (8 machines plus the manager co-located on the
+first I/O node, as PVFS typically runs it).
+
+Usage::
+
+    cluster = PVFSCluster(n_clients=4, n_iods=4)
+
+    def workload(client):
+        f = yield from client.open("/pfs/data")
+        yield from client.write(f, mem_addr, 0, length)
+
+    elapsed_us = cluster.run([workload(c) for c in cluster.clients])
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.calibration import Testbed, paper_testbed
+from repro.ib.hca import Node
+from repro.ib.qp import connect
+from repro.pvfs.client import PVFSClient
+from repro.pvfs.iod import IODaemon
+from repro.pvfs.manager import MetadataManager
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry
+from repro.transfer.base import TransferScheme
+
+__all__ = ["PVFSCluster"]
+
+
+class PVFSCluster:
+    """A complete simulated PVFS deployment."""
+
+    def __init__(
+        self,
+        n_clients: int = 4,
+        n_iods: int = 4,
+        testbed: Optional[Testbed] = None,
+        scheme: Optional[TransferScheme] = None,
+        scheme_factory: Optional[Callable[[], TransferScheme]] = None,
+        cache_enabled: bool = True,
+        ads_enabled: bool = True,
+        cache_aware_decisions: bool = False,
+        ads_force: Optional[bool] = None,
+        stripe_size: Optional[int] = None,
+    ):
+        if n_clients < 1 or n_iods < 1:
+            raise ValueError("need at least one client and one I/O node")
+        self.testbed = testbed if testbed is not None else paper_testbed()
+        if stripe_size is None:
+            stripe_size = self.testbed.stripe_size
+        self.sim = Simulator()
+        self.stats = StatRegistry()  # cluster-wide aggregate
+
+        # -- nodes ---------------------------------------------------------
+        self.manager_node = Node(self.sim, self.testbed, "mgr", stats=self.stats)
+        self.iod_nodes = [
+            Node(self.sim, self.testbed, f"iod{i}", stats=self.stats)
+            for i in range(n_iods)
+        ]
+        self.client_nodes = [
+            Node(self.sim, self.testbed, f"cn{i}", stats=self.stats)
+            for i in range(n_clients)
+        ]
+
+        self.manager = MetadataManager(
+            self.sim, self.manager_node, stripe_size, n_iods
+        )
+        self.iods = [
+            IODaemon(
+                self.sim,
+                node,
+                index=i,
+                cache_enabled=cache_enabled,
+                ads_enabled_default=ads_enabled,
+                cache_aware_decisions=cache_aware_decisions,
+                ads_force=ads_force,
+            )
+            for i, node in enumerate(self.iod_nodes)
+        ]
+
+        # -- connections -------------------------------------------------------
+        self.clients: List[PVFSClient] = []
+        for ci, cnode in enumerate(self.client_nodes):
+            mgr_qp, mgr_peer = connect(self.sim, cnode, self.manager_node)
+            self.sim.process(self.manager.serve(mgr_peer), name=f"mgr<-cn{ci}")
+            iod_qps = []
+            eager_buffers = []
+            for ii, inode in enumerate(self.iod_nodes):
+                cqp, sqp = connect(self.sim, cnode, inode)
+                self.sim.process(self.iods[ii].serve(sqp), name=f"iod{ii}<-cn{ci}")
+                iod_qps.append(cqp)
+                # Per-connection server fast buffers for the eager path;
+                # addresses are exchanged at connection setup.
+                eager_pool = self.iods[ii].make_eager_pool()
+                eager_buffers.append(list(eager_pool.addresses))
+            if scheme_factory is not None:
+                client_scheme = scheme_factory()
+            else:
+                client_scheme = scheme
+            self.clients.append(
+                PVFSClient(
+                    self.sim,
+                    cnode,
+                    mgr_qp,
+                    iod_qps,
+                    scheme=client_scheme,
+                    eager_buffers=eager_buffers,
+                )
+            )
+
+        # Setup registered a lot of buffers; benchmark counts start here.
+        self.setup_snapshot = self.stats.snapshot()
+        self.tracer = None
+
+    def enable_tracing(self):
+        """Attach a :class:`repro.sim.trace.Tracer`; returns it.
+
+        Clients and I/O daemons record request lifecycle events (request
+        arrival, staging-wait, disk phase, transfer phase) from this
+        point on.
+        """
+        from repro.sim.trace import Tracer
+
+        self.tracer = Tracer(lambda: self.sim.now)
+        for iod in self.iods:
+            iod.tracer = self.tracer
+        for client in self.clients:
+            client.tracer = self.tracer
+        return self.tracer
+
+    # -- conveniences ------------------------------------------------------------
+
+    def run(self, procs: Sequence[Generator], until: Optional[float] = None) -> float:
+        """Run client workloads to completion; returns elapsed simulated us."""
+        start = self.sim.now
+        spawned = [self.sim.process(p) for p in procs]
+        done = self.sim.all_of(spawned)
+
+        def waiter():
+            yield done
+
+        self.sim.process(waiter())
+        self.sim.run(until=until)
+        if not done.triggered:
+            raise RuntimeError("workloads did not finish (deadlock or until hit)")
+        return self.sim.now - start
+
+    def stat_delta(self) -> Dict[str, Tuple[int, float]]:
+        """Cluster-wide counter deltas since construction."""
+        return self.stats.diff(self.setup_snapshot)
+
+    def drop_all_caches(self) -> None:
+        for iod in self.iods:
+            iod.fs.drop_caches()
+
+    def sync_all(self) -> float:
+        """fsync every stripe file everywhere; returns elapsed simulated us."""
+        procs = [iod.fs.sync_all() for iod in self.iods]
+        return self.run(procs)
+
+    def report(self, since: Optional[Dict[str, Tuple[int, float]]] = None) -> str:
+        """Human-readable summary of activity since ``since`` (a snapshot).
+
+        Groups the cluster-wide counters the way Table 6 does: requests,
+        registrations, disk calls, network volume.  Meant for examples
+        and interactive debugging.
+        """
+        delta = self.stats.diff(since) if since is not None else {
+            name: (c.count, c.total)
+            for name, c in self.stats._counters.items()
+        }
+
+        def row(name: str) -> Tuple[int, float]:
+            return delta.get(name, (0, 0.0))
+
+        from repro.calibration import MB
+
+        lines = ["PVFS cluster activity:"]
+        lines.append(
+            f"  requests:       {row('pvfs.client.requests')[0]:>10,}"
+            f"  ({row('pvfs.client.requests')[1] / MB:.1f} MB requested)"
+        )
+        lines.append(
+            f"  eager ops:      {row('pvfs.client.eager_writes')[0] + row('pvfs.client.eager_reads')[0]:>10,}"
+        )
+        lines.append(
+            f"  registrations:  {row('ib.reg.ops')[0]:>10,}"
+            f"  (cache hits {row('ib.pincache.hits')[0]:,},"
+            f" evictions {row('ib.pincache.evictions')[0]:,})"
+        )
+        lines.append(
+            f"  disk reads:     {row('disk.read.calls')[0]:>10,}"
+            f"  ({row('disk.read.calls')[1] / MB:.1f} MB)"
+        )
+        lines.append(
+            f"  disk writes:    {row('disk.write.calls')[0]:>10,}"
+            f"  ({row('disk.write.calls')[1] / MB:.1f} MB)"
+        )
+        lines.append(
+            f"  sieved ops:     {row('pvfs.iod.sieve_reads')[0] + row('pvfs.iod.sieve_writes')[0]:>10,}"
+        )
+        net = row("ib.rdma_read.ops")[1] + row("ib.rdma_write.ops")[1]
+        lines.append(f"  RDMA volume:    {net / MB:>10.1f} MB")
+        return "\n".join(lines)
+
+    def logical_file_bytes(self, path: str) -> bytes:
+        """Reassemble a file's logical contents from its stripe files.
+
+        Test/verification helper — the real system has no such shortcut.
+        """
+        meta = self.manager.lookup(path)
+        if meta is None:
+            raise FileNotFoundError(path)
+        from repro.pvfs.striping import StripeLayout
+
+        layout = StripeLayout(meta.stripe_size, meta.n_iods, meta.base_iod)
+        # PVFS 1.x derives logical EOF by statting the stripe files.
+        size = 0
+        for iod_idx, iod in enumerate(self.iods):
+            s = iod.stripe_file(meta.handle).size
+            if s > 0:
+                size = max(size, layout.logical_offset(iod_idx, s - 1) + 1)
+        out = bytearray(size)
+        for pos in range(0, size, meta.stripe_size):
+            n = min(meta.stripe_size, size - pos)
+            iod = layout.iod_of(pos)
+            phys = layout.physical_offset(pos)
+            stripe_file = self.iods[iod].stripe_file(meta.handle)
+            end = min(phys + n, stripe_file.size)
+            if end > phys:
+                out[pos : pos + (end - phys)] = stripe_file.data[phys:end]
+        return bytes(out)

@@ -1,0 +1,416 @@
+"""The PVFS I/O daemon: list-I/O service with Active Data Sieving.
+
+One daemon runs on each I/O node.  Per connection it runs a dispatcher
+process: new ``IORequest`` messages spawn a handler; follow-up messages
+(``TransferDone``, ``ReleaseStaging``) are routed to the owning handler
+by request id.  Handlers stage data through pre-registered contiguous
+staging buffers (flow-controlled by a pool) and serialize actual platter
+access through a per-node disk lock, so network transfers from other
+clients overlap disk time — the overlap a real event-driven iod gets.
+
+The disk phase is where the paper's Section 5 lives: the daemon runs
+:func:`repro.core.ads.plan_sieve` over the request's (physical) file
+segments and either services pieces directly or sieves.  The decision
+uses the *conservative* uncached estimates exactly as the paper
+specifies; ``cache_aware_decisions=True`` switches on the "server knows
+its cache" refinement for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from typing import Dict, Generator, List, Optional
+
+from repro.calibration import MB, Testbed
+from repro.core.ads import AdsCostModel, SievePlan, plan_sieve
+from repro.disk.localfile import LocalFile, LocalFileSystem
+from repro.ib.hca import Node
+from repro.ib.qp import QueuePair
+from repro.mem.segments import Segment, iter_intersections
+from repro.pvfs.protocol import (
+    AccessMode,
+    DataReady,
+    Done,
+    FsyncRequest,
+    IORequest,
+    ReleaseStaging,
+    StripeUnlink,
+    TransferDone,
+)
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource, Store
+
+__all__ = ["IODaemon"]
+
+DEFAULT_STAGING_BUFFERS = 4
+DEFAULT_STAGING_BYTES = 16 * MB
+
+
+class IODaemon:
+    """One I/O node's daemon: staging pool + local FS + ADS."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        index: int,
+        cache_enabled: bool = True,
+        ads_enabled_default: bool = True,
+        cache_aware_decisions: bool = False,
+        ads_force: Optional[bool] = None,
+        staging_buffers: int = DEFAULT_STAGING_BUFFERS,
+        staging_bytes: int = DEFAULT_STAGING_BYTES,
+    ):
+        self.sim = sim
+        self.node = node
+        self.index = index
+        self.testbed: Testbed = node.testbed
+        self.fs = LocalFileSystem(
+            sim,
+            node.testbed,
+            stats=node.stats,
+            name=f"iod{index}",
+            cache_enabled=cache_enabled,
+        )
+        self.ads_model = AdsCostModel.for_testbed(node.testbed)
+        self.ads_enabled_default = ads_enabled_default
+        self.cache_aware_decisions = cache_aware_decisions
+        # Ablation hook: True/False forces the sieving decision; None
+        # uses the paper's cost model.
+        self.ads_force = ads_force
+        self.staging_bytes = staging_bytes
+        self._staging = Store(sim, name=f"iod{index}.staging")
+        for _ in range(staging_buffers):
+            addr = node.space.malloc(staging_bytes, align=node.testbed.page_size)
+            node.hca.table.register(node.space, addr, staging_bytes)
+            self._staging.put(addr)
+        self.disk_lock = Resource(sim, capacity=1, name=f"iod{index}.disk")
+        self.tracer = None  # set by PVFSCluster.enable_tracing
+
+    def _trace(self, event: str, detail: str = "") -> None:
+        if self.tracer is not None:
+            self.tracer.record(f"iod{self.index}", event, detail)
+
+    # -- stripe file naming ------------------------------------------------
+
+    def stripe_file(self, handle: int) -> LocalFile:
+        return self.fs.open(f"f{handle:08d}.stripe")
+
+    # -- serving loop -----------------------------------------------------------
+
+    def make_eager_pool(self) -> "FastRdmaPool":
+        """Pre-registered fast buffers for one connection's eager path."""
+        from repro.ib.fast_rdma import FastRdmaPool
+
+        return FastRdmaPool(self.node)
+
+    def serve(self, qp: QueuePair) -> Generator:
+        """Dispatcher for one client connection.  Spawn as a process.
+
+        Request ids are only unique per client, so the routing table for
+        follow-up messages is per connection.
+        """
+        inboxes: Dict[int, Store] = {}
+        while True:
+            msg = yield qp.recv()
+            if msg is None:  # shutdown sentinel
+                return
+            if isinstance(msg, IORequest):
+                inbox = Store(self.sim, name=f"req{msg.request_id}")
+                inboxes[msg.request_id] = inbox
+                self.sim.process(
+                    self._handle(qp, msg, inbox, inboxes),
+                    name=f"iod{self.index}.req{msg.request_id}",
+                )
+            elif isinstance(msg, FsyncRequest):
+                # Handled in its own process so the dispatcher stays
+                # responsive while the flush waits on the disk.
+                self.sim.process(
+                    self._handle_fsync(qp, msg),
+                    name=f"iod{self.index}.fsync{msg.request_id}",
+                )
+            elif isinstance(msg, StripeUnlink):
+                name = f"f{msg.handle:08d}.stripe"
+                if self.fs.exists(name):
+                    self.fs.unlink(name)
+                yield self.sim.timeout(self.testbed.server_request_cpu_us)
+                yield from qp.send(
+                    Done(msg.request_id, 0),
+                    nbytes=self.testbed.reply_msg_bytes,
+                )
+            elif isinstance(msg, (TransferDone, ReleaseStaging)):
+                inbox = inboxes.get(msg.request_id)
+                if inbox is None:
+                    raise RuntimeError(
+                        f"iod{self.index}: follow-up for unknown request "
+                        f"{msg.request_id}"
+                    )
+                inbox.put(msg)
+            else:
+                raise TypeError(f"iod{self.index}: unexpected message {msg!r}")
+
+    # -- request handling -----------------------------------------------------------
+
+    def _handle(
+        self, qp: QueuePair, req: IORequest, inbox: Store, inboxes: Dict[int, Store]
+    ) -> Generator:
+        self.node.stats.add("pvfs.iod.requests", req.total_bytes)
+        self._trace("iod.request", f"rid={req.request_id} op={req.op} n={req.total_bytes}")
+        if req.total_bytes > self.staging_bytes:
+            raise ValueError(
+                f"request of {req.total_bytes} bytes exceeds the "
+                f"{self.staging_bytes}-byte staging buffer; chunk it upstream"
+            )
+        yield self.sim.timeout(self.testbed.server_request_cpu_us)
+        if req.mode & AccessMode.NOCACHE:
+            self.fs.drop_caches()
+        try:
+            if req.eager_buffer is not None and req.op == "write":
+                # Eager write: data already sits in our fast buffer.
+                yield from self._handle_eager_write(qp, req)
+                return
+            self._trace("iod.staging_wait.start", f"rid={req.request_id}")
+            staging = yield self._staging.get()
+            self._trace("iod.staging_wait.end", f"rid={req.request_id}")
+            try:
+                if req.op == "write":
+                    yield from self._handle_write(qp, req, inbox, staging)
+                elif req.eager_buffer is not None:
+                    yield from self._handle_eager_read(qp, req, staging)
+                else:
+                    yield from self._handle_read(qp, req, inbox, staging)
+            finally:
+                self._staging.put(staging)
+        finally:
+            inboxes.pop(req.request_id, None)
+
+    def _handle_fsync(self, qp: QueuePair, msg: FsyncRequest) -> Generator:
+        yield self.sim.timeout(self.testbed.server_request_cpu_us)
+        f = self.stripe_file(msg.handle)
+        yield self.disk_lock.request()
+        try:
+            flushed = yield from f.fsync()
+        finally:
+            self.disk_lock.release()
+        yield from qp.send(
+            Done(msg.request_id, flushed),
+            nbytes=self.testbed.reply_msg_bytes,
+        )
+
+    def _decide(self, req: IORequest, f: LocalFile) -> SievePlan:
+        segs = list(req.file_segments)
+        if self.cache_aware_decisions and self.fs.cache.enabled:
+            lo = min(s.addr for s in segs)
+            hi = max(s.end for s in segs)
+            if req.op == "read":
+                cached = self.fs.cache.is_fully_resident(f.file_id, lo, hi - lo)
+            else:
+                # Write-back absorbs writes at cache speed unless syncing.
+                cached = not (req.mode & AccessMode.SYNC)
+        else:
+            cached = False  # the paper's conservative estimate
+        plan = plan_sieve(segs, self.ads_model, req.op, cached=cached)
+        if self.ads_force is not None and len(plan.windows) >= 1:
+            forced = self.ads_force and not (
+                len(segs) == 1 or plan.s_req == plan.s_ds == segs[0].length
+            )
+            plan = dataclasses.replace(plan, use_sieving=forced)
+        return plan
+
+    # -- write path --------------------------------------------------------------------
+
+    def _handle_write(
+        self, qp: QueuePair, req: IORequest, inbox: Store, staging: int
+    ) -> Generator:
+        # Grant the staging buffer and wait for the client's data.
+        yield from qp.send(
+            DataReady(req.request_id, staging, req.total_bytes),
+            nbytes=self.testbed.reply_msg_bytes,
+        )
+        msg = yield inbox.get()
+        if not isinstance(msg, TransferDone):
+            raise TypeError(f"expected TransferDone, got {msg!r}")
+
+        f = self.stripe_file(req.handle)
+        data = self.node.space.read(staging, req.total_bytes)
+        use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
+        plan = self._decide(req, f) if use_ads else None
+
+        yield self.disk_lock.request()
+        self._trace("iod.disk.start", f"rid={req.request_id}")
+        try:
+            if plan is not None and plan.use_sieving:
+                self.node.stats.add("pvfs.iod.sieve_writes", req.total_bytes)
+                yield from self._sieved_write(f, req, data, plan)
+            else:
+                self.node.stats.add("pvfs.iod.direct_writes", req.total_bytes)
+                yield from self._direct_write(f, req, data)
+            if req.mode & AccessMode.SYNC:
+                yield from f.fsync()
+        finally:
+            self._trace("iod.disk.end", f"rid={req.request_id}")
+            self.disk_lock.release()
+
+        yield from qp.send(
+            Done(
+                req.request_id,
+                req.total_bytes,
+                used_sieving=bool(plan and plan.use_sieving),
+            ),
+            nbytes=self.testbed.reply_msg_bytes,
+        )
+
+    # -- eager (Fast RDMA) paths --------------------------------------------
+
+    def _handle_eager_write(self, qp: QueuePair, req: IORequest) -> Generator:
+        """Data was RDMA-written into our fast buffer before the request."""
+        f = self.stripe_file(req.handle)
+        data = self.node.space.read(req.eager_buffer, req.total_bytes)
+        use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
+        plan = self._decide(req, f) if use_ads else None
+        yield self.disk_lock.request()
+        try:
+            if plan is not None and plan.use_sieving:
+                self.node.stats.add("pvfs.iod.sieve_writes", req.total_bytes)
+                yield from self._sieved_write(f, req, data, plan)
+            else:
+                self.node.stats.add("pvfs.iod.direct_writes", req.total_bytes)
+                yield from self._direct_write(f, req, data)
+            if req.mode & AccessMode.SYNC:
+                yield from f.fsync()
+        finally:
+            self.disk_lock.release()
+        yield from qp.send(
+            Done(
+                req.request_id,
+                req.total_bytes,
+                used_sieving=bool(plan and plan.use_sieving),
+                eager_buffer=req.eager_buffer,
+            ),
+            nbytes=self.testbed.reply_msg_bytes,
+        )
+
+    def _handle_eager_read(
+        self, qp: QueuePair, req: IORequest, staging: int
+    ) -> Generator:
+        """Push results straight into the client's fast buffer."""
+        f = self.stripe_file(req.handle)
+        use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
+        plan = self._decide(req, f) if use_ads else None
+        yield self.disk_lock.request()
+        try:
+            if plan is not None and plan.use_sieving:
+                self.node.stats.add("pvfs.iod.sieve_reads", req.total_bytes)
+                data = yield from self._sieved_read(f, req, plan)
+            else:
+                self.node.stats.add("pvfs.iod.direct_reads", req.total_bytes)
+                data = yield from self._direct_read(f, req)
+        finally:
+            self.disk_lock.release()
+        self.node.space.write(staging, data)
+        yield from qp.rdma_write(
+            [Segment(staging, req.total_bytes)], req.eager_buffer
+        )
+        yield from qp.send(
+            Done(req.request_id, req.total_bytes),
+            nbytes=self.testbed.reply_msg_bytes,
+        )
+
+    def _direct_write(self, f: LocalFile, req: IORequest, data: bytes) -> Generator:
+        cpu = self.testbed.server_access_cpu_us * len(req.file_segments)
+        yield self.sim.timeout(cpu)
+        off = 0
+        for seg in req.file_segments:
+            yield from f.pwrite(seg.addr, data[off : off + seg.length])
+            off += seg.length
+
+    def _sieved_write(
+        self, f: LocalFile, req: IORequest, data: bytes, plan: SievePlan
+    ) -> Generator:
+        # Staging offsets of each file segment, in request order.
+        offsets = []
+        off = 0
+        for seg in req.file_segments:
+            offsets.append(off)
+            off += seg.length
+        yield self.sim.timeout(
+            self.testbed.server_access_cpu_us * len(plan.windows)
+        )
+        for window in plan.windows:
+            yield from f.lock()
+            try:
+                buf = bytearray((yield from f.pread(window.addr, window.length)))
+                wanted = 0
+                for idx, clipped in iter_intersections(
+                    list(req.file_segments), window
+                ):
+                    seg = req.file_segments[idx]
+                    src = offsets[idx] + (clipped.addr - seg.addr)
+                    dst = clipped.addr - window.addr
+                    buf[dst : dst + clipped.length] = data[src : src + clipped.length]
+                    wanted += clipped.length
+                # The "modify" memcpy of T_dsw.
+                yield self.sim.timeout(self.testbed.memcpy_us(wanted))
+                yield from f.pwrite(window.addr, bytes(buf))
+            finally:
+                yield from f.unlock()
+
+    # -- read path -------------------------------------------------------------------------
+
+    def _handle_read(
+        self, qp: QueuePair, req: IORequest, inbox: Store, staging: int
+    ) -> Generator:
+        f = self.stripe_file(req.handle)
+        use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
+        plan = self._decide(req, f) if use_ads else None
+
+        yield self.disk_lock.request()
+        self._trace("iod.disk.start", f"rid={req.request_id}")
+        try:
+            if plan is not None and plan.use_sieving:
+                self.node.stats.add("pvfs.iod.sieve_reads", req.total_bytes)
+                data = yield from self._sieved_read(f, req, plan)
+            else:
+                self.node.stats.add("pvfs.iod.direct_reads", req.total_bytes)
+                data = yield from self._direct_read(f, req)
+        finally:
+            self._trace("iod.disk.end", f"rid={req.request_id}")
+            self.disk_lock.release()
+
+        self.node.space.write(staging, data)
+        yield from qp.send(
+            DataReady(req.request_id, staging, req.total_bytes),
+            nbytes=self.testbed.reply_msg_bytes,
+        )
+        msg = yield inbox.get()
+        if not isinstance(msg, ReleaseStaging):
+            raise TypeError(f"expected ReleaseStaging, got {msg!r}")
+
+    def _direct_read(self, f: LocalFile, req: IORequest) -> Generator:
+        cpu = self.testbed.server_access_cpu_us * len(req.file_segments)
+        yield self.sim.timeout(cpu)
+        parts: List[bytes] = []
+        for seg in req.file_segments:
+            parts.append((yield from f.pread(seg.addr, seg.length)))
+        return b"".join(parts)
+
+    def _sieved_read(self, f: LocalFile, req: IORequest, plan: SievePlan) -> Generator:
+        windows: Dict[int, bytes] = {}
+        yield self.sim.timeout(
+            self.testbed.server_access_cpu_us * len(plan.windows)
+        )
+        for i, window in enumerate(plan.windows):
+            windows[i] = yield from f.pread(window.addr, window.length)
+        # Extract the wanted pieces from the sieve buffers (one memcpy).
+        yield self.sim.timeout(self.testbed.memcpy_us(req.total_bytes))
+        parts: List[bytes] = []
+        for seg in req.file_segments:
+            for i, window in enumerate(plan.windows):
+                if window.addr <= seg.addr and seg.end <= window.end:
+                    lo = seg.addr - window.addr
+                    parts.append(windows[i][lo : lo + seg.length])
+                    break
+            else:
+                raise AssertionError(f"segment {seg} not covered by sieve windows")
+        return b"".join(parts)

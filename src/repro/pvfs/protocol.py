@@ -1,0 +1,150 @@
+"""PVFS wire protocol messages.
+
+One list-I/O round between a client and one I/O daemon:
+
+========  =======================================================
+ client                         server
+========  =======================================================
+ ``IORequest``  ->
+           <- ``DataReady`` (staging buffer granted; for reads the
+              data is already staged)
+ *data transfer via a TransferScheme (RDMA)*
+ ``TransferDone`` ->            (writes: server now hits the disk)
+           <- ``Done``
+ ``ReleaseStaging`` ->          (reads only: buffer can be reused)
+========  =======================================================
+
+Messages are plain Python objects delivered through queue-pair channel
+sends; each carries a modeled wire size so the time cost is accounted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.mem.segments import Segment
+
+__all__ = [
+    "AccessMode",
+    "OpenRequest",
+    "OpenReply",
+    "IORequest",
+    "DataReady",
+    "TransferDone",
+    "Done",
+    "ReleaseStaging",
+]
+
+
+class AccessMode(enum.Flag):
+    """Per-request service options (PVFS hints of Section 5.2)."""
+
+    NONE = 0
+    ADS = enum.auto()      # allow Active Data Sieving on the server
+    SYNC = enum.auto()     # fsync before replying (the "sync" curves)
+    NOCACHE = enum.auto()  # server drops its cache first ("without cache")
+
+
+@dataclass(frozen=True)
+class OpenRequest:
+    path: str
+    create: bool = True
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class OpenReply:
+    handle: int
+    stripe_size: int
+    n_iods: int
+    base_iod: int
+    size: int
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """A list-I/O request to one I/O daemon (<= listio_max_accesses pieces).
+
+    ``eager_buffer`` selects the Fast-RDMA eager path of Section 4.3:
+    for a write, it names the *server-side* fast buffer the client has
+    already RDMA-written the packed data into; for a read, it names the
+    *client-side* fast buffer the server should RDMA-write results into.
+    ``None`` means the rendezvous (DataReady/staging) protocol.
+    """
+
+    request_id: int
+    handle: int
+    op: str                                # "read" | "write"
+    file_segments: Tuple[Segment, ...]     # physical offsets in the stripe file
+    total_bytes: int
+    mode: AccessMode = AccessMode.NONE
+    eager_buffer: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("read", "write"):
+            raise ValueError(f"bad op {self.op!r}")
+        if self.total_bytes != sum(s.length for s in self.file_segments):
+            raise ValueError("total_bytes does not match file segments")
+
+
+@dataclass(frozen=True)
+class DataReady:
+    """Server granted (write) or filled (read) a staging buffer."""
+
+    request_id: int
+    staging_addr: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class TransferDone:
+    request_id: int
+
+
+@dataclass(frozen=True)
+class Done:
+    request_id: int
+    nbytes: int
+    used_sieving: bool = False
+    error: Optional[str] = None
+    # Eager write: echoes the server fast buffer so the client can
+    # return its credit.
+    eager_buffer: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ReleaseStaging:
+    request_id: int
+
+
+@dataclass(frozen=True)
+class UnlinkRequest:
+    """Remove a file from the namespace (to the manager)."""
+
+    path: str
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class UnlinkReply:
+    handle: Optional[int]  # None if the path did not exist
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class StripeUnlink:
+    """Remove a handle's stripe file (to each I/O daemon)."""
+
+    request_id: int
+    handle: int
+
+
+@dataclass(frozen=True)
+class FsyncRequest:
+    """pvfs_fsync: flush a handle's dirty data on each I/O daemon."""
+
+    request_id: int
+    handle: int

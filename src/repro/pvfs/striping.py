@@ -1,0 +1,116 @@
+"""PVFS file striping: logical file offsets to (I/O node, stripe file) pairs.
+
+PVFS stripes a file round-robin across its I/O daemons in fixed-size
+stripes (64 kB by default).  Logical byte ``x`` lives in global stripe
+``x // stripe_size``; stripe ``g`` lives on I/O node ``g % n`` at local
+stripe index ``g // n`` of that node's stripe file.
+
+:meth:`StripeLayout.split_request` does the heavy lifting for list I/O:
+it walks a request's (memory piece, file piece) pairs, clips every file
+piece at stripe boundaries, and produces — per I/O node — the physical
+file segments *and* the matching client memory segments in a consistent
+serialization order, which is the order data is laid out in the server's
+staging buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, NamedTuple
+
+from repro.core.listio import ListIORequest
+from repro.mem.segments import Segment
+
+__all__ = ["StripedPiece", "StripeLayout"]
+
+
+class StripedPiece(NamedTuple):
+    """One stripe-clipped piece: where it sits on the server and in client RAM."""
+
+    mem: Segment        # client virtual memory
+    physical: Segment   # offset range within the I/O node's stripe file
+    logical: Segment    # original logical file range (for diagnostics)
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Round-robin striping geometry of one file."""
+
+    stripe_size: int
+    n_iods: int
+    base_iod: int = 0  # first stripe's I/O node (PVFS 'base' parameter)
+
+    def __post_init__(self) -> None:
+        if self.stripe_size <= 0:
+            raise ValueError("stripe size must be positive")
+        if self.n_iods <= 0:
+            raise ValueError("need at least one I/O node")
+        if not (0 <= self.base_iod < self.n_iods):
+            raise ValueError("base_iod out of range")
+
+    # -- point mappings ----------------------------------------------------
+
+    def iod_of(self, offset: int) -> int:
+        """Which I/O node holds logical byte ``offset``."""
+        if offset < 0:
+            raise ValueError("negative offset")
+        g = offset // self.stripe_size
+        return (g + self.base_iod) % self.n_iods
+
+    def physical_offset(self, offset: int) -> int:
+        """Offset of logical byte ``offset`` within its node's stripe file."""
+        if offset < 0:
+            raise ValueError("negative offset")
+        g = offset // self.stripe_size
+        return (g // self.n_iods) * self.stripe_size + offset % self.stripe_size
+
+    def logical_offset(self, iod: int, physical: int) -> int:
+        """Inverse mapping (used by tests and fsck-style checking)."""
+        local_stripe, within = divmod(physical, self.stripe_size)
+        g = local_stripe * self.n_iods + (iod - self.base_iod) % self.n_iods
+        return g * self.stripe_size + within
+
+    # -- segment mappings -----------------------------------------------------
+
+    def clip_to_stripes(self, seg: Segment) -> List[Segment]:
+        """Split a logical segment at stripe boundaries."""
+        out: List[Segment] = []
+        pos, end = seg.addr, seg.end
+        while pos < end:
+            stripe_end = (pos // self.stripe_size + 1) * self.stripe_size
+            n = min(end, stripe_end) - pos
+            out.append(Segment(pos, n))
+            pos += n
+        return out
+
+    def split_request(self, request: ListIORequest) -> Dict[int, List[StripedPiece]]:
+        """Partition a list-I/O request across I/O nodes.
+
+        Returns, for each I/O node index, the pieces it must service in
+        request serialization order.  Memory pieces and physical file
+        pieces correspond 1:1 within each node's list.
+        """
+        per_iod: Dict[int, List[StripedPiece]] = {}
+        for mem_piece, file_piece in request.mem_pieces_for_file_ranges():
+            mem_pos = mem_piece.addr
+            for part in self.clip_to_stripes(file_piece):
+                iod = self.iod_of(part.addr)
+                phys = Segment(self.physical_offset(part.addr), part.length)
+                mem = Segment(mem_pos, part.length)
+                per_iod.setdefault(iod, []).append(StripedPiece(mem, phys, part))
+                mem_pos += part.length
+        return per_iod
+
+    def file_size_on_iod(self, logical_size: int, iod: int) -> int:
+        """Bytes of a ``logical_size``-byte file stored on node ``iod``."""
+        if logical_size <= 0:
+            return 0
+        last = logical_size - 1
+        full_stripes_before = 0
+        g_last = last // self.stripe_size
+        for node_first_g in range((iod - self.base_iod) % self.n_iods, g_last + 1, self.n_iods):
+            if node_first_g < g_last:
+                full_stripes_before += 1
+            elif node_first_g == g_last:
+                return full_stripes_before * self.stripe_size + last % self.stripe_size + 1
+        return full_stripes_before * self.stripe_size

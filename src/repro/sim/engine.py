@@ -1,0 +1,346 @@
+"""Core event loop: events, processes, and the simulator clock.
+
+Time is a ``float`` in **microseconds** throughout the code base, matching
+the units the paper reports for network latency and registration overhead.
+Helper constants for converting are in :mod:`repro.calibration`.
+
+The engine is deliberately deterministic: ties in event time are broken by
+a monotonically increasing sequence number, so a simulation with the same
+inputs always produces the same schedule.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (double trigger, bad yield, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries an arbitrary payload supplied by the
+    interrupter (e.g. a reason string or the failing request).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "not yet triggered" from "triggered with None".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event is *triggered* at most once, either with :meth:`succeed` (an
+    optional value) or :meth:`fail` (an exception).  Processes waiting on
+    the event are resumed in FIFO order at the simulated time the trigger
+    is processed.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "name", "defused")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self.name = name
+        # A failed event marked defused does not propagate out of run();
+        # interrupt deliveries are defused because the target handles them.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire (or has fired)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is fully done)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError(f"event {self!r} has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` simulated time."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event has ``exc`` raised at its yield
+        point, so failures propagate like ordinary Python exceptions.
+        """
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = exc
+        self._ok = False
+        self.sim._schedule(self, delay)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:  # type: ignore[union-attr]
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        label = self.name or type(self).__name__
+        return f"<{label} {state} at t={self.sim.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay}")
+        super().__init__(sim, name=f"Timeout({delay:g})")
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator-coroutine; also an event that fires on return.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event fires, the generator is resumed with the event's value (or has
+    the event's exception thrown in).  When the generator returns, this
+    process-event succeeds with the return value; an unhandled exception
+    fails it (and propagates out of :meth:`Simulator.run` if nobody waits
+    on the process).
+    """
+
+    __slots__ = ("gen", "_target")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "proc"))
+        self.gen = gen
+        self._target: Optional[Event] = None
+        # Kick off the process at the current simulated time.
+        init = Event(sim, name="init")
+        init._value = None
+        init._ok = True
+        init.callbacks.append(self._resume)
+        sim._schedule(init, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        interrupt_ev = Event(self.sim, name="interrupt")
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._ok = False
+        interrupt_ev.defused = True
+        interrupt_ev.callbacks.append(self._resume)
+        self.sim._schedule(interrupt_ev, 0.0)
+
+    def _resume(self, trigger: Event) -> None:
+        self._target = None
+        try:
+            if trigger.ok:
+                nxt = self.gen.send(trigger.value)
+            else:
+                nxt = self.gen.throw(trigger.value)
+        except StopIteration as stop:
+            self._value = stop.value
+            self._ok = True
+            self.sim._schedule(self, 0.0)
+            return
+        except BaseException as exc:
+            self._value = exc
+            self._ok = False
+            self.sim._schedule(self, 0.0)
+            return
+
+        if not isinstance(nxt, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {nxt!r}; processes must "
+                "yield Event instances (timeout(), store.get(), ...)"
+            )
+        if nxt.callbacks is None:
+            # Already processed: resume immediately at the current time.
+            passthrough = Event(self.sim, name="passthrough")
+            passthrough._value = nxt._value
+            passthrough._ok = nxt._ok
+            passthrough.callbacks.append(self._resume)
+            self.sim._schedule(passthrough, 0.0)
+        else:
+            self._target = nxt
+            nxt.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str):
+        super().__init__(sim, name=name)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._child_done(ev)
+            else:
+                ev.callbacks.append(self._child_done)
+
+    def _child_done(self, ev: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every child event has fired; value is the list of values."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="AllOf")
+
+    def _child_done(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when the first child event fires; value is that child's value."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, events, name="AnyOf")
+
+    def _child_done(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self.succeed(ev.value)
+
+
+class Simulator:
+    """The event loop and virtual clock.
+
+    All times are microseconds.  :meth:`run` drains the event heap until
+    empty (or until ``until``); it raises any exception of a failed event
+    that no process was waiting on, so silent error swallowing cannot
+    corrupt an experiment.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+
+    # -- scheduling ------------------------------------------------------
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -- factories -------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process a single event (advancing the clock to it)."""
+        t, _, event = heapq.heappop(self._heap)
+        self.now = t
+        had_waiters = bool(event.callbacks)
+        event._run_callbacks()
+        if (
+            not event._ok
+            and not had_waiters
+            and not getattr(event, "defused", False)
+        ):
+            # A failure nobody was waiting on: surface it rather than let a
+            # crashed server process silently corrupt an experiment.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)

@@ -1,0 +1,137 @@
+"""Shared-resource primitives built on the event engine.
+
+- :class:`Store` — an unbounded (or bounded) FIFO of items, the message
+  queue used for wire protocol delivery between simulated nodes.
+- :class:`Resource` — a counting semaphore for modelling limited server
+  capacity (e.g. an I/O daemon servicing one request at a time).
+- :class:`Lock` — a convenience capacity-1 resource used for the file
+  range locks Active Data Sieving takes during read-modify-write.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+__all__ = ["Store", "Resource", "Lock"]
+
+
+class Store:
+    """FIFO item store with blocking ``get`` and optional capacity bound.
+
+    ``put`` returns an event that fires when the item has been accepted
+    (immediately unless the store is full); ``get`` returns an event that
+    fires with the oldest item once one is available.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf"), name: str = ""):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        ev = Event(self.sim, name=f"put:{self.name}")
+        if len(self.items) < self.capacity:
+            self._deliver(item)
+            ev.succeed()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        ev = Event(self.sim, name=f"get:{self.name}")
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def _deliver(self, item: Any) -> None:
+        # Hand directly to a waiting getter if any, else enqueue.
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self.items.append(item)
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and len(self.items) < self.capacity:
+            ev, item = self._putters.popleft()
+            self._deliver(item)
+            ev.succeed()
+
+
+class Resource:
+    """Counting semaphore; ``request()`` yields an event, pair with ``release()``.
+
+    Usage inside a process::
+
+        yield resource.request()
+        try:
+            ...critical section...
+        finally:
+            resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def request(self) -> Event:
+        ev = Event(self.sim, name=f"acquire:{self.name}")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError(f"release of un-acquired resource {self.name!r}")
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.triggered:
+                continue
+            waiter.succeed()
+            return
+        self.in_use -= 1
+
+    def held(self) -> Generator:
+        """Generator helper: ``yield from resource.held()`` acquires, and the
+        caller must still call :meth:`release`; provided for symmetry in
+        tests."""
+        yield self.request()
+
+
+class Lock(Resource):
+    """A mutual-exclusion lock (capacity-1 resource)."""
+
+    def __init__(self, sim: Simulator, name: str = ""):
+        super().__init__(sim, capacity=1, name=name)
+
+    @property
+    def locked(self) -> bool:
+        return self.in_use > 0

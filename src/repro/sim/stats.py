@@ -1,0 +1,110 @@
+"""Lightweight statistics collection shared by all substrates.
+
+Table 6 of the paper profiles request counts, registration counts and
+cache hits, disk read/write call counts, and bytes moved on the network.
+Every substrate increments named :class:`Counter` objects in a
+:class:`StatRegistry`; the benchmark harness snapshots and diffs them to
+regenerate the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["Counter", "TimeSeries", "StatRegistry"]
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing tally with an optional byte total."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.count += 1
+        self.total += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.count += other.count
+        self.total += other.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}: n={self.count}, total={self.total:g})"
+
+
+@dataclass
+class TimeSeries:
+    """Append-only series of (simulated time, value) samples."""
+
+    name: str
+    samples: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, t: float, value: float) -> None:
+        self.samples.append((t, value))
+
+    def values(self) -> List[float]:
+        return [v for _, v in self.samples]
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class StatRegistry:
+    """Namespace of counters and series, cheap to snapshot and diff.
+
+    Counter names are dotted paths such as ``ib.registration.ops`` or
+    ``disk.read.calls`` so the benchmark harness can aggregate by prefix.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def series(self, name: str) -> TimeSeries:
+        s = self._series.get(name)
+        if s is None:
+            s = self._series[name] = TimeSeries(name)
+        return s
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).add(amount)
+
+    def count(self, name: str) -> int:
+        c = self._counters.get(name)
+        return c.count if c else 0
+
+    def total(self, name: str) -> float:
+        c = self._counters.get(name)
+        return c.total if c else 0.0
+
+    def prefixed(self, prefix: str) -> Iterator[Counter]:
+        for name, c in sorted(self._counters.items()):
+            if name.startswith(prefix):
+                yield c
+
+    def snapshot(self) -> Dict[str, Tuple[int, float]]:
+        """Immutable copy of all counters, for before/after diffing."""
+        return {n: (c.count, c.total) for n, c in self._counters.items()}
+
+    def diff(self, before: Dict[str, Tuple[int, float]]) -> Dict[str, Tuple[int, float]]:
+        """Counter deltas since ``before`` (a prior :meth:`snapshot`)."""
+        out: Dict[str, Tuple[int, float]] = {}
+        for name, c in self._counters.items():
+            b_count, b_total = before.get(name, (0, 0.0))
+            d_count, d_total = c.count - b_count, c.total - b_total
+            if d_count or d_total:
+                out[name] = (d_count, d_total)
+        return out
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._series.clear()

@@ -1,0 +1,89 @@
+"""Opt-in event tracing: what happened when, in simulated time.
+
+A :class:`Tracer` collects (time, node, event, detail) tuples from
+instrumented call sites (the PVFS client and I/O daemons trace request
+lifecycles when a tracer is attached to their cluster).  Use it to see
+*why* an operation took the time it did — queueing on staging buffers,
+disk phases, transfer phases — without print-debugging the simulator.
+
+Usage::
+
+    cluster = PVFSCluster(...)
+    tracer = cluster.enable_tracing()
+    ...run workload...
+    print(tracer.render())          # human-readable timeline
+    spans = tracer.spans("iod.disk")  # matched start/end durations
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    t: float          # simulated microseconds
+    node: str
+    event: str        # dotted name, e.g. "iod.request", "iod.disk.start"
+    detail: str = ""
+
+
+class Tracer:
+    """Append-only trace with span matching and filtering."""
+
+    def __init__(self, clock: Callable[[], float]):
+        self._clock = clock
+        self.events: List[TraceEvent] = []
+
+    def record(self, node: str, event: str, detail: str = "") -> None:
+        self.events.append(TraceEvent(self._clock(), node, event, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- queries -----------------------------------------------------------
+
+    def filter(self, prefix: str = "", node: str = "") -> List[TraceEvent]:
+        return [
+            e
+            for e in self.events
+            if e.event.startswith(prefix) and (not node or e.node == node)
+        ]
+
+    def spans(self, name: str) -> List[Tuple[TraceEvent, TraceEvent, float]]:
+        """Match ``<name>.start``/``<name>.end`` pairs per (node, detail).
+
+        Returns (start_event, end_event, duration_us) tuples in start
+        order.  Unmatched starts are ignored (still-open spans).
+        """
+        open_spans: Dict[Tuple[str, str], TraceEvent] = {}
+        out: List[Tuple[TraceEvent, TraceEvent, float]] = []
+        for e in self.events:
+            if e.event == f"{name}.start":
+                open_spans[(e.node, e.detail)] = e
+            elif e.event == f"{name}.end":
+                start = open_spans.pop((e.node, e.detail), None)
+                if start is not None:
+                    out.append((start, e, e.t - start.t))
+        out.sort(key=lambda s: s[0].t)
+        return out
+
+    def total_time(self, name: str) -> float:
+        """Sum of all matched span durations for ``name``."""
+        return sum(d for _, _, d in self.spans(name))
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """One line per event: ``[time ms] node event detail``."""
+        events = self.events if limit is None else self.events[:limit]
+        lines = [
+            f"[{e.t / 1e3:10.3f} ms] {e.node:8s} {e.event:24s} {e.detail}"
+            for e in events
+        ]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

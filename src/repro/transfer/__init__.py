@@ -1,0 +1,36 @@
+"""Noncontiguous data transmission schemes (Section 4 of the paper).
+
+Three ways to move a list of client buffers to/from one contiguous
+server buffer, plus the paper's final hybrid:
+
+- :class:`MultipleMessage` — one RDMA operation per contiguous piece
+  (the scheme TCP-based PVFS list I/O effectively uses).
+- :class:`PackUnpack` — copy through a contiguous temporary buffer,
+  either a pre-registered pool buffer (``pooled=True``, no registration
+  cost — the MPICH-style approach with a persistent pack buffer) or a
+  freshly allocated one that must be registered and deregistered.
+- :class:`RdmaGatherScatter` — the paper's contribution: one (or a few)
+  gather/scatter work requests moving all pieces zero-copy, with the
+  buffer registration strategy pluggable (``individual``, ``one_region``
+  or ``ogr``).
+- :class:`Hybrid` — pack below the Fast-RDMA threshold (64 kB), gather
+  with OGR above it (Section 4.3's final design).
+
+All schemes implement :class:`TransferScheme` and are exercised
+uniformly by the Figure 3/4 benchmarks and by the PVFS client.
+"""
+
+from repro.transfer.base import TransferContext, TransferScheme
+from repro.transfer.multiple import MultipleMessage
+from repro.transfer.pack import PackUnpack
+from repro.transfer.gather import RdmaGatherScatter
+from repro.transfer.hybrid import Hybrid
+
+__all__ = [
+    "Hybrid",
+    "MultipleMessage",
+    "PackUnpack",
+    "RdmaGatherScatter",
+    "TransferContext",
+    "TransferScheme",
+]

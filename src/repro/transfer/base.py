@@ -1,0 +1,95 @@
+"""Common interface of the noncontiguous transfer schemes."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Generator, Optional, Sequence
+
+from repro.ib.fast_rdma import FastRdmaPool
+from repro.ib.qp import QueuePair
+from repro.mem.segments import Segment, total_bytes, validate_segments
+
+__all__ = ["TransferContext", "TransferScheme"]
+
+
+@dataclass
+class TransferContext:
+    """Everything one noncontiguous transfer needs.
+
+    ``qp`` is the client-side endpoint; ``remote_addr`` is a contiguous,
+    already-registered buffer on the server (PVFS I/O daemons stage list
+    I/O through contiguous buffers — Section 4's observation that "buffers
+    on the I/O nodes are usually contiguous").  ``prepared`` marks that
+    the buffers were registered up front by :meth:`TransferScheme.prepare`
+    for the whole list-I/O call, so the per-request transfer must not
+    deregister them.
+    """
+
+    qp: QueuePair
+    mem_segments: Sequence[Segment]
+    remote_addr: int
+    pool: Optional[FastRdmaPool] = None  # client-side pre-registered buffers
+    prepared: bool = False
+
+    def __post_init__(self) -> None:
+        self.mem_segments = list(self.mem_segments)
+        validate_segments(self.mem_segments)
+        if not self.mem_segments:
+            raise ValueError("transfer needs at least one segment")
+
+    @property
+    def total_bytes(self) -> int:
+        return total_bytes(self.mem_segments)
+
+    @property
+    def client(self):
+        return self.qp.node
+
+    @property
+    def sim(self):
+        return self.qp.sim
+
+    @property
+    def testbed(self):
+        return self.qp.node.testbed
+
+
+class TransferScheme(ABC):
+    """A way to move noncontiguous client data to/from the server."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def write(self, ctx: TransferContext) -> Generator:
+        """Client buffers -> server contiguous buffer; returns bytes moved."""
+
+    @abstractmethod
+    def read(self, ctx: TransferContext) -> Generator:
+        """Server contiguous buffer -> client buffers; returns bytes moved."""
+
+    def use_eager(self, total_bytes: int, testbed) -> bool:
+        """Should a transfer of this size ride the Fast-RDMA eager path?
+
+        The eager path packs data through pre-registered fast buffers
+        *ahead of* the request, skipping the rendezvous round trip
+        (Section 4.3).  Only pack-capable schemes opt in.
+        """
+        return False
+
+    def prepare(self, hca, space, segments: Sequence[Segment]):
+        """Register all of a list-I/O call's buffers up front.
+
+        Section 4.3 registers the *call's* buffer list once; the
+        per-I/O-node transfers then find the registrations cached.
+        Returns ``(state, cost_us)``; state is passed to :meth:`finish`
+        and may be ``None`` for schemes that never register.
+        """
+        return None, 0.0
+
+    def finish(self, state) -> float:
+        """Release what :meth:`prepare` set up; returns the time cost."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name}>"

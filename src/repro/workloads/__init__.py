@@ -1,0 +1,28 @@
+"""The paper's evaluation workloads.
+
+- :mod:`repro.workloads.subarray` — 2-D array block-distributed over 4
+  processes; the transfer-scheme micro-benchmark of Figure 3 and the OGR
+  experiment of Table 4.
+- :mod:`repro.workloads.blockcolumn` — the 1-D block-column file view of
+  Figure 5, driving the MPI-IO noncontiguous benchmarks of Figures 6/7.
+- :mod:`repro.workloads.tileio` — mpi-tile-io: tiled access to a dense
+  2-D display dataset (Figures 8/9).
+- :mod:`repro.workloads.btio` — the NAS BTIO access pattern (diagonal
+  multipartitioning) behind Tables 5 and 6.
+- :mod:`repro.workloads.noncontig` — the ROMIO "noncontig" cyclic-vector
+  microbenchmark the paper cites as motivation (reference [15]).
+"""
+
+from repro.workloads.subarray import SubarrayWorkload
+from repro.workloads.blockcolumn import BlockColumnWorkload
+from repro.workloads.tileio import TileIOWorkload
+from repro.workloads.btio import BTIOWorkload
+from repro.workloads.noncontig import NoncontigWorkload
+
+__all__ = [
+    "BTIOWorkload",
+    "BlockColumnWorkload",
+    "NoncontigWorkload",
+    "SubarrayWorkload",
+    "TileIOWorkload",
+]

@@ -1,0 +1,72 @@
+"""Block-column workload (Figure 5): each process reads/writes 1 unit in 4.
+
+The file is an array of ``n`` units, each ``unit_ints`` 4-byte ints
+(the paper varies the array size n from 512 to 8192, so each process
+touches n/4 units — "the numbers of columns touched by each process
+changes from 128 to 2048").  Process ``p`` of 4 accesses units
+``p, p+4, p+8, ...`` — noncontiguous in the file, contiguous in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.mpiio import BYTE, Contiguous, FileView, Hints, Resized
+from repro.mpiio.app import MpiContext
+
+__all__ = ["BlockColumnWorkload"]
+
+INT_BYTES = 4
+
+
+@dataclass
+class BlockColumnWorkload:
+    """The Figures 6/7 benchmark program."""
+
+    n: int                   # array size (units in the file = n)
+    nprocs: int = 4
+    path: str = "/pfs/blockcolumn"
+
+    @property
+    def unit_bytes(self) -> int:
+        # One "unit" is a column of n ints.
+        return self.n * INT_BYTES
+
+    @property
+    def units_per_proc(self) -> int:
+        return self.n // self.nprocs
+
+    @property
+    def bytes_per_proc(self) -> int:
+        return self.units_per_proc * self.unit_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.n * self.unit_bytes
+
+    def view_for(self, rank: int) -> FileView:
+        ft = Resized(
+            Contiguous(self.unit_bytes, BYTE), self.nprocs * self.unit_bytes
+        )
+        return FileView(filetype=ft, disp=rank * self.unit_bytes)
+
+    def program(self, op: str, hints: Hints, fill_byte: int | None = None):
+        """Rank program for :func:`repro.mpiio.app.mpi_run`."""
+
+        def fn(ctx: MpiContext) -> Generator:
+            mf = yield from ctx.open_mpi(self.path, hints)
+            mf.set_view(self.view_for(ctx.rank))
+            nbytes = self.bytes_per_proc
+            addr = ctx.space.malloc(nbytes)
+            if op == "write":
+                b = (ctx.rank + 1) if fill_byte is None else fill_byte
+                ctx.space.write(addr, bytes([b]) * nbytes)
+                yield from mf.write_all(addr, BYTE, nbytes)
+            elif op == "read":
+                yield from mf.read_all(addr, BYTE, nbytes)
+            else:
+                raise ValueError(f"unknown op {op!r}")
+            return addr
+
+        return fn

@@ -1,0 +1,249 @@
+"""NAS BTIO workload: the Block-Tridiagonal solver's output pattern.
+
+BT distributes an N x N x N grid over p = q*q processors by *diagonal
+multipartitioning*: the cube is cut into q x q x q cells of (N/q)^3
+points; processor (i, j) owns the q cells ((i+k) mod q, (j+k) mod q, k)
+for k = 0..q-1 — one per z-slab, arranged along a diagonal so every
+processor participates in every solve sweep.
+
+Every ``wr_interval`` timesteps the solution (5 doubles per grid point,
+stored x-fastest) is appended to the output file; after time-stepping
+the whole file is read back for verification.  Each cell's dump is one
+MPI write: noncontiguous in the file (one piece per (z, y) pencil of the
+cell: (N/q) points x 40 B) *and* noncontiguous in memory (cell arrays
+carry ghost shells) — "a very high degree of fragmentation", the
+combination of both noncontiguity sources the paper uses as its final
+benchmark (Tables 5 and 6).
+
+The numerical solve itself only sets the time between dumps; it is
+modeled as a fixed compute phase calibrated so the no-I/O class-A run
+takes the paper's 165.6 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.mem.segments import Segment
+from repro.mpiio import BYTE, FileView, Hindexed, Hints, Resized
+from repro.mpiio.app import MpiContext
+
+__all__ = ["BTIOWorkload"]
+
+DOUBLES_PER_POINT = 5
+POINT_BYTES = DOUBLES_PER_POINT * 8  # 40
+GHOST = 1  # ghost-shell width in the in-memory cell arrays
+
+# The paper's class-A no-I/O run takes 165.6 s.  Table 6's op counts
+# (81920 write pieces = 2048 pieces/rank/dump x 4 ranks x 10 dumps, the
+# same again for the verification read-back, ~200 MB moved in total)
+# pin the configuration at 10 dumps.
+CLASS_A_COMPUTE_US = 165.6e6
+
+
+# NPB problem classes: grid edge per class (BT uses slightly non-power-
+# of-two grids for B/C).  Compute time scales ~grid^3 from the measured
+# class-A baseline.
+NPB_CLASSES = {"S": 12, "W": 24, "A": 64, "B": 102, "C": 162}
+
+
+@dataclass
+class BTIOWorkload:
+    """The BTIO benchmark program generator."""
+
+    grid: int = 64            # class A
+    nprocs: int = 4
+    dumps: int = 10
+    total_compute_us: float = CLASS_A_COMPUTE_US
+    path: str = "/pfs/btio"
+    verify: bool = True       # read the file back after time-stepping
+    # Deterministic compute skew: each dump interval, one rank (rotating)
+    # runs ``(1 + jitter)`` times slower.  Real BT ranks never finish in
+    # lockstep (OS noise, sweep imbalance); this models that without
+    # randomness.  Synchronous (collective) I/O pays max-over-ranks at
+    # every dump; independent I/O only pays it once at the end.
+    jitter: float = 0.0
+
+    @classmethod
+    def for_class(cls, npb_class: str, nprocs: int = 4, **kw) -> "BTIOWorkload":
+        """Build the workload for an NPB problem class (S/W/A/B/C).
+
+        ``total_compute_us`` scales as grid^3 from the paper's measured
+        class-A baseline unless given explicitly.
+        """
+        grid = NPB_CLASSES.get(npb_class.upper())
+        if grid is None:
+            raise ValueError(
+                f"unknown NPB class {npb_class!r}; pick one of {sorted(NPB_CLASSES)}"
+            )
+        q = int(round(nprocs ** 0.5))
+        if q and grid % q:
+            # BT pads odd grids to the processor grid; emulate by rounding
+            # the edge up to the next multiple of q.
+            grid += q - grid % q
+        kw.setdefault(
+            "total_compute_us", CLASS_A_COMPUTE_US * (grid / 64) ** 3
+        )
+        return cls(grid=grid, nprocs=nprocs, **kw)
+
+    def __post_init__(self) -> None:
+        q = int(round(self.nprocs ** 0.5))
+        if q * q != self.nprocs:
+            raise ValueError("BT needs a square number of processors")
+        if self.grid % q:
+            raise ValueError("grid size must divide by sqrt(nprocs)")
+        self.q = q
+        self.cell = self.grid // q  # points per cell edge
+        self._filetype_cache: Dict[Tuple[int, int, int], Resized] = {}
+
+    # -- geometry -----------------------------------------------------------
+
+    def cells_of(self, rank: int) -> List[Tuple[int, int, int]]:
+        """Cell coordinates (cx, cy, cz) owned by ``rank``."""
+        i, j = rank % self.q, rank // self.q
+        return [((i + k) % self.q, (j + k) % self.q, k) for k in range(self.q)]
+
+    @property
+    def dump_bytes(self) -> int:
+        return self.grid ** 3 * POINT_BYTES
+
+    @property
+    def cell_data_bytes(self) -> int:
+        return self.cell ** 3 * POINT_BYTES
+
+    @property
+    def bytes_per_rank_per_dump(self) -> int:
+        return self.q * self.cell_data_bytes
+
+    @property
+    def pieces_per_cell(self) -> int:
+        return self.cell * self.cell
+
+    def file_runs_of_cell(self, cx: int, cy: int, cz: int) -> List[Segment]:
+        """File pieces of one cell's dump, relative to the dump start.
+
+        One piece per (z, y) pencil: cs points x 40 bytes, at the global
+        x-fastest offset of point (cx*cs, y, z).
+        """
+        cs = self.cell
+        n = self.grid
+        out: List[Segment] = []
+        for z in range(cz * cs, (cz + 1) * cs):
+            for y in range(cy * cs, (cy + 1) * cs):
+                off = ((z * n + y) * n + cx * cs) * POINT_BYTES
+                out.append(Segment(off, cs * POINT_BYTES))
+        return out
+
+    def mem_runs_of_cell(self, cell_index: int) -> List[Segment]:
+        """Memory pieces of one cell within the rank's solution buffer.
+
+        Cells live consecutively in one allocation; each cell is a
+        (cs+2)^3 array with ghost shells, interior rows are the data.
+        """
+        cs = self.cell
+        g = cs + 2 * GHOST
+        cell_extent = g ** 3 * POINT_BYTES
+        base = cell_index * cell_extent
+        out: List[Segment] = []
+        for z in range(cs):
+            for y in range(cs):
+                off = base + (
+                    ((z + GHOST) * g + (y + GHOST)) * g + GHOST
+                ) * POINT_BYTES
+                out.append(Segment(off, cs * POINT_BYTES))
+        return out
+
+    @property
+    def rank_buffer_bytes(self) -> int:
+        g = self.cell + 2 * GHOST
+        return self.q * g ** 3 * POINT_BYTES
+
+    # -- datatypes -----------------------------------------------------------------
+
+    def cell_filetype(self, cx: int, cy: int, cz: int) -> Resized:
+        key = (cx, cy, cz)
+        cached = self._filetype_cache.get(key)
+        if cached is not None:
+            return cached
+        runs = self.file_runs_of_cell(cx, cy, cz)
+        ht = Hindexed([r.length for r in runs], [r.addr for r in runs], BYTE)
+        # Tiling period = one whole dump, so dump d maps via view offset.
+        ft = Resized(ht, self.dump_bytes)
+        self._filetype_cache[key] = ft
+        return ft
+
+    def cell_memtype(self, cell_index: int) -> Hindexed:
+        runs = self.mem_runs_of_cell(cell_index)
+        return Hindexed([r.length for r in runs], [r.addr for r in runs], BYTE)
+
+    # -- the program -------------------------------------------------------------------
+
+    def fill_pattern(self, rank: int, dump: int) -> int:
+        return ((rank + 1) * 37 + dump * 11) % 251 + 1
+
+    def program(self, hints: Optional[Hints], results: Optional[Dict] = None):
+        """Rank program.  ``hints=None`` runs the no-I/O baseline.
+
+        ``results`` (if given) collects per-rank verification outcomes.
+        """
+        compute_per_dump = self.total_compute_us / self.dumps
+
+        def fn(ctx: MpiContext) -> Generator:
+            cells = self.cells_of(ctx.rank)
+            buf = ctx.space.malloc(self.rank_buffer_bytes)
+            mem_types = [self.cell_memtype(k) for k in range(self.q)]
+            mf = None
+            if hints is not None:
+                mf = yield from ctx.open_mpi(self.path, hints)
+
+            for dump in range(self.dumps):
+                # The BT solve between dumps (with optional skew: the
+                # rank whose turn it is runs slower this interval).
+                slow = (dump % self.nprocs) == ctx.rank
+                factor = 1.0 + (self.jitter if slow else 0.0)
+                yield ctx.sim.timeout(compute_per_dump * factor)
+                if mf is None:
+                    continue
+                # Fill the interior with this dump's pattern.
+                pat = self.fill_pattern(ctx.rank, dump)
+                for k in range(self.q):
+                    for run in self.mem_runs_of_cell(k):
+                        ctx.space.write(buf + run.addr, bytes([pat]) * run.length)
+                # One collective write per cell (BTIO's "simple" shape).
+                for k, (cx, cy, cz) in enumerate(cells):
+                    mf.set_view(FileView(filetype=self.cell_filetype(cx, cy, cz)))
+                    yield from mf.write_all(
+                        buf + 0,
+                        mem_types[k],
+                        1,
+                        view_offset=dump * self.cell_data_bytes,
+                    )
+                    # mem_types[k] displacements are absolute within buf.
+
+            ok = True
+            if mf is not None and self.verify:
+                # Read the full file back (the BTIO verification pass)
+                # into a fresh buffer and check the last dump's pattern.
+                vbuf = ctx.space.malloc(self.rank_buffer_bytes)
+                for dump in range(self.dumps):
+                    for k, (cx, cy, cz) in enumerate(cells):
+                        mf.set_view(
+                            FileView(filetype=self.cell_filetype(cx, cy, cz))
+                        )
+                        yield from mf.read_all(
+                            vbuf + 0,
+                            mem_types[k],
+                            1,
+                            view_offset=dump * self.cell_data_bytes,
+                        )
+                        pat = self.fill_pattern(ctx.rank, dump)
+                        probe = self.mem_runs_of_cell(k)[0]
+                        got = ctx.space.read(vbuf + probe.addr, probe.length)
+                        if got != bytes([pat]) * probe.length:
+                            ok = False
+            if results is not None:
+                results[ctx.rank] = ok
+            return ok
+
+        return fn

@@ -1,0 +1,82 @@
+"""The ROMIO "noncontig" microbenchmark (Latham & Ross, reference [15]).
+
+The paper cites this benchmark as the demonstration that PVFS+ROMIO
+noncontiguous access had "performance problems" its own mechanisms then
+address.  The access pattern is a cyclic vector: the file is a sequence
+of *elements* of ``elmtsize`` bytes; process ``p`` of ``nprocs`` owns
+runs of ``veclen`` consecutive elements repeating every
+``nprocs * veclen`` elements::
+
+    p0 p0 p0 p1 p1 p1 p2 p2 p2 p3 p3 p3 p0 p0 p0 ...   (veclen = 3)
+
+Small ``veclen * elmtsize`` makes the pieces tiny (down to a single
+8-byte double), the regime where per-access costs dominate everything —
+finer-grained than the block-column test, whose unit grows with the
+array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.mpiio import BYTE, Contiguous, FileView, Hints, Resized
+from repro.mpiio.app import MpiContext
+
+__all__ = ["NoncontigWorkload"]
+
+
+@dataclass
+class NoncontigWorkload:
+    """The noncontig benchmark program."""
+
+    veclen: int = 32            # elements per contiguous run
+    elmtsize: int = 8           # bytes per element (a double)
+    bytes_per_proc: int = 512 * 1024
+    nprocs: int = 4
+    path: str = "/pfs/noncontig"
+
+    def __post_init__(self) -> None:
+        if self.veclen < 1 or self.elmtsize < 1:
+            raise ValueError("veclen and elmtsize must be positive")
+        run = self.run_bytes
+        if self.bytes_per_proc % run:
+            raise ValueError(
+                f"bytes_per_proc must be a multiple of the {run}-byte run"
+            )
+
+    @property
+    def run_bytes(self) -> int:
+        return self.veclen * self.elmtsize
+
+    @property
+    def runs_per_proc(self) -> int:
+        return self.bytes_per_proc // self.run_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.nprocs * self.bytes_per_proc
+
+    def view_for(self, rank: int) -> FileView:
+        run = Contiguous(self.run_bytes, BYTE)
+        tile = Resized(run, self.nprocs * self.run_bytes)
+        return FileView(filetype=tile, disp=rank * self.run_bytes)
+
+    def program(self, op: str, hints: Hints):
+        """Rank program for :func:`repro.mpiio.app.mpi_run`."""
+
+        def fn(ctx: MpiContext) -> Generator:
+            mf = yield from ctx.open_mpi(self.path, hints)
+            mf.set_view(self.view_for(ctx.rank))
+            n = self.bytes_per_proc
+            addr = ctx.space.malloc(n)
+            if op == "write":
+                ctx.space.write(addr, bytes([ctx.rank + 1]) * n)
+                yield from mf.write_all(addr, BYTE, n)
+            elif op == "read":
+                yield from mf.read_all(addr, BYTE, n)
+            else:
+                raise ValueError(f"unknown op {op!r}")
+            return addr
+
+        return fn

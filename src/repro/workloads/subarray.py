@@ -1,0 +1,84 @@
+"""2-D subarray workload: rows of one process's block of an N x N array.
+
+The scenario of Figure 3 and Table 4: an N x N array of 4-byte ints is
+block-distributed over 4 processes (2 x 2); each process owns an
+(N/2) x (N/2) subarray whose rows are noncontiguous in the parent array
+(row length N/2 ints, gap N/2 ints).  The workload allocates the
+*parent* array (one malloc — the common case OGR optimizes for) and
+exposes the subarray's rows as a segment list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.segments import Segment
+
+__all__ = ["SubarrayWorkload"]
+
+INT_BYTES = 4
+
+
+@dataclass
+class SubarrayWorkload:
+    """One process's subarray of a block-distributed 2-D int array."""
+
+    n: int                  # parent array is n x n ints
+    pgrid: int = 2          # process grid is pgrid x pgrid
+    proc_row: int = 0
+    proc_col: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n % self.pgrid:
+            raise ValueError("array size must divide evenly over the grid")
+        if not (0 <= self.proc_row < self.pgrid and 0 <= self.proc_col < self.pgrid):
+            raise ValueError("process coordinates out of grid")
+
+    @property
+    def sub_n(self) -> int:
+        return self.n // self.pgrid
+
+    @property
+    def row_bytes(self) -> int:
+        return self.sub_n * INT_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        return self.sub_n * self.row_bytes
+
+    @property
+    def parent_bytes(self) -> int:
+        return self.n * self.n * INT_BYTES
+
+    def allocate(self, space: AddressSpace, fill: bool = False) -> List[Segment]:
+        """malloc the parent array; return the subarray's row segments."""
+        base = space.malloc(self.parent_bytes)
+        segs = self.segments(base)
+        if fill:
+            for i, s in enumerate(segs):
+                space.write(s.addr, bytes([(i % 255) + 1]) * s.length)
+        return segs
+
+    def segments(self, base: int) -> List[Segment]:
+        """Row segments of this process's block within the parent at ``base``."""
+        row_stride = self.n * INT_BYTES
+        start = (
+            base
+            + self.proc_row * self.sub_n * row_stride
+            + self.proc_col * self.row_bytes
+        )
+        return [
+            Segment(start + r * row_stride, self.row_bytes)
+            for r in range(self.sub_n)
+        ]
+
+    def file_segments(self, file_base: int = 0) -> List[Segment]:
+        """Where the subarray lands when each process writes its block
+        contiguously at a non-overlapping file location (the Table 4
+        test: "each process writes its subarray into the file
+        contiguously")."""
+        rank = self.proc_row * self.pgrid + self.proc_col
+        offset = file_base + rank * self.total_bytes
+        return [Segment(offset, self.total_bytes)]

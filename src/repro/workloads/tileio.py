@@ -1,0 +1,81 @@
+"""mpi-tile-io workload (Figures 8/9): tiled access to a dense 2-D frame.
+
+"Each compute node renders to one of a 2 x 2 array of displays, each
+with 1024 x 768 pixels.  The size of each element is 24 bits, leading to
+a file size of 9 MB."  A rank's tile is a 2-D subarray of the global
+frame: noncontiguous in the file (one piece per pixel row), contiguous
+in memory — the access shape visualization codes generate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.mpiio import BYTE, FileView, Hints, Subarray
+from repro.mpiio.app import MpiContext
+from repro.mpiio.datatype import Primitive
+
+__all__ = ["TileIOWorkload"]
+
+
+@dataclass
+class TileIOWorkload:
+    """The mpi-tile-io benchmark program."""
+
+    tiles_x: int = 2
+    tiles_y: int = 2
+    tile_width: int = 1024
+    tile_height: int = 768
+    element_bytes: int = 3  # 24-bit pixels
+    path: str = "/pfs/tile"
+
+    @property
+    def frame_width(self) -> int:
+        return self.tiles_x * self.tile_width
+
+    @property
+    def frame_height(self) -> int:
+        return self.tiles_y * self.tile_height
+
+    @property
+    def file_bytes(self) -> int:
+        return self.frame_width * self.frame_height * self.element_bytes
+
+    @property
+    def tile_bytes(self) -> int:
+        return self.tile_width * self.tile_height * self.element_bytes
+
+    @property
+    def nprocs(self) -> int:
+        return self.tiles_x * self.tiles_y
+
+    def view_for(self, rank: int) -> FileView:
+        ty, tx = divmod(rank, self.tiles_x)
+        pixel = Primitive(self.element_bytes, "pixel")
+        ft = Subarray(
+            sizes=[self.frame_height, self.frame_width],
+            subsizes=[self.tile_height, self.tile_width],
+            starts=[ty * self.tile_height, tx * self.tile_width],
+            base=pixel,
+        )
+        return FileView(filetype=ft)
+
+    def program(self, op: str, hints: Hints):
+        """Rank program: write or read one frame's tile."""
+
+        def fn(ctx: MpiContext) -> Generator:
+            mf = yield from ctx.open_mpi(self.path, hints)
+            mf.set_view(self.view_for(ctx.rank))
+            nbytes = self.tile_bytes
+            addr = ctx.space.malloc(nbytes)
+            if op == "write":
+                ctx.space.write(addr, bytes([ctx.rank + 1]) * nbytes)
+                yield from mf.write_all(addr, BYTE, nbytes)
+            elif op == "read":
+                yield from mf.read_all(addr, BYTE, nbytes)
+            else:
+                raise ValueError(f"unknown op {op!r}")
+            return addr
+
+        return fn

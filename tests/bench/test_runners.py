@@ -1,0 +1,76 @@
+"""Smoke tests for the experiment runners (tiny configurations).
+
+The full-size runs live in benchmarks/; these verify the runners'
+plumbing — return shapes, label sets, basic sanity — quickly enough for
+the unit suite.
+"""
+
+import pytest
+
+from repro.bench import runners
+from repro.calibration import mb_per_s
+from repro.mpiio import Method
+
+
+def test_network_performance_shape():
+    res = runners.network_performance()
+    assert set(res) == {
+        "VAPI RDMA Write",
+        "VAPI RDMA Read",
+        "Send/Recv (MVAPICH-like)",
+    }
+    for lat, bw in res.values():
+        assert 0 < lat < 100
+        assert 0 < bw < 1000
+
+
+def test_filesystem_performance_shape():
+    res = runners.filesystem_performance(nbytes=4 * 2**20)
+    assert set(res) == {
+        "write, with cache",
+        "write, without cache",
+        "read, with cache",
+        "read, without cache",
+    }
+    assert res["read, with cache"] > res["read, without cache"]
+    assert res["write, with cache"] > res["write, without cache"]
+
+
+def test_fig3_runner_small():
+    res = runners.fig3_transfer_bandwidths(sizes=(256,))
+    assert len(res) == 7
+    for series in res.values():
+        assert 256 in series
+        assert series[256] > 0
+
+
+def test_fig4_runner_small():
+    res = runners.fig4_hybrid_comparison(seg_sizes=(512,), nsegments=16)
+    assert set(res) == {"Pack/Unpack", "RDMA Gather/Scatter", "Hybrid"}
+    for series in res.values():
+        assert set(series[512]) == {"write", "read"}
+
+
+def test_blockcolumn_runner_small():
+    res = runners.blockcolumn_sweep(
+        "write", "nosync", sizes=(64,),
+        methods=[("List I/O", Method.LIST_IO)],
+    )
+    assert res["List I/O"][64] > 0
+
+
+def test_btio_runner_memoized():
+    r1 = runners.btio_run(None, grid=8, dumps=1, compute_us=100.0)
+    r2 = runners.btio_run(None, grid=8, dumps=1, compute_us=100.0)
+    assert r1 is r2  # lru_cache
+    elapsed, flat = r1
+    assert elapsed == pytest.approx(100.0, rel=0.01)
+
+
+def test_btio_runner_with_method_verifies():
+    elapsed, flat = runners.btio_run(
+        "list_io_ads", grid=8, dumps=1, compute_us=0.0
+    )
+    delta = {k: (c, t) for k, c, t in flat}
+    assert elapsed > 0
+    assert delta.get("pvfs.client.requests", (0, 0))[0] > 0

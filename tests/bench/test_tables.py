@@ -1,0 +1,66 @@
+"""Tests for the benchmark table formatter and results writer."""
+
+import os
+
+import pytest
+
+from repro.bench import Table, format_table, write_result
+
+
+def test_table_renders_title_and_headers():
+    t = Table("My Results", ["name", "value"])
+    t.add("alpha", 1.5)
+    out = str(t)
+    assert "My Results" in out
+    assert "name" in out and "value" in out
+    assert "alpha" in out
+
+
+def test_row_arity_checked():
+    t = Table("x", ["a", "b"])
+    with pytest.raises(ValueError, match="columns"):
+        t.add("only-one")
+
+
+def test_float_formatting():
+    t = Table("f", ["v"])
+    t.add(0.0)
+    t.add(1234.5)
+    t.add(42.0)
+    t.add(3.14159)
+    out = str(t)
+    assert "0" in out
+    assert "1,234" in out or "1,235" in out
+    assert "42.0" in out
+    assert "3.142" in out
+
+
+def test_notes_appended():
+    t = Table("n", ["v"])
+    t.add(1)
+    t.note("a caveat")
+    assert "* a caveat" in str(t)
+
+
+def test_empty_table_renders():
+    t = Table("empty", ["a", "b"])
+    out = format_table(t)
+    assert "empty" in out
+
+
+def test_columns_aligned():
+    t = Table("align", ["name", "v"])
+    t.add("short", 1)
+    t.add("much-longer-name", 2)
+    lines = str(t).splitlines()
+    data = [l for l in lines if "short" in l or "much-longer" in l]
+    assert len(data[0]) == len(data[1])
+
+
+def test_write_result_creates_file(tmp_path, monkeypatch):
+    import repro.bench.tables as tables
+
+    monkeypatch.setattr(tables, "RESULTS_DIR", str(tmp_path))
+    path = write_result("unit_test", "hello world")
+    assert os.path.exists(path)
+    assert open(path).read() == "hello world\n"

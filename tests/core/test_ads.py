@@ -1,0 +1,156 @@
+"""Unit tests for the Active Data Sieving cost model and planner."""
+
+import pytest
+
+from repro.calibration import KB, MB, paper_testbed
+from repro.core.ads import AdsCostModel, plan_sieve
+from repro.mem.segments import Segment
+
+
+@pytest.fixture
+def model():
+    return AdsCostModel.for_testbed(paper_testbed())
+
+
+def _strided(n, piece, stride, base=0):
+    return [Segment(base + i * stride, piece) for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# Cost formulas
+# ---------------------------------------------------------------------------
+
+def test_t_read_scales_with_piece_count(model):
+    one = model.t_read([4096], cached=False)
+    many = model.t_read([4096] * 10, cached=False)
+    assert many == pytest.approx(10 * one, rel=1e-6)
+
+
+def test_t_dsr_single_access(model):
+    tb = paper_testbed()
+    t = model.t_dsr(1 * MB, cached=False)
+    assert t == pytest.approx(
+        tb.syscall_read_us
+        + tb.server_access_cpu_us
+        + tb.ads_seek_estimate_us
+        + MB / model.disk.read_bw(MB)
+    )
+
+
+def test_t_dsw_includes_rmw_and_locking(model):
+    tb = paper_testbed()
+    s_req, s_ds = 64 * KB, 256 * KB
+    t = model.t_dsw(s_req, s_ds, cached=False)
+    expected = (
+        model.t_dsr(s_ds, cached=False)
+        + s_req / tb.memcpy_bw
+        + tb.lock_us
+        + tb.syscall_write_us
+        + s_ds / model.disk.write_bw(s_ds)
+        + tb.unlock_us
+    )
+    assert t == pytest.approx(expected)
+
+
+def test_cached_estimates_have_no_seek(model):
+    t_cached = model.t_read([4096] * 10, cached=True)
+    t_raw = model.t_read([4096] * 10, cached=False)
+    assert t_cached < t_raw / 10
+
+
+# ---------------------------------------------------------------------------
+# Decision behaviour (the shape of Figures 6/7)
+# ---------------------------------------------------------------------------
+
+def test_many_small_uncached_reads_choose_sieving(model):
+    # 128 pieces of 2 kB, 1-in-4 density: classic sieving win.
+    segs = _strided(128, 2 * KB, 8 * KB)
+    plan = plan_sieve(segs, model, "read", cached=False)
+    assert plan.use_sieving
+    assert plan.t_sieve_us < plan.t_direct_us
+    assert plan.amplification == pytest.approx(4.0, rel=0.05)
+
+
+def test_large_cached_pieces_decline_sieving(model):
+    # 128 pieces of 32 kB in cache: per-piece overhead is negligible
+    # next to moving 4x the data -> direct access wins.
+    segs = _strided(128, 32 * KB, 128 * KB)
+    plan = plan_sieve(segs, model, "read", cached=True)
+    assert not plan.use_sieving
+
+
+def test_write_decision_flips_with_size(model):
+    """The paper's conservative (uncached) estimates: sieving wins for
+    small pieces, loses once pieces are large enough that moving the
+    extra extent outweighs the saved per-access overheads — the merge of
+    the two list-I/O curves at array size 2048 in Figure 6."""
+    small = plan_sieve(_strided(128, 2 * KB, 8 * KB), model, "write", cached=False)
+    large = plan_sieve(_strided(128, 32 * KB, 128 * KB), model, "write", cached=False)
+    assert small.use_sieving
+    assert not large.use_sieving
+
+
+def test_read_decision_flips_with_size(model):
+    small = plan_sieve(_strided(128, 2 * KB, 8 * KB), model, "read", cached=False)
+    large = plan_sieve(_strided(128, 32 * KB, 128 * KB), model, "read", cached=False)
+    assert small.use_sieving
+    assert not large.use_sieving
+
+
+def test_single_contiguous_piece_never_sieves(model):
+    plan = plan_sieve([Segment(0, MB)], model, "read", cached=False)
+    assert not plan.use_sieving
+
+
+def test_adjacent_pieces_coalesce_before_decision(model):
+    # Two touching pieces are really one contiguous access.
+    plan = plan_sieve([Segment(0, KB), Segment(KB, KB)], model, "read", cached=False)
+    assert not plan.use_sieving
+    assert plan.windows == (Segment(0, 2 * KB),)
+
+
+def test_windows_respect_buffer_cap(model):
+    cap = paper_testbed().ads_max_sieve_bytes
+    segs = _strided(64, 256 * KB, 512 * KB)  # extent 32 MB >> 4 MB cap
+    plan = plan_sieve(segs, model, "read", cached=False)
+    assert len(plan.windows) > 1
+    for w in plan.windows:
+        assert w.length <= cap
+
+
+def test_windows_cover_every_piece(model):
+    segs = _strided(64, 256 * KB, 512 * KB)
+    plan = plan_sieve(segs, model, "read", cached=False)
+    for s in segs:
+        assert any(w.addr <= s.addr and s.end <= w.end for w in plan.windows)
+
+
+def test_s_req_s_ds_accounting(model):
+    segs = _strided(4, KB, 4 * KB)
+    plan = plan_sieve(segs, model, "read", cached=False)
+    assert plan.s_req == 4 * KB
+    assert plan.s_ds == 3 * 4 * KB + KB  # extent of the strided pattern
+
+
+def test_empty_request_rejected(model):
+    with pytest.raises(ValueError):
+        plan_sieve([], model, "read", cached=False)
+
+
+def test_unknown_op_rejected(model):
+    with pytest.raises(ValueError):
+        plan_sieve([Segment(0, 1), Segment(10, 1)], model, "append", cached=False)  # type: ignore[arg-type]
+
+
+def test_sieving_factor_matches_paper_band(model):
+    """Section 1: ADS gives 1.3x-1.9x on small noncontiguous accesses.
+
+    The *model's* predicted improvement for a representative small-piece
+    workload should land in (or above) that band - the measured factor in
+    the end-to-end benchmark includes network time, pulling it back into
+    the band.
+    """
+    segs = _strided(128, 2 * KB, 8 * KB)
+    plan = plan_sieve(segs, model, "read", cached=True)
+    assert plan.use_sieving
+    assert plan.t_direct_us / plan.t_sieve_us > 1.3

@@ -1,0 +1,95 @@
+"""The Section 4.2.1 application-aware registration alternatives.
+
+The paper rejects these because they change the application — OGR's
+whole point is matching them transparently.  These tests verify that
+our implementations of all three approaches converge on the same
+registration behaviour for the common case.
+"""
+
+import pytest
+
+from repro.calibration import KB, paper_testbed
+from repro.core.ogr import GroupRegistrar
+from repro.ib.hca import HCA
+from repro.mem import AddressSpace
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+from repro.sim import Simulator
+from repro.transfer import RdmaGatherScatter
+
+
+def subarray_layout(space, nrows=64, row=4 * KB):
+    base = space.malloc(nrows * 2 * row)
+    return Segment(base, nrows * 2 * row), [
+        Segment(base + i * 2 * row, row) for i in range(nrows)
+    ]
+
+
+def test_allocation_hint_registers_exactly_hinted_regions():
+    space = AddressSpace(page_size=4096)
+    allocation, rows = subarray_layout(space)
+    hca = HCA(Simulator(), paper_testbed())
+    reg = GroupRegistrar(hca, space)
+    out = reg.register(rows, "ogr", allocation_hint=[allocation])
+    assert out.registrations == 1
+    assert out.optimistic_failures == 0
+    assert out.os_queries == 0
+    assert hca.table.covers_segments(rows)
+
+
+def test_allocation_hint_must_cover_buffers():
+    space = AddressSpace(page_size=4096)
+    allocation, rows = subarray_layout(space)
+    outside = space.malloc(4 * KB)
+    hca = HCA(Simulator(), paper_testbed())
+    reg = GroupRegistrar(hca, space)
+    with pytest.raises(ValueError, match="outside"):
+        reg.register(
+            rows + [Segment(outside, 4 * KB)], "ogr", allocation_hint=[allocation]
+        )
+
+
+def test_hint_and_ogr_agree_in_the_common_case():
+    """For buffers from one malloc, transparent OGR finds the same single
+    region the application hint names — the paper's design argument."""
+    space = AddressSpace(page_size=4096)
+    allocation, rows = subarray_layout(space)
+    results = {}
+    for label, kwargs in (
+        ("hint", dict(allocation_hint=[allocation])),
+        ("ogr", dict()),
+    ):
+        hca = HCA(Simulator(), paper_testbed())
+        reg = GroupRegistrar(hca, space)
+        out = reg.register(rows, "ogr", **kwargs)
+        results[label] = out
+    assert results["hint"].registrations == results["ogr"].registrations == 1
+    # OGR's region is at least as tight as the hinted whole allocation.
+    assert results["ogr"].registered_bytes <= results["hint"].registered_bytes
+
+
+def test_explicit_preregistration_gives_ideal_ops():
+    """Section 4.2.1's first scheme: the app registers up front; list
+    ops then run with zero registration activity."""
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=2,
+        scheme_factory=lambda: RdmaGatherScatter("ogr"),
+    )
+    c = cluster.clients[0]
+    allocation, rows = subarray_layout(c.node.space)
+    for s in rows:
+        c.node.space.write(s.addr, b"r" * s.length)
+    total = sum(s.length for s in rows)
+
+    def prog():
+        yield from c.register_buffers([allocation])
+        baseline = cluster.stats.snapshot()
+        f = yield from c.open("/pfs/appreg")
+        yield from c.write_list(f, rows, [Segment(0, total)], use_ads=False)
+        return cluster.stats.diff(baseline)
+
+    p = cluster.sim.process(prog())
+    cluster.sim.run()
+    delta = p.value
+    assert "ib.reg.ops" not in delta  # zero registrations during the op
+    assert delta.get("ib.pincache.hits", (0, 0))[0] >= 1

@@ -1,0 +1,118 @@
+"""Unit tests for list-I/O request descriptors."""
+
+import pytest
+
+from repro.core import ListIORequest
+from repro.mem.segments import Segment
+
+
+def test_from_lists_builds_request():
+    req = ListIORequest.from_lists([0, 100], [10, 20], [1000], [30])
+    assert req.mem_count == 2
+    assert req.file_count == 1
+    assert req.total_bytes == 30
+
+
+def test_byte_count_mismatch_rejected():
+    with pytest.raises(ValueError, match="bytes"):
+        ListIORequest.from_lists([0], [10], [0], [20])
+
+
+def test_empty_request_rejected():
+    with pytest.raises(ValueError):
+        ListIORequest((), ())
+
+
+def test_contiguous_constructor():
+    req = ListIORequest.contiguous(0x1000, 64, 128)
+    assert req.is_contiguous_in_file
+    assert req.is_contiguous_in_memory
+    assert req.total_bytes == 128
+    assert req.file_segments == (Segment(64, 128),)
+
+
+def test_contiguity_flags():
+    req = ListIORequest.from_lists([0, 100], [10, 10], [0], [20])
+    assert req.is_contiguous_in_file
+    assert not req.is_contiguous_in_memory
+
+
+def test_mem_pieces_for_file_ranges_same_shape():
+    req = ListIORequest.from_lists([0, 100], [10, 10], [0, 50], [10, 10])
+    pairs = list(req.mem_pieces_for_file_ranges())
+    assert pairs == [
+        (Segment(0, 10), Segment(0, 10)),
+        (Segment(100, 10), Segment(50, 10)),
+    ]
+
+
+def test_mem_pieces_splits_longer_side():
+    # One 20-byte memory buffer feeding two 10-byte file pieces.
+    req = ListIORequest.from_lists([0], [20], [0, 100], [10, 10])
+    pairs = list(req.mem_pieces_for_file_ranges())
+    assert pairs == [
+        (Segment(0, 10), Segment(0, 10)),
+        (Segment(10, 10), Segment(100, 10)),
+    ]
+
+
+def test_mem_pieces_splits_file_side():
+    req = ListIORequest.from_lists([0, 50], [10, 10], [0], [20])
+    pairs = list(req.mem_pieces_for_file_ranges())
+    assert pairs == [
+        (Segment(0, 10), Segment(0, 10)),
+        (Segment(50, 10), Segment(10, 10)),
+    ]
+
+
+def test_mem_pieces_cover_all_bytes():
+    req = ListIORequest.from_lists(
+        [0, 17, 99], [13, 7, 30], [1000, 2000, 3000, 4000], [10, 10, 10, 20]
+    )
+    pairs = list(req.mem_pieces_for_file_ranges())
+    assert sum(m.length for m, _ in pairs) == 50
+    assert sum(f.length for _, f in pairs) == 50
+    for m, f in pairs:
+        assert m.length == f.length
+
+
+def test_split_file_batches_noop_when_small():
+    req = ListIORequest.from_lists([0], [30], [0, 100, 200], [10, 10, 10])
+    assert req.split_file_batches(128) == [req]
+
+
+def test_split_file_batches_caps_file_count():
+    n = 10
+    req = ListIORequest.from_lists(
+        [0], [n * 4], [i * 100 for i in range(n)], [4] * n
+    )
+    batches = req.split_file_batches(4)
+    assert len(batches) == 3
+    assert [b.file_count for b in batches] == [4, 4, 2]
+    # Bytes conserved.
+    assert sum(b.total_bytes for b in batches) == req.total_bytes
+
+
+def test_split_file_batches_memory_side_tracks():
+    n = 6
+    req = ListIORequest.from_lists(
+        [i * 50 for i in range(n)], [4] * n, [i * 100 for i in range(n)], [4] * n
+    )
+    batches = req.split_file_batches(2)
+    assert len(batches) == 3
+    for b in batches:
+        assert b.total_bytes == 8
+
+
+def test_split_file_batches_invalid_cap():
+    req = ListIORequest.contiguous(0, 0, 10)
+    with pytest.raises(ValueError):
+        req.split_file_batches(0)
+
+
+def test_split_merges_adjacent_pieces_within_batch():
+    # A single memory run feeding adjacent file pieces re-merges.
+    req = ListIORequest.from_lists([0], [40], [0, 10, 100, 110], [10, 10, 10, 10])
+    batches = req.split_file_batches(2)
+    assert len(batches) == 1  # 4 raw pieces merge into 2 file runs
+    assert batches[0].file_segments == (Segment(0, 20), Segment(100, 20))

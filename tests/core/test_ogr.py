@@ -1,0 +1,228 @@
+"""Unit tests for Optimistic Group Registration."""
+
+import pytest
+
+from repro.calibration import paper_testbed
+from repro.core.ogr import GroupRegistrar, plan_groups
+from repro.ib.hca import HCA
+from repro.mem import AddressSpace
+from repro.mem.segments import Segment
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def testbed():
+    return paper_testbed()
+
+
+@pytest.fixture
+def env(testbed):
+    sim = Simulator()
+    space = AddressSpace(page_size=testbed.page_size)
+    hca = HCA(sim, testbed, name="client")
+    return space, hca
+
+
+# ---------------------------------------------------------------------------
+# Grouping (step 1)
+# ---------------------------------------------------------------------------
+
+def test_plan_groups_empty(testbed):
+    assert plan_groups([], testbed) == []
+
+
+def test_plan_groups_single(testbed):
+    assert plan_groups([Segment(0, 100)], testbed) == [Segment(0, 100)]
+
+
+def test_small_gaps_merge(testbed):
+    # Gap of 1 page: 1.0 us of page cost < 8.52 us of op cost -> merge.
+    segs = [Segment(0, 4096), Segment(8192, 4096)]
+    assert plan_groups(segs, testbed) == [Segment(0, 12288)]
+
+
+def test_large_gaps_stay_separate(testbed):
+    # Gap of 100 pages: page cost dwarfs the saved operation.
+    gap = 100 * 4096
+    segs = [Segment(0, 4096), Segment(4096 + gap, 4096)]
+    groups = plan_groups(segs, testbed)
+    assert len(groups) == 2
+
+
+def test_break_even_gap_matches_cost_model(testbed):
+    # The merge threshold is gap_pages * (a_reg+a_dereg) < (b_reg+b_dereg).
+    per_page = testbed.reg_per_page_us + testbed.dereg_per_page_us
+    per_op = testbed.reg_per_op_us + testbed.dereg_per_op_us
+    threshold_pages = int(per_op / per_page)  # 8 with paper constants
+    assert threshold_pages == 8
+    gap_merge = (threshold_pages - 1) * 4096
+    gap_split = (threshold_pages + 1) * 4096
+    merged = plan_groups([Segment(0, 4096), Segment(4096 + gap_merge, 4096)], testbed)
+    split = plan_groups([Segment(0, 4096), Segment(4096 + gap_split, 4096)], testbed)
+    assert len(merged) == 1
+    assert len(split) == 2
+
+
+def test_subarray_rows_become_one_group(testbed):
+    # Rows of a 1024x1024 int subarray inside a 2048x2048 array: row
+    # length 4 kB, gap 4 kB -> one region covering the whole thing.
+    row = 4096
+    segs = [Segment(i * 2 * row, row) for i in range(1024)]
+    groups = plan_groups(segs, testbed)
+    assert len(groups) == 1
+
+
+def test_plan_groups_sorts_input(testbed):
+    segs = [Segment(8192, 4096), Segment(0, 4096)]
+    assert plan_groups(segs, testbed) == [Segment(0, 12288)]
+
+
+# ---------------------------------------------------------------------------
+# Registration strategies (steps 2-3)
+# ---------------------------------------------------------------------------
+
+def _rows(space, nrows=16, row=4096, stride=8192):
+    base = space.malloc(nrows * stride)
+    return base, [Segment(base + i * stride, row) for i in range(nrows)]
+
+
+def test_individual_registers_each(env):
+    space, hca = env
+    _, segs = _rows(space)
+    reg = GroupRegistrar(hca, space)
+    out = reg.register(segs, "individual")
+    assert out.registrations == len(segs)
+    assert out.cache_hits == 0
+    assert out.cost_us > 0
+    assert hca.table.covers_segments(segs)
+
+
+def test_ogr_single_registration_common_case(env):
+    space, hca = env
+    _, segs = _rows(space)
+    reg = GroupRegistrar(hca, space)
+    out = reg.register(segs, "ogr")
+    assert out.registrations == 1
+    assert out.optimistic_failures == 0
+    assert out.os_queries == 0
+    assert hca.table.covers_segments(segs)
+
+
+def test_ogr_cheaper_than_individual(env):
+    space, hca = env
+    _, segs = _rows(space, nrows=256)
+    reg = GroupRegistrar(hca, space)
+    out_ogr = reg.register(segs, "ogr")
+    reg.release(out_ogr, deregister=True)
+    out_ind = reg.register(segs, "individual")
+    assert out_ogr.cost_us < out_ind.cost_us / 3
+
+
+def test_one_region_over_allocated_extent(env):
+    space, hca = env
+    _, segs = _rows(space)
+    reg = GroupRegistrar(hca, space)
+    out = reg.register(segs, "one_region")
+    assert out.registrations == 1
+
+
+def test_ogr_fallback_with_query(env):
+    """Table 4's OGR+Q case: buffers with unallocated holes among them."""
+    space, hca = env
+    segs = []
+    # 10 clusters of buffers separated by truly unallocated holes.
+    for _ in range(10):
+        base = space.malloc(32 * 4096)
+        segs += [Segment(base + i * 8192, 4096) for i in range(16)]
+        space.skip(4 * 4096)  # small unmapped hole: grouping will span it
+    reg = GroupRegistrar(hca, space)
+    out = reg.register(segs, "ogr")
+    assert out.optimistic_failures >= 1
+    assert out.os_queries >= 1
+    assert hca.table.covers_segments(segs)
+    # Far fewer registrations than buffers.
+    assert out.registrations <= 12
+    assert out.registrations < len(segs) / 10
+
+
+def test_ogr_fallback_few_buffers_skips_query(env):
+    space, hca = env
+    a = space.malloc(4096)
+    space.skip(4096)  # 1-page hole -> grouping merges, registration fails
+    b = space.malloc(4096)
+    segs = [Segment(a, 4096), Segment(b, 4096)]
+    reg = GroupRegistrar(hca, space, query_threshold=8)
+    out = reg.register(segs, "ogr")
+    assert out.optimistic_failures == 1
+    assert out.os_queries == 0  # only 2 buffers: registered as given
+    assert out.registrations == 2
+    assert hca.table.covers_segments(segs)
+
+
+def test_failed_attempt_still_charged(env):
+    space, hca = env
+    a = space.malloc(4096)
+    space.skip(4096)
+    b = space.malloc(4096)
+    segs = [Segment(a, 4096), Segment(b, 4096)]
+    reg = GroupRegistrar(hca, space)
+    out = reg.register(segs, "ogr")
+    tb = hca.testbed
+    # Cost includes the failed 3-page attempt plus two 1-page successes.
+    floor = tb.reg_cost_us(3 * 4096) + 2 * tb.reg_cost_us(4096)
+    assert out.cost_us == pytest.approx(floor)
+
+
+def test_warm_cache_costs_nothing(env):
+    """Table 4's Ideal row: every registration already cached."""
+    space, hca = env
+    _, segs = _rows(space)
+    reg = GroupRegistrar(hca, space)
+    first = reg.register(segs, "ogr")
+    reg.release(first, deregister=False)  # keep in pin cache
+    second = reg.register(segs, "ogr")
+    assert second.cost_us == 0.0
+    assert second.cache_hits == 1
+    assert second.registrations == 0
+
+
+def test_release_deregister_pays(env):
+    space, hca = env
+    _, segs = _rows(space)
+    reg = GroupRegistrar(hca, space)
+    out = reg.register(segs, "ogr")
+    cost = reg.release(out, deregister=True)
+    assert cost > 0
+    assert len(hca.table) == 0
+
+
+def test_empty_segment_list(env):
+    space, hca = env
+    reg = GroupRegistrar(hca, space)
+    out = reg.register([], "ogr")
+    assert out.cost_us == 0.0
+    assert out.regions == []
+
+
+def test_unknown_strategy_rejected(env):
+    space, hca = env
+    reg = GroupRegistrar(hca, space)
+    with pytest.raises(ValueError):
+        reg.register([Segment(0, 1)], "bogus")  # type: ignore[arg-type]
+
+
+def test_proc_query_costs_more(env):
+    space, hca = env
+
+    def scenario(via_proc):
+        sp = AddressSpace(page_size=4096)
+        h = HCA(Simulator(), hca.testbed)
+        segs = []
+        for _ in range(4):
+            base = sp.malloc(64 * 4096)
+            segs += [Segment(base + i * 8192, 4096) for i in range(32)]
+            sp.skip(4096)
+        reg = GroupRegistrar(h, sp, query_via_proc=via_proc)
+        return reg.register(segs, "ogr").cost_us
+
+    assert scenario(True) > scenario(False)

@@ -1,0 +1,168 @@
+"""Behavioural disk tests: sequentiality, sparse reads, head tracking."""
+
+import pytest
+
+from repro.calibration import KB, MB, mb_per_s, paper_testbed
+from repro.disk import LocalFileSystem
+from repro.sim import Simulator
+
+
+def run(sim, gen):
+    p = sim.process(gen)
+    sim.run()
+    return p.value
+
+
+@pytest.fixture
+def fs():
+    sim = Simulator()
+    return sim, LocalFileSystem(sim, paper_testbed(), name="iod")
+
+
+def test_sequential_small_reads_beat_random(fs):
+    sim, fs = fs
+    f = fs.open("f")
+    f.data.extend(bytes(8 * MB))
+    n, piece = 256, 4 * KB
+
+    def sequential():
+        t0 = sim.now
+        for i in range(n):
+            yield from f.pread(i * piece, piece)
+        return sim.now - t0
+
+    t_seq = run(sim, sequential())
+    fs.drop_caches()
+
+    def random():
+        t0 = sim.now
+        for i in range(n):
+            yield from f.pread(((i * librandom) % n) * piece, piece)
+        return sim.now - t0
+
+    librandom = 97  # coprime stride: every read moves the head
+    t_rand = run(sim, random())
+    assert t_seq < t_rand / 3
+
+
+def test_read_beyond_eof_is_memory_speed(fs):
+    """Sparse (unallocated) file regions never touch the platter."""
+    sim, fs = fs
+    f = fs.open("f")
+
+    def proc():
+        yield from f.pwrite(0, b"x")
+        fs.drop_caches()
+        t0 = sim.now
+        yield from f.pread(1 * MB, 1 * MB)  # fully beyond EOF
+        return sim.now - t0
+
+    dt = run(sim, proc())
+    tb = paper_testbed()
+    expected = tb.syscall_read_us + MB / tb.cache_read_bw
+    assert dt == pytest.approx(expected, rel=0.01)
+
+
+def test_partial_eof_read_splits_charges(fs):
+    sim, fs = fs
+    f = fs.open("f")
+    f.data.extend(bytes(64 * KB))
+
+    def proc():
+        t0 = sim.now
+        yield from f.pread(0, 128 * KB)  # half in file, half sparse
+        return sim.now - t0
+
+    dt = run(sim, proc())
+    # Must cost more than a pure-sparse read but less than 128 kB of
+    # cold disk.
+    tb = paper_testbed()
+    sparse_only = tb.syscall_read_us + 128 * KB / tb.cache_read_bw
+    assert dt > sparse_only
+    assert dt < tb.disk_seek_us + 128 * KB / mb_per_s(5)
+
+
+def test_head_position_shared_across_files(fs):
+    """Switching files moves the head: the second file's first read
+    pays a seek even though each file's accesses are sequential."""
+    sim, fs = fs
+    a, b = fs.open("a"), fs.open("b")
+    a.data.extend(bytes(MB))
+    b.data.extend(bytes(MB))
+
+    def proc():
+        yield from a.pread(0, 64 * KB)
+        before = fs.stats.count("disk.seek.calls")
+        yield from b.pread(0, 64 * KB)
+        return fs.stats.count("disk.seek.calls") - before
+
+    assert run(sim, proc()) == 1
+
+
+def test_short_stride_cheaper_than_long(fs):
+    sim, fs = fs
+    tb = paper_testbed()
+    f = fs.open("f")
+    f.data.extend(bytes(256 * MB))
+
+    def proc():
+        yield from f.pread(0, 4 * KB)
+        t0 = sim.now
+        yield from f.pread(64 * KB, 4 * KB)  # short stride
+        t_short = sim.now - t0
+        t0 = sim.now
+        yield from f.pread(200 * MB, 4 * KB)  # long seek
+        t_long = sim.now - t0
+        return t_short, t_long
+
+    t_short, t_long = run(sim, proc())
+    assert t_long - t_short >= (tb.disk_seek_us - tb.disk_short_seek_us) * 0.9
+
+
+def test_zero_length_ops_cheap(fs):
+    sim, fs = fs
+    f = fs.open("f")
+
+    def proc():
+        n1 = yield from f.pread(0, 0)
+        n2 = yield from f.pwrite(0, b"")
+        return n1, n2
+
+    n1, n2 = run(sim, proc())
+    assert n1 == b""
+    assert n2 == 0
+    assert sim.now < 10.0
+
+
+def test_dirty_eviction_charges_writeback():
+    import dataclasses
+
+    sim = Simulator()
+    tb = dataclasses.replace(paper_testbed(), page_cache_bytes=64 * 4096)
+    fs = LocalFileSystem(sim, tb, name="tiny")
+    f = fs.open("f")
+
+    def proc():
+        # Dirty far more pages than the cache holds.
+        for i in range(256):
+            yield from f.pwrite(i * 4096, bytes(4096))
+
+    p = sim.process(proc())
+    sim.run()
+    assert fs.stats.count("disk.cache.evictions") > 0
+    assert fs.stats.total("disk.flush.bytes") > 0
+
+
+def test_fsync_coalesces_adjacent_dirty_pages(fs):
+    sim, fs = fs
+    f = fs.open("f")
+
+    def proc():
+        # 64 adjacent dirty pages -> one contiguous flush run.
+        yield from f.pwrite(0, bytes(64 * 4096))
+        before = fs.stats.count("disk.seek.calls")
+        yield from f.fsync()
+        return fs.stats.count("disk.seek.calls") - before
+
+    seeks = run(sim, proc())
+    assert seeks <= 1

@@ -1,0 +1,63 @@
+"""Unit tests for the disk cost model curves."""
+
+import pytest
+
+from repro.calibration import KB, MB, mb_per_s, paper_testbed
+from repro.disk import DiskCostModel
+
+
+@pytest.fixture
+def cost():
+    return DiskCostModel(paper_testbed())
+
+
+def test_read_bw_asymptote(cost):
+    # Large accesses approach Table 3's 20 MB/s streaming read rate.
+    assert cost.read_bw(64 * MB) == pytest.approx(mb_per_s(20), rel=0.01)
+
+
+def test_write_bw_asymptote(cost):
+    assert cost.write_bw(64 * MB) == pytest.approx(mb_per_s(25), rel=0.01)
+
+
+def test_half_speed_point(cost):
+    assert cost.read_bw(32 * KB) == pytest.approx(mb_per_s(20) / 2, rel=0.01)
+
+
+def test_small_access_penalized(cost):
+    # B(s) monotonically increasing: 4 kB much slower than 4 MB.
+    assert cost.read_bw(4 * KB) < cost.read_bw(4 * MB) / 7
+
+
+def test_bw_rejects_nonpositive(cost):
+    with pytest.raises(ValueError):
+        cost.read_bw(0)
+    with pytest.raises(ValueError):
+        cost.write_bw(-1)
+
+
+def test_cached_read_at_cache_speed(cost):
+    tb = paper_testbed()
+    t = cost.read_us(1 * MB, cached=True, seek=False)
+    assert t == pytest.approx(tb.syscall_read_us + MB / tb.cache_read_bw)
+
+
+def test_uncached_read_includes_seek(cost):
+    tb = paper_testbed()
+    with_seek = cost.read_us(4 * KB, cached=False, seek=True)
+    without = cost.read_us(4 * KB, cached=False, seek=False)
+    assert with_seek - without == pytest.approx(tb.disk_seek_us)
+
+
+def test_write_paths_differ(cost):
+    cached = cost.write_us(1 * MB, cached=True, seek=False)
+    raw = cost.write_us(1 * MB, cached=False, seek=False)
+    assert cached < raw
+
+
+def test_syscall_floor(cost):
+    tb = paper_testbed()
+    assert cost.read_us(1, cached=True, seek=False) >= tb.syscall_read_us
+    assert cost.seek_us() == tb.syscall_seek_us
+    assert cost.lock_us() == tb.lock_us
+    assert cost.unlock_us() == tb.unlock_us

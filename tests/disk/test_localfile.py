@@ -1,0 +1,338 @@
+"""Unit and calibration tests for the local file system."""
+
+import pytest
+
+from repro.calibration import MB, mb_per_s, paper_testbed
+from repro.disk import FileLockError, LocalFileSystem
+from repro.sim import Simulator
+
+
+def run(sim, gen):
+    """Drive one generator to completion; return its value."""
+    p = sim.process(gen)
+    sim.run()
+    return p.value
+
+
+@pytest.fixture
+def fs():
+    sim = Simulator()
+    return sim, LocalFileSystem(sim, paper_testbed(), name="iod0")
+
+
+# -- namespace -----------------------------------------------------------------
+
+def test_open_creates_and_reuses(fs):
+    sim, fs = fs
+    f1 = fs.open("stripe.0")
+    f2 = fs.open("stripe.0")
+    assert f1 is f2
+    assert fs.exists("stripe.0")
+    assert fs.files() == ["stripe.0"]
+
+
+def test_unlink(fs):
+    sim, fs = fs
+    fs.open("x")
+    fs.unlink("x")
+    assert not fs.exists("x")
+    with pytest.raises(FileNotFoundError):
+        fs.unlink("x")
+
+
+# -- data correctness --------------------------------------------------------------
+
+def test_write_read_roundtrip(fs):
+    sim, fs = fs
+    f = fs.open("f")
+
+    def proc():
+        yield from f.pwrite(0, b"hello world")
+        data = yield from f.pread(0, 11)
+        return data
+
+    assert run(sim, proc()) == b"hello world"
+
+
+def test_sparse_write_zero_fills(fs):
+    sim, fs = fs
+    f = fs.open("f")
+
+    def proc():
+        yield from f.pwrite(100, b"X")
+        return (yield from f.pread(0, 101))
+
+    data = run(sim, proc())
+    assert data == bytes(100) + b"X"
+    assert f.size == 101
+
+
+def test_read_past_eof_returns_zeros(fs):
+    sim, fs = fs
+    f = fs.open("f")
+
+    def proc():
+        yield from f.pwrite(0, b"ab")
+        return (yield from f.pread(0, 10))
+
+    assert run(sim, proc()) == b"ab" + bytes(8)
+
+
+def test_overwrite(fs):
+    sim, fs = fs
+    f = fs.open("f")
+
+    def proc():
+        yield from f.pwrite(0, b"aaaa")
+        yield from f.pwrite(1, b"bb")
+        return (yield from f.pread(0, 4))
+
+    assert run(sim, proc()) == b"abba"
+
+
+def test_negative_offsets_rejected(fs):
+    sim, fs = fs
+    f = fs.open("f")
+    with pytest.raises(ValueError):
+        next(f.pread(-1, 10))
+    with pytest.raises(ValueError):
+        next(f.pwrite(-1, b"x"))
+
+
+# -- timing calibration (Table 3) ----------------------------------------------------
+
+def test_cached_write_bandwidth_matches_table3(fs):
+    """Write without sync lands in cache at ~303 MB/s."""
+    sim, fs = fs
+    f = fs.open("f")
+    n = 32 * MB
+
+    def proc():
+        yield from f.pwrite(0, bytes(n))
+
+    run(sim, proc())
+    bw = n / sim.now
+    assert bw == pytest.approx(mb_per_s(303), rel=0.05)
+
+
+def test_sync_write_bandwidth_near_disk_rate(fs):
+    """Write + fsync is disk-bound: ~25 MB/s streaming write."""
+    sim, fs = fs
+    f = fs.open("f")
+    n = 32 * MB
+
+    def proc():
+        yield from f.pwrite(0, bytes(n))
+        yield from f.fsync()
+
+    run(sim, proc())
+    bw = n / sim.now
+    assert mb_per_s(15) < bw <= mb_per_s(25)
+
+
+def test_cached_read_bandwidth_matches_table3(fs):
+    """Re-reading resident data runs at ~1391 MB/s."""
+    sim, fs = fs
+    f = fs.open("f")
+    n = 32 * MB
+
+    def proc():
+        yield from f.pwrite(0, bytes(n))  # populates the cache
+        t0 = sim.now
+        yield from f.pread(0, n)
+        return sim.now - t0
+
+    dt = run(sim, proc())
+    assert n / dt == pytest.approx(mb_per_s(1391), rel=0.05)
+
+
+def test_uncached_sequential_read_near_disk_rate():
+    sim = Simulator()
+    fs = LocalFileSystem(sim, paper_testbed(), cache_enabled=True)
+    f = fs.open("f")
+    n = 32 * MB
+    f.data.extend(bytes(n))  # file exists on disk, cache cold
+
+    def proc():
+        t0 = sim.now
+        got = 0
+        while got < n:
+            yield from f.pread(got, MB)
+            got += MB
+        return sim.now - t0
+
+    dt = run(sim, proc())
+    bw = n / dt
+    assert mb_per_s(12) < bw <= mb_per_s(20)
+
+
+def test_random_small_reads_are_seek_bound():
+    sim = Simulator()
+    fs = LocalFileSystem(sim, paper_testbed(), cache_enabled=True)
+    tb = paper_testbed()
+    f = fs.open("f")
+    f.data.extend(bytes(8 * MB))
+
+    def proc():
+        # 64 random-ish 4 kB reads far apart: each pays a seek.
+        for i in range(64):
+            yield from f.pread((i * 997) % 2000 * 4096, 4096)
+
+    run(sim, proc())
+    # Every access moves the head: at least a short seek each.
+    assert sim.now >= 64 * tb.disk_short_seek_us
+
+
+def test_reread_hits_cache():
+    sim = Simulator()
+    fs = LocalFileSystem(sim, paper_testbed())
+    f = fs.open("f")
+    f.data.extend(bytes(MB))
+
+    def proc():
+        yield from f.pread(0, MB)
+        t0 = sim.now
+        yield from f.pread(0, MB)
+        return sim.now - t0
+
+    dt = run(sim, proc())
+    assert MB / dt == pytest.approx(mb_per_s(1391), rel=0.05)
+    assert fs.stats.count("disk.cache.read_hits") == 1
+
+
+def test_cache_disabled_forces_raw_path():
+    sim = Simulator()
+    fs = LocalFileSystem(sim, paper_testbed(), cache_enabled=False)
+    f = fs.open("f")
+    n = 8 * MB
+
+    def proc():
+        yield from f.pwrite(0, bytes(n))
+
+    run(sim, proc())
+    bw = n / sim.now
+    assert bw <= mb_per_s(25) * 1.01
+
+
+def test_drop_caches_resets_residency():
+    sim = Simulator()
+    fs = LocalFileSystem(sim, paper_testbed())
+    f = fs.open("f")
+    f.data.extend(bytes(MB))
+
+    def warm():
+        yield from f.pread(0, MB)
+
+    run(sim, warm())
+    dropped = fs.drop_caches()
+    assert dropped > 0
+
+    sim2_start = sim.now
+
+    def cold():
+        yield from f.pread(0, MB)
+
+    run(sim, cold())
+    # Cold read is much slower than a cache hit would be.
+    assert (sim.now - sim2_start) > MB / mb_per_s(100)
+
+
+# -- fsync ---------------------------------------------------------------------------
+
+def test_fsync_flushes_and_cleans(fs):
+    sim, fs = fs
+    f = fs.open("f")
+
+    def proc():
+        yield from f.pwrite(0, bytes(128 * 1024))
+        n1 = yield from f.fsync()
+        n2 = yield from f.fsync()  # nothing dirty now
+        return n1, n2
+
+    n1, n2 = run(sim, proc())
+    assert n1 >= 128 * 1024  # page rounding may exceed
+    assert n2 == 0
+
+
+def test_fsync_counts_stats(fs):
+    sim, fs = fs
+    f = fs.open("f")
+
+    def proc():
+        yield from f.pwrite(0, b"x")
+        yield from f.fsync()
+
+    run(sim, proc())
+    assert fs.stats.count("disk.fsync.calls") == 1
+    assert fs.stats.total("disk.flush.bytes") >= 1
+
+
+def test_sync_all(fs):
+    sim, fs = fs
+    a, b = fs.open("a"), fs.open("b")
+
+    def proc():
+        yield from a.pwrite(0, bytes(4096))
+        yield from b.pwrite(0, bytes(4096))
+        return (yield from fs.sync_all())
+
+    assert run(sim, proc()) == 8192
+
+
+# -- locks ----------------------------------------------------------------------------
+
+def test_lock_unlock_charges_time(fs):
+    sim, fs = fs
+    tb = paper_testbed()
+    f = fs.open("f")
+
+    def proc():
+        yield from f.lock()
+        yield from f.unlock()
+
+    run(sim, proc())
+    assert sim.now == pytest.approx(tb.lock_us + tb.unlock_us)
+
+
+def test_unlock_without_lock_rejected(fs):
+    sim, fs = fs
+    f = fs.open("f")
+    with pytest.raises(FileLockError):
+        next(f.unlock())
+
+
+def test_lock_serializes_writers(fs):
+    sim, fs = fs
+    f = fs.open("f")
+    order = []
+
+    def writer(name, hold):
+        yield from f.lock()
+        order.append(name)
+        yield sim.timeout(hold)
+        yield from f.unlock()
+
+    sim.process(writer("a", 100.0))
+    sim.process(writer("b", 1.0))
+    sim.run()
+    assert order == ["a", "b"]
+    assert sim.now >= 100.0
+
+
+# -- syscall accounting (Table 6 inputs) ---------------------------------------------------
+
+def test_read_write_call_counters(fs):
+    sim, fs = fs
+    f = fs.open("f")
+
+    def proc():
+        for i in range(10):
+            yield from f.pwrite(i * 100, b"y" * 100)
+        for i in range(5):
+            yield from f.pread(i * 100, 100)
+
+    run(sim, proc())
+    assert fs.stats.count("disk.write.calls") == 10
+    assert fs.stats.count("disk.read.calls") == 5
+    assert fs.stats.total("disk.write.calls") == 1000
+    assert fs.stats.total("disk.read.calls") == 500

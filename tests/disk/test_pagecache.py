@@ -1,0 +1,117 @@
+"""Unit tests for page-cache residency tracking."""
+
+import pytest
+
+from repro.calibration import paper_testbed
+from repro.disk import PageCache
+from repro.sim.stats import StatRegistry
+
+
+@pytest.fixture
+def cache():
+    return PageCache(paper_testbed(), StatRegistry(), capacity_bytes=16 * 4096)
+
+
+def test_initially_empty(cache):
+    assert len(cache) == 0
+    assert cache.resident_bytes == 0
+    assert not cache.is_fully_resident(0, 0, 4096)
+
+
+def test_touch_makes_resident(cache):
+    cache.touch(0, 0, 8192, dirty=False)
+    assert cache.is_fully_resident(0, 0, 8192)
+    assert len(cache) == 2
+
+
+def test_resident_split(cache):
+    cache.touch(0, 0, 4096, dirty=False)
+    hit, miss = cache.resident_split(0, 0, 3 * 4096)
+    assert (hit, miss) == (1, 2)
+
+
+def test_resident_split_zero_length(cache):
+    assert cache.resident_split(0, 0, 0) == (0, 0)
+
+
+def test_files_are_independent(cache):
+    cache.touch(0, 0, 4096, dirty=False)
+    assert not cache.is_fully_resident(1, 0, 4096)
+
+
+def test_partial_page_touch_pins_whole_page(cache):
+    cache.touch(0, 100, 1, dirty=False)
+    assert cache.is_fully_resident(0, 0, 4096)
+
+
+def test_lru_eviction_order(cache):
+    # Capacity is 16 pages; touch 17 distinct pages.
+    for pg in range(17):
+        cache.touch(0, pg * 4096, 4096, dirty=False)
+    assert len(cache) == 16
+    assert not cache.is_fully_resident(0, 0, 4096)  # page 0 evicted
+    assert cache.is_fully_resident(0, 16 * 4096, 4096)
+
+
+def test_eviction_returns_dirty_victims(cache):
+    cache.touch(0, 0, 4096, dirty=True)
+    evicted = []
+    for pg in range(1, 17):
+        evicted += cache.touch(0, pg * 4096, 4096, dirty=False)
+    assert (0, 0) in evicted
+
+
+def test_retouching_keeps_dirty_bit(cache):
+    cache.touch(0, 0, 4096, dirty=True)
+    cache.touch(0, 0, 4096, dirty=False)  # re-read does not clean it
+    assert cache.dirty_pages(0) == [0]
+
+
+def test_clean_pages(cache):
+    cache.touch(0, 0, 8192, dirty=True)
+    cache.clean_pages([(0, 0), (0, 1)])
+    assert cache.dirty_pages(0) == []
+    assert len(cache) == 2  # still resident
+
+
+def test_dirty_pages_sorted_and_per_file(cache):
+    cache.touch(0, 3 * 4096, 4096, dirty=True)
+    cache.touch(0, 1 * 4096, 4096, dirty=True)
+    cache.touch(1, 0, 4096, dirty=True)
+    assert cache.dirty_pages(0) == [1, 3]
+    assert cache.dirty_pages(1) == [0]
+
+
+def test_drop_all(cache):
+    cache.touch(0, 0, 8 * 4096, dirty=True)
+    assert cache.drop() == 8
+    assert len(cache) == 0
+
+
+def test_drop_single_file(cache):
+    cache.touch(0, 0, 4096, dirty=False)
+    cache.touch(1, 0, 4096, dirty=False)
+    assert cache.drop(file_id=0) == 1
+    assert cache.is_fully_resident(1, 0, 4096)
+
+
+def test_disabled_cache_never_resident():
+    c = PageCache(paper_testbed(), StatRegistry(), enabled=False)
+    c.touch(0, 0, 4096, dirty=True)
+    assert not c.is_fully_resident(0, 0, 4096)
+    assert c.resident_split(0, 0, 4096) == (0, 1)
+
+
+def test_readahead_range(cache):
+    tb = paper_testbed()
+    ra = cache.readahead_range(0, 0, 4096, file_size=10 * tb.readahead_bytes)
+    assert ra == (4096, tb.readahead_bytes)
+
+
+def test_readahead_clipped_at_eof(cache):
+    ra = cache.readahead_range(0, 0, 4096, file_size=6000)
+    assert ra == (4096, 6000 - 4096)
+
+
+def test_readahead_none_at_eof(cache):
+    assert cache.readahead_range(0, 0, 4096, file_size=4096) is None

@@ -1,0 +1,89 @@
+"""Unit tests for the network time model, pinned to Table 2 calibration."""
+
+import pytest
+
+from repro.calibration import MB, paper_testbed
+from repro.ib.netmodel import NetworkModel
+from repro.mem.segments import Segment
+
+
+@pytest.fixture
+def model():
+    return NetworkModel(paper_testbed())
+
+
+def test_small_write_latency_dominates(model):
+    # 4-byte RDMA write ~ the paper's 6.0 us one-way latency.
+    t = model.rdma_write_us(4)
+    assert t == pytest.approx(6.0 + 0.1, rel=0.05)
+
+
+def test_small_read_latency(model):
+    t = model.rdma_read_us(4)
+    assert t == pytest.approx(12.4 + 0.1, rel=0.05)
+
+
+def test_large_write_hits_line_rate(model):
+    # 64 MB single-segment write: achieved bandwidth within 1% of 827 MB/s.
+    nbytes = 64 * MB
+    bw = nbytes / model.rdma_write_us(nbytes)
+    assert bw == pytest.approx(paper_testbed().rdma_write_bw, rel=0.01)
+
+
+def test_large_read_hits_line_rate(model):
+    nbytes = 64 * MB
+    bw = nbytes / model.rdma_read_us(nbytes)
+    assert bw == pytest.approx(paper_testbed().rdma_read_bw, rel=0.01)
+
+
+def test_send_latency_matches_mvapich(model):
+    t = model.send_us(4)
+    assert t == pytest.approx(6.8 + 0.1, rel=0.05)
+
+
+def test_work_request_splitting(model):
+    assert model.work_requests(1) == 1
+    assert model.work_requests(64) == 1
+    assert model.work_requests(65) == 2
+    assert model.work_requests(128) == 2
+    assert model.work_requests(129) == 3
+
+
+def test_work_requests_rejects_zero(model):
+    with pytest.raises(ValueError):
+        model.work_requests(0)
+
+
+def test_gather_cheaper_than_multiple_messages(model):
+    # The core claim of Section 4.1: one gather WR beats N separate sends.
+    nseg, seg_size = 128, 4096
+    gather = model.rdma_write_us(nseg * seg_size, nsegments=nseg)
+    multiple = nseg * model.rdma_write_us(seg_size, nsegments=1)
+    assert gather < multiple
+
+
+def test_more_segments_cost_more(model):
+    base = model.rdma_write_us(1 * MB, nsegments=1)
+    many = model.rdma_write_us(1 * MB, nsegments=256)
+    assert many > base
+
+
+def test_unaligned_penalty_applied(model):
+    clean = model.rdma_write_us(4096, nsegments=1, unaligned=0)
+    dirty = model.rdma_write_us(4096, nsegments=1, unaligned=3)
+    assert dirty == pytest.approx(clean + 3 * paper_testbed().unaligned_penalty_us)
+
+
+def test_unaligned_count():
+    segs = [Segment(0, 10), Segment(8, 10), Segment(13, 10)]
+    assert NetworkModel.unaligned_count(segs) == 1
+
+
+def test_negative_bytes_rejected(model):
+    with pytest.raises(ValueError):
+        model.rdma_write_us(-1)
+
+
+def test_rdma_write_bandwidth_helper(model):
+    bw = model.rdma_write_bandwidth(16 * MB, nsegments=1)
+    assert 0 < bw <= paper_testbed().rdma_write_bw

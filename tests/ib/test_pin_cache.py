@@ -1,0 +1,162 @@
+"""Unit tests for the pin-down registration cache."""
+
+import dataclasses
+
+import pytest
+
+from repro.calibration import paper_testbed
+from repro.ib.pin_cache import PinDownCache
+from repro.ib.registration import RegistrationError, RegistrationTable
+from repro.mem import AddressSpace
+
+
+@pytest.fixture
+def testbed():
+    return paper_testbed()
+
+
+@pytest.fixture
+def space(testbed):
+    return AddressSpace(page_size=testbed.page_size)
+
+
+@pytest.fixture
+def cache(testbed):
+    return PinDownCache(RegistrationTable(testbed, name="hca0"))
+
+
+def test_first_acquire_is_miss(cache, space):
+    a = space.malloc(4096)
+    region, cost = cache.acquire(space, a, 4096)
+    assert cost > 0
+    assert cache.stats.count("ib.pincache.misses") == 1
+    assert region.covers(a, 4096)
+
+
+def test_reacquire_is_free_hit(cache, space):
+    a = space.malloc(4096)
+    region, _ = cache.acquire(space, a, 4096)
+    cache.release(region)
+    region2, cost = cache.acquire(space, a, 4096)
+    assert cost == 0.0
+    assert region2 is region
+    assert cache.stats.count("ib.pincache.hits") == 1
+
+
+def test_subrange_of_cached_region_hits(cache, space):
+    a = space.malloc(64 * 1024)
+    cache.acquire(space, a, 64 * 1024)
+    _, cost = cache.acquire(space, a + 4096, 100)
+    assert cost == 0.0
+    assert cache.stats.count("ib.pincache.hits") == 1
+
+
+def test_disjoint_buffer_misses(cache, space):
+    a = space.malloc(4096)
+    b = space.malloc(4096)
+    cache.acquire(space, a, 4096)
+    _, cost = cache.acquire(space, b, 4096)
+    assert cost > 0
+    assert cache.stats.count("ib.pincache.misses") == 2
+
+
+def test_byte_capacity_evicts_lru(testbed, space):
+    table = RegistrationTable(testbed)
+    cache = PinDownCache(table, capacity_bytes=8192)
+    a = space.malloc(4096)
+    b = space.malloc(4096)
+    c = space.malloc(4096)
+    ra, _ = cache.acquire(space, a, 4096)
+    cache.acquire(space, b, 4096)
+    # Third acquire exceeds 8 kB: LRU entry (a) must be evicted.
+    _, cost = cache.acquire(space, c, 4096)
+    assert cache.stats.count("ib.pincache.evictions") == 1
+    assert cost > testbed.reg_cost_us(4096)  # includes the dereg
+    # a is no longer cached -> re-acquire is a miss.
+    cache.acquire(space, a, 4096)
+    assert cache.stats.count("ib.pincache.misses") == 4
+
+
+def test_lru_order_respects_recency(testbed, space):
+    table = RegistrationTable(testbed)
+    cache = PinDownCache(table, capacity_bytes=8192)
+    a = space.malloc(4096)
+    b = space.malloc(4096)
+    c = space.malloc(4096)
+    ra, _ = cache.acquire(space, a, 4096)
+    cache.acquire(space, b, 4096)
+    cache.release(ra)
+    cache.acquire(space, a, 4096)  # touch a -> b is now LRU
+    cache.acquire(space, c, 4096)  # evicts b
+    _, cost_a = cache.acquire(space, a, 4096)
+    assert cost_a == 0.0  # a survived
+    _, cost_b = cache.acquire(space, b, 4096)
+    assert cost_b > 0  # b was evicted
+
+
+def test_max_entries_eviction(testbed, space):
+    table = RegistrationTable(testbed)
+    cache = PinDownCache(table, max_entries=2)
+    addrs = [space.malloc(4096) for _ in range(3)]
+    for a in addrs:
+        cache.acquire(space, a, 4096)
+    assert len(cache) == 2
+    assert cache.stats.count("ib.pincache.evictions") == 1
+
+
+def test_hca_table_limit_triggers_eviction(space):
+    tb = dataclasses.replace(paper_testbed(), max_registrations=2)
+    table = RegistrationTable(tb)
+    cache = PinDownCache(table, max_entries=100)
+    addrs = [space.malloc(4096) for _ in range(4)]
+    for a in addrs:
+        cache.acquire(space, a, 4096)
+    assert len(table) <= 2
+
+
+def test_acquire_over_hole_propagates(cache, space):
+    a = space.malloc(4096)
+    space.skip(4096)
+    space.malloc(4096)
+    with pytest.raises(RegistrationError):
+        cache.acquire(space, a, 3 * 4096)
+
+
+def test_invalidate_deregisters(cache, space, testbed):
+    a = space.malloc(4096)
+    region, _ = cache.acquire(space, a, 4096)
+    cost = cache.invalidate(region)
+    assert cost == pytest.approx(testbed.dereg_cost_us(4096))
+    assert len(cache) == 0
+    assert cache.invalidate(region) == 0.0  # idempotent
+
+
+def test_flush_clears_everything(cache, space):
+    for _ in range(5):
+        a = space.malloc(4096)
+        cache.acquire(space, a, 4096)
+    cost = cache.flush()
+    assert cost > 0
+    assert len(cache) == 0
+    assert cache.cached_bytes == 0
+
+
+def test_cached_bytes_tracking(cache, space):
+    a = space.malloc(4096)
+    b = space.malloc(8192)
+    cache.acquire(space, a, 4096)
+    cache.acquire(space, b, 8192)
+    assert cache.cached_bytes == 12288
+
+
+def test_many_entries_lookup_correct(cache, space):
+    # Exercise the bisect index with enough entries to matter.
+    base = space.malloc(256 * 4096)
+    regions = []
+    for i in range(256):
+        r, _ = cache.acquire(space, base + i * 4096, 4096)
+        regions.append(r)
+    # Every one of them should now hit.
+    for i in range(256):
+        _, cost = cache.acquire(space, base + i * 4096, 4096)
+        assert cost == 0.0

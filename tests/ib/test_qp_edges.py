@@ -1,0 +1,138 @@
+"""QP edge cases: SGE-limit splitting, alignment, cost accounting."""
+
+import pytest
+
+from repro.calibration import paper_testbed
+from repro.ib import Node, connect
+from repro.mem.segments import Segment
+from repro.sim import Simulator
+
+
+def make_pair():
+    sim = Simulator()
+    tb = paper_testbed()
+    a = Node(sim, tb, "a")
+    b = Node(sim, tb, "b")
+    qa, qb = connect(sim, a, b)
+    return sim, tb, a, b, qa, qb
+
+
+def test_gather_beyond_64_sges_splits_work_requests():
+    sim, tb, a, b, qa, qb = make_pair()
+    nseg, piece = 200, 512  # 200 SGEs -> ceil(200/64) = 4 WRs
+    src = a.space.malloc(nseg * piece * 2)
+    dst = b.space.malloc(nseg * piece)
+    a.hca.table.register(a.space, src, nseg * piece * 2)
+    b.hca.table.register(b.space, dst, nseg * piece)
+    segs = [Segment(src + i * piece * 2, piece) for i in range(nseg)]
+    for i, s in enumerate(segs):
+        a.space.write(s.addr, bytes([i % 255 + 1]) * piece)
+
+    def proc():
+        yield from qa.rdma_write(segs, dst)
+
+    sim.process(proc())
+    sim.run()
+    total = nseg * piece
+    model = a.hca.model
+    assert model.work_requests(nseg) == 4
+    expected = model.rdma_write_us(total, nsegments=nseg, unaligned=0)
+    assert sim.now == pytest.approx(expected)
+    # Extra WRs cost more than a single-WR transfer of the same bytes.
+    assert expected > model.rdma_write_us(total, nsegments=1)
+    # Data still lands correctly.
+    assert b.space.read(dst, piece) == bytes([1]) * piece
+    assert b.space.read(dst + (nseg - 1) * piece, piece) == bytes(
+        [(nseg - 1) % 255 + 1]
+    ) * piece
+
+
+def test_unaligned_buffers_charged_through_qp():
+    sim, tb, a, b, qa, qb = make_pair()
+    src = a.space.malloc(8192)
+    dst = b.space.malloc(8192)
+    a.hca.table.register(a.space, src, 8192)
+    b.hca.table.register(b.space, dst, 8192)
+    # src is page-aligned (malloc base), so src+3 is misaligned.
+    aligned = [Segment(src, 512)]
+    misaligned = [Segment(src + 3, 512)]
+
+    def run(segs):
+        s = Simulator()
+        # reuse cost model directly for a pure comparison
+        return (
+            a.hca.model.rdma_write_us(512, 1, a.hca.model.unaligned_count(segs))
+        )
+
+    assert run(misaligned) - run(aligned) == pytest.approx(tb.unaligned_penalty_us)
+
+
+def test_rdma_read_registration_both_sides_checked():
+    from repro.ib.registration import RegistrationError
+
+    sim, tb, a, b, qa, qb = make_pair()
+    local = a.space.malloc(1024)
+    remote = b.space.malloc(1024)
+    a.hca.table.register(a.space, local, 1024)
+    # remote NOT registered
+
+    def proc():
+        yield from qa.rdma_read(remote, [Segment(local, 1024)])
+
+    sim.process(proc())
+    with pytest.raises(RegistrationError, match="remote"):
+        sim.run()
+
+
+def test_send_rejects_negative_size():
+    sim, tb, a, b, qa, qb = make_pair()
+    with pytest.raises(ValueError):
+        next(qa.send("x", nbytes=-1))
+
+
+def test_bidirectional_traffic_interleaves():
+    sim, tb, a, b, qa, qb = make_pair()
+    src_a = a.space.malloc(1024)
+    dst_b = b.space.malloc(1024)
+    src_b = b.space.malloc(1024)
+    dst_a = a.space.malloc(1024)
+    a.hca.table.register(a.space, src_a, 1024)
+    a.hca.table.register(a.space, dst_a, 1024)
+    b.hca.table.register(b.space, src_b, 1024)
+    b.hca.table.register(b.space, dst_b, 1024)
+    a.space.write(src_a, b"A" * 1024)
+    b.space.write(src_b, b"B" * 1024)
+
+    def a_to_b():
+        yield from qa.rdma_write([Segment(src_a, 1024)], dst_b)
+
+    def b_to_a():
+        yield from qb.rdma_write([Segment(src_b, 1024)], dst_a)
+
+    sim.process(a_to_b())
+    sim.process(b_to_a())
+    sim.run()
+    assert b.space.read(dst_b, 1024) == b"A" * 1024
+    assert a.space.read(dst_a, 1024) == b"B" * 1024
+    # Opposite directions use different engines: they overlap fully.
+    one_way = a.hca.model.rdma_write_us(1024, 1)
+    assert sim.now == pytest.approx(one_way, rel=0.01)
+
+
+def test_channel_messages_preserve_order():
+    sim, tb, a, b, qa, qb = make_pair()
+    got = []
+
+    def sender():
+        for i in range(5):
+            yield from qa.send(i, nbytes=64)
+
+    def receiver():
+        for _ in range(5):
+            v = yield qb.recv()
+            got.append(v)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]

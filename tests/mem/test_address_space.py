@@ -1,0 +1,254 @@
+"""Unit tests for the simulated virtual address space."""
+
+import pytest
+
+from repro.mem import AddressSpace, HoleError, OutOfMemoryError, Segment
+from repro.mem.address_space import BASE
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(page_size=4096)
+
+
+# -- allocation ----------------------------------------------------------------
+
+def test_malloc_returns_increasing_addresses(space):
+    a = space.malloc(100)
+    b = space.malloc(100)
+    assert a >= BASE
+    assert b >= a + 100
+
+
+def test_malloc_rejects_nonpositive(space):
+    with pytest.raises(ValueError):
+        space.malloc(0)
+    with pytest.raises(ValueError):
+        space.malloc(-5)
+
+
+def test_malloc_alignment(space):
+    space.malloc(100)
+    addr = space.malloc(100, align=4096)
+    assert addr % 4096 == 0
+
+
+def test_malloc_bad_alignment(space):
+    with pytest.raises(ValueError):
+        space.malloc(100, align=3)
+
+
+def test_address_space_limit():
+    tiny = AddressSpace(limit=1024)
+    tiny.malloc(512)
+    with pytest.raises(OutOfMemoryError):
+        tiny.malloc(1024)
+
+
+def test_bad_page_size():
+    with pytest.raises(ValueError):
+        AddressSpace(page_size=1000)
+    with pytest.raises(ValueError):
+        AddressSpace(page_size=0)
+
+
+def test_free_unmaps(space):
+    a = space.malloc(100)
+    assert space.is_mapped(a, 100)
+    space.free(a)
+    assert not space.is_mapped(a, 1)
+
+
+def test_free_unknown_address(space):
+    with pytest.raises(HoleError):
+        space.free(0xDEAD)
+
+
+def test_mapped_bytes_accounting(space):
+    space.malloc(100)
+    a = space.malloc(50)
+    assert space.mapped_bytes == 150
+    space.free(a)
+    assert space.mapped_bytes == 100
+
+
+# -- holes ----------------------------------------------------------------------
+
+def test_skip_creates_hole(space):
+    a = space.malloc(4096)
+    space.skip(4096)
+    b = space.malloc(4096)
+    assert b == a + 8192
+    assert not space.is_mapped(a + 4096, 4096)
+    assert space.is_mapped(a, 4096)
+    assert space.is_mapped(b, 4096)
+
+
+def test_skip_rejects_nonpositive(space):
+    with pytest.raises(ValueError):
+        space.skip(0)
+
+
+def test_is_mapped_across_adjacent_blocks(space):
+    a = space.malloc(4096)
+    space.malloc(4096)  # adjacent
+    assert space.is_mapped(a, 8192)
+
+
+def test_is_mapped_rejects_bad_length(space):
+    with pytest.raises(ValueError):
+        space.is_mapped(BASE, 0)
+
+
+# -- page-granular queries --------------------------------------------------------
+
+def test_pages_mapped_partial_page_counts(space):
+    # Allocation covering only part of a page still pins that page.
+    a = space.malloc(100)
+    assert space.pages_mapped(a, 100)
+    assert space.pages_mapped(a, 4096)  # whole page is pinnable
+
+
+def test_pages_mapped_fails_over_hole(space):
+    a = space.malloc(4096)
+    space.skip(8192)  # two-page hole
+    b = space.malloc(4096)
+    assert not space.pages_mapped(a, b + 4096 - a)
+
+
+def test_mincore_bitmap(space):
+    a = space.malloc(4096)
+    space.skip(4096)
+    space.malloc(4096)
+    bits = space.mincore(a, 3 * 4096)
+    assert bits == [True, False, True]
+
+
+def test_mincore_rejects_bad_length(space):
+    with pytest.raises(ValueError):
+        space.mincore(BASE, 0)
+
+
+def test_mapped_runs_returns_true_boundaries(space):
+    a = space.malloc(8192)
+    space.skip(4096)
+    b = space.malloc(4096)
+    runs = space.mapped_runs(a, b + 4096)
+    assert runs == [Segment(a, 8192), Segment(b, 4096)]
+
+
+def test_mapped_runs_coalesces_adjacent_blocks(space):
+    a = space.malloc(4096)
+    space.malloc(4096)
+    runs = space.mapped_runs(a, a + 8192)
+    assert runs == [Segment(a, 8192)]
+
+
+def test_mapped_runs_clips_to_window(space):
+    a = space.malloc(8192)
+    runs = space.mapped_runs(a + 100, a + 200)
+    assert runs == [Segment(a + 100, 100)]
+
+
+def test_mapped_runs_empty_window(space):
+    assert space.mapped_runs(100, 100) == []
+
+
+def test_hole_count(space):
+    a = space.malloc(4096)
+    space.skip(4096)
+    space.malloc(4096)
+    space.skip(4096)
+    b = space.malloc(4096)
+    assert space.hole_count(a, b + 4096) == 2
+    # trailing hole counts too
+    assert space.hole_count(a, b + 8192) == 3
+    # fully unmapped window is one hole
+    assert space.hole_count(b + 8192, b + 16384) == 1
+
+
+# -- data access -----------------------------------------------------------------
+
+def test_write_read_roundtrip(space):
+    a = space.malloc(1000)
+    space.write(a, b"hello world")
+    assert space.read(a, 11) == b"hello world"
+
+
+def test_write_read_spans_adjacent_blocks(space):
+    a = space.malloc(10)
+    space.malloc(10)  # adjacent block
+    payload = bytes(range(20))
+    space.write(a, payload)
+    assert space.read(a, 20) == payload
+
+
+def test_write_into_hole_raises(space):
+    a = space.malloc(10)
+    space.skip(10)
+    space.malloc(10)
+    with pytest.raises(HoleError):
+        space.write(a, bytes(20))
+
+
+def test_read_from_hole_raises(space):
+    a = space.malloc(10)
+    space.skip(10)
+    with pytest.raises(HoleError):
+        space.read(a, 20)
+
+
+def test_read_negative_length(space):
+    with pytest.raises(ValueError):
+        space.read(BASE, -1)
+
+
+def test_fill(space):
+    a = space.malloc(16)
+    space.fill(a, 16, 0xAB)
+    assert space.read(a, 16) == b"\xab" * 16
+
+
+def test_freed_block_data_is_gone(space):
+    a = space.malloc(10)
+    space.write(a, b"0123456789")
+    space.free(a)
+    with pytest.raises(HoleError):
+        space.read(a, 10)
+
+
+# -- scatter / gather ----------------------------------------------------------------
+
+def test_gather_concatenates_in_order(space):
+    a = space.malloc(100)
+    space.write(a, b"A" * 10 + b"B" * 10 + b"C" * 10)
+    segs = [Segment(a + 20, 10), Segment(a, 10)]
+    assert space.gather(segs) == b"C" * 10 + b"A" * 10
+
+
+def test_scatter_distributes_in_order(space):
+    a = space.malloc(100)
+    segs = [Segment(a, 4), Segment(a + 50, 4)]
+    space.scatter(segs, b"ABCDEFGH")
+    assert space.read(a, 4) == b"ABCD"
+    assert space.read(a + 50, 4) == b"EFGH"
+
+
+def test_scatter_size_mismatch(space):
+    a = space.malloc(100)
+    with pytest.raises(ValueError, match="mismatch"):
+        space.scatter([Segment(a, 4)], b"too long")
+
+
+def test_gather_scatter_roundtrip(space):
+    a = space.malloc(4096)
+    segs = [Segment(a + i * 100, 37) for i in range(10)]
+    for i, s in enumerate(segs):
+        space.write(s.addr, bytes([i]) * s.length)
+    packed = space.gather(segs)
+    other = AddressSpace()
+    b = other.malloc(4096)
+    other_segs = [Segment(b + i * 100, 37) for i in range(10)]
+    other.scatter(other_segs, packed)
+    for i, s in enumerate(other_segs):
+        assert other.read(s.addr, s.length) == bytes([i]) * 37

@@ -1,0 +1,121 @@
+"""Unit tests for segment-list utilities."""
+
+import pytest
+
+from repro.mem import (
+    Segment,
+    coalesce,
+    extent,
+    iter_intersections,
+    segments_from_lists,
+    total_bytes,
+    validate_segments,
+)
+
+
+def test_segment_end_and_contains():
+    s = Segment(100, 50)
+    assert s.end == 150
+    assert s.contains(100)
+    assert s.contains(149)
+    assert not s.contains(150)
+    assert not s.contains(99)
+
+
+def test_segment_overlaps():
+    a = Segment(0, 10)
+    assert a.overlaps(Segment(5, 10))
+    assert a.overlaps(Segment(0, 1))
+    assert not a.overlaps(Segment(10, 5))  # touching is not overlapping
+    assert not a.overlaps(Segment(20, 5))
+
+
+def test_segment_shifted():
+    assert Segment(10, 5).shifted(100) == Segment(110, 5)
+    assert Segment(10, 5).shifted(-10) == Segment(0, 5)
+
+
+def test_validate_rejects_negative():
+    with pytest.raises(ValueError):
+        validate_segments([Segment(-1, 10)])
+    with pytest.raises(ValueError):
+        validate_segments([Segment(0, -10)])
+
+
+def test_validate_empty_segment_policy():
+    with pytest.raises(ValueError):
+        validate_segments([Segment(0, 0)])
+    validate_segments([Segment(0, 0)], allow_empty=True)  # no raise
+
+
+def test_segments_from_lists_pairs():
+    segs = segments_from_lists([0, 100, 200], [10, 20, 30])
+    assert segs == [Segment(0, 10), Segment(100, 20), Segment(200, 30)]
+
+
+def test_segments_from_lists_length_mismatch():
+    with pytest.raises(ValueError, match="differ in length"):
+        segments_from_lists([0, 1], [10])
+
+
+def test_segments_from_lists_drops_empty():
+    segs = segments_from_lists([0, 100], [10, 0])
+    assert segs == [Segment(0, 10)]
+
+
+def test_segments_from_lists_empty_rejected_when_kept():
+    # Keeping zero-length entries trips validation, which is the point:
+    # internal code must strip them before building segments.
+    with pytest.raises(ValueError):
+        segments_from_lists([0, 100], [10, 0], drop_empty=False)
+
+
+def test_total_bytes():
+    assert total_bytes([Segment(0, 10), Segment(50, 5)]) == 15
+    assert total_bytes([]) == 0
+
+
+def test_extent_covers_all():
+    e = extent([Segment(100, 10), Segment(50, 5), Segment(300, 1)])
+    assert e == Segment(50, 251)
+
+
+def test_extent_empty_rejected():
+    with pytest.raises(ValueError):
+        extent([])
+
+
+def test_coalesce_merges_touching():
+    segs = [Segment(0, 10), Segment(10, 10), Segment(30, 5)]
+    assert coalesce(segs) == [Segment(0, 20), Segment(30, 5)]
+
+
+def test_coalesce_merges_overlapping():
+    segs = [Segment(0, 10), Segment(5, 10)]
+    assert coalesce(segs) == [Segment(0, 15)]
+
+
+def test_coalesce_sorts_first():
+    segs = [Segment(30, 5), Segment(0, 10), Segment(10, 10)]
+    assert coalesce(segs) == [Segment(0, 20), Segment(30, 5)]
+
+
+def test_coalesce_contained_segment():
+    segs = [Segment(0, 100), Segment(10, 5)]
+    assert coalesce(segs) == [Segment(0, 100)]
+
+
+def test_coalesce_empty():
+    assert coalesce([]) == []
+
+
+def test_iter_intersections_clips():
+    segs = [Segment(0, 10), Segment(20, 10), Segment(40, 10)]
+    window = Segment(5, 20)  # [5, 25)
+    hits = list(iter_intersections(segs, window))
+    assert hits == [(0, Segment(5, 5)), (1, Segment(20, 5))]
+
+
+def test_iter_intersections_no_hits():
+    segs = [Segment(0, 10)]
+    assert list(iter_intersections(segs, Segment(100, 10))) == []

@@ -1,0 +1,76 @@
+"""Tests for the rank-parallel program helper (repro.mpiio.app)."""
+
+import pytest
+
+from repro.calibration import KB
+from repro.mpiio import Hints, Method, MpiComm
+from repro.mpiio.app import MpiContext, mpi_run
+from repro.mpiio.romio import MPIFile
+from repro.pvfs import PVFSCluster
+
+
+def test_mpi_run_runs_one_program_per_rank():
+    cluster = PVFSCluster(n_clients=3, n_iods=2)
+    seen = []
+
+    def fn(ctx):
+        seen.append((ctx.rank, ctx.size))
+        yield ctx.sim.timeout(1.0)
+
+    elapsed = mpi_run(cluster, fn)
+    assert sorted(seen) == [(0, 3), (1, 3), (2, 3)]
+    assert elapsed == pytest.approx(1.0)
+
+
+def test_context_accessors():
+    cluster = PVFSCluster(n_clients=2, n_iods=1)
+    checks = {}
+
+    def fn(ctx):
+        checks[ctx.rank] = (
+            ctx.space is ctx.client.node.space,
+            ctx.sim is cluster.sim,
+            ctx.cluster is cluster,
+        )
+        yield ctx.sim.timeout(0.0)
+
+    mpi_run(cluster, fn)
+    assert all(all(v) for v in checks.values())
+
+
+def test_open_mpi_returns_configured_handle():
+    cluster = PVFSCluster(n_clients=2, n_iods=2)
+    handles = {}
+
+    def fn(ctx):
+        mf = yield from ctx.open_mpi("/pfs/app", Hints(method=Method.LIST_IO))
+        handles[ctx.rank] = mf
+
+    mpi_run(cluster, fn)
+    assert all(isinstance(m, MPIFile) for m in handles.values())
+    assert handles[0].pvfs_file.handle == handles[1].pvfs_file.handle
+    assert handles[0].rank == 0 and handles[1].rank == 1
+
+
+def test_explicit_comm_reuse():
+    cluster = PVFSCluster(n_clients=2, n_iods=1)
+    comm = MpiComm(cluster.sim, cluster.client_nodes)
+
+    def fn(ctx):
+        assert ctx.comm is comm
+        yield from ctx.comm.barrier(ctx.rank)
+
+    mpi_run(cluster, fn, comm=comm)
+
+
+def test_ranks_synchronize_through_collectives():
+    cluster = PVFSCluster(n_clients=4, n_iods=1)
+    finish = {}
+
+    def fn(ctx):
+        yield ctx.sim.timeout(ctx.rank * 50.0)
+        yield from ctx.comm.barrier(ctx.rank)
+        finish[ctx.rank] = ctx.sim.now
+
+    mpi_run(cluster, fn)
+    assert all(t >= 150.0 for t in finish.values())

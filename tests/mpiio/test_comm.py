@@ -1,0 +1,139 @@
+"""Unit tests for the simulated MPI communicator."""
+
+import pytest
+
+from repro.calibration import paper_testbed
+from repro.ib.hca import Node
+from repro.mpiio import MpiComm
+from repro.sim import Simulator
+
+
+def make_comm(n=4):
+    sim = Simulator()
+    tb = paper_testbed()
+    nodes = [Node(sim, tb, f"cn{i}") for i in range(n)]
+    return sim, MpiComm(sim, nodes)
+
+
+def run_ranks(sim, comm, fn):
+    procs = [sim.process(fn(r)) for r in range(comm.size)]
+    sim.run()
+    return [p.value for p in procs]
+
+
+def test_empty_comm_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        MpiComm(sim, [])
+
+
+def test_send_recv():
+    sim, comm = make_comm(2)
+    got = []
+
+    def rank0():
+        yield from comm.send(0, 1, {"x": 42}, nbytes=100)
+
+    def rank1():
+        msg = yield from comm.recv(1, 0)
+        got.append(msg)
+
+    sim.process(rank0())
+    sim.process(rank1())
+    sim.run()
+    assert got == [{"x": 42}]
+    assert sim.now > 0
+
+
+def test_self_send_rejected():
+    sim, comm = make_comm(2)
+    with pytest.raises(ValueError):
+        next(comm.send(0, 0, "x", 10))
+
+
+def test_barrier_synchronizes():
+    sim, comm = make_comm(4)
+    after = []
+
+    def fn(rank):
+        yield sim.timeout(rank * 100.0)  # ranks arrive staggered
+        yield from comm.barrier(rank)
+        after.append(sim.now)
+
+    run_ranks(sim, comm, fn)
+    # Nobody leaves before the slowest arrival at t=300.
+    assert all(t >= 300.0 for t in after)
+
+
+def test_barrier_single_rank_noop():
+    sim, comm = make_comm(1)
+
+    def fn(rank):
+        yield from comm.barrier(rank)
+        return "done"
+
+    assert run_ranks(sim, comm, fn) == ["done"]
+
+
+def test_allgather_returns_rank_ordered():
+    sim, comm = make_comm(4)
+
+    def fn(rank):
+        vals = yield from comm.allgather(rank, rank * 10)
+        return vals
+
+    results = run_ranks(sim, comm, fn)
+    for vals in results:
+        assert vals == [0, 10, 20, 30]
+
+
+def test_exchange_delivers_per_destination():
+    sim, comm = make_comm(3)
+
+    def fn(rank):
+        outgoing = {dst: f"{rank}->{dst}".encode() for dst in range(3)}
+        incoming = yield from comm.exchange(rank, outgoing)
+        return incoming
+
+    results = run_ranks(sim, comm, fn)
+    for rank, incoming in enumerate(results):
+        assert sorted(incoming) == [0, 1, 2]
+        for src, payload in incoming.items():
+            assert payload == f"{src}->{rank}".encode()
+
+
+def test_exchange_missing_destinations_send_empty():
+    sim, comm = make_comm(2)
+
+    def fn(rank):
+        outgoing = {}  # nothing to send
+        incoming = yield from comm.exchange(rank, outgoing)
+        return incoming
+
+    results = run_ranks(sim, comm, fn)
+    assert results[0][1] == b""
+    assert results[1][0] == b""
+
+
+def test_exchange_charges_network_time():
+    sim, comm = make_comm(2)
+    payload = bytes(1024 * 1024)
+
+    def fn(rank):
+        incoming = yield from comm.exchange(rank, {1 - rank: payload})
+        return incoming
+
+    run_ranks(sim, comm, fn)
+    # Moving 1 MB each way at ~822 MB/s takes >1000 us.
+    assert sim.now > 1000.0
+
+
+def test_stats_track_bytes():
+    sim, comm = make_comm(2)
+
+    def fn(rank):
+        yield from comm.send(rank, 1 - rank, "x", nbytes=500)
+        yield from comm.recv(rank, 1 - rank)
+
+    run_ranks(sim, comm, fn)
+    assert comm.nodes[0].stats.total("mpi.bytes_sent") == 500

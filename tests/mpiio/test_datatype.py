@@ -1,0 +1,189 @@
+"""Unit tests for MPI derived datatypes and flattening."""
+
+import pytest
+
+from repro.mem.segments import Segment
+from repro.mpiio import (
+    BYTE,
+    DOUBLE,
+    INT,
+    Contiguous,
+    Hindexed,
+    Hvector,
+    Indexed,
+    Resized,
+    Struct,
+    Subarray,
+    Vector,
+)
+from repro.mpiio.datatype import Primitive
+
+
+def test_primitive_properties():
+    assert INT.size == 4
+    assert INT.extent == 4
+    assert INT.is_contiguous
+    assert DOUBLE.segments == (Segment(0, 8),)
+
+
+def test_primitive_invalid():
+    with pytest.raises(ValueError):
+        Primitive(0)
+
+
+def test_contiguous_merges():
+    t = Contiguous(10, INT)
+    assert t.size == 40
+    assert t.extent == 40
+    assert t.segments == (Segment(0, 40),)
+    assert t.is_contiguous
+
+
+def test_contiguous_negative_count():
+    with pytest.raises(ValueError):
+        Contiguous(-1, INT)
+
+
+def test_vector_layout():
+    # 3 blocks of 2 ints, stride 4 ints: |XX..|XX..|XX|
+    t = Vector(3, 2, 4, INT)
+    assert t.size == 24
+    assert t.extent == (2 * 16) + 8
+    assert t.segments == (Segment(0, 8), Segment(16, 8), Segment(32, 8))
+
+
+def test_vector_dense_stride_collapses():
+    t = Vector(4, 2, 2, INT)
+    assert t.is_contiguous
+
+
+def test_hvector_byte_stride():
+    t = Hvector(2, 1, 100, INT)
+    assert t.segments == (Segment(0, 4), Segment(100, 4))
+    assert t.extent == 104
+
+
+def test_indexed_sorted_output():
+    t = Indexed([1, 2], [5, 0], INT)  # one int at displ 5, two at 0
+    assert t.segments == (Segment(0, 8), Segment(20, 4))
+    assert t.size == 12
+
+
+def test_indexed_length_mismatch():
+    with pytest.raises(ValueError):
+        Indexed([1], [0, 4], INT)
+
+
+def test_hindexed_byte_displacements():
+    t = Hindexed([2, 1], [0, 9], BYTE)
+    assert t.segments == (Segment(0, 2), Segment(9, 1))
+    assert t.extent == 10
+
+
+def test_struct_mixed_types():
+    t = Struct([1, 2], [0, 8], [DOUBLE, INT])
+    assert t.size == 16
+    assert t.segments == (Segment(0, 16),)  # double then 2 ints, adjacent
+
+
+def test_struct_with_gap():
+    t = Struct([1, 1], [0, 100], [INT, INT])
+    assert t.segments == (Segment(0, 4), Segment(100, 4))
+
+
+def test_subarray_2d_rows():
+    # 4x4 ints, take the 2x2 block at (1,1).
+    t = Subarray([4, 4], [2, 2], [1, 1], INT)
+    assert t.size == 16
+    assert t.extent == 64
+    assert t.segments == (Segment(20, 8), Segment(36, 8))
+
+
+def test_subarray_full_array_contiguous():
+    t = Subarray([4, 4], [4, 4], [0, 0], INT)
+    assert t.is_contiguous
+
+
+def test_subarray_full_rows_merge():
+    # Taking complete rows yields one segment per row *run*.
+    t = Subarray([4, 4], [2, 4], [1, 0], INT)
+    assert t.segments == (Segment(16, 32),)
+
+
+def test_subarray_3d():
+    t = Subarray([2, 2, 2], [1, 2, 1], [1, 0, 1], DOUBLE)
+    # Block: z=1 plane, both y, x=1 -> elements (1,0,1) and (1,1,1).
+    assert t.size == 16
+    assert t.segments == (Segment(40, 8), Segment(56, 8))
+
+
+def test_subarray_bounds_check():
+    with pytest.raises(ValueError):
+        Subarray([4, 4], [2, 2], [3, 0], INT)
+
+
+def test_subarray_rank_mismatch():
+    with pytest.raises(ValueError):
+        Subarray([4, 4], [2], [0, 0], INT)
+
+
+def test_resized_extent_override():
+    t = Resized(INT, 16)
+    assert t.size == 4
+    assert t.extent == 16
+    flat = t.flatten(3)
+    assert flat == [Segment(0, 4), Segment(16, 4), Segment(32, 4)]
+
+
+def test_resized_lb_unsupported():
+    with pytest.raises(NotImplementedError):
+        Resized(INT, 16, lb=4)
+
+
+def test_flatten_count_and_offset():
+    t = Vector(2, 1, 2, INT)
+    flat = t.flatten(2, base_offset=1000)
+    # extent = 12; two instances at 1000 and 1012.  The tail piece of the
+    # first instance (1008) touches the head of the second (1012): merge.
+    assert flat == [
+        Segment(1000, 4),
+        Segment(1008, 8),
+        Segment(1020, 4),
+    ]
+
+
+def test_flatten_negative_count():
+    with pytest.raises(ValueError):
+        INT.flatten(-1)
+
+
+def test_flatten_adjacent_instances_merge():
+    t = Contiguous(4, BYTE)
+    assert t.flatten(3) == [Segment(0, 12)]
+
+
+def test_nested_types():
+    inner = Vector(2, 1, 2, INT)  # X.X (in ints)
+    outer = Contiguous(2, inner)
+    assert outer.size == 16
+    # inner extent 12: second instance's head (12) touches the first
+    # instance's tail piece (8..12) and merges with it.
+    assert outer.segments == (
+        Segment(0, 4),
+        Segment(8, 8),
+        Segment(20, 4),
+    )
+
+
+def test_size_extent_invariant_random_types():
+    # size <= extent for every constructed type here.
+    types = [
+        Contiguous(7, INT),
+        Vector(5, 3, 4, DOUBLE),
+        Indexed([1, 2, 3], [0, 10, 20], BYTE),
+        Subarray([8, 8], [3, 5], [2, 1], INT),
+        Struct([2, 1], [0, 64], [INT, DOUBLE]),
+    ]
+    for t in types:
+        assert t.size <= t.extent
+        assert sum(s.length for s in t.segments) == t.size

@@ -1,0 +1,97 @@
+"""Unit tests for file views."""
+
+import pytest
+
+from repro.mem.segments import Segment
+from repro.mpiio import BYTE, INT, Contiguous, FileView, Resized, Subarray, Vector
+
+
+def test_default_dense_view():
+    v = FileView(filetype=BYTE)
+    assert v.contiguous()
+    assert v.map_range(100, 50) == [Segment(100, 50)]
+
+
+def test_displacement_shifts():
+    v = FileView(filetype=BYTE, disp=1000)
+    assert v.map_range(0, 10) == [Segment(1000, 10)]
+
+
+def test_invalid_filetype():
+    with pytest.raises(ValueError):
+        FileView(filetype=Vector(0, 0, 1, INT))
+
+
+def test_etype_divisibility():
+    with pytest.raises(ValueError):
+        FileView(filetype=Contiguous(3, BYTE), etype=INT)
+
+
+def test_strided_view_single_tile():
+    # Filetype: 1 int of data per 4-int span -> "1 unit out of every 4".
+    ft = Resized(INT, 16)
+    v = FileView(filetype=ft)
+    assert v.map_range(0, 4) == [Segment(0, 4)]
+    assert v.map_range(4, 4) == [Segment(16, 4)]  # second tile
+
+
+def test_strided_view_spanning_tiles():
+    ft = Resized(INT, 16)
+    v = FileView(filetype=ft)
+    segs = v.map_range(0, 12)
+    assert segs == [Segment(0, 4), Segment(16, 4), Segment(32, 4)]
+
+
+def test_view_offset_mid_piece():
+    ft = Resized(Contiguous(2, INT), 32)  # 8 data bytes per 32-byte tile
+    v = FileView(filetype=ft)
+    segs = v.map_range(4, 8)
+    assert segs == [Segment(4, 4), Segment(32, 4)]
+
+
+def test_block_column_view():
+    """The Figure 5 pattern: process p sees one block column of four."""
+    n = 16  # array rows
+    unit = 4 * n  # one column-block of n ints
+    ft = Resized(Contiguous(unit, BYTE), 4 * unit)
+    for p in range(4):
+        v = FileView(filetype=ft, disp=p * unit)
+        segs = v.map_range(0, 2 * unit)
+        assert segs == [
+            Segment(p * unit, unit),
+            Segment(4 * unit + p * unit, unit),
+        ]
+
+
+def test_subarray_view():
+    # 2-D 8x8-int array; this process owns the 4x4 block at (0, 4).
+    ft = Subarray([8, 8], [4, 4], [0, 4], INT)
+    v = FileView(filetype=ft)
+    segs = v.map_range(0, ft.size)
+    assert len(segs) == 4  # four rows
+    assert segs[0] == Segment(16, 16)
+    assert segs[1] == Segment(48, 16)
+
+
+def test_map_range_negative():
+    v = FileView(filetype=BYTE)
+    with pytest.raises(ValueError):
+        v.map_range(-1, 10)
+    with pytest.raises(ValueError):
+        v.map_range(0, -1)
+
+
+def test_map_range_zero_length():
+    v = FileView(filetype=BYTE)
+    assert v.map_range(10, 0) == []
+
+
+def test_bytes_conserved_random_views():
+    ft = Vector(5, 3, 7, INT)
+    v = FileView(filetype=ft, disp=123)
+    for off, length in [(0, 60), (7, 100), (59, 1), (60, 60)]:
+        segs = v.map_range(off, length)
+        assert sum(s.length for s in segs) == length
+        # Segments are ascending and non-overlapping.
+        for a, b in zip(segs, segs[1:]):
+            assert a.end <= b.addr

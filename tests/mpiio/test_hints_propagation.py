@@ -1,0 +1,73 @@
+"""Hints must actually reach the servers: sync and nocache behaviour."""
+
+import pytest
+
+from repro.calibration import KB
+from repro.mpiio import BYTE, Hints, Method
+from repro.mpiio.app import mpi_run
+from repro.pvfs import PVFSCluster
+
+
+def _write_once(hints, n=256 * KB):
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+
+    def fn(ctx):
+        mf = yield from ctx.open_mpi("/pfs/hints", hints)
+        addr = ctx.space.malloc(n)
+        ctx.space.write(addr, bytes(n))
+        yield from mf.write(addr, BYTE, n)
+
+    elapsed = mpi_run(cluster, fn)
+    dirty = sum(
+        len(iod.fs.cache.dirty_pages(iod.stripe_file(1).file_id))
+        for iod in cluster.iods
+    )
+    return elapsed, dirty
+
+
+@pytest.mark.parametrize(
+    "method", [Method.MULTIPLE, Method.LIST_IO, Method.LIST_IO_ADS],
+    ids=lambda m: m.value,
+)
+def test_sync_hint_forces_flush(method):
+    t_nosync, dirty_nosync = _write_once(Hints(method=method, sync=False))
+    t_sync, dirty_sync = _write_once(Hints(method=method, sync=True))
+    assert dirty_sync == 0
+    assert dirty_nosync > 0
+    assert t_sync > t_nosync
+
+
+def test_nocache_hint_slows_reads():
+    def read_once(nocache):
+        cluster = PVFSCluster(n_clients=1, n_iods=2)
+        n = 256 * KB
+        timings = {}
+
+        def fn(ctx):
+            mf = yield from ctx.open_mpi("/pfs/nc", Hints(method=Method.LIST_IO))
+            addr = ctx.space.malloc(n)
+            ctx.space.write(addr, bytes(n))
+            yield from mf.write(addr, BYTE, n)
+            mf.hints = Hints(method=Method.LIST_IO, nocache=nocache)
+            t0 = ctx.sim.now
+            yield from mf.read(addr, BYTE, n)
+            timings["read"] = ctx.sim.now - t0
+
+        mpi_run(cluster, fn)
+        return timings["read"]
+
+    t_cached = read_once(False)
+    t_nocache = read_once(True)
+    assert t_nocache > 1.5 * t_cached
+
+
+def test_rank_failure_propagates_from_mpi_run():
+    cluster = PVFSCluster(n_clients=2, n_iods=1)
+
+    def fn(ctx):
+        yield ctx.sim.timeout(1.0)
+        if ctx.rank == 1:
+            raise RuntimeError("rank 1 exploded")
+
+    with pytest.raises(RuntimeError, match="rank 1 exploded"):
+        mpi_run(cluster, fn)

@@ -1,0 +1,68 @@
+"""MPI_Pack / MPI_Unpack equivalents on datatypes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem import AddressSpace
+from repro.mpiio import BYTE, INT, Contiguous, Indexed, Subarray, Vector
+
+
+def test_pack_vector():
+    space = AddressSpace()
+    dt = Vector(3, 1, 2, INT)  # every other int
+    addr = space.malloc(dt.extent)
+    space.write(addr, bytes(range(dt.extent)))
+    packed = dt.pack(space, addr)
+    assert len(packed) == dt.size == 12
+    assert packed[:4] == bytes(range(0, 4))
+    assert packed[4:8] == bytes(range(8, 12))
+
+
+def test_unpack_roundtrip():
+    space = AddressSpace()
+    dt = Indexed([2, 1, 3], [0, 5, 10], INT)
+    src = space.malloc(dt.extent)
+    pattern = bytes((i * 3 + 1) % 256 for i in range(dt.extent))
+    space.write(src, pattern)
+    packed = dt.pack(space, src)
+
+    dst = space.malloc(dt.extent)
+    dt.unpack(space, dst, packed)
+    assert dt.pack(space, dst) == packed
+
+
+def test_unpack_size_checked():
+    space = AddressSpace()
+    dt = Contiguous(4, INT)
+    addr = space.malloc(dt.extent)
+    with pytest.raises(ValueError, match="unpack needs"):
+        dt.unpack(space, addr, b"short")
+
+
+def test_pack_count_many():
+    space = AddressSpace()
+    dt = Vector(2, 1, 2, BYTE)
+    addr = space.malloc(dt.extent * 5)
+    space.write(addr, bytes(i % 256 for i in range(dt.extent * 5)))
+    packed = dt.pack(space, addr, count=5)
+    assert len(packed) == 5 * dt.size
+
+
+@given(st.integers(1, 5), st.integers(1, 4), st.data())
+def test_pack_unpack_roundtrip_random_subarrays(rows, cols, data):
+    space = AddressSpace()
+    sizes = [rows + data.draw(st.integers(0, 3)), cols + data.draw(st.integers(0, 3))]
+    starts = [
+        data.draw(st.integers(0, sizes[0] - rows)),
+        data.draw(st.integers(0, sizes[1] - cols)),
+    ]
+    dt = Subarray(sizes, [rows, cols], starts, INT)
+    src = space.malloc(dt.extent)
+    payload = bytes((7 * i + 3) % 256 for i in range(dt.extent))
+    space.write(src, payload)
+    packed = dt.pack(space, src)
+    assert len(packed) == dt.size
+    dst = space.malloc(dt.extent)
+    dt.unpack(space, dst, packed)
+    assert dt.pack(space, dst) == packed

@@ -1,0 +1,123 @@
+"""Edge cases of two-phase collective I/O: holes, uneven domains."""
+
+import pytest
+
+from repro.calibration import KB
+from repro.mem.segments import Segment
+from repro.mpiio import BYTE, Contiguous, FileView, Hints, Method, Resized
+from repro.mpiio.app import mpi_run
+from repro.pvfs import PVFSCluster
+
+
+def test_collective_write_with_holes_preserves_existing_data():
+    """When ranks' pieces do not tile their aggregate extent, the
+    aggregators must read-modify-write the gaps, not zero them."""
+    NP = 4
+    unit = 1 * KB
+    cluster = PVFSCluster(n_clients=NP, n_iods=2)
+
+    # Pre-populate the file with a background pattern.
+    c0 = cluster.clients[0]
+    n_total = 16 * NP * unit * 2  # covers the collective extent
+    bg_addr = c0.node.space.malloc(n_total)
+    c0.node.space.write(bg_addr, b"\xbb" * n_total)
+
+    def prefill():
+        f = yield from c0.open("/pfs/holes")
+        yield from c0.write(f, bg_addr, 0, n_total)
+
+    cluster.run([prefill()])
+
+    # Collective write where each rank writes 1 unit of every 8 (so only
+    # half the 1-in-4-per-rank slots are covered -> holes remain).
+    hints = Hints(method=Method.COLLECTIVE)
+
+    def fn(ctx):
+        ft = Resized(Contiguous(unit, BYTE), 2 * NP * unit)
+        view = FileView(filetype=ft, disp=ctx.rank * unit)
+        mf = yield from ctx.open_mpi("/pfs/holes", hints)
+        mf.set_view(view)
+        nbytes = 16 * unit
+        addr = ctx.space.malloc(nbytes)
+        ctx.space.write(addr, bytes([ctx.rank + 1]) * nbytes)
+        yield from mf.write_all(addr, BYTE, nbytes)
+
+    mpi_run(cluster, fn)
+    logical = cluster.logical_file_bytes("/pfs/holes")
+    # Units 0..3 of each 8-unit group belong to ranks 1..4's patterns;
+    # units 4..7 must still hold the background.
+    for group in range(4):
+        base = group * 2 * NP * unit
+        for r in range(NP):
+            chunk = logical[base + r * unit : base + (r + 1) * unit]
+            assert chunk == bytes([r + 1]) * unit, (group, r)
+        for hole in range(NP, 2 * NP):
+            chunk = logical[base + hole * unit : base + (hole + 1) * unit]
+            assert chunk == b"\xbb" * unit, (group, hole)
+
+
+def test_collective_single_rank_cluster():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    hints = Hints(method=Method.COLLECTIVE)
+
+    def fn(ctx):
+        mf = yield from ctx.open_mpi("/pfs/solo", hints)
+        addr = ctx.space.malloc(4 * KB)
+        ctx.space.write(addr, b"z" * 4 * KB)
+        yield from mf.write_all(addr, BYTE, 4 * KB)
+        back = ctx.space.malloc(4 * KB)
+        yield from mf.read_all(back, BYTE, 4 * KB)
+        assert ctx.space.read(back, 4 * KB) == b"z" * 4 * KB
+
+    mpi_run(cluster, fn)
+
+
+def test_collective_uneven_rank_shares():
+    """Ranks contribute different amounts; domains split the union."""
+    NP = 4
+    cluster = PVFSCluster(n_clients=NP, n_iods=2)
+    hints = Hints(method=Method.COLLECTIVE)
+    sizes = [1 * KB, 7 * KB, 2 * KB, 11 * KB]
+    offsets = [0, 64 * KB, 90 * KB, 200 * KB]
+
+    def fn(ctx):
+        mf = yield from ctx.open_mpi("/pfs/uneven", hints)
+        n = sizes[ctx.rank]
+        addr = ctx.space.malloc(n)
+        ctx.space.write(addr, bytes([ctx.rank + 1]) * n)
+        mf.set_view(FileView(filetype=BYTE, disp=offsets[ctx.rank]))
+        yield from mf.write_all(addr, BYTE, n)
+
+    mpi_run(cluster, fn)
+    logical = cluster.logical_file_bytes("/pfs/uneven")
+    for r in range(NP):
+        chunk = logical[offsets[r] : offsets[r] + sizes[r]]
+        assert chunk == bytes([r + 1]) * sizes[r], r
+
+
+def test_ds_read_with_tiny_buffer_chunks():
+    """Client data sieving with a ds buffer smaller than the extent."""
+    import dataclasses
+
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    hints = Hints(method=Method.DATA_SIEVING, ds_buffer_bytes=16 * KB)
+    piece, npieces = 1 * KB, 64  # extent 256 kB >> 16 kB buffer
+
+    def fn(ctx):
+        mf = yield from ctx.open_mpi("/pfs/dschunk", hints)
+        addr = ctx.space.malloc(npieces * piece)
+        ctx.space.write(addr, bytes((i % 250) + 1 for i in range(npieces * piece)))
+        # Populate with list I/O, read back via chunked DS.
+        from repro.mpiio import Contiguous, Resized
+
+        ft = Resized(Contiguous(piece, BYTE), 4 * piece)
+        mf.set_view(FileView(filetype=ft))
+        yield from mf.write(addr, BYTE, npieces * piece)
+        back = ctx.space.malloc(npieces * piece)
+        mf.hints = hints
+        yield from mf.read(back, BYTE, npieces * piece)
+        assert ctx.space.read(back, npieces * piece) == ctx.space.read(
+            addr, npieces * piece
+        )
+
+    mpi_run(cluster, fn)

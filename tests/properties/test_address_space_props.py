@@ -1,0 +1,113 @@
+"""Property-based tests for the virtual address space."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import AddressSpace, Segment
+
+# A layout program: a sequence of mallocs (size) and skips (size).
+layout_strategy = st.lists(
+    st.tuples(st.sampled_from(["malloc", "skip"]),
+              st.integers(min_value=1, max_value=64 * 1024)),
+    min_size=1,
+    max_size=20,
+)
+
+
+def _build(ops):
+    space = AddressSpace(page_size=4096)
+    blocks = []
+    for kind, size in ops:
+        if kind == "malloc":
+            blocks.append(Segment(space.malloc(size), size))
+        else:
+            space.skip(size)
+    return space, blocks
+
+
+@given(layout_strategy)
+def test_every_allocation_is_mapped(ops):
+    space, blocks = _build(ops)
+    for b in blocks:
+        assert space.is_mapped(b.addr, b.length)
+
+
+@given(layout_strategy)
+def test_mapped_bytes_equals_sum_of_blocks(ops):
+    space, blocks = _build(ops)
+    assert space.mapped_bytes == sum(b.length for b in blocks)
+
+
+@given(layout_strategy, st.binary(min_size=1, max_size=256))
+def test_write_read_roundtrip_within_block(ops, payload):
+    space, blocks = _build(ops)
+    for b in blocks:
+        n = min(len(payload), b.length)
+        space.write(b.addr, payload[:n])
+        assert space.read(b.addr, n) == payload[:n]
+
+
+@given(layout_strategy)
+def test_mapped_runs_cover_exactly_the_blocks(ops):
+    space, blocks = _build(ops)
+    if not blocks:
+        return
+    lo = min(b.addr for b in blocks)
+    hi = max(b.end for b in blocks)
+    runs = space.mapped_runs(lo, hi)
+    run_bytes = set()
+    for r in runs:
+        run_bytes.update(range(r.addr, r.end))
+    blk_bytes = set()
+    for b in blocks:
+        blk_bytes.update(range(b.addr, b.end))
+    assert run_bytes == blk_bytes
+
+
+@given(layout_strategy)
+def test_mapped_runs_sorted_disjoint(ops):
+    space, blocks = _build(ops)
+    if not blocks:
+        return
+    lo = min(b.addr for b in blocks)
+    hi = max(b.end for b in blocks)
+    runs = space.mapped_runs(lo, hi)
+    for a, b in zip(runs, runs[1:]):
+        assert a.end < b.addr
+
+
+@given(layout_strategy)
+def test_mincore_consistent_with_pages_mapped(ops):
+    space, blocks = _build(ops)
+    if not blocks:
+        return
+    lo = min(b.addr for b in blocks) & ~4095
+    hi = max(b.end for b in blocks)
+    bits = space.mincore(lo, hi - lo)
+    assert space.pages_mapped(lo, hi - lo) == all(bits)
+
+
+@given(layout_strategy)
+def test_hole_count_matches_runs(ops):
+    space, blocks = _build(ops)
+    if not blocks:
+        return
+    lo = min(b.addr for b in blocks)
+    hi = max(b.end for b in blocks)
+    runs = space.mapped_runs(lo, hi)
+    # Window clipped to mapped extremes: holes are exactly the gaps.
+    assert space.hole_count(lo, hi) == len(runs) - 1
+
+
+@given(layout_strategy)
+def test_gather_scatter_roundtrip_random_layout(ops):
+    space, blocks = _build(ops)
+    segs = [Segment(b.addr, min(b.length, 128)) for b in blocks]
+    for i, s in enumerate(segs):
+        space.write(s.addr, bytes([i % 256]) * s.length)
+    packed = space.gather(segs)
+    # Clear, then scatter back and verify.
+    for s in segs:
+        space.write(s.addr, bytes(s.length))
+    space.scatter(segs, packed)
+    assert space.gather(segs) == packed

@@ -1,0 +1,102 @@
+"""Property-based tests for MPI datatypes and file views."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpiio import BYTE, DOUBLE, INT, Contiguous, FileView, Hindexed, Resized, Subarray, Vector
+
+
+@st.composite
+def datatypes(draw, depth=0):
+    """Random (possibly nested) datatype with a bounded footprint."""
+    base_choices = [BYTE, INT, DOUBLE]
+    if depth >= 2:
+        return draw(st.sampled_from(base_choices))
+    kind = draw(st.sampled_from(["prim", "contig", "vector", "hindexed", "subarray"]))
+    if kind == "prim":
+        return draw(st.sampled_from(base_choices))
+    base = draw(datatypes(depth=depth + 1))
+    if kind == "contig":
+        return Contiguous(draw(st.integers(1, 8)), base)
+    if kind == "vector":
+        count = draw(st.integers(1, 6))
+        blocklen = draw(st.integers(1, 4))
+        stride = draw(st.integers(blocklen, blocklen + 6))
+        return Vector(count, blocklen, stride, base)
+    if kind == "hindexed":
+        n = draw(st.integers(1, 5))
+        lens = draw(st.lists(st.integers(1, 4), min_size=n, max_size=n))
+        # Non-overlapping ascending displacements.
+        disps = []
+        pos = 0
+        for ln in lens:
+            pos += draw(st.integers(0, 64))
+            disps.append(pos)
+            pos += ln * base.extent
+        return Hindexed(lens, disps, base)
+    # subarray (2-D)
+    sizes = [draw(st.integers(1, 6)), draw(st.integers(1, 6))]
+    subsizes = [draw(st.integers(1, sizes[0])), draw(st.integers(1, sizes[1]))]
+    starts = [
+        draw(st.integers(0, sizes[0] - subsizes[0])),
+        draw(st.integers(0, sizes[1] - subsizes[1])),
+    ]
+    return Subarray(sizes, subsizes, starts, base)
+
+
+@given(datatypes())
+def test_flatten_bytes_equal_size(dt):
+    assert sum(s.length for s in dt.segments) == dt.size
+
+
+@given(datatypes())
+def test_segments_sorted_disjoint_within_extent(dt):
+    segs = dt.segments
+    for a, b in zip(segs, segs[1:]):
+        assert a.end < b.addr  # coalesced: never touching
+    if segs:
+        assert segs[0].addr >= 0
+        assert segs[-1].end <= dt.extent
+
+
+@given(datatypes(), st.integers(1, 4))
+def test_flatten_count_scales(dt, count):
+    flat = dt.flatten(count)
+    assert sum(s.length for s in flat) == count * dt.size
+
+
+@given(datatypes(), st.integers(0, 1 << 16))
+def test_flatten_offset_shifts(dt, off):
+    base = dt.flatten(1, 0)
+    shifted = dt.flatten(1, off)
+    assert len(base) == len(shifted)
+    for a, b in zip(base, shifted):
+        assert b.addr - a.addr == off
+        assert a.length == b.length
+
+
+@given(datatypes(), st.integers(0, 200), st.integers(0, 2000))
+def test_fileview_map_range_conserves_bytes(dt, view_off, length):
+    view = FileView(filetype=Resized(dt, dt.extent + 8))
+    segs = view.map_range(view_off, length)
+    assert sum(s.length for s in segs) == length
+    for a, b in zip(segs, segs[1:]):
+        assert a.end <= b.addr  # ascending, non-overlapping
+
+
+@given(datatypes(), st.integers(0, 500), st.integers(1, 500), st.integers(1, 500))
+def test_fileview_adjacent_ranges_tile(dt, off, n1, n2):
+    """map_range(o, a) + map_range(o+a, b) covers map_range(o, a+b)."""
+    view = FileView(filetype=dt)
+    first = view.map_range(off, n1)
+    second = view.map_range(off + n1, n2)
+    combined = view.map_range(off, n1 + n2)
+
+    def flat_bytes(segs):
+        out = set()
+        for s in segs:
+            out.update(range(s.addr, s.end))
+        return out
+
+    assert flat_bytes(first) | flat_bytes(second) == flat_bytes(combined)
+    assert not (flat_bytes(first) & flat_bytes(second))

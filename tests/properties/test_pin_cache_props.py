@@ -1,0 +1,81 @@
+"""Property-based tests for pin-down cache invariants."""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calibration import paper_testbed
+from repro.ib.pin_cache import PinDownCache
+from repro.ib.registration import RegistrationTable
+from repro.mem import AddressSpace
+
+# A program over a small set of buffers: acquire/release/invalidate.
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["acquire", "release", "invalidate"]),
+        st.integers(0, 7),  # buffer index
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _run(ops, capacity_bytes):
+    tb = paper_testbed()
+    space = AddressSpace(page_size=tb.page_size)
+    buffers = [space.malloc(4096, align=4096) for _ in range(8)]
+    table = RegistrationTable(tb)
+    cache = PinDownCache(table, capacity_bytes=capacity_bytes)
+    held = {}
+    for op, i in ops:
+        addr = buffers[i]
+        if op == "acquire":
+            region, cost = cache.acquire(space, addr, 4096)
+            assert cost >= 0
+            held[i] = region
+        elif op == "release" and i in held:
+            cache.release(held[i])
+        elif op == "invalidate" and i in held:
+            cache.invalidate(held.pop(i))
+    return space, table, cache, buffers
+
+
+@given(ops_strategy, st.sampled_from([2 * 4096, 4 * 4096, 64 * 4096]))
+@settings(max_examples=60, deadline=None)
+def test_cached_bytes_matches_table(ops, cap):
+    space, table, cache, buffers = _run(ops, cap)
+    # The cache's byte accounting equals the sum of its regions, and
+    # everything the cache holds is registered in the table.
+    assert cache.cached_bytes == sum(r.length for r in cache._lru.values())
+    for region in cache._lru.values():
+        assert table.lookup(region.lkey) is region
+
+
+@given(ops_strategy, st.sampled_from([2 * 4096, 4 * 4096]))
+@settings(max_examples=60, deadline=None)
+def test_capacity_respected(ops, cap):
+    space, table, cache, buffers = _run(ops, cap)
+    assert cache.cached_bytes <= cap
+
+
+@given(ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_acquire_after_any_history_is_usable(ops):
+    space, table, cache, buffers = _run(ops, 64 * 4096)
+    # Whatever happened, acquiring any buffer afterwards must produce a
+    # registration covering it.
+    for addr in buffers:
+        region, _ = cache.acquire(space, addr, 4096)
+        assert region.covers(addr, 4096)
+        assert table.lookup(region.lkey) is region
+
+
+@given(ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_stats_hits_plus_misses_equals_acquires(ops):
+    space, table, cache, buffers = _run(ops, 64 * 4096)
+    acquires = sum(1 for op, _ in ops if op == "acquire")
+    hits = cache.stats.count("ib.pincache.hits")
+    misses = cache.stats.count("ib.pincache.misses")
+    assert hits + misses == acquires

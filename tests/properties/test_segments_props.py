@@ -1,0 +1,78 @@
+"""Property-based tests for segment-list utilities."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.segments import (
+    Segment,
+    coalesce,
+    extent,
+    iter_intersections,
+    total_bytes,
+)
+
+segments_strategy = st.lists(
+    st.builds(
+        Segment,
+        st.integers(min_value=0, max_value=1 << 20),
+        st.integers(min_value=1, max_value=1 << 12),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _covered(segs):
+    out = set()
+    for s in segs:
+        out.update(range(s.addr, s.end))
+    return out
+
+
+@given(segments_strategy)
+def test_coalesce_preserves_coverage(segs):
+    assert _covered(coalesce(segs)) == _covered(segs)
+
+
+@given(segments_strategy)
+def test_coalesce_output_sorted_disjoint(segs):
+    out = coalesce(segs)
+    for a, b in zip(out, out[1:]):
+        assert a.end < b.addr  # strictly separated (touching merged)
+
+
+@given(segments_strategy)
+def test_coalesce_idempotent(segs):
+    once = coalesce(segs)
+    assert coalesce(once) == once
+
+
+@given(segments_strategy)
+def test_extent_bounds_everything(segs):
+    e = extent(segs)
+    for s in segs:
+        assert e.addr <= s.addr and s.end <= e.end
+    assert e.addr == min(s.addr for s in segs)
+    assert e.end == max(s.end for s in segs)
+
+
+@given(segments_strategy)
+def test_total_bytes_nonnegative_and_additive(segs):
+    assert total_bytes(segs) == sum(s.length for s in segs)
+    merged = coalesce(segs)
+    # Merging never increases the byte count beyond the covered set.
+    assert total_bytes(merged) == len(_covered(segs))
+
+
+@given(
+    segments_strategy,
+    st.integers(min_value=0, max_value=1 << 20),
+    st.integers(min_value=1, max_value=1 << 13),
+)
+def test_intersections_clip_correctly(segs, w_addr, w_len):
+    window = Segment(w_addr, w_len)
+    for idx, clipped in iter_intersections(segs, window):
+        orig = segs[idx]
+        assert clipped.addr >= max(orig.addr, window.addr)
+        assert clipped.end <= min(orig.end, window.end)
+        assert clipped.length > 0

@@ -1,0 +1,91 @@
+"""Property-based tests for striping and list-I/O decomposition."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.listio import ListIORequest
+from repro.mem.segments import Segment
+from repro.pvfs.striping import StripeLayout
+
+layout_strategy = st.builds(
+    StripeLayout,
+    st.sampled_from([4096, 16384, 65536]),
+    st.integers(min_value=1, max_value=8),
+    st.just(0),
+)
+
+offset_strategy = st.integers(min_value=0, max_value=1 << 24)
+
+
+@given(layout_strategy, offset_strategy)
+def test_logical_physical_bijection(layout, off):
+    iod = layout.iod_of(off)
+    phys = layout.physical_offset(off)
+    assert layout.logical_offset(iod, phys) == off
+
+
+@given(layout_strategy, offset_strategy, st.integers(min_value=1, max_value=1 << 18))
+def test_clip_to_stripes_partitions(layout, addr, length):
+    seg = Segment(addr, length)
+    parts = layout.clip_to_stripes(seg)
+    assert sum(p.length for p in parts) == length
+    assert parts[0].addr == addr
+    assert parts[-1].end == seg.end
+    for a, b in zip(parts, parts[1:]):
+        assert a.end == b.addr
+    for p in parts:
+        # Each part stays within one stripe.
+        assert p.addr // layout.stripe_size == (p.end - 1) // layout.stripe_size
+
+
+def _requests():
+    def build(pieces):
+        mem, file, m_off = [], [], 0x100000
+        for off, ln in pieces:
+            mem.append(Segment(m_off, ln))
+            file.append(Segment(off, ln))
+            m_off += ln + 64
+        return ListIORequest(tuple(mem), tuple(file))
+
+    # Non-overlapping ascending file pieces.
+    return st.lists(
+        st.tuples(offset_strategy, st.integers(min_value=1, max_value=1 << 14)),
+        min_size=1,
+        max_size=12,
+    ).map(
+        lambda raw: build(
+            [(1 + i * (1 << 20) + off % (1 << 19), ln) for i, (off, ln) in enumerate(raw)]
+        )
+    )
+
+
+@given(layout_strategy, _requests())
+def test_split_request_conserves_bytes(layout, req):
+    per_iod = layout.split_request(req)
+    total = sum(p.mem.length for ps in per_iod.values() for p in ps)
+    assert total == req.total_bytes
+
+
+@given(layout_strategy, _requests())
+def test_split_request_pieces_consistent(layout, req):
+    per_iod = layout.split_request(req)
+    for iod, pieces in per_iod.items():
+        for p in pieces:
+            assert p.mem.length == p.physical.length == p.logical.length
+            assert layout.iod_of(p.logical.addr) == iod
+            assert layout.physical_offset(p.logical.addr) == p.physical.addr
+
+
+@given(layout_strategy, _requests())
+def test_split_request_covers_all_logical_bytes(layout, req):
+    per_iod = layout.split_request(req)
+    seen = []
+    for pieces in per_iod.values():
+        seen.extend(p.logical for p in pieces)
+    covered = set()
+    for s in seen:
+        covered.update(range(s.addr, s.end))
+    want = set()
+    for s in req.file_segments:
+        want.update(range(s.addr, s.end))
+    assert covered == want

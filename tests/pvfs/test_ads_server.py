@@ -1,0 +1,178 @@
+"""Integration tests: Active Data Sieving behaviour inside the I/O daemon."""
+
+import pytest
+
+from repro.calibration import KB, MB
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+
+
+def strided_workload(cluster, npieces, piece, density=4, op="write", **io_kw):
+    """Run one client doing a strided list op; returns (elapsed, delta)."""
+    c = cluster.clients[0]
+    stride = piece * density
+    addr = c.node.space.malloc(npieces * piece)
+    payload = bytes((i % 250) + 1 for i in range(npieces * piece))
+    c.node.space.write(addr, payload)
+    mem_segs = [Segment(addr + i * piece, piece) for i in range(npieces)]
+    file_segs = [Segment(i * stride, piece) for i in range(npieces)]
+
+    def proc():
+        f = yield from c.open("/pfs/ads")
+        if op == "write":
+            yield from c.write_list(f, mem_segs, file_segs, **io_kw)
+        else:
+            # Populate the file first (fast, sieving irrelevant here).
+            yield from c.write_list(f, mem_segs, file_segs, use_ads=False)
+            yield from c.read_list(f, mem_segs, file_segs, **io_kw)
+
+    before = cluster.stats.snapshot()
+    elapsed = cluster.run([proc()])
+    return elapsed, cluster.stats.diff(before), payload, file_segs, addr, npieces * piece
+
+
+def test_small_piece_write_uses_sieving():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    _, delta, *_ = strided_workload(cluster, 64, 2 * KB, op="write", use_ads=True)
+    assert "pvfs.iod.sieve_writes" in delta
+    assert "pvfs.iod.direct_writes" not in delta
+
+
+def test_ads_disabled_by_hint_goes_direct():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    _, delta, *_ = strided_workload(cluster, 64, 2 * KB, op="write", use_ads=False)
+    assert "pvfs.iod.direct_writes" in delta
+    assert "pvfs.iod.sieve_writes" not in delta
+
+
+def test_ads_disabled_serverwide_overrides_hint():
+    cluster = PVFSCluster(n_clients=1, n_iods=1, ads_enabled=False)
+    _, delta, *_ = strided_workload(cluster, 64, 2 * KB, op="write", use_ads=True)
+    assert "pvfs.iod.direct_writes" in delta
+
+
+def test_large_pieces_decline_sieving():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    _, delta, *_ = strided_workload(cluster, 32, 64 * KB, op="write", use_ads=True)
+    assert "pvfs.iod.direct_writes" in delta
+    assert "pvfs.iod.sieve_writes" not in delta
+
+
+def test_sieved_write_preserves_existing_data():
+    """Read-modify-write must not clobber bytes between the pieces."""
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    c = cluster.clients[0]
+    n = 256 * KB
+    base_addr = c.node.space.malloc(n)
+    background = bytes([0xEE]) * n
+    c.node.space.write(base_addr, background)
+
+    piece, npieces = 2 * KB, 32
+    stride = piece * 4
+    paddr = c.node.space.malloc(npieces * piece)
+    c.node.space.write(paddr, bytes([0x11]) * (npieces * piece))
+    mem_segs = [Segment(paddr + i * piece, piece) for i in range(npieces)]
+    file_segs = [Segment(i * stride, piece) for i in range(npieces)]
+
+    def proc():
+        f = yield from c.open("/pfs/rmw")
+        yield from c.write(f, base_addr, 0, n)              # background
+        yield from c.write_list(f, mem_segs, file_segs)     # sieved RMW
+
+    cluster.run([proc()])
+    logical = cluster.logical_file_bytes("/pfs/rmw")
+    for i in range(npieces):
+        off = i * stride
+        assert logical[off : off + piece] == bytes([0x11]) * piece
+        gap = logical[off + piece : off + stride]
+        assert gap == bytes([0xEE]) * len(gap)
+
+
+def test_sieving_reduces_disk_calls():
+    """Table 6's effect: ADS cuts (lseek, write) pairs dramatically."""
+    def disk_writes(use_ads):
+        cluster = PVFSCluster(n_clients=1, n_iods=1)
+        _, delta, *_ = strided_workload(
+            cluster, 128, 2 * KB, op="write", use_ads=use_ads
+        )
+        return delta.get("disk.write.calls", (0, 0))[0]
+
+    with_ads = disk_writes(True)
+    without = disk_writes(False)
+    assert without == 128
+    assert with_ads <= without / 10
+
+
+def test_sieving_faster_for_small_synced_pieces():
+    def elapsed(use_ads):
+        cluster = PVFSCluster(n_clients=1, n_iods=1)
+        t, *_ = strided_workload(
+            cluster, 128, 2 * KB, op="write", use_ads=use_ads, sync=True
+        )
+        return t
+
+    t_ads = elapsed(True)
+    t_direct = elapsed(False)
+    assert t_ads < t_direct
+    # The paper reports 1.3x-1.9x for small noncontiguous accesses;
+    # accept anything comfortably above 1.2x here.
+    assert t_direct / t_ads > 1.2
+
+
+def test_sieved_read_returns_correct_bytes():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    _, delta, payload, file_segs, addr, total = strided_workload(
+        cluster, 64, 2 * KB, op="read", use_ads=True
+    )
+    assert "pvfs.iod.sieve_reads" in delta
+    c = cluster.clients[0]
+    assert c.node.space.read(addr, total) == payload
+
+
+def test_direct_read_returns_correct_bytes():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    _, delta, payload, file_segs, addr, total = strided_workload(
+        cluster, 64, 2 * KB, op="read", use_ads=False
+    )
+    assert "pvfs.iod.direct_reads" in delta
+    c = cluster.clients[0]
+    assert c.node.space.read(addr, total) == payload
+
+
+def test_sieve_windows_respect_staging_for_huge_extents():
+    """A strided request whose extent exceeds the sieve cap still works."""
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    # 96 pieces of 64 kB at 1-in-2 density: extent 12 MB > 4 MB cap.
+    _, delta, payload, file_segs, addr, total = strided_workload(
+        cluster, 96, 64 * KB, density=2, op="read", use_ads=True
+    )
+    c = cluster.clients[0]
+    assert c.node.space.read(addr, total) == payload
+
+
+def test_concurrent_clients_with_ads_are_consistent():
+    cluster = PVFSCluster(n_clients=4, n_iods=2)
+    piece, npieces = 2 * KB, 32
+    stride = piece * 4
+    addrs = []
+    for ci, c in enumerate(cluster.clients):
+        addr = c.node.space.malloc(npieces * piece)
+        c.node.space.write(addr, bytes([ci + 1]) * (npieces * piece))
+        addrs.append(addr)
+
+    def proc(ci):
+        c = cluster.clients[ci]
+        f = yield from c.open("/pfs/conc")
+        mem = [Segment(addrs[ci] + i * piece, piece) for i in range(npieces)]
+        # Interleaved, non-overlapping file pieces per client.
+        file_segs = [
+            Segment(i * stride * 4 + ci * stride, piece) for i in range(npieces)
+        ]
+        yield from c.write_list(f, mem, file_segs)
+
+    cluster.run([proc(i) for i in range(4)])
+    logical = cluster.logical_file_bytes("/pfs/conc")
+    for ci in range(4):
+        for i in (0, npieces - 1):
+            off = i * stride * 4 + ci * stride
+            assert logical[off : off + piece] == bytes([ci + 1]) * piece

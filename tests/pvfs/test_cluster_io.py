@@ -1,0 +1,247 @@
+"""End-to-end PVFS tests: correctness of striped contiguous and list I/O."""
+
+import pytest
+
+from repro.calibration import KB, MB
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+from repro.transfer import Hybrid, MultipleMessage, PackUnpack, RdmaGatherScatter
+
+
+def fill(client, nbytes, pattern=None):
+    """Allocate and fill a client buffer; returns (addr, payload)."""
+    addr = client.node.space.malloc(nbytes)
+    payload = (
+        pattern
+        if pattern is not None
+        else bytes((7 * i + 3) % 256 for i in range(nbytes))
+    )
+    client.node.space.write(addr, payload)
+    return addr, payload
+
+
+def test_open_assigns_handles_and_layout():
+    cluster = PVFSCluster(n_clients=1, n_iods=4)
+    c = cluster.clients[0]
+    files = []
+
+    def proc():
+        files.append((yield from c.open("/pfs/a")))
+        files.append((yield from c.open("/pfs/b")))
+        files.append((yield from c.open("/pfs/a")))
+
+    cluster.run([proc()])
+    a1, b, a2 = files
+    assert a1.handle == a2.handle
+    assert a1.handle != b.handle
+    assert a1.layout.n_iods == 4
+    assert a1.layout.stripe_size == cluster.testbed.stripe_size
+
+
+def test_contiguous_write_read_roundtrip():
+    cluster = PVFSCluster(n_clients=1, n_iods=4)
+    c = cluster.clients[0]
+    n = 300 * KB  # spans several stripes on all four iods
+    addr, payload = fill(c, n)
+    back_addr = c.node.space.malloc(n)
+
+    def proc():
+        f = yield from c.open("/pfs/data")
+        yield from c.write(f, addr, 0, n)
+        yield from c.read(f, back_addr, 0, n)
+
+    cluster.run([proc()])
+    assert c.node.space.read(back_addr, n) == payload
+    assert cluster.logical_file_bytes("/pfs/data") == payload
+
+
+def test_write_at_offset_creates_sparse_file():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    c = cluster.clients[0]
+    addr, payload = fill(c, 1000)
+
+    def proc():
+        f = yield from c.open("/pfs/sparse")
+        yield from c.write(f, addr, 500_000, 1000)
+
+    cluster.run([proc()])
+    data = cluster.logical_file_bytes("/pfs/sparse")
+    assert len(data) == 501_000
+    assert data[:500_000] == bytes(500_000)
+    assert data[500_000:] == payload
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    [Hybrid(), PackUnpack(pooled=True), RdmaGatherScatter("ogr"), MultipleMessage()],
+    ids=lambda s: s.name,
+)
+def test_list_write_read_roundtrip_all_schemes(scheme):
+    cluster = PVFSCluster(n_clients=1, n_iods=4, scheme=scheme)
+    c = cluster.clients[0]
+    # 64 pieces of 2 kB, strided in memory and in the file.
+    npieces, piece = 64, 2 * KB
+    base = c.node.space.malloc(npieces * piece * 2)
+    mem_segs = []
+    payload = bytearray()
+    for i in range(npieces):
+        a = base + i * piece * 2
+        chunk = bytes([i + 1]) * piece
+        c.node.space.write(a, chunk)
+        payload += chunk
+        mem_segs.append(Segment(a, piece))
+    file_segs = [Segment(i * piece * 4, piece) for i in range(npieces)]
+
+    back = c.node.space.malloc(npieces * piece)
+    back_segs = [Segment(back + i * piece, piece) for i in range(npieces)]
+
+    def proc():
+        f = yield from c.open("/pfs/list")
+        yield from c.write_list(f, mem_segs, file_segs)
+        yield from c.read_list(f, back_segs, file_segs)
+
+    cluster.run([proc()])
+    assert c.node.space.read(back, npieces * piece) == bytes(payload)
+    # Spot-check file placement: piece i at logical offset i*4*piece.
+    logical = cluster.logical_file_bytes("/pfs/list")
+    for i in (0, 17, 63):
+        off = i * piece * 4
+        assert logical[off : off + piece] == bytes([i + 1]) * piece
+
+
+def test_list_io_memory_file_shapes_can_differ():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    c = cluster.clients[0]
+    n = 8 * KB
+    addr, payload = fill(c, n)
+    # One contiguous memory buffer -> 8 scattered file pieces.
+    file_segs = [Segment(i * 5000, KB) for i in range(8)]
+
+    def proc():
+        f = yield from c.open("/pfs/shapes")
+        yield from c.write_list(f, [Segment(addr, n)], file_segs)
+
+    cluster.run([proc()])
+    logical = cluster.logical_file_bytes("/pfs/shapes")
+    for i in range(8):
+        assert logical[i * 5000 : i * 5000 + KB] == payload[i * KB : (i + 1) * KB]
+
+
+def test_large_piece_count_splits_into_batches():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    c = cluster.clients[0]
+    # 300 pieces > 128-access cap -> at least 3 requests.
+    npieces, piece = 300, 512
+    addr, payload = fill(c, npieces * piece)
+    mem_segs = [Segment(addr + i * piece, piece) for i in range(npieces)]
+    file_segs = [Segment(i * piece * 2, piece) for i in range(npieces)]
+
+    def proc():
+        f = yield from c.open("/pfs/batched")
+        yield from c.write_list(f, mem_segs, file_segs)
+
+    cluster.run([proc()])
+    delta = cluster.stat_delta()
+    nreq = delta["pvfs.client.requests"][0]
+    assert nreq == 3  # ceil(300/128)
+    logical = cluster.logical_file_bytes("/pfs/batched")
+    assert logical[0:piece] == payload[0:piece]
+    assert logical[299 * piece * 2 : 299 * piece * 2 + piece] == payload[-piece:]
+
+
+def test_byte_cap_splits_requests():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    c = cluster.clients[0]
+    c.max_request_bytes = 64 * KB
+    n = 200 * KB
+    addr, payload = fill(c, n)
+
+    def proc():
+        f = yield from c.open("/pfs/big")
+        yield from c.write(f, addr, 0, n)
+
+    cluster.run([proc()])
+    delta = cluster.stat_delta()
+    assert delta["pvfs.client.requests"][0] == 4  # ceil(200/64)
+    assert cluster.logical_file_bytes("/pfs/big") == payload
+
+
+def test_multiple_clients_non_overlapping_writes():
+    cluster = PVFSCluster(n_clients=4, n_iods=4)
+    n = 64 * KB
+    addrs = []
+    for i, c in enumerate(cluster.clients):
+        addr = c.node.space.malloc(n)
+        c.node.space.write(addr, bytes([i + 1]) * n)
+        addrs.append(addr)
+
+    def proc(i):
+        c = cluster.clients[i]
+        f = yield from c.open("/pfs/shared")
+        yield from c.write(f, addrs[i], i * n, n)
+
+    cluster.run([proc(i) for i in range(4)])
+    logical = cluster.logical_file_bytes("/pfs/shared")
+    for i in range(4):
+        assert logical[i * n : (i + 1) * n] == bytes([i + 1]) * n
+
+
+def test_parallel_iods_beat_single_iod():
+    def elapsed(n_iods):
+        cluster = PVFSCluster(n_clients=1, n_iods=n_iods)
+        c = cluster.clients[0]
+        n = 4 * MB
+        addr, _ = fill(c, n, pattern=bytes(n))
+
+        def proc():
+            f = yield from c.open("/pfs/t")
+            yield from c.write(f, addr, 0, n)
+
+        return cluster.run([proc()])
+
+    assert elapsed(4) < elapsed(1)
+
+
+def test_read_of_unwritten_region_returns_zeros():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    c = cluster.clients[0]
+    addr, _ = fill(c, 1000)
+    back = c.node.space.malloc(4096)
+
+    def proc():
+        f = yield from c.open("/pfs/holes")
+        yield from c.write(f, addr, 0, 1000)
+        yield from c.read(f, back, 2000, 4096)
+
+    cluster.run([proc()])
+    assert c.node.space.read(back, 4096) == bytes(4096)
+
+
+def test_sync_mode_slower_and_flushes():
+    def run_write(sync):
+        cluster = PVFSCluster(n_clients=1, n_iods=4)
+        c = cluster.clients[0]
+        n = 2 * MB
+        addr, _ = fill(c, n, pattern=bytes(n))
+
+        def proc():
+            f = yield from c.open("/pfs/s")
+            yield from c.write(f, addr, 0, n, sync=sync)
+
+        t = cluster.run([proc()])
+        dirty = sum(
+            len(iod.fs.cache.dirty_pages(iod.stripe_file(1).file_id))
+            for iod in cluster.iods
+        )
+        return t, dirty
+
+    t_nosync, dirty_nosync = run_write(False)
+    t_sync, dirty_sync = run_write(True)
+    assert t_sync > 3 * t_nosync
+    assert dirty_sync == 0
+    assert dirty_nosync > 0
+
+
+def test_cluster_requires_nodes():
+    with pytest.raises(ValueError):
+        PVFSCluster(n_clients=0)

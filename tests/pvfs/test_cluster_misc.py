@@ -1,0 +1,89 @@
+"""Miscellaneous cluster behaviours: deadlock detection, reporting,
+staging flow control."""
+
+import pytest
+
+from repro.calibration import KB, MB
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+
+
+def test_run_detects_unfinished_workloads():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+
+    def never_finishes():
+        yield cluster.sim.event()  # an event nobody triggers
+
+    with pytest.raises(RuntimeError, match="did not finish"):
+        cluster.run([never_finishes()], until=1000.0)
+
+
+def test_report_summarizes_activity():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    c = cluster.clients[0]
+    n = 64 * KB
+    addr = c.node.space.malloc(n)
+    c.node.space.write(addr, bytes(n))
+    before = cluster.stats.snapshot()
+
+    def prog():
+        f = yield from c.open("/pfs/report")
+        yield from c.write(f, addr, 0, n)
+
+    cluster.run([prog()])
+    report = cluster.report(since=before)
+    assert "requests:" in report
+    assert "disk writes:" in report
+    assert "RDMA volume:" in report
+    # Some activity must be visible.
+    assert "0.0 MB" not in report.splitlines()[-1]
+
+
+def test_report_without_snapshot_counts_everything():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    report = cluster.report()
+    assert "PVFS cluster activity" in report
+
+
+def test_staging_flow_control_under_many_concurrent_requests():
+    """More in-flight requests than staging buffers: requests queue on
+    the staging pool rather than failing or corrupting data."""
+    cluster = PVFSCluster(n_clients=4, n_iods=1)
+    n = 2 * MB
+    addrs = []
+    for ci, c in enumerate(cluster.clients):
+        a = c.node.space.malloc(n)
+        c.node.space.write(a, bytes([ci + 1]) * n)
+        addrs.append(a)
+
+    def prog(ci):
+        c = cluster.clients[ci]
+        f = yield from c.open("/pfs/flow")
+        # Several concurrent ops per client against a 4-buffer pool.
+        for k in range(3):
+            yield from c.write(f, addrs[ci], (ci * 3 + k) * n, n)
+
+    cluster.run([prog(ci) for ci in range(4)])
+    logical = cluster.logical_file_bytes("/pfs/flow")
+    for ci in range(4):
+        for k in range(3):
+            off = (ci * 3 + k) * n
+            assert logical[off] == ci + 1
+            assert logical[off + n - 1] == ci + 1
+
+
+def test_stripe_size_override():
+    cluster = PVFSCluster(n_clients=1, n_iods=4, stripe_size=16 * KB)
+    c = cluster.clients[0]
+    addr = c.node.space.malloc(64 * KB)
+    c.node.space.write(addr, bytes(64 * KB))
+
+    def prog():
+        f = yield from c.open("/pfs/ss")
+        assert f.layout.stripe_size == 16 * KB
+        yield from c.write(f, addr, 0, 64 * KB)
+
+    cluster.run([prog()])
+    # 64 kB over 16 kB stripes on 4 iods: one stripe each.
+    for iod in cluster.iods:
+        assert iod.stripe_file(1).size == 16 * KB

@@ -1,0 +1,125 @@
+"""Tests for the Fast-RDMA eager protocol path (Section 4.3)."""
+
+import pytest
+
+from repro.calibration import KB, MB
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+from repro.transfer import Hybrid, PackUnpack, RdmaGatherScatter
+
+
+def small_op(cluster, nbytes=16 * KB, npieces=8, op="write"):
+    c = cluster.clients[0]
+    piece = nbytes // npieces
+    addr = c.node.space.malloc(nbytes)
+    payload = bytes((3 * i + 11) % 256 for i in range(nbytes))
+    c.node.space.write(addr, payload)
+    mem = [Segment(addr + i * piece, piece) for i in range(npieces)]
+    fsegs = [Segment(i * piece * 3, piece) for i in range(npieces)]
+
+    def prog():
+        f = yield from c.open("/pfs/eager")
+        if op == "both":
+            yield from c.write_list(f, mem, fsegs)
+            yield from c.read_list(f, mem, fsegs)
+        elif op == "write":
+            yield from c.write_list(f, mem, fsegs)
+        else:
+            yield from c.read_list(f, mem, fsegs)
+
+    cluster.run([prog()])
+    return payload, fsegs
+
+
+def test_small_write_takes_eager_path():
+    cluster = PVFSCluster(n_clients=1, n_iods=1, scheme=Hybrid())
+    payload, fsegs = small_op(cluster)
+    d = cluster.stat_delta()
+    assert d.get("pvfs.client.eager_writes", (0, 0))[0] >= 1
+    logical = cluster.logical_file_bytes("/pfs/eager")
+    piece = len(payload) // 8
+    for i, s in enumerate(fsegs):
+        assert logical[s.addr : s.end] == payload[i * piece : (i + 1) * piece]
+
+
+def test_small_read_takes_eager_path():
+    cluster = PVFSCluster(n_clients=1, n_iods=1, scheme=Hybrid())
+    small_op(cluster, op="both")
+    d = cluster.stat_delta()
+    assert d.get("pvfs.client.eager_reads", (0, 0))[0] >= 1
+
+
+def test_large_ops_use_rendezvous():
+    cluster = PVFSCluster(n_clients=1, n_iods=1, scheme=Hybrid())
+    small_op(cluster, nbytes=1 * MB, npieces=64)
+    d = cluster.stat_delta()
+    assert "pvfs.client.eager_writes" not in d
+
+
+def test_gather_scheme_never_goes_eager():
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=1, scheme=RdmaGatherScatter("ogr")
+    )
+    small_op(cluster)
+    d = cluster.stat_delta()
+    assert "pvfs.client.eager_writes" not in d
+
+
+def test_pack_scheme_goes_eager():
+    cluster = PVFSCluster(n_clients=1, n_iods=1, scheme=PackUnpack(pooled=True))
+    small_op(cluster)
+    d = cluster.stat_delta()
+    assert d.get("pvfs.client.eager_writes", (0, 0))[0] >= 1
+
+
+def test_eager_is_faster_than_rendezvous_for_small_ops():
+    def elapsed(scheme):
+        cluster = PVFSCluster(n_clients=1, n_iods=1, scheme=scheme)
+        c = cluster.clients[0]
+        piece, n = 2 * KB, 8
+        addr = c.node.space.malloc(piece * n)
+        c.node.space.write(addr, bytes(piece * n))
+        mem = [Segment(addr + i * piece, piece) for i in range(n)]
+        fsegs = [Segment(i * piece * 2, piece) for i in range(n)]
+
+        def prog():
+            f = yield from c.open("/pfs/t")
+            for _ in range(20):
+                yield from c.write_list(f, mem, fsegs)
+
+        return cluster.run([prog()])
+
+    t_eager = elapsed(Hybrid())
+    t_rendezvous = elapsed(RdmaGatherScatter("ogr"))
+    assert t_eager < t_rendezvous
+
+
+def test_eager_credits_recycle():
+    """More eager ops than buffers: credits must come back via Done."""
+    cluster = PVFSCluster(n_clients=1, n_iods=1, scheme=Hybrid())
+    c = cluster.clients[0]
+    nbufs = cluster.testbed.fast_rdma_buffers
+    piece = 4 * KB
+    addr = c.node.space.malloc(piece)
+    c.node.space.write(addr, b"q" * piece)
+
+    def prog():
+        f = yield from c.open("/pfs/credits")
+        for i in range(nbufs * 3):
+            yield from c.write_list(
+                f, [Segment(addr, piece)], [Segment(i * piece * 2, piece)]
+            )
+
+    cluster.run([prog()])
+    d = cluster.stat_delta()
+    assert d["pvfs.client.eager_writes"][0] == nbufs * 3
+    assert len(c.iod_conns[0].eager_free) == nbufs  # all credits returned
+
+
+def test_eager_and_rendezvous_produce_identical_files():
+    logicals = []
+    for scheme in (Hybrid(), RdmaGatherScatter("ogr")):
+        cluster = PVFSCluster(n_clients=1, n_iods=2, scheme=scheme)
+        small_op(cluster)
+        logicals.append(cluster.logical_file_bytes("/pfs/eager"))
+    assert logicals[0] == logicals[1]

@@ -1,0 +1,185 @@
+"""Failure injection: the stack must fail loudly, not corrupt data."""
+
+import dataclasses
+
+import pytest
+
+from repro.calibration import KB, MB, paper_testbed
+from repro.ib.registration import RegistrationError
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+from repro.pvfs.protocol import IORequest
+from repro.transfer import RdmaGatherScatter
+
+
+def test_oversized_request_rejected_with_clear_error():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    c = cluster.clients[0]
+    c.max_request_bytes = 64 * MB  # defeat client-side chunking
+    n = 20 * MB  # exceeds the iod's 16 MB staging buffer
+    addr = c.node.space.malloc(n)
+
+    def prog():
+        f = yield from c.open("/pfs/huge")
+        yield from c.write(f, addr, 0, n)
+
+    cluster.sim.process(prog())
+    with pytest.raises(ValueError, match="staging"):
+        cluster.sim.run()
+
+
+def test_bad_request_totals_rejected():
+    with pytest.raises(ValueError, match="total_bytes"):
+        IORequest(
+            request_id=1,
+            handle=1,
+            op="write",
+            file_segments=(Segment(0, 100),),
+            total_bytes=50,
+        )
+
+
+def test_bad_request_op_rejected():
+    with pytest.raises(ValueError, match="bad op"):
+        IORequest(
+            request_id=1,
+            handle=1,
+            op="append",
+            file_segments=(Segment(0, 100),),
+            total_bytes=100,
+        )
+
+
+def test_unexpected_message_type_raises():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    c = cluster.clients[0]
+
+    def prog():
+        yield from c.iod_conns[0].qp.send("garbage-string", nbytes=10)
+
+    cluster.sim.process(prog())
+    with pytest.raises(TypeError, match="unexpected message"):
+        cluster.sim.run()
+
+
+def test_transfer_of_unmapped_buffer_fails():
+    """A list write naming an address that was never malloc'd must fail
+    at registration, not silently transfer junk."""
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=1, scheme_factory=lambda: RdmaGatherScatter("individual")
+    )
+    c = cluster.clients[0]
+
+    def prog():
+        f = yield from c.open("/pfs/x")
+        yield from c.write_list(f, [Segment(0xDEAD0000, 4096)], [Segment(0, 4096)])
+
+    cluster.sim.process(prog())
+    with pytest.raises(RegistrationError):
+        cluster.sim.run()
+
+
+def test_registration_table_exhaustion_thrashes_but_completes():
+    """A tiny HCA table forces pin-cache eviction (registration
+    thrashing); transfers slow down but stay correct."""
+    from repro.transfer import MultipleMessage
+
+    tb = dataclasses.replace(paper_testbed(), max_registrations=48)
+    cluster = PVFSCluster(
+        n_clients=1,
+        n_iods=1,
+        testbed=tb,
+        scheme_factory=MultipleMessage,
+    )
+    c = cluster.clients[0]
+    npieces, piece = 64, 4 * KB
+    addr = c.node.space.malloc(npieces * piece * 2)
+    payload = bytes((i * 13 + 5) % 256 for i in range(npieces * piece))
+    mem_segs = []
+    for i in range(npieces):
+        a = addr + i * piece * 2
+        c.node.space.write(a, payload[i * piece : (i + 1) * piece])
+        mem_segs.append(Segment(a, piece))
+    file_segs = [Segment(i * piece * 2, piece) for i in range(npieces)]
+
+    def prog():
+        f = yield from c.open("/pfs/thrash")
+        yield from c.write_list(f, mem_segs, file_segs, use_ads=False)
+
+    cluster.run([prog()])
+    assert cluster.stats.count("ib.pincache.evictions") > 0
+    logical = cluster.logical_file_bytes("/pfs/thrash")
+    for i in range(npieces):
+        assert (
+            logical[i * piece * 2 : i * piece * 2 + piece]
+            == payload[i * piece : (i + 1) * piece]
+        )
+
+
+def test_concurrent_same_region_writes_last_writer_wins_per_byte():
+    """Two clients writing the same region: after both complete, every
+    byte belongs to one of them (no interleaving corruption within the
+    RMW-locked sieve windows)."""
+    cluster = PVFSCluster(n_clients=2, n_iods=1)
+    piece, npieces = 2 * KB, 16
+    addrs = []
+    for ci, c in enumerate(cluster.clients):
+        a = c.node.space.malloc(npieces * piece)
+        c.node.space.write(a, bytes([ci + 1]) * (npieces * piece))
+        addrs.append(a)
+
+    def prog(ci):
+        c = cluster.clients[ci]
+        f = yield from c.open("/pfs/race")
+        mem = [Segment(addrs[ci] + i * piece, piece) for i in range(npieces)]
+        file_segs = [Segment(i * piece * 4, piece) for i in range(npieces)]
+        yield from c.write_list(f, mem, file_segs, use_ads=True)
+
+    cluster.run([prog(0), prog(1)])
+    logical = cluster.logical_file_bytes("/pfs/race")
+    for i in range(npieces):
+        chunk = logical[i * piece * 4 : i * piece * 4 + piece]
+        assert set(chunk) <= {1, 2}, f"piece {i} corrupted: {set(chunk)}"
+
+
+def test_read_only_workload_leaves_no_dirty_pages():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    c = cluster.clients[0]
+    n = 128 * KB
+    addr = c.node.space.malloc(n)
+    c.node.space.write(addr, bytes(n))
+    back = c.node.space.malloc(n)
+
+    def prog():
+        f = yield from c.open("/pfs/ro")
+        yield from c.write(f, addr, 0, n, sync=True)
+        yield from c.read(f, back, 0, n)
+
+    cluster.run([prog()])
+    for iod in cluster.iods:
+        f = iod.stripe_file(1)
+        assert iod.fs.cache.dirty_pages(f.file_id) == []
+
+
+def test_nocache_mode_drops_server_caches():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    c = cluster.clients[0]
+    n = 256 * KB
+    addr = c.node.space.malloc(n)
+    c.node.space.write(addr, bytes(n))
+
+    def prog():
+        f = yield from c.open("/pfs/nc")
+        yield from c.write(f, addr, 0, n)
+        t0 = cluster.sim.now
+        yield from c.read(f, addr, 0, n)  # warm: fast
+        warm = cluster.sim.now - t0
+        t0 = cluster.sim.now
+        yield from c.read(f, addr, 0, n, nocache=True)  # forces cold read
+        cold = cluster.sim.now - t0
+        return warm, cold
+
+    p = cluster.sim.process(prog())
+    cluster.sim.run()
+    warm, cold = p.value
+    assert cold > 3 * warm

@@ -1,0 +1,82 @@
+"""Tests for the pvfs_fsync client API."""
+
+import pytest
+
+from repro.calibration import KB, MB, mb_per_s
+from repro.pvfs import PVFSCluster
+
+
+def test_fsync_flushes_all_stripes():
+    cluster = PVFSCluster(n_clients=1, n_iods=4)
+    c = cluster.clients[0]
+    n = 1 * MB
+    addr = c.node.space.malloc(n)
+    c.node.space.write(addr, bytes(n))
+
+    def prog():
+        f = yield from c.open("/pfs/fsync")
+        yield from c.write(f, addr, 0, n)
+        flushed = yield from c.fsync(f)
+        return flushed, f
+
+    p = cluster.sim.process(prog())
+    cluster.sim.run()
+    flushed, f = p.value
+    assert flushed >= n  # page rounding may exceed
+    for iod in cluster.iods:
+        sf = iod.stripe_file(f.handle)
+        assert iod.fs.cache.dirty_pages(sf.file_id) == []
+
+
+def test_fsync_clean_file_flushes_nothing():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    c = cluster.clients[0]
+
+    def prog():
+        f = yield from c.open("/pfs/clean")
+        return (yield from c.fsync(f))
+
+    p = cluster.sim.process(prog())
+    cluster.sim.run()
+    assert p.value == 0
+
+
+def test_fsync_costs_disk_time():
+    cluster = PVFSCluster(n_clients=1, n_iods=4)
+    c = cluster.clients[0]
+    n = 4 * MB
+    addr = c.node.space.malloc(n)
+    c.node.space.write(addr, bytes(n))
+
+    def prog():
+        f = yield from c.open("/pfs/cost")
+        yield from c.write(f, addr, 0, n)
+        t0 = cluster.sim.now
+        yield from c.fsync(f)
+        return cluster.sim.now - t0
+
+    p = cluster.sim.process(prog())
+    cluster.sim.run()
+    # 4 MB across 4 disks at ~25 MB/s each: tens of milliseconds.
+    per_disk = (n / 4) / mb_per_s(25)
+    assert p.value > 0.8 * per_disk
+
+
+def test_fsync_then_uncached_read_is_consistent():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    c = cluster.clients[0]
+    n = 256 * KB
+    addr = c.node.space.malloc(n)
+    payload = bytes((i * 7 + 1) % 256 for i in range(n))
+    c.node.space.write(addr, payload)
+    back = c.node.space.malloc(n)
+
+    def prog():
+        f = yield from c.open("/pfs/consistent")
+        yield from c.write(f, addr, 0, n)
+        yield from c.fsync(f)
+        cluster.drop_all_caches()
+        yield from c.read(f, back, 0, n)
+
+    cluster.run([prog()])
+    assert c.node.space.read(back, n) == payload

@@ -1,0 +1,104 @@
+"""Tests for the metadata manager."""
+
+import pytest
+
+from repro.calibration import paper_testbed
+from repro.ib.hca import Node
+from repro.ib.qp import connect
+from repro.pvfs.manager import MetadataManager
+from repro.pvfs.protocol import OpenReply, OpenRequest
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def env():
+    sim = Simulator()
+    tb = paper_testbed()
+    mgr_node = Node(sim, tb, "mgr")
+    client_node = Node(sim, tb, "cn0")
+    mgr = MetadataManager(sim, mgr_node, stripe_size=tb.stripe_size, n_iods=4)
+    cqp, sqp = connect(sim, client_node, mgr_node)
+    sim.process(mgr.serve(sqp))
+    return sim, mgr, cqp
+
+
+def _open(sim, qp, path, rid=1, create=True):
+    def prog():
+        yield from qp.send(OpenRequest(path, create=create, request_id=rid), nbytes=356)
+        reply = yield qp.recv()
+        return reply
+
+    p = sim.process(prog())
+    sim.run()
+    return p.value
+
+
+def test_open_creates_file(env):
+    sim, mgr, qp = env
+    reply = _open(sim, qp, "/pfs/new")
+    assert isinstance(reply, OpenReply)
+    assert reply.handle >= 1
+    assert reply.n_iods == 4
+    assert mgr.lookup("/pfs/new") is not None
+
+
+def test_reopen_returns_same_handle(env):
+    sim, mgr, qp = env
+    r1 = _open(sim, qp, "/pfs/a", rid=1)
+    r2 = _open(sim, qp, "/pfs/a", rid=2)
+    assert r1.handle == r2.handle
+
+
+def test_distinct_paths_distinct_handles(env):
+    sim, mgr, qp = env
+    r1 = _open(sim, qp, "/pfs/a", rid=1)
+    r2 = _open(sim, qp, "/pfs/b", rid=2)
+    assert r1.handle != r2.handle
+
+
+def test_open_without_create_missing_file(env):
+    sim, mgr, qp = env
+
+    def prog():
+        yield from qp.send(
+            OpenRequest("/pfs/missing", create=False, request_id=9), nbytes=356
+        )
+
+    sim.process(prog())
+    with pytest.raises(FileNotFoundError):
+        sim.run()
+
+
+def test_lookup_handle(env):
+    sim, mgr, qp = env
+    reply = _open(sim, qp, "/pfs/x")
+    meta = mgr.lookup_handle(reply.handle)
+    assert meta is not None
+    assert meta.path == "/pfs/x"
+    assert mgr.lookup_handle(9999) is None
+
+
+def test_note_size_high_water_mark(env):
+    sim, mgr, qp = env
+    reply = _open(sim, qp, "/pfs/grow")
+    mgr.note_size(reply.handle, 1000)
+    mgr.note_size(reply.handle, 500)  # smaller: ignored
+    assert mgr.lookup("/pfs/grow").size == 1000
+
+
+def test_manager_counts_requests(env):
+    sim, mgr, qp = env
+    _open(sim, qp, "/pfs/s1", rid=1)
+    _open(sim, qp, "/pfs/s2", rid=2)
+    assert mgr.node.stats.count("pvfs.mgr.requests") == 2
+
+
+def test_unexpected_message_rejected(env):
+    sim, mgr, qp = env
+
+    def prog():
+        yield from qp.send({"not": "an open"}, nbytes=16)
+
+    sim.process(prog())
+    with pytest.raises(TypeError, match="unexpected"):
+        sim.run()

@@ -1,0 +1,110 @@
+"""Unit tests for PVFS striping math."""
+
+import pytest
+
+from repro.core.listio import ListIORequest
+from repro.mem.segments import Segment
+from repro.pvfs.striping import StripeLayout
+
+
+@pytest.fixture
+def layout():
+    return StripeLayout(stripe_size=64 * 1024, n_iods=4)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StripeLayout(0, 4)
+    with pytest.raises(ValueError):
+        StripeLayout(64, 0)
+    with pytest.raises(ValueError):
+        StripeLayout(64, 4, base_iod=4)
+
+
+def test_iod_round_robin(layout):
+    ss = 64 * 1024
+    assert [layout.iod_of(i * ss) for i in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_iod_of_negative(layout):
+    with pytest.raises(ValueError):
+        layout.iod_of(-1)
+
+
+def test_physical_offset_wraps(layout):
+    ss = 64 * 1024
+    # Stripe 4 is the second stripe on iod 0 -> physical ss + delta.
+    assert layout.physical_offset(4 * ss + 100) == ss + 100
+    assert layout.physical_offset(100) == 100
+    assert layout.physical_offset(ss + 5) == 5  # first stripe on iod 1
+
+
+def test_logical_physical_roundtrip(layout):
+    for logical in [0, 1, 64 * 1024 - 1, 64 * 1024, 300_000, 10_000_000]:
+        iod = layout.iod_of(logical)
+        phys = layout.physical_offset(logical)
+        assert layout.logical_offset(iod, phys) == logical
+
+
+def test_base_iod_shifts_mapping():
+    layout = StripeLayout(64 * 1024, 4, base_iod=2)
+    assert layout.iod_of(0) == 2
+    assert layout.iod_of(64 * 1024) == 3
+    assert layout.iod_of(2 * 64 * 1024) == 0
+
+
+def test_clip_to_stripes(layout):
+    ss = 64 * 1024
+    parts = layout.clip_to_stripes(Segment(ss - 10, 30))
+    assert parts == [Segment(ss - 10, 10), Segment(ss, 20)]
+
+
+def test_clip_within_one_stripe(layout):
+    assert layout.clip_to_stripes(Segment(10, 100)) == [Segment(10, 100)]
+
+
+def test_split_request_distributes(layout):
+    ss = 64 * 1024
+    req = ListIORequest.contiguous(0x1000, 0, 4 * ss)
+    per_iod = layout.split_request(req)
+    assert sorted(per_iod) == [0, 1, 2, 3]
+    for iod, pieces in per_iod.items():
+        assert len(pieces) == 1
+        assert pieces[0].physical == Segment(0, ss)
+        assert pieces[0].mem.length == ss
+
+
+def test_split_request_mem_tracks_file(layout):
+    ss = 64 * 1024
+    # One memory run feeding a file segment spanning a stripe boundary.
+    req = ListIORequest.contiguous(0x5000, ss - 100, 200)
+    per_iod = layout.split_request(req)
+    assert per_iod[0][0].mem == Segment(0x5000, 100)
+    assert per_iod[1][0].mem == Segment(0x5000 + 100, 100)
+    assert per_iod[1][0].physical == Segment(0, 100)
+
+
+def test_split_request_bytes_conserved(layout):
+    req = ListIORequest.from_lists(
+        [0x1000, 0x9000, 0x20000],
+        [50_000, 130_000, 1_000],
+        [10, 100_000, 500_000],
+        [50_000, 130_000, 1_000],
+    )
+    per_iod = layout.split_request(req)
+    total = sum(p.mem.length for pieces in per_iod.values() for p in pieces)
+    assert total == req.total_bytes
+    for pieces in per_iod.values():
+        for p in pieces:
+            assert p.mem.length == p.physical.length == p.logical.length
+
+
+def test_file_size_on_iod(layout):
+    ss = 64 * 1024
+    # 2.5 stripes: iod0 gets ss, iod1 gets ss, iod2 gets half, iod3 none.
+    size = 2 * ss + ss // 2
+    assert layout.file_size_on_iod(size, 0) == ss
+    assert layout.file_size_on_iod(size, 1) == ss
+    assert layout.file_size_on_iod(size, 2) == ss // 2
+    assert layout.file_size_on_iod(size, 3) == 0
+    assert layout.file_size_on_iod(0, 0) == 0

@@ -1,0 +1,76 @@
+"""Tests for file removal across the namespace and stripe files."""
+
+import pytest
+
+from repro.calibration import KB
+from repro.pvfs import PVFSCluster
+
+
+def test_unlink_removes_namespace_and_stripes():
+    cluster = PVFSCluster(n_clients=1, n_iods=4)
+    c = cluster.clients[0]
+    n = 300 * KB
+    addr = c.node.space.malloc(n)
+    c.node.space.write(addr, bytes(n))
+
+    def prog():
+        f = yield from c.open("/pfs/doomed")
+        yield from c.write(f, addr, 0, n)
+        existed = yield from c.unlink("/pfs/doomed")
+        return existed, f.handle
+
+    p = cluster.sim.process(prog())
+    cluster.sim.run()
+    existed, handle = p.value
+    assert existed
+    assert cluster.manager.lookup("/pfs/doomed") is None
+    for iod in cluster.iods:
+        assert not iod.fs.exists(f"f{handle:08d}.stripe")
+
+
+def test_unlink_missing_file_returns_false():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    c = cluster.clients[0]
+
+    def prog():
+        return (yield from c.unlink("/pfs/never-existed"))
+
+    p = cluster.sim.process(prog())
+    cluster.sim.run()
+    assert p.value is False
+
+
+def test_recreate_after_unlink_gets_fresh_handle_and_empty_file():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    c = cluster.clients[0]
+    addr = c.node.space.malloc(4 * KB)
+    c.node.space.write(addr, b"v1" * 2048)
+
+    def prog():
+        f1 = yield from c.open("/pfs/reborn")
+        yield from c.write(f1, addr, 0, 4 * KB)
+        yield from c.unlink("/pfs/reborn")
+        f2 = yield from c.open("/pfs/reborn")
+        return f1.handle, f2.handle
+
+    p = cluster.sim.process(prog())
+    cluster.sim.run()
+    h1, h2 = p.value
+    assert h1 != h2
+    assert cluster.logical_file_bytes("/pfs/reborn") == b""
+
+
+def test_unlink_charges_protocol_time():
+    cluster = PVFSCluster(n_clients=1, n_iods=4)
+    c = cluster.clients[0]
+
+    def prog():
+        yield from c.open("/pfs/x")
+        t0 = cluster.sim.now
+        yield from c.unlink("/pfs/x")
+        return cluster.sim.now - t0
+
+    p = cluster.sim.process(prog())
+    cluster.sim.run()
+    # One manager round trip + four iod round trips.
+    assert p.value > 5 * 2 * 6.8

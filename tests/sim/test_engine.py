@@ -1,0 +1,369 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.peek() == float("inf")
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        return "done"
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert sim.now == 5.0
+    assert p.value == "done"
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        v = yield sim.timeout(1.0, value="payload")
+        seen.append(v)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    sim = Simulator()
+    times = []
+
+    def proc(sim):
+        for _ in range(3):
+            yield sim.timeout(2.5)
+            times.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert times == [2.5, 5.0, 7.5]
+
+
+def test_processes_run_concurrently():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name, delay):
+        yield sim.timeout(delay)
+        order.append((name, sim.now))
+
+    sim.process(proc(sim, "slow", 10.0))
+    sim.process(proc(sim, "fast", 1.0))
+    sim.run()
+    assert order == [("fast", 1.0), ("slow", 10.0)]
+
+
+def test_fifo_tiebreak_is_deterministic():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in "abc":
+        sim.process(proc(sim, name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        return 42
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return result * 2
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == 84
+    assert sim.now == 3.0
+
+
+def test_wait_on_already_finished_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return "x"
+
+    def parent(sim, child_proc):
+        yield sim.timeout(5.0)
+        v = yield child_proc  # finished long ago
+        return v
+
+    c = sim.process(child(sim))
+    p = sim.process(parent(sim, c))
+    sim.run()
+    assert p.value == "x"
+    assert sim.now == 5.0
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    ev = sim.event("door")
+    log = []
+
+    def waiter(sim):
+        v = yield ev
+        log.append((sim.now, v))
+
+    def opener(sim):
+        yield sim.timeout(7.0)
+        ev.succeed("open")
+
+    sim.process(waiter(sim))
+    sim.process(opener(sim))
+    sim.run()
+    assert log == [(7.0, "open")]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("boom"))
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        ev.fail(RuntimeError("io error"))
+
+    sim.process(waiter(sim))
+    sim.process(failer(sim))
+    sim.run()
+    assert caught == ["io error"]
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_unhandled_process_exception_propagates():
+    sim = Simulator()
+
+    def crasher(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("crash")
+
+    sim.process(crasher(sim))
+    with pytest.raises(ValueError, match="crash"):
+        sim.run()
+
+
+def test_handled_child_exception_does_not_propagate():
+    sim = Simulator()
+
+    def crasher(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("crash")
+
+    def parent(sim):
+        try:
+            yield sim.process(crasher(sim))
+        except ValueError:
+            return "recovered"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "recovered"
+
+
+def test_yield_non_event_is_error():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError, match="yielded"):
+        sim.run()
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(100.0)
+
+    sim.process(proc(sim))
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+    sim.run()  # finish the rest
+    assert sim.now == 100.0
+
+
+def test_run_until_beyond_last_event():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    sim.process(proc(sim))
+    sim.run(until=50.0)
+    assert sim.now == 50.0
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+
+    def child(sim, d, v):
+        yield sim.timeout(d)
+        return v
+
+    def parent(sim):
+        procs = [sim.process(child(sim, d, v)) for d, v in [(3, "a"), (1, "b")]]
+        values = yield AllOf(sim, procs)
+        return values
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == ["a", "b"]
+    assert sim.now == 3.0
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def parent(sim):
+        v = yield AllOf(sim, [])
+        return v
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == []
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+
+    def child(sim, d, v):
+        yield sim.timeout(d)
+        return v
+
+    def parent(sim):
+        procs = [sim.process(child(sim, d, v)) for d, v in [(3, "a"), (1, "b")]]
+        first = yield AnyOf(sim, procs)
+        return first, sim.now
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == ("b", 1.0)
+
+
+def test_interrupt_raises_in_target():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as i:
+            log.append((sim.now, i.cause))
+
+    def interrupter(sim, target):
+        yield sim.timeout(5.0)
+        target.interrupt("wake up")
+
+    t = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, t))
+    sim.run()
+    assert log == [(5.0, "wake up")]
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_process_is_alive_flag():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(proc(sim))
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_immediate_return_process():
+    sim = Simulator()
+
+    def noop(sim):
+        return "instant"
+        yield  # pragma: no cover - makes it a generator
+
+    p = sim.process(noop(sim))
+    sim.run()
+    assert p.value == "instant"
+    assert sim.now == 0.0
+
+
+def test_event_repr_is_stable():
+    sim = Simulator()
+    ev = sim.event("mylabel")
+    assert "mylabel" in repr(ev)
+    ev.succeed()
+    assert "ok" in repr(ev)

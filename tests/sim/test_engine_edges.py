@@ -1,0 +1,203 @@
+"""Edge cases of the event engine: failure propagation in composites,
+interrupts during resource waits, scheduling corner cases."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Interrupt,
+    Lock,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+)
+
+
+def test_all_of_propagates_child_failure():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("child died")
+
+    def good(sim):
+        yield sim.timeout(5.0)
+
+    def parent(sim):
+        try:
+            yield AllOf(sim, [sim.process(bad(sim)), sim.process(good(sim))])
+        except RuntimeError as e:
+            return f"caught: {e}"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "caught: child died"
+
+
+def test_any_of_propagates_first_failure():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("early crash")
+
+    def slow(sim):
+        yield sim.timeout(100.0)
+        return "late"
+
+    def parent(sim):
+        try:
+            yield AnyOf(sim, [sim.process(bad(sim)), sim.process(slow(sim))])
+        except ValueError:
+            return "caught"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_any_of_empty_list():
+    sim = Simulator()
+
+    def parent(sim):
+        v = yield AnyOf(sim, [])
+        return v
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == []
+
+
+def test_interrupt_while_waiting_on_store():
+    sim = Simulator()
+    store = Store(sim)
+    log = []
+
+    def consumer(sim):
+        try:
+            yield store.get()
+        except Interrupt as i:
+            log.append(i.cause)
+
+    def interrupter(sim, target):
+        yield sim.timeout(3.0)
+        target.interrupt("give up")
+
+    t = sim.process(consumer(sim))
+    sim.process(interrupter(sim, t))
+    sim.run()
+    assert log == ["give up"]
+
+
+def test_interrupt_while_waiting_on_resource():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def holder(sim):
+        yield res.request()
+        yield sim.timeout(100.0)
+        res.release()
+
+    def waiter(sim):
+        try:
+            yield res.request()
+        except Interrupt:
+            log.append("interrupted")
+
+    def interrupter(sim, target):
+        yield sim.timeout(5.0)
+        target.interrupt()
+
+    sim.process(holder(sim))
+    t = sim.process(waiter(sim))
+    sim.process(interrupter(sim, t))
+    sim.run()
+    assert log == ["interrupted"]
+
+
+def test_zero_delay_timeout_runs_in_order():
+    sim = Simulator()
+    order = []
+
+    def a(sim):
+        yield sim.timeout(0.0)
+        order.append("a")
+
+    def b(sim):
+        yield sim.timeout(0.0)
+        order.append("b")
+
+    sim.process(a(sim))
+    sim.process(b(sim))
+    sim.run()
+    assert order == ["a", "b"]
+    assert sim.now == 0.0
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    sim.timeout(7.5)
+    assert sim.peek() == 7.5
+
+
+def test_schedule_into_past_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(ValueError):
+        ev.succeed(delay=-1.0)
+
+
+def test_nested_process_chains():
+    sim = Simulator()
+
+    def level(sim, depth):
+        if depth == 0:
+            yield sim.timeout(1.0)
+            return 0
+        v = yield sim.process(level(sim, depth - 1))
+        return v + 1
+
+    p = sim.process(level(sim, 10))
+    sim.run()
+    assert p.value == 10
+    assert sim.now == 1.0
+
+
+def test_lock_fifo_under_contention():
+    sim = Simulator()
+    lock = Lock(sim)
+    order = []
+
+    def worker(sim, i):
+        yield sim.timeout(i * 0.1)  # arrive in order
+        yield lock.request()
+        order.append(i)
+        yield sim.timeout(10.0)
+        lock.release()
+
+    for i in range(5):
+        sim.process(worker(sim, i))
+    sim.run()
+    assert order == list(range(5))
+
+
+def test_store_get_then_put_same_timestep():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        v = yield store.get()
+        got.append(v)
+
+    def producer(sim):
+        yield store.put("x")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == ["x"]
+    assert sim.now == 0.0

@@ -1,0 +1,223 @@
+"""Unit tests for Store, Resource, and Lock."""
+
+import pytest
+
+from repro.sim import Lock, Resource, SimulationError, Simulator, Store
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim, name="q")
+    out = []
+
+    def producer(sim):
+        yield store.put("msg")
+
+    def consumer(sim):
+        item = yield store.get()
+        out.append(item)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert out == ["msg"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def consumer(sim):
+        item = yield store.get()
+        out.append((sim.now, item))
+
+    def producer(sim):
+        yield sim.timeout(9.0)
+        yield store.put("late")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert out == [(9.0, "late")]
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def producer(sim):
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer(sim):
+        for _ in range(5):
+            item = yield store.get()
+            out.append(item)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_store_multiple_waiting_getters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def consumer(sim, name):
+        item = yield store.get()
+        out.append((name, item))
+
+    def producer(sim):
+        yield sim.timeout(1.0)
+        yield store.put("x")
+        yield store.put("y")
+
+    sim.process(consumer(sim, "first"))
+    sim.process(consumer(sim, "second"))
+    sim.process(producer(sim))
+    sim.run()
+    assert out == [("first", "x"), ("second", "y")]
+
+
+def test_store_capacity_blocks_putter():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer(sim):
+        yield store.put("a")
+        log.append(("put-a", sim.now))
+        yield store.put("b")  # blocks until a consumer drains
+        log.append(("put-b", sim.now))
+
+    def consumer(sim):
+        yield sim.timeout(4.0)
+        item = yield store.get()
+        log.append(("got", item, sim.now))
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert ("put-a", 0.0) in log
+    assert ("got", "a", 4.0) in log
+    assert ("put-b", 4.0) in log
+    assert len(store) == 1  # "b" remains
+
+
+def test_store_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_store_len_tracks_items():
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer(sim):
+        yield store.put(1)
+        yield store.put(2)
+
+    sim.process(producer(sim))
+    sim.run()
+    assert len(store) == 2
+
+
+# ---------------------------------------------------------------------------
+# Resource / Lock
+# ---------------------------------------------------------------------------
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    active = []
+    peak = []
+
+    def worker(sim, name):
+        yield res.request()
+        active.append(name)
+        peak.append(len(active))
+        yield sim.timeout(10.0)
+        active.remove(name)
+        res.release()
+
+    for name in "abc":
+        sim.process(worker(sim, name))
+    sim.run()
+    assert max(peak) == 2
+    assert sim.now == 20.0  # third worker waited for a slot
+
+
+def test_resource_release_unblocks_waiter_fifo():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(sim, name, hold):
+        yield res.request()
+        order.append(name)
+        yield sim.timeout(hold)
+        res.release()
+
+    sim.process(worker(sim, "a", 5.0))
+    sim.process(worker(sim, "b", 1.0))
+    sim.process(worker(sim, "c", 1.0))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_over_release_rejected():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_available_accounting():
+    sim = Simulator()
+    res = Resource(sim, capacity=3)
+    assert res.available == 3
+
+    def worker(sim):
+        yield res.request()
+
+    sim.process(worker(sim))
+    sim.run()
+    assert res.available == 2
+    res.release()
+    assert res.available == 3
+
+
+def test_lock_mutual_exclusion():
+    sim = Simulator()
+    lock = Lock(sim, name="file-range")
+    inside = []
+
+    def critical(sim, name):
+        yield lock.request()
+        assert lock.locked
+        inside.append(name)
+        assert len(inside) == 1
+        yield sim.timeout(2.0)
+        inside.remove(name)
+        lock.release()
+
+    for name in range(4):
+        sim.process(critical(sim, name))
+    sim.run()
+    assert not lock.locked
+    assert sim.now == 8.0

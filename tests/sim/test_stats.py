@@ -1,0 +1,81 @@
+"""Unit tests for the stat registry."""
+
+from repro.sim import Counter, StatRegistry, TimeSeries
+
+
+def test_counter_add_accumulates():
+    c = Counter("x")
+    c.add(10)
+    c.add(5)
+    assert c.count == 2
+    assert c.total == 15
+
+
+def test_counter_default_amount():
+    c = Counter("x")
+    c.add()
+    assert (c.count, c.total) == (1, 1.0)
+
+
+def test_counter_merge():
+    a, b = Counter("x", 2, 7.0), Counter("x", 3, 4.0)
+    a.merge(b)
+    assert (a.count, a.total) == (5, 11.0)
+
+
+def test_registry_counter_identity():
+    reg = StatRegistry()
+    assert reg.counter("a.b") is reg.counter("a.b")
+
+
+def test_registry_add_and_query():
+    reg = StatRegistry()
+    reg.add("disk.read.calls", 4096)
+    reg.add("disk.read.calls", 4096)
+    assert reg.count("disk.read.calls") == 2
+    assert reg.total("disk.read.calls") == 8192
+    assert reg.count("missing") == 0
+    assert reg.total("missing") == 0.0
+
+
+def test_registry_prefixed_iteration_sorted():
+    reg = StatRegistry()
+    reg.add("ib.reg.ops")
+    reg.add("ib.dereg.ops")
+    reg.add("disk.read.calls")
+    names = [c.name for c in reg.prefixed("ib.")]
+    assert names == ["ib.dereg.ops", "ib.reg.ops"]
+
+
+def test_snapshot_diff():
+    reg = StatRegistry()
+    reg.add("a", 1)
+    before = reg.snapshot()
+    reg.add("a", 2)
+    reg.add("b", 5)
+    d = reg.diff(before)
+    assert d == {"a": (1, 2.0), "b": (1, 5.0)}
+
+
+def test_diff_skips_unchanged():
+    reg = StatRegistry()
+    reg.add("a")
+    before = reg.snapshot()
+    assert reg.diff(before) == {}
+
+
+def test_reset_clears_everything():
+    reg = StatRegistry()
+    reg.add("a")
+    reg.series("s").record(0.0, 1.0)
+    reg.reset()
+    assert reg.count("a") == 0
+    assert len(reg.series("s")) == 0
+
+
+def test_timeseries_record_and_values():
+    ts = TimeSeries("bw")
+    ts.record(0.0, 100.0)
+    ts.record(1.0, 200.0)
+    assert ts.values() == [100.0, 200.0]
+    assert len(ts) == 2

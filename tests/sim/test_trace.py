@@ -1,0 +1,108 @@
+"""Tests for the event tracer and its cluster integration."""
+
+import pytest
+
+from repro.calibration import KB
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+from repro.sim.trace import Tracer
+
+
+# -- unit ------------------------------------------------------------------
+
+def test_record_and_filter():
+    t = [0.0]
+    tr = Tracer(lambda: t[0])
+    tr.record("n0", "a.start", "x")
+    t[0] = 5.0
+    tr.record("n1", "a.end", "x")
+    tr.record("n0", "b", "y")
+    assert len(tr) == 3
+    assert [e.event for e in tr.filter("a.")] == ["a.start", "a.end"]
+    assert [e.node for e in tr.filter(node="n0")] == ["n0", "n0"]
+
+
+def test_span_matching():
+    t = [0.0]
+    tr = Tracer(lambda: t[0])
+    tr.record("n0", "disk.start", "r1")
+    t[0] = 10.0
+    tr.record("n0", "disk.start", "r2")
+    t[0] = 25.0
+    tr.record("n0", "disk.end", "r1")
+    t[0] = 30.0
+    tr.record("n0", "disk.end", "r2")
+    spans = tr.spans("disk")
+    assert len(spans) == 2
+    durations = {s.detail: d for s, _, d in spans}
+    assert durations == {"r1": 25.0, "r2": 20.0}
+    assert tr.total_time("disk") == 45.0
+
+
+def test_unmatched_spans_ignored():
+    tr = Tracer(lambda: 0.0)
+    tr.record("n0", "x.start", "open-forever")
+    tr.record("n0", "x.end", "never-started")
+    assert tr.spans("x") == []
+
+
+def test_render_formats_lines():
+    t = [1234.5]
+    tr = Tracer(lambda: t[0])
+    tr.record("iod0", "iod.request", "rid=7")
+    out = tr.render()
+    assert "1.234 ms" in out or "1.235 ms" in out
+    assert "iod0" in out
+    assert "rid=7" in out
+
+
+def test_render_limit():
+    tr = Tracer(lambda: 0.0)
+    for i in range(10):
+        tr.record("n", "e", str(i))
+    out = tr.render(limit=3)
+    assert "7 more events" in out
+
+
+# -- integration ------------------------------------------------------------------
+
+def test_cluster_tracing_records_lifecycle():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    tracer = cluster.enable_tracing()
+    c = cluster.clients[0]
+    n = 256 * KB
+    addr = c.node.space.malloc(n)
+    c.node.space.write(addr, bytes(n))
+
+    def prog():
+        f = yield from c.open("/pfs/traced")
+        yield from c.write(f, addr, 0, n)
+        yield from c.read(f, addr, 0, n)
+
+    cluster.run([prog()])
+    assert len(tracer) > 0
+    ops = tracer.filter("client.op")
+    assert len(ops) == 4  # start+end for write and read
+    assert tracer.filter("iod.request")
+    # Disk spans exist and have positive durations.
+    spans = tracer.spans("iod.disk")
+    assert spans
+    assert all(d > 0 for _, _, d in spans)
+    # Client op spans bracket everything.
+    op_spans = tracer.spans("client.op")
+    assert len(op_spans) == 2
+    assert tracer.total_time("iod.disk") < sum(d for _, _, d in op_spans) * 2
+
+
+def test_tracing_disabled_by_default_costs_nothing():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    assert cluster.tracer is None
+    c = cluster.clients[0]
+    addr = c.node.space.malloc(4 * KB)
+    c.node.space.write(addr, bytes(4 * KB))
+
+    def prog():
+        f = yield from c.open("/pfs/untraced")
+        yield from c.write(f, addr, 0, 4 * KB)
+
+    cluster.run([prog()])  # must simply not crash

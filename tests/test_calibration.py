@@ -1,0 +1,74 @@
+"""Tests for the calibration module itself."""
+
+import dataclasses
+
+import pytest
+
+# NB: `Testbed` itself is not imported here — pytest would try to
+# collect the class (its name starts with "Test").
+from repro.calibration import KB, MB, fast_disk_testbed, mb_per_s, paper_testbed
+
+
+def test_mb_per_s_units():
+    # 1 MB/s = 2**20 bytes per 1e6 us.
+    assert mb_per_s(1) == pytest.approx(1.048576)
+
+
+def test_paper_testbed_headline_constants():
+    tb = paper_testbed()
+    assert tb.rdma_write_latency_us == 6.0
+    assert tb.rdma_write_bw == pytest.approx(mb_per_s(827))
+    assert tb.stripe_size == 64 * KB
+    assert tb.listio_max_accesses == 128
+    assert tb.page_size == 4096
+    assert tb.sge_per_wr == 64
+
+
+def test_pages_ceiling():
+    tb = paper_testbed()
+    assert tb.pages(1) == 1
+    assert tb.pages(4096) == 1
+    assert tb.pages(4097) == 2
+    assert tb.pages(10 * 4096) == 10
+
+
+def test_reg_cost_linear_in_pages():
+    tb = paper_testbed()
+    assert tb.reg_cost_us(4096) == pytest.approx(0.77 + 7.42)
+    assert tb.reg_cost_us(10 * 4096) == pytest.approx(7.7 + 7.42)
+    assert tb.dereg_cost_us(4096) == pytest.approx(0.23 + 1.10)
+
+
+def test_memcpy_us():
+    tb = paper_testbed()
+    assert tb.memcpy_us(MB) == pytest.approx(MB / mb_per_s(1300))
+
+
+def test_vm_query_scales_with_holes():
+    tb = paper_testbed()
+    base = tb.vm_query_us(100)
+    assert base == pytest.approx(70.0)  # under the 1000-hole unit
+    assert tb.vm_query_us(2000) == pytest.approx(140.0)
+    assert tb.vm_query_us(100, via_proc=True) == pytest.approx(1100.0)
+
+
+def test_fast_disk_testbed_scales_disk_only():
+    base = paper_testbed()
+    fast = fast_disk_testbed(10.0)
+    assert fast.disk_read_bw == pytest.approx(10 * base.disk_read_bw)
+    assert fast.disk_write_bw == pytest.approx(10 * base.disk_write_bw)
+    assert fast.disk_seek_us == pytest.approx(base.disk_seek_us / 10)
+    # Network untouched.
+    assert fast.rdma_write_bw == base.rdma_write_bw
+
+
+def test_testbed_is_frozen():
+    tb = paper_testbed()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        tb.page_size = 8192  # type: ignore[misc]
+
+
+def test_testbed_replace_for_ablations():
+    tb = dataclasses.replace(paper_testbed(), stripe_size=16 * KB)
+    assert tb.stripe_size == 16 * KB
+    assert tb.page_size == 4096

@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "table2" in out
+    assert "fig9" in out
+    assert len(out) == len(EXPERIMENTS)
+
+
+def test_calibration_command(capsys):
+    assert main(["calibration"]) == 0
+    out = capsys.readouterr().out
+    assert "rdma_write_latency_us" in out
+    assert "stripe_size" in out
+
+
+def test_run_fast_experiment(capsys):
+    assert main(["run", "table3"]) == 0
+    out = capsys.readouterr().out
+    assert "file system performance" in out
+    assert "with cache" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "nope"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_run_requires_ids():
+    with pytest.raises(SystemExit):
+        main(["run"])
+
+
+def test_every_experiment_id_has_runner():
+    for name, fn in EXPERIMENTS.items():
+        assert callable(fn), name
