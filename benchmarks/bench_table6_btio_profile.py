@@ -13,6 +13,8 @@ volumes moved compute<->I/O nodes and compute<->compute.  Paper values
     CN<->CN  (MB)        0     150       0       0      0
 """
 
+import json
+
 import pytest
 
 from repro.calibration import MB
@@ -34,8 +36,11 @@ def _profile():
     for label, method in runners.BTIO_METHODS:
         if method is None:
             continue
-        _, flat = runners.btio_run(method.value)
-        delta = {k: (c, t) for k, c, t in flat}
+        # The structured metrics export carries both the Table-6 counters
+        # and the per-phase latency histograms for the same run.
+        _, export_json = runners.btio_export(method.value)
+        export = json.loads(export_json)
+        delta = {k: (c["count"], c["total"]) for k, c in export["counters"].items()}
         moved = (
             delta.get("ib.rdma_read.ops", (0, 0))[1]
             + delta.get("ib.rdma_write.ops", (0, 0))[1]

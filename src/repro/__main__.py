@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 from typing import Callable, Dict
 
@@ -157,6 +158,35 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
 }
 
 
+def _profile_report(args) -> str:
+    export = runners.profile_workload(
+        args.workload, scheme=args.scheme, op=args.op, size=args.size
+    )
+    if args.json:
+        return json.dumps(export, indent=2, sort_keys=True)
+    w = export["workload"]
+    t = Table(
+        f"Per-phase latency: {w['name']} {w['op']}"
+        f" (scheme={w['scheme']}, {w['bytes'] / MB:.1f} MB)",
+        ["phase", "count", "total (ms)", "p50 (us)", "p95 (us)", "p99 (us)"],
+    )
+    for name, h in export["phases"].items():
+        t.add(
+            name,
+            h["count"],
+            h["total_us"] / 1e3,
+            h["p50_us"],
+            h["p95_us"],
+            h["p99_us"],
+        )
+    t.note(
+        f"elapsed {export['elapsed_us'] / 1e6:.3f} s"
+        f" ({w['mb_per_s']:.1f} MB/s aggregate);"
+        " totals sum concurrent requests, so they exceed elapsed"
+    )
+    return str(t)
+
+
 def _calibration() -> str:
     tb = paper_testbed()
     lines = ["Testbed calibration (paper preset):"]
@@ -175,6 +205,31 @@ def main(argv=None) -> int:
     sub.add_parser("calibration", help="print the testbed constants")
     run = sub.add_parser("run", help="run experiments and print their tables")
     run.add_argument("ids", nargs="+", help="experiment ids, or 'all'")
+    prof = sub.add_parser(
+        "profile", help="per-phase latency breakdown (p50/p95/p99) for a workload"
+    )
+    prof.add_argument(
+        "workload",
+        choices=list(runners.PROFILE_WORKLOADS),
+        help="workload to profile",
+    )
+    from repro.transfer import scheme_names
+
+    prof.add_argument(
+        "--scheme",
+        default="hybrid",
+        choices=scheme_names(),
+        help="transfer scheme (registry name)",
+    )
+    prof.add_argument(
+        "--op", default="write", choices=["write", "read"], help="operation"
+    )
+    prof.add_argument(
+        "--size", type=int, default=1024, help="array size n (blockcolumn only)"
+    )
+    prof.add_argument(
+        "--json", action="store_true", help="dump the raw metrics export as JSON"
+    )
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -183,6 +238,13 @@ def main(argv=None) -> int:
         return 0
     if args.cmd == "calibration":
         print(_calibration())
+        return 0
+    if args.cmd == "profile":
+        try:
+            print(_profile_report(args))
+        except ValueError as e:
+            print(f"profile: {e}", file=sys.stderr)
+            return 2
         return 0
 
     ids = list(EXPERIMENTS) if "all" in args.ids else args.ids

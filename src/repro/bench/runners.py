@@ -8,6 +8,7 @@ BTIO sweep is memoized because Tables 5 and 6 share its runs.
 
 from __future__ import annotations
 
+import json
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,8 +44,11 @@ __all__ = [
     "table4_ogr",
     "blockcolumn_sweep",
     "tileio_cases",
+    "btio_export",
     "btio_run",
+    "profile_workload",
     "BTIO_METHODS",
+    "PROFILE_WORKLOADS",
 ]
 
 US_PER_S = 1e6
@@ -458,16 +462,19 @@ BTIO_METHODS: List[Tuple[str, Optional[Method]]] = [
 
 
 @lru_cache(maxsize=None)
-def btio_run(
+def btio_export(
     method_value: Optional[str],
     grid: int = 64,
     dumps: int = 10,
     compute_us: float = 165.6e6,
-) -> Tuple[float, Tuple[Tuple[str, int, float], ...]]:
-    """One BTIO run; returns (elapsed_us, sorted stat deltas).
+) -> Tuple[float, str]:
+    """One BTIO run; returns (elapsed_us, JSON metrics export).
 
     Memoized: Tables 5 and 6 share these runs.  ``method_value`` is the
     Method's string value (hashable), or None for the no-I/O baseline.
+    The export is the cluster's :meth:`metrics_export` — Table-6-style
+    counters plus the per-phase latency histograms — serialized so the
+    cached value stays immutable.
     """
     w = BTIOWorkload(grid=grid, nprocs=4, dumps=dumps, total_compute_us=compute_us)
     cluster = PVFSCluster(n_clients=4, n_iods=4)
@@ -476,6 +483,88 @@ def btio_run(
     elapsed = mpi_run(cluster, w.program(hints, results))
     if method_value and not all(results.values()):
         raise AssertionError(f"BTIO verification failed for {method_value}")
-    delta = cluster.stat_delta()
-    flat = tuple(sorted((k, v[0], v[1]) for k, v in delta.items()))
+    export = cluster.metrics_export()
+    export["elapsed_us"] = elapsed
+    return elapsed, json.dumps(export, sort_keys=True)
+
+
+@lru_cache(maxsize=None)
+def btio_run(
+    method_value: Optional[str],
+    grid: int = 64,
+    dumps: int = 10,
+    compute_us: float = 165.6e6,
+) -> Tuple[float, Tuple[Tuple[str, int, float], ...]]:
+    """One BTIO run; returns (elapsed_us, sorted stat deltas).
+
+    Back-compat view over :func:`btio_export`: flattens the export's
+    counters to the historical ``(name, count, total)`` tuples.
+    """
+    elapsed, export_json = btio_export(method_value, grid, dumps, compute_us)
+    counters = json.loads(export_json)["counters"]
+    flat = tuple(
+        sorted((name, c["count"], c["total"]) for name, c in counters.items())
+    )
     return elapsed, flat
+
+
+# ---------------------------------------------------------------------------
+# ``python -m repro profile``: per-phase latency breakdown
+# ---------------------------------------------------------------------------
+
+PROFILE_WORKLOADS = ("blockcolumn", "tileio")
+
+
+def profile_workload(
+    workload: str = "blockcolumn",
+    scheme: str = "hybrid",
+    op: str = "write",
+    size: int = 1024,
+    include_trace: bool = False,
+) -> Dict[str, object]:
+    """Run one MPI-IO workload and return the cluster metrics export.
+
+    The export's ``phases`` map the request lifecycle: ``client.prepare``
+    (registration up front), ``transfer.move`` (the scheme's RDMA work),
+    ``iod.queue`` (staging-buffer wait), ``iod.sieve_decide`` (the ADS
+    verdict), ``iod.disk_wait``/``iod.disk``.  Uses list I/O with ADS so
+    every phase is exercised; ``scheme`` is a transfer-registry name.
+    For reads the file is populated first (untimed, excluded from the
+    export).
+    """
+    if workload not in PROFILE_WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; available: "
+            + ", ".join(PROFILE_WORKLOADS)
+        )
+    if op not in ("read", "write"):
+        raise ValueError(f"bad op {op!r}")
+    if workload == "blockcolumn" and (size < 4 or size % 4):
+        raise ValueError(
+            f"blockcolumn size must be a positive multiple of 4, got {size}"
+        )
+    cluster = PVFSCluster(n_clients=4, n_iods=4, scheme=scheme)
+    if workload == "blockcolumn":
+        w = BlockColumnWorkload(n=size, path="/pfs/profile")
+        total = w.total_bytes
+    else:
+        w = TileIOWorkload()
+        total = w.file_bytes
+    if op == "read":
+        mpi_run(cluster, w.program("write", Hints(method=Method.LIST_IO)))
+        cluster.metrics.reset()  # only profile the timed pass
+    since = cluster.stats.snapshot()
+    start = cluster.sim.now
+    mpi_run(cluster, w.program(op, Hints(method=Method.LIST_IO_ADS)))
+    elapsed = cluster.sim.now - start
+    export = cluster.metrics_export(since=since, include_trace=include_trace)
+    export["elapsed_us"] = elapsed
+    export["workload"] = {
+        "name": workload,
+        "op": op,
+        "scheme": scheme,
+        "size": size,
+        "bytes": total,
+        "mb_per_s": _mb_s(total, elapsed),
+    }
+    return export

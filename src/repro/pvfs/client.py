@@ -41,12 +41,13 @@ from repro.pvfs.protocol import (
     TransferDone,
     UnlinkReply,
     UnlinkRequest,
+    expect_reply,
 )
 from repro.pvfs.striping import StripeLayout, StripedPiece
 from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRegistry, RequestContext
 from repro.sim.resources import Store
 from repro.transfer.base import TransferContext, TransferScheme
-from repro.transfer.hybrid import Hybrid
 
 __all__ = ["PVFSClient", "PVFSFile"]
 
@@ -120,11 +121,14 @@ class PVFSClient:
         node: Node,
         manager_qp: QueuePair,
         iod_qps: Sequence[QueuePair],
-        scheme: Optional[TransferScheme] = None,
+        scheme: Optional[TransferScheme | str] = None,
         pool: Optional[FastRdmaPool] = None,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         eager_buffers: Optional[Sequence[Sequence[int]]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
+        from repro.transfer import get_scheme
+
         self.sim = sim
         self.node = node
         self.manager_qp = manager_qp
@@ -133,16 +137,27 @@ class PVFSClient:
         self.iod_conns = [
             _Connection(sim, qp, bufs) for qp, bufs in zip(iod_qps, eager_buffers)
         ]
-        self.scheme = scheme if scheme is not None else Hybrid()
+        if scheme is None:
+            scheme = "hybrid"
+        if isinstance(scheme, str):
+            scheme = get_scheme(scheme, testbed=node.testbed)
+        self.scheme = scheme
         self.pool = pool if pool is not None else FastRdmaPool(node)
         self.max_request_bytes = max_request_bytes
         self._rid = count(1)
         self._mgr_inbox = _Connection(sim, manager_qp)
         self.tracer = None  # set by PVFSCluster.enable_tracing
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
-    def _trace(self, event: str, detail: str = "") -> None:
-        if self.tracer is not None:
-            self.tracer.record(self.node.name, event, detail)
+    def new_context(self, op: str) -> RequestContext:
+        """A fresh request-lifecycle context for one list operation."""
+        return RequestContext(
+            op=op,
+            origin=self.node.name,
+            clock=lambda: self.sim.now,
+            metrics=self.metrics,
+            tracer=self.tracer,
+        )
 
     @property
     def testbed(self):
@@ -178,10 +193,10 @@ class PVFSClient:
             OpenRequest(path, create=create, request_id=rid),
             nbytes=self.testbed.request_msg_bytes,
         )
-        reply = yield self._mgr_inbox.inbox(rid).get()
+        reply = expect_reply(
+            (yield self._mgr_inbox.inbox(rid).get()), OpenReply, "open"
+        )
         self._mgr_inbox.close_inbox(rid)
-        if not isinstance(reply, OpenReply):
-            raise TypeError(f"unexpected open reply {reply!r}")
         layout = StripeLayout(reply.stripe_size, reply.n_iods, reply.base_iod)
         return PVFSFile(self, path, reply.handle, layout, size=reply.size)
 
@@ -197,10 +212,10 @@ class PVFSClient:
             UnlinkRequest(path, request_id=rid),
             nbytes=self.testbed.request_msg_bytes,
         )
-        reply = yield self._mgr_inbox.inbox(rid).get()
+        reply = expect_reply(
+            (yield self._mgr_inbox.inbox(rid).get()), UnlinkReply, "unlink"
+        )
         self._mgr_inbox.close_inbox(rid)
-        if not isinstance(reply, UnlinkReply):
-            raise TypeError(f"unexpected unlink reply {reply!r}")
         if reply.handle is None:
             return False
         for conn in self.iod_conns:
@@ -210,9 +225,7 @@ class PVFSClient:
                 StripeUnlink(srid, reply.handle),
                 nbytes=self.testbed.request_msg_bytes,
             )
-            done = yield inbox.get()
-            if not isinstance(done, Done):
-                raise TypeError(f"unexpected stripe unlink reply {done!r}")
+            expect_reply((yield inbox.get()), Done, "stripe unlink")
             conn.close_inbox(srid)
         return True
 
@@ -230,9 +243,7 @@ class PVFSClient:
                 FsyncRequest(rid, f.handle),
                 nbytes=self.testbed.request_msg_bytes,
             )
-            done = yield inbox.get()
-            if not isinstance(done, Done):
-                raise TypeError(f"unexpected fsync reply {done!r}")
+            done = expect_reply((yield inbox.get()), Done, "fsync")
             conn.close_inbox(rid)
             return done.nbytes
 
@@ -318,40 +329,45 @@ class PVFSClient:
     ) -> Generator:
         request = ListIORequest(tuple(mem_segments), tuple(file_segments))
         mode = self._mode(use_ads, sync, nocache)
-        self._trace(
-            "client.op.start",
-            f"op={op} pieces={request.file_count} n={request.total_bytes}",
-        )
-        per_iod = f.layout.split_request(request)
-        # Register the call's buffers once up front (Section 4.3); the
-        # per-request transfers then find them in the pin-down cache.
-        prep_state, prep_cost = self.scheme.prepare(
-            self.node.hca, self.node.space, mem_segments
-        )
-        if prep_cost:
-            yield self.sim.timeout(prep_cost)
-        try:
-            workers = [
-                self.sim.process(
-                    self._iod_worker(f, iod, pieces, op, mode, prep_state is not None),
-                    name=f"{self.node.name}->{iod}.{op}",
+        ctx = self.new_context(op)
+        with ctx.span(
+            "client.op", op=op, pieces=request.file_count, n=request.total_bytes
+        ) as op_span:
+            per_iod = f.layout.split_request(request)
+            # Register the call's buffers once up front (Section 4.3); the
+            # per-request transfers then find them in the pin-down cache.
+            with ctx.span(
+                "client.prepare",
+                scheme=self.scheme.name,
+                segments=len(mem_segments),
+            ) as prep_span:
+                prep_state, prep_cost = self.scheme.prepare(
+                    self.node.hca, self.node.space, mem_segments
                 )
-                for iod, pieces in sorted(per_iod.items())
-            ]
-            totals = yield self.sim.all_of(workers)
-        finally:
-            fin_cost = self.scheme.finish(prep_state)
-            if fin_cost:
-                yield self.sim.timeout(fin_cost)
-        total = sum(totals)
-        if op == "write":
-            end = max(s.end for s in file_segments)
-            if end > f.size:
-                f.size = end
-        self._trace(
-            "client.op.end",
-            f"op={op} pieces={request.file_count} n={request.total_bytes}",
-        )
+                prep_span.attrs["registered"] = prep_state is not None
+                if prep_cost:
+                    yield self.sim.timeout(prep_cost)
+            try:
+                workers = [
+                    self.sim.process(
+                        self._iod_worker(
+                            f, iod, pieces, op, mode,
+                            prep_state is not None, ctx, op_span,
+                        ),
+                        name=f"{self.node.name}->{iod}.{op}",
+                    )
+                    for iod, pieces in sorted(per_iod.items())
+                ]
+                totals = yield self.sim.all_of(workers)
+            finally:
+                fin_cost = self.scheme.finish(prep_state)
+                if fin_cost:
+                    yield self.sim.timeout(fin_cost)
+            total = sum(totals)
+            if op == "write":
+                end = max(s.end for s in file_segments)
+                if end > f.size:
+                    f.size = end
         return total
 
     def _iod_worker(
@@ -362,11 +378,15 @@ class PVFSClient:
         op: str,
         mode: AccessMode,
         prepared: bool,
+        ctx: RequestContext,
+        op_span,
     ) -> Generator:
         conn = self.iod_conns[iod]
         total = 0
         for batch in self._batches(pieces):
-            total += yield from self._one_request(f, conn, batch, op, mode, prepared)
+            total += yield from self._one_request(
+                f, conn, batch, op, mode, prepared, ctx, op_span
+            )
         return total
 
     def _batches(self, pieces: List[StripedPiece]) -> List[List[StripedPiece]]:
@@ -440,85 +460,115 @@ class PVFSClient:
         batch: List[StripedPiece],
         op: str,
         mode: AccessMode,
-        prepared: bool = False,
+        prepared: bool,
+        ctx: RequestContext,
+        op_span,
     ) -> Generator:
         rid = next(self._rid)
         file_segs = self._coalesce_file_segs(batch)
         mem_segs = [p.mem for p in batch]
         total = sum(p.mem.length for p in batch)
 
-        # Fast-RDMA eager path (Section 4.3): small transfers through
-        # pre-registered buffers, skipping the rendezvous round trip.
-        # The transfer must fit one fast buffer on both sides.
-        if self.scheme.use_eager(total, self.testbed) and self.pool.fits(total):
-            if op == "write" and conn.eager_free:
-                return (
-                    yield from self._eager_write(
-                        f, conn, rid, file_segs, mem_segs, total, mode
-                    )
-                )
-            if op == "read" and self.pool.fits(total) and self.pool.free_count:
-                return (
-                    yield from self._eager_read(
-                        f, conn, rid, file_segs, mem_segs, total, mode
-                    )
-                )
-
-        req = IORequest(
-            request_id=rid,
-            handle=f.handle,
+        with ctx.span(
+            "client.request",
+            parent=op_span,
+            rid=rid,
             op=op,
-            file_segments=file_segs,
-            total_bytes=total,
-            mode=mode,
-        )
-        self.node.stats.add("pvfs.client.requests", total)
-        inbox = conn.inbox(rid)
-        yield from conn.qp.send(req, nbytes=self.testbed.request_msg_bytes)
-        ready = yield inbox.get()
-        if not isinstance(ready, DataReady):
-            raise TypeError(f"expected DataReady, got {ready!r}")
-        ctx = TransferContext(
-            qp=conn.qp,
-            mem_segments=mem_segs,
-            remote_addr=ready.staging_addr,
-            pool=self.pool,
-            prepared=prepared,
-        )
-        if op == "write":
-            yield from self.scheme.write(ctx)
-            yield from conn.qp.send(
-                TransferDone(rid), nbytes=self.testbed.reply_msg_bytes
+            n=total,
+            segments=len(mem_segs),
+        ) as req_span:
+            # Fast-RDMA eager path (Section 4.3): small transfers through
+            # pre-registered buffers, skipping the rendezvous round trip.
+            # The transfer must fit one fast buffer on both sides.
+            if self.scheme.use_eager(total, self.testbed) and self.pool.fits(total):
+                if op == "write" and conn.eager_free:
+                    req_span.attrs["path"] = "eager"
+                    return (
+                        yield from self._eager_write(
+                            f, conn, rid, file_segs, mem_segs, total, mode,
+                            ctx, req_span,
+                        )
+                    )
+                if op == "read" and self.pool.fits(total) and self.pool.free_count:
+                    req_span.attrs["path"] = "eager"
+                    return (
+                        yield from self._eager_read(
+                            f, conn, rid, file_segs, mem_segs, total, mode,
+                            ctx, req_span,
+                        )
+                    )
+
+            req_span.attrs["path"] = "rendezvous"
+            req = IORequest(
+                request_id=rid,
+                handle=f.handle,
+                op=op,
+                file_segments=file_segs,
+                total_bytes=total,
+                mode=mode,
+                ctx=ctx,
+                span=req_span,
             )
-            done = yield inbox.get()
-            if not isinstance(done, Done):
-                raise TypeError(f"expected Done, got {done!r}")
-            if done.error:
-                raise RuntimeError(f"server error: {done.error}")
-        else:
-            yield from self.scheme.read(ctx)
-            yield from conn.qp.send(
-                ReleaseStaging(rid), nbytes=self.testbed.reply_msg_bytes
+            self.node.stats.add("pvfs.client.requests", total)
+            inbox = conn.inbox(rid)
+            yield from conn.qp.send(req, nbytes=self.testbed.request_msg_bytes)
+            ready = expect_reply((yield inbox.get()), DataReady, "IORequest")
+            tctx = TransferContext(
+                qp=conn.qp,
+                mem_segments=mem_segs,
+                remote_addr=ready.staging_addr,
+                pool=self.pool,
+                prepared=prepared,
+                request_ctx=ctx,
             )
+            if op == "write":
+                with ctx.span(
+                    "transfer.move", parent=req_span, rid=rid, n=total,
+                    segments=len(mem_segs), scheme=self.scheme.name,
+                ) as move_span:
+                    tctx.parent_span = move_span
+                    yield from self.scheme.write(tctx)
+                yield from conn.qp.send(
+                    TransferDone(rid), nbytes=self.testbed.reply_msg_bytes
+                )
+                done = expect_reply((yield inbox.get()), Done, "TransferDone")
+                if done.error:
+                    raise RuntimeError(f"server error: {done.error}")
+            else:
+                with ctx.span(
+                    "transfer.move", parent=req_span, rid=rid, n=total,
+                    segments=len(mem_segs), scheme=self.scheme.name,
+                ) as move_span:
+                    tctx.parent_span = move_span
+                    yield from self.scheme.read(tctx)
+                yield from conn.qp.send(
+                    ReleaseStaging(rid), nbytes=self.testbed.reply_msg_bytes
+                )
         conn.close_inbox(rid)
         return total
 
     # -- Fast-RDMA eager paths --------------------------------------------
 
     def _eager_write(
-        self, f, conn, rid, file_segs, mem_segs, total, mode
+        self, f, conn, rid, file_segs, mem_segs, total, mode, ctx, req_span
     ) -> Generator:
         """Pack into a fast buffer, push data ahead of the request."""
         server_buf = conn.eager_free.pop()
         client_buf = yield from self.pool.acquire()
         space = self.node.space
-        try:
-            # Pack the noncontiguous pieces (the memcpy of Pack/Unpack).
-            yield self.sim.timeout(self.testbed.memcpy_us(total))
-            space.write(client_buf, space.gather(mem_segs))
-            yield from conn.qp.rdma_write([Segment(client_buf, total)], server_buf)
-        finally:
-            self.pool.release(client_buf)
+        with ctx.span(
+            "transfer.move", parent=req_span, rid=rid, n=total,
+            segments=len(mem_segs), scheme="eager",
+        ):
+            try:
+                # Pack the noncontiguous pieces (the memcpy of Pack/Unpack).
+                yield self.sim.timeout(self.testbed.memcpy_us(total))
+                space.write(client_buf, space.gather(mem_segs))
+                yield from conn.qp.rdma_write(
+                    [Segment(client_buf, total)], server_buf
+                )
+            finally:
+                self.pool.release(client_buf)
         req = IORequest(
             request_id=rid,
             handle=f.handle,
@@ -527,14 +577,14 @@ class PVFSClient:
             total_bytes=total,
             mode=mode,
             eager_buffer=server_buf,
+            ctx=ctx,
+            span=req_span,
         )
         self.node.stats.add("pvfs.client.requests", total)
         self.node.stats.add("pvfs.client.eager_writes", total)
         inbox = conn.inbox(rid)
         yield from conn.qp.send(req, nbytes=self.testbed.request_msg_bytes)
-        done = yield inbox.get()
-        if not isinstance(done, Done):
-            raise TypeError(f"expected Done, got {done!r}")
+        done = expect_reply((yield inbox.get()), Done, "eager write")
         if done.error:
             raise RuntimeError(f"server error: {done.error}")
         conn.eager_free.append(server_buf)
@@ -542,7 +592,7 @@ class PVFSClient:
         return total
 
     def _eager_read(
-        self, f, conn, rid, file_segs, mem_segs, total, mode
+        self, f, conn, rid, file_segs, mem_segs, total, mode, ctx, req_span
     ) -> Generator:
         """Ask the server to push results into our fast buffer."""
         client_buf = yield from self.pool.acquire()
@@ -555,18 +605,22 @@ class PVFSClient:
                 total_bytes=total,
                 mode=mode,
                 eager_buffer=client_buf,
+                ctx=ctx,
+                span=req_span,
             )
             self.node.stats.add("pvfs.client.requests", total)
             self.node.stats.add("pvfs.client.eager_reads", total)
             inbox = conn.inbox(rid)
             yield from conn.qp.send(req, nbytes=self.testbed.request_msg_bytes)
-            done = yield inbox.get()
-            if not isinstance(done, Done):
-                raise TypeError(f"expected Done, got {done!r}")
+            done = expect_reply((yield inbox.get()), Done, "eager read")
             # Unpack from the fast buffer into the user's pieces.
-            yield self.sim.timeout(self.testbed.memcpy_us(total))
-            space = self.node.space
-            space.scatter(mem_segs, space.read(client_buf, total))
+            with ctx.span(
+                "transfer.move", parent=req_span, rid=rid, n=total,
+                segments=len(mem_segs), scheme="eager",
+            ):
+                yield self.sim.timeout(self.testbed.memcpy_us(total))
+                space = self.node.space
+                space.scatter(mem_segs, space.read(client_buf, total))
         finally:
             self.pool.release(client_buf)
         conn.close_inbox(rid)

@@ -17,7 +17,7 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple, Union
 
 from repro.calibration import Testbed, paper_testbed
 from repro.ib.hca import Node
@@ -26,6 +26,7 @@ from repro.pvfs.client import PVFSClient
 from repro.pvfs.iod import IODaemon
 from repro.pvfs.manager import MetadataManager
 from repro.sim.engine import Simulator
+from repro.sim.metrics import MetricsRegistry
 from repro.sim.stats import StatRegistry
 from repro.transfer.base import TransferScheme
 
@@ -40,7 +41,7 @@ class PVFSCluster:
         n_clients: int = 4,
         n_iods: int = 4,
         testbed: Optional[Testbed] = None,
-        scheme: Optional[TransferScheme] = None,
+        scheme: Optional[Union[TransferScheme, str]] = None,
         scheme_factory: Optional[Callable[[], TransferScheme]] = None,
         cache_enabled: bool = True,
         ads_enabled: bool = True,
@@ -55,6 +56,20 @@ class PVFSCluster:
             stripe_size = self.testbed.stripe_size
         self.sim = Simulator()
         self.stats = StatRegistry()  # cluster-wide aggregate
+        self.metrics = MetricsRegistry()  # per-phase latency histograms
+
+        # Schemes can be named ("hybrid", "gather", "pack", "multiple");
+        # a string resolves through the transfer registry per client so
+        # stateful schemes (buffer pools) are not shared across nodes.
+        if isinstance(scheme, str):
+            from repro.transfer import get_scheme
+
+            scheme_name = scheme
+            scheme = None
+            if scheme_factory is None:
+                scheme_factory = lambda: get_scheme(
+                    scheme_name, testbed=self.testbed
+                )
 
         # -- nodes ---------------------------------------------------------
         self.manager_node = Node(self.sim, self.testbed, "mgr", stats=self.stats)
@@ -110,6 +125,7 @@ class PVFSCluster:
                     iod_qps,
                     scheme=client_scheme,
                     eager_buffers=eager_buffers,
+                    metrics=self.metrics,
                 )
             )
 
@@ -117,16 +133,17 @@ class PVFSCluster:
         self.setup_snapshot = self.stats.snapshot()
         self.tracer = None
 
-    def enable_tracing(self):
+    def enable_tracing(self, max_events: Optional[int] = None):
         """Attach a :class:`repro.sim.trace.Tracer`; returns it.
 
         Clients and I/O daemons record request lifecycle events (request
         arrival, staging-wait, disk phase, transfer phase) from this
-        point on.
+        point on.  ``max_events`` caps the buffer for long runs; dropped
+        events are counted, not silently lost.
         """
         from repro.sim.trace import Tracer
 
-        self.tracer = Tracer(lambda: self.sim.now)
+        self.tracer = Tracer(lambda: self.sim.now, max_events=max_events)
         for iod in self.iods:
             iod.tracer = self.tracer
         for client in self.clients:
@@ -153,6 +170,30 @@ class PVFSCluster:
     def stat_delta(self) -> Dict[str, Tuple[int, float]]:
         """Cluster-wide counter deltas since construction."""
         return self.stats.diff(self.setup_snapshot)
+
+    def metrics_export(
+        self,
+        since: Optional[Dict[str, Tuple[int, float]]] = None,
+        include_trace: bool = False,
+    ) -> Dict[str, object]:
+        """One JSON-friendly snapshot of everything a benchmark needs.
+
+        ``counters`` are the Table-6-style totals (count + accumulated
+        value per stat name, measured since ``since`` or cluster setup);
+        ``phases`` are the per-phase latency histograms with
+        p50/p95/p99.  The benchmark harness and ``python -m repro
+        profile`` consume this instead of ad-hoc snapshot/diff pairs.
+        """
+        export: Dict[str, object] = {
+            "elapsed_us": self.sim.now,
+            "counters": self.stats.export(
+                since if since is not None else self.setup_snapshot
+            ),
+            "phases": self.metrics.to_dict(),
+        }
+        if include_trace and self.tracer is not None:
+            export["trace"] = self.tracer.to_dict()
+        return export
 
     def drop_all_caches(self) -> None:
         for iod in self.iods:

@@ -37,8 +37,10 @@ from repro.pvfs.protocol import (
     ReleaseStaging,
     StripeUnlink,
     TransferDone,
+    expect_reply,
 )
 from repro.sim.engine import Simulator
+from repro.sim.metrics import RequestContext
 from repro.sim.resources import Resource, Store
 
 __all__ = ["IODaemon"]
@@ -88,9 +90,20 @@ class IODaemon:
         self.disk_lock = Resource(sim, capacity=1, name=f"iod{index}.disk")
         self.tracer = None  # set by PVFSCluster.enable_tracing
 
-    def _trace(self, event: str, detail: str = "") -> None:
-        if self.tracer is not None:
-            self.tracer.record(f"iod{self.index}", event, detail)
+    @property
+    def name(self) -> str:
+        return f"iod{self.index}"
+
+    def _ctx_for(self, req: IORequest) -> RequestContext:
+        """The request's context; detached fallback for bare requests."""
+        if req.ctx is not None:
+            return req.ctx
+        return RequestContext(
+            op=req.op,
+            origin=self.name,
+            clock=lambda: self.sim.now,
+            tracer=self.tracer,
+        )
 
     # -- stripe file naming ------------------------------------------------
 
@@ -155,8 +168,12 @@ class IODaemon:
     def _handle(
         self, qp: QueuePair, req: IORequest, inbox: Store, inboxes: Dict[int, Store]
     ) -> Generator:
+        ctx = self._ctx_for(req)
         self.node.stats.add("pvfs.iod.requests", req.total_bytes)
-        self._trace("iod.request", f"rid={req.request_id} op={req.op} n={req.total_bytes}")
+        ctx.event(
+            "iod.request", node=self.name,
+            rid=req.request_id, op=req.op, n=req.total_bytes,
+        )
         if req.total_bytes > self.staging_bytes:
             raise ValueError(
                 f"request of {req.total_bytes} bytes exceeds the "
@@ -168,18 +185,19 @@ class IODaemon:
         try:
             if req.eager_buffer is not None and req.op == "write":
                 # Eager write: data already sits in our fast buffer.
-                yield from self._handle_eager_write(qp, req)
+                yield from self._handle_eager_write(qp, req, ctx)
                 return
-            self._trace("iod.staging_wait.start", f"rid={req.request_id}")
-            staging = yield self._staging.get()
-            self._trace("iod.staging_wait.end", f"rid={req.request_id}")
+            with ctx.span(
+                "iod.queue", node=self.name, parent=req.span, rid=req.request_id
+            ):
+                staging = yield self._staging.get()
             try:
                 if req.op == "write":
-                    yield from self._handle_write(qp, req, inbox, staging)
+                    yield from self._handle_write(qp, req, inbox, staging, ctx)
                 elif req.eager_buffer is not None:
-                    yield from self._handle_eager_read(qp, req, staging)
+                    yield from self._handle_eager_read(qp, req, staging, ctx)
                 else:
-                    yield from self._handle_read(qp, req, inbox, staging)
+                    yield from self._handle_read(qp, req, inbox, staging, ctx)
             finally:
                 self._staging.put(staging)
         finally:
@@ -218,39 +236,59 @@ class IODaemon:
             plan = dataclasses.replace(plan, use_sieving=forced)
         return plan
 
+    def _sieve_decide(
+        self, ctx: RequestContext, req: IORequest, f: LocalFile, use_ads: bool
+    ) -> Optional[SievePlan]:
+        """Run the ADS decision under its own span (the paper's cost-model
+        evaluation is where the "sieve or not" verdict is made)."""
+        with ctx.span(
+            "iod.sieve_decide", node=self.name, parent=req.span,
+            rid=req.request_id, ads=use_ads,
+        ) as sp:
+            plan = self._decide(req, f) if use_ads else None
+            sp.attrs["verdict"] = "sieve" if (plan and plan.use_sieving) else "direct"
+            if plan is not None:
+                sp.attrs["windows"] = len(plan.windows)
+        return plan
+
     # -- write path --------------------------------------------------------------------
 
     def _handle_write(
-        self, qp: QueuePair, req: IORequest, inbox: Store, staging: int
+        self, qp: QueuePair, req: IORequest, inbox: Store, staging: int,
+        ctx: RequestContext,
     ) -> Generator:
         # Grant the staging buffer and wait for the client's data.
         yield from qp.send(
             DataReady(req.request_id, staging, req.total_bytes),
             nbytes=self.testbed.reply_msg_bytes,
         )
-        msg = yield inbox.get()
-        if not isinstance(msg, TransferDone):
-            raise TypeError(f"expected TransferDone, got {msg!r}")
+        expect_reply((yield inbox.get()), TransferDone, "DataReady")
 
         f = self.stripe_file(req.handle)
         data = self.node.space.read(staging, req.total_bytes)
         use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
-        plan = self._decide(req, f) if use_ads else None
+        plan = self._sieve_decide(ctx, req, f, use_ads)
 
-        yield self.disk_lock.request()
-        self._trace("iod.disk.start", f"rid={req.request_id}")
-        try:
-            if plan is not None and plan.use_sieving:
-                self.node.stats.add("pvfs.iod.sieve_writes", req.total_bytes)
-                yield from self._sieved_write(f, req, data, plan)
-            else:
-                self.node.stats.add("pvfs.iod.direct_writes", req.total_bytes)
-                yield from self._direct_write(f, req, data)
-            if req.mode & AccessMode.SYNC:
-                yield from f.fsync()
-        finally:
-            self._trace("iod.disk.end", f"rid={req.request_id}")
-            self.disk_lock.release()
+        with ctx.span(
+            "iod.disk_wait", node=self.name, parent=req.span, rid=req.request_id
+        ):
+            yield self.disk_lock.request()
+        with ctx.span(
+            "iod.disk", node=self.name, parent=req.span, rid=req.request_id
+        ) as disk_span:
+            try:
+                if plan is not None and plan.use_sieving:
+                    disk_span.attrs["sieved"] = True
+                    self.node.stats.add("pvfs.iod.sieve_writes", req.total_bytes)
+                    yield from self._sieved_write(f, req, data, plan)
+                else:
+                    disk_span.attrs["sieved"] = False
+                    self.node.stats.add("pvfs.iod.direct_writes", req.total_bytes)
+                    yield from self._direct_write(f, req, data)
+                if req.mode & AccessMode.SYNC:
+                    yield from f.fsync()
+            finally:
+                self.disk_lock.release()
 
         yield from qp.send(
             Done(
@@ -263,24 +301,34 @@ class IODaemon:
 
     # -- eager (Fast RDMA) paths --------------------------------------------
 
-    def _handle_eager_write(self, qp: QueuePair, req: IORequest) -> Generator:
+    def _handle_eager_write(
+        self, qp: QueuePair, req: IORequest, ctx: RequestContext
+    ) -> Generator:
         """Data was RDMA-written into our fast buffer before the request."""
         f = self.stripe_file(req.handle)
         data = self.node.space.read(req.eager_buffer, req.total_bytes)
         use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
-        plan = self._decide(req, f) if use_ads else None
-        yield self.disk_lock.request()
-        try:
-            if plan is not None and plan.use_sieving:
-                self.node.stats.add("pvfs.iod.sieve_writes", req.total_bytes)
-                yield from self._sieved_write(f, req, data, plan)
-            else:
-                self.node.stats.add("pvfs.iod.direct_writes", req.total_bytes)
-                yield from self._direct_write(f, req, data)
-            if req.mode & AccessMode.SYNC:
-                yield from f.fsync()
-        finally:
-            self.disk_lock.release()
+        plan = self._sieve_decide(ctx, req, f, use_ads)
+        with ctx.span(
+            "iod.disk_wait", node=self.name, parent=req.span, rid=req.request_id
+        ):
+            yield self.disk_lock.request()
+        with ctx.span(
+            "iod.disk", node=self.name, parent=req.span, rid=req.request_id
+        ) as disk_span:
+            try:
+                if plan is not None and plan.use_sieving:
+                    disk_span.attrs["sieved"] = True
+                    self.node.stats.add("pvfs.iod.sieve_writes", req.total_bytes)
+                    yield from self._sieved_write(f, req, data, plan)
+                else:
+                    disk_span.attrs["sieved"] = False
+                    self.node.stats.add("pvfs.iod.direct_writes", req.total_bytes)
+                    yield from self._direct_write(f, req, data)
+                if req.mode & AccessMode.SYNC:
+                    yield from f.fsync()
+            finally:
+                self.disk_lock.release()
         yield from qp.send(
             Done(
                 req.request_id,
@@ -292,22 +340,30 @@ class IODaemon:
         )
 
     def _handle_eager_read(
-        self, qp: QueuePair, req: IORequest, staging: int
+        self, qp: QueuePair, req: IORequest, staging: int, ctx: RequestContext
     ) -> Generator:
         """Push results straight into the client's fast buffer."""
         f = self.stripe_file(req.handle)
         use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
-        plan = self._decide(req, f) if use_ads else None
-        yield self.disk_lock.request()
-        try:
-            if plan is not None and plan.use_sieving:
-                self.node.stats.add("pvfs.iod.sieve_reads", req.total_bytes)
-                data = yield from self._sieved_read(f, req, plan)
-            else:
-                self.node.stats.add("pvfs.iod.direct_reads", req.total_bytes)
-                data = yield from self._direct_read(f, req)
-        finally:
-            self.disk_lock.release()
+        plan = self._sieve_decide(ctx, req, f, use_ads)
+        with ctx.span(
+            "iod.disk_wait", node=self.name, parent=req.span, rid=req.request_id
+        ):
+            yield self.disk_lock.request()
+        with ctx.span(
+            "iod.disk", node=self.name, parent=req.span, rid=req.request_id
+        ) as disk_span:
+            try:
+                if plan is not None and plan.use_sieving:
+                    disk_span.attrs["sieved"] = True
+                    self.node.stats.add("pvfs.iod.sieve_reads", req.total_bytes)
+                    data = yield from self._sieved_read(f, req, plan)
+                else:
+                    disk_span.attrs["sieved"] = False
+                    self.node.stats.add("pvfs.iod.direct_reads", req.total_bytes)
+                    data = yield from self._direct_read(f, req)
+            finally:
+                self.disk_lock.release()
         self.node.space.write(staging, data)
         yield from qp.rdma_write(
             [Segment(staging, req.total_bytes)], req.eager_buffer
@@ -359,33 +415,38 @@ class IODaemon:
     # -- read path -------------------------------------------------------------------------
 
     def _handle_read(
-        self, qp: QueuePair, req: IORequest, inbox: Store, staging: int
+        self, qp: QueuePair, req: IORequest, inbox: Store, staging: int,
+        ctx: RequestContext,
     ) -> Generator:
         f = self.stripe_file(req.handle)
         use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
-        plan = self._decide(req, f) if use_ads else None
+        plan = self._sieve_decide(ctx, req, f, use_ads)
 
-        yield self.disk_lock.request()
-        self._trace("iod.disk.start", f"rid={req.request_id}")
-        try:
-            if plan is not None and plan.use_sieving:
-                self.node.stats.add("pvfs.iod.sieve_reads", req.total_bytes)
-                data = yield from self._sieved_read(f, req, plan)
-            else:
-                self.node.stats.add("pvfs.iod.direct_reads", req.total_bytes)
-                data = yield from self._direct_read(f, req)
-        finally:
-            self._trace("iod.disk.end", f"rid={req.request_id}")
-            self.disk_lock.release()
+        with ctx.span(
+            "iod.disk_wait", node=self.name, parent=req.span, rid=req.request_id
+        ):
+            yield self.disk_lock.request()
+        with ctx.span(
+            "iod.disk", node=self.name, parent=req.span, rid=req.request_id
+        ) as disk_span:
+            try:
+                if plan is not None and plan.use_sieving:
+                    disk_span.attrs["sieved"] = True
+                    self.node.stats.add("pvfs.iod.sieve_reads", req.total_bytes)
+                    data = yield from self._sieved_read(f, req, plan)
+                else:
+                    disk_span.attrs["sieved"] = False
+                    self.node.stats.add("pvfs.iod.direct_reads", req.total_bytes)
+                    data = yield from self._direct_read(f, req)
+            finally:
+                self.disk_lock.release()
 
         self.node.space.write(staging, data)
         yield from qp.send(
             DataReady(req.request_id, staging, req.total_bytes),
             nbytes=self.testbed.reply_msg_bytes,
         )
-        msg = yield inbox.get()
-        if not isinstance(msg, ReleaseStaging):
-            raise TypeError(f"expected ReleaseStaging, got {msg!r}")
+        expect_reply((yield inbox.get()), ReleaseStaging, "read DataReady")
 
     def _direct_read(self, f: LocalFile, req: IORequest) -> Generator:
         cpu = self.testbed.server_access_cpu_us * len(req.file_segments)

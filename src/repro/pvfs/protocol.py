@@ -21,10 +21,11 @@ sends; each carries a modeled wire size so the time cost is accounted.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Type, TypeVar
 
 from repro.mem.segments import Segment
+from repro.sim.metrics import RequestContext, Span
 
 __all__ = [
     "AccessMode",
@@ -35,7 +36,29 @@ __all__ = [
     "TransferDone",
     "Done",
     "ReleaseStaging",
+    "ProtocolError",
+    "expect_reply",
 ]
+
+
+class ProtocolError(TypeError):
+    """A peer answered with a message of the wrong type."""
+
+
+_M = TypeVar("_M")
+
+
+def expect_reply(msg: object, cls: Type[_M], context: str = "") -> _M:
+    """Assert a reply's type and return it typed.
+
+    Every request/reply exchange in the client and the I/O daemon needs
+    the same check; centralizing it keeps the error message uniform and
+    gives callers back a correctly-typed value.
+    """
+    if not isinstance(msg, cls):
+        where = f" for {context}" if context else ""
+        raise ProtocolError(f"expected {cls.__name__}{where}, got {msg!r}")
+    return msg
 
 
 class AccessMode(enum.Flag):
@@ -73,6 +96,12 @@ class IORequest:
     already RDMA-written the packed data into; for a read, it names the
     *client-side* fast buffer the server should RDMA-write results into.
     ``None`` means the rendezvous (DataReady/staging) protocol.
+
+    ``ctx`` carries the request's :class:`~repro.sim.metrics.RequestContext`
+    so the I/O daemon's phases (queueing, sieve decision, disk) land in
+    the same span tree as the client's.  A real implementation would
+    carry only the request id; the simulator ships the object.  It is
+    excluded from equality so messages still compare by payload.
     """
 
     request_id: int
@@ -82,6 +111,9 @@ class IORequest:
     total_bytes: int
     mode: AccessMode = AccessMode.NONE
     eager_buffer: Optional[int] = None
+    ctx: Optional[RequestContext] = field(default=None, compare=False, repr=False)
+    # The client-side per-request span; server phases nest under it.
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.op not in ("read", "write"):

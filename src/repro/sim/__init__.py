@@ -33,6 +33,7 @@ from repro.sim.engine import (
     Simulator,
     Timeout,
 )
+from repro.sim.metrics import Histogram, MetricsRegistry, RequestContext, Span
 from repro.sim.resources import Lock, Resource, Store
 from repro.sim.stats import Counter, StatRegistry, TimeSeries
 from repro.sim.trace import TraceEvent, Tracer
@@ -42,12 +43,16 @@ __all__ = [
     "AnyOf",
     "Counter",
     "Event",
+    "Histogram",
     "Interrupt",
     "Lock",
+    "MetricsRegistry",
     "Process",
+    "RequestContext",
     "Resource",
     "SimulationError",
     "Simulator",
+    "Span",
     "StatRegistry",
     "Store",
     "TimeSeries",

@@ -1,0 +1,332 @@
+"""Request-lifecycle instrumentation: spans, phase histograms, export.
+
+The paper's Table 6 explains *totals* (request counts, registration
+counts, bytes moved); this module explains *where a request spent its
+time*.  Three pieces:
+
+- :class:`RequestContext` — created by the PVFS client when it issues a
+  list operation and carried through every layer (protocol message ->
+  I/O daemon -> transfer scheme).  Layers open hierarchical **spans**
+  (``client.prepare``, ``transfer.move``, ``iod.disk``, ...) with typed
+  attributes (bytes, segment counts, scheme name, ADS verdict, ...).
+- :class:`Histogram` / :class:`MetricsRegistry` — every closed span
+  feeds a per-phase latency histogram with p50/p95/p99, so a whole
+  workload run condenses into one small table.
+- JSON export (:meth:`MetricsRegistry.to_dict`) — the benchmark
+  harness and the ``python -m repro profile`` CLI consume this instead
+  of poking at raw counters.
+
+Spans are ordinary context managers, and they work across simulator
+yields because a ``with`` block in a generator stays open while the
+generator is suspended::
+
+    with ctx.span("iod.disk", node="iod0", rid=req.request_id) as sp:
+        yield self.disk_lock.request()
+        ...
+        sp.attrs["sieved"] = True
+
+When a :class:`~repro.sim.trace.Tracer` is attached to the context the
+span also emits the legacy ``<name>.start``/``<name>.end`` trace events,
+so existing timeline tooling keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["Histogram", "MetricsRegistry", "RequestContext", "Span"]
+
+
+# ---------------------------------------------------------------------------
+# Histograms
+# ---------------------------------------------------------------------------
+
+class Histogram:
+    """Latency distribution for one phase (values in simulated us).
+
+    Keeps the raw samples (runs are bounded by the simulator, and exact
+    percentiles beat bucketed estimates for reproducing paper tables).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def record(self, value: float) -> None:
+        self.values.append(value)
+        self._sorted = None
+
+    def merge(self, other: "Histogram") -> None:
+        self.values.extend(other.values)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile {p} outside [0, 100]")
+        if not self.values:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self.values)
+        rank = max(1, math.ceil(p / 100.0 * len(self._sorted)))
+        return self._sorted[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_us": self.total,
+            "mean_us": self.mean,
+            "min_us": self.min,
+            "max_us": self.max,
+            "p50_us": self.p50,
+            "p95_us": self.p95,
+            "p99_us": self.p99,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}: n={self.count}, p50={self.p50:g}us)"
+
+
+class MetricsRegistry:
+    """Per-phase histograms keyed by span name, cheap to export."""
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, Histogram] = {}
+
+    def phase(self, name: str) -> Histogram:
+        h = self._phases.get(name)
+        if h is None:
+            h = self._phases[name] = Histogram(name)
+        return h
+
+    def record(self, name: str, duration_us: float) -> None:
+        self.phase(name).record(duration_us)
+
+    def phases(self) -> List[str]:
+        return sorted(self._phases)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._phases
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        return {name: h.to_dict() for name, h in sorted(self._phases.items())}
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        self._phases.clear()
+
+
+# ---------------------------------------------------------------------------
+# Spans and the request context
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Span:
+    """One timed phase of a request, with typed attributes and children."""
+
+    name: str
+    node: str
+    start_us: float
+    end_us: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+    parent: Optional["Span"] = field(default=None, repr=False)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration_us(self) -> float:
+        if self.end_us is None:
+            raise ValueError(f"span {self.name!r} still open")
+        return self.end_us - self.start_us
+
+    @property
+    def closed(self) -> bool:
+        return self.end_us is not None
+
+    def walk(self):
+        """Yield this span and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`RequestContext.span`."""
+
+    __slots__ = ("_ctx", "_name", "_node", "_attrs", "_parent", "_detail", "span")
+
+    def __init__(
+        self,
+        ctx: "RequestContext",
+        name: str,
+        node: str,
+        attrs: dict,
+        parent: Optional[Span] = None,
+    ):
+        self._ctx = ctx
+        self._name = name
+        self._node = node
+        self._attrs = attrs
+        self._parent = parent
+        self._detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        ctx = self._ctx
+        parent = self._parent
+        if parent is None:
+            parent = ctx._open[-1] if ctx._open else None
+        span = Span(
+            self._name,
+            self._node,
+            ctx._clock(),
+            attrs=dict(self._attrs),
+            parent=parent,
+        )
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            ctx.roots.append(span)
+        ctx._open.append(span)
+        ctx._emit(self._node, f"{self._name}.start", self._detail)
+        self.span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        ctx = self._ctx
+        span = self.span
+        span.end_us = ctx._clock()
+        # Concurrent simulator processes may close spans out of LIFO
+        # order; remove wherever the span sits so nesting never crashes.
+        try:
+            ctx._open.remove(span)
+        except ValueError:  # pragma: no cover - double close
+            pass
+        if ctx.metrics is not None:
+            ctx.metrics.record(self._name, span.duration_us)
+        ctx._emit(self._node, f"{self._name}.end", self._detail)
+
+
+class RequestContext:
+    """Identity + instrumentation for one request's whole lifetime.
+
+    Created client-side when a list operation starts, shipped on every
+    :class:`~repro.pvfs.protocol.IORequest` so the I/O daemon's phases
+    land in the same tree (a real implementation would carry a request
+    id; the simulator carries the object).  All recording is optional:
+    without a ``metrics`` registry or ``tracer`` the context still
+    builds its span tree, which tests and debuggers can inspect.
+    """
+
+    _ids = iter(range(1, 1 << 62))
+
+    def __init__(
+        self,
+        op: str,
+        origin: str,
+        clock: Callable[[], float],
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ):
+        self.ctx_id = next(RequestContext._ids)
+        self.op = op
+        self.origin = origin
+        self._clock = clock
+        self.metrics = metrics
+        self.tracer = tracer
+        self.roots: List[Span] = []
+        self._open: List[Span] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        node: Optional[str] = None,
+        parent: Optional[Span] = None,
+        **attrs,
+    ) -> _SpanHandle:
+        """Open a timed phase.  Use as a context manager.
+
+        With no explicit ``parent`` the innermost open span is used —
+        right for sequential code, wrong across concurrent simulator
+        processes sharing one context, so code that fans out (one worker
+        per I/O node) passes ``parent`` explicitly.
+        """
+        return _SpanHandle(self, name, node or self.origin, attrs, parent)
+
+    def event(self, name: str, node: Optional[str] = None, **attrs) -> None:
+        """A point-in-time marker (tracer only; no histogram entry)."""
+        detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+        self._emit(node or self.origin, name, detail)
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to the innermost open span (if any)."""
+        if self._open:
+            self._open[-1].attrs.update(attrs)
+
+    def _emit(self, node: str, event: str, detail: str) -> None:
+        if self.tracer is not None:
+            self.tracer.record(node, event, detail)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._open[-1] if self._open else None
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with this name, in creation order."""
+        out = []
+        for root in self.roots:
+            out.extend(s for s in root.walk() if s.name == name)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<RequestContext #{self.ctx_id} op={self.op} origin={self.origin}"
+            f" roots={len(self.roots)} open={len(self._open)}>"
+        )

@@ -10,7 +10,7 @@ regenerate the table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["Counter", "TimeSeries", "StatRegistry"]
 
@@ -104,6 +104,20 @@ class StatRegistry:
             if d_count or d_total:
                 out[name] = (d_count, d_total)
         return out
+
+    def export(
+        self, since: Optional[Dict[str, Tuple[int, float]]] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Counters as JSON-friendly ``{name: {count, total}}`` dicts.
+
+        ``since`` restricts the export to deltas from a prior
+        :meth:`snapshot`; the cluster metrics export builds on this.
+        """
+        delta = self.diff(since) if since is not None else self.snapshot()
+        return {
+            name: {"count": count, "total": total}
+            for name, (count, total) in sorted(delta.items())
+        }
 
     def reset(self) -> None:
         self._counters.clear()

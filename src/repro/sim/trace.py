@@ -17,6 +17,7 @@ Usage::
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -32,13 +33,25 @@ class TraceEvent:
 
 
 class Tracer:
-    """Append-only trace with span matching and filtering."""
+    """Append-only trace with span matching and filtering.
 
-    def __init__(self, clock: Callable[[], float]):
+    ``max_events`` bounds memory on long benchmark runs: once the cap is
+    reached further events are counted in :attr:`dropped` instead of
+    stored (the kept prefix stays coherent for span matching).
+    """
+
+    def __init__(self, clock: Callable[[], float], max_events: Optional[int] = None):
+        if max_events is not None and max_events < 0:
+            raise ValueError("max_events must be >= 0")
         self._clock = clock
+        self.max_events = max_events
         self.events: List[TraceEvent] = []
+        self.dropped = 0
 
     def record(self, node: str, event: str, detail: str = "") -> None:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
         self.events.append(TraceEvent(self._clock(), node, event, detail))
 
     def __len__(self) -> int:
@@ -86,4 +99,21 @@ class Tracer:
         ]
         if limit is not None and len(self.events) > limit:
             lines.append(f"... {len(self.events) - limit} more events")
+        if self.dropped:
+            lines.append(f"... {self.dropped} events dropped (max_events={self.max_events})")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """The trace as plain data, for embedding in a metrics export."""
+        return {
+            "dropped": self.dropped,
+            "max_events": self.max_events,
+            "events": [
+                {"t_us": e.t, "node": e.node, "event": e.event, "detail": e.detail}
+                for e in self.events
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The trace as JSON, for offline tooling."""
+        return json.dumps(self.to_dict(), indent=indent)

@@ -18,7 +18,16 @@ server buffer, plus the paper's final hybrid:
 
 All schemes implement :class:`TransferScheme` and are exercised
 uniformly by the Figure 3/4 benchmarks and by the PVFS client.
+
+Schemes are also constructible **by name** through the registry, so
+benchmarks and the CLI select them with a config string::
+
+    from repro.transfer import get_scheme
+    scheme = get_scheme("hybrid", testbed=tb)     # the paper's design
+    scheme = get_scheme("gather")                  # gather + OGR
 """
+
+from typing import Callable, Dict, List, Optional
 
 from repro.transfer.base import TransferContext, TransferScheme
 from repro.transfer.multiple import MultipleMessage
@@ -33,4 +42,73 @@ __all__ = [
     "RdmaGatherScatter",
     "TransferContext",
     "TransferScheme",
+    "get_scheme",
+    "register_scheme",
+    "scheme_names",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Named registry
+# ---------------------------------------------------------------------------
+
+# Factory signature: factory(testbed, **kwargs) -> TransferScheme.  The
+# testbed is optional context (the hybrid derives its pack/gather
+# threshold from it); factories that don't need it ignore it.
+
+_SchemeFactory = Callable[..., TransferScheme]
+
+_REGISTRY: Dict[str, _SchemeFactory] = {}
+
+
+def register_scheme(name: str, factory: _SchemeFactory) -> None:
+    """Add (or replace) a named scheme factory in the registry."""
+    _REGISTRY[name.lower()] = factory
+
+
+def scheme_names() -> List[str]:
+    """The registered scheme names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scheme(name: str, testbed=None, **kwargs) -> TransferScheme:
+    """Construct a transfer scheme by registry name.
+
+    ``kwargs`` are forwarded to the scheme constructor, overriding the
+    registry's defaults (e.g. ``get_scheme("gather", strategy="one_region")``).
+    Raises ``ValueError`` for unknown names, listing what is available.
+    """
+    factory = _REGISTRY.get(name.lower())
+    if factory is None:
+        raise ValueError(
+            f"unknown transfer scheme {name!r}; "
+            f"available: {', '.join(scheme_names())}"
+        )
+    return factory(testbed=testbed, **kwargs)
+
+
+def _make_hybrid(testbed=None, **kw) -> TransferScheme:
+    kw.setdefault(
+        "threshold", testbed.fast_rdma_threshold if testbed is not None else None
+    )
+    return Hybrid(**kw)
+
+
+def _make_gather(testbed=None, **kw) -> TransferScheme:
+    kw.setdefault("strategy", "ogr")
+    return RdmaGatherScatter(**kw)
+
+
+def _make_pack(testbed=None, **kw) -> TransferScheme:
+    kw.setdefault("pooled", True)
+    return PackUnpack(**kw)
+
+
+def _make_multiple(testbed=None, **kw) -> TransferScheme:
+    return MultipleMessage(**kw)
+
+
+register_scheme("hybrid", _make_hybrid)
+register_scheme("gather", _make_gather)
+register_scheme("pack", _make_pack)
+register_scheme("multiple", _make_multiple)

@@ -3,14 +3,22 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Generator, Optional, Sequence
 
 from repro.ib.fast_rdma import FastRdmaPool
 from repro.ib.qp import QueuePair
 from repro.mem.segments import Segment, total_bytes, validate_segments
+from repro.sim.metrics import RequestContext, Span
 
 __all__ = ["TransferContext", "TransferScheme"]
+
+
+@contextmanager
+def _detached_span():
+    """Stand-in span for transfers run without a RequestContext."""
+    yield Span("detached", "", 0.0)
 
 
 @dataclass
@@ -23,7 +31,10 @@ class TransferContext:
     on the I/O nodes are usually contiguous").  ``prepared`` marks that
     the buffers were registered up front by :meth:`TransferScheme.prepare`
     for the whole list-I/O call, so the per-request transfer must not
-    deregister them.
+    deregister them.  ``request_ctx`` is the owning request's
+    :class:`~repro.sim.metrics.RequestContext`; schemes open spans and
+    attach attributes through it (no-ops when absent, so the Figure 3
+    micro-benchmarks can drive schemes without a PVFS request).
     """
 
     qp: QueuePair
@@ -31,6 +42,8 @@ class TransferContext:
     remote_addr: int
     pool: Optional[FastRdmaPool] = None  # client-side pre-registered buffers
     prepared: bool = False
+    request_ctx: Optional[RequestContext] = None
+    parent_span: Optional[Span] = None  # anchor for the scheme's sub-spans
 
     def __post_init__(self) -> None:
         self.mem_segments = list(self.mem_segments)
@@ -53,6 +66,23 @@ class TransferContext:
     @property
     def testbed(self):
         return self.qp.node.testbed
+
+    # -- instrumentation ---------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        """Open a span on the request context (detached no-op without one)."""
+        if self.request_ctx is not None:
+            return self.request_ctx.span(
+                name, node=self.qp.node.name, parent=self.parent_span, **attrs
+            )
+        return _detached_span()
+
+    def annotate(self, **attrs) -> None:
+        """Attach attributes to this transfer's span (or innermost open)."""
+        if self.parent_span is not None:
+            self.parent_span.attrs.update(attrs)
+        elif self.request_ctx is not None:
+            self.request_ctx.annotate(**attrs)
 
 
 class TransferScheme(ABC):

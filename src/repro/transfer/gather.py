@@ -55,12 +55,18 @@ class RdmaGatherScatter(TransferScheme):
         return reg.release(outcome, deregister=self.deregister_after)
 
     def _register(self, ctx: TransferContext) -> Generator:
-        reg = GroupRegistrar(
-            ctx.client.hca, ctx.client.space, query_via_proc=self.query_via_proc
-        )
-        outcome = reg.register(ctx.mem_segments, self.strategy)
-        if outcome.cost_us:
-            yield ctx.sim.timeout(outcome.cost_us)
+        with ctx.span(
+            "transfer.register",
+            strategy=self.strategy,
+            segments=len(ctx.mem_segments),
+        ) as sp:
+            reg = GroupRegistrar(
+                ctx.client.hca, ctx.client.space, query_via_proc=self.query_via_proc
+            )
+            outcome = reg.register(ctx.mem_segments, self.strategy)
+            sp.attrs["regions"] = len(outcome.regions)
+            if outcome.cost_us:
+                yield ctx.sim.timeout(outcome.cost_us)
         return reg, outcome
 
     def _release(self, ctx: TransferContext, reg, outcome) -> Generator:
@@ -73,12 +79,14 @@ class RdmaGatherScatter(TransferScheme):
         return cost
 
     def write(self, ctx: TransferContext) -> Generator:
+        ctx.annotate(scheme=self.name)
         reg, outcome = yield from self._register(ctx)
         n = yield from ctx.qp.rdma_write(ctx.mem_segments, ctx.remote_addr)
         yield from self._release(ctx, reg, outcome)
         return n
 
     def read(self, ctx: TransferContext) -> Generator:
+        ctx.annotate(scheme=self.name)
         reg, outcome = yield from self._register(ctx)
         n = yield from ctx.qp.rdma_read(ctx.remote_addr, ctx.mem_segments)
         yield from self._release(ctx, reg, outcome)

@@ -62,8 +62,10 @@ class Hybrid(TransferScheme):
 
     def write(self, ctx: TransferContext) -> Generator:
         scheme = self._pick(ctx)
+        ctx.annotate(hybrid_pick=scheme.name)
         return (yield from scheme.write(ctx))
 
     def read(self, ctx: TransferContext) -> Generator:
         scheme = self._pick(ctx)
+        ctx.annotate(hybrid_pick=scheme.name)
         return (yield from scheme.read(ctx))

@@ -46,6 +46,7 @@ class MultipleMessage(TransferScheme):
         *working* (merely slowly — registration thrashing) when the HCA
         table is smaller than the operation's working set.
         """
+        ctx.annotate(scheme=self.name, pieces=len(ctx.mem_segments))
         reg = self._registrar(ctx)
         cache = ctx.client.hca.pin_cache
         space = ctx.client.space

@@ -88,6 +88,7 @@ class PackUnpack(TransferScheme):
     def write(self, ctx: TransferContext) -> Generator:
         client = ctx.client
         total = ctx.total_bytes
+        ctx.annotate(scheme=self.name, segments=len(ctx.mem_segments))
         temp, cleanup, cap = yield from self._acquire_temp(ctx, total)
         moved = 0
         try:
@@ -107,6 +108,7 @@ class PackUnpack(TransferScheme):
     def read(self, ctx: TransferContext) -> Generator:
         client = ctx.client
         total = ctx.total_bytes
+        ctx.annotate(scheme=self.name, segments=len(ctx.mem_segments))
         temp, cleanup, cap = yield from self._acquire_temp(ctx, total)
         moved = 0
         try:

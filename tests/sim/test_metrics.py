@@ -1,0 +1,186 @@
+"""Tests for spans, per-phase histograms, and the request context."""
+
+import json
+
+import pytest
+
+from repro.calibration import KB
+from repro.pvfs import PVFSCluster
+from repro.sim.metrics import Histogram, MetricsRegistry, RequestContext
+from repro.sim.trace import Tracer
+
+
+class Clock:
+    """A settable fake simulation clock."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+# -- histograms --------------------------------------------------------------
+
+def test_histogram_percentiles_nearest_rank():
+    h = Histogram("x")
+    for v in range(1, 101):
+        h.record(float(v))
+    assert h.p50 == 50.0
+    assert h.p95 == 95.0
+    assert h.p99 == 99.0
+    assert h.percentile(0) == 1.0
+    assert h.percentile(100) == 100.0
+
+
+def test_histogram_single_sample():
+    h = Histogram("x")
+    h.record(10.0)
+    assert h.p50 == h.p95 == h.p99 == 10.0
+    assert h.mean == 10.0
+    assert h.min == h.max == 10.0
+
+
+def test_histogram_empty_and_bad_percentile():
+    h = Histogram("x")
+    assert h.p50 == 0.0
+    assert h.mean == 0.0
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_histogram_records_after_percentile_query():
+    # The sorted cache must invalidate on new samples.
+    h = Histogram("x")
+    h.record(5.0)
+    assert h.p50 == 5.0
+    h.record(1.0)
+    assert h.p50 == 1.0
+
+
+def test_histogram_merge_and_to_dict():
+    a, b = Histogram("a"), Histogram("b")
+    a.record(1.0)
+    b.record(3.0)
+    a.merge(b)
+    d = a.to_dict()
+    assert d["count"] == 2
+    assert d["total_us"] == 4.0
+    assert d["mean_us"] == 2.0
+    assert d["p99_us"] == 3.0
+
+
+def test_registry_round_trip():
+    m = MetricsRegistry()
+    m.record("iod.disk", 10.0)
+    m.record("iod.disk", 20.0)
+    m.record("client.op", 1.0)
+    assert m.phases() == ["client.op", "iod.disk"]
+    assert "iod.disk" in m
+    assert len(m) == 2
+    data = json.loads(m.to_json())
+    assert data["iod.disk"]["count"] == 2
+    assert data["iod.disk"]["total_us"] == 30.0
+    m.reset()
+    assert len(m) == 0
+
+
+# -- spans -------------------------------------------------------------------
+
+def test_span_nesting_durations_and_metrics():
+    clock = Clock()
+    m = MetricsRegistry()
+    ctx = RequestContext(op="write", origin="cn0", clock=clock, metrics=m)
+    with ctx.span("client.op", n=100) as op:
+        clock.t = 5.0
+        with ctx.span("client.prepare") as prep:
+            clock.t = 7.0
+        clock.t = 20.0
+    assert ctx.roots == [op]
+    assert op.children == [prep]
+    assert prep.parent is op
+    assert op.duration_us == 20.0
+    assert prep.duration_us == 2.0
+    assert op.attrs["n"] == 100
+    assert m.phase("client.op").count == 1
+    assert m.phase("client.prepare").total == 2.0
+
+
+def test_explicit_parent_across_interleaved_spans():
+    # Two concurrent simulator processes share a context; explicit
+    # parents keep attribution right even when closes interleave.
+    clock = Clock()
+    ctx = RequestContext("write", "cn0", clock)
+    with ctx.span("client.op") as op:
+        h1 = ctx.span("client.request", parent=op, rid=1)
+        h2 = ctx.span("client.request", parent=op, rid=2)
+        s1 = h1.__enter__()
+        s2 = h2.__enter__()
+        h1.__exit__(None, None, None)  # out of LIFO order
+        h2.__exit__(None, None, None)
+    assert [c.attrs["rid"] for c in op.children] == [1, 2]
+    assert s1.parent is op and s2.parent is op
+    assert s1.closed and s2.closed
+    assert not ctx._open
+
+
+def test_annotate_and_find():
+    ctx = RequestContext("read", "cn0", Clock())
+    with ctx.span("client.op"):
+        ctx.annotate(scheme="hybrid")
+        with ctx.span("transfer.move"):
+            ctx.annotate(path="eager")
+    (op,) = ctx.find("client.op")
+    (move,) = ctx.find("transfer.move")
+    assert op.attrs["scheme"] == "hybrid"
+    assert move.attrs["path"] == "eager"
+    assert ctx.find("nope") == []
+
+
+def test_open_span_duration_raises():
+    ctx = RequestContext("write", "cn0", Clock())
+    handle = ctx.span("client.op")
+    span = handle.__enter__()
+    assert ctx.current is span
+    with pytest.raises(ValueError):
+        span.duration_us
+
+
+def test_span_emits_legacy_trace_events():
+    clock = Clock()
+    tr = Tracer(lambda: clock.t)
+    ctx = RequestContext("write", "cn0", clock, tracer=tr)
+    with ctx.span("iod.disk", node="iod0", rid=3):
+        clock.t = 4.0
+    ctx.event("iod.request", node="iod0", rid=3)
+    spans = tr.spans("iod.disk")
+    assert len(spans) == 1
+    assert spans[0][2] == 4.0
+    assert spans[0][0].detail == "rid=3"
+    assert tr.filter("iod.request")
+
+
+# -- cluster integration -----------------------------------------------------
+
+def test_cluster_populates_phase_metrics():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    c = cluster.clients[0]
+    n = 256 * KB
+    addr = c.node.space.malloc(n)
+    c.node.space.write(addr, bytes(n))
+
+    def prog():
+        f = yield from c.open("/pfs/metrics")
+        yield from c.write(f, addr, 0, n)
+
+    cluster.run([prog()])
+    phases = cluster.metrics.to_dict()
+    for name in ("client.op", "client.request", "transfer.move", "iod.disk"):
+        assert name in phases, name
+        assert phases[name]["count"] > 0, name
+
+    export = cluster.metrics_export()
+    assert export["elapsed_us"] > 0
+    assert export["counters"]["pvfs.client.requests"]["count"] > 0
+    assert export["phases"] == phases
+    json.dumps(export)  # must be JSON-serializable as-is

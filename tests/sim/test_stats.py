@@ -79,3 +79,17 @@ def test_timeseries_record_and_values():
     ts.record(1.0, 200.0)
     assert ts.values() == [100.0, 200.0]
     assert len(ts) == 2
+
+
+def test_export_json_friendly():
+    reg = StatRegistry()
+    reg.add("b", 5)
+    reg.add("a", 1)
+    before = reg.snapshot()
+    reg.add("a", 2)
+    assert reg.export() == {
+        "a": {"count": 2, "total": 3.0},
+        "b": {"count": 1, "total": 5.0},
+    }
+    assert reg.export(since=before) == {"a": {"count": 1, "total": 2.0}}
+    assert list(reg.export()) == ["a", "b"]  # sorted for stable output

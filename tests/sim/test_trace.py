@@ -1,5 +1,7 @@
 """Tests for the event tracer and its cluster integration."""
 
+import json
+
 import pytest
 
 from repro.calibration import KB
@@ -62,6 +64,33 @@ def test_render_limit():
         tr.record("n", "e", str(i))
     out = tr.render(limit=3)
     assert "7 more events" in out
+
+
+def test_max_events_cap_counts_drops():
+    tr = Tracer(lambda: 0.0, max_events=2)
+    for i in range(5):
+        tr.record("n", "e", str(i))
+    assert len(tr) == 2
+    assert tr.dropped == 3
+    assert [e.detail for e in tr.events] == ["0", "1"]  # kept prefix
+    assert "3 events dropped (max_events=2)" in tr.render()
+
+
+def test_max_events_validation():
+    with pytest.raises(ValueError):
+        Tracer(lambda: 0.0, max_events=-1)
+
+
+def test_to_json_round_trip():
+    t = [1.5]
+    tr = Tracer(lambda: t[0])
+    tr.record("n0", "a", "d")
+    data = json.loads(tr.to_json())
+    assert data["dropped"] == 0
+    assert data["max_events"] is None
+    assert data["events"] == [
+        {"t_us": 1.5, "node": "n0", "event": "a", "detail": "d"}
+    ]
 
 
 # -- integration ------------------------------------------------------------------

@@ -1,8 +1,13 @@
 """Tests for the ``python -m repro`` experiment CLI."""
 
+import json
+import pathlib
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, main
+
+GOLDEN = pathlib.Path(__file__).parent / "data" / "profile_phases.json"
 
 
 def test_list_command(capsys):
@@ -41,3 +46,45 @@ def test_run_requires_ids():
 def test_every_experiment_id_has_runner():
     for name, fn in EXPERIMENTS.items():
         assert callable(fn), name
+
+
+def test_profile_command_table(capsys):
+    assert main(["profile", "blockcolumn", "--size", "256", "--scheme", "pack"]) == 0
+    out = capsys.readouterr().out
+    assert "Per-phase latency" in out
+    assert "p95 (us)" in out
+    assert "client.op" in out
+    assert "iod.disk" in out
+
+
+def test_profile_command_golden_phases(capsys):
+    # The gather scheme never rides the eager path, so even a small
+    # block-column run exercises every lifecycle phase.
+    assert (
+        main(
+            [
+                "profile",
+                "blockcolumn",
+                "--size",
+                "256",
+                "--scheme",
+                "gather",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    export = json.loads(capsys.readouterr().out)
+    golden = json.loads(GOLDEN.read_text())
+    assert sorted(export["phases"]) == golden["phases"]
+    for name in golden["phases"]:
+        h = export["phases"][name]
+        assert h["count"] > 0, name
+        assert h["p50_us"] <= h["p95_us"] <= h["p99_us"], name
+    assert export["workload"]["scheme"] == "gather"
+    assert export["elapsed_us"] > 0
+
+
+def test_profile_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        main(["profile", "blockcolumn", "--scheme", "bogus"])

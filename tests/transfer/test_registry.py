@@ -1,0 +1,99 @@
+"""Tests for the named transfer-scheme registry."""
+
+import pytest
+
+from repro.calibration import KB, paper_testbed
+from repro.pvfs import PVFSCluster
+from repro.transfer import (
+    Hybrid,
+    MultipleMessage,
+    PackUnpack,
+    RdmaGatherScatter,
+    get_scheme,
+    register_scheme,
+    scheme_names,
+)
+import repro.transfer as transfer_mod
+
+
+def test_scheme_names():
+    assert {"hybrid", "gather", "pack", "multiple"} <= set(scheme_names())
+
+
+def test_get_scheme_types_and_defaults():
+    tb = paper_testbed()
+    h = get_scheme("hybrid", testbed=tb)
+    assert isinstance(h, Hybrid)
+    assert h.threshold == tb.fast_rdma_threshold
+    g = get_scheme("gather")
+    assert isinstance(g, RdmaGatherScatter)
+    assert g.strategy == "ogr"
+    p = get_scheme("pack")
+    assert isinstance(p, PackUnpack)
+    assert p.pooled
+    assert isinstance(get_scheme("multiple"), MultipleMessage)
+
+
+def test_get_scheme_case_insensitive_with_overrides():
+    g = get_scheme("GATHER", strategy="one_region")
+    assert g.strategy == "one_region"
+    p = get_scheme("pack", pooled=False)
+    assert not p.pooled
+
+
+def test_unknown_scheme_lists_available():
+    with pytest.raises(ValueError) as e:
+        get_scheme("bogus")
+    msg = str(e.value)
+    assert "bogus" in msg
+    assert "hybrid" in msg
+
+
+def test_register_scheme_extends_registry():
+    register_scheme("test-dummy", lambda testbed=None, **kw: MultipleMessage())
+    try:
+        assert isinstance(get_scheme("test-dummy"), MultipleMessage)
+        assert "test-dummy" in scheme_names()
+    finally:
+        transfer_mod._REGISTRY.pop("test-dummy")
+
+
+def test_cluster_accepts_scheme_name():
+    cluster = PVFSCluster(n_clients=2, n_iods=2, scheme="pack")
+    assert all(c.scheme.name == "pack-pooled" for c in cluster.clients)
+    # Distinct instances per client: stateful schemes (buffer pools)
+    # must not be shared across nodes.
+    assert cluster.clients[0].scheme is not cluster.clients[1].scheme
+
+    c = cluster.clients[0]
+    n = 64 * KB
+    addr = c.node.space.malloc(n)
+    c.node.space.write(addr, bytes(range(256)) * (n // 256))
+
+    def prog():
+        f = yield from c.open("/pfs/by-name")
+        yield from c.write(f, addr, 0, n)
+
+    cluster.run([prog()])
+    assert cluster.logical_file_bytes("/pfs/by-name") == bytes(range(256)) * (
+        n // 256
+    )
+
+
+def test_client_accepts_scheme_name():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    from repro.pvfs.client import PVFSClient
+
+    base = cluster.clients[0]
+    qps = [conn.qp for conn in base.iod_conns]
+
+    # The client resolves strings through the same registry.
+    c = PVFSClient(
+        cluster.sim, cluster.client_nodes[0], base.manager_qp, qps, scheme="gather"
+    )
+    assert isinstance(c.scheme, RdmaGatherScatter)
+
+    with pytest.raises(ValueError):
+        PVFSClient(
+            cluster.sim, cluster.client_nodes[0], base.manager_qp, qps, scheme="nope"
+        )
