@@ -160,7 +160,8 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
 
 def _profile_report(args) -> str:
     export = runners.profile_workload(
-        args.workload, scheme=args.scheme, op=args.op, size=args.size
+        args.workload, scheme=args.scheme, op=args.op, size=args.size,
+        fault_rate=args.fault_rate, fault_seed=args.fault_seed,
     )
     if args.json:
         return json.dumps(export, indent=2, sort_keys=True)
@@ -184,7 +185,27 @@ def _profile_report(args) -> str:
         f" ({w['mb_per_s']:.1f} MB/s aggregate);"
         " totals sum concurrent requests, so they exceed elapsed"
     )
-    return str(t)
+    out = str(t)
+    faults = export.get("faults")
+    if faults is not None:
+        counters = export["counters"]
+
+        def n(name):
+            c = counters.get(name)
+            return c["count"] if c else 0
+
+        injected = ", ".join(
+            f"{hook}={cnt}" for hook, cnt in faults["injected"].items()
+        ) or "none"
+        out += (
+            f"\nfaults (seed {faults['seed']}): injected {injected}"
+            f"\nrecovery: client retries {n('pvfs.client.retries')},"
+            f" timeouts {n('pvfs.client.timeouts')},"
+            f" retransmits {n('ib.retransmits')},"
+            f" disk retries {n('pvfs.iod.disk_retries')},"
+            f" degraded iods {len(faults['degraded_iods'])}"
+        )
+    return out
 
 
 def _calibration() -> str:
@@ -229,6 +250,21 @@ def main(argv=None) -> int:
     )
     prof.add_argument(
         "--json", action="store_true", help="dump the raw metrics export as JSON"
+    )
+    prof.add_argument(
+        "--fault-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="inject faults at every hook site with probability P "
+        "(deterministic for a fixed --fault-seed)",
+    )
+    prof.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed for the injected-fault schedule (default 0)",
     )
     args = parser.parse_args(argv)
 

@@ -20,7 +20,7 @@ from repro.mem.segments import Segment
 from repro.mpiio import Hints, Method
 from repro.mpiio.app import mpi_run
 from repro.pvfs import PVFSCluster
-from repro.sim import Simulator
+from repro.sim import FaultPlan, Simulator
 from repro.transfer import (
     Hybrid,
     MultipleMessage,
@@ -521,6 +521,8 @@ def profile_workload(
     op: str = "write",
     size: int = 1024,
     include_trace: bool = False,
+    fault_rate: Optional[float] = None,
+    fault_seed: int = 0,
 ) -> Dict[str, object]:
     """Run one MPI-IO workload and return the cluster metrics export.
 
@@ -531,6 +533,11 @@ def profile_workload(
     every phase is exercised; ``scheme`` is a transfer-registry name.
     For reads the file is populated first (untimed, excluded from the
     export).
+
+    ``fault_rate`` arms a :class:`repro.sim.FaultPlan.uniform` plan with
+    that per-hook-site probability (seeded by ``fault_seed``) on the
+    timed pass only; the export then carries a ``faults`` section and
+    nonzero retry counters.
     """
     if workload not in PROFILE_WORKLOADS:
         raise ValueError(
@@ -553,6 +560,9 @@ def profile_workload(
     if op == "read":
         mpi_run(cluster, w.program("write", Hints(method=Method.LIST_IO)))
         cluster.metrics.reset()  # only profile the timed pass
+    if fault_rate:
+        # Armed after any populate pass so only the timed run sees faults.
+        cluster.set_fault_plan(FaultPlan.uniform(fault_rate, seed=fault_seed))
     since = cluster.stats.snapshot()
     start = cluster.sim.now
     mpi_run(cluster, w.program(op, Hints(method=Method.LIST_IO_ADS)))

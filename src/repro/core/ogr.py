@@ -39,6 +39,7 @@ from repro.ib.hca import HCA
 from repro.ib.registration import MemoryRegion, RegistrationError
 from repro.mem.address_space import AddressSpace
 from repro.mem.segments import Segment, coalesce, extent
+from repro.sim.faults import InjectedFault
 
 __all__ = ["plan_groups", "RegistrationOutcome", "GroupRegistrar"]
 
@@ -49,6 +50,10 @@ QueryMethod = Literal["syscall", "proc", "mincore", "probe"]
 # register the buffers as given (Section 4.3: "if there are not too many
 # buffers inside the failed region, we simply allocate them as given").
 DEFAULT_QUERY_THRESHOLD = 8
+
+# Transient (injected) registration failures are retried this many extra
+# times before a group falls back to per-segment registration.
+FAULT_RETRIES = 2
 
 
 def plan_groups(segments: Sequence[Segment], testbed: Testbed) -> List[Segment]:
@@ -181,11 +186,31 @@ class GroupRegistrar:
 
     # -- strategies ------------------------------------------------------------------
 
+    def _acquire(self, addr: int, length: int):
+        """Pin-cache acquire that rides out transient (injected) failures.
+
+        A real verbs layer re-posts a registration that fails under
+        firmware pressure; we model that as up to :data:`FAULT_RETRIES`
+        immediate re-attempts, counted as ``ib.reg.retries``.  A fault
+        that persists past the budget propagates to the caller's
+        fallback path.  Genuine :class:`RegistrationError` (unmapped
+        pages, full table) is never retried — retrying cannot fix it.
+        """
+        cache = self.hca.pin_cache
+        failures = 0
+        while True:
+            try:
+                return cache.acquire(self.space, addr, length)
+            except InjectedFault:
+                failures += 1
+                self.hca.stats.add("ib.reg.retries")
+                if failures > FAULT_RETRIES:
+                    raise
+
     def _register_each(self, segs: Sequence[Segment]) -> RegistrationOutcome:
         out = RegistrationOutcome()
-        cache = self.hca.pin_cache
         for s in segs:
-            region, cost = cache.acquire(self.space, s.addr, s.length)
+            region, cost = self._acquire(s.addr, s.length)
             out.regions.append(region)
             out.cost_us += cost
             if cost == 0.0:
@@ -200,10 +225,22 @@ class GroupRegistrar:
     ) -> RegistrationOutcome:
         """Steps 2+3: optimistic registration with hole fallback."""
         out = RegistrationOutcome()
-        cache = self.hca.pin_cache
         for group in candidates:
             try:
-                region, cost = cache.acquire(self.space, group.addr, group.length)
+                region, cost = self._acquire(group.addr, group.length)
+            except InjectedFault:
+                # The grouped registration failed persistently even after
+                # retries: degrade to per-segment registration, the shape
+                # least likely to keep tripping the same failure.
+                out.optimistic_failures += 1
+                out.cost_us += self.testbed.reg_cost_us(group.length)
+                inside = [
+                    s
+                    for s in fallback_segments
+                    if s.addr >= group.addr and s.end <= group.end
+                ]
+                out.merge(self._register_each(inside))
+                continue
             except RegistrationError:
                 out.optimistic_failures += 1
                 # A failed pin attempt costs a registration attempt.
@@ -278,9 +315,8 @@ class GroupRegistrar:
         self, regions: Sequence[Segment]
     ) -> RegistrationOutcome:
         out = RegistrationOutcome()
-        cache = self.hca.pin_cache
         for r in regions:
-            region, cost = cache.acquire(self.space, r.addr, r.length)
+            region, cost = self._acquire(r.addr, r.length)
             out.regions.append(region)
             out.cost_us += cost
             if cost == 0.0:

@@ -64,6 +64,8 @@ class LocalFile:
         if offset < 0 or length < 0:
             raise ValueError("negative offset/length")
         fs = self.fs
+        if fs.faults is not None:
+            fs.faults.check("disk.read", node=fs.name, detail=self.name)
         fs.stats.add("disk.read.calls", length)
         if length == 0:
             yield fs.sim.timeout(fs.cost.seek_us())
@@ -82,6 +84,8 @@ class LocalFile:
         if offset < 0:
             raise ValueError("negative offset")
         fs = self.fs
+        if fs.faults is not None:
+            fs.faults.check("disk.write", node=fs.name, detail=self.name)
         length = len(data)
         fs.stats.add("disk.write.calls", length)
         if length == 0:
@@ -146,6 +150,8 @@ class LocalFileSystem:
         self.stats = stats if stats is not None else StatRegistry()
         self.name = name
         self.cost = DiskCostModel(testbed)
+        # Fault-injection plan; attached by the cluster (None = healthy).
+        self.faults = None
         self.cache = PageCache(testbed, self.stats, enabled=cache_enabled)
         self._files: Dict[str, LocalFile] = {}
         self._next_id = 0

@@ -49,6 +49,9 @@ class FastRdmaPool:
 
     def acquire(self) -> Generator:
         """Yield-able: returns a free buffer address, blocking if exhausted."""
+        plan = getattr(self.node, "faults", None)
+        if plan is not None:
+            plan.check("staging.acquire", node=self.node.name)
         addr = yield self._free.get()
         return addr
 

@@ -72,6 +72,8 @@ class Node:
         self.testbed = testbed
         self.name = name
         self.stats = stats if stats is not None else StatRegistry()
+        # Fault-injection plan; attached by the cluster (None = healthy).
+        self.faults = None
         self.space = AddressSpace(page_size=testbed.page_size, name=name)
         self.hca = HCA(
             sim,

@@ -35,6 +35,10 @@ class QueuePair:
         self.peer_node = peer_node
         self.recv_queue = Store(sim, name=f"{node.name}<-{peer_node.name}")
         self.peer: Optional["QueuePair"] = None  # set by connect()
+        # Exempt from fault injection (e.g. the MPI communicator's QPs:
+        # MPI transports are reliable; the fault layer targets the PVFS
+        # I/O path, which owns timeout/retry recovery).
+        self.fault_exempt = False
 
     # -- internals -----------------------------------------------------------
 
@@ -58,6 +62,29 @@ class QueuePair:
                 f"{self.peer_node.name}: remote window [{addr:#x}, +{length}) "
                 "is not registered"
             )
+
+    def _fault_check(self, hook: str) -> None:
+        """Consult the node's fault plan (if any) before posting a WR.
+
+        Mirrors a completion-with-error on the initiator's queue: the
+        work request is rejected before any bytes move, so a retransmit
+        sees clean state.
+        """
+        if self.fault_exempt:
+            return
+        plan = getattr(self.node, "faults", None)
+        if plan is not None:
+            plan.check(hook, node=self.node.name)
+
+    def _recv_dropped(self) -> bool:
+        """True when the peer's fault plan eats this delivery in flight."""
+        if self.fault_exempt:
+            return False
+        plan = getattr(self.peer_node, "faults", None)
+        if plan is not None and plan.fires("qp.recv", node=self.peer_node.name):
+            self.node.stats.add("ib.recv.dropped")
+            return True
+        return False
 
     def _charge(self, cost_us: float, nbytes: int, op: str) -> Generator:
         """Hold the send engine for ``cost_us`` and account stats."""
@@ -89,6 +116,7 @@ class QueuePair:
         self._check_local(segments)
         nbytes = total_bytes(segments)
         self._check_remote(remote_addr, nbytes)
+        self._fault_check("rdma.write")
 
         model = self.node.hca.model
         cost = model.rdma_write_us(
@@ -119,6 +147,7 @@ class QueuePair:
         self._check_local(segments)
         nbytes = total_bytes(segments)
         self._check_remote(remote_addr, nbytes)
+        self._fault_check("rdma.read")
 
         model = self.node.hca.model
         cost = model.rdma_read_us(
@@ -144,10 +173,15 @@ class QueuePair:
         """
         if nbytes < 0:
             raise ValueError("negative message size")
+        self._fault_check("qp.send")
         cost = self.node.hca.model.send_us(nbytes)
         yield from self._charge(cost, nbytes, "send")
         if self.peer is None:
             raise RuntimeError("queue pair is not connected")
+        if self._recv_dropped():
+            # Receive completion lost: the wire time was spent but the
+            # message never lands.  Recovery is the requester's timeout.
+            return nbytes
         yield self.peer.recv_queue.put(payload)
         return nbytes
 

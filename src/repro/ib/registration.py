@@ -65,6 +65,7 @@ class RegistrationTable:
     testbed: Testbed
     stats: StatRegistry = field(default_factory=StatRegistry)
     name: str = ""
+    faults: object = None  # FaultPlan, attached by the cluster
 
     def __post_init__(self) -> None:
         self._regions: Dict[int, MemoryRegion] = {}
@@ -88,6 +89,10 @@ class RegistrationTable:
         """
         if length <= 0:
             raise ValueError(f"registration length must be positive, got {length}")
+        if self.faults is not None:
+            # Transient pin failure (HCA firmware under translation-table
+            # pressure); callers retry or fall back to smaller regions.
+            self.faults.check("reg.register", node=self.name)
         if len(self._regions) >= self.testbed.max_registrations:
             raise RegistrationError(
                 f"HCA {self.name!r} translation table full "

@@ -39,6 +39,10 @@ class MpiComm:
         for i in range(n):
             for j in range(i + 1, n):
                 qi, qj = connect(sim, nodes[i], nodes[j])
+                # MPI's transport is reliable; fault injection targets
+                # the PVFS I/O path (which owns timeout/retry recovery),
+                # not intra-application messaging.
+                qi.fault_exempt = qj.fault_exempt = True
                 self.qps[i][j] = qi
                 self.qps[j][i] = qj
 

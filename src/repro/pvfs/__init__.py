@@ -18,6 +18,13 @@ The pieces (mirroring PVFS 1.5.x as the paper describes it):
 """
 
 from repro.pvfs.striping import StripeLayout, StripedPiece
+from repro.pvfs.errors import (
+    DegradedError,
+    PVFSError,
+    RequestTimeout,
+    RetryPolicy,
+    ServerError,
+)
 from repro.pvfs.protocol import (
     AccessMode,
     DataReady,
@@ -36,6 +43,7 @@ from repro.pvfs.cluster import PVFSCluster
 __all__ = [
     "AccessMode",
     "DataReady",
+    "DegradedError",
     "Done",
     "FileMeta",
     "IODaemon",
@@ -45,8 +53,12 @@ __all__ = [
     "OpenRequest",
     "PVFSClient",
     "PVFSCluster",
+    "PVFSError",
     "PVFSFile",
     "ReleaseStaging",
+    "RequestTimeout",
+    "RetryPolicy",
+    "ServerError",
     "StripeLayout",
     "StripedPiece",
     "TransferDone",

@@ -28,6 +28,12 @@ from repro.ib.fast_rdma import FastRdmaPool
 from repro.ib.hca import Node
 from repro.ib.qp import QueuePair
 from repro.mem.segments import Segment
+from repro.pvfs.errors import (
+    DegradedError,
+    RequestTimeout,
+    RetryPolicy,
+    ServerError,
+)
 from repro.pvfs.protocol import (
     AccessMode,
     DataReady,
@@ -45,13 +51,24 @@ from repro.pvfs.protocol import (
 )
 from repro.pvfs.striping import StripeLayout, StripedPiece
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultError, InjectedFault
 from repro.sim.metrics import MetricsRegistry, RequestContext
 from repro.sim.resources import Store
-from repro.transfer.base import TransferContext, TransferScheme
+from repro.transfer.base import TransferContext, TransferScheme, rdma_with_retry
 
 __all__ = ["PVFSClient", "PVFSFile"]
 
 DEFAULT_MAX_REQUEST_BYTES = 4 * MB
+
+# Client-side transient send faults are retried this many extra times
+# before the whole attempt is failed (and the request-level retry loop
+# takes over with its exponential backoff).
+SEND_RETRIES = 2
+SEND_RETRY_BACKOFF_US = 50.0
+
+# Sentinel a reply-wait timeout resolves with (so a None reply payload
+# cannot be confused with a deadline expiry).
+_TIMED_OUT = object()
 
 
 class _Connection:
@@ -85,7 +102,14 @@ class _Connection:
             rid = getattr(msg, "request_id", None)
             if rid is None:
                 raise TypeError(f"client got unroutable message {msg!r}")
-            self.inbox(rid).put(msg)
+            box = self._inboxes.get(rid)
+            if box is None:
+                # A reply for a request we already finished or abandoned
+                # (e.g. a duplicate Done after a dedup replay raced the
+                # original).  Drop it; recreating the inbox would leak.
+                self.qp.node.stats.add("pvfs.client.orphan_replies")
+                continue
+            box.put(msg)
 
 
 @dataclass
@@ -126,6 +150,7 @@ class PVFSClient:
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         eager_buffers: Optional[Sequence[Sequence[int]]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         from repro.transfer import get_scheme
 
@@ -148,6 +173,11 @@ class PVFSClient:
         self._mgr_inbox = _Connection(sim, manager_qp)
         self.tracer = None  # set by PVFSCluster.enable_tracing
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.retry = retry if retry is not None else RetryPolicy()
+        # I/O nodes whose requests exhausted every retry: further requests
+        # fail fast with DegradedError instead of burning timeout cycles.
+        self.failed_iods: set = set()
+        self.on_degraded = None  # set by PVFSCluster to fan the mark out
 
     def new_context(self, op: str) -> RequestContext:
         """A fresh request-lifecycle context for one list operation."""
@@ -184,19 +214,137 @@ class PVFSClient:
         reg.release(outcome, deregister=False)
         return outcome
 
+    # -- recovery plumbing -----------------------------------------------------
+
+    def _send(self, qp: QueuePair, msg, nbytes: int) -> Generator:
+        """qp.send riding out transient injected send faults.
+
+        Persistent failure re-raises; the request-level retry loop (or
+        the caller's own loop) owns the longer backoff."""
+        failures = 0
+        while True:
+            try:
+                return (yield from qp.send(msg, nbytes=nbytes))
+            except InjectedFault:
+                failures += 1
+                self.node.stats.add("pvfs.client.send_retries")
+                if failures > SEND_RETRIES:
+                    raise
+                yield self.sim.timeout(SEND_RETRY_BACKOFF_US * failures)
+
+    def _await_reply(self, inbox: Store, attempt: int, what: str) -> Generator:
+        """Next reply for this attempt, or :class:`RequestTimeout`.
+
+        Replies tagged with an older attempt number are leftovers of an
+        exchange we already abandoned; they are dropped, not errors.  The
+        per-wait timeout event is canceled as soon as a reply wins the
+        race so an abandoned deadline never stretches simulated time.
+        """
+        deadline = self.retry.timeout_us
+        while True:
+            get = inbox.get()
+            to = self.sim.timeout(deadline, value=_TIMED_OUT)
+            result = yield self.sim.any_of([get, to])
+            if result is _TIMED_OUT:
+                if not get.triggered:
+                    get.cancel()
+                    self.node.stats.add("pvfs.client.timeouts")
+                    raise RequestTimeout(what, deadline, attempt)
+                # The reply raced in at the very deadline: take it.
+                result = get.value
+            if not to.processed:
+                to.cancel()
+            if getattr(result, "attempt", attempt) != attempt:
+                self.node.stats.add("pvfs.client.stale_replies")
+                continue
+            return result
+
+    def _retry_loop(
+        self, conn: _Connection, iod: int, rid: int, ctx: RequestContext,
+        what: str, attempt_fn,
+    ) -> Generator:
+        """Run ``attempt_fn(attempt)`` under the retry policy.
+
+        Timeouts, injected faults, and server-reported errors trigger an
+        idempotent re-issue (same request id, bumped attempt number)
+        after capped exponential backoff.  Exhaustion marks the I/O node
+        failed and surfaces a typed error — never a hang.
+        """
+        policy = self.retry
+        last_exc: Optional[BaseException] = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.node.stats.add("pvfs.client.retries")
+                ctx.event(
+                    "client.retry", node=self.node.name, rid=rid,
+                    attempt=attempt, cause=type(last_exc).__name__,
+                )
+                yield self.sim.timeout(policy.backoff_us(attempt))
+            try:
+                result = yield from attempt_fn(attempt)
+            except RequestTimeout as exc:
+                last_exc = exc
+            except (FaultError, ServerError) as exc:
+                last_exc = exc
+            else:
+                conn.close_inbox(rid)
+                return result
+        conn.close_inbox(rid)
+        self.failed_iods.add(iod)
+        self.node.stats.add("pvfs.client.iod_failures")
+        ctx.event(
+            "client.iod_failed", node=self.node.name, iod=iod, rid=rid,
+            cause=type(last_exc).__name__,
+        )
+        if self.on_degraded is not None:
+            self.on_degraded(iod)
+        if isinstance(last_exc, RequestTimeout):
+            raise DegradedError(iod, what=what, cause=last_exc) from last_exc
+        raise last_exc
+
+    def _trace_retry(self, what: str, attempt: int, cause: BaseException) -> None:
+        """RPC retries outside a request context still reach the tracer."""
+        if self.tracer is not None:
+            self.tracer.record(
+                self.node.name, "client.retry",
+                f"what={what} attempt={attempt} cause={type(cause).__name__}",
+            )
+
+    def _mgr_rpc(self, build_msg, reply_cls, what: str) -> Generator:
+        """A manager RPC with timeout/retry; fresh request id per attempt
+        (manager operations are idempotent, so re-issue is safe)."""
+        policy = self.retry
+        last_exc: Optional[BaseException] = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.node.stats.add("pvfs.client.retries")
+                self._trace_retry(what, attempt, last_exc)
+                yield self.sim.timeout(policy.backoff_us(attempt))
+            rid = next(self._rid)
+            inbox = self._mgr_inbox.inbox(rid)
+            try:
+                yield from self._send(
+                    self.manager_qp, build_msg(rid),
+                    self.testbed.request_msg_bytes,
+                )
+                msg = yield from self._await_reply(inbox, 0, what)
+                reply = expect_reply(msg, reply_cls, what)
+            except (RequestTimeout, FaultError) as exc:
+                last_exc = exc
+                self._mgr_inbox.close_inbox(rid)
+                continue
+            self._mgr_inbox.close_inbox(rid)
+            return reply
+        raise last_exc
+
     # -- namespace -----------------------------------------------------------
 
     def open(self, path: str, create: bool = True) -> Generator:
         """Open (or create) a file; returns a :class:`PVFSFile`."""
-        rid = next(self._rid)
-        yield from self.manager_qp.send(
-            OpenRequest(path, create=create, request_id=rid),
-            nbytes=self.testbed.request_msg_bytes,
+        reply = yield from self._mgr_rpc(
+            lambda rid: OpenRequest(path, create=create, request_id=rid),
+            OpenReply, "open",
         )
-        reply = expect_reply(
-            (yield self._mgr_inbox.inbox(rid).get()), OpenReply, "open"
-        )
-        self._mgr_inbox.close_inbox(rid)
         layout = StripeLayout(reply.stripe_size, reply.n_iods, reply.base_iod)
         return PVFSFile(self, path, reply.handle, layout, size=reply.size)
 
@@ -207,27 +355,45 @@ class PVFSClient:
         the namespace and the I/O daemons own the stripe files; both are
         told.
         """
-        rid = next(self._rid)
-        yield from self.manager_qp.send(
-            UnlinkRequest(path, request_id=rid),
-            nbytes=self.testbed.request_msg_bytes,
+        reply = yield from self._mgr_rpc(
+            lambda rid: UnlinkRequest(path, request_id=rid),
+            UnlinkReply, "unlink",
         )
-        reply = expect_reply(
-            (yield self._mgr_inbox.inbox(rid).get()), UnlinkReply, "unlink"
-        )
-        self._mgr_inbox.close_inbox(rid)
         if reply.handle is None:
             return False
         for conn in self.iod_conns:
-            srid = next(self._rid)
-            inbox = conn.inbox(srid)
-            yield from conn.qp.send(
-                StripeUnlink(srid, reply.handle),
-                nbytes=self.testbed.request_msg_bytes,
+            yield from self._iod_rpc(
+                conn, lambda rid: StripeUnlink(rid, reply.handle),
+                "stripe unlink",
             )
-            expect_reply((yield inbox.get()), Done, "stripe unlink")
-            conn.close_inbox(srid)
         return True
+
+    def _iod_rpc(self, conn: _Connection, build_msg, what: str) -> Generator:
+        """A small Done-answered I/O-daemon RPC (fsync, stripe unlink)
+        with timeout/retry; fresh request id per attempt."""
+        policy = self.retry
+        last_exc: Optional[BaseException] = None
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                self.node.stats.add("pvfs.client.retries")
+                self._trace_retry(what, attempt, last_exc)
+                yield self.sim.timeout(policy.backoff_us(attempt))
+            rid = next(self._rid)
+            inbox = conn.inbox(rid)
+            try:
+                yield from self._send(
+                    conn.qp, build_msg(rid), self.testbed.request_msg_bytes
+                )
+                done = expect_reply(
+                    (yield from self._await_reply(inbox, 0, what)), Done, what
+                )
+            except (RequestTimeout, FaultError) as exc:
+                last_exc = exc
+                conn.close_inbox(rid)
+                continue
+            conn.close_inbox(rid)
+            return done
+        raise last_exc
 
     def fsync(self, f: PVFSFile) -> Generator:
         """pvfs_fsync: flush the file's dirty data on every I/O node.
@@ -237,14 +403,9 @@ class PVFSClient:
         """
 
         def one(conn):
-            rid = next(self._rid)
-            inbox = conn.inbox(rid)
-            yield from conn.qp.send(
-                FsyncRequest(rid, f.handle),
-                nbytes=self.testbed.request_msg_bytes,
+            done = yield from self._iod_rpc(
+                conn, lambda rid: FsyncRequest(rid, f.handle), "fsync"
             )
-            done = expect_reply((yield inbox.get()), Done, "fsync")
-            conn.close_inbox(rid)
             return done.nbytes
 
         workers = [self.sim.process(one(conn)) for conn in self.iod_conns]
@@ -341,9 +502,19 @@ class PVFSClient:
                 scheme=self.scheme.name,
                 segments=len(mem_segments),
             ) as prep_span:
-                prep_state, prep_cost = self.scheme.prepare(
-                    self.node.hca, self.node.space, mem_segments
-                )
+                try:
+                    prep_state, prep_cost = self.scheme.prepare(
+                        self.node.hca, self.node.space, mem_segments
+                    )
+                except FaultError:
+                    # Registration faults are already retried (and group
+                    # registration falls back to per-segment) inside the
+                    # registrar; one whole-prepare re-run covers the rare
+                    # case where that still was not enough.
+                    self.node.stats.add("pvfs.client.prepare_retries")
+                    prep_state, prep_cost = self.scheme.prepare(
+                        self.node.hca, self.node.space, mem_segments
+                    )
                 prep_span.attrs["registered"] = prep_state is not None
                 if prep_cost:
                     yield self.sim.timeout(prep_cost)
@@ -385,7 +556,7 @@ class PVFSClient:
         total = 0
         for batch in self._batches(pieces):
             total += yield from self._one_request(
-                f, conn, batch, op, mode, prepared, ctx, op_span
+                f, conn, iod, batch, op, mode, prepared, ctx, op_span
             )
         return total
 
@@ -457,6 +628,7 @@ class PVFSClient:
         self,
         f: PVFSFile,
         conn: _Connection,
+        iod: int,
         batch: List[StripedPiece],
         op: str,
         mode: AccessMode,
@@ -464,6 +636,10 @@ class PVFSClient:
         ctx: RequestContext,
         op_span,
     ) -> Generator:
+        if iod in self.failed_iods:
+            # Fail fast: a previous request already exhausted its retries
+            # against this I/O node.
+            raise DegradedError(iod, what=f"{op} not attempted: iod{iod} is down")
         rid = next(self._rid)
         file_segs = self._coalesce_file_segs(batch)
         mem_segs = [p.mem for p in batch]
@@ -485,77 +661,135 @@ class PVFSClient:
                     req_span.attrs["path"] = "eager"
                     return (
                         yield from self._eager_write(
-                            f, conn, rid, file_segs, mem_segs, total, mode,
-                            ctx, req_span,
+                            f, conn, iod, rid, file_segs, mem_segs, total,
+                            mode, ctx, req_span,
                         )
                     )
-                if op == "read" and self.pool.fits(total) and self.pool.free_count:
+                if op == "read" and self.pool.free_count:
                     req_span.attrs["path"] = "eager"
                     return (
                         yield from self._eager_read(
-                            f, conn, rid, file_segs, mem_segs, total, mode,
-                            ctx, req_span,
+                            f, conn, iod, rid, file_segs, mem_segs, total,
+                            mode, ctx, req_span,
                         )
                     )
 
             req_span.attrs["path"] = "rendezvous"
-            req = IORequest(
-                request_id=rid,
-                handle=f.handle,
-                op=op,
-                file_segments=file_segs,
-                total_bytes=total,
-                mode=mode,
-                ctx=ctx,
-                span=req_span,
-            )
-            self.node.stats.add("pvfs.client.requests", total)
-            inbox = conn.inbox(rid)
-            yield from conn.qp.send(req, nbytes=self.testbed.request_msg_bytes)
-            ready = expect_reply((yield inbox.get()), DataReady, "IORequest")
-            tctx = TransferContext(
-                qp=conn.qp,
-                mem_segments=mem_segs,
-                remote_addr=ready.staging_addr,
-                pool=self.pool,
-                prepared=prepared,
-                request_ctx=ctx,
-            )
-            if op == "write":
-                with ctx.span(
-                    "transfer.move", parent=req_span, rid=rid, n=total,
-                    segments=len(mem_segs), scheme=self.scheme.name,
-                ) as move_span:
-                    tctx.parent_span = move_span
-                    yield from self.scheme.write(tctx)
-                yield from conn.qp.send(
-                    TransferDone(rid), nbytes=self.testbed.reply_msg_bytes
+
+            def attempt_fn(attempt):
+                return self._rendezvous_attempt(
+                    f, conn, rid, attempt, file_segs, mem_segs, total, op,
+                    mode, prepared, ctx, req_span,
                 )
-                done = expect_reply((yield inbox.get()), Done, "TransferDone")
-                if done.error:
-                    raise RuntimeError(f"server error: {done.error}")
-            else:
-                with ctx.span(
-                    "transfer.move", parent=req_span, rid=rid, n=total,
-                    segments=len(mem_segs), scheme=self.scheme.name,
-                ) as move_span:
-                    tctx.parent_span = move_span
-                    yield from self.scheme.read(tctx)
-                yield from conn.qp.send(
-                    ReleaseStaging(rid), nbytes=self.testbed.reply_msg_bytes
+
+            return (
+                yield from self._retry_loop(
+                    conn, iod, rid, ctx, f"{op} rid {rid} to iod{iod}",
+                    attempt_fn,
                 )
-        conn.close_inbox(rid)
+            )
+
+    def _rendezvous_attempt(
+        self, f, conn, rid, attempt, file_segs, mem_segs, total, op, mode,
+        prepared, ctx, req_span,
+    ) -> Generator:
+        req = IORequest(
+            request_id=rid,
+            handle=f.handle,
+            op=op,
+            file_segments=file_segs,
+            total_bytes=total,
+            mode=mode,
+            attempt=attempt,
+            ctx=ctx,
+            span=req_span,
+        )
+        self.node.stats.add("pvfs.client.requests", total)
+        inbox = conn.inbox(rid)
+        yield from self._send(conn.qp, req, self.testbed.request_msg_bytes)
+        msg = yield from self._await_reply(inbox, attempt, f"{op} IORequest")
+        if isinstance(msg, Done):
+            # A Done instead of the DataReady grant: either the server
+            # failed the request and is reporting why, or a re-issued
+            # write was answered straight from the dedup table.
+            if msg.error:
+                raise ServerError(f"{op} IORequest", msg.error)
+            if op == "write" and msg.nbytes == total:
+                self.node.stats.add("pvfs.client.dedup_accepts")
+                return total
+            raise ServerError(f"{op} IORequest", f"unexpected reply {msg!r}")
+        ready = expect_reply(msg, DataReady, "IORequest")
+        tctx = TransferContext(
+            qp=conn.qp,
+            mem_segments=mem_segs,
+            remote_addr=ready.staging_addr,
+            pool=self.pool,
+            prepared=prepared,
+            request_ctx=ctx,
+        )
+        if op == "write":
+            with ctx.span(
+                "transfer.move", parent=req_span, rid=rid, n=total,
+                segments=len(mem_segs), scheme=self.scheme.name,
+            ) as move_span:
+                tctx.parent_span = move_span
+                yield from self.scheme.write(tctx)
+            yield from self._send(
+                conn.qp, TransferDone(rid, attempt=attempt),
+                self.testbed.reply_msg_bytes,
+            )
+            done = expect_reply(
+                (yield from self._await_reply(inbox, attempt, "TransferDone")),
+                Done, "TransferDone",
+            )
+            if done.error:
+                raise ServerError("TransferDone", done.error)
+        else:
+            with ctx.span(
+                "transfer.move", parent=req_span, rid=rid, n=total,
+                segments=len(mem_segs), scheme=self.scheme.name,
+            ) as move_span:
+                tctx.parent_span = move_span
+                yield from self.scheme.read(tctx)
+            yield from self._send(
+                conn.qp, ReleaseStaging(rid, attempt=attempt),
+                self.testbed.reply_msg_bytes,
+            )
         return total
 
     # -- Fast-RDMA eager paths --------------------------------------------
 
     def _eager_write(
-        self, f, conn, rid, file_segs, mem_segs, total, mode, ctx, req_span
+        self, f, conn, iod, rid, file_segs, mem_segs, total, mode, ctx, req_span
     ) -> Generator:
-        """Pack into a fast buffer, push data ahead of the request."""
+        """Pack into a fast buffer, push data ahead of the request.
+
+        The server-side eager buffer (credit) is held across attempts: a
+        re-issue RDMA-writes the same bytes into the same buffer, so the
+        retry stays idempotent.  The credit only returns to the free list
+        on success; a dead I/O node keeps it (its buffers are gone anyway).
+        """
         server_buf = conn.eager_free.pop()
-        client_buf = yield from self.pool.acquire()
+
+        def attempt_fn(attempt):
+            return self._eager_write_attempt(
+                f, conn, rid, attempt, server_buf, file_segs, mem_segs,
+                total, mode, ctx, req_span,
+            )
+
+        n = yield from self._retry_loop(
+            conn, iod, rid, ctx, f"eager write rid {rid} to iod{iod}",
+            attempt_fn,
+        )
+        conn.eager_free.append(server_buf)
+        return n
+
+    def _eager_write_attempt(
+        self, f, conn, rid, attempt, server_buf, file_segs, mem_segs, total,
+        mode, ctx, req_span,
+    ) -> Generator:
         space = self.node.space
+        client_buf = yield from self.pool.acquire()
         with ctx.span(
             "transfer.move", parent=req_span, rid=rid, n=total,
             segments=len(mem_segs), scheme="eager",
@@ -564,8 +798,9 @@ class PVFSClient:
                 # Pack the noncontiguous pieces (the memcpy of Pack/Unpack).
                 yield self.sim.timeout(self.testbed.memcpy_us(total))
                 space.write(client_buf, space.gather(mem_segs))
-                yield from conn.qp.rdma_write(
-                    [Segment(client_buf, total)], server_buf
+                yield from rdma_with_retry(
+                    conn.qp, "write", [Segment(client_buf, total)],
+                    server_buf, request_ctx=ctx,
                 )
             finally:
                 self.pool.release(client_buf)
@@ -577,24 +812,44 @@ class PVFSClient:
             total_bytes=total,
             mode=mode,
             eager_buffer=server_buf,
+            attempt=attempt,
             ctx=ctx,
             span=req_span,
         )
         self.node.stats.add("pvfs.client.requests", total)
         self.node.stats.add("pvfs.client.eager_writes", total)
         inbox = conn.inbox(rid)
-        yield from conn.qp.send(req, nbytes=self.testbed.request_msg_bytes)
-        done = expect_reply((yield inbox.get()), Done, "eager write")
+        yield from self._send(conn.qp, req, self.testbed.request_msg_bytes)
+        done = expect_reply(
+            (yield from self._await_reply(inbox, attempt, "eager write")),
+            Done, "eager write",
+        )
         if done.error:
-            raise RuntimeError(f"server error: {done.error}")
-        conn.eager_free.append(server_buf)
-        conn.close_inbox(rid)
+            raise ServerError("eager write", done.error)
         return total
 
     def _eager_read(
-        self, f, conn, rid, file_segs, mem_segs, total, mode, ctx, req_span
+        self, f, conn, iod, rid, file_segs, mem_segs, total, mode, ctx, req_span
     ) -> Generator:
         """Ask the server to push results into our fast buffer."""
+
+        def attempt_fn(attempt):
+            return self._eager_read_attempt(
+                f, conn, rid, attempt, file_segs, mem_segs, total, mode,
+                ctx, req_span,
+            )
+
+        return (
+            yield from self._retry_loop(
+                conn, iod, rid, ctx, f"eager read rid {rid} to iod{iod}",
+                attempt_fn,
+            )
+        )
+
+    def _eager_read_attempt(
+        self, f, conn, rid, attempt, file_segs, mem_segs, total, mode, ctx,
+        req_span,
+    ) -> Generator:
         client_buf = yield from self.pool.acquire()
         try:
             req = IORequest(
@@ -605,14 +860,20 @@ class PVFSClient:
                 total_bytes=total,
                 mode=mode,
                 eager_buffer=client_buf,
+                attempt=attempt,
                 ctx=ctx,
                 span=req_span,
             )
             self.node.stats.add("pvfs.client.requests", total)
             self.node.stats.add("pvfs.client.eager_reads", total)
             inbox = conn.inbox(rid)
-            yield from conn.qp.send(req, nbytes=self.testbed.request_msg_bytes)
-            done = expect_reply((yield inbox.get()), Done, "eager read")
+            yield from self._send(conn.qp, req, self.testbed.request_msg_bytes)
+            done = expect_reply(
+                (yield from self._await_reply(inbox, attempt, "eager read")),
+                Done, "eager read",
+            )
+            if done.error:
+                raise ServerError("eager read", done.error)
             # Unpack from the fast buffer into the user's pieces.
             with ctx.span(
                 "transfer.move", parent=req_span, rid=rid, n=total,
@@ -623,5 +884,4 @@ class PVFSClient:
                 space.scatter(mem_segs, space.read(client_buf, total))
         finally:
             self.pool.release(client_buf)
-        conn.close_inbox(rid)
         return total

@@ -23,9 +23,11 @@ from repro.calibration import Testbed, paper_testbed
 from repro.ib.hca import Node
 from repro.ib.qp import connect
 from repro.pvfs.client import PVFSClient
+from repro.pvfs.errors import RetryPolicy
 from repro.pvfs.iod import IODaemon
 from repro.pvfs.manager import MetadataManager
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultPlan
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.stats import StatRegistry
 from repro.transfer.base import TransferScheme
@@ -48,6 +50,8 @@ class PVFSCluster:
         cache_aware_decisions: bool = False,
         ads_force: Optional[bool] = None,
         stripe_size: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if n_clients < 1 or n_iods < 1:
             raise ValueError("need at least one client and one I/O node")
@@ -126,12 +130,49 @@ class PVFSCluster:
                     scheme=client_scheme,
                     eager_buffers=eager_buffers,
                     metrics=self.metrics,
+                    retry=retry,
                 )
             )
+        for client in self.clients:
+            client.on_degraded = self._mark_degraded
 
         # Setup registered a lot of buffers; benchmark counts start here.
         self.setup_snapshot = self.stats.snapshot()
         self.tracer = None
+        self.fault_plan: Optional[FaultPlan] = None
+        self.failed_iods: set = set()
+        if fault_plan is not None:
+            # Attached *after* setup so connection wiring and eager-pool
+            # registration stay fault-free (faults model a running
+            # cluster, not a failed bring-up).
+            self.set_fault_plan(fault_plan)
+
+    def set_fault_plan(self, plan: FaultPlan) -> None:
+        """Arm deterministic fault injection on every client and I/O node.
+
+        The metadata manager is deliberately excluded: its RPCs are
+        covered by the client-side send/recv hooks, and a fault inside
+        the (singleton, unreplicated) manager would model a whole-system
+        loss rather than the per-component failures this layer studies.
+        """
+        plan.stats = self.stats
+        self.fault_plan = plan
+        for node in self.iod_nodes + self.client_nodes:
+            node.faults = plan
+            node.hca.table.faults = plan
+        for iod in self.iods:
+            iod.faults = plan
+            iod.fs.faults = plan
+
+    def _mark_degraded(self, iod: int) -> None:
+        """An I/O node exhausted a client's retries: every client fails
+        fast against it from now on (never a hang)."""
+        if iod in self.failed_iods:
+            return
+        self.failed_iods.add(iod)
+        self.stats.add("pvfs.cluster.degraded_iods")
+        for client in self.clients:
+            client.failed_iods.add(iod)
 
     def enable_tracing(self, max_events: Optional[int] = None):
         """Attach a :class:`repro.sim.trace.Tracer`; returns it.
@@ -191,6 +232,12 @@ class PVFSCluster:
             ),
             "phases": self.metrics.to_dict(),
         }
+        if self.fault_plan is not None:
+            export["faults"] = {
+                "seed": self.fault_plan.seed,
+                "injected": self.fault_plan.summary(),
+                "degraded_iods": sorted(self.failed_iods),
+            }
         if include_trace and self.tracer is not None:
             export["trace"] = self.tracer.to_dict()
         return export

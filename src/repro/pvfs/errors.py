@@ -1,0 +1,109 @@
+"""Typed failure surface of the PVFS layer, plus the retry policy.
+
+Before the fault-injection layer existed every failure either raised a
+bare ``RuntimeError`` somewhere deep in a coroutine or — worse — hung
+the simulation on a reply that would never come.  These types give the
+client a vocabulary: a reply that never arrives is a
+:class:`RequestTimeout`, a server that answered with an error is a
+:class:`ServerError`, and an I/O node that stays dead through the whole
+retry budget is a :class:`DegradedError` naming the stripe server that
+was lost.
+
+:class:`RetryPolicy` is the one knob-bundle for the client's recovery
+loop: bounded retries with capped exponential backoff.  The defaults
+are deliberately generous on the timeout (simulated operations finish
+in milliseconds; 2 simulated seconds is "never" for a healthy op) so a
+fault-free run never trips them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PVFSError",
+    "RequestTimeout",
+    "ServerError",
+    "DegradedError",
+    "RetryPolicy",
+]
+
+
+class PVFSError(RuntimeError):
+    """Base class for PVFS client/server failures."""
+
+
+class RequestTimeout(PVFSError):
+    """No reply within the per-attempt timeout (message or server lost)."""
+
+    def __init__(self, what: str, timeout_us: float, attempt: int):
+        super().__init__(
+            f"{what}: no reply within {timeout_us:.0f} us (attempt {attempt})"
+        )
+        self.what = what
+        self.timeout_us = timeout_us
+        self.attempt = attempt
+
+
+class ServerError(PVFSError):
+    """The server processed the request and reported failure."""
+
+    def __init__(self, what: str, error: str):
+        super().__init__(f"{what}: server error: {error}")
+        self.what = what
+        self.error = error
+
+
+class DegradedError(PVFSError):
+    """An I/O daemon stayed unreachable through the whole retry budget.
+
+    The cluster is degraded: stripes on ``iod`` are unavailable.  This
+    is the typed, immediate answer the ISSUE demands in place of a
+    simulation hang.
+    """
+
+    def __init__(self, iod: int, what: str = "", cause: Exception = None):
+        msg = f"iod{iod} unavailable; stripes on it are lost to this session"
+        if what:
+            msg = f"{what}: {msg}"
+        if cause is not None:
+            msg += f" (last error: {cause})"
+        super().__init__(msg)
+        self.iod = iod
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with capped exponential backoff.
+
+    ``max_retries`` counts *re*-tries: an operation gets
+    ``1 + max_retries`` attempts total.  Backoff before retry ``n``
+    (1-based) is ``min(backoff_base_us * multiplier**(n-1),
+    backoff_cap_us)`` microseconds of simulated time.
+    """
+
+    max_retries: int = 4
+    timeout_us: float = 2_000_000.0
+    backoff_base_us: float = 200.0
+    backoff_cap_us: float = 20_000.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout_us <= 0:
+            raise ValueError("timeout_us must be positive")
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + self.max_retries
+
+    def backoff_us(self, retry: int) -> float:
+        """Backoff before the ``retry``-th re-issue (1-based)."""
+        if retry < 1:
+            return 0.0
+        return min(
+            self.backoff_base_us * self.multiplier ** (retry - 1),
+            self.backoff_cap_us,
+        )

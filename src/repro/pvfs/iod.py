@@ -39,14 +39,29 @@ from repro.pvfs.protocol import (
     TransferDone,
     expect_reply,
 )
-from repro.sim.engine import Simulator
+from repro.sim.engine import Interrupt, Process, Simulator
+from repro.sim.faults import FaultError, InjectedFault
 from repro.sim.metrics import RequestContext
 from repro.sim.resources import Resource, Store
+from repro.transfer.base import rdma_with_retry
 
 __all__ = ["IODaemon"]
 
 DEFAULT_STAGING_BUFFERS = 4
 DEFAULT_STAGING_BYTES = 16 * MB
+
+# Recovery knobs: a failed disk op is retried this many extra times (with
+# a linearly growing pause) before the request is failed back to the
+# client; a failed reply send is retried this many extra times before the
+# reply is abandoned to the client's timeout.
+DISK_RETRIES = 3
+DISK_RETRY_BACKOFF_US = 50.0
+SEND_RETRIES = 2
+SEND_RETRY_BACKOFF_US = 50.0
+
+# Completed-write Done replies kept per connection for duplicate-request
+# replay (the client's idempotent re-issue after a lost reply).
+DEDUP_CAPACITY = 128
 
 
 class IODaemon:
@@ -89,6 +104,16 @@ class IODaemon:
             self._staging.put(addr)
         self.disk_lock = Resource(sim, capacity=1, name=f"iod{index}.disk")
         self.tracer = None  # set by PVFSCluster.enable_tracing
+        # Fault-injection plan; attached by the cluster (None = healthy).
+        self.faults = None
+        # Crash state: a crashed daemon black-holes every message until
+        # its (optional) restart; in-flight handlers abort at their next
+        # checkpoint without replying.
+        self.crashed = False
+        # Per-connection handler tables, in connection order, so a crash
+        # can see every in-flight request deterministically (a list, not
+        # a set: iteration order matters for reproducibility).
+        self._all_handlers: List[Dict[int, Process]] = []
 
     @property
     def name(self) -> str:
@@ -122,20 +147,53 @@ class IODaemon:
         """Dispatcher for one client connection.  Spawn as a process.
 
         Request ids are only unique per client, so the routing table for
-        follow-up messages is per connection.
+        follow-up messages is per connection, and so is the dedup table
+        of completed writes (for answering idempotent re-issues).
         """
         inboxes: Dict[int, Store] = {}
+        handlers: Dict[int, Process] = {}  # rid -> in-flight handler
+        completed: Dict[int, Done] = {}  # rid -> Done of a finished write
+        self._all_handlers.append(handlers)
         while True:
             msg = yield qp.recv()
             if msg is None:  # shutdown sentinel
                 return
+            if self.faults is not None and not self.crashed:
+                rule = self.faults.fires("iod.crash", node=self.name)
+                if rule is not None:
+                    self._crash(rule.duration_us)
+            if self.crashed:
+                # A dead daemon receives nothing; the client's timeout
+                # and retry machinery is the only way forward.
+                self.node.stats.add("pvfs.iod.dropped_while_crashed")
+                continue
             if isinstance(msg, IORequest):
+                done = completed.get(msg.request_id)
+                if done is not None:
+                    # Duplicate of a write we already applied: answer
+                    # from the dedup table, do NOT touch the disk again.
+                    self.sim.process(
+                        self._replay_done(qp, msg, done),
+                        name=f"iod{self.index}.replay{msg.request_id}",
+                    )
+                    continue
+                old = handlers.get(msg.request_id)
+                if old is not None and old.is_alive:
+                    # Re-issue of an in-flight request: the client gave
+                    # up on the old attempt, so abort it (freeing its
+                    # staging buffer) and start fresh.
+                    old.interrupt("superseded by retry")
+                    self.node.stats.add("pvfs.iod.superseded")
                 inbox = Store(self.sim, name=f"req{msg.request_id}")
                 inboxes[msg.request_id] = inbox
-                self.sim.process(
-                    self._handle(qp, msg, inbox, inboxes),
+                handlers[msg.request_id] = self.sim.process(
+                    self._handle(qp, msg, inbox, inboxes, completed),
                     name=f"iod{self.index}.req{msg.request_id}",
                 )
+                if len(handlers) > 4 * DEDUP_CAPACITY:
+                    # Prune finished handlers (insertion order: stable).
+                    for rid in [r for r, p in handlers.items() if not p.is_alive]:
+                        del handlers[rid]
             elif isinstance(msg, FsyncRequest):
                 # Handled in its own process so the dispatcher stays
                 # responsive while the flush waits on the disk.
@@ -148,13 +206,19 @@ class IODaemon:
                 if self.fs.exists(name):
                     self.fs.unlink(name)
                 yield self.sim.timeout(self.testbed.server_request_cpu_us)
-                yield from qp.send(
+                yield from self._send_reliable(
+                    qp,
                     Done(msg.request_id, 0),
                     nbytes=self.testbed.reply_msg_bytes,
                 )
             elif isinstance(msg, (TransferDone, ReleaseStaging)):
                 inbox = inboxes.get(msg.request_id)
                 if inbox is None:
+                    if self.faults is not None:
+                        # A follow-up for an attempt we already aborted
+                        # (or answered): stale, drop it.
+                        self.node.stats.add("pvfs.iod.stale_followups")
+                        continue
                     raise RuntimeError(
                         f"iod{self.index}: follow-up for unknown request "
                         f"{msg.request_id}"
@@ -163,10 +227,111 @@ class IODaemon:
             else:
                 raise TypeError(f"iod{self.index}: unexpected message {msg!r}")
 
+    # -- failure machinery ------------------------------------------------------------
+
+    def _crash(self, duration_us: Optional[float]) -> None:
+        """The daemon dies: every message black-holes until restart.
+
+        In-flight handlers abort at their next checkpoint (reply sends
+        are suppressed, disk phases raise), releasing staging buffers
+        and locks through their ordinary ``finally`` paths — modelling a
+        restart from clean state without replies ever escaping the
+        crashed incarnation.
+        """
+        self.crashed = True
+        self.node.stats.add("pvfs.iod.crashes")
+        if duration_us is not None:
+            self.sim.process(self._restart(duration_us), name=f"{self.name}.restart")
+
+    def _restart(self, duration_us: float) -> Generator:
+        yield self.sim.timeout(duration_us)
+        self.crashed = False
+        self.node.stats.add("pvfs.iod.restarts")
+
+    def _checkpoint(self) -> None:
+        """Abort the calling handler if the daemon crashed under it."""
+        if self.crashed:
+            raise InjectedFault("iod.crash", self.name, "daemon died mid-request")
+
+    def _send_reliable(self, qp: QueuePair, msg, nbytes: int) -> Generator:
+        """Send a reply, riding out transient send faults.
+
+        Returns True if the message went out.  A crashed daemon sends
+        nothing; a persistently failing send is abandoned (the client's
+        timeout recovers).  Either way the daemon never dies trying.
+        """
+        failures = 0
+        while True:
+            if self.crashed:
+                return False
+            try:
+                yield from qp.send(msg, nbytes=nbytes)
+                return True
+            except InjectedFault:
+                failures += 1
+                self.node.stats.add("pvfs.iod.send_retries")
+                if failures > SEND_RETRIES:
+                    self.node.stats.add("pvfs.iod.reply_failures")
+                    return False
+                yield self.sim.timeout(SEND_RETRY_BACKOFF_US * failures)
+
+    def _retry_disk(self, factory) -> Generator:
+        """Run ``factory()`` (a generator factory over disk ops), retrying
+        injected disk failures with a short pause.  Disk phases re-execute
+        from scratch on retry; they are idempotent (same data, same
+        offsets), so this is safe."""
+        failures = 0
+        while True:
+            self._checkpoint()
+            try:
+                return (yield from factory())
+            except InjectedFault as exc:
+                if exc.hook == "iod.crash":
+                    raise
+                failures += 1
+                self.node.stats.add("pvfs.iod.disk_retries")
+                if failures > DISK_RETRIES:
+                    raise
+                yield self.sim.timeout(DISK_RETRY_BACKOFF_US * failures)
+
+    def _expect_followup(self, inbox: Store, cls, req: IORequest, what: str) -> Generator:
+        """Next follow-up message for this request's *current* attempt.
+
+        Messages tagged with an older attempt are leftovers of an
+        abandoned exchange; dropping them (instead of treating them as
+        protocol errors) is what makes idempotent re-issue safe.
+        """
+        while True:
+            msg = yield inbox.get()
+            if getattr(msg, "attempt", 0) != req.attempt:
+                self.node.stats.add("pvfs.iod.stale_followups")
+                continue
+            return expect_reply(msg, cls, what)
+
+    def _replay_done(self, qp: QueuePair, req: IORequest, done: Done) -> Generator:
+        """Answer a duplicate IORequest from the dedup table."""
+        self.node.stats.add("pvfs.iod.dedup_replays")
+        yield self.sim.timeout(self.testbed.server_request_cpu_us)
+        yield from self._send_reliable(
+            qp,
+            dataclasses.replace(done, attempt=req.attempt),
+            nbytes=self.testbed.reply_msg_bytes,
+        )
+
+    def _record_done(self, completed: Dict[int, Done], done: Done) -> None:
+        completed[done.request_id] = done
+        while len(completed) > DEDUP_CAPACITY:
+            completed.pop(next(iter(completed)))
+
     # -- request handling -----------------------------------------------------------
 
     def _handle(
-        self, qp: QueuePair, req: IORequest, inbox: Store, inboxes: Dict[int, Store]
+        self,
+        qp: QueuePair,
+        req: IORequest,
+        inbox: Store,
+        inboxes: Dict[int, Store],
+        completed: Dict[int, Done],
     ) -> Generator:
         ctx = self._ctx_for(req)
         self.node.stats.add("pvfs.iod.requests", req.total_bytes)
@@ -183,25 +348,52 @@ class IODaemon:
         if req.mode & AccessMode.NOCACHE:
             self.fs.drop_caches()
         try:
-            if req.eager_buffer is not None and req.op == "write":
-                # Eager write: data already sits in our fast buffer.
-                yield from self._handle_eager_write(qp, req, ctx)
-                return
-            with ctx.span(
-                "iod.queue", node=self.name, parent=req.span, rid=req.request_id
-            ):
-                staging = yield self._staging.get()
             try:
-                if req.op == "write":
-                    yield from self._handle_write(qp, req, inbox, staging, ctx)
-                elif req.eager_buffer is not None:
-                    yield from self._handle_eager_read(qp, req, staging, ctx)
-                else:
-                    yield from self._handle_read(qp, req, inbox, staging, ctx)
-            finally:
-                self._staging.put(staging)
+                if req.eager_buffer is not None and req.op == "write":
+                    # Eager write: data already sits in our fast buffer.
+                    yield from self._handle_eager_write(qp, req, ctx, completed)
+                    return
+                with ctx.span(
+                    "iod.queue", node=self.name, parent=req.span, rid=req.request_id
+                ):
+                    if self.faults is not None:
+                        self.faults.check("staging.acquire", node=self.name)
+                    staging = yield self._staging.get()
+                try:
+                    if req.op == "write":
+                        yield from self._handle_write(
+                            qp, req, inbox, staging, ctx, completed
+                        )
+                    elif req.eager_buffer is not None:
+                        yield from self._handle_eager_read(qp, req, staging, ctx)
+                    else:
+                        yield from self._handle_read(qp, req, inbox, staging, ctx)
+                finally:
+                    self._staging.put(staging)
+            except Interrupt:
+                # Superseded by a client re-issue: abort quietly; the
+                # replacement handler owns the request now.
+                self.node.stats.add("pvfs.iod.aborted")
+                ctx.event(
+                    "iod.aborted", node=self.name,
+                    rid=req.request_id, attempt=req.attempt,
+                )
+            except FaultError as exc:
+                # The request failed in a recoverable way: report it so
+                # the client can retry, instead of dying with the error.
+                self.node.stats.add("pvfs.iod.request_errors")
+                ctx.event(
+                    "iod.request_error", node=self.name,
+                    rid=req.request_id, error=str(exc),
+                )
+                yield from self._send_reliable(
+                    qp,
+                    Done(req.request_id, 0, error=str(exc), attempt=req.attempt),
+                    nbytes=self.testbed.reply_msg_bytes,
+                )
         finally:
-            inboxes.pop(req.request_id, None)
+            if inboxes.get(req.request_id) is inbox:
+                inboxes.pop(req.request_id, None)
 
     def _handle_fsync(self, qp: QueuePair, msg: FsyncRequest) -> Generator:
         yield self.sim.timeout(self.testbed.server_request_cpu_us)
@@ -211,7 +403,8 @@ class IODaemon:
             flushed = yield from f.fsync()
         finally:
             self.disk_lock.release()
-        yield from qp.send(
+        yield from self._send_reliable(
+            qp,
             Done(msg.request_id, flushed),
             nbytes=self.testbed.reply_msg_bytes,
         )
@@ -255,14 +448,17 @@ class IODaemon:
 
     def _handle_write(
         self, qp: QueuePair, req: IORequest, inbox: Store, staging: int,
-        ctx: RequestContext,
+        ctx: RequestContext, completed: Dict[int, Done],
     ) -> Generator:
         # Grant the staging buffer and wait for the client's data.
-        yield from qp.send(
-            DataReady(req.request_id, staging, req.total_bytes),
+        yield from self._send_reliable(
+            qp,
+            DataReady(req.request_id, staging, req.total_bytes, attempt=req.attempt),
             nbytes=self.testbed.reply_msg_bytes,
         )
-        expect_reply((yield inbox.get()), TransferDone, "DataReady")
+        # If the grant never reached the client, this wait ends when the
+        # client's re-issue supersedes this handler.
+        yield from self._expect_followup(inbox, TransferDone, req, "DataReady")
 
         f = self.stripe_file(req.handle)
         data = self.node.space.read(staging, req.total_bytes)
@@ -280,29 +476,38 @@ class IODaemon:
                 if plan is not None and plan.use_sieving:
                     disk_span.attrs["sieved"] = True
                     self.node.stats.add("pvfs.iod.sieve_writes", req.total_bytes)
-                    yield from self._sieved_write(f, req, data, plan)
+                    yield from self._retry_disk(
+                        lambda: self._sieved_write(f, req, data, plan)
+                    )
                 else:
                     disk_span.attrs["sieved"] = False
                     self.node.stats.add("pvfs.iod.direct_writes", req.total_bytes)
-                    yield from self._direct_write(f, req, data)
+                    yield from self._retry_disk(
+                        lambda: self._direct_write(f, req, data)
+                    )
                 if req.mode & AccessMode.SYNC:
                     yield from f.fsync()
             finally:
                 self.disk_lock.release()
 
-        yield from qp.send(
-            Done(
-                req.request_id,
-                req.total_bytes,
-                used_sieving=bool(plan and plan.use_sieving),
-            ),
-            nbytes=self.testbed.reply_msg_bytes,
+        done = Done(
+            req.request_id,
+            req.total_bytes,
+            used_sieving=bool(plan and plan.use_sieving),
+            attempt=req.attempt,
+        )
+        # The write is durably applied: remember the answer so a
+        # duplicate request replays it instead of re-running the disk op.
+        self._record_done(completed, done)
+        yield from self._send_reliable(
+            qp, done, nbytes=self.testbed.reply_msg_bytes
         )
 
     # -- eager (Fast RDMA) paths --------------------------------------------
 
     def _handle_eager_write(
-        self, qp: QueuePair, req: IORequest, ctx: RequestContext
+        self, qp: QueuePair, req: IORequest, ctx: RequestContext,
+        completed: Dict[int, Done],
     ) -> Generator:
         """Data was RDMA-written into our fast buffer before the request."""
         f = self.stripe_file(req.handle)
@@ -320,24 +525,28 @@ class IODaemon:
                 if plan is not None and plan.use_sieving:
                     disk_span.attrs["sieved"] = True
                     self.node.stats.add("pvfs.iod.sieve_writes", req.total_bytes)
-                    yield from self._sieved_write(f, req, data, plan)
+                    yield from self._retry_disk(
+                        lambda: self._sieved_write(f, req, data, plan)
+                    )
                 else:
                     disk_span.attrs["sieved"] = False
                     self.node.stats.add("pvfs.iod.direct_writes", req.total_bytes)
-                    yield from self._direct_write(f, req, data)
+                    yield from self._retry_disk(
+                        lambda: self._direct_write(f, req, data)
+                    )
                 if req.mode & AccessMode.SYNC:
                     yield from f.fsync()
             finally:
                 self.disk_lock.release()
-        yield from qp.send(
-            Done(
-                req.request_id,
-                req.total_bytes,
-                used_sieving=bool(plan and plan.use_sieving),
-                eager_buffer=req.eager_buffer,
-            ),
-            nbytes=self.testbed.reply_msg_bytes,
+        done = Done(
+            req.request_id,
+            req.total_bytes,
+            used_sieving=bool(plan and plan.use_sieving),
+            eager_buffer=req.eager_buffer,
+            attempt=req.attempt,
         )
+        self._record_done(completed, done)
+        yield from self._send_reliable(qp, done, nbytes=self.testbed.reply_msg_bytes)
 
     def _handle_eager_read(
         self, qp: QueuePair, req: IORequest, staging: int, ctx: RequestContext
@@ -357,19 +566,25 @@ class IODaemon:
                 if plan is not None and plan.use_sieving:
                     disk_span.attrs["sieved"] = True
                     self.node.stats.add("pvfs.iod.sieve_reads", req.total_bytes)
-                    data = yield from self._sieved_read(f, req, plan)
+                    data = yield from self._retry_disk(
+                        lambda: self._sieved_read(f, req, plan)
+                    )
                 else:
                     disk_span.attrs["sieved"] = False
                     self.node.stats.add("pvfs.iod.direct_reads", req.total_bytes)
-                    data = yield from self._direct_read(f, req)
+                    data = yield from self._retry_disk(
+                        lambda: self._direct_read(f, req)
+                    )
             finally:
                 self.disk_lock.release()
         self.node.space.write(staging, data)
-        yield from qp.rdma_write(
-            [Segment(staging, req.total_bytes)], req.eager_buffer
+        yield from rdma_with_retry(
+            qp, "write", [Segment(staging, req.total_bytes)], req.eager_buffer,
+            request_ctx=ctx,
         )
-        yield from qp.send(
-            Done(req.request_id, req.total_bytes),
+        yield from self._send_reliable(
+            qp,
+            Done(req.request_id, req.total_bytes, attempt=req.attempt),
             nbytes=self.testbed.reply_msg_bytes,
         )
 
@@ -433,20 +648,31 @@ class IODaemon:
                 if plan is not None and plan.use_sieving:
                     disk_span.attrs["sieved"] = True
                     self.node.stats.add("pvfs.iod.sieve_reads", req.total_bytes)
-                    data = yield from self._sieved_read(f, req, plan)
+                    data = yield from self._retry_disk(
+                        lambda: self._sieved_read(f, req, plan)
+                    )
                 else:
                     disk_span.attrs["sieved"] = False
                     self.node.stats.add("pvfs.iod.direct_reads", req.total_bytes)
-                    data = yield from self._direct_read(f, req)
+                    data = yield from self._retry_disk(
+                        lambda: self._direct_read(f, req)
+                    )
             finally:
                 self.disk_lock.release()
 
         self.node.space.write(staging, data)
-        yield from qp.send(
-            DataReady(req.request_id, staging, req.total_bytes),
+        sent = yield from self._send_reliable(
+            qp,
+            DataReady(req.request_id, staging, req.total_bytes, attempt=req.attempt),
             nbytes=self.testbed.reply_msg_bytes,
         )
-        expect_reply((yield inbox.get()), ReleaseStaging, "read DataReady")
+        if not sent:
+            # The client never learns the data is staged; its timeout will
+            # re-issue the request.  Free the buffer now (finally in
+            # _handle) rather than wait for a ReleaseStaging that cannot
+            # arrive for this attempt.
+            return
+        yield from self._expect_followup(inbox, ReleaseStaging, req, "read DataReady")
 
     def _direct_read(self, f: LocalFile, req: IORequest) -> Generator:
         cpu = self.testbed.server_access_cpu_us * len(req.file_segments)

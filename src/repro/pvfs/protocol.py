@@ -102,6 +102,11 @@ class IORequest:
     the same span tree as the client's.  A real implementation would
     carry only the request id; the simulator ships the object.  It is
     excluded from equality so messages still compare by payload.
+
+    ``attempt`` distinguishes re-issues of the same ``request_id`` after
+    a timeout: replies echo it, so a client never mistakes a stale reply
+    from an abandoned attempt for the answer to the current one, and the
+    I/O daemon can answer a duplicate from its dedup table.
     """
 
     request_id: int
@@ -111,6 +116,7 @@ class IORequest:
     total_bytes: int
     mode: AccessMode = AccessMode.NONE
     eager_buffer: Optional[int] = None
+    attempt: int = 0
     ctx: Optional[RequestContext] = field(default=None, compare=False, repr=False)
     # The client-side per-request span; server phases nest under it.
     span: Optional[Span] = field(default=None, compare=False, repr=False)
@@ -129,11 +135,13 @@ class DataReady:
     request_id: int
     staging_addr: int
     nbytes: int
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
 class TransferDone:
     request_id: int
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
@@ -145,11 +153,13 @@ class Done:
     # Eager write: echoes the server fast buffer so the client can
     # return its credit.
     eager_buffer: Optional[int] = None
+    attempt: int = 0
 
 
 @dataclass(frozen=True)
 class ReleaseStaging:
     request_id: int
+    attempt: int = 0
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,13 @@ from repro.sim.engine import (
     Simulator,
     Timeout,
 )
+from repro.sim.faults import (
+    FAULT_HOOKS,
+    FaultError,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+)
 from repro.sim.metrics import Histogram, MetricsRegistry, RequestContext, Span
 from repro.sim.resources import Lock, Resource, Store
 from repro.sim.stats import Counter, StatRegistry, TimeSeries
@@ -43,7 +50,12 @@ __all__ = [
     "AnyOf",
     "Counter",
     "Event",
+    "FAULT_HOOKS",
+    "FaultError",
+    "FaultPlan",
+    "FaultRule",
     "Histogram",
+    "InjectedFault",
     "Interrupt",
     "Lock",
     "MetricsRegistry",

@@ -55,7 +55,7 @@ class Event:
     is processed.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "name", "defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "name", "defused", "canceled")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
@@ -66,6 +66,7 @@ class Event:
         # A failed event marked defused does not propagate out of run();
         # interrupt deliveries are defused because the target handles them.
         self.defused = False
+        self.canceled = False
 
     @property
     def triggered(self) -> bool:
@@ -110,6 +111,18 @@ class Event:
         self._ok = False
         self.sim._schedule(self, delay)
         return self
+
+    def cancel(self) -> None:
+        """Withdraw a scheduled-but-unprocessed event (e.g. a stale timeout).
+
+        A canceled event is skipped by the loop *without* advancing the
+        clock, so abandoning a long reply-timeout does not stretch a
+        simulation's elapsed time.  Its callbacks never run.
+        """
+        if self.processed:
+            raise SimulationError(f"cannot cancel processed event {self!r}")
+        self.canceled = True
+        self.callbacks = []
 
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
@@ -177,6 +190,12 @@ class Process(Event):
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            else:
+                if not target.callbacks and not target.triggered:
+                    # Nobody else is waiting: mark the abandoned event
+                    # canceled so resource queues skip it instead of
+                    # handing it an item no process will ever receive.
+                    target.canceled = True
         self._target = None
         interrupt_ev = Event(self.sim, name="interrupt")
         interrupt_ev._value = Interrupt(cause)
@@ -316,13 +335,21 @@ class Simulator:
         return AnyOf(self, events)
 
     # -- execution -------------------------------------------------------
+    def _drain_canceled(self) -> None:
+        """Pop canceled events off the heap head without advancing time."""
+        while self._heap and self._heap[0][2].canceled:
+            heapq.heappop(self._heap)
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        self._drain_canceled()
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
         """Process a single event (advancing the clock to it)."""
         t, _, event = heapq.heappop(self._heap)
+        if event.canceled:
+            return
         self.now = t
         had_waiters = bool(event.callbacks)
         event._run_callbacks()
@@ -335,12 +362,27 @@ class Simulator:
             # crashed server process silently corrupt an experiment.
             raise event._value
 
-    def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or simulated time reaches ``until``."""
+    def run(
+        self,
+        until: Optional[float] = None,
+        until_event: Optional[Event] = None,
+    ) -> None:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        ``until_event`` stops the loop as soon as that event has been
+        processed — the guard against silent infinite (or merely
+        surprisingly long) runs when a workload has finished but
+        housekeeping processes are still scheduled.
+        """
         while self._heap:
+            self._drain_canceled()
+            if not self._heap:
+                break
             if until is not None and self._heap[0][0] > until:
                 self.now = until
                 return
             self.step()
+            if until_event is not None and until_event.processed:
+                return
         if until is not None:
             self.now = max(self.now, until)

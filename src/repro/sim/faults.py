@@ -1,0 +1,226 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper evaluates its mechanisms on a healthy 8-node cluster; a
+production system spends most of its complexity on the unhealthy days.
+This module supplies the *failure generator* side of that story: a
+seeded :class:`FaultPlan` that can fire at named **hook points** woven
+through the stack, either with a per-evaluation probability or as a
+scheduled one-shot ("the 3rd disk write on iod1 fails").
+
+Hook points (the ``hook`` argument of :meth:`FaultPlan.add`):
+
+===================  =====================================================
+hook                  where it fires / what it models
+===================  =====================================================
+``qp.send``           send work request fails at the initiator (raises)
+``qp.recv``           receive completion lost: the message is silently
+                      dropped in flight (recovered by request timeout)
+``rdma.write``        RDMA write work request fails at the initiator
+``rdma.read``         RDMA read work request fails at the initiator
+``reg.register``      memory registration fails transiently (HCA pressure)
+``disk.read``         I/O-node ``pread`` fails (media/controller error)
+``disk.write``        I/O-node ``pwrite`` fails
+``staging.acquire``   staging/fast-buffer pool acquisition fails
+``iod.crash``         the whole I/O daemon crashes (optionally restarts
+                      after ``duration_us``)
+===================  =====================================================
+
+Everything is deterministic for a fixed seed: rules are evaluated in
+hook-site call order (which the event engine makes reproducible) against
+one seeded ``random.Random``, so a simulation with the same inputs and
+the same plan always injects the same faults at the same points.
+
+Injection raises :class:`InjectedFault` (except ``qp.recv`` and
+``iod.crash``, which are behavioural); the recovery machinery —
+client retry/backoff, transfer-scheme retransmit, OGR per-segment
+fallback, I/O-daemon disk retries — is what turns an injection into a
+counter instead of a wrong answer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["FAULT_HOOKS", "FaultError", "InjectedFault", "FaultRule", "FaultPlan"]
+
+
+FAULT_HOOKS = (
+    "qp.send",
+    "qp.recv",
+    "rdma.write",
+    "rdma.read",
+    "reg.register",
+    "disk.read",
+    "disk.write",
+    "staging.acquire",
+    "iod.crash",
+)
+
+
+class FaultError(RuntimeError):
+    """Base class of all injected-failure exceptions."""
+
+
+class InjectedFault(FaultError):
+    """One injected failure; carries the hook point and node it hit."""
+
+    def __init__(self, hook: str, node: str = "", detail: str = ""):
+        msg = f"injected fault at {hook}"
+        if node:
+            msg += f" on {node}"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+        self.hook = hook
+        self.node = node
+
+
+@dataclass
+class FaultRule:
+    """One trigger: probabilistic, or a scheduled one-shot.
+
+    ``at`` fires on the Nth matching evaluation (1-based) and defaults
+    ``max_fires`` to 1; ``probability`` fires on each evaluation with
+    the plan's seeded RNG.  ``node`` restricts the rule to one node
+    name (``"iod1"``, ``"cn0"``, ...).  ``duration_us`` only matters
+    for ``iod.crash``: the daemon restarts after that much simulated
+    time (``None`` = dead for good).
+    """
+
+    hook: str
+    probability: float = 0.0
+    at: Optional[int] = None
+    node: Optional[str] = None
+    max_fires: Optional[int] = None
+    duration_us: Optional[float] = None
+    # runtime state
+    seen: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.hook not in FAULT_HOOKS:
+            raise ValueError(
+                f"unknown fault hook {self.hook!r}; known: {', '.join(FAULT_HOOKS)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability {self.probability} outside [0, 1]")
+        if self.at is not None and self.at < 1:
+            raise ValueError(f"'at' is 1-based, got {self.at}")
+        if self.at is not None and self.max_fires is None:
+            self.max_fires = 1
+
+    def matches(self, node: Optional[str]) -> bool:
+        return self.node is None or self.node == node
+
+    def evaluate(self, rng: random.Random) -> bool:
+        """One evaluation at a matching hook site; True means *fire*."""
+        self.seen += 1
+        if self.max_fires is not None and self.fired >= self.max_fires:
+            return False
+        if self.at is not None:
+            fire = self.seen == self.at
+        else:
+            fire = rng.random() < self.probability
+        if fire:
+            self.fired += 1
+        return fire
+
+
+class FaultPlan:
+    """A seeded collection of fault rules plus injection counters.
+
+    Attach one plan per cluster (``PVFSCluster(fault_plan=...)`` or
+    :meth:`~repro.pvfs.cluster.PVFSCluster.set_fault_plan`); the hook
+    sites consult it through their node.  ``stats`` is wired by the
+    cluster so every injection also lands in the cluster counters as
+    ``faults.<hook>`` and shows up in ``metrics_export()``.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.rules: List[FaultRule] = []
+        self.injected: Dict[str, int] = {}
+        self.stats = None  # optional StatRegistry, wired by the cluster
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, hook: str, **kw) -> FaultRule:
+        """Add a rule; kwargs are :class:`FaultRule` fields."""
+        rule = FaultRule(hook=hook, **kw)
+        self.rules.append(rule)
+        return rule
+
+    def one_shot(
+        self,
+        hook: str,
+        at: int = 1,
+        node: Optional[str] = None,
+        duration_us: Optional[float] = None,
+    ) -> FaultRule:
+        """Fire exactly once, on the ``at``-th matching evaluation."""
+        return self.add(hook, at=at, node=node, duration_us=duration_us)
+
+    @classmethod
+    def uniform(
+        cls,
+        probability: float,
+        seed: int = 0,
+        hooks: Optional[List[str]] = None,
+        crash: bool = False,
+    ) -> "FaultPlan":
+        """A background-noise plan: every hook fails with ``probability``.
+
+        ``iod.crash`` is excluded unless ``crash=True`` (random crashes
+        need far more recovery budget than transient op failures).
+        """
+        plan = cls(seed=seed)
+        for hook in hooks if hooks is not None else FAULT_HOOKS:
+            if hook == "iod.crash" and not crash and hooks is None:
+                continue
+            plan.add(hook, probability=probability)
+        return plan
+
+    # -- evaluation --------------------------------------------------------
+
+    def fires(self, hook: str, node: Optional[str] = None) -> Optional[FaultRule]:
+        """Evaluate ``hook`` at ``node``; returns the firing rule or None.
+
+        Every matching rule's counters advance on every evaluation, so
+        one-shot schedules stay deterministic regardless of what other
+        rules exist.
+        """
+        hit: Optional[FaultRule] = None
+        for rule in self.rules:
+            if rule.hook != hook or not rule.matches(node):
+                continue
+            if rule.evaluate(self._rng) and hit is None:
+                hit = rule
+        if hit is not None:
+            self.injected[hook] = self.injected.get(hook, 0) + 1
+            if self.stats is not None:
+                self.stats.add(f"faults.{hook}")
+        return hit
+
+    def check(self, hook: str, node: Optional[str] = None, detail: str = "") -> None:
+        """Evaluate and raise :class:`InjectedFault` if a rule fires."""
+        if self.fires(hook, node) is not None:
+            raise InjectedFault(hook, node or "", detail)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def summary(self) -> Dict[str, int]:
+        """``{hook: injection count}`` for export (sorted, JSON-friendly)."""
+        return {hook: self.injected[hook] for hook in sorted(self.injected)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<FaultPlan seed={self.seed} rules={len(self.rules)}"
+            f" injected={self.total_injected}>"
+        )

@@ -58,10 +58,12 @@ class Store:
         return ev
 
     def _deliver(self, item: Any) -> None:
-        # Hand directly to a waiting getter if any, else enqueue.
+        # Hand directly to a waiting getter if any, else enqueue.  A
+        # canceled getter (timed-out or interrupted waiter) must not eat
+        # the item — the next real getter gets it.
         while self._getters:
             getter = self._getters.popleft()
-            if getter.triggered:
+            if getter.triggered or getter.canceled:
                 continue
             getter.succeed(item)
             return
@@ -113,7 +115,7 @@ class Resource:
             raise SimulationError(f"release of un-acquired resource {self.name!r}")
         while self._waiters:
             waiter = self._waiters.popleft()
-            if waiter.triggered:
+            if waiter.triggered or waiter.canceled:
                 continue
             waiter.succeed()
             return

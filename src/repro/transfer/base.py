@@ -10,9 +10,52 @@ from typing import Generator, Optional, Sequence
 from repro.ib.fast_rdma import FastRdmaPool
 from repro.ib.qp import QueuePair
 from repro.mem.segments import Segment, total_bytes, validate_segments
+from repro.sim.faults import InjectedFault
 from repro.sim.metrics import RequestContext, Span
 
-__all__ = ["TransferContext", "TransferScheme"]
+__all__ = ["TransferContext", "TransferScheme", "rdma_with_retry"]
+
+# Failed RDMA work requests are re-posted this many extra times, with a
+# linearly growing pause, before the failure escalates to the request
+# level (where the client's timeout/retry machinery takes over).
+WR_RETRIES = 3
+WR_RETRY_BACKOFF_US = 50.0
+
+
+def rdma_with_retry(
+    qp: QueuePair,
+    op: str,
+    segments: Sequence[Segment],
+    remote_addr: int,
+    request_ctx: Optional[RequestContext] = None,
+) -> Generator:
+    """Post an RDMA ``op`` ("write" | "read"), re-posting on injected failure.
+
+    A work request that completes with error leaves both address spaces
+    untouched (the failure fires before bytes move), so a straight
+    re-post is safe.  Retransmits are counted as ``ib.retransmits`` and
+    marked on the request trace as ``transfer.retransmit``.
+    """
+    failures = 0
+    while True:
+        try:
+            if op == "write":
+                return (yield from qp.rdma_write(segments, remote_addr))
+            return (yield from qp.rdma_read(remote_addr, segments))
+        except InjectedFault as exc:
+            failures += 1
+            qp.node.stats.add("ib.retransmits")
+            if request_ctx is not None:
+                request_ctx.event(
+                    "transfer.retransmit",
+                    node=qp.node.name,
+                    op=op,
+                    try_=failures,
+                    hook=exc.hook,
+                )
+            if failures > WR_RETRIES:
+                raise
+            yield qp.sim.timeout(WR_RETRY_BACKOFF_US * failures)
 
 
 @contextmanager
@@ -83,6 +126,20 @@ class TransferContext:
             self.parent_span.attrs.update(attrs)
         elif self.request_ctx is not None:
             self.request_ctx.annotate(**attrs)
+
+    # -- fault-tolerant RDMA -----------------------------------------------
+
+    def rdma_write(self, segments: Sequence[Segment], remote_addr: int) -> Generator:
+        """``qp.rdma_write`` with work-request retransmit on failure."""
+        return rdma_with_retry(
+            self.qp, "write", segments, remote_addr, request_ctx=self.request_ctx
+        )
+
+    def rdma_read(self, remote_addr: int, segments: Sequence[Segment]) -> Generator:
+        """``qp.rdma_read`` with work-request retransmit on failure."""
+        return rdma_with_retry(
+            self.qp, "read", segments, remote_addr, request_ctx=self.request_ctx
+        )
 
 
 class TransferScheme(ABC):

@@ -81,13 +81,13 @@ class RdmaGatherScatter(TransferScheme):
     def write(self, ctx: TransferContext) -> Generator:
         ctx.annotate(scheme=self.name)
         reg, outcome = yield from self._register(ctx)
-        n = yield from ctx.qp.rdma_write(ctx.mem_segments, ctx.remote_addr)
+        n = yield from ctx.rdma_write(ctx.mem_segments, ctx.remote_addr)
         yield from self._release(ctx, reg, outcome)
         return n
 
     def read(self, ctx: TransferContext) -> Generator:
         ctx.annotate(scheme=self.name)
         reg, outcome = yield from self._register(ctx)
-        n = yield from ctx.qp.rdma_read(ctx.remote_addr, ctx.mem_segments)
+        n = yield from ctx.rdma_read(ctx.remote_addr, ctx.mem_segments)
         yield from self._release(ctx, reg, outcome)
         return n

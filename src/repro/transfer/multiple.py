@@ -57,9 +57,9 @@ class MultipleMessage(TransferScheme):
             if cost:
                 yield ctx.sim.timeout(cost)
             if op == "write":
-                yield from ctx.qp.rdma_write([seg], ctx.remote_addr + offset)
+                yield from ctx.rdma_write([seg], ctx.remote_addr + offset)
             else:
-                yield from ctx.qp.rdma_read(ctx.remote_addr + offset, [seg])
+                yield from ctx.rdma_read(ctx.remote_addr + offset, [seg])
             offset += seg.length
             if deregister:
                 dcost = cache.invalidate(region)

@@ -97,7 +97,7 @@ class PackUnpack(TransferScheme):
                 # Pack: gather user pieces into the temp buffer.
                 yield ctx.sim.timeout(ctx.testbed.memcpy_us(n))
                 client.space.write(temp, client.space.gather(chunk))
-                yield from ctx.qp.rdma_write(
+                yield from ctx.rdma_write(
                     [Segment(temp, n)], ctx.remote_addr + moved
                 )
                 moved += n
@@ -114,7 +114,7 @@ class PackUnpack(TransferScheme):
         try:
             for chunk in _chunks(list(ctx.mem_segments), cap):
                 n = sum(s.length for s in chunk)
-                yield from ctx.qp.rdma_read(
+                yield from ctx.rdma_read(
                     ctx.remote_addr + moved, [Segment(temp, n)]
                 )
                 # Unpack: scatter out to the user's pieces.

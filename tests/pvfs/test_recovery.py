@@ -1,0 +1,180 @@
+"""End-to-end recovery tests: injected faults at every hook point must
+turn into retry/timeout counters, never into wrong bytes or hangs."""
+
+import pytest
+
+from repro.calibration import KB
+from repro.mem.segments import Segment
+from repro.pvfs import DegradedError, PVFSCluster, RetryPolicy
+from repro.sim import FAULT_HOOKS, FaultPlan
+
+pytestmark = pytest.mark.faults
+
+# Healthy simulated ops complete in hundreds of microseconds, so a tight
+# per-attempt timeout keeps the lost-reply tests fast without tripping
+# on fault-free requests.
+FAST_RETRY = RetryPolicy(timeout_us=150_000.0, backoff_base_us=100.0)
+
+
+def _roundtrip(cluster, nbytes=256 * KB, npieces=32):
+    """Strided write+read roundtrip; returns (sent, received) bytes.
+
+    Sized above the eager threshold so the rendezvous path runs — that
+    is what evaluates ``rdma.read`` (scheme read) and the staging pool.
+    """
+    c = cluster.clients[0]
+    piece = nbytes // npieces
+    base = c.node.space.malloc(npieces * piece * 2)
+    payload = bytearray()
+    mem_segs = []
+    for i in range(npieces):
+        a = base + i * piece * 2
+        chunk = bytes(((3 * i + j) % 251 for j in range(piece)))
+        c.node.space.write(a, chunk)
+        payload += chunk
+        mem_segs.append(Segment(a, piece))
+    file_segs = [Segment(i * piece * 3, piece) for i in range(npieces)]
+    back = c.node.space.malloc(nbytes)
+    back_segs = [Segment(back + i * piece, piece) for i in range(npieces)]
+
+    def proc():
+        f = yield from c.open("/pfs/recovery")
+        yield from c.write_list(f, mem_segs, file_segs)
+        yield from c.read_list(f, back_segs, file_segs)
+
+    cluster.run([proc()])
+    return bytes(payload), c.node.space.read(back, nbytes)
+
+
+@pytest.mark.parametrize("hook", [h for h in FAULT_HOOKS if h != "iod.crash"])
+def test_one_shot_fault_at_every_hook_recovers(hook):
+    plan = FaultPlan(seed=1)
+    plan.one_shot(hook)
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=2, fault_plan=plan, retry=FAST_RETRY
+    )
+    sent, received = _roundtrip(cluster)
+    assert received == sent
+    assert plan.total_injected == 1, f"{hook} was never evaluated"
+    assert plan.summary() == {hook: 1}
+
+
+def test_recovery_counters_and_spans_record_the_retry():
+    # A dropped reply is the one fault whose recovery is visible at
+    # every level: a timeout counter, a retry counter, and a
+    # client.retry trace event.
+    plan = FaultPlan(seed=1)
+    plan.one_shot("qp.recv", node="cn0")  # eat a reply to the client
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=2, fault_plan=plan, retry=FAST_RETRY
+    )
+    tracer = cluster.enable_tracing()
+    sent, received = _roundtrip(cluster)
+    assert received == sent
+    delta = cluster.stat_delta()
+    assert delta["pvfs.client.timeouts"][0] >= 1
+    assert delta["pvfs.client.retries"][0] >= 1
+    retry_events = [e for e in tracer.events if e.event == "client.retry"]
+    assert retry_events, "retry must be visible in the trace"
+
+
+def test_fault_run_matches_fault_free_run_byte_for_byte():
+    plan = FaultPlan(seed=5)
+    for hook in FAULT_HOOKS:
+        if hook != "iod.crash":
+            plan.one_shot(hook)
+    faulty = PVFSCluster(n_clients=1, n_iods=2, fault_plan=plan, retry=FAST_RETRY)
+    clean = PVFSCluster(n_clients=1, n_iods=2)
+    sent_f, received_f = _roundtrip(faulty)
+    sent_c, received_c = _roundtrip(clean)
+    assert sent_f == sent_c
+    assert received_f == sent_f
+    assert received_c == sent_c
+    assert (
+        faulty.logical_file_bytes("/pfs/recovery")
+        == clean.logical_file_bytes("/pfs/recovery")
+    )
+    assert plan.total_injected >= 2
+    # Recovery left fingerprints: at least one mechanism engaged.
+    delta = faulty.stat_delta()
+    engaged = sum(
+        delta.get(name, (0, 0))[0]
+        for name in (
+            "pvfs.client.retries",
+            "pvfs.client.timeouts",
+            "pvfs.client.send_retries",
+            "ib.retransmits",
+            "pvfs.iod.disk_retries",
+        )
+    )
+    assert engaged >= 1
+
+
+def test_identical_seeds_inject_identically():
+    def run(seed):
+        plan = FaultPlan.uniform(0.02, seed=seed)
+        cluster = PVFSCluster(
+            n_clients=1, n_iods=2, fault_plan=plan, retry=FAST_RETRY
+        )
+        sent, received = _roundtrip(cluster)
+        assert received == sent
+        return plan.summary(), cluster.sim.now
+
+    assert run(11) == run(11)
+
+
+def test_iod_crash_with_restart_completes():
+    plan = FaultPlan(seed=2)
+    plan.one_shot("iod.crash", duration_us=50_000.0)
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=2, fault_plan=plan, retry=FAST_RETRY
+    )
+    sent, received = _roundtrip(cluster)
+    assert received == sent
+    delta = cluster.stat_delta()
+    assert delta["pvfs.iod.crashes"][0] == 1
+    assert delta["pvfs.iod.restarts"][0] == 1
+    assert not cluster.failed_iods
+
+
+def test_dead_iod_degrades_instead_of_hanging():
+    plan = FaultPlan(seed=2)
+    plan.one_shot("iod.crash", node="iod0")  # no duration: dead for good
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=2, fault_plan=plan, retry=FAST_RETRY
+    )
+    with pytest.raises(DegradedError) as ei:
+        _roundtrip(cluster)
+    assert ei.value.iod == 0
+    assert cluster.failed_iods == {0}
+    # Bounded: the whole retry budget is a handful of simulated seconds.
+    assert cluster.sim.now < 10e6
+    delta = cluster.stat_delta()
+    assert delta["pvfs.cluster.degraded_iods"][0] == 1
+
+
+def test_degraded_iod_fails_fast_on_later_requests():
+    plan = FaultPlan(seed=2)
+    plan.one_shot("iod.crash", node="iod0")
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=2, fault_plan=plan, retry=FAST_RETRY
+    )
+    with pytest.raises(DegradedError):
+        _roundtrip(cluster)
+    after_first = cluster.sim.now
+    c = cluster.clients[0]
+    addr = c.node.space.malloc(KB)
+    c.node.space.write(addr, b"x" * KB)
+    outcome = []
+
+    def proc():
+        f = yield from c.open("/pfs/second")
+        try:
+            yield from c.write(f, addr, 0, KB)
+        except DegradedError as e:
+            outcome.append(e)
+
+    cluster.run([proc()])
+    assert outcome, "second touch of the dead iod must fail too"
+    # Fail-fast: no second multi-second retry ladder.
+    assert cluster.sim.now - after_first < FAST_RETRY.timeout_us

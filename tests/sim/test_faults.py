@@ -1,0 +1,195 @@
+"""Unit tests for the fault-injection plan and the engine features it
+leans on (event cancellation, canceled-waiter skipping, until_event)."""
+
+import pytest
+
+from repro.sim import (
+    FAULT_HOOKS,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    SimulationError,
+    Simulator,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.stats import StatRegistry
+
+pytestmark = pytest.mark.faults
+
+
+# ---------------------------------------------------------------------------
+# FaultRule / FaultPlan
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_hook_rejected():
+    with pytest.raises(ValueError, match="unknown fault hook"):
+        FaultRule(hook="qp.sned")
+    with pytest.raises(ValueError):
+        FaultPlan().add("disk.fsync")
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError, match="probability"):
+        FaultRule(hook="qp.send", probability=1.5)
+    with pytest.raises(ValueError, match="1-based"):
+        FaultRule(hook="qp.send", at=0)
+
+
+def test_one_shot_fires_exactly_on_nth_evaluation():
+    plan = FaultPlan(seed=3)
+    plan.one_shot("disk.read", at=3)
+    fired = [plan.fires("disk.read") is not None for _ in range(6)]
+    assert fired == [False, False, True, False, False, False]
+    assert plan.total_injected == 1
+    assert plan.summary() == {"disk.read": 1}
+
+
+def test_node_filter_restricts_rule():
+    plan = FaultPlan()
+    plan.one_shot("disk.write", node="iod1")
+    assert plan.fires("disk.write", node="iod0") is None
+    assert plan.fires("disk.write", node="iod1") is not None
+    assert plan.fires("disk.write", node="iod1") is None  # one-shot spent
+
+
+def test_probabilistic_firing_deterministic_for_fixed_seed():
+    def sequence(seed):
+        plan = FaultPlan(seed=seed)
+        plan.add("qp.send", probability=0.3)
+        return [plan.fires("qp.send") is not None for _ in range(50)]
+
+    assert sequence(7) == sequence(7)
+    assert sequence(7) != sequence(8)  # seeds actually matter
+    assert any(sequence(7))
+
+
+def test_counters_advance_on_every_matching_evaluation():
+    # A one-shot schedule must not shift because an unrelated
+    # probabilistic rule exists on the same hook.
+    plan = FaultPlan(seed=0)
+    noise = plan.add("disk.read", probability=0.0)
+    shot = plan.one_shot("disk.read", at=2)
+    plan.fires("disk.read")
+    assert (noise.seen, shot.seen) == (1, 1)
+    assert plan.fires("disk.read") is shot
+
+
+def test_check_raises_injected_fault_with_context():
+    plan = FaultPlan()
+    plan.one_shot("reg.register", node="cn0")
+    with pytest.raises(InjectedFault) as ei:
+        plan.check("reg.register", node="cn0", detail="pin pressure")
+    assert ei.value.hook == "reg.register"
+    assert ei.value.node == "cn0"
+    assert "pin pressure" in str(ei.value)
+    # Evaluation without a firing rule is silent.
+    plan.check("reg.register", node="cn0")
+
+
+def test_uniform_excludes_crash_unless_asked():
+    plan = FaultPlan.uniform(0.1, seed=1)
+    hooks = {r.hook for r in plan.rules}
+    assert "iod.crash" not in hooks
+    assert hooks == set(FAULT_HOOKS) - {"iod.crash"}
+    with_crash = FaultPlan.uniform(0.1, seed=1, crash=True)
+    assert {r.hook for r in with_crash.rules} == set(FAULT_HOOKS)
+    explicit = FaultPlan.uniform(0.1, hooks=["iod.crash"])
+    assert [r.hook for r in explicit.rules] == ["iod.crash"]
+
+
+def test_injections_land_in_wired_stats():
+    plan = FaultPlan()
+    plan.stats = StatRegistry()
+    plan.one_shot("staging.acquire")
+    plan.fires("staging.acquire")
+    assert plan.stats.counter("faults.staging.acquire").count == 1
+
+
+# ---------------------------------------------------------------------------
+# Engine features the recovery machinery depends on
+# ---------------------------------------------------------------------------
+
+
+def test_canceled_timeout_does_not_advance_clock():
+    sim = Simulator()
+    long_wait = sim.timeout(1_000_000.0)
+    sim.timeout(5.0)
+    long_wait.cancel()
+    sim.run()
+    assert sim.now == 5.0
+
+
+def test_cancel_processed_event_rejected():
+    sim = Simulator()
+    t = sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        t.cancel()
+
+
+def test_run_until_event_stops_early():
+    sim = Simulator()
+    first = sim.timeout(10.0)
+    sim.timeout(10_000.0)
+    sim.run(until_event=first)
+    assert sim.now == 10.0
+
+
+def test_canceled_store_getter_does_not_eat_items():
+    sim = Simulator()
+    store = Store(sim)
+    stale = store.get()  # abandoned waiter (e.g. a timed-out requester)
+    stale.cancel()
+    got = []
+
+    def consumer():
+        got.append((yield store.get()))
+
+    sim.process(consumer())
+    store.put("msg")
+    sim.run()
+    assert got == ["msg"]
+
+
+def test_resource_release_skips_canceled_waiter():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    held = res.request()  # granted immediately
+    assert held.triggered
+    stale = res.request()  # queued, then abandoned by its requester
+    stale.cancel()
+    real = res.request()  # queued behind the canceled waiter
+    res.release()
+    assert real.triggered  # grant skipped the canceled waiter
+    assert not stale.triggered
+    assert res.in_use == 1  # exactly one grant outstanding
+    res.release()
+    assert res.in_use == 0
+
+
+def test_interrupt_cancels_abandoned_wait():
+    sim = Simulator()
+    store = Store(sim)
+
+    def waiter():
+        try:
+            yield store.get()
+        except Exception:
+            yield sim.timeout(1.0)
+
+    p = sim.process(waiter())
+
+    def interrupter():
+        yield sim.timeout(2.0)
+        p.interrupt("give up")
+
+    def late_put():
+        yield sim.timeout(5.0)
+        yield store.put("late")
+
+    sim.process(interrupter())
+    sim.process(late_put())
+    sim.run()
+    # The interrupted process's get() must not have consumed the item.
+    assert list(store.items) == ["late"]
