@@ -1,0 +1,63 @@
+"""Wall-clock performance of the real data plane (PR-3 gate).
+
+Unlike the figure/table benchmarks, which report *simulated* time, this
+one times the actual Python byte movement with ``time.perf_counter``:
+
+- the legacy three-copy transfer body versus the zero-copy ``copy_to``
+  path (must stay >= 1.5x);
+- end-to-end wall-clock MB/s per transfer scheme on the Figure 3
+  workload;
+- the elevator scheduler's simulated-time win on interleaved writes.
+
+CI runs this and additionally diffs a fresh ``python -m repro bench``
+run against the committed ``BENCH_baseline.json`` (memcpy-normalized,
+>20% drop fails).
+"""
+
+import pytest
+
+from repro.bench import Table, write_result
+from repro.bench import wallclock
+
+
+def test_wallclock_data_plane_and_schemes(benchmark):
+    result = benchmark.pedantic(
+        wallclock.run_bench,
+        kwargs={"label": "smoke", "n": 1024, "repeats": 3},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        "Wall-clock bandwidth of the real byte movement (N=1024)",
+        ["scheme", "wall MB/s", "sim MB/s"],
+    )
+    for name, row in result["schemes"].items():
+        table.add(name, row["wall_mb_s"], row["sim_mb_s"])
+    dp = result["data_plane"]
+    el = result["elevator"]
+    table.note(
+        f"memcpy {result['machine']['memcpy_mb_s']:.0f} MB/s;"
+        f" data plane {dp['legacy_mb_s']:.0f} -> {dp['zerocopy_mb_s']:.0f}"
+        f" MB/s ({dp['speedup']:.2f}x);"
+        f" elevator {el['sim_speedup']:.2f}x sim,"
+        f" {el['merged_extents']:.0f} merged extents"
+    )
+    out = str(table)
+    print("\n" + out)
+    write_result("wallclock", out)
+
+    # Acceptance: zero-copy gather path >= 1.5x over the pre-PR chain.
+    assert dp["speedup"] >= 1.5, dp
+
+    # Every scheme actually moved the bytes at a finite measured rate.
+    for name, row in result["schemes"].items():
+        assert row["wall_mb_s"] > 0, name
+        assert row["sim_mb_s"] > 0, name
+
+    # The elevator coalesced cross-request extents and was not slower.
+    assert el["merged_extents"] > 0
+    assert el["sim_speedup"] >= 1.0
+
+    # A run regression-checked against itself must pass its own gate.
+    assert wallclock.check_regression(result, result) == []

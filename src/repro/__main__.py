@@ -208,6 +208,52 @@ def _profile_report(args) -> str:
     return out
 
 
+def _bench_report(args) -> int:
+    from repro.bench import wallclock
+
+    result = wallclock.run_bench(
+        label=args.label,
+        n=args.n,
+        repeats=args.repeats,
+        schemes=args.schemes,
+    )
+    if args.json:
+        path = wallclock.write_bench(result, out=args.out)
+        print(f"wrote {path}")
+    else:
+        t = Table(
+            f"Wall-clock bandwidth ({args.label}, N={args.n})",
+            ["scheme", "wall MB/s", "sim MB/s"],
+        )
+        for name, row in result["schemes"].items():
+            t.add(name, row["wall_mb_s"], row["sim_mb_s"])
+        dp = result["data_plane"]
+        el = result["elevator"]
+        t.note(
+            f"machine memcpy {result['machine']['memcpy_mb_s']:.0f} MB/s;"
+            f" data plane {dp['legacy_mb_s']:.0f} -> {dp['zerocopy_mb_s']:.0f}"
+            f" MB/s ({dp['speedup']:.2f}x);"
+            f" elevator sim speedup {el['sim_speedup']:.2f}x"
+            f" ({el['merged_extents']:.0f} merged extents)"
+        )
+        print(t)
+    if args.check is not None:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = wallclock.check_regression(
+            result, baseline, tolerance=args.tolerance
+        )
+        if failures:
+            for f in failures:
+                print(f"REGRESSION: {f}", file=sys.stderr)
+            return 1
+        print(
+            f"regression check vs {args.check}: OK"
+            f" (tolerance {args.tolerance:.0%})"
+        )
+    return 0
+
+
 def _calibration() -> str:
     tb = paper_testbed()
     lines = ["Testbed calibration (paper preset):"]
@@ -266,6 +312,45 @@ def main(argv=None) -> int:
         metavar="SEED",
         help="seed for the injected-fault schedule (default 0)",
     )
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock MB/s of the real byte movement (+ regression check)",
+    )
+    bench.add_argument(
+        "--label", default="local", help="run label (names BENCH_<label>.json)"
+    )
+    bench.add_argument(
+        "--n", type=int, default=1024, help="subarray size n (Fig. 3 shape)"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="repeats per measurement (min taken)"
+    )
+    bench.add_argument(
+        "--schemes",
+        nargs="+",
+        default=None,
+        choices=scheme_names(),
+        metavar="SCHEME",
+        help="restrict to these transfer schemes (default: all)",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="write BENCH_<label>.json"
+    )
+    bench.add_argument(
+        "--out", default=None, help="output path (implies --json semantics)"
+    )
+    bench.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline BENCH_*.json; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed normalized wall-clock drop before failing (default 0.20)",
+    )
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -282,6 +367,10 @@ def main(argv=None) -> int:
             print(f"profile: {e}", file=sys.stderr)
             return 2
         return 0
+    if args.cmd == "bench":
+        if args.out is not None:
+            args.json = True
+        return _bench_report(args)
 
     ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
     unknown = [i for i in ids if i not in EXPERIMENTS]

@@ -33,6 +33,19 @@ from repro.sim.stats import StatRegistry
 
 __all__ = ["FileLockError", "LocalFile", "LocalFileSystem"]
 
+# Shared zero source for sparse-tail fills: chunks are sliced from this
+# read-only view instead of materializing an O(length) temporary.
+_ZEROS = memoryview(bytes(64 * 1024))
+
+
+def _zero_fill(view: memoryview) -> None:
+    off = 0
+    n = len(view)
+    while off < n:
+        m = min(n - off, len(_ZEROS))
+        view[off : off + m] = _ZEROS[:m]
+        off += m
+
 
 class FileLockError(RuntimeError):
     """Lock protocol misuse (unlock without lock, etc.)."""
@@ -59,34 +72,101 @@ class LocalFile:
 
     # -- I/O (generator-coroutines, run inside simulated processes) --------
 
+    def _copy_out(self, offset: int, dest: memoryview) -> None:
+        """Copy file bytes at ``offset`` into ``dest``, zero-filling the
+        sparse tail in place (no intermediate buffer)."""
+        end = min(offset + len(dest), len(self.data))
+        n = max(0, end - offset)
+        if n:
+            dest[:n] = memoryview(self.data)[offset:end]
+        if n < len(dest):
+            _zero_fill(dest[n:])
+
     def pread(self, offset: int, length: int) -> Generator:
-        """Read ``length`` bytes at ``offset``; returns the bytes."""
-        if offset < 0 or length < 0:
-            raise ValueError("negative offset/length")
+        """Read ``length`` bytes at ``offset``; returns a ``bytes`` snapshot."""
+        if length < 0:
+            raise ValueError("negative length")
+        buf = bytearray(length)
+        yield from self.pread_into(offset, buf)
+        return bytes(buf)
+
+    def pread_buffer(self, offset: int, length: int) -> Generator:
+        """Read into a fresh ``bytearray`` (writable, one copy).
+
+        The sieve-buffer read: the caller patches the buffer in place and
+        hands slices onward without re-snapshotting.
+        """
+        if length < 0:
+            raise ValueError("negative length")
+        buf = bytearray(length)
+        yield from self.pread_into(offset, buf)
+        return buf
+
+    def pread_into(self, offset: int, dest) -> Generator:
+        """Read ``len(dest)`` bytes at ``offset`` into a writable buffer.
+
+        The one-copy read primitive: file bytes land directly in ``dest``
+        (e.g. a staging-buffer view) with no intermediate ``bytes``.
+        Returns the byte count.
+        """
+        if offset < 0:
+            raise ValueError("negative offset")
+        dv = memoryview(dest).cast("B")
+        length = len(dv)
         fs = self.fs
         if fs.faults is not None:
             fs.faults.check("disk.read", node=fs.name, detail=self.name)
         fs.stats.add("disk.read.calls", length)
         if length == 0:
             yield fs.sim.timeout(fs.cost.seek_us())
-            return b""
+            return 0
         cost = fs._read_cost(self, offset, length)
         yield fs.sim.timeout(cost)
         fs._mark_read(self, offset, length)
-        end = min(offset + length, len(self.data))
-        chunk = bytes(self.data[offset:end])
-        if len(chunk) < length:  # sparse tail reads back as zeros
-            chunk += bytes(length - len(chunk))
-        return chunk
+        self._copy_out(offset, dv)
+        return length
 
-    def pwrite(self, offset: int, data: bytes) -> Generator:
-        """Write ``data`` at ``offset`` (write-back); returns bytes written."""
+    def preadv(self, offset: int, dests) -> Generator:
+        """One coalesced read at ``offset`` scattered across ``dests``.
+
+        The elevator scheduler's merged-extent service primitive: the
+        cost model is charged for a *single* contiguous access of the
+        total length, then the bytes are scattered into the destination
+        buffers in order (one copy each).  Returns the byte count.
+        """
+        if offset < 0:
+            raise ValueError("negative offset")
+        views = [memoryview(d).cast("B") for d in dests]
+        total = sum(len(v) for v in views)
+        fs = self.fs
+        if fs.faults is not None:
+            fs.faults.check("disk.read", node=fs.name, detail=self.name)
+        fs.stats.add("disk.read.calls", total)
+        if total == 0:
+            yield fs.sim.timeout(fs.cost.seek_us())
+            return 0
+        cost = fs._read_cost(self, offset, total)
+        yield fs.sim.timeout(cost)
+        fs._mark_read(self, offset, total)
+        pos = offset
+        for v in views:
+            self._copy_out(pos, v)
+            pos += len(v)
+        return total
+
+    def pwrite(self, offset: int, data) -> Generator:
+        """Write a buffer at ``offset`` (write-back); returns bytes written.
+
+        Accepts any buffer-protocol object; the bytes are copied straight
+        into the backing storage (one copy).
+        """
         if offset < 0:
             raise ValueError("negative offset")
         fs = self.fs
         if fs.faults is not None:
             fs.faults.check("disk.write", node=fs.name, detail=self.name)
-        length = len(data)
+        view = memoryview(data).cast("B")
+        length = len(view)
         fs.stats.add("disk.write.calls", length)
         if length == 0:
             yield fs.sim.timeout(fs.cost.seek_us())
@@ -94,10 +174,39 @@ class LocalFile:
         cost, evicted = fs._write_cost(self, offset, length)
         yield fs.sim.timeout(cost)
         self._ensure_size(offset + length)
-        self.data[offset : offset + length] = data
+        self.data[offset : offset + length] = view
         if evicted:
             fs.cache.clean_pages(evicted)
         return length
+
+    def pwritev(self, offset: int, parts) -> Generator:
+        """One coalesced write at ``offset`` gathered from ``parts``.
+
+        Charges the cost model for a single contiguous access of the
+        total length (the scheduler's merged-extent write), then copies
+        each part into place in order.  Returns the byte count.
+        """
+        if offset < 0:
+            raise ValueError("negative offset")
+        views = [memoryview(p).cast("B") for p in parts]
+        total = sum(len(v) for v in views)
+        fs = self.fs
+        if fs.faults is not None:
+            fs.faults.check("disk.write", node=fs.name, detail=self.name)
+        fs.stats.add("disk.write.calls", total)
+        if total == 0:
+            yield fs.sim.timeout(fs.cost.seek_us())
+            return 0
+        cost, evicted = fs._write_cost(self, offset, total)
+        yield fs.sim.timeout(cost)
+        self._ensure_size(offset + total)
+        pos = offset
+        for v in views:
+            self.data[pos : pos + len(v)] = v
+            pos += len(v)
+        if evicted:
+            fs.cache.clean_pages(evicted)
+        return total
 
     def fsync(self) -> Generator:
         """Flush this file's dirty pages to disk; returns bytes flushed."""

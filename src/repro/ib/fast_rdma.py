@@ -60,5 +60,18 @@ class FastRdmaPool:
             raise ValueError(f"address {addr:#x} is not a pool buffer")
         self._free.put(addr)
 
+    def view(self, addr: int, nbytes: int, writable: bool = False) -> memoryview:
+        """Zero-copy window over a held pool buffer.
+
+        Valid only between :meth:`acquire` and :meth:`release` of
+        ``addr`` — pool buffers are exclusively held, so the view is safe
+        across simulated-time yields for the holder.
+        """
+        if addr not in self.addresses:
+            raise ValueError(f"address {addr:#x} is not a pool buffer")
+        if nbytes > self.buf_size:
+            raise ValueError(f"{nbytes} bytes exceeds pool buffer size {self.buf_size}")
+        return self.node.space.view(addr, nbytes, writable=writable)
+
     def fits(self, nbytes: int) -> bool:
         return nbytes <= self.buf_size

@@ -126,8 +126,9 @@ class QueuePair:
         )
         yield from self._charge(cost, nbytes, "rdma_write")
 
-        data = self.node.space.gather(segments)
-        self.peer_node.space.write(remote_addr, data)
+        # One copy: local segment views land directly in the peer's
+        # backing storage, as the HCA's gather DMA would.
+        self.node.space.copy_to(segments, self.peer_node.space, remote_addr)
         return nbytes
 
     # -- RDMA read (scatter) ---------------------------------------------------------
@@ -157,8 +158,9 @@ class QueuePair:
         )
         yield from self._charge(cost, nbytes, "rdma_read")
 
-        data = self.peer_node.space.read(remote_addr, nbytes)
-        self.node.space.scatter(segments, data)
+        # One copy: remote window views scatter directly into the local
+        # segments, as the HCA's scatter DMA would.
+        self.node.space.copy_from(self.peer_node.space, remote_addr, segments)
         return nbytes
 
     # -- channel semantics -------------------------------------------------------------

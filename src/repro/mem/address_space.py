@@ -20,12 +20,37 @@ Query mechanisms (Section 4.3 of the paper):
 - the same data via ``/proc/<pid>/maps`` is just a different *cost*,
   chosen by the caller via ``Testbed.vm_query_us(via_proc=True)``.
 - :meth:`mincore` — per-page residency bitmap, the portable fallback.
+
+Zero-copy access model
+----------------------
+The data plane moves real bytes, so copy discipline matters for the
+repository's *wall-clock* throughput, not just the simulated figures.
+Two families of accessors exist:
+
+- **Snapshots** — :meth:`read`, :meth:`gather` return ``bytes``.  Safe to
+  hold across simulated-time yields: a concurrent writer can never tear
+  them.  Each costs one copy.
+- **Views** — :meth:`view`, :meth:`iter_views` return ``memoryview``
+  windows that *alias* the backing storage (zero copies).  A view is a
+  borrow: it must either be consumed before the holder's next yield, or
+  the holder must own the underlying allocation exclusively for the
+  view's lifetime (e.g. an I/O daemon holding a staging buffer it
+  acquired from the pool).  Code that lets a view escape a yield without
+  exclusivity must snapshot it first (``bytes(view)``).
+
+The one-copy transfer primitives (:meth:`copy_to`, :meth:`copy_from`,
+:meth:`gather_into`, :meth:`read_into`, and buffer-accepting
+:meth:`write`/:meth:`scatter`) are built on views internally and never
+materialize an intermediate ``bytes``; they are what the QP RDMA layer,
+the pack/unpack scheme, and the I/O daemon staging paths use so each
+hop of client-buffer -> wire -> staging -> disk performs exactly one
+copy.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional
+from typing import Iterator, List, Optional, Sequence, Union
 
 from repro.mem.segments import Segment
 
@@ -210,11 +235,60 @@ class AddressSpace:
             self._page_has_mapping(p * self.page_size) for p in range(first, last + 1)
         ]
 
+    # -- views (zero-copy) -------------------------------------------------------
+
+    def iter_views(
+        self, addr: int, length: int, writable: bool = False
+    ) -> Iterator[memoryview]:
+        """Yield per-block ``memoryview`` windows covering the range.
+
+        Zero copies: the views alias backing storage.  Read-only unless
+        ``writable``.  Raises :class:`HoleError` on gaps.  See the module
+        docstring for the borrow discipline (no escaping a sim-time yield
+        without exclusive ownership).
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        pos = addr
+        end = addr + length
+        while pos < end:
+            block = self._block_at(pos)
+            if block is None:
+                raise HoleError(f"view touches unmapped address {pos:#x}")
+            n = min(block.end - pos, end - pos)
+            start = pos - block.addr
+            mv = memoryview(block.data)[start : start + n]
+            yield mv if writable else mv.toreadonly()
+            pos += n
+
+    def view(self, addr: int, length: int, writable: bool = False) -> memoryview:
+        """A single contiguous ``memoryview`` window over one block.
+
+        Zero copies.  The range must lie within one allocation; a range
+        spanning blocks (even back-to-back ones) raises
+        :class:`HoleError` — use :meth:`iter_views` for those.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        block = self._block_at(addr)
+        if block is None or addr + length > block.end:
+            raise HoleError(
+                f"view [{addr:#x}, +{length}) is not within a single allocation"
+            )
+        start = addr - block.addr
+        mv = memoryview(block.data)[start : start + length]
+        return mv if writable else mv.toreadonly()
+
     # -- data access -------------------------------------------------------------
 
-    def write(self, addr: int, data: bytes) -> None:
-        """Copy ``data`` into the space; raises :class:`HoleError` on gaps."""
-        view = memoryview(data)
+    def write(self, addr: int, data) -> None:
+        """Copy a buffer-protocol object into the space (one copy).
+
+        Accepts ``bytes``, ``bytearray``, ``memoryview`` — anything the
+        buffer protocol exposes as contiguous bytes.  Raises
+        :class:`HoleError` on gaps.
+        """
+        view = memoryview(data).cast("B")
         pos = addr
         off = 0
         while off < len(view):
@@ -228,42 +302,126 @@ class AddressSpace:
             off += n
 
     def read(self, addr: int, length: int) -> bytes:
-        """Read ``length`` bytes; raises :class:`HoleError` on gaps."""
-        if length < 0:
-            raise ValueError("length must be non-negative")
+        """Read ``length`` bytes as an immutable snapshot (one copy).
+
+        The returned ``bytes`` never aliases backing storage, so it is
+        safe to hold across simulated-time yields.  Raises
+        :class:`HoleError` on gaps.
+        """
         out = bytearray(length)
-        pos = addr
-        off = 0
-        while off < length:
-            block = self._block_at(pos)
-            if block is None:
-                raise HoleError(f"read touches unmapped address {pos:#x}")
-            n = min(block.end - pos, length - off)
-            start = pos - block.addr
-            out[off : off + n] = block.data[start : start + n]
-            pos += n
-            off += n
+        self.read_into(addr, out)
         return bytes(out)
 
+    def read_into(self, addr: int, dest) -> int:
+        """Copy ``len(dest)`` bytes from ``addr`` into a writable buffer.
+
+        The one-copy read: no intermediate ``bytes`` is built.  Returns
+        the byte count.  Raises :class:`HoleError` on gaps.
+        """
+        dv = memoryview(dest).cast("B")
+        if dv.readonly:
+            raise ValueError("read_into needs a writable destination buffer")
+        off = 0
+        for mv in self.iter_views(addr, len(dv)):
+            dv[off : off + len(mv)] = mv
+            off += len(mv)
+        return off
+
     def fill(self, addr: int, length: int, byte: int) -> None:
-        """Fill a mapped range with one byte value (test scaffolding)."""
-        self.write(addr, bytes([byte]) * length)
+        """Fill a mapped range with one byte value, in place.
+
+        No O(length) temporary: each backing slice is filled by seeding
+        one byte and doubling within the destination window.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if not 0 <= byte <= 255:
+            raise ValueError(f"byte value out of range: {byte}")
+        seed = bytes((byte,))
+        for mv in self.iter_views(addr, length, writable=True):
+            n = len(mv)
+            mv[0:1] = seed
+            filled = 1
+            while filled < n:
+                m = min(filled, n - filled)
+                mv[filled : filled + m] = mv[:m]
+                filled += m
 
     # -- scatter/gather ------------------------------------------------------------
 
     def gather(self, segments: Sequence[Segment]) -> bytes:
-        """Concatenate the bytes of ``segments`` in order (the pack copy)."""
-        return b"".join(self.read(s.addr, s.length) for s in segments)
+        """Concatenate the bytes of ``segments`` into a snapshot (one copy)."""
+        out = bytearray(sum(s.length for s in segments))
+        self.gather_into(segments, out)
+        return bytes(out)
 
-    def scatter(self, segments: Sequence[Segment], data: bytes) -> None:
-        """Distribute ``data`` across ``segments`` in order (the unpack copy)."""
-        need = sum(s.length for s in segments)
-        if need != len(data):
-            raise ValueError(
-                f"scatter size mismatch: segments want {need} bytes, got {len(data)}"
-            )
-        view = memoryview(data)
+    def gather_into(self, segments: Sequence[Segment], dest: Union[int, bytearray, memoryview]) -> int:
+        """Gather ``segments`` into a destination, one copy total.
+
+        ``dest`` is either an address in *this* space or a writable
+        buffer.  Returns the byte count.
+        """
+        if isinstance(dest, int):
+            total = sum(s.length for s in segments)
+            return self.gather_into(segments, self.view(dest, total, writable=True))
+        dv = memoryview(dest).cast("B")
+        if dv.readonly:
+            raise ValueError("gather_into needs a writable destination buffer")
         off = 0
         for s in segments:
-            self.write(s.addr, bytes(view[off : off + s.length]))
+            for mv in self.iter_views(s.addr, s.length):
+                dv[off : off + len(mv)] = mv
+                off += len(mv)
+        if off != len(dv):
+            raise ValueError(
+                f"gather_into size mismatch: segments carry {off} bytes, "
+                f"destination holds {len(dv)}"
+            )
+        return off
+
+    def scatter(self, segments: Sequence[Segment], data) -> None:
+        """Distribute a buffer across ``segments`` in order (one copy)."""
+        view = memoryview(data).cast("B")
+        need = sum(s.length for s in segments)
+        if need != len(view):
+            raise ValueError(
+                f"scatter size mismatch: segments want {need} bytes, got {len(view)}"
+            )
+        off = 0
+        for s in segments:
+            self.write(s.addr, view[off : off + s.length])
             off += s.length
+
+    # -- cross-space transfer (the one-copy wire) ---------------------------------
+
+    def copy_to(
+        self, segments: Sequence[Segment], dst_space: "AddressSpace", dst_addr: int
+    ) -> int:
+        """Gather local ``segments`` directly into another space (one copy).
+
+        The zero-copy RDMA-write primitive: source views are copied
+        straight into the destination's backing storage with no
+        intermediate buffer.  Returns the byte count.
+        """
+        pos = dst_addr
+        for s in segments:
+            for mv in self.iter_views(s.addr, s.length):
+                dst_space.write(pos, mv)
+                pos += len(mv)
+        return pos - dst_addr
+
+    def copy_from(
+        self, src_space: "AddressSpace", src_addr: int, segments: Sequence[Segment]
+    ) -> int:
+        """Scatter a contiguous remote window into local ``segments`` (one copy).
+
+        The zero-copy RDMA-read primitive.  Returns the byte count.
+        """
+        pos = src_addr
+        for s in segments:
+            local = s.addr
+            for mv in src_space.iter_views(pos, s.length):
+                self.write(local, mv)
+                local += len(mv)
+            pos += s.length
+        return pos - src_addr

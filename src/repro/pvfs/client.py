@@ -795,9 +795,10 @@ class PVFSClient:
             segments=len(mem_segs), scheme="eager",
         ):
             try:
-                # Pack the noncontiguous pieces (the memcpy of Pack/Unpack).
+                # Pack the noncontiguous pieces (the memcpy of Pack/Unpack)
+                # straight into the held pool buffer — one copy.
                 yield self.sim.timeout(self.testbed.memcpy_us(total))
-                space.write(client_buf, space.gather(mem_segs))
+                space.gather_into(mem_segs, client_buf)
                 yield from rdma_with_retry(
                     conn.qp, "write", [Segment(client_buf, total)],
                     server_buf, request_ctx=ctx,
@@ -881,7 +882,8 @@ class PVFSClient:
             ):
                 yield self.sim.timeout(self.testbed.memcpy_us(total))
                 space = self.node.space
-                space.scatter(mem_segs, space.read(client_buf, total))
+                # Unpack a pool-buffer view — one copy, no intermediate.
+                space.scatter(mem_segs, space.view(client_buf, total))
         finally:
             self.pool.release(client_buf)
         return total

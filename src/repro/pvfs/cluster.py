@@ -52,6 +52,7 @@ class PVFSCluster:
         stripe_size: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
+        elevator_enabled: bool = True,
     ):
         if n_clients < 1 or n_iods < 1:
             raise ValueError("need at least one client and one I/O node")
@@ -98,6 +99,7 @@ class PVFSCluster:
                 ads_enabled_default=ads_enabled,
                 cache_aware_decisions=cache_aware_decisions,
                 ads_force=ads_force,
+                elevator_enabled=elevator_enabled,
             )
             for i, node in enumerate(self.iod_nodes)
         ]

@@ -9,11 +9,19 @@ access through a per-node disk lock, so network transfers from other
 clients overlap disk time — the overlap a real event-driven iod gets.
 
 The disk phase is where the paper's Section 5 lives: the daemon runs
-:func:`repro.core.ads.plan_sieve` over the request's (physical) file
-segments and either services pieces directly or sieves.  The decision
-uses the *conservative* uncached estimates exactly as the paper
-specifies; ``cache_aware_decisions=True`` switches on the "server knows
-its cache" refinement for the ablation benchmark.
+:func:`repro.core.ads.plan_sieve` over the (physical) file segments and
+either services pieces directly or sieves.  The decision uses the
+*conservative* uncached estimates exactly as the paper specifies;
+``cache_aware_decisions=True`` switches on the "server knows its cache"
+refinement for the ablation benchmark.
+
+Handlers do not perform disk I/O themselves: each disk phase becomes a
+:class:`~repro.pvfs.scheduler.DiskJob` submitted to the per-daemon
+:class:`~repro.pvfs.scheduler.ElevatorScheduler`, which batches jobs
+from *all* queued requests, merges adjacent extents, services them in
+offset order, and runs the ADS decision over the coalesced batch.  Data
+moves zero-copy: write jobs read straight out of the staging buffer, and
+read jobs land disk bytes directly in it.
 """
 
 from __future__ import annotations
@@ -27,7 +35,8 @@ from repro.core.ads import AdsCostModel, SievePlan, plan_sieve
 from repro.disk.localfile import LocalFile, LocalFileSystem
 from repro.ib.hca import Node
 from repro.ib.qp import QueuePair
-from repro.mem.segments import Segment, iter_intersections
+from repro.mem.segments import Segment
+from repro.pvfs.scheduler import DiskJob, ElevatorScheduler
 from repro.pvfs.protocol import (
     AccessMode,
     DataReady,
@@ -78,6 +87,7 @@ class IODaemon:
         ads_force: Optional[bool] = None,
         staging_buffers: int = DEFAULT_STAGING_BUFFERS,
         staging_bytes: int = DEFAULT_STAGING_BYTES,
+        elevator_enabled: bool = True,
     ):
         self.sim = sim
         self.node = node
@@ -103,6 +113,10 @@ class IODaemon:
             node.hca.table.register(node.space, addr, staging_bytes)
             self._staging.put(addr)
         self.disk_lock = Resource(sim, capacity=1, name=f"iod{index}.disk")
+        # All disk phases funnel through the elevator pump; handlers no
+        # longer take the disk lock themselves.  ``elevator_enabled=False``
+        # keeps the pump in FIFO (arrival-order) mode for A/B comparison.
+        self.scheduler = ElevatorScheduler(self, enabled=elevator_enabled)
         self.tracer = None  # set by PVFSCluster.enable_tracing
         # Fault-injection plan; attached by the cluster (None = healthy).
         self.faults = None
@@ -248,11 +262,6 @@ class IODaemon:
         self.crashed = False
         self.node.stats.add("pvfs.iod.restarts")
 
-    def _checkpoint(self) -> None:
-        """Abort the calling handler if the daemon crashed under it."""
-        if self.crashed:
-            raise InjectedFault("iod.crash", self.name, "daemon died mid-request")
-
     def _send_reliable(self, qp: QueuePair, msg, nbytes: int) -> Generator:
         """Send a reply, riding out transient send faults.
 
@@ -274,25 +283,6 @@ class IODaemon:
                     self.node.stats.add("pvfs.iod.reply_failures")
                     return False
                 yield self.sim.timeout(SEND_RETRY_BACKOFF_US * failures)
-
-    def _retry_disk(self, factory) -> Generator:
-        """Run ``factory()`` (a generator factory over disk ops), retrying
-        injected disk failures with a short pause.  Disk phases re-execute
-        from scratch on retry; they are idempotent (same data, same
-        offsets), so this is safe."""
-        failures = 0
-        while True:
-            self._checkpoint()
-            try:
-                return (yield from factory())
-            except InjectedFault as exc:
-                if exc.hook == "iod.crash":
-                    raise
-                failures += 1
-                self.node.stats.add("pvfs.iod.disk_retries")
-                if failures > DISK_RETRIES:
-                    raise
-                yield self.sim.timeout(DISK_RETRY_BACKOFF_US * failures)
 
     def _expect_followup(self, inbox: Store, cls, req: IORequest, what: str) -> Generator:
         """Next follow-up message for this request's *current* attempt.
@@ -398,30 +388,38 @@ class IODaemon:
     def _handle_fsync(self, qp: QueuePair, msg: FsyncRequest) -> Generator:
         yield self.sim.timeout(self.testbed.server_request_cpu_us)
         f = self.stripe_file(msg.handle)
-        yield self.disk_lock.request()
-        try:
-            flushed = yield from f.fsync()
-        finally:
-            self.disk_lock.release()
+        # A barrier job: the scheduler services every job submitted
+        # before it first, never reorders anything across it.
+        job = DiskJob(self.sim, "barrier", f)
+        self.scheduler.submit(job)
+        flushed = yield job.done
         yield from self._send_reliable(
             qp,
             Done(msg.request_id, flushed),
             nbytes=self.testbed.reply_msg_bytes,
         )
 
-    def _decide(self, req: IORequest, f: LocalFile) -> SievePlan:
-        segs = list(req.file_segments)
+    def decide_sieve(
+        self, segs: List[Segment], op: str, f: LocalFile, synced: bool
+    ) -> SievePlan:
+        """The ADS verdict for one scheduler batch group.
+
+        ``segs`` is whatever will actually hit the platter — one
+        request's segments, or the coalesced extents of a whole elevator
+        batch.  ``synced`` is whether any participating write bypasses
+        write-back (it disables the cache-aware shortcut).
+        """
         if self.cache_aware_decisions and self.fs.cache.enabled:
             lo = min(s.addr for s in segs)
             hi = max(s.end for s in segs)
-            if req.op == "read":
+            if op == "read":
                 cached = self.fs.cache.is_fully_resident(f.file_id, lo, hi - lo)
             else:
                 # Write-back absorbs writes at cache speed unless syncing.
-                cached = not (req.mode & AccessMode.SYNC)
+                cached = not synced
         else:
             cached = False  # the paper's conservative estimate
-        plan = plan_sieve(segs, self.ads_model, req.op, cached=cached)
+        plan = plan_sieve(segs, self.ads_model, op, cached=cached)
         if self.ads_force is not None and len(plan.windows) >= 1:
             forced = self.ads_force and not (
                 len(segs) == 1 or plan.s_req == plan.s_ds == segs[0].length
@@ -429,20 +427,31 @@ class IODaemon:
             plan = dataclasses.replace(plan, use_sieving=forced)
         return plan
 
-    def _sieve_decide(
-        self, ctx: RequestContext, req: IORequest, f: LocalFile, use_ads: bool
-    ) -> Optional[SievePlan]:
-        """Run the ADS decision under its own span (the paper's cost-model
-        evaluation is where the "sieve or not" verdict is made)."""
-        with ctx.span(
-            "iod.sieve_decide", node=self.name, parent=req.span,
-            rid=req.request_id, ads=use_ads,
-        ) as sp:
-            plan = self._decide(req, f) if use_ads else None
-            sp.attrs["verdict"] = "sieve" if (plan and plan.use_sieving) else "direct"
-            if plan is not None:
-                sp.attrs["windows"] = len(plan.windows)
-        return plan
+    def _run_disk_job(
+        self, job: DiskJob, ctx: RequestContext, req: IORequest
+    ) -> Generator:
+        """Submit a disk job and wait it out, keeping span and abort
+        semantics: ``iod.disk_wait`` covers queueing, ``iod.disk`` covers
+        service, and a superseding interrupt never lets the pump touch a
+        staging buffer this handler is about to release."""
+        self.scheduler.submit(job)
+        try:
+            with ctx.span(
+                "iod.disk_wait", node=self.name, parent=req.span, rid=req.request_id
+            ):
+                yield job.started
+            with ctx.span(
+                "iod.disk", node=self.name, parent=req.span, rid=req.request_id
+            ) as disk_span:
+                result = yield job.done
+                disk_span.attrs["sieved"] = job.used_sieving
+        except Interrupt:
+            job.cancelled = True
+            if job.state == "running":
+                # The pump is mid-service on our buffers: drain first.
+                yield job.finished
+            raise
+        return result
 
     # -- write path --------------------------------------------------------------------
 
@@ -461,39 +470,21 @@ class IODaemon:
         yield from self._expect_followup(inbox, TransferDone, req, "DataReady")
 
         f = self.stripe_file(req.handle)
-        data = self.node.space.read(staging, req.total_bytes)
+        # Zero-copy: the job reads straight out of the staging buffer,
+        # which this handler holds exclusively until the job finishes.
+        data = self.node.space.view(staging, req.total_bytes)
         use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
-        plan = self._sieve_decide(ctx, req, f, use_ads)
-
-        with ctx.span(
-            "iod.disk_wait", node=self.name, parent=req.span, rid=req.request_id
-        ):
-            yield self.disk_lock.request()
-        with ctx.span(
-            "iod.disk", node=self.name, parent=req.span, rid=req.request_id
-        ) as disk_span:
-            try:
-                if plan is not None and plan.use_sieving:
-                    disk_span.attrs["sieved"] = True
-                    self.node.stats.add("pvfs.iod.sieve_writes", req.total_bytes)
-                    yield from self._retry_disk(
-                        lambda: self._sieved_write(f, req, data, plan)
-                    )
-                else:
-                    disk_span.attrs["sieved"] = False
-                    self.node.stats.add("pvfs.iod.direct_writes", req.total_bytes)
-                    yield from self._retry_disk(
-                        lambda: self._direct_write(f, req, data)
-                    )
-                if req.mode & AccessMode.SYNC:
-                    yield from f.fsync()
-            finally:
-                self.disk_lock.release()
+        job = DiskJob(
+            self.sim, "write", f, req.file_segments, data=data,
+            use_ads=use_ads, sync=bool(req.mode & AccessMode.SYNC),
+            ctx=ctx, req_span=req.span, rid=req.request_id,
+        )
+        yield from self._run_disk_job(job, ctx, req)
 
         done = Done(
             req.request_id,
             req.total_bytes,
-            used_sieving=bool(plan and plan.use_sieving),
+            used_sieving=job.used_sieving,
             attempt=req.attempt,
         )
         # The write is durably applied: remember the answer so a
@@ -511,37 +502,21 @@ class IODaemon:
     ) -> Generator:
         """Data was RDMA-written into our fast buffer before the request."""
         f = self.stripe_file(req.handle)
+        # Snapshot, not a view: the fast buffer belongs to the client's
+        # attempt and may be released/reused if it times out and retries
+        # while this job is still queued.
         data = self.node.space.read(req.eager_buffer, req.total_bytes)
         use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
-        plan = self._sieve_decide(ctx, req, f, use_ads)
-        with ctx.span(
-            "iod.disk_wait", node=self.name, parent=req.span, rid=req.request_id
-        ):
-            yield self.disk_lock.request()
-        with ctx.span(
-            "iod.disk", node=self.name, parent=req.span, rid=req.request_id
-        ) as disk_span:
-            try:
-                if plan is not None and plan.use_sieving:
-                    disk_span.attrs["sieved"] = True
-                    self.node.stats.add("pvfs.iod.sieve_writes", req.total_bytes)
-                    yield from self._retry_disk(
-                        lambda: self._sieved_write(f, req, data, plan)
-                    )
-                else:
-                    disk_span.attrs["sieved"] = False
-                    self.node.stats.add("pvfs.iod.direct_writes", req.total_bytes)
-                    yield from self._retry_disk(
-                        lambda: self._direct_write(f, req, data)
-                    )
-                if req.mode & AccessMode.SYNC:
-                    yield from f.fsync()
-            finally:
-                self.disk_lock.release()
+        job = DiskJob(
+            self.sim, "write", f, req.file_segments, data=data,
+            use_ads=use_ads, sync=bool(req.mode & AccessMode.SYNC),
+            ctx=ctx, req_span=req.span, rid=req.request_id,
+        )
+        yield from self._run_disk_job(job, ctx, req)
         done = Done(
             req.request_id,
             req.total_bytes,
-            used_sieving=bool(plan and plan.use_sieving),
+            used_sieving=job.used_sieving,
             eager_buffer=req.eager_buffer,
             attempt=req.attempt,
         )
@@ -554,30 +529,14 @@ class IODaemon:
         """Push results straight into the client's fast buffer."""
         f = self.stripe_file(req.handle)
         use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
-        plan = self._sieve_decide(ctx, req, f, use_ads)
-        with ctx.span(
-            "iod.disk_wait", node=self.name, parent=req.span, rid=req.request_id
-        ):
-            yield self.disk_lock.request()
-        with ctx.span(
-            "iod.disk", node=self.name, parent=req.span, rid=req.request_id
-        ) as disk_span:
-            try:
-                if plan is not None and plan.use_sieving:
-                    disk_span.attrs["sieved"] = True
-                    self.node.stats.add("pvfs.iod.sieve_reads", req.total_bytes)
-                    data = yield from self._retry_disk(
-                        lambda: self._sieved_read(f, req, plan)
-                    )
-                else:
-                    disk_span.attrs["sieved"] = False
-                    self.node.stats.add("pvfs.iod.direct_reads", req.total_bytes)
-                    data = yield from self._retry_disk(
-                        lambda: self._direct_read(f, req)
-                    )
-            finally:
-                self.disk_lock.release()
-        self.node.space.write(staging, data)
+        # Zero-copy: the disk bytes land directly in our staging buffer,
+        # held exclusively by this handler for the job's lifetime.
+        dest = self.node.space.view(staging, req.total_bytes, writable=True)
+        job = DiskJob(
+            self.sim, "read", f, req.file_segments, dest=dest,
+            use_ads=use_ads, ctx=ctx, req_span=req.span, rid=req.request_id,
+        )
+        yield from self._run_disk_job(job, ctx, req)
         yield from rdma_with_retry(
             qp, "write", [Segment(staging, req.total_bytes)], req.eager_buffer,
             request_ctx=ctx,
@@ -588,45 +547,6 @@ class IODaemon:
             nbytes=self.testbed.reply_msg_bytes,
         )
 
-    def _direct_write(self, f: LocalFile, req: IORequest, data: bytes) -> Generator:
-        cpu = self.testbed.server_access_cpu_us * len(req.file_segments)
-        yield self.sim.timeout(cpu)
-        off = 0
-        for seg in req.file_segments:
-            yield from f.pwrite(seg.addr, data[off : off + seg.length])
-            off += seg.length
-
-    def _sieved_write(
-        self, f: LocalFile, req: IORequest, data: bytes, plan: SievePlan
-    ) -> Generator:
-        # Staging offsets of each file segment, in request order.
-        offsets = []
-        off = 0
-        for seg in req.file_segments:
-            offsets.append(off)
-            off += seg.length
-        yield self.sim.timeout(
-            self.testbed.server_access_cpu_us * len(plan.windows)
-        )
-        for window in plan.windows:
-            yield from f.lock()
-            try:
-                buf = bytearray((yield from f.pread(window.addr, window.length)))
-                wanted = 0
-                for idx, clipped in iter_intersections(
-                    list(req.file_segments), window
-                ):
-                    seg = req.file_segments[idx]
-                    src = offsets[idx] + (clipped.addr - seg.addr)
-                    dst = clipped.addr - window.addr
-                    buf[dst : dst + clipped.length] = data[src : src + clipped.length]
-                    wanted += clipped.length
-                # The "modify" memcpy of T_dsw.
-                yield self.sim.timeout(self.testbed.memcpy_us(wanted))
-                yield from f.pwrite(window.addr, bytes(buf))
-            finally:
-                yield from f.unlock()
-
     # -- read path -------------------------------------------------------------------------
 
     def _handle_read(
@@ -635,32 +555,14 @@ class IODaemon:
     ) -> Generator:
         f = self.stripe_file(req.handle)
         use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
-        plan = self._sieve_decide(ctx, req, f, use_ads)
-
-        with ctx.span(
-            "iod.disk_wait", node=self.name, parent=req.span, rid=req.request_id
-        ):
-            yield self.disk_lock.request()
-        with ctx.span(
-            "iod.disk", node=self.name, parent=req.span, rid=req.request_id
-        ) as disk_span:
-            try:
-                if plan is not None and plan.use_sieving:
-                    disk_span.attrs["sieved"] = True
-                    self.node.stats.add("pvfs.iod.sieve_reads", req.total_bytes)
-                    data = yield from self._retry_disk(
-                        lambda: self._sieved_read(f, req, plan)
-                    )
-                else:
-                    disk_span.attrs["sieved"] = False
-                    self.node.stats.add("pvfs.iod.direct_reads", req.total_bytes)
-                    data = yield from self._retry_disk(
-                        lambda: self._direct_read(f, req)
-                    )
-            finally:
-                self.disk_lock.release()
-
-        self.node.space.write(staging, data)
+        # Zero-copy: the disk bytes land directly in the staging buffer
+        # the client will RDMA-read from.
+        dest = self.node.space.view(staging, req.total_bytes, writable=True)
+        job = DiskJob(
+            self.sim, "read", f, req.file_segments, dest=dest,
+            use_ads=use_ads, ctx=ctx, req_span=req.span, rid=req.request_id,
+        )
+        yield from self._run_disk_job(job, ctx, req)
         sent = yield from self._send_reliable(
             qp,
             DataReady(req.request_id, staging, req.total_bytes, attempt=req.attempt),
@@ -673,31 +575,3 @@ class IODaemon:
             # arrive for this attempt.
             return
         yield from self._expect_followup(inbox, ReleaseStaging, req, "read DataReady")
-
-    def _direct_read(self, f: LocalFile, req: IORequest) -> Generator:
-        cpu = self.testbed.server_access_cpu_us * len(req.file_segments)
-        yield self.sim.timeout(cpu)
-        parts: List[bytes] = []
-        for seg in req.file_segments:
-            parts.append((yield from f.pread(seg.addr, seg.length)))
-        return b"".join(parts)
-
-    def _sieved_read(self, f: LocalFile, req: IORequest, plan: SievePlan) -> Generator:
-        windows: Dict[int, bytes] = {}
-        yield self.sim.timeout(
-            self.testbed.server_access_cpu_us * len(plan.windows)
-        )
-        for i, window in enumerate(plan.windows):
-            windows[i] = yield from f.pread(window.addr, window.length)
-        # Extract the wanted pieces from the sieve buffers (one memcpy).
-        yield self.sim.timeout(self.testbed.memcpy_us(req.total_bytes))
-        parts: List[bytes] = []
-        for seg in req.file_segments:
-            for i, window in enumerate(plan.windows):
-                if window.addr <= seg.addr and seg.end <= window.end:
-                    lo = seg.addr - window.addr
-                    parts.append(windows[i][lo : lo + seg.length])
-                    break
-            else:
-                raise AssertionError(f"segment {seg} not covered by sieve windows")
-        return b"".join(parts)

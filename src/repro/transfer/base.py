@@ -1,4 +1,12 @@
-"""Common interface of the noncontiguous transfer schemes."""
+"""Common interface of the noncontiguous transfer schemes.
+
+Byte movement happens inside the QP layer (:mod:`repro.ib.qp`), which
+copies segment views directly between address spaces — one copy per
+transfer, like the HCA's gather/scatter DMA.  Schemes that stage through
+a temporary buffer (Pack/Unpack, the eager path) add exactly one more
+copy via ``gather_into``/``scatter``-on-a-view; no scheme materializes an
+intermediate ``bytes`` on the data path.
+"""
 
 from __future__ import annotations
 

@@ -16,6 +16,11 @@ strategy          Figure 3 / Table 4 case
 
 ``deregister_after=False`` leaves registrations in the pin-down cache;
 with a warm cache this is the "multiple, no reg" / "Ideal" configuration.
+
+In this reproduction the "no copies" claim holds for wall-clock bytes
+too: the QP's ``copy_to``/``copy_from`` move segment views straight
+between the two address spaces, so the host-side data path performs the
+single DMA-equivalent copy and nothing else.
 """
 
 from __future__ import annotations

@@ -5,7 +5,9 @@ data when the total size of data is not larger than the default PVFS
 stripe size (64 kBytes)" — below that threshold transfers ride the
 pre-registered Fast RDMA buffers (no registration at all, and increasing
 request size matters more than avoiding one copy); above it, RDMA
-Gather/Scatter with Optimistic Group Registration wins.
+Gather/Scatter with Optimistic Group Registration wins.  Both branches
+inherit the zero-copy data path: pack stages through one exclusively
+held pool buffer (one extra memcpy), gather moves views directly.
 """
 
 from __future__ import annotations

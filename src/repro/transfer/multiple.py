@@ -5,6 +5,7 @@ The scheme every stream-transport implementation effectively reduces to
 Each piece pays a full message startup, which is why the paper dismisses
 it — except in the best case where every buffer registration is already
 cached, where it serves as the "multiple, no reg" curve of Figure 3.
+Each per-piece RDMA moves its bytes with the QP's one-copy view path.
 """
 
 from __future__ import annotations

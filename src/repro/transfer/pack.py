@@ -94,9 +94,11 @@ class PackUnpack(TransferScheme):
         try:
             for chunk in _chunks(list(ctx.mem_segments), cap):
                 n = sum(s.length for s in chunk)
-                # Pack: gather user pieces into the temp buffer.
+                # Pack: gather user pieces straight into the temp buffer
+                # (one copy; no intermediate bytes).  The temp is held
+                # exclusively, so the view survives the timeout yield.
                 yield ctx.sim.timeout(ctx.testbed.memcpy_us(n))
-                client.space.write(temp, client.space.gather(chunk))
+                client.space.gather_into(chunk, temp)
                 yield from ctx.rdma_write(
                     [Segment(temp, n)], ctx.remote_addr + moved
                 )
@@ -117,9 +119,10 @@ class PackUnpack(TransferScheme):
                 yield from ctx.rdma_read(
                     ctx.remote_addr + moved, [Segment(temp, n)]
                 )
-                # Unpack: scatter out to the user's pieces.
+                # Unpack: scatter a temp-buffer view out to the user's
+                # pieces (one copy; no intermediate bytes).
                 yield ctx.sim.timeout(ctx.testbed.memcpy_us(n))
-                client.space.scatter(chunk, client.space.read(temp, n))
+                client.space.scatter(chunk, client.space.view(temp, n))
                 moved += n
         finally:
             yield from cleanup()

@@ -1,0 +1,225 @@
+"""Properties of the zero-copy data plane.
+
+Two families:
+
+1. **Aliasing semantics of the memory layer** — views are live borrows
+   of the backing storage (writes show through, read-only unless asked,
+   snapshots don't alias), and the one-copy primitives
+   (``gather_into``/``scatter``/``copy_to``/``copy_from``/``fill``) are
+   byte-equivalent to their naive snapshot-based counterparts.
+
+2. **Borrows never escape a sim-time yield** — data handed to the
+   simulated cluster is either consumed before the handler yields or
+   snapshotted, so mutating a source buffer right after a write
+   completes (and reusing destination buffers across reads) can never
+   tear the bytes that were logically transferred.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import AddressSpace, Segment
+from repro.mem.address_space import HoleError
+from repro.pvfs import PVFSCluster
+
+
+def _space():
+    return AddressSpace(page_size=4096)
+
+
+# Strided layouts: (npieces, piece, gap) with pieces crossing page
+# boundaries often enough to exercise multi-block views.
+layouts = st.tuples(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=9000),
+    st.integers(min_value=0, max_value=512),
+)
+
+
+def _alloc_strided(space, npieces, piece, gap):
+    segs = []
+    for _ in range(npieces):
+        segs.append(Segment(space.malloc(piece), piece))
+        if gap:
+            space.skip(gap)
+    return segs
+
+
+def _fill_random(space, segs, rng):
+    payload = bytearray()
+    for s in segs:
+        chunk = rng.randbytes(s.length)
+        space.write(s.addr, chunk)
+        payload += chunk
+    return bytes(payload)
+
+
+# -- family 1: aliasing semantics ----------------------------------------------
+
+
+def test_views_are_live_aliases_snapshots_are_not():
+    space = _space()
+    addr = space.malloc(64)
+    space.fill(addr, 64, 0x11)
+    view = space.view(addr, 64)
+    snap = space.read(addr, 64)
+    space.fill(addr, 64, 0x22)
+    assert bytes(view) == b"\x22" * 64  # the borrow sees the new bytes
+    assert snap == b"\x11" * 64  # the snapshot keeps the old ones
+
+
+def test_views_are_readonly_unless_asked():
+    space = _space()
+    addr = space.malloc(16)
+    with pytest.raises(TypeError):
+        space.view(addr, 16)[0] = 1
+    space.view(addr, 16, writable=True)[0] = 7
+    assert space.read(addr, 1) == b"\x07"
+
+
+def test_view_refuses_to_span_blocks():
+    space = _space()
+    a = space.malloc(32)
+    b = space.malloc(32)
+    if b == a + 32:  # adjacent addresses, still distinct allocations
+        with pytest.raises(HoleError):
+            space.view(a, 64)
+
+
+@given(layouts, st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40)
+def test_iter_views_cover_exactly_the_read_bytes(layout, seed):
+    rng = random.Random(seed)
+    space = _space()
+    segs = _alloc_strided(space, *layout)
+    _fill_random(space, segs, rng)
+    for s in segs:
+        got = b"".join(bytes(mv) for mv in space.iter_views(s.addr, s.length))
+        assert got == space.read(s.addr, s.length)
+
+
+@given(layouts, st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40)
+def test_gather_into_matches_naive_reads(layout, seed):
+    rng = random.Random(seed)
+    space = _space()
+    segs = _alloc_strided(space, *layout)
+    payload = _fill_random(space, segs, rng)
+    dest = bytearray(len(payload))
+    space.gather_into(segs, dest)
+    assert bytes(dest) == payload
+    assert space.gather(segs) == payload
+
+
+@given(layouts, st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40)
+def test_scatter_is_the_inverse_of_gather(layout, seed):
+    rng = random.Random(seed)
+    space = _space()
+    segs = _alloc_strided(space, *layout)
+    payload = rng.randbytes(sum(s.length for s in segs))
+    space.scatter(segs, payload)
+    assert space.gather(segs) == payload
+
+
+@given(layouts, st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40)
+def test_copy_to_and_copy_from_match_snapshot_transfer(layout, seed):
+    rng = random.Random(seed)
+    src = _space()
+    segs = _alloc_strided(src, *layout)
+    payload = _fill_random(src, segs, rng)
+    total = len(payload)
+
+    dst = _space()
+    remote = dst.malloc(total)
+    n = src.copy_to(segs, dst, remote)
+    assert n == total
+    assert dst.read(remote, total) == payload
+
+    back = _space()
+    back_segs = _alloc_strided(back, *layout)
+    m = back.copy_from(dst, remote, back_segs)
+    assert m == total
+    assert back.gather(back_segs) == payload
+
+
+@given(
+    st.integers(min_value=1, max_value=70_000),
+    st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=40)
+def test_fill_matches_bytes_constructor(length, byte):
+    space = _space()
+    addr = space.malloc(length)
+    space.fill(addr, length, byte)
+    assert space.read(addr, length) == bytes([byte]) * length
+
+
+# -- family 2: no borrow escapes a sim-time yield ------------------------------
+
+
+@pytest.mark.parametrize("scheme", ["gather", "pack", "hybrid", "multiple"])
+def test_source_reuse_after_write_never_tears(scheme):
+    """Overwrite the source right after each write; reuse one dest buffer
+    for every read-back.  Any layer that kept a live view across the
+    yield instead of consuming/snapshotting it would return the reused
+    bytes, not the transferred ones."""
+    rng = random.Random(77)
+    npieces, piece, gap = 12, 3000, 512
+    cluster = PVFSCluster(n_clients=1, n_iods=2, scheme=scheme)
+    c = cluster.clients[0]
+    space = c.node.space
+    segs = _alloc_strided(space, npieces, piece, gap)
+    total = npieces * piece
+    back = space.malloc(total)
+    back_segs = [Segment(back + i * piece, piece) for i in range(npieces)]
+    payloads = [rng.randbytes(total) for _ in range(3)]
+    got = []
+
+    def proc():
+        f = yield from c.open("/pfs/alias")
+        for rnd, payload in enumerate(payloads):
+            space.scatter(segs, payload)
+            file_segs = [
+                Segment((rnd * npieces + i) * (piece + 128), piece)
+                for i in range(npieces)
+            ]
+            yield from c.write_list(f, segs, file_segs)
+            # Clobber the source the instant the ack arrives.
+            for s in segs:
+                space.fill(s.addr, s.length, 0xEE)
+            space.fill(back, total, 0xDD)
+            yield from c.read_list(f, back_segs, file_segs)
+            got.append(space.read(back, total))
+
+    cluster.run([proc()])
+    assert got == payloads
+
+
+def test_concurrent_writers_do_not_alias_staging():
+    """Many clients hammer one daemon concurrently; every landed byte
+    must come from its own request's buffer (staging views freed by one
+    handler must never leak into another's disk job)."""
+    n_clients, npieces, piece = 4, 6, 4096
+    cluster = PVFSCluster(n_clients=n_clients, n_iods=1, scheme="gather")
+
+    def proc(c, rank):
+        base = c.node.space.malloc(npieces * piece)
+        c.node.space.fill(base, npieces * piece, rank + 1)
+        mem = [Segment(base + i * piece, piece) for i in range(npieces)]
+        fil = [Segment((i * n_clients + rank) * piece, piece)
+               for i in range(npieces)]
+        f = yield from c.open("/pfs/aliases")
+        yield from c.write_list(f, mem, fil)
+        # Immediately reuse the memory for something else.
+        c.node.space.fill(base, npieces * piece, 0xEE)
+
+    cluster.run([proc(c, i) for i, c in enumerate(cluster.clients)])
+    want = b"".join(
+        bytes([r + 1]) * piece for r in range(n_clients)
+    ) * npieces
+    assert cluster.logical_file_bytes("/pfs/aliases") == want
