@@ -254,6 +254,44 @@ def _bench_report(args) -> int:
     return 0
 
 
+def _explore_report(args) -> int:
+    from repro.sim import explore as ex
+
+    if args.replay is not None:
+        case = ex.load_artifact_case(args.replay, shrunk=args.shrunk)
+        result = ex.run_case(case)
+        which = "shrunk case" if args.shrunk else "case"
+        print(
+            f"replay {args.replay} ({which}): seed {case.seed},"
+            f" policy {ex.SchedulePolicy.from_seed(case.schedule_seed).describe()},"
+            f" scheme {case.scheme}, ops {len(case.ops)}"
+        )
+        if result.ok:
+            print("replay: no violations (did the bug get fixed?)")
+            return 0
+        for v in result.violations:
+            print(f"  {v}")
+        return 1
+
+    if args.plant_bug is not None and args.plant_bug not in ex.PLANTED_BUGS:
+        print(
+            f"unknown planted bug {args.plant_bug!r};"
+            f" known: {', '.join(ex.PLANTED_BUGS)}",
+            file=sys.stderr,
+        )
+        return 2
+    failures = ex.sweep(
+        args.seeds,
+        base=args.base,
+        smoke=args.smoke,
+        out_dir=args.out if args.out is not None else ex.DEFAULT_OUT_DIR,
+        do_shrink=not args.no_shrink,
+        schemes=args.schemes,
+        plant=args.plant_bug,
+    )
+    return 1 if failures else 0
+
+
 def _calibration() -> str:
     tb = paper_testbed()
     lines = ["Testbed calibration (paper preset):"]
@@ -351,6 +389,60 @@ def main(argv=None) -> int:
         default=0.20,
         help="allowed normalized wall-clock drop before failing (default 0.20)",
     )
+    explore = sub.add_parser(
+        "explore",
+        help="schedule-exploration sweep: seeded workloads x schemes x "
+        "schedule perturbations x fault plans, checked against invariant "
+        "oracles; failures are shrunk and written as replay artifacts",
+    )
+    explore.add_argument(
+        "--seeds", type=int, default=16, help="number of seeds to explore"
+    )
+    explore.add_argument(
+        "--base", type=int, default=0, help="first seed (sweep is [base, base+seeds))"
+    )
+    explore.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast cases (CI-sized); same oracles",
+    )
+    explore.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="failure-artifact directory (default explore_failures/)",
+    )
+    explore.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip minimizing failing cases (faster triage)",
+    )
+    explore.add_argument(
+        "--schemes",
+        nargs="+",
+        default=None,
+        choices=scheme_names(),
+        metavar="SCHEME",
+        help="restrict to these transfer schemes (default: all)",
+    )
+    explore.add_argument(
+        "--plant-bug",
+        default=None,
+        metavar="NAME",
+        help="plant a known bug to self-test the harness "
+        "(see repro.sim.explore.PLANTED_BUGS)",
+    )
+    explore.add_argument(
+        "--replay",
+        default=None,
+        metavar="ARTIFACT",
+        help="re-run one recorded failure artifact instead of sweeping",
+    )
+    explore.add_argument(
+        "--shrunk",
+        action="store_true",
+        help="with --replay: run the artifact's shrunk case",
+    )
     args = parser.parse_args(argv)
 
     if args.cmd == "list":
@@ -371,6 +463,8 @@ def main(argv=None) -> int:
         if args.out is not None:
             args.json = True
         return _bench_report(args)
+    if args.cmd == "explore":
+        return _explore_report(args)
 
     ids = list(EXPERIMENTS) if "all" in args.ids else args.ids
     unknown = [i for i in ids if i not in EXPERIMENTS]

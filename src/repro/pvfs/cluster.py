@@ -26,7 +26,7 @@ from repro.pvfs.client import PVFSClient
 from repro.pvfs.errors import RetryPolicy
 from repro.pvfs.iod import IODaemon
 from repro.pvfs.manager import MetadataManager
-from repro.sim.engine import Simulator
+from repro.sim.engine import SchedulePolicy, Simulator
 from repro.sim.faults import FaultPlan
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.stats import StatRegistry
@@ -53,13 +53,16 @@ class PVFSCluster:
         fault_plan: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         elevator_enabled: bool = True,
+        schedule_policy: Optional[SchedulePolicy] = None,
     ):
         if n_clients < 1 or n_iods < 1:
             raise ValueError("need at least one client and one I/O node")
         self.testbed = testbed if testbed is not None else paper_testbed()
         if stripe_size is None:
             stripe_size = self.testbed.stripe_size
-        self.sim = Simulator()
+        # ``schedule_policy`` perturbs same-time event ordering (see
+        # SchedulePolicy); None keeps the historical FIFO tie-break.
+        self.sim = Simulator(policy=schedule_policy)
         self.stats = StatRegistry()  # cluster-wide aggregate
         self.metrics = MetricsRegistry()  # per-phase latency histograms
 

@@ -107,6 +107,7 @@ class IODaemon:
         # uses the paper's cost model.
         self.ads_force = ads_force
         self.staging_bytes = staging_bytes
+        self.staging_buffers = staging_buffers
         self._staging = Store(sim, name=f"iod{index}.staging")
         for _ in range(staging_buffers):
             addr = node.space.malloc(staging_bytes, align=node.testbed.page_size)
@@ -128,6 +129,9 @@ class IODaemon:
         # can see every in-flight request deterministically (a list, not
         # a set: iteration order matters for reproducibility).
         self._all_handlers: List[Dict[int, Process]] = []
+        # Per-connection dedup tables (completed-write replay answers),
+        # referenced here so the invariant oracles can bound their size.
+        self._dedup_tables: List[Dict[int, Done]] = []
 
     @property
     def name(self) -> str:
@@ -168,6 +172,7 @@ class IODaemon:
         handlers: Dict[int, Process] = {}  # rid -> in-flight handler
         completed: Dict[int, Done] = {}  # rid -> Done of a finished write
         self._all_handlers.append(handlers)
+        self._dedup_tables.append(completed)
         while True:
             msg = yield qp.recv()
             if msg is None:  # shutdown sentinel

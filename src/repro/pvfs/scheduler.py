@@ -156,10 +156,26 @@ class ElevatorScheduler:
                 continue
             yield self.iod.disk_lock.request()
             try:
-                if batch[0].kind == "barrier":
-                    yield from self._service_barrier(batch[0])
+                # A job can be cancelled *after* _take_batch popped it but
+                # *before* service starts — its handler was superseded
+                # while the pump waited for the disk lock.  Servicing it
+                # anyway would read or write a staging buffer the handler
+                # has already released (and the pool may have re-issued).
+                # Under FIFO tie-breaks that window is rarely hit; a
+                # perturbed ready-queue order hits it readily, so screen
+                # again now that the lock is held.
+                live = []
+                for job in batch:
+                    if job.cancelled:
+                        self._finish_skipped(job)
+                    else:
+                        live.append(job)
+                if not live:
+                    continue
+                if live[0].kind == "barrier":
+                    yield from self._service_barrier(live[0])
                 else:
-                    yield from self._service_batch(batch)
+                    yield from self._service_batch(live)
             finally:
                 self.iod.disk_lock.release()
 

@@ -29,6 +29,7 @@ from repro.sim.engine import (
     Event,
     Interrupt,
     Process,
+    SchedulePolicy,
     SimulationError,
     Simulator,
     Timeout,
@@ -62,6 +63,7 @@ __all__ = [
     "Process",
     "RequestContext",
     "Resource",
+    "SchedulePolicy",
     "SimulationError",
     "Simulator",
     "Span",

@@ -5,14 +5,19 @@ the units the paper reports for network latency and registration overhead.
 Helper constants for converting are in :mod:`repro.calibration`.
 
 The engine is deliberately deterministic: ties in event time are broken by
-a monotonically increasing sequence number, so a simulation with the same
-inputs always produces the same schedule.
+a :class:`SchedulePolicy` over the monotonically increasing sequence
+number, so a simulation with the same inputs (and the same policy seed)
+always produces the same schedule.  The default policy is FIFO — the
+historical behaviour — but the schedule-exploration harness
+(:mod:`repro.sim.explore`) runs the same workload under seeded
+perturbations of the tie-break order to flush out interleaving bugs.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+import random
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
     "SimulationError",
@@ -22,8 +27,72 @@ __all__ = [
     "Process",
     "AllOf",
     "AnyOf",
+    "SchedulePolicy",
     "Simulator",
 ]
+
+
+class SchedulePolicy:
+    """Deterministic tie-break order for events scheduled at one time.
+
+    Events at *different* simulated times always fire in time order;
+    events at the *same* time are logically concurrent, and any service
+    order among them is a legal schedule.  The policy maps each
+    scheduling decision to a sort key inserted between the event's time
+    and its sequence number, so one integer seed reproduces one exact
+    interleaving:
+
+    ``fifo``
+        Creation order — the engine's historical default.
+    ``random``
+        Each event draws a seeded random priority; concurrent events
+        fire in a uniformly shuffled order.
+    ``adversarial-delay``
+        A seeded ~25% of events are held behind *all* their same-time
+        peers, modelling a slow completion path or a starved callback.
+    ``priority-flip``
+        LIFO — the most recently scheduled concurrent event fires
+        first, the mirror image of FIFO.
+
+    The key stream is consumed once per :meth:`Simulator._schedule`
+    call.  Scheduling order is itself deterministic for a fixed policy,
+    so the fixed point is reproducible: same seed, same schedule.
+    """
+
+    KINDS = ("fifo", "random", "adversarial-delay", "priority-flip")
+
+    def __init__(self, kind: str = "fifo", seed: int = 0):
+        if kind not in self.KINDS:
+            raise ValueError(
+                f"unknown schedule policy {kind!r}; known: {', '.join(self.KINDS)}"
+            )
+        self.kind = kind
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    @classmethod
+    def from_seed(cls, seed: int) -> "SchedulePolicy":
+        """One integer names one interleaving: kind = seed mod 4, plus
+        the seed for the policy's own randomness."""
+        return cls(cls.KINDS[seed % len(cls.KINDS)], seed=seed)
+
+    def tiebreak(self, seq: int) -> Tuple[float, int]:
+        """Sort key for the ``seq``-th scheduling decision."""
+        kind = self.kind
+        if kind == "fifo":
+            return (0.0, seq)
+        if kind == "priority-flip":
+            return (0.0, -seq)
+        if kind == "random":
+            return (self._rng.random(), seq)
+        # adversarial-delay: hold a seeded subset behind same-time peers.
+        return (1.0, seq) if self._rng.random() < 0.25 else (0.0, seq)
+
+    def describe(self) -> str:
+        return f"{self.kind}/{self.seed}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SchedulePolicy {self.describe()}>"
 
 
 class SimulationError(RuntimeError):
@@ -306,17 +375,32 @@ class Simulator:
     corrupt an experiment.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, policy: Optional[SchedulePolicy] = None) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self.policy = policy if policy is not None else SchedulePolicy()
+        self._heap: list[tuple[float, Tuple[float, int], int, Event]] = []
         self._seq = 0
+        # Optional schedule trace: (time, event name) per processed
+        # event, enabled by record_trace().  The exploration harness
+        # compares traces to prove determinism (same seed, same trace)
+        # and divergence (different seed, different trace).
+        self.trace: Optional[List[Tuple[float, str]]] = None
+
+    def record_trace(self) -> List[Tuple[float, str]]:
+        """Start recording the processed-event schedule; returns the list."""
+        if self.trace is None:
+            self.trace = []
+        return self.trace
 
     # -- scheduling ------------------------------------------------------
     def _schedule(self, event: Event, delay: float) -> None:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        heapq.heappush(
+            self._heap,
+            (self.now + delay, self.policy.tiebreak(self._seq), self._seq, event),
+        )
 
     # -- factories -------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -337,7 +421,7 @@ class Simulator:
     # -- execution -------------------------------------------------------
     def _drain_canceled(self) -> None:
         """Pop canceled events off the heap head without advancing time."""
-        while self._heap and self._heap[0][2].canceled:
+        while self._heap and self._heap[0][3].canceled:
             heapq.heappop(self._heap)
 
     def peek(self) -> float:
@@ -347,10 +431,12 @@ class Simulator:
 
     def step(self) -> None:
         """Process a single event (advancing the clock to it)."""
-        t, _, event = heapq.heappop(self._heap)
+        t, _, _, event = heapq.heappop(self._heap)
         if event.canceled:
             return
         self.now = t
+        if self.trace is not None:
+            self.trace.append((t, event.name))
         had_waiters = bool(event.callbacks)
         event._run_callbacks()
         if (
@@ -372,9 +458,17 @@ class Simulator:
         ``until_event`` stops the loop as soon as that event has been
         processed — the guard against silent infinite (or merely
         surprisingly long) runs when a workload has finished but
-        housekeeping processes are still scheduled.
+        housekeeping processes are still scheduled.  A canceled
+        ``until_event`` also stops the loop: its callbacks will never
+        run, so waiting for ``processed`` would silently fall through to
+        a full drain — under a perturbed schedule that turns a benign
+        stale-timeout cancel into an unbounded run.
         """
         while self._heap:
+            if until_event is not None and (
+                until_event.processed or until_event.canceled
+            ):
+                return
             self._drain_canceled()
             if not self._heap:
                 break
@@ -382,7 +476,9 @@ class Simulator:
                 self.now = until
                 return
             self.step()
-            if until_event is not None and until_event.processed:
+            if until_event is not None and (
+                until_event.processed or until_event.canceled
+            ):
                 return
         if until is not None:
             self.now = max(self.now, until)

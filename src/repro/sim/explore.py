@@ -1,0 +1,678 @@
+"""FoundationDB-style deterministic schedule exploration.
+
+One integer seed names one complete experiment: a workload matrix entry
+(clients, I/O nodes, operation list), a transfer scheme, a fault plan,
+and a :class:`~repro.sim.engine.SchedulePolicy` that perturbs the event
+loop's same-time tie-break order.  ``run_case`` executes the experiment
+and judges it with the invariant oracles of
+:mod:`repro.sim.invariants`: the spec-model file image, read-payload
+equality, and end-of-run leak checks.
+
+Failures become *replayable artifacts*: the case (everything needed to
+re-run it, seeds included) plus the violations, written as JSON to
+``explore_failures/``.  A greedy shrinker first minimizes the failing
+case — dropping operations, shrinking extents, dropping the fault plan
+— re-running each candidate and keeping only still-failing ones, so the
+artifact carries both the original and a minimal reproduction.
+
+``python -m repro explore`` fans a seed range across the matrix; see
+``--replay`` for re-running a recorded artifact.
+
+Planted bugs
+------------
+``PLANTED_BUGS`` holds deliberately wrong patches (e.g. the elevator's
+extent merge dropping one byte) used to test the harness itself: CI
+asserts the clean tree explores green and a planted bug is caught and
+shrunk within a fixed seed budget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Iterable, List, Optional, Tuple
+
+from repro.mem.segments import Segment
+from repro.pvfs.cluster import PVFSCluster
+from repro.pvfs.errors import DegradedError, RetryPolicy
+from repro.sim.engine import SchedulePolicy
+from repro.sim.faults import FaultPlan
+from repro.sim.invariants import (
+    InvariantChecker,
+    SpecFileModel,
+    Violation,
+    first_diff,
+)
+
+__all__ = [
+    "OpSpec",
+    "ExploreCase",
+    "CaseResult",
+    "generate_case",
+    "run_case",
+    "shrink",
+    "case_size",
+    "write_artifact",
+    "load_artifact_case",
+    "sweep",
+    "planted_bug",
+    "PLANTED_BUGS",
+]
+
+# Generous enough that transient injected faults recover well before the
+# retry budget is exhausted — exploration hunts logic bugs, not tuning.
+EXPLORE_RETRY = RetryPolicy(timeout_us=150_000.0, backoff_base_us=100.0)
+
+DEFAULT_OUT_DIR = "explore_failures"
+EXPLORE_PATH = "/pfs/explore"
+
+
+# ---------------------------------------------------------------------------
+# Case model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OpSpec:
+    """One client operation, fully explicit so the shrinker can edit it."""
+
+    client: int
+    kind: str  # "write" | "read" | "fsync"
+    path: str = EXPLORE_PATH
+    segments: List[List[int]] = field(default_factory=list)  # [offset, length]
+    mem_gap: int = 0
+    payload_seed: int = 0
+    use_ads: bool = True
+    sync: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return sum(length for _, length in self.segments)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "OpSpec":
+        return cls(
+            client=d["client"],
+            kind=d["kind"],
+            path=d.get("path", EXPLORE_PATH),
+            segments=[list(s) for s in d.get("segments", [])],
+            mem_gap=d.get("mem_gap", 0),
+            payload_seed=d.get("payload_seed", 0),
+            use_ads=d.get("use_ads", True),
+            sync=d.get("sync", False),
+        )
+
+
+@dataclass
+class ExploreCase:
+    """Everything needed to reproduce one exploration run exactly."""
+
+    seed: int
+    schedule_seed: int
+    scheme: str
+    n_clients: int
+    n_iods: int
+    ops: List[OpSpec]
+    fault: Optional[dict] = None  # FaultPlan.to_dict() or None
+    elevator: bool = True
+    plant_bug: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "schedule_seed": self.schedule_seed,
+            "scheme": self.scheme,
+            "n_clients": self.n_clients,
+            "n_iods": self.n_iods,
+            "ops": [op.to_dict() for op in self.ops],
+            "fault": self.fault,
+            "elevator": self.elevator,
+            "plant_bug": self.plant_bug,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ExploreCase":
+        return cls(
+            seed=d["seed"],
+            schedule_seed=d["schedule_seed"],
+            scheme=d["scheme"],
+            n_clients=d["n_clients"],
+            n_iods=d["n_iods"],
+            ops=[OpSpec.from_dict(o) for o in d["ops"]],
+            fault=d.get("fault"),
+            elevator=d.get("elevator", True),
+            plant_bug=d.get("plant_bug"),
+        )
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one case: violations (empty = green) plus evidence."""
+
+    violations: List[Violation]
+    injected: int = 0
+    elapsed_us: float = 0.0
+    degraded: bool = False
+    file_images: Dict[str, bytes] = field(default_factory=dict)
+    read_payloads: Dict[int, bytes] = field(default_factory=dict)
+    trace: Optional[List[Tuple[float, str]]] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# ---------------------------------------------------------------------------
+# Generation: one integer seed -> one case
+# ---------------------------------------------------------------------------
+
+
+def generate_case(
+    seed: int,
+    smoke: bool = False,
+    schemes: Optional[List[str]] = None,
+    plant_bug: Optional[str] = None,
+) -> ExploreCase:
+    """Derive a full case from one integer seed.
+
+    The matrix axes all rotate with the seed: transfer scheme, cluster
+    geometry, schedule-policy kind (seed mod 4), elevator vs FIFO mode,
+    and the fault plan (every third seed runs fault-free; the rest get
+    seeded background noise, some with a crash/restart one-shot).
+    File extents are allocated from a single cursor so they are disjoint
+    across clients — the precondition for the spec-model oracle — while
+    zero gaps keep extents adjacent often enough to exercise the
+    elevator's cross-request merging.
+    """
+    from repro.transfer import scheme_names
+
+    rng = random.Random(seed * 0x9E3779B1 + 0x5EED)
+    pool = schemes if schemes else list(scheme_names())
+    scheme = pool[seed % len(pool)]
+    # Every other seed is a *contended* case: one I/O node, several
+    # clients, and a shared interleaved band as everyone's first op.
+    # Only that shape queues jobs from different requests at one
+    # elevator simultaneously, which is what cross-request merging (and
+    # schedule perturbation) need to do anything at all.
+    contended = seed % 2 == 1
+    if smoke:
+        # Three writers is the observed minimum for cross-request merges
+        # to happen at one elevator; two drain before they can batch.
+        n_clients = 3 if contended else rng.choice([1, 2])
+        n_iods = 1 if contended else 2
+        ops_per_client = 1 if contended else rng.randint(1, 2)
+        npieces_hi, piece_hi = 4, 512
+    else:
+        n_clients = rng.choice([3, 4]) if contended else rng.choice([1, 2, 2, 3])
+        n_iods = 1 if contended else rng.choice([2, 3])
+        ops_per_client = rng.randint(2, 4)
+        npieces_hi, piece_hi = 10, 4096
+
+    ops: List[OpSpec] = []
+    cursor = 0
+    writes_by_client: Dict[int, List[int]] = {}
+    if contended:
+        piece = 4096 if smoke else rng.choice([4096, 8192])
+        per = 3 if smoke else rng.randint(6, 8)
+        for client in range(n_clients):
+            segments = [
+                [cursor + (i * n_clients + client) * piece, piece]
+                for i in range(per)
+            ]
+            writes_by_client.setdefault(client, []).append(len(ops))
+            ops.append(
+                OpSpec(
+                    client=client,
+                    kind="write",
+                    segments=segments,
+                    mem_gap=rng.choice([0, 64]),
+                    payload_seed=rng.randrange(1 << 30),
+                    use_ads=rng.random() < 0.7,
+                )
+            )
+        cursor += per * n_clients * piece
+    for client in range(n_clients):
+        for _ in range(ops_per_client):
+            prior = writes_by_client.get(client, [])
+            if prior and rng.random() < 0.4:
+                # Read back an earlier write of this client.
+                src = ops[rng.choice(prior)]
+                ops.append(
+                    OpSpec(
+                        client=client,
+                        kind="read",
+                        segments=[list(s) for s in src.segments],
+                        mem_gap=rng.choice([0, 64, 256]),
+                        use_ads=rng.random() < 0.7,
+                    )
+                )
+                continue
+            npieces = rng.randint(2, npieces_hi)
+            piece = rng.randrange(128, piece_hi + 1, 64)
+            gap = rng.choice([0, 0, 512, 4096])
+            segments = []
+            off = cursor
+            for _ in range(npieces):
+                segments.append([off, piece])
+                off += piece + gap
+            cursor = off + rng.choice([0, 0, piece])
+            writes_by_client.setdefault(client, []).append(len(ops))
+            ops.append(
+                OpSpec(
+                    client=client,
+                    kind="write",
+                    segments=segments,
+                    mem_gap=rng.choice([0, 64, 256]),
+                    payload_seed=rng.randrange(1 << 30),
+                    use_ads=rng.random() < 0.7,
+                    sync=rng.random() < 0.15,
+                )
+            )
+            if rng.random() < 0.2:
+                ops.append(OpSpec(client=client, kind="fsync"))
+
+    fault: Optional[dict] = None
+    if seed % 3 != 0:
+        plan = FaultPlan.uniform(0.01, seed=seed * 31 + 7)
+        if seed % 5 == 1:
+            plan.one_shot(
+                "iod.crash", at=1, node="iod1", duration_us=20_000.0
+            )
+        fault = plan.to_dict()
+
+    return ExploreCase(
+        seed=seed,
+        schedule_seed=seed,
+        scheme=scheme,
+        n_clients=n_clients,
+        n_iods=n_iods,
+        ops=ops,
+        fault=fault,
+        elevator=(seed % 7 != 3),
+        plant_bug=plant_bug,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Planted bugs (for testing the harness itself)
+# ---------------------------------------------------------------------------
+
+
+def _plant_sched_drop_extent():
+    """Elevator merge bug: the last byte of any merged run is dropped."""
+    from repro.pvfs.scheduler import ElevatorScheduler
+
+    orig = ElevatorScheduler._merged_runs
+
+    def buggy(self, jobs, buffers):
+        runs = orig(self, jobs, buffers)
+        out = []
+        for addr, bufs in runs:
+            if len(bufs) > 1:
+                bufs = bufs[:-1] + [bufs[-1][:-1]]
+            out.append((addr, bufs))
+        return out
+
+    ElevatorScheduler._merged_runs = buggy
+    return lambda: setattr(ElevatorScheduler, "_merged_runs", orig)
+
+
+PLANTED_BUGS = {
+    "sched-drop-extent": _plant_sched_drop_extent,
+}
+
+
+@contextmanager
+def planted_bug(name: Optional[str]):
+    """Install a named bug for the duration of the block (None = no-op)."""
+    if name is None:
+        yield
+        return
+    if name not in PLANTED_BUGS:
+        raise ValueError(
+            f"unknown planted bug {name!r}; known: {', '.join(PLANTED_BUGS)}"
+        )
+    restore = PLANTED_BUGS[name]()
+    try:
+        yield
+    finally:
+        restore()
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def _mem_layout(client, op: OpSpec) -> List[Segment]:
+    """Allocate a (possibly gapped) memory layout matching op's pieces."""
+    space = client.node.space
+    total = sum(
+        length + op.mem_gap for _, length in op.segments
+    ) or 1
+    base = space.malloc(total)
+    segs, off = [], base
+    for _, length in op.segments:
+        segs.append(Segment(off, length))
+        off += length + op.mem_gap
+    return segs
+
+
+def _client_proc(
+    client,
+    client_ops: List[Tuple[int, OpSpec]],
+    spec: SpecFileModel,
+    read_payloads: Dict[int, bytes],
+    violations: List[Violation],
+    state: dict,
+) -> Generator:
+    files: Dict[str, object] = {}
+    for op_idx, op in client_ops:
+        try:
+            f = files.get(op.path)
+            if f is None:
+                f = yield from client.open(op.path)
+                files[op.path] = f
+            if op.kind == "fsync":
+                yield from client.fsync(f)
+                continue
+            file_segs = [Segment(a, length) for a, length in op.segments]
+            mem_segs = _mem_layout(client, op)
+            if op.kind == "write":
+                payload = random.Random(op.payload_seed).randbytes(op.nbytes)
+                off = 0
+                for ms in mem_segs:
+                    client.node.space.write(
+                        ms.addr, payload[off : off + ms.length]
+                    )
+                    off += ms.length
+                yield from client.write_list(
+                    f, mem_segs, file_segs, use_ads=op.use_ads, sync=op.sync
+                )
+                # Acked: from here on the spec image must contain it.
+                spec.record_write(op.path, file_segs, payload)
+            else:
+                yield from client.read_list(
+                    f, mem_segs, file_segs, use_ads=op.use_ads
+                )
+                got = b"".join(
+                    bytes(client.node.space.read(ms.addr, ms.length))
+                    for ms in mem_segs
+                )
+                read_payloads[op_idx] = got
+                want = spec.expected(op.path, file_segs)
+                if got != want:
+                    diff = first_diff(want, got)
+                    violations.append(
+                        Violation(
+                            "read-payload",
+                            f"op#{op_idx} (client {op.client}): first diff "
+                            f"at byte {diff[0]}: spec={diff[1]} got={diff[2]}",
+                        )
+                    )
+        except DegradedError:
+            # The fault plan killed an I/O node past the retry budget;
+            # the run is inconclusive for the data oracles, not failed.
+            state["degraded"] = True
+            return
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            violations.append(
+                Violation(
+                    "crash",
+                    f"op#{op_idx} (client {op.client}): "
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+            return
+
+
+def run_case(case: ExploreCase, record_trace: bool = False) -> CaseResult:
+    """Execute one case under its recorded seeds and judge it."""
+    with planted_bug(case.plant_bug):
+        plan = FaultPlan.from_dict(case.fault) if case.fault else None
+        cluster = PVFSCluster(
+            n_clients=case.n_clients,
+            n_iods=case.n_iods,
+            scheme=case.scheme,
+            schedule_policy=SchedulePolicy.from_seed(case.schedule_seed),
+            fault_plan=plan,
+            retry=EXPLORE_RETRY,
+            elevator_enabled=case.elevator,
+        )
+        if record_trace:
+            cluster.sim.record_trace()
+        checker = InvariantChecker(cluster)
+        spec = SpecFileModel()
+        violations: List[Violation] = []
+        read_payloads: Dict[int, bytes] = {}
+        state = {"degraded": False}
+
+        per_client: Dict[int, List[Tuple[int, OpSpec]]] = {}
+        for idx, op in enumerate(case.ops):
+            per_client.setdefault(op.client, []).append((idx, op))
+        procs = [
+            _client_proc(
+                cluster.clients[c], ops, spec, read_payloads, violations, state
+            )
+            for c, ops in sorted(per_client.items())
+            if c < len(cluster.clients)
+        ]
+        try:
+            if procs:
+                cluster.run(procs)
+            # Quiesce: flush every dirty stripe page so the on-disk image
+            # is the final word before the spec diff.
+            cluster.sync_all()
+        except Exception as exc:  # noqa: BLE001 - deadlocks/crashes are findings
+            violations.append(
+                Violation("crash", f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            if not state["degraded"]:
+                violations.extend(checker.check_file_images(spec))
+            violations.extend(checker.check_leaks())
+
+        file_images: Dict[str, bytes] = {}
+        for path in spec.paths():
+            try:
+                file_images[path] = cluster.logical_file_bytes(path)
+            except FileNotFoundError:
+                pass
+        return CaseResult(
+            violations=violations,
+            injected=plan.total_injected if plan is not None else 0,
+            elapsed_us=cluster.sim.now,
+            degraded=state["degraded"],
+            file_images=file_images,
+            read_payloads=read_payloads,
+            trace=cluster.sim.trace,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shrinking
+# ---------------------------------------------------------------------------
+
+
+def case_size(case: ExploreCase) -> Tuple[int, int]:
+    """(data-moving op count, total bytes) — the shrink partial order."""
+    data_ops = [op for op in case.ops if op.kind != "fsync"]
+    return (len(data_ops), sum(op.nbytes for op in data_ops))
+
+
+def _shrink_candidates(case: ExploreCase) -> Iterable[ExploreCase]:
+    """Strictly smaller variants, cheapest reductions first."""
+    if case.fault is not None:
+        yield dataclasses.replace(case, fault=None)
+    # Drop whole ops (fsyncs ride along for free via the same loop).
+    for i in range(len(case.ops)):
+        yield dataclasses.replace(
+            case, ops=case.ops[:i] + case.ops[i + 1 :]
+        )
+    # Halve an op's piece count (keep the first half).
+    for i, op in enumerate(case.ops):
+        if len(op.segments) > 1:
+            smaller = dataclasses.replace(
+                op, segments=[list(s) for s in op.segments[: len(op.segments) // 2]]
+            )
+            yield dataclasses.replace(
+                case, ops=case.ops[:i] + [smaller] + case.ops[i + 1 :]
+            )
+    # Halve an op's extent lengths, repacked adjacently from the op's
+    # base offset: adjacency (what merge bugs need) is preserved while
+    # total bytes strictly shrink.  The repacked extents stay inside the
+    # op's original footprint, so cross-op disjointness is preserved too.
+    for i, op in enumerate(case.ops):
+        if op.kind == "fsync" or not op.segments:
+            continue
+        if all(length <= 1 for _, length in op.segments):
+            continue
+        start = op.segments[0][0]
+        packed, off = [], start
+        for _, length in op.segments:
+            n = max(1, length // 2)
+            packed.append([off, n])
+            off += n
+        smaller = dataclasses.replace(op, segments=packed)
+        yield dataclasses.replace(
+            case, ops=case.ops[:i] + [smaller] + case.ops[i + 1 :]
+        )
+
+
+def shrink(
+    case: ExploreCase, max_runs: int = 200
+) -> Tuple[ExploreCase, CaseResult]:
+    """Greedy minimization: keep any strictly smaller still-failing
+    variant, repeat until no candidate fails (or the run budget ends).
+
+    The result is never larger than the input, and always still fails.
+    """
+    result = run_case(case)
+    if result.ok:
+        raise ValueError("shrink() needs a failing case")
+    current, runs = case, 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for cand in _shrink_candidates(current):
+            if case_size(cand) >= case_size(current):
+                continue
+            runs += 1
+            res = run_case(cand)
+            if not res.ok:
+                current, result = cand, res
+                improved = True
+                break
+            if runs >= max_runs:
+                break
+    return current, result
+
+
+# ---------------------------------------------------------------------------
+# Artifacts
+# ---------------------------------------------------------------------------
+
+
+def write_artifact(
+    out_dir: str,
+    case: ExploreCase,
+    result: CaseResult,
+    shrunk_case: Optional[ExploreCase] = None,
+    shrunk_result: Optional[CaseResult] = None,
+) -> str:
+    """Record a failure as a replayable JSON artifact; returns its path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"seed{case.seed:05d}.json")
+    doc = {
+        "case": case.to_dict(),
+        "violations": [str(v) for v in result.violations],
+        "repro": f"python -m repro explore --replay {path}",
+    }
+    if shrunk_case is not None:
+        doc["shrunk"] = {
+            "case": shrunk_case.to_dict(),
+            "violations": [
+                str(v) for v in (shrunk_result.violations if shrunk_result else [])
+            ],
+            "size": list(case_size(shrunk_case)),
+        }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+    return path
+
+
+def load_artifact_case(path: str, shrunk: bool = False) -> ExploreCase:
+    """Rebuild the (original or shrunk) case from an artifact file."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if shrunk:
+        if "shrunk" not in doc:
+            raise ValueError(f"{path} carries no shrunk case")
+        return ExploreCase.from_dict(doc["shrunk"]["case"])
+    return ExploreCase.from_dict(doc["case"])
+
+
+# ---------------------------------------------------------------------------
+# Sweep driver (the CLI's engine)
+# ---------------------------------------------------------------------------
+
+
+def sweep(
+    seeds: int,
+    base: int = 0,
+    smoke: bool = False,
+    out_dir: str = DEFAULT_OUT_DIR,
+    do_shrink: bool = True,
+    schemes: Optional[List[str]] = None,
+    plant: Optional[str] = None,
+    echo=print,
+) -> int:
+    """Explore ``seeds`` consecutive seeds; returns the failure count.
+
+    Per-seed and summary lines are deterministic for a fixed tree, so
+    they double as golden output in CI.
+    """
+    failures = 0
+    for i in range(seeds):
+        seed = base + i
+        case = generate_case(seed, smoke=smoke, schemes=schemes, plant_bug=plant)
+        policy = SchedulePolicy.from_seed(case.schedule_seed)
+        result = run_case(case)
+        tag = (
+            f"policy={policy.describe()} scheme={case.scheme}"
+            f" elevator={'on' if case.elevator else 'off'}"
+            f" ops={len(case.ops)} faults={result.injected}"
+        )
+        if result.ok:
+            note = " (degraded: data oracles skipped)" if result.degraded else ""
+            echo(f"seed {seed}: ok {tag}{note}")
+            continue
+        failures += 1
+        echo(f"seed {seed}: FAIL {tag} violations={len(result.violations)}")
+        for v in result.violations[:3]:
+            echo(f"  {v}")
+        shrunk_case = shrunk_result = None
+        if do_shrink:
+            shrunk_case, shrunk_result = shrink(case)
+            echo(
+                f"  shrunk {case_size(case)[0]} ops/{case_size(case)[1]} B"
+                f" -> {case_size(shrunk_case)[0]} ops/"
+                f"{case_size(shrunk_case)[1]} B"
+            )
+        if out_dir is not None:
+            path = write_artifact(
+                out_dir, case, result, shrunk_case, shrunk_result
+            )
+            echo(f"  artifact {path}")
+    echo(
+        f"explored {seeds} seeds (base {base}):"
+        f" {seeds - failures} ok, {failures} failed"
+    )
+    return failures

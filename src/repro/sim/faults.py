@@ -183,6 +183,44 @@ class FaultPlan:
             plan.add(hook, probability=probability)
         return plan
 
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """Configuration (not runtime counters) as JSON-friendly data.
+
+        Round-trips through :meth:`from_dict` — the replay-artifact
+        format of the schedule-exploration harness.
+        """
+        return {
+            "seed": self.seed,
+            "rules": [
+                {
+                    "hook": r.hook,
+                    "probability": r.probability,
+                    "at": r.at,
+                    "node": r.node,
+                    "max_fires": r.max_fires,
+                    "duration_us": r.duration_us,
+                }
+                for r in self.rules
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        """Rebuild a fresh (un-fired) plan from :meth:`to_dict` output."""
+        plan = cls(seed=int(data.get("seed", 0)))
+        for r in data.get("rules", []):  # type: ignore[union-attr]
+            plan.add(
+                r["hook"],
+                probability=r.get("probability", 0.0),
+                at=r.get("at"),
+                node=r.get("node"),
+                max_fires=r.get("max_fires"),
+                duration_us=r.get("duration_us"),
+            )
+        return plan
+
     # -- evaluation --------------------------------------------------------
 
     def fires(self, hook: str, node: Optional[str] = None) -> Optional[FaultRule]:

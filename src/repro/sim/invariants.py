@@ -1,0 +1,276 @@
+"""Invariant oracles for the schedule-exploration harness.
+
+Two kinds of oracle run against a :class:`~repro.pvfs.cluster.PVFSCluster`:
+
+**Spec-model file image.**  :class:`SpecFileModel` is the naive
+reference implementation of the data path: every *acknowledged* write is
+applied sequentially to a flat per-file byte image, with none of the
+machinery under test (no striping, no elevator reordering, no sieving,
+no retries).  At a quiesce point — all workloads finished, all stripe
+files fsynced — the real cluster's reassembled file bytes must equal the
+spec image exactly.  Any transfer scheme, scheduler merge, OGR fallback
+or replay bug that corrupts even one byte shows up as a diff with an
+offset.
+
+**Leak checks.**  :class:`InvariantChecker` snapshots resource state at
+arming time (right after cluster construction) and verifies at end of
+run that everything drained back:
+
+- staging-pool buffers returned to every I/O daemon's pool,
+- client fast-RDMA bounce buffers and eager credits returned,
+- HCA registration-table entries either present at arming or resident
+  in the node's pin-down cache (anything else is a pin leak),
+- elevator-scheduler queues empty (no orphaned ``DiskJob``),
+- dedup tables bounded by ``DEDUP_CAPACITY``,
+- no in-flight request handlers and no open client reply inboxes.
+
+Leak oracles that a *permanently degraded* I/O node legitimately breaks
+(a dead server keeps whatever the client granted it) are skipped when
+the cluster marked nodes degraded, so fault-plan exploration does not
+drown real bugs in expected noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.mem.segments import Segment
+
+__all__ = ["Violation", "SpecFileModel", "InvariantChecker", "first_diff"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant: which oracle, and what it saw."""
+
+    oracle: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.oracle}] {self.detail}"
+
+
+def first_diff(a: bytes, b: bytes) -> Optional[Tuple[int, int, int]]:
+    """First mismatch between two buffers padded to the longer length.
+
+    Returns ``(offset, a_byte, b_byte)`` with ``-1`` for a byte past the
+    shorter buffer's end, or ``None`` when equal.
+    """
+    n = max(len(a), len(b))
+    for i in range(n):
+        av = a[i] if i < len(a) else -1
+        bv = b[i] if i < len(b) else -1
+        if av != bv:
+            return (i, av, bv)
+    return None
+
+
+class SpecFileModel:
+    """Reference file images: naive sequential apply of acked writes.
+
+    The model is exact for the exploration workloads because their file
+    extents are disjoint across concurrent writers — apply order cannot
+    change the final image — and each client's own operations are
+    sequential, so reads of a client's own data have one well-defined
+    expected value at the moment they are issued.
+    """
+
+    def __init__(self) -> None:
+        self.files: Dict[str, bytearray] = {}
+        self.acked_writes = 0
+
+    def record_write(
+        self, path: str, file_segments: Sequence[Segment], payload: bytes
+    ) -> None:
+        """Apply one acknowledged write to the reference image."""
+        img = self.files.setdefault(path, bytearray())
+        off = 0
+        for seg in file_segments:
+            if seg.end > len(img):
+                img.extend(bytes(seg.end - len(img)))
+            img[seg.addr : seg.end] = payload[off : off + seg.length]
+            off += seg.length
+        if off != len(payload):
+            raise ValueError(
+                f"payload is {len(payload)} bytes but segments cover {off}"
+            )
+        self.acked_writes += 1
+
+    def expected(self, path: str, file_segments: Sequence[Segment]) -> bytes:
+        """Bytes a read of ``file_segments`` must return right now
+        (unwritten ranges read back as sparse zeros)."""
+        img = self.files.get(path, bytearray())
+        out = bytearray()
+        for seg in file_segments:
+            chunk = bytes(img[seg.addr : seg.end])
+            out += chunk + bytes(seg.length - len(chunk))
+        return bytes(out)
+
+    def image(self, path: str) -> bytes:
+        return bytes(self.files.get(path, bytearray()))
+
+    def paths(self) -> Iterable[str]:
+        return self.files.keys()
+
+
+class InvariantChecker:
+    """Arm on a freshly built cluster; check at quiesce / end of run."""
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        # Resource baselines: anything registered during setup (staging
+        # buffers, fast pools, eager buffers) is expected state, not a
+        # leak.
+        self._nodes = (
+            [cluster.manager_node] + cluster.iod_nodes + cluster.client_nodes
+        )
+        self._reg_baseline = [
+            set(node.hca.table._regions) for node in self._nodes
+        ]
+        self._eager_baseline = [
+            [len(conn.eager_free) for conn in client.iod_conns]
+            for client in cluster.clients
+        ]
+
+    # -- file-image oracle -------------------------------------------------
+
+    def check_file_images(self, spec: SpecFileModel) -> List[Violation]:
+        """Diff the spec model against reassembled cluster file bytes.
+
+        Only valid at a quiesce point: every workload finished (all
+        issued writes acked or abandoned with their effects undone) and
+        stripe files synced.
+        """
+        out: List[Violation] = []
+        for path in sorted(spec.paths()):
+            want = spec.image(path)
+            try:
+                got = self.cluster.logical_file_bytes(path)
+            except FileNotFoundError:
+                if any(want):
+                    out.append(
+                        Violation(
+                            "file-image",
+                            f"{path}: acked writes exist but file is missing",
+                        )
+                    )
+                continue
+            diff = first_diff(want, got)
+            if diff is not None:
+                off, wv, gv = diff
+                out.append(
+                    Violation(
+                        "file-image",
+                        f"{path}: first diff at offset {off}: "
+                        f"spec={wv} actual={gv} "
+                        f"(spec {len(want)} bytes, actual {len(got)} bytes)",
+                    )
+                )
+        return out
+
+    # -- leak oracles ------------------------------------------------------
+
+    def check_leaks(self, strict: Optional[bool] = None) -> List[Violation]:
+        """End-of-run resource leaks.  ``strict=None`` auto-relaxes the
+        pool/credit oracles when the cluster marked I/O nodes degraded
+        (a dead server legitimately strands granted resources)."""
+        cluster = self.cluster
+        if strict is None:
+            strict = not cluster.failed_iods
+        out: List[Violation] = []
+
+        for iod in cluster.iods:
+            free = len(iod._staging)
+            if strict and free != iod.staging_buffers:
+                out.append(
+                    Violation(
+                        "staging-pool",
+                        f"{iod.name}: {free}/{iod.staging_buffers} staging "
+                        "buffers returned",
+                    )
+                )
+            if iod.scheduler._queue:
+                out.append(
+                    Violation(
+                        "scheduler-queue",
+                        f"{iod.name}: {len(iod.scheduler._queue)} DiskJobs "
+                        "still queued at quiesce",
+                    )
+                )
+            from repro.pvfs.iod import DEDUP_CAPACITY
+
+            for ti, table in enumerate(iod._dedup_tables):
+                if len(table) > DEDUP_CAPACITY:
+                    out.append(
+                        Violation(
+                            "dedup-table",
+                            f"{iod.name} conn {ti}: {len(table)} rows exceed "
+                            f"capacity {DEDUP_CAPACITY}",
+                        )
+                    )
+            for ti, handlers in enumerate(iod._all_handlers):
+                alive = [rid for rid, p in handlers.items() if p.is_alive]
+                if alive:
+                    out.append(
+                        Violation(
+                            "outstanding-requests",
+                            f"{iod.name} conn {ti}: handlers still alive for "
+                            f"rids {alive}",
+                        )
+                    )
+
+        for ci, client in enumerate(cluster.clients):
+            if strict:
+                pool = client.pool
+                if pool.free_count != len(pool.addresses):
+                    out.append(
+                        Violation(
+                            "fast-pool",
+                            f"cn{ci}: {pool.free_count}/{len(pool.addresses)} "
+                            "fast-RDMA buffers returned",
+                        )
+                    )
+                for ii, conn in enumerate(client.iod_conns):
+                    want = self._eager_baseline[ci][ii]
+                    if len(conn.eager_free) != want:
+                        out.append(
+                            Violation(
+                                "eager-credits",
+                                f"cn{ci}->iod{ii}: {len(conn.eager_free)}/"
+                                f"{want} eager credits returned",
+                            )
+                        )
+            open_inboxes = sum(
+                len(conn._inboxes) for conn in client.iod_conns
+            ) + len(client._mgr_inbox._inboxes)
+            if open_inboxes:
+                out.append(
+                    Violation(
+                        "outstanding-requests",
+                        f"cn{ci}: {open_inboxes} reply inboxes still open",
+                    )
+                )
+
+        for node, baseline in zip(self._nodes, self._reg_baseline):
+            table = node.hca.table
+            cached = set(node.hca.pin_cache._lru)
+            leaked = [
+                lkey
+                for lkey in table._regions
+                if lkey not in baseline and lkey not in cached
+            ]
+            if leaked:
+                out.append(
+                    Violation(
+                        "registration-table",
+                        f"{node.name}: {len(leaked)} regions registered "
+                        "during the run are neither released nor "
+                        f"pin-cache-resident (lkeys {leaked[:8]})",
+                    )
+                )
+        return out
+
+    def check_all(self, spec: SpecFileModel) -> List[Violation]:
+        """Every oracle at a quiesce point."""
+        return self.check_file_images(spec) + self.check_leaks()

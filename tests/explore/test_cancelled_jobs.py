@@ -1,0 +1,84 @@
+"""Regression: a cancelled DiskJob is never serviced, under any schedule.
+
+The race this pins down: a handler submits a job, the pump pops it in
+``_take_batch``, then blocks waiting for the disk lock; meanwhile the
+handler is superseded (duplicate delivery after a timeout) and marks the
+job cancelled, releasing its staging buffer.  Servicing the popped job
+anyway would read a buffer the pool may have re-issued.  Before the
+re-screen under the lock this only required an unlucky interleaving —
+exactly what schedule perturbation provides — so the test runs the
+window under every policy kind.
+"""
+
+import pytest
+
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+from repro.pvfs.scheduler import DiskJob
+from repro.sim.engine import SchedulePolicy
+
+pytestmark = pytest.mark.explore
+
+
+def _write_job(cluster, f, offset, length, fill):
+    return DiskJob(
+        cluster.sim, "write", f,
+        segments=[Segment(offset, length)],
+        data=bytes([fill]) * length,
+    )
+
+
+@pytest.mark.parametrize("seed", range(len(SchedulePolicy.KINDS)))
+def test_cancelled_while_pump_awaits_lock_is_skipped(seed):
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=1,
+        schedule_policy=SchedulePolicy.from_seed(seed),
+    )
+    iod = cluster.iods[0]
+    f = iod.stripe_file(1)
+    doomed = _write_job(cluster, f, 0, 512, 0xAA)
+    live = _write_job(cluster, f, 4096, 512, 0xBB)
+
+    def driver():
+        # Hold the disk lock so the pump pops the batch, then blocks.
+        yield iod.disk_lock.request()
+        iod.scheduler.submit(doomed)
+        iod.scheduler.submit(live)
+        yield cluster.sim.timeout(1.0)
+        assert iod.scheduler.depth == 0, "pump should have popped the batch"
+        # The supersede window: cancel after the pop, before service.
+        doomed.cancelled = True
+        iod.disk_lock.release()
+        yield doomed.finished
+        yield live.finished
+
+    cluster.run([driver()])
+    # The cancelled job must have been retired without touching disk...
+    counters = cluster.metrics_export()["counters"]
+    assert counters["pvfs.iod.sched.skipped_cancelled"]["count"] == 1
+    assert doomed.state == "done" and doomed.finished.triggered
+    # ...so its bytes never landed, while its batch-mate's did.
+    assert bytes(f.data[0:512]) == b"\0" * 512
+    assert bytes(f.data[4096:4608]) == b"\xbb" * 512
+
+
+@pytest.mark.parametrize("seed", range(len(SchedulePolicy.KINDS)))
+def test_cancelled_before_batch_is_skipped(seed):
+    # The pre-existing (queued-side) screen must keep working too.
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=1,
+        schedule_policy=SchedulePolicy.from_seed(seed),
+    )
+    iod = cluster.iods[0]
+    f = iod.stripe_file(1)
+    doomed = _write_job(cluster, f, 0, 512, 0xAA)
+
+    def driver():
+        iod.scheduler.submit(doomed)
+        doomed.cancelled = True  # same tick, before the pump wakes
+        yield doomed.finished
+
+    cluster.run([driver()])
+    counters = cluster.metrics_export()["counters"]
+    assert counters["pvfs.iod.sched.skipped_cancelled"]["count"] == 1
+    assert f.size == 0  # the write never happened

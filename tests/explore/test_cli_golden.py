@@ -1,0 +1,65 @@
+"""Golden-output test for ``python -m repro explore``.
+
+The smoke sweep's stdout is deterministic for a fixed tree — seeds,
+policies, schemes, op counts and injected-fault counts all derive from
+the case seed — so CI can diff it verbatim.  Exit status is the
+contract: 0 on a clean tree, 1 when any seed fails.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.__main__ import main
+
+pytestmark = pytest.mark.explore
+
+GOLDEN_SMOKE = """\
+seed 0: ok policy=fifo/0 scheme=gather elevator=on ops=2 faults=0
+seed 1: ok policy=random/1 scheme=hybrid elevator=on ops=7 faults=0
+seed 2: ok policy=adversarial-delay/2 scheme=multiple elevator=on ops=4 faults=0
+seed 3: ok policy=priority-flip/3 scheme=pack elevator=off ops=8 faults=0
+seed 4: ok policy=fifo/4 scheme=gather elevator=on ops=2 faults=1
+seed 5: ok policy=random/5 scheme=hybrid elevator=on ops=6 faults=0
+seed 6: ok policy=adversarial-delay/6 scheme=multiple elevator=on ops=1 faults=0
+seed 7: ok policy=priority-flip/7 scheme=pack elevator=on ops=6 faults=0
+explored 8 seeds (base 0): 8 ok, 0 failed
+"""
+
+
+def test_smoke_sweep_matches_golden_output(tmp_path, capsys):
+    rc = main(["explore", "--seeds", "8", "--smoke",
+               "--out", str(tmp_path / "out")])
+    out = capsys.readouterr().out
+    assert out == GOLDEN_SMOKE
+    assert rc == 0
+    assert not (tmp_path / "out").exists()  # no failures, no artifacts
+
+
+def test_smoke_sweep_exits_1_on_planted_bug(tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    rc = main(["explore", "--seeds", "8", "--smoke",
+               "--plant-bug", "sched-drop-extent", "--out", str(out_dir)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    m = re.search(r"explored 8 seeds \(base 0\): (\d+) ok, (\d+) failed", out)
+    assert m and int(m.group(2)) >= 1
+    artifacts = sorted(out_dir.glob("seed*.json"))
+    assert len(artifacts) == int(m.group(2))
+    # Every artifact names its planted bug and records a shrunk case.
+    doc = json.loads(artifacts[0].read_text())
+    assert doc["case"]["plant_bug"] == "sched-drop-extent"
+    assert doc["shrunk"]["case"]["ops"]
+
+    # The recorded artifact reproduces the failure when replayed.
+    rc = main(["explore", "--replay", str(artifacts[0]), "--shrunk"])
+    replay_out = capsys.readouterr().out
+    assert rc == 1
+    assert "[file-image]" in replay_out or "[read-payload]" in replay_out
+
+
+def test_unknown_planted_bug_is_a_usage_error(capsys):
+    rc = main(["explore", "--seeds", "1", "--plant-bug", "nope"])
+    assert rc == 2
+    assert "unknown planted bug" in capsys.readouterr().err

@@ -1,0 +1,155 @@
+"""Unit tests for the invariant-oracle layer.
+
+An oracle that never fires is worse than none — each leak check is
+driven both ways here: green on a clean quiesced cluster, and red when
+the corresponding resource is deliberately leaked behind its back.
+"""
+
+import pytest
+
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster
+from repro.sim.explore import ExploreCase, OpSpec, run_case
+from repro.sim.invariants import (
+    InvariantChecker,
+    SpecFileModel,
+    first_diff,
+)
+
+pytestmark = pytest.mark.explore
+
+
+# -- first_diff --------------------------------------------------------------
+
+
+def test_first_diff_equal_and_unequal():
+    assert first_diff(b"abc", b"abc") is None
+    assert first_diff(b"abc", b"abd") == (2, ord("c"), ord("d"))
+    # Length mismatch: the missing side reads as -1.
+    assert first_diff(b"ab", b"abc") == (2, -1, ord("c"))
+    assert first_diff(b"abc", b"ab") == (2, ord("c"), -1)
+
+
+# -- SpecFileModel -----------------------------------------------------------
+
+
+def test_spec_model_applies_writes_in_order():
+    spec = SpecFileModel()
+    spec.record_write("/f", [Segment(0, 4)], b"AAAA")
+    spec.record_write("/f", [Segment(2, 4)], b"BBBB")
+    assert spec.image("/f") == b"AABBBB"
+    assert spec.acked_writes == 2
+
+
+def test_spec_model_noncontiguous_write_and_sparse_read():
+    spec = SpecFileModel()
+    spec.record_write("/f", [Segment(0, 2), Segment(6, 2)], b"XXYY")
+    assert spec.image("/f") == b"XX\0\0\0\0YY"
+    # A read across the hole sees sparse zeros; past EOF reads zeros.
+    assert spec.expected("/f", [Segment(1, 4)]) == b"X\0\0\0"
+    assert spec.expected("/f", [Segment(7, 4)]) == b"Y\0\0\0"
+    assert spec.expected("/missing", [Segment(0, 3)]) == b"\0\0\0"
+
+
+def test_spec_model_rejects_payload_length_mismatch():
+    spec = SpecFileModel()
+    with pytest.raises(ValueError):
+        spec.record_write("/f", [Segment(0, 4)], b"too long here")
+
+
+# -- InvariantChecker: green on clean runs -----------------------------------
+
+
+def _clean_case():
+    return ExploreCase(
+        seed=0, schedule_seed=0, scheme="hybrid", n_clients=2, n_iods=2,
+        ops=[
+            OpSpec(client=0, kind="write", segments=[[0, 4096]],
+                   payload_seed=1),
+            OpSpec(client=1, kind="write", segments=[[8192, 1024]],
+                   payload_seed=2),
+            OpSpec(client=0, kind="read", segments=[[0, 4096]]),
+            OpSpec(client=1, kind="fsync"),
+        ],
+    )
+
+
+def test_all_oracles_green_on_clean_run():
+    result = run_case(_clean_case())
+    assert result.ok, [str(v) for v in result.violations]
+    assert result.file_images  # evidence was actually collected
+
+
+# -- InvariantChecker: red when resources leak -------------------------------
+
+
+def _quiesced_cluster():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    checker = InvariantChecker(cluster)
+
+    def wl(client):
+        f = yield from client.open("/pfs/x")
+        buf = client.node.space.malloc(2048)
+        client.node.space.write(buf, b"z" * 2048)
+        yield from client.write_list(
+            f, [Segment(buf, 2048)], [Segment(0, 2048)]
+        )
+
+    cluster.run([wl(cluster.clients[0])])
+    cluster.sync_all()
+    assert checker.check_leaks() == []
+    return cluster, checker
+
+
+def test_staging_pool_leak_detected():
+    cluster, checker = _quiesced_cluster()
+    cluster.iods[0]._staging.items.pop()
+    assert any(
+        v.oracle == "staging-pool" for v in checker.check_leaks()
+    )
+
+
+def test_scheduler_queue_leak_detected():
+    cluster, checker = _quiesced_cluster()
+    cluster.iods[0].scheduler._queue.append(object())
+    assert any(
+        v.oracle == "scheduler-queue" for v in checker.check_leaks()
+    )
+
+
+def test_registration_leak_detected():
+    cluster, checker = _quiesced_cluster()
+    node = cluster.client_nodes[0]
+    addr = node.space.malloc(512)
+    # Registered directly, never released, never handed to the pin cache.
+    region, _ = node.hca.table.register(node.space, addr, 512)
+    assert region is not None
+    assert any(
+        v.oracle == "registration-table" for v in checker.check_leaks()
+    )
+
+
+def test_dedup_overflow_detected():
+    from repro.pvfs.iod import DEDUP_CAPACITY
+
+    cluster, checker = _quiesced_cluster()
+    iod = cluster.iods[0]
+    assert iod._dedup_tables, "serve() should have registered its table"
+    table = iod._dedup_tables[0]
+    for rid in range(DEDUP_CAPACITY + 1):
+        table.setdefault(10_000 + rid, None)
+    assert any(v.oracle == "dedup-table" for v in checker.check_leaks())
+
+
+def test_strict_override_reports_degraded_leaks():
+    cluster, checker = _quiesced_cluster()
+    cluster.failed_iods.add(0)
+    cluster.iods[0]._staging.items.pop()
+    # Auto mode forgives a degraded cluster; strict=True does not.
+    assert not any(
+        v.oracle == "staging-pool" for v in checker.check_leaks()
+    )
+    assert any(
+        v.oracle == "staging-pool"
+        for v in checker.check_leaks(strict=True)
+    )
