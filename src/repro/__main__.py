@@ -211,32 +211,65 @@ def _profile_report(args) -> str:
 def _bench_report(args) -> int:
     from repro.bench import wallclock
 
+    label = args.label
+    if args.contend is not None:
+        # The contention level is part of the label so BENCH_*.json
+        # documents from different levels never get compared as equals.
+        label = f"{label}-contend{args.contend}"
     result = wallclock.run_bench(
-        label=args.label,
+        label=label,
         n=args.n,
         repeats=args.repeats,
         schemes=args.schemes,
     )
+    if args.contend is not None:
+        result["contention"] = wallclock.bench_contention(
+            n_clients=args.contend, ops=args.contend_ops
+        )
     if args.json:
         path = wallclock.write_bench(result, out=args.out)
         print(f"wrote {path}")
     else:
         t = Table(
-            f"Wall-clock bandwidth ({args.label}, N={args.n})",
+            f"Wall-clock bandwidth ({label}, N={args.n})",
             ["scheme", "wall MB/s", "sim MB/s"],
         )
         for name, row in result["schemes"].items():
             t.add(name, row["wall_mb_s"], row["sim_mb_s"])
         dp = result["data_plane"]
         el = result["elevator"]
-        t.note(
+        note = (
             f"machine memcpy {result['machine']['memcpy_mb_s']:.0f} MB/s;"
             f" data plane {dp['legacy_mb_s']:.0f} -> {dp['zerocopy_mb_s']:.0f}"
             f" MB/s ({dp['speedup']:.2f}x);"
             f" elevator sim speedup {el['sim_speedup']:.2f}x"
             f" ({el['merged_extents']:.0f} merged extents)"
         )
+        con = result.get("contention")
+        if con is not None:
+            note += (
+                f"\ncontention ({con['clients']} clients,"
+                f" {con['bursty_clients']} bursty x{con['streams']}):"
+                f" per-client MB/s max/min fair {con['fair_ratio']:.2f}x"
+                f" vs fifo {con['fifo_ratio']:.2f}x;"
+                f" steady p99 {con['fifo']['steady_p99_us']:.0f} ->"
+                f" {con['fair']['steady_p99_us']:.0f} us"
+                f" ({con['steady_p99_improvement']:.2f}x better)"
+            )
+        t.note(note)
         print(t)
+    if args.contend is not None:
+        failures = wallclock.check_contention(result["contention"])
+        if failures:
+            for f in failures:
+                print(f"FAIRNESS: {f}", file=sys.stderr)
+            return 1
+        con = result["contention"]
+        print(
+            f"contention fairness check: OK (fair {con['fair_ratio']:.2f}x"
+            f" <= 2.0 < fifo {con['fifo_ratio']:.2f}x;"
+            f" steady p99 {con['steady_p99_improvement']:.2f}x better)"
+        )
     if args.check is not None:
         with open(args.check) as fh:
             baseline = json.load(fh)
@@ -376,6 +409,22 @@ def main(argv=None) -> int:
     )
     bench.add_argument(
         "--out", default=None, help="output path (implies --json semantics)"
+    )
+    bench.add_argument(
+        "--contend",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also run the N-client contention benchmark (fair-share DRR "
+        "vs FIFO admission) and gate on fairness: max/min per-client "
+        "throughput <= 2x and steady-client p99 no worse than FIFO",
+    )
+    bench.add_argument(
+        "--contend-ops",
+        type=int,
+        default=3,
+        metavar="K",
+        help="contention ops per stream (default 3)",
     )
     bench.add_argument(
         "--check",

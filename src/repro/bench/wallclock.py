@@ -47,6 +47,8 @@ __all__ = [
     "bench_data_plane",
     "bench_schemes",
     "bench_elevator",
+    "bench_contention",
+    "check_contention",
     "run_bench",
     "write_bench",
     "check_regression",
@@ -214,6 +216,156 @@ def bench_elevator(
         "merged_extents": count("pvfs.iod.sched.merged_extents"),
         "batches": count("pvfs.iod.sched.batches"),
     }
+
+
+def _percentile_us(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (matches sim.metrics.Histogram)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, int(round(q / 100.0 * len(ordered))))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _contended_run(
+    policy: str, n_clients: int, streams: int, ops: int, piece: int
+) -> Dict[str, object]:
+    """One contended run against a single I/O daemon.
+
+    Half the clients are *bursty* (``streams`` concurrent writers each,
+    the greedy tenants) and half are *steady* (one request at a time,
+    the victims).  Every stream writes the same number of equal-size
+    pieces into a disjoint region, so a bursty client moves ``streams``×
+    the bytes of a steady one — under FIFO admission it also gets
+    ``streams``× the service, which is exactly the unfairness DRR is
+    meant to cap.  All figures are simulated time, so the benchmark is
+    deterministic.
+    """
+    from repro.pvfs import PVFSCluster
+
+    bursty = n_clients // 2
+    qos = {
+        "enabled": True,
+        "policy": policy,
+        "quantum_bytes": piece,
+        "max_inflight": 2,
+        # Generous credits/high-water: this benchmark isolates the
+        # *ordering* policy; rejection and shedding are unit-tested.
+        "credits_per_client": streams + 2,
+        "high_water": max(64, 16 * n_clients),
+        "retry_after_us": 100.0,
+    }
+    cluster = PVFSCluster(n_clients=n_clients, n_iods=1, scheme="gather", qos=qos)
+    sim = cluster.sim
+    finish = [0.0] * n_clients
+    client_bytes = [0] * n_clients
+    steady_lat_us: List[float] = []
+
+    def stream(c, rank: int, sidx: int, latencies: Optional[List[float]]):
+        space = c.node.space
+        base = space.malloc(ops * piece)
+        space.fill(base, ops * piece, (rank % 255) + 1)
+        f = yield from c.open("/pfs/contend")
+        lane = rank * streams + sidx
+        for k in range(ops):
+            t0 = sim.now
+            yield from c.write_list(
+                f,
+                [Segment(base + k * piece, piece)],
+                [Segment((lane * ops + k) * piece, piece)],
+                use_ads=False,
+            )
+            if latencies is not None:
+                latencies.append(sim.now - t0)
+            client_bytes[rank] += piece
+        finish[rank] = max(finish[rank], sim.now)
+
+    procs = []
+    for rank, c in enumerate(cluster.clients):
+        if rank < bursty:
+            for sidx in range(streams):
+                procs.append(stream(c, rank, sidx, None))
+        else:
+            procs.append(stream(c, rank, 0, steady_lat_us))
+    cluster.run(procs)
+
+    per_client_mb_s = [
+        client_bytes[r] / finish[r] * US_PER_S / MB for r in range(n_clients)
+    ]
+    counters = cluster.stat_delta()
+
+    def count(name: str) -> int:
+        return int(counters.get(name, (0, 0.0))[0])
+
+    return {
+        "policy": policy,
+        "elapsed_us": sim.now,
+        "per_client_mb_s": [round(v, 3) for v in per_client_mb_s],
+        "ratio": max(per_client_mb_s) / min(per_client_mb_s),
+        "steady_p50_us": _percentile_us(steady_lat_us, 50),
+        "steady_p99_us": _percentile_us(steady_lat_us, 99),
+        "busy_rejects": count("pvfs.iod.qos.busy_rejects"),
+        "shed": count("pvfs.iod.qos.shed"),
+        "admitted": count("pvfs.iod.qos.admitted"),
+    }
+
+
+def bench_contention(
+    n_clients: int = 32,
+    streams: int = 4,
+    ops: int = 3,
+    piece: int = 128 * 1024,
+) -> Dict[str, object]:
+    """Fair-share (DRR) versus FIFO admission under many-client load.
+
+    The headline numbers: ``fair_ratio`` / ``fifo_ratio`` are each run's
+    max/min per-client throughput (1.0 = perfectly fair), and
+    ``steady_p99_improvement`` is how much the non-bursty clients' tail
+    latency improves when DRR caps the bursty tenants.  The acceptance
+    gate (:func:`check_contention`) requires fair ≤ 2× while FIFO
+    exceeds it.
+    """
+    if n_clients < 2:
+        raise ValueError("contention needs at least 2 clients")
+    fair = _contended_run("drr", n_clients, streams, ops, piece)
+    fifo = _contended_run("fifo", n_clients, streams, ops, piece)
+    return {
+        "clients": n_clients,
+        "bursty_clients": n_clients // 2,
+        "streams": streams,
+        "ops_per_stream": ops,
+        "piece_bytes": piece,
+        "fair": fair,
+        "fifo": fifo,
+        "fair_ratio": fair["ratio"],
+        "fifo_ratio": fifo["ratio"],
+        "steady_p99_improvement": (
+            fifo["steady_p99_us"] / fair["steady_p99_us"]
+            if fair["steady_p99_us"]
+            else float("inf")
+        ),
+    }
+
+
+def check_contention(con: Dict) -> List[str]:
+    """The fairness acceptance gate; list the failures."""
+    failures: List[str] = []
+    if con["fair_ratio"] > 2.0:
+        failures.append(
+            f"fair-share max/min per-client throughput {con['fair_ratio']:.2f}x "
+            "exceeds the 2x bound"
+        )
+    if con["fifo_ratio"] <= 2.0:
+        failures.append(
+            f"FIFO baseline ratio {con['fifo_ratio']:.2f}x did not exceed 2x — "
+            "the workload is not contended enough to discriminate"
+        )
+    if con["fair"]["steady_p99_us"] > con["fifo"]["steady_p99_us"]:
+        failures.append(
+            f"steady-client p99 {con['fair']['steady_p99_us']:.0f} us under "
+            f"fair-share is worse than FIFO's {con['fifo']['steady_p99_us']:.0f} us"
+        )
+    return failures
 
 
 def run_bench(

@@ -13,6 +13,8 @@ The pieces (mirroring PVFS 1.5.x as the paper describes it):
   Data Sieving under its cost model.
 - :mod:`repro.pvfs.client` — the client library: ``pvfs_read`` /
   ``pvfs_write`` / ``pvfs_read_list`` / ``pvfs_write_list``.
+- :mod:`repro.pvfs.qos` — per-daemon admission control: fair-share
+  (deficit round-robin) queueing, per-client credits, load shedding.
 - :mod:`repro.pvfs.cluster` — builder wiring clients, manager and I/O
   daemons into one simulated cluster.
 """
@@ -20,9 +22,11 @@ The pieces (mirroring PVFS 1.5.x as the paper describes it):
 from repro.pvfs.striping import StripeLayout, StripedPiece
 from repro.pvfs.errors import (
     DegradedError,
+    OverloadedError,
     PVFSError,
     RequestTimeout,
     RetryPolicy,
+    ServerBusyError,
     ServerError,
 )
 from repro.pvfs.protocol import (
@@ -32,9 +36,12 @@ from repro.pvfs.protocol import (
     IORequest,
     OpenReply,
     OpenRequest,
+    Overloaded,
     ReleaseStaging,
+    ServerBusy,
     TransferDone,
 )
+from repro.pvfs.qos import QoSConfig, QoSGate
 from repro.pvfs.manager import FileMeta, MetadataManager
 from repro.pvfs.iod import IODaemon
 from repro.pvfs.client import PVFSClient, PVFSFile
@@ -51,13 +58,19 @@ __all__ = [
     "MetadataManager",
     "OpenReply",
     "OpenRequest",
+    "Overloaded",
+    "OverloadedError",
     "PVFSClient",
     "PVFSCluster",
     "PVFSError",
     "PVFSFile",
+    "QoSConfig",
+    "QoSGate",
     "ReleaseStaging",
     "RequestTimeout",
     "RetryPolicy",
+    "ServerBusy",
+    "ServerBusyError",
     "ServerError",
     "StripeLayout",
     "StripedPiece",

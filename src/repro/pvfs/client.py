@@ -30,8 +30,10 @@ from repro.ib.qp import QueuePair
 from repro.mem.segments import Segment
 from repro.pvfs.errors import (
     DegradedError,
+    OverloadedError,
     RequestTimeout,
     RetryPolicy,
+    ServerBusyError,
     ServerError,
 )
 from repro.pvfs.protocol import (
@@ -42,7 +44,9 @@ from repro.pvfs.protocol import (
     IORequest,
     OpenReply,
     OpenRequest,
+    Overloaded,
     ReleaseStaging,
+    ServerBusy,
     StripeUnlink,
     TransferDone,
     UnlinkReply,
@@ -259,6 +263,19 @@ class PVFSClient:
                 continue
             return result
 
+    def _check_backpressure(self, msg, what: str) -> None:
+        """Turn a QoS refusal reply into its typed, retryable error."""
+        if isinstance(msg, ServerBusy):
+            self.node.stats.add("pvfs.client.busy_rejects")
+            raise ServerBusyError(
+                what, retry_after_us=msg.retry_after_us, attempt=msg.attempt
+            )
+        if isinstance(msg, Overloaded):
+            self.node.stats.add("pvfs.client.overload_rejects")
+            raise OverloadedError(
+                what, retry_after_us=msg.retry_after_us, attempt=msg.attempt
+            )
+
     def _retry_loop(
         self, conn: _Connection, iod: int, rid: int, ctx: RequestContext,
         what: str, attempt_fn,
@@ -267,8 +284,12 @@ class PVFSClient:
 
         Timeouts, injected faults, and server-reported errors trigger an
         idempotent re-issue (same request id, bumped attempt number)
-        after capped exponential backoff.  Exhaustion marks the I/O node
-        failed and surfaces a typed error — never a hang.
+        after capped exponential backoff.  QoS refusals (busy/overload)
+        retry the same way but honor the server's ``retry_after_us``
+        hint when it exceeds the policy's own backoff.  Exhaustion marks
+        the I/O node failed and surfaces a typed error — never a hang —
+        except for pure backpressure, which leaves the node healthy (it
+        answered; it is loaded, not lost).
         """
         policy = self.retry
         last_exc: Optional[BaseException] = None
@@ -279,17 +300,33 @@ class PVFSClient:
                     "client.retry", node=self.node.name, rid=rid,
                     attempt=attempt, cause=type(last_exc).__name__,
                 )
-                yield self.sim.timeout(policy.backoff_us(attempt))
+                delay = policy.backoff_us(attempt)
+                if isinstance(last_exc, (ServerBusyError, OverloadedError)):
+                    delay = max(delay, last_exc.retry_after_us)
+                yield self.sim.timeout(delay)
             try:
                 result = yield from attempt_fn(attempt)
             except RequestTimeout as exc:
                 last_exc = exc
+            except (ServerBusyError, OverloadedError) as exc:
+                last_exc = exc
+                self.node.stats.add("pvfs.client.busy_retries")
             except (FaultError, ServerError) as exc:
                 last_exc = exc
             else:
                 conn.close_inbox(rid)
                 return result
         conn.close_inbox(rid)
+        if isinstance(last_exc, (ServerBusyError, OverloadedError)):
+            # The daemon kept answering "come back later" through the
+            # whole budget: surface that as-is.  It is alive, so the
+            # stripe set is intact — no degraded marking.
+            self.node.stats.add("pvfs.client.backpressure_failures")
+            ctx.event(
+                "client.backpressure_failed", node=self.node.name,
+                iod=iod, rid=rid, cause=type(last_exc).__name__,
+            )
+            raise last_exc
         self.failed_iods.add(iod)
         self.node.stats.add("pvfs.client.iod_failures")
         ctx.event(
@@ -708,6 +745,7 @@ class PVFSClient:
         inbox = conn.inbox(rid)
         yield from self._send(conn.qp, req, self.testbed.request_msg_bytes)
         msg = yield from self._await_reply(inbox, attempt, f"{op} IORequest")
+        self._check_backpressure(msg, f"{op} IORequest")
         if isinstance(msg, Done):
             # A Done instead of the DataReady grant: either the server
             # failed the request and is reporting why, or a re-issued
@@ -821,10 +859,9 @@ class PVFSClient:
         self.node.stats.add("pvfs.client.eager_writes", total)
         inbox = conn.inbox(rid)
         yield from self._send(conn.qp, req, self.testbed.request_msg_bytes)
-        done = expect_reply(
-            (yield from self._await_reply(inbox, attempt, "eager write")),
-            Done, "eager write",
-        )
+        msg = yield from self._await_reply(inbox, attempt, "eager write")
+        self._check_backpressure(msg, "eager write")
+        done = expect_reply(msg, Done, "eager write")
         if done.error:
             raise ServerError("eager write", done.error)
         return total
@@ -869,10 +906,9 @@ class PVFSClient:
             self.node.stats.add("pvfs.client.eager_reads", total)
             inbox = conn.inbox(rid)
             yield from self._send(conn.qp, req, self.testbed.request_msg_bytes)
-            done = expect_reply(
-                (yield from self._await_reply(inbox, attempt, "eager read")),
-                Done, "eager read",
-            )
+            msg = yield from self._await_reply(inbox, attempt, "eager read")
+            self._check_backpressure(msg, "eager read")
+            done = expect_reply(msg, Done, "eager read")
             if done.error:
                 raise ServerError("eager read", done.error)
             # Unpack from the fast buffer into the user's pieces.

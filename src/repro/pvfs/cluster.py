@@ -26,6 +26,7 @@ from repro.pvfs.client import PVFSClient
 from repro.pvfs.errors import RetryPolicy
 from repro.pvfs.iod import IODaemon
 from repro.pvfs.manager import MetadataManager
+from repro.pvfs.qos import QoSConfig
 from repro.sim.engine import SchedulePolicy, Simulator
 from repro.sim.faults import FaultPlan
 from repro.sim.metrics import MetricsRegistry
@@ -54,6 +55,7 @@ class PVFSCluster:
         retry: Optional[RetryPolicy] = None,
         elevator_enabled: bool = True,
         schedule_policy: Optional[SchedulePolicy] = None,
+        qos: Optional[Union[QoSConfig, dict]] = None,
     ):
         if n_clients < 1 or n_iods < 1:
             raise ValueError("need at least one client and one I/O node")
@@ -103,6 +105,10 @@ class PVFSCluster:
                 cache_aware_decisions=cache_aware_decisions,
                 ads_force=ads_force,
                 elevator_enabled=elevator_enabled,
+                # Admission control (None = legacy unbounded admission);
+                # each daemon gets its own gate over the shared config.
+                qos=qos,
+                metrics=self.metrics,
             )
             for i, node in enumerate(self.iod_nodes)
         ]

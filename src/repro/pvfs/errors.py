@@ -25,6 +25,8 @@ __all__ = [
     "RequestTimeout",
     "ServerError",
     "DegradedError",
+    "ServerBusyError",
+    "OverloadedError",
     "RetryPolicy",
 ]
 
@@ -71,6 +73,37 @@ class DegradedError(PVFSError):
         super().__init__(msg)
         self.iod = iod
         self.cause = cause
+
+
+class ServerBusyError(PVFSError):
+    """The daemon's QoS gate refused admission: this client's credit
+    budget there is spent.  Retryable — the daemon is alive, just
+    loaded — so exhausting the budget on this error does *not* mark the
+    I/O node degraded."""
+
+    def __init__(self, what: str, retry_after_us: float = 0.0, attempt: int = 0):
+        super().__init__(
+            f"{what}: server busy, retry after {retry_after_us:.0f} us"
+            f" (attempt {attempt})"
+        )
+        self.what = what
+        self.retry_after_us = retry_after_us
+        self.attempt = attempt
+
+
+class OverloadedError(PVFSError):
+    """The daemon shed this request past its high-water mark.  Like
+    :class:`ServerBusyError` this is retryable load feedback, not a
+    degraded server."""
+
+    def __init__(self, what: str, retry_after_us: float = 0.0, attempt: int = 0):
+        super().__init__(
+            f"{what}: server overloaded (request shed), retry after"
+            f" {retry_after_us:.0f} us (attempt {attempt})"
+        )
+        self.what = what
+        self.retry_after_us = retry_after_us
+        self.attempt = attempt
 
 
 @dataclass(frozen=True)

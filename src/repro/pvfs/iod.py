@@ -36,6 +36,7 @@ from repro.disk.localfile import LocalFile, LocalFileSystem
 from repro.ib.hca import Node
 from repro.ib.qp import QueuePair
 from repro.mem.segments import Segment
+from repro.pvfs.qos import QoSConfig, QoSGate
 from repro.pvfs.scheduler import DiskJob, ElevatorScheduler
 from repro.pvfs.protocol import (
     AccessMode,
@@ -43,7 +44,9 @@ from repro.pvfs.protocol import (
     Done,
     FsyncRequest,
     IORequest,
+    Overloaded,
     ReleaseStaging,
+    ServerBusy,
     StripeUnlink,
     TransferDone,
     expect_reply,
@@ -88,6 +91,8 @@ class IODaemon:
         staging_buffers: int = DEFAULT_STAGING_BUFFERS,
         staging_bytes: int = DEFAULT_STAGING_BYTES,
         elevator_enabled: bool = True,
+        qos: Optional[QoSConfig] = None,
+        metrics=None,
     ):
         self.sim = sim
         self.node = node
@@ -132,6 +137,25 @@ class IODaemon:
         # Per-connection dedup tables (completed-write replay answers),
         # referenced here so the invariant oracles can bound their size.
         self._dedup_tables: List[Dict[int, Done]] = []
+        # Admission control (None = legacy unbounded admission).  The
+        # gate sits in front of the staging pool and the elevator: an
+        # IORequest only becomes a handler once the gate admits it.
+        if isinstance(qos, dict):
+            qos = QoSConfig.from_dict(qos)
+        self.qos_config = qos
+        self.metrics = metrics
+        if qos is not None and qos.enabled:
+            self.qos: Optional[QoSGate] = QoSGate(
+                qos,
+                clock=lambda: self.sim.now,
+                stats=node.stats,
+                metrics=metrics,
+                backlog_us=lambda: self.testbed.memcpy_us(
+                    self.scheduler.backlog_bytes
+                ),
+            )
+        else:
+            self.qos = None
 
     @property
     def name(self) -> str:
@@ -171,8 +195,11 @@ class IODaemon:
         inboxes: Dict[int, Store] = {}
         handlers: Dict[int, Process] = {}  # rid -> in-flight handler
         completed: Dict[int, Done] = {}  # rid -> Done of a finished write
+        conn_id = len(self._all_handlers)  # this connection's QoS identity
         self._all_handlers.append(handlers)
         self._dedup_tables.append(completed)
+        if self.qos is not None:
+            self.qos.register(conn_id)
         while True:
             msg = yield qp.recv()
             if msg is None:  # shutdown sentinel
@@ -203,12 +230,25 @@ class IODaemon:
                     # staging buffer) and start fresh.
                     old.interrupt("superseded by retry")
                     self.node.stats.add("pvfs.iod.superseded")
-                inbox = Store(self.sim, name=f"req{msg.request_id}")
-                inboxes[msg.request_id] = inbox
-                handlers[msg.request_id] = self.sim.process(
-                    self._handle(qp, msg, inbox, inboxes, completed),
-                    name=f"iod{self.index}.req{msg.request_id}",
-                )
+                if self.qos is not None:
+                    # A re-issue may also be sitting in the pending
+                    # queue, never admitted: drop the stale attempt so
+                    # it does not occupy queue space twice.
+                    self.qos.supersede(conn_id, msg.request_id)
+                    self.qos.submit(
+                        conn_id,
+                        msg,
+                        start=lambda req: self._spawn_handler(
+                            qp, req, conn_id, inboxes, handlers, completed
+                        ),
+                        reject=lambda kind, after, req: self._qos_reject(
+                            qp, req, kind, after
+                        ),
+                    )
+                else:
+                    self._spawn_handler(
+                        qp, msg, None, inboxes, handlers, completed
+                    )
                 if len(handlers) > 4 * DEDUP_CAPACITY:
                     # Prune finished handlers (insertion order: stable).
                     for rid in [r for r, p in handlers.items() if not p.is_alive]:
@@ -246,6 +286,58 @@ class IODaemon:
             else:
                 raise TypeError(f"iod{self.index}: unexpected message {msg!r}")
 
+    # -- admission --------------------------------------------------------------
+
+    def _spawn_handler(
+        self,
+        qp: QueuePair,
+        req: IORequest,
+        conn_id: Optional[int],
+        inboxes: Dict[int, Store],
+        handlers: Dict[int, Process],
+        completed: Dict[int, Done],
+    ) -> None:
+        """Start the handler process for one admitted request.
+
+        Called synchronously from the dispatcher when admission is
+        immediate, or later by the QoS gate when a queued request wins a
+        slot.  With QoS active the handler is wrapped so its completion
+        — success, error, or interrupt — returns the admission slot.
+        """
+        inbox = Store(self.sim, name=f"req{req.request_id}")
+        inboxes[req.request_id] = inbox
+        gen = self._handle(qp, req, inbox, inboxes, completed)
+        if conn_id is not None and self.qos is not None:
+            gen = self._gated(gen, conn_id)
+        handlers[req.request_id] = self.sim.process(
+            gen, name=f"iod{self.index}.req{req.request_id}"
+        )
+
+    def _gated(self, gen: Generator, conn_id: int) -> Generator:
+        try:
+            yield from gen
+        finally:
+            self.qos.complete(conn_id)
+
+    def _qos_reject(
+        self, qp: QueuePair, req: IORequest, kind: str, retry_after_us: float
+    ) -> None:
+        """Answer a refused request with its typed reply (ServerBusy for
+        a spent credit budget, Overloaded for a shed request) after the
+        usual per-request CPU cost, without blocking the dispatcher."""
+        cls = ServerBusy if kind == "busy" else Overloaded
+        reply = cls(
+            req.request_id, retry_after_us=retry_after_us, attempt=req.attempt
+        )
+
+        def proc() -> Generator:
+            yield self.sim.timeout(self.testbed.server_request_cpu_us)
+            yield from self._send_reliable(
+                qp, reply, nbytes=self.testbed.reply_msg_bytes
+            )
+
+        self.sim.process(proc(), name=f"iod{self.index}.reject{req.request_id}")
+
     # -- failure machinery ------------------------------------------------------------
 
     def _crash(self, duration_us: Optional[float]) -> None:
@@ -259,6 +351,10 @@ class IODaemon:
         """
         self.crashed = True
         self.node.stats.add("pvfs.iod.crashes")
+        if self.qos is not None:
+            # Pending (never-admitted) requests die with the daemon, no
+            # replies; the clients' timeouts re-issue after the restart.
+            self.qos.purge()
         if duration_us is not None:
             self.sim.process(self._restart(duration_us), name=f"{self.name}.restart")
 

@@ -36,6 +36,8 @@ __all__ = [
     "TransferDone",
     "Done",
     "ReleaseStaging",
+    "ServerBusy",
+    "Overloaded",
     "ProtocolError",
     "expect_reply",
 ]
@@ -159,6 +161,27 @@ class Done:
 @dataclass(frozen=True)
 class ReleaseStaging:
     request_id: int
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class ServerBusy:
+    """QoS admission refused: the client's credit budget at this daemon
+    is spent.  ``retry_after_us`` is the server's backoff hint, sized to
+    the current queue depth and disk backlog."""
+
+    request_id: int
+    retry_after_us: float = 0.0
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class Overloaded:
+    """QoS load shedding: the daemon's pending queue crossed its
+    high-water mark and this (oldest pending) request was dropped."""
+
+    request_id: int
+    retry_after_us: float = 0.0
     attempt: int = 0
 
 

@@ -1,0 +1,348 @@
+"""Per-I/O-daemon admission control: fair queueing, credits, shedding.
+
+Every subsystem so far assumed a handful of cooperative clients; the
+only backpressure in the system was the eager path's credit list.  This
+module adds the multi-tenant semantics an I/O daemon needs once "many
+compute nodes" stops being a figure of speech:
+
+- **Fair-share scheduling.**  Arriving :class:`~repro.pvfs.protocol.IORequest`
+  messages queue per client and are admitted by deficit round-robin
+  (DRR): each rotation visit grants a client ``quantum_bytes`` of
+  deficit, and its head request starts once the accumulated deficit
+  covers the request's byte cost.  A client issuing many concurrent
+  requests therefore gets the same byte share as a client issuing one at
+  a time — the property the contention benchmark measures.  Setting
+  ``policy="fifo"`` admits in global arrival order instead (the A/B
+  baseline, analogous to the elevator scheduler's ``enabled=False``).
+- **Bounded inflight.**  At most ``max_inflight`` admitted requests run
+  handlers concurrently, sitting *in front of* the staging pool and the
+  :class:`~repro.pvfs.scheduler.ElevatorScheduler`, so the elevator's
+  queue depth — and the daemon's memory exposure — stays bounded no
+  matter how many clients connect.
+- **Credit backpressure.**  A client with ``credits_per_client``
+  requests already pending or running at this daemon is answered with a
+  typed :class:`~repro.pvfs.protocol.ServerBusy` reply (plus a
+  ``retry_after_us`` hint sized to the current backlog) instead of being
+  queued; the client's retry loop backs off and re-issues.
+- **Load shedding.**  When the total pending queue reaches
+  ``high_water``, the *oldest* pending request is dropped with a typed
+  :class:`~repro.pvfs.protocol.Overloaded` reply — oldest-first because
+  its client has waited longest and is the most likely to re-issue
+  anyway, and because dropping the newest would let one burst starve
+  earlier arrivals forever.
+
+Starvation is bounded by construction: a request's head-of-queue wait is
+at most ``ceil(cost / quantum_bytes)`` rotations, and if a head ever
+waits more than ``starvation_round_limit`` rotations the gate
+force-admits it and records the breach in ``forced_admissions`` — which
+the explore harness's invariant oracle treats as a violation.
+
+Everything is observable: ``pvfs.iod.qos.*`` counters (admitted, queued,
+busy_rejects, shed, superseded, purged, skips, forced) via the node's
+:class:`~repro.sim.stats.StatRegistry`, and an ``iod.qos.wait``
+histogram (queue-wait microseconds) in the cluster's
+:class:`~repro.sim.metrics.MetricsRegistry`.
+
+The gate never hangs a request: every arrival is admitted, rejected
+with a typed reply, shed with a typed reply, superseded by its own
+retry, or purged by a daemon crash (where the client's timeout
+machinery recovers) — there is no fifth state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.calibration import KB
+
+__all__ = ["QoSConfig", "QoSGate"]
+
+
+@dataclasses.dataclass(frozen=True)
+class QoSConfig:
+    """Knob bundle for one I/O daemon's admission gate.
+
+    ``quantum_bytes`` is the DRR byte grant per rotation visit;
+    ``max_inflight`` bounds concurrently admitted handlers;
+    ``credits_per_client`` bounds one client's pending+running requests
+    before ``ServerBusy``; ``high_water`` is the total-pending threshold
+    past which the oldest pending request is shed with ``Overloaded``;
+    ``starvation_round_limit`` is the promised bound on scheduling
+    rounds a head request may wait; ``retry_after_us`` scales the
+    backoff hint carried on reject replies.
+    """
+
+    enabled: bool = True
+    policy: str = "drr"  # "drr" | "fifo"
+    quantum_bytes: int = 64 * KB
+    max_inflight: int = 2
+    credits_per_client: int = 8
+    high_water: int = 64
+    starvation_round_limit: int = 512
+    retry_after_us: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in ("drr", "fifo"):
+            raise ValueError(f"unknown QoS policy {self.policy!r}")
+        if self.quantum_bytes < 1:
+            raise ValueError("quantum_bytes must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.credits_per_client < 0:
+            raise ValueError("credits_per_client must be >= 0")
+        if self.high_water < 1:
+            raise ValueError("high_water must be >= 1")
+        if self.starvation_round_limit < 1:
+            raise ValueError("starvation_round_limit must be >= 1")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QoSConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+
+class _Pending:
+    """One queued request: the message plus its admission callbacks."""
+
+    __slots__ = ("client", "req", "start", "reject", "seq", "arrived_us", "rounds_waited")
+
+    def __init__(self, client, req, start, reject, seq, arrived_us):
+        self.client = client
+        self.req = req
+        self.start = start
+        self.reject = reject
+        self.seq = seq
+        self.arrived_us = arrived_us
+        self.rounds_waited = 0
+
+
+class QoSGate:
+    """Admission gate for one I/O daemon.
+
+    The gate is deliberately decoupled from the daemon: callers hand
+    each :meth:`submit` a ``start(req)`` callback (spawn the handler)
+    and a ``reject(kind, retry_after_us, req)`` callback (send the
+    typed refusal), so unit tests can drive it without a cluster.  The
+    daemon reports handler completion with :meth:`complete`, which
+    re-runs dispatch and admits the next winners.
+    """
+
+    def __init__(
+        self,
+        cfg: QoSConfig,
+        clock: Optional[Callable[[], float]] = None,
+        stats=None,
+        metrics=None,
+        backlog_us: Optional[Callable[[], float]] = None,
+    ):
+        self.cfg = cfg
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._stats = stats
+        self._metrics = metrics
+        self._backlog_us = backlog_us
+        self._queues: Dict[int, Deque[_Pending]] = {}
+        self._order: List[int] = []  # rotation order (registration order)
+        self._deficit: Dict[int, float] = {}
+        self._outstanding: Dict[int, int] = {}  # pending + inflight per client
+        self._cursor = 0
+        self._seq = 0
+        self._inflight = 0
+        self._pending_total = 0
+        # Worst head-of-queue wait (in scheduling rounds) ever admitted,
+        # and how often the starvation bound had to be enforced by a
+        # forced admission.  Both feed the explore invariant oracle.
+        self.max_rounds_waited = 0
+        self.forced_admissions = 0
+
+    # -- introspection (used by the invariant oracles) ----------------------
+
+    @property
+    def pending_total(self) -> int:
+        return self._pending_total
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def _count(self, name: str) -> None:
+        if self._stats is not None:
+            self._stats.add(f"pvfs.iod.qos.{name}")
+
+    # -- client lifecycle ---------------------------------------------------
+
+    def register(self, client: int) -> None:
+        """Add one client connection to the rotation (idempotent)."""
+        if client not in self._queues:
+            self._queues[client] = deque()
+            self._order.append(client)
+            self._deficit[client] = 0.0
+            self._outstanding[client] = 0
+
+    # -- arrival ------------------------------------------------------------
+
+    def retry_after_hint(self) -> float:
+        """Backoff hint for a rejected client, scaled by current load:
+        the per-slot base grows with queued work, plus the simulated
+        cost of draining the disk backlog behind the admitted set."""
+        load = 1 + self._pending_total + self._inflight
+        hint = self.cfg.retry_after_us * load
+        if self._backlog_us is not None:
+            hint += self._backlog_us()
+        return hint
+
+    def submit(self, client: int, req, start, reject) -> str:
+        """One arriving request; returns its verdict.
+
+        ``"admitted"`` — ``start(req)`` was called synchronously;
+        ``"queued"`` — waiting for a slot (``start`` fires later);
+        ``"busy"`` — per-client credits spent, ``reject`` called.
+        A ``"queued"`` verdict can still end in shedding (``reject``
+        with ``"overloaded"``) if later arrivals push past high water.
+        """
+        self.register(client)
+        if self._outstanding[client] >= self.cfg.credits_per_client:
+            self._count("busy_rejects")
+            reject("busy", self.retry_after_hint(), req)
+            return "busy"
+        if self._pending_total >= self.cfg.high_water:
+            self._shed_oldest()
+        entry = _Pending(client, req, start, reject, self._seq, self._clock())
+        self._seq += 1
+        self._queues[client].append(entry)
+        self._pending_total += 1
+        self._outstanding[client] += 1
+        self._count("queued")
+        self._dispatch()
+        # Shedding ran before the enqueue, so if the entry left its queue
+        # it was admitted (started synchronously), not dropped.
+        return "queued" if entry in self._queues[client] else "admitted"
+
+    def _shed_oldest(self) -> None:
+        """Drop the oldest pending request with a typed Overloaded reply."""
+        victim: Optional[_Pending] = None
+        for q in self._queues.values():
+            if q and (victim is None or q[0].seq < victim.seq):
+                victim = q[0]
+        if victim is None:
+            return
+        self._queues[victim.client].popleft()
+        self._pending_total -= 1
+        self._outstanding[victim.client] -= 1
+        self._count("shed")
+        victim.reject("overloaded", self.retry_after_hint(), victim.req)
+
+    def supersede(self, client: int, request_id: int) -> bool:
+        """Drop a *pending* attempt the client has re-issued.
+
+        The in-flight case (a running handler) is the daemon's job to
+        interrupt; this covers the attempt that never got admitted —
+        without it a timed-out request would occupy queue space twice.
+        """
+        q = self._queues.get(client)
+        if not q:
+            return False
+        for entry in q:
+            if entry.req.request_id == request_id:
+                q.remove(entry)
+                self._pending_total -= 1
+                self._outstanding[client] -= 1
+                self._count("superseded")
+                return True
+        return False
+
+    def purge(self) -> int:
+        """Crash path: silently drop everything pending (no replies — a
+        dead daemon sends nothing; client timeouts recover).  Inflight
+        accounting survives: aborting handlers still run their
+        ``finally`` and call :meth:`complete`."""
+        dropped = 0
+        for client, q in self._queues.items():
+            dropped += len(q)
+            self._outstanding[client] -= len(q)
+            q.clear()
+            self._deficit[client] = 0.0
+        self._pending_total = 0
+        if dropped and self._stats is not None:
+            for _ in range(dropped):
+                self._count("purged")
+        return dropped
+
+    # -- completion ---------------------------------------------------------
+
+    def complete(self, client: int) -> None:
+        """A handler finished (however it ended); admit the next winners."""
+        self._inflight -= 1
+        self._outstanding[client] -= 1
+        self._dispatch()
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        while self._inflight < self.cfg.max_inflight and self._pending_total:
+            entry = self._pick_fifo() if self.cfg.policy == "fifo" else self._pick_drr()
+            if entry is None:
+                break
+            self._admit(entry)
+
+    def _admit(self, entry: _Pending) -> None:
+        self._pending_total -= 1
+        self._inflight += 1
+        if entry.rounds_waited > self.max_rounds_waited:
+            self.max_rounds_waited = entry.rounds_waited
+        self._count("admitted")
+        if self._metrics is not None:
+            self._metrics.record("iod.qos.wait", self._clock() - entry.arrived_us)
+        entry.start(entry.req)
+
+    def _pick_fifo(self) -> Optional[_Pending]:
+        head: Optional[_Pending] = None
+        for q in self._queues.values():
+            if q and (head is None or q[0].seq < head.seq):
+                head = q[0]
+        if head is not None:
+            self._queues[head.client].popleft()
+        return head
+
+    def _pick_drr(self) -> Optional[_Pending]:
+        """One deficit-round-robin winner.
+
+        Each rotation visit to a nonempty queue grants ``quantum_bytes``
+        of deficit; the head is admitted once its cost is covered, and a
+        drained queue forfeits its leftover deficit (the classic DRR
+        anti-hoarding rule).  A skipped head ages by one round; past the
+        starvation limit it is force-admitted and the breach recorded.
+        """
+        n = len(self._order)
+        if n == 0:
+            return None
+        while True:
+            for _ in range(n):
+                client = self._order[self._cursor]
+                self._cursor = (self._cursor + 1) % n
+                q = self._queues[client]
+                if not q:
+                    self._deficit[client] = 0.0
+                    continue
+                self._deficit[client] += self.cfg.quantum_bytes
+                head = q[0]
+                if (
+                    self._deficit[client] >= head.req.total_bytes
+                    or head.rounds_waited >= self.cfg.starvation_round_limit
+                ):
+                    if self._deficit[client] < head.req.total_bytes:
+                        self.forced_admissions += 1
+                        self._count("forced")
+                        self._deficit[client] = 0.0
+                    else:
+                        self._deficit[client] -= head.req.total_bytes
+                    q.popleft()
+                    if not q:
+                        self._deficit[client] = 0.0
+                    return head
+                head.rounds_waited += 1
+                self._count("skips")

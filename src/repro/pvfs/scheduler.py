@@ -143,6 +143,13 @@ class ElevatorScheduler:
     def depth(self) -> int:
         return len(self._queue)
 
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes of queued, not-yet-serviced disk work.  The QoS gate's
+        retry-after hints scale with this so a rejected client backs off
+        roughly as long as the daemon needs to drain."""
+        return sum(job.nbytes for job in self._queue if not job.cancelled)
+
     # -- the pump ----------------------------------------------------------
 
     def _pump(self) -> Generator:

@@ -122,6 +122,7 @@ class ExploreCase:
     ops: List[OpSpec]
     fault: Optional[dict] = None  # FaultPlan.to_dict() or None
     elevator: bool = True
+    qos: Optional[dict] = None  # QoSConfig.to_dict() or None (legacy admission)
     plant_bug: Optional[str] = None
 
     def to_dict(self) -> dict:
@@ -134,6 +135,7 @@ class ExploreCase:
             "ops": [op.to_dict() for op in self.ops],
             "fault": self.fault,
             "elevator": self.elevator,
+            "qos": self.qos,
             "plant_bug": self.plant_bug,
         }
 
@@ -148,6 +150,7 @@ class ExploreCase:
             ops=[OpSpec.from_dict(o) for o in d["ops"]],
             fault=d.get("fault"),
             elevator=d.get("elevator", True),
+            qos=d.get("qos"),
             plant_bug=d.get("plant_bug"),
         )
 
@@ -287,6 +290,28 @@ def generate_case(
             )
         fault = plan.to_dict()
 
+    # QoS admission control rotates in arithmetically (no rng draws, so
+    # adding this axis left every older seed's ops/faults byte-identical).
+    # The bounds are deliberately generous — exploration hunts ordering
+    # and leak bugs in the gate, not tuned-rejection behavior, which the
+    # unit suite covers — but max_inflight=1 seeds serialize every
+    # daemon's admissions, the harshest queueing shape.  The default
+    # inflight depth stays >= 3 so admission control does not serialize
+    # the disk queue into single jobs, which would mask elevator merge
+    # bugs from the sweep entirely.
+    qos: Optional[dict] = None
+    if seed % 4 != 2:
+        qos = {
+            "enabled": True,
+            "policy": "fifo" if seed % 8 == 7 else "drr",
+            "quantum_bytes": 8192,
+            "max_inflight": 1 if seed % 8 == 5 else 4,
+            "credits_per_client": 16,
+            "high_water": 64,
+            "starvation_round_limit": 256,
+            "retry_after_us": 100.0,
+        }
+
     return ExploreCase(
         seed=seed,
         schedule_seed=seed,
@@ -296,6 +321,7 @@ def generate_case(
         ops=ops,
         fault=fault,
         elevator=(seed % 7 != 3),
+        qos=qos,
         plant_bug=plant_bug,
     )
 
@@ -445,6 +471,7 @@ def run_case(case: ExploreCase, record_trace: bool = False) -> CaseResult:
             fault_plan=plan,
             retry=EXPLORE_RETRY,
             elevator_enabled=case.elevator,
+            qos=case.qos,
         )
         if record_trace:
             cluster.sim.record_trace()
@@ -501,16 +528,23 @@ def run_case(case: ExploreCase, record_trace: bool = False) -> CaseResult:
 # ---------------------------------------------------------------------------
 
 
-def case_size(case: ExploreCase) -> Tuple[int, int]:
-    """(data-moving op count, total bytes) — the shrink partial order."""
+def case_size(case: ExploreCase) -> Tuple[int, int, int]:
+    """(data-moving op count, total bytes, extra machinery) — the shrink
+    partial order.  The third component counts optional subsystems
+    (fault plan, QoS config) so dropping one is a strict reduction even
+    when it moves no bytes — without it those candidates could never be
+    accepted and every artifact would keep its full fault plan."""
     data_ops = [op for op in case.ops if op.kind != "fsync"]
-    return (len(data_ops), sum(op.nbytes for op in data_ops))
+    extras = int(case.fault is not None) + int(case.qos is not None)
+    return (len(data_ops), sum(op.nbytes for op in data_ops), extras)
 
 
 def _shrink_candidates(case: ExploreCase) -> Iterable[ExploreCase]:
     """Strictly smaller variants, cheapest reductions first."""
     if case.fault is not None:
         yield dataclasses.replace(case, fault=None)
+    if case.qos is not None:
+        yield dataclasses.replace(case, qos=None)
     # Drop whole ops (fsyncs ride along for free via the same loop).
     for i in range(len(case.ops)):
         yield dataclasses.replace(
@@ -648,6 +682,7 @@ def sweep(
         tag = (
             f"policy={policy.describe()} scheme={case.scheme}"
             f" elevator={'on' if case.elevator else 'off'}"
+            f" qos={case.qos['policy'] if case.qos else 'off'}"
             f" ops={len(case.ops)} faults={result.injected}"
         )
         if result.ok:

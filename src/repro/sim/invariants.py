@@ -219,6 +219,43 @@ class InvariantChecker:
                             f"rids {alive}",
                         )
                     )
+            gate = getattr(iod, "qos", None)
+            if gate is not None:
+                # Every arrival must terminate: admitted-and-finished,
+                # rejected with a typed reply, superseded, or purged by a
+                # crash.  Anything still sitting in the gate at quiesce
+                # is a request that would have hung forever.
+                if gate.pending_total:
+                    out.append(
+                        Violation(
+                            "qos-queue",
+                            f"{iod.name}: {gate.pending_total} requests "
+                            "still pending at the admission gate",
+                        )
+                    )
+                if gate.inflight:
+                    out.append(
+                        Violation(
+                            "qos-inflight",
+                            f"{iod.name}: {gate.inflight} admission slots "
+                            "never returned",
+                        )
+                    )
+                # No starvation: DRR bounds any head's wait to
+                # ceil(cost/quantum) rounds; a forced admission means the
+                # configured round limit was breached before that bound
+                # held, i.e. the fairness argument failed.
+                limit = gate.cfg.starvation_round_limit
+                if gate.forced_admissions or gate.max_rounds_waited > limit:
+                    out.append(
+                        Violation(
+                            "qos-starvation",
+                            f"{iod.name}: a request waited "
+                            f"{gate.max_rounds_waited} scheduling rounds "
+                            f"(limit {limit}, forced admissions "
+                            f"{gate.forced_admissions})",
+                        )
+                    )
 
         for ci, client in enumerate(cluster.clients):
             if strict:

@@ -1,0 +1,49 @@
+"""CLI coverage for ``python -m repro bench --contend N``.
+
+The contention benchmark runs in simulated time, so its fairness
+numbers are deterministic and safe to gate on even at the small sizes
+used here; only the wall-clock section varies by machine.
+"""
+
+import json
+
+from repro.__main__ import main
+from repro.bench import wallclock
+
+
+ARGV = ["bench", "--label", "t", "--n", "256", "--repeats", "1",
+        "--contend", "8", "--contend-ops", "2"]
+
+
+def test_contend_json_document_labels_and_gates(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)  # default --json path lands in cwd
+    rc = main(ARGV + ["--json"])
+    assert rc == 0
+    path = tmp_path / "BENCH_t-contend8.json"
+    assert path.exists(), "contention level must be part of the label"
+    doc = json.loads(path.read_text())
+    assert doc["label"] == "t-contend8"
+    con = doc["contention"]
+    assert con["clients"] == 8 and con["bursty_clients"] == 4
+    assert con["fair_ratio"] <= 2.0 < con["fifo_ratio"]
+    assert (con["fair"]["steady_p99_us"] <= con["fifo"]["steady_p99_us"])
+    assert wallclock.check_contention(con) == []
+    out = capsys.readouterr().out
+    assert "contention fairness check: OK" in out
+
+
+def test_contend_table_footer_reports_both_policies(capsys):
+    rc = main(ARGV)
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "contention (8 clients, 4 bursty x4)" in out
+    assert "vs fifo" in out and "steady p99" in out
+    assert "contention fairness check: OK" in out
+
+
+def test_check_contention_flags_unfair_result():
+    con = wallclock.bench_contention(n_clients=8, ops=2)
+    broken = dict(con)
+    broken["fair_ratio"] = 5.0
+    failures = wallclock.check_contention(broken)
+    assert failures and "fair" in failures[0]

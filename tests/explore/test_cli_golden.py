@@ -16,14 +16,14 @@ from repro.__main__ import main
 pytestmark = pytest.mark.explore
 
 GOLDEN_SMOKE = """\
-seed 0: ok policy=fifo/0 scheme=gather elevator=on ops=2 faults=0
-seed 1: ok policy=random/1 scheme=hybrid elevator=on ops=7 faults=0
-seed 2: ok policy=adversarial-delay/2 scheme=multiple elevator=on ops=4 faults=0
-seed 3: ok policy=priority-flip/3 scheme=pack elevator=off ops=8 faults=0
-seed 4: ok policy=fifo/4 scheme=gather elevator=on ops=2 faults=1
-seed 5: ok policy=random/5 scheme=hybrid elevator=on ops=6 faults=0
-seed 6: ok policy=adversarial-delay/6 scheme=multiple elevator=on ops=1 faults=0
-seed 7: ok policy=priority-flip/7 scheme=pack elevator=on ops=6 faults=0
+seed 0: ok policy=fifo/0 scheme=gather elevator=on qos=drr ops=2 faults=0
+seed 1: ok policy=random/1 scheme=hybrid elevator=on qos=drr ops=7 faults=0
+seed 2: ok policy=adversarial-delay/2 scheme=multiple elevator=on qos=off ops=4 faults=0
+seed 3: ok policy=priority-flip/3 scheme=pack elevator=off qos=drr ops=8 faults=0
+seed 4: ok policy=fifo/4 scheme=gather elevator=on qos=drr ops=2 faults=1
+seed 5: ok policy=random/5 scheme=hybrid elevator=on qos=drr ops=6 faults=0
+seed 6: ok policy=adversarial-delay/6 scheme=multiple elevator=on qos=off ops=1 faults=0
+seed 7: ok policy=priority-flip/7 scheme=pack elevator=on qos=fifo ops=6 faults=0
 explored 8 seeds (base 0): 8 ok, 0 failed
 """
 

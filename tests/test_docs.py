@@ -1,0 +1,23 @@
+"""Documentation gates run as part of tier-1, not just in CI.
+
+Both tools live in tools/ so the docs-check CI job can run them without
+pytest; these wrappers keep a stale doc or an undocumented module from
+surviving a local `pytest -x -q` run either.
+"""
+
+import pathlib
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import docs_check  # noqa: E402
+import docstring_floor  # noqa: E402
+
+
+def test_every_module_has_a_docstring():
+    assert docstring_floor.main([]) == 0
+
+
+def test_documented_cli_commands_parse_and_cover_all_subcommands():
+    assert docs_check.main() == 0

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Docs smoke gate: every documented CLI invocation must still parse.
+
+Walks the fenced code blocks in README.md and EXPERIMENTS.md, collects
+each ``python -m repro ...`` command, and checks it against the real
+argument parser:
+
+- the subcommand must exist,
+- every ``--flag`` the docs mention must appear in that subcommand's
+  ``--help`` output (so renamed/removed options break CI, not readers),
+- and, the other direction, every subcommand the CLI exposes must be
+  documented in EXPERIMENTS.md at least once.
+
+Only ``--help`` is ever executed, so the gate is fast and side-effect
+free — it validates the documentation surface, not the benchmarks.
+
+Exit status: 0 when the docs and the CLI agree, 1 otherwise.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCS = ["README.md", "EXPERIMENTS.md"]
+FENCE = re.compile(r"^```")
+
+
+def fenced_commands(path: pathlib.Path):
+    """(line_number, command) for each ``python -m repro`` line inside a
+    fenced block, with backslash continuations joined."""
+    lines = path.read_text().splitlines()
+    in_fence = False
+    pending = None
+    for i, line in enumerate(lines, 1):
+        if FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            continue
+        text = line.strip()
+        if pending is not None:
+            start, acc = pending
+            acc = acc + " " + text.rstrip("\\").strip()
+            pending = (start, acc) if text.endswith("\\") else None
+            if pending is None:
+                yield start, acc
+            continue
+        if text.startswith("python -m repro"):
+            if text.endswith("\\"):
+                pending = (i, text.rstrip("\\").strip())
+            else:
+                yield i, text
+
+
+def run_help(args):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *args, "--help"],
+        capture_output=True, text=True, cwd=ROOT,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main() -> int:
+    rc, top_help = run_help([])
+    if rc != 0:
+        print(f"docs-check: `python -m repro --help` failed:\n{top_help}",
+              file=sys.stderr)
+        return 1
+    m = re.search(r"\{([a-z,_-]+)\}", top_help)
+    subcommands = set(m.group(1).split(",")) if m else set()
+
+    problems = []
+    help_cache = {}
+    documented = {doc: set() for doc in DOCS}
+    for doc in DOCS:
+        path = ROOT / doc
+        if not path.exists():
+            problems.append(f"{doc}: file missing")
+            continue
+        for lineno, cmd in fenced_commands(path):
+            where = f"{doc}:{lineno}"
+            tokens = cmd.split()
+            rest = tokens[3:]  # after "python -m repro"
+            if not rest or rest[0].startswith("-"):
+                continue  # bare `python -m repro --help` style
+            sub = rest[0]
+            if sub not in subcommands:
+                problems.append(f"{where}: unknown subcommand {sub!r} in "
+                                f"`{cmd}`")
+                continue
+            documented[doc].add(sub)
+            if sub not in help_cache:
+                help_cache[sub] = run_help([sub])
+            rc, help_text = help_cache[sub]
+            if rc != 0:
+                problems.append(f"{where}: `python -m repro {sub} --help` "
+                                f"exits {rc}")
+                continue
+            for tok in rest[1:]:
+                if not tok.startswith("--"):
+                    continue
+                flag = tok.split("=", 1)[0]
+                if flag not in help_text:
+                    problems.append(f"{where}: flag {flag} not accepted by "
+                                    f"`python -m repro {sub}` (stale docs?)")
+
+    undocumented = subcommands - documented.get("EXPERIMENTS.md", set())
+    for sub in sorted(undocumented):
+        problems.append(f"EXPERIMENTS.md: subcommand {sub!r} has no "
+                        "documented invocation")
+
+    for p in problems:
+        print(f"docs-check: {p}", file=sys.stderr)
+    n_cmds = sum(len(s) for s in documented.values())
+    if problems:
+        print(f"docs-check: FAIL ({len(problems)} problems)")
+        return 1
+    print(f"docs-check: OK ({len(subcommands)} subcommands, commands "
+          f"verified across {', '.join(DOCS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

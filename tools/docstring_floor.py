@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Docstring floor: every module under src/repro must say what it is.
+
+Runs on the AST only (no imports, no third-party dependencies) so it
+works anywhere the tests run.  The tree currently sits at 100% module
+docstring coverage; this gate keeps new modules from eroding it.  A
+floor below 100 can be passed for forks mid-cleanup, but CI runs the
+default.
+
+Exit status: 0 at/above the floor, 1 below it.
+"""
+
+import argparse
+import ast
+import pathlib
+import sys
+
+DEFAULT_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def scan(root: pathlib.Path):
+    """Yield (path, has_module_docstring) for every .py under root."""
+    for path in sorted(root.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        yield path, ast.get_docstring(tree) is not None
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=pathlib.Path, default=DEFAULT_ROOT,
+                    help="package directory to scan (default: src/repro)")
+    ap.add_argument("--floor", type=float, default=100.0,
+                    help="minimum %% of modules with docstrings (default 100)")
+    args = ap.parse_args(argv)
+
+    results = list(scan(args.root))
+    if not results:
+        print(f"docstring-floor: no python modules under {args.root}",
+              file=sys.stderr)
+        return 1
+    missing = [p for p, ok in results if not ok]
+    pct = 100.0 * (len(results) - len(missing)) / len(results)
+    for p in missing:
+        print(f"docstring-floor: {p}: missing module docstring",
+              file=sys.stderr)
+    verdict = "OK" if pct >= args.floor else "FAIL"
+    print(f"docstring-floor: {verdict} {len(results) - len(missing)}/"
+          f"{len(results)} modules documented ({pct:.1f}%, floor "
+          f"{args.floor:.1f}%)")
+    return 0 if pct >= args.floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
