@@ -162,6 +162,7 @@ def _profile_report(args) -> str:
     export = runners.profile_workload(
         args.workload, scheme=args.scheme, op=args.op, size=args.size,
         fault_rate=args.fault_rate, fault_seed=args.fault_seed,
+        mgr_shards=args.mgr_shards, mgr_replicas=args.mgr_replicas,
     )
     if args.json:
         return json.dumps(export, indent=2, sort_keys=True)
@@ -226,6 +227,8 @@ def _bench_report(args) -> int:
         result["contention"] = wallclock.bench_contention(
             n_clients=args.contend, ops=args.contend_ops
         )
+    if args.meta:
+        result["metadata"] = wallclock.bench_metadata()
     if args.json:
         path = wallclock.write_bench(result, out=args.out)
         print(f"wrote {path}")
@@ -256,6 +259,18 @@ def _bench_report(args) -> int:
                 f" {con['fair']['steady_p99_us']:.0f} us"
                 f" ({con['steady_p99_improvement']:.2f}x better)"
             )
+        meta = result.get("metadata")
+        if meta is not None:
+            tail = ", ".join(
+                f"K={r['shards']} p99 {r['open_p99_us']:.1f}us"
+                for r in meta["runs"]
+            )
+            note += (
+                f"\nmetadata ({meta['clients']} clients x"
+                f" {meta['files_per_client']} files, R={meta['replicas']}):"
+                f" open {tail}"
+                f" ({meta['open_p99_speedup']:.2f}x tail win)"
+            )
         t.note(note)
         print(t)
     if args.contend is not None:
@@ -269,6 +284,18 @@ def _bench_report(args) -> int:
             f"contention fairness check: OK (fair {con['fair_ratio']:.2f}x"
             f" <= 2.0 < fifo {con['fifo_ratio']:.2f}x;"
             f" steady p99 {con['steady_p99_improvement']:.2f}x better)"
+        )
+    if args.meta:
+        failures = wallclock.check_metadata(result["metadata"])
+        if failures:
+            for f in failures:
+                print(f"METADATA: {f}", file=sys.stderr)
+            return 1
+        meta = result["metadata"]
+        print(
+            f"metadata scaling check: OK (open p99"
+            f" {meta['open_p99_speedup']:.2f}x better at"
+            f" K={meta['runs'][-1]['shards']} than K=1)"
         )
     if args.check is not None:
         with open(args.check) as fh:
@@ -321,6 +348,7 @@ def _explore_report(args) -> int:
         do_shrink=not args.no_shrink,
         schemes=args.schemes,
         plant=args.plant_bug,
+        meta=args.meta,
     )
     return 1 if failures else 0
 
@@ -363,7 +391,25 @@ def main(argv=None) -> int:
         "--op", default="write", choices=["write", "read"], help="operation"
     )
     prof.add_argument(
-        "--size", type=int, default=1024, help="array size n (blockcolumn only)"
+        "--size",
+        type=int,
+        default=None,
+        help="array size n (blockcolumn, default 1024) or files per client "
+        "(metadata, default 16)",
+    )
+    prof.add_argument(
+        "--mgr-shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="metadata shards (hash-partitioned namespace, default 1)",
+    )
+    prof.add_argument(
+        "--mgr-replicas",
+        type=int,
+        default=1,
+        metavar="R",
+        help="replicas per metadata shard (default 1: no replication)",
     )
     prof.add_argument(
         "--json", action="store_true", help="dump the raw metrics export as JSON"
@@ -427,6 +473,13 @@ def main(argv=None) -> int:
         help="contention ops per stream (default 3)",
     )
     bench.add_argument(
+        "--meta",
+        action="store_true",
+        help="also run the metadata-plane benchmark (open-latency tail vs "
+        "shard count, replication fixed at 2) and gate on the tail "
+        "shrinking as shards are added",
+    )
+    bench.add_argument(
         "--check",
         default=None,
         metavar="BASELINE",
@@ -473,6 +526,13 @@ def main(argv=None) -> int:
         choices=scheme_names(),
         metavar="SCHEME",
         help="restrict to these transfer schemes (default: all)",
+    )
+    explore.add_argument(
+        "--meta",
+        action="store_true",
+        help="make every seed a metadata-kill case: sharded replicated "
+        "metadata plane, namespace churn, one shard primary crashed "
+        "and restarted per seed",
     )
     explore.add_argument(
         "--plant-bug",

@@ -512,27 +512,63 @@ def btio_run(
 # ``python -m repro profile``: per-phase latency breakdown
 # ---------------------------------------------------------------------------
 
-PROFILE_WORKLOADS = ("blockcolumn", "tileio")
+PROFILE_WORKLOADS = ("blockcolumn", "tileio", "metadata")
+
+_META_PIECE = 4096
+
+
+def _metadata_churn(cluster: PVFSCluster, files: int) -> int:
+    """Open/write/unlink churn across many paths; returns bytes written.
+
+    Every client creates ``files`` distinct files, writes one eager-size
+    piece into each and unlinks it again, so nearly all simulated time
+    is metadata RPCs — the ``mgr.open`` histogram is the headline.
+    """
+    piece = _META_PIECE
+
+    def churn(c, rank):
+        base = c.node.space.malloc(piece)
+        c.node.space.fill(base, piece, (rank % 255) + 1)
+        for k in range(files):
+            path = f"/pfs/profile/c{rank}.{k}"
+            f = yield from c.open(path)
+            yield from c.write_list(
+                f, [Segment(base, piece)], [Segment(0, piece)], use_ads=False
+            )
+            yield from c.unlink(path)
+
+    cluster.run([churn(c, i) for i, c in enumerate(cluster.clients)])
+    return len(cluster.clients) * files * piece
 
 
 def profile_workload(
     workload: str = "blockcolumn",
     scheme: str = "hybrid",
     op: str = "write",
-    size: int = 1024,
+    size: Optional[int] = None,
     include_trace: bool = False,
     fault_rate: Optional[float] = None,
     fault_seed: int = 0,
+    mgr_shards: int = 1,
+    mgr_replicas: int = 1,
 ) -> Dict[str, object]:
-    """Run one MPI-IO workload and return the cluster metrics export.
+    """Run one workload and return the cluster metrics export.
 
-    The export's ``phases`` map the request lifecycle: ``client.prepare``
-    (registration up front), ``transfer.move`` (the scheme's RDMA work),
-    ``iod.queue`` (staging-buffer wait), ``iod.sieve_decide`` (the ADS
-    verdict), ``iod.disk_wait``/``iod.disk``.  Uses list I/O with ADS so
-    every phase is exercised; ``scheme`` is a transfer-registry name.
-    For reads the file is populated first (untimed, excluded from the
-    export).
+    The export's ``phases`` map the request lifecycle: ``mgr.open``
+    (metadata RPC), ``client.prepare`` (registration up front),
+    ``transfer.move`` (the scheme's RDMA work), ``iod.queue``
+    (staging-buffer wait), ``iod.sieve_decide`` (the ADS verdict),
+    ``iod.disk_wait``/``iod.disk``.  The MPI-IO workloads use list I/O
+    with ADS so every phase is exercised; ``scheme`` is a
+    transfer-registry name.  For reads the file is populated first
+    (untimed, excluded from the export).
+
+    ``size`` is workload-specific: the array size n for ``blockcolumn``
+    (default 1024), files per client for ``metadata`` (default 16),
+    ignored by ``tileio``.  The ``metadata`` workload is pure namespace
+    churn (open/write/unlink across many paths) and ignores ``op``; run
+    it with ``mgr_shards``/``mgr_replicas`` > 1 to profile the sharded
+    replicated metadata plane under contention.
 
     ``fault_rate`` arms a :class:`repro.sim.FaultPlan.uniform` plan with
     that per-hook-site probability (seeded by ``fault_seed``) on the
@@ -546,26 +582,43 @@ def profile_workload(
         )
     if op not in ("read", "write"):
         raise ValueError(f"bad op {op!r}")
+    if size is None:
+        size = 16 if workload == "metadata" else 1024
     if workload == "blockcolumn" and (size < 4 or size % 4):
         raise ValueError(
             f"blockcolumn size must be a positive multiple of 4, got {size}"
         )
-    cluster = PVFSCluster(n_clients=4, n_iods=4, scheme=scheme)
-    if workload == "blockcolumn":
-        w = BlockColumnWorkload(n=size, path="/pfs/profile")
-        total = w.total_bytes
+    if workload == "metadata" and size < 1:
+        raise ValueError(f"metadata size (files per client) must be >= 1, got {size}")
+    cluster = PVFSCluster(
+        n_clients=4,
+        n_iods=4,
+        scheme=scheme,
+        n_mgr_shards=mgr_shards,
+        mgr_replicas=mgr_replicas,
+    )
+    if workload == "metadata":
+        if fault_rate:
+            cluster.set_fault_plan(FaultPlan.uniform(fault_rate, seed=fault_seed))
+        since = cluster.stats.snapshot()
+        start = cluster.sim.now
+        total = _metadata_churn(cluster, files=size)
     else:
-        w = TileIOWorkload()
-        total = w.file_bytes
-    if op == "read":
-        mpi_run(cluster, w.program("write", Hints(method=Method.LIST_IO)))
-        cluster.metrics.reset()  # only profile the timed pass
-    if fault_rate:
-        # Armed after any populate pass so only the timed run sees faults.
-        cluster.set_fault_plan(FaultPlan.uniform(fault_rate, seed=fault_seed))
-    since = cluster.stats.snapshot()
-    start = cluster.sim.now
-    mpi_run(cluster, w.program(op, Hints(method=Method.LIST_IO_ADS)))
+        if workload == "blockcolumn":
+            w = BlockColumnWorkload(n=size, path="/pfs/profile")
+            total = w.total_bytes
+        else:
+            w = TileIOWorkload()
+            total = w.file_bytes
+        if op == "read":
+            mpi_run(cluster, w.program("write", Hints(method=Method.LIST_IO)))
+            cluster.metrics.reset()  # only profile the timed pass
+        if fault_rate:
+            # Armed after any populate pass so only the timed run sees faults.
+            cluster.set_fault_plan(FaultPlan.uniform(fault_rate, seed=fault_seed))
+        since = cluster.stats.snapshot()
+        start = cluster.sim.now
+        mpi_run(cluster, w.program(op, Hints(method=Method.LIST_IO_ADS)))
     elapsed = cluster.sim.now - start
     export = cluster.metrics_export(since=since, include_trace=include_trace)
     export["elapsed_us"] = elapsed

@@ -49,6 +49,8 @@ __all__ = [
     "bench_elevator",
     "bench_contention",
     "check_contention",
+    "bench_metadata",
+    "check_metadata",
     "run_bench",
     "write_bench",
     "check_regression",
@@ -368,6 +370,106 @@ def check_contention(con: Dict) -> List[str]:
     return failures
 
 
+def _metadata_churn_run(
+    n_mgr_shards: int, mgr_replicas: int, n_clients: int, files: int, piece: int
+) -> Dict[str, object]:
+    """One metadata-heavy run; all figures are simulated time.
+
+    Every client creates ``files`` distinct files, writes one eager
+    piece into each and unlinks it — nearly every request is a metadata
+    RPC, so open latency is dominated by queueing at the shard primaries
+    (each request holds the daemon for its reply send plus, with
+    replicas, a synchronous log-shipping round trip).
+    """
+    from repro.pvfs import PVFSCluster
+
+    cluster = PVFSCluster(
+        n_clients=n_clients,
+        n_iods=2,
+        scheme="gather",
+        n_mgr_shards=n_mgr_shards,
+        mgr_replicas=mgr_replicas,
+    )
+    sim = cluster.sim
+    open_lat_us: List[float] = []
+
+    def churn(c, rank: int):
+        base = c.node.space.malloc(piece)
+        c.node.space.fill(base, piece, (rank % 255) + 1)
+        for k in range(files):
+            path = f"/pfs/bench/c{rank}.{k}"
+            t0 = sim.now
+            f = yield from c.open(path)
+            open_lat_us.append(sim.now - t0)
+            yield from c.write_list(
+                f, [Segment(base, piece)], [Segment(0, piece)], use_ads=False
+            )
+            yield from c.unlink(path)
+
+    cluster.run([churn(c, i) for i, c in enumerate(cluster.clients)])
+    return {
+        "shards": n_mgr_shards,
+        "replicas": mgr_replicas,
+        "elapsed_us": sim.now,
+        "opens": len(open_lat_us),
+        "open_p50_us": _percentile_us(open_lat_us, 50),
+        "open_p99_us": _percentile_us(open_lat_us, 99),
+    }
+
+
+def bench_metadata(
+    n_clients: int = 16,
+    files: int = 6,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    replicas: int = 2,
+    piece: int = 4096,
+) -> Dict[str, object]:
+    """Open-latency tail versus metadata shard count (fixed replication).
+
+    All runs replicate (``replicas=2``) so the comparison isolates the
+    *sharding* effect: the headline ``open_p99_speedup`` is the K=1 tail
+    divided by the largest-K tail.  Deterministic — simulated time only.
+    The acceptance gate (:func:`check_metadata`) requires the tail to
+    actually shrink.
+    """
+    runs = [
+        _metadata_churn_run(k, replicas, n_clients, files, piece)
+        for k in shard_counts
+    ]
+    return {
+        "clients": n_clients,
+        "files_per_client": files,
+        "piece_bytes": piece,
+        "replicas": replicas,
+        "runs": runs,
+        "open_p99_speedup": (
+            runs[0]["open_p99_us"] / runs[-1]["open_p99_us"]
+            if runs[-1]["open_p99_us"]
+            else float("inf")
+        ),
+    }
+
+
+def check_metadata(meta: Dict) -> List[str]:
+    """The metadata-scaling acceptance gate; list the failures."""
+    failures: List[str] = []
+    runs = meta["runs"]
+    if meta["open_p99_speedup"] <= 1.0:
+        failures.append(
+            f"open p99 did not improve with sharding: K={runs[0]['shards']} "
+            f"p99 {runs[0]['open_p99_us']:.1f} us vs K={runs[-1]['shards']} "
+            f"p99 {runs[-1]['open_p99_us']:.1f} us"
+        )
+    for run in runs:
+        if run["opens"] != meta["clients"] * meta["files_per_client"]:
+            failures.append(
+                f"K={run['shards']}: expected "
+                f"{meta['clients'] * meta['files_per_client']} opens, "
+                f"saw {run['opens']}"
+            )
+    return failures
+
+
 def run_bench(
     label: str = "local",
     n: int = 1024,
@@ -447,4 +549,23 @@ def check_regression(
                 f"data_plane.speedup {cur_dp['speedup']:.2f}x fell below the "
                 "1.5x zero-copy floor"
             )
+
+    base_meta = baseline.get("metadata")
+    if base_meta is not None:
+        cur_meta = current.get("metadata")
+        if cur_meta is None:
+            failures.append(
+                "metadata: baseline has the metadata bench but the current "
+                "run was made without --meta"
+            )
+        else:
+            # Simulated time: any drift at all means the metadata-plane
+            # cost model changed and the baseline needs regenerating.
+            for base_run, cur_run in zip(base_meta["runs"], cur_meta["runs"]):
+                if cur_run["open_p99_us"] != base_run["open_p99_us"]:
+                    failures.append(
+                        f"metadata K={base_run['shards']}: open p99 "
+                        f"{cur_run['open_p99_us']:.1f} us differs from "
+                        f"baseline {base_run['open_p99_us']:.1f} us"
+                    )
     return failures

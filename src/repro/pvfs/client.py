@@ -35,13 +35,16 @@ from repro.pvfs.errors import (
     RetryPolicy,
     ServerBusyError,
     ServerError,
+    StaleHandleError,
 )
+from repro.pvfs.metadata.shardmap import ShardMap
 from repro.pvfs.protocol import (
     AccessMode,
     DataReady,
     Done,
     FsyncRequest,
     IORequest,
+    MetaError,
     OpenReply,
     OpenRequest,
     Overloaded,
@@ -51,6 +54,7 @@ from repro.pvfs.protocol import (
     TransferDone,
     UnlinkReply,
     UnlinkRequest,
+    WrongShard,
     expect_reply,
 )
 from repro.pvfs.striping import StripeLayout, StripedPiece
@@ -73,6 +77,22 @@ SEND_RETRY_BACKOFF_US = 50.0
 # Sentinel a reply-wait timeout resolves with (so a None reply payload
 # cannot be confused with a deadline expiry).
 _TIMED_OUT = object()
+
+
+def _raise_done_error(what: str, error: str) -> None:
+    """Map a server-reported ``Done.error`` to its typed exception.
+
+    ``stale handle N`` means the target file was unlinked while this
+    request was in flight — a namespace race, not a server fault, so it
+    gets its own non-retryable type.
+    """
+    if error.startswith("stale handle"):
+        try:
+            handle = int(error.rsplit(" ", 1)[1])
+        except (IndexError, ValueError):
+            handle = 0
+        raise StaleHandleError(what, handle)
+    raise ServerError(what, error)
 
 
 class _Connection:
@@ -114,6 +134,40 @@ class _Connection:
                 self.qp.node.stats.add("pvfs.client.orphan_replies")
                 continue
             box.put(msg)
+
+
+class _MgrRouter:
+    """Client-side shard router for the metadata plane.
+
+    Holds one :class:`_Connection` per shard member, the locally-cached
+    shard map (static: path → shard by stable hash), and the cached
+    primary member per shard.  ``WrongShard`` replies update the cache;
+    timeouts rotate to the next member so a dead primary is routed
+    around even before its replica starts redirecting.
+    """
+
+    def __init__(self, sim: Simulator, qp_grid: Sequence[Sequence[QueuePair]]):
+        self.map = ShardMap(len(qp_grid))
+        self.conns = [[_Connection(sim, qp) for qp in row] for row in qp_grid]
+        self.primary = [0] * len(qp_grid)
+        self.epoch = [0] * len(qp_grid)
+
+    def shard_of(self, path: str) -> int:
+        return self.map.shard_of(path)
+
+    def conn(self, shard: int) -> _Connection:
+        return self.conns[shard][self.primary[shard]]
+
+    def learn(self, msg: WrongShard) -> None:
+        """Absorb a redirect: remember the named shard's primary."""
+        row = self.conns[msg.shard]
+        if 0 <= msg.primary < len(row) and msg.epoch >= self.epoch[msg.shard]:
+            self.primary[msg.shard] = msg.primary
+            self.epoch[msg.shard] = msg.epoch
+
+    def rotate(self, shard: int) -> None:
+        """Try the next member after a timeout (no-op when R == 1)."""
+        self.primary[shard] = (self.primary[shard] + 1) % len(self.conns[shard])
 
 
 @dataclass
@@ -160,7 +214,13 @@ class PVFSClient:
 
         self.sim = sim
         self.node = node
-        self.manager_qp = manager_qp
+        # ``manager_qp`` is either a bare QueuePair (legacy single-manager
+        # callers) or a per-shard/per-member grid built by PVFSCluster.
+        if isinstance(manager_qp, QueuePair):
+            mgr_qp_grid = [[manager_qp]]
+        else:
+            mgr_qp_grid = [list(row) for row in manager_qp]
+        self.manager_qp = mgr_qp_grid[0][0]
         if eager_buffers is None:
             eager_buffers = [()] * len(iod_qps)
         self.iod_conns = [
@@ -174,7 +234,8 @@ class PVFSClient:
         self.pool = pool if pool is not None else FastRdmaPool(node)
         self.max_request_bytes = max_request_bytes
         self._rid = count(1)
-        self._mgr_inbox = _Connection(sim, manager_qp)
+        self._mgr_router = _MgrRouter(sim, mgr_qp_grid)
+        self._mgr_inbox = self._mgr_router.conns[0][0]
         self.tracer = None  # set by PVFSCluster.enable_tracing
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.retry = retry if retry is not None else RetryPolicy()
@@ -306,6 +367,11 @@ class PVFSClient:
                 yield self.sim.timeout(delay)
             try:
                 result = yield from attempt_fn(attempt)
+            except StaleHandleError:
+                # The file was unlinked under this handle: not a fault,
+                # not retryable, and no reflection on the I/O node.
+                conn.close_inbox(rid)
+                raise
             except RequestTimeout as exc:
                 last_exc = exc
             except (ServerBusyError, OverloadedError) as exc:
@@ -347,30 +413,61 @@ class PVFSClient:
                 f"what={what} attempt={attempt} cause={type(cause).__name__}",
             )
 
-    def _mgr_rpc(self, build_msg, reply_cls, what: str) -> Generator:
-        """A manager RPC with timeout/retry; fresh request id per attempt
-        (manager operations are idempotent, so re-issue is safe)."""
+    def _mgr_rpc(self, path: str, build_msg, reply_cls, what: str) -> Generator:
+        """A metadata RPC, routed to the owning shard's cached primary.
+
+        Timeout/retry with a fresh request id per attempt (manager
+        operations are idempotent, so re-issue is safe).  ``WrongShard``
+        redirects update the route cache and re-issue immediately; a
+        timeout rotates to the shard's next member (so a crashed primary
+        is routed around even before failover promotes a replica); QoS
+        refusals back off honoring the server's ``retry_after_us`` hint.
+        """
         policy = self.retry
         last_exc: Optional[BaseException] = None
+        shard = self._mgr_router.shard_of(path)
         for attempt in range(policy.max_attempts):
             if attempt:
                 self.node.stats.add("pvfs.client.retries")
                 self._trace_retry(what, attempt, last_exc)
-                yield self.sim.timeout(policy.backoff_us(attempt))
+                delay = policy.backoff_us(attempt)
+                if isinstance(last_exc, (ServerBusyError, OverloadedError)):
+                    delay = max(delay, last_exc.retry_after_us)
+                yield self.sim.timeout(delay)
+            conn = self._mgr_router.conn(shard)
             rid = next(self._rid)
-            inbox = self._mgr_inbox.inbox(rid)
+            inbox = conn.inbox(rid)
             try:
                 yield from self._send(
-                    self.manager_qp, build_msg(rid),
+                    conn.qp, build_msg(rid),
                     self.testbed.request_msg_bytes,
                 )
                 msg = yield from self._await_reply(inbox, 0, what)
+                if isinstance(msg, WrongShard):
+                    conn.close_inbox(rid)
+                    self.node.stats.add("pvfs.client.mgr_redirects")
+                    self._mgr_router.learn(msg)
+                    shard = msg.shard
+                    last_exc = ServerError(what, "rerouted by WrongShard")
+                    continue
+                if isinstance(msg, MetaError):
+                    conn.close_inbox(rid)
+                    if msg.code == "not_found":
+                        raise FileNotFoundError(path)
+                    raise ServerError(what, f"{msg.code}: {msg.detail}")
+                self._check_backpressure(msg, what)
                 reply = expect_reply(msg, reply_cls, what)
             except (RequestTimeout, FaultError) as exc:
                 last_exc = exc
-                self._mgr_inbox.close_inbox(rid)
+                conn.close_inbox(rid)
+                self._mgr_router.rotate(shard)
                 continue
-            self._mgr_inbox.close_inbox(rid)
+            except (ServerBusyError, OverloadedError) as exc:
+                last_exc = exc
+                self.node.stats.add("pvfs.client.busy_retries")
+                conn.close_inbox(rid)
+                continue
+            conn.close_inbox(rid)
             return reply
         raise last_exc
 
@@ -378,10 +475,13 @@ class PVFSClient:
 
     def open(self, path: str, create: bool = True) -> Generator:
         """Open (or create) a file; returns a :class:`PVFSFile`."""
+        t0 = self.sim.now
         reply = yield from self._mgr_rpc(
+            path,
             lambda rid: OpenRequest(path, create=create, request_id=rid),
             OpenReply, "open",
         )
+        self.metrics.record("mgr.open", self.sim.now - t0)
         layout = StripeLayout(reply.stripe_size, reply.n_iods, reply.base_iod)
         return PVFSFile(self, path, reply.handle, layout, size=reply.size)
 
@@ -393,6 +493,7 @@ class PVFSClient:
         told.
         """
         reply = yield from self._mgr_rpc(
+            path,
             lambda rid: UnlinkRequest(path, request_id=rid),
             UnlinkReply, "unlink",
         )
@@ -751,7 +852,7 @@ class PVFSClient:
             # failed the request and is reporting why, or a re-issued
             # write was answered straight from the dedup table.
             if msg.error:
-                raise ServerError(f"{op} IORequest", msg.error)
+                _raise_done_error(f"{op} IORequest", msg.error)
             if op == "write" and msg.nbytes == total:
                 self.node.stats.add("pvfs.client.dedup_accepts")
                 return total
@@ -781,7 +882,7 @@ class PVFSClient:
                 Done, "TransferDone",
             )
             if done.error:
-                raise ServerError("TransferDone", done.error)
+                _raise_done_error("TransferDone", done.error)
         else:
             with ctx.span(
                 "transfer.move", parent=req_span, rid=rid, n=total,
@@ -863,7 +964,7 @@ class PVFSClient:
         self._check_backpressure(msg, "eager write")
         done = expect_reply(msg, Done, "eager write")
         if done.error:
-            raise ServerError("eager write", done.error)
+            _raise_done_error("eager write", done.error)
         return total
 
     def _eager_read(
@@ -910,7 +1011,7 @@ class PVFSClient:
             self._check_backpressure(msg, "eager read")
             done = expect_reply(msg, Done, "eager read")
             if done.error:
-                raise ServerError("eager read", done.error)
+                _raise_done_error("eager read", done.error)
             # Unpack from the fast buffer into the user's pieces.
             with ctx.span(
                 "transfer.move", parent=req_span, rid=rid, n=total,

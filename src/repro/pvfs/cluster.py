@@ -25,7 +25,7 @@ from repro.ib.qp import connect
 from repro.pvfs.client import PVFSClient
 from repro.pvfs.errors import RetryPolicy
 from repro.pvfs.iod import IODaemon
-from repro.pvfs.manager import MetadataManager
+from repro.pvfs.metadata import MetadataService
 from repro.pvfs.qos import QoSConfig
 from repro.sim.engine import SchedulePolicy, Simulator
 from repro.sim.faults import FaultPlan
@@ -56,9 +56,14 @@ class PVFSCluster:
         elevator_enabled: bool = True,
         schedule_policy: Optional[SchedulePolicy] = None,
         qos: Optional[Union[QoSConfig, dict]] = None,
+        n_mgr_shards: int = 1,
+        mgr_replicas: int = 1,
+        mgr_qos: Optional[Union[QoSConfig, dict]] = None,
     ):
         if n_clients < 1 or n_iods < 1:
             raise ValueError("need at least one client and one I/O node")
+        if n_mgr_shards < 1 or mgr_replicas < 1:
+            raise ValueError("need at least one metadata shard and replica")
         self.testbed = testbed if testbed is not None else paper_testbed()
         if stripe_size is None:
             stripe_size = self.testbed.stripe_size
@@ -82,7 +87,23 @@ class PVFSCluster:
                 )
 
         # -- nodes ---------------------------------------------------------
-        self.manager_node = Node(self.sim, self.testbed, "mgr", stats=self.stats)
+        # The single-manager geometry keeps the historical "mgr" node
+        # name (and with it, byte-identical traces); sharded/replicated
+        # geometries name members "mgr<shard>.<member>".
+        self.n_mgr_shards = n_mgr_shards
+        self.mgr_replicas = mgr_replicas
+        if n_mgr_shards == 1 and mgr_replicas == 1:
+            mgr_names = [["mgr"]]
+        else:
+            mgr_names = [
+                [f"mgr{s}.{m}" for m in range(mgr_replicas)]
+                for s in range(n_mgr_shards)
+            ]
+        self.mgr_nodes = [
+            [Node(self.sim, self.testbed, name, stats=self.stats) for name in row]
+            for row in mgr_names
+        ]
+        self.manager_node = self.mgr_nodes[0][0]
         self.iod_nodes = [
             Node(self.sim, self.testbed, f"iod{i}", stats=self.stats)
             for i in range(n_iods)
@@ -92,9 +113,19 @@ class PVFSCluster:
             for i in range(n_clients)
         ]
 
-        self.manager = MetadataManager(
-            self.sim, self.manager_node, stripe_size, n_iods
+        if isinstance(mgr_qos, dict):
+            mgr_qos = QoSConfig.from_dict(mgr_qos)
+        self.metadata = MetadataService(
+            self.sim,
+            self.mgr_nodes,
+            stripe_size,
+            n_iods,
+            qos=mgr_qos,
+            metrics=self.metrics,
         )
+        # Back-compat: ``cluster.manager`` keeps answering the direct
+        # namespace API (lookup / lookup_handle / note_size).
+        self.manager = self.metadata
         self.iods = [
             IODaemon(
                 self.sim,
@@ -115,9 +146,20 @@ class PVFSCluster:
 
         # -- connections -------------------------------------------------------
         self.clients: List[PVFSClient] = []
+        single_mgr = n_mgr_shards == 1 and mgr_replicas == 1
         for ci, cnode in enumerate(self.client_nodes):
-            mgr_qp, mgr_peer = connect(self.sim, cnode, self.manager_node)
-            self.sim.process(self.manager.serve(mgr_peer), name=f"mgr<-cn{ci}")
+            mgr_qps = []
+            for s, group in enumerate(self.metadata.groups):
+                row = []
+                for m, member in enumerate(group.members):
+                    mqp, mgr_peer = connect(self.sim, cnode, member.node)
+                    pname = (
+                        f"mgr<-cn{ci}" if single_mgr
+                        else f"{member.node.name}<-cn{ci}"
+                    )
+                    self.sim.process(member.serve(mgr_peer), name=pname)
+                    row.append(mqp)
+                mgr_qps.append(row)
             iod_qps = []
             eager_buffers = []
             for ii, inode in enumerate(self.iod_nodes):
@@ -136,7 +178,7 @@ class PVFSCluster:
                 PVFSClient(
                     self.sim,
                     cnode,
-                    mgr_qp,
+                    mgr_qps,
                     iod_qps,
                     scheme=client_scheme,
                     eager_buffers=eager_buffers,
@@ -161,10 +203,12 @@ class PVFSCluster:
     def set_fault_plan(self, plan: FaultPlan) -> None:
         """Arm deterministic fault injection on every client and I/O node.
 
-        The metadata manager is deliberately excluded: its RPCs are
-        covered by the client-side send/recv hooks, and a fault inside
-        the (singleton, unreplicated) manager would model a whole-system
-        loss rather than the per-component failures this layer studies.
+        Metadata shard members get the daemon-level ``mgr.crash`` /
+        ``mgr.send`` hooks (crash/restart, lost replies) but — unlike
+        I/O nodes — their *node* is not armed: manager RPC wire faults
+        stay modeled by the client-side ``qp.send``/``qp.recv`` hooks,
+        exactly as before the plane was sharded, so plans without
+        ``mgr.*`` rules draw the same RNG stream they always did.
         """
         plan.stats = self.stats
         self.fault_plan = plan
@@ -174,6 +218,8 @@ class PVFSCluster:
         for iod in self.iods:
             iod.faults = plan
             iod.fs.faults = plan
+        for member in self.metadata.all_members():
+            member.faults = plan
 
     def _mark_degraded(self, iod: int) -> None:
         """An I/O node exhausted a client's retries: every client fails

@@ -27,6 +27,7 @@ __all__ = [
     "DegradedError",
     "ServerBusyError",
     "OverloadedError",
+    "StaleHandleError",
     "RetryPolicy",
 ]
 
@@ -104,6 +105,22 @@ class OverloadedError(PVFSError):
         self.what = what
         self.retry_after_us = retry_after_us
         self.attempt = attempt
+
+
+class StaleHandleError(PVFSError):
+    """I/O was issued against a handle whose file has been unlinked.
+
+    The I/O daemon keeps a tombstone set of unlinked handles (handles
+    are never reused) and answers in-flight requests on them with a
+    typed error instead of silently resurrecting the stripe file.  Not
+    a transport failure: the client must not retry (the file is gone
+    for good) and must not mark the I/O node degraded.
+    """
+
+    def __init__(self, what: str, handle: int):
+        super().__init__(f"{what}: handle {handle} is stale (file unlinked)")
+        self.what = what
+        self.handle = handle
 
 
 @dataclass(frozen=True)

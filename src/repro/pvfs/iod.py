@@ -137,6 +137,10 @@ class IODaemon:
         # Per-connection dedup tables (completed-write replay answers),
         # referenced here so the invariant oracles can bound their size.
         self._dedup_tables: List[Dict[int, Done]] = []
+        # Handles whose stripe file was unlinked.  I/O that races past
+        # the unlink must NOT re-create the stripe (``fs.open`` creates
+        # on miss); it is failed back as a stale-handle error instead.
+        self._unlinked_handles: set = set()
         # Admission control (None = legacy unbounded admission).  The
         # gate sits in front of the staging pool and the elevator: an
         # IORequest only becomes a handler once the gate admits it.
@@ -176,6 +180,19 @@ class IODaemon:
 
     def stripe_file(self, handle: int) -> LocalFile:
         return self.fs.open(f"f{handle:08d}.stripe")
+
+    def _stripe(self, req: IORequest) -> LocalFile:
+        """The request's stripe file, refusing to resurrect unlinked ones.
+
+        ``fs.open`` creates on miss, so an I/O request that reaches the
+        disk after the stripe was unlinked would silently re-create it as
+        an orphaned extent.  Fail the request instead; the client maps
+        the ``stale handle`` error to its typed, non-retryable exception.
+        """
+        if req.handle in self._unlinked_handles:
+            self.node.stats.add("pvfs.iod.stale_handle_rejects")
+            raise FaultError(f"stale handle {req.handle}")
+        return self.stripe_file(req.handle)
 
     # -- serving loop -----------------------------------------------------------
 
@@ -261,6 +278,7 @@ class IODaemon:
                     name=f"iod{self.index}.fsync{msg.request_id}",
                 )
             elif isinstance(msg, StripeUnlink):
+                self._unlinked_handles.add(msg.handle)
                 name = f"f{msg.handle:08d}.stripe"
                 if self.fs.exists(name):
                     self.fs.unlink(name)
@@ -488,6 +506,13 @@ class IODaemon:
 
     def _handle_fsync(self, qp: QueuePair, msg: FsyncRequest) -> Generator:
         yield self.sim.timeout(self.testbed.server_request_cpu_us)
+        if msg.handle in self._unlinked_handles:
+            # Nothing to flush for an unlinked file — and opening it
+            # here would resurrect the stripe.
+            yield from self._send_reliable(
+                qp, Done(msg.request_id, 0), nbytes=self.testbed.reply_msg_bytes
+            )
+            return
         f = self.stripe_file(msg.handle)
         # A barrier job: the scheduler services every job submitted
         # before it first, never reorders anything across it.
@@ -570,7 +595,7 @@ class IODaemon:
         # client's re-issue supersedes this handler.
         yield from self._expect_followup(inbox, TransferDone, req, "DataReady")
 
-        f = self.stripe_file(req.handle)
+        f = self._stripe(req)
         # Zero-copy: the job reads straight out of the staging buffer,
         # which this handler holds exclusively until the job finishes.
         data = self.node.space.view(staging, req.total_bytes)
@@ -602,7 +627,7 @@ class IODaemon:
         completed: Dict[int, Done],
     ) -> Generator:
         """Data was RDMA-written into our fast buffer before the request."""
-        f = self.stripe_file(req.handle)
+        f = self._stripe(req)
         # Snapshot, not a view: the fast buffer belongs to the client's
         # attempt and may be released/reused if it times out and retries
         # while this job is still queued.
@@ -628,7 +653,7 @@ class IODaemon:
         self, qp: QueuePair, req: IORequest, staging: int, ctx: RequestContext
     ) -> Generator:
         """Push results straight into the client's fast buffer."""
-        f = self.stripe_file(req.handle)
+        f = self._stripe(req)
         use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
         # Zero-copy: the disk bytes land directly in our staging buffer,
         # held exclusively by this handler for the job's lifetime.
@@ -654,7 +679,7 @@ class IODaemon:
         self, qp: QueuePair, req: IORequest, inbox: Store, staging: int,
         ctx: RequestContext,
     ) -> Generator:
-        f = self.stripe_file(req.handle)
+        f = self._stripe(req)
         use_ads = bool(req.mode & AccessMode.ADS) and self.ads_enabled_default
         # Zero-copy: the disk bytes land directly in the staging buffer
         # the client will RDMA-read from.

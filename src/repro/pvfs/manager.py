@@ -1,108 +1,23 @@
-"""PVFS metadata manager: a cluster-wide namespace, nothing more.
+"""Back-compat shim for the pre-shard metadata manager.
 
-The manager maps paths to file metadata (handle, striping geometry) and
-answers ``OpenRequest`` messages.  As in real PVFS it never touches file
-data; its only performance effect is one request/reply round per open.
+The implementation moved to :mod:`repro.pvfs.metadata` when the
+metadata plane became sharded and replicated.  This module keeps the
+old import surface alive: ``MetadataManager`` is a single-shard,
+unreplicated :class:`~repro.pvfs.metadata.shard.MetadataShard` — the
+``K=1, R=1`` configuration on the same code path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
-
 from repro.ib.hca import Node
-from repro.ib.qp import QueuePair
-from repro.pvfs.protocol import OpenReply, OpenRequest, UnlinkReply, UnlinkRequest
+from repro.pvfs.metadata.shard import FileMeta, MetadataShard
 from repro.sim.engine import Simulator
 
 __all__ = ["FileMeta", "MetadataManager"]
 
 
-@dataclass
-class FileMeta:
-    """Cluster-wide metadata of one PVFS file."""
+class MetadataManager(MetadataShard):
+    """The old single-manager daemon: shard 0 of 1, member 0 of 1."""
 
-    handle: int
-    path: str
-    stripe_size: int
-    n_iods: int
-    base_iod: int = 0
-    size: int = 0  # logical size high-water mark
-
-
-class MetadataManager:
-    """The manager daemon; runs one serving loop per connected client."""
-
-    def __init__(
-        self,
-        sim: Simulator,
-        node: Node,
-        stripe_size: int,
-        n_iods: int,
-    ):
-        self.sim = sim
-        self.node = node
-        self.stripe_size = stripe_size
-        self.n_iods = n_iods
-        self._files: Dict[str, FileMeta] = {}
-        self._next_handle = 1
-
-    # -- direct (in-process) namespace API, used by the I/O daemons ------------
-
-    def lookup(self, path: str) -> Optional[FileMeta]:
-        return self._files.get(path)
-
-    def lookup_handle(self, handle: int) -> Optional[FileMeta]:
-        for meta in self._files.values():
-            if meta.handle == handle:
-                return meta
-        return None
-
-    def create(self, path: str) -> FileMeta:
-        meta = FileMeta(
-            handle=self._next_handle,
-            path=path,
-            stripe_size=self.stripe_size,
-            n_iods=self.n_iods,
-        )
-        self._next_handle += 1
-        self._files[path] = meta
-        return meta
-
-    def note_size(self, handle: int, end: int) -> None:
-        meta = self.lookup_handle(handle)
-        if meta is not None and end > meta.size:
-            meta.size = end
-
-    # -- wire service ------------------------------------------------------------
-
-    def serve(self, qp: QueuePair):
-        """Serving loop for one client connection (a simulated process)."""
-        while True:
-            msg = yield qp.recv()
-            if msg is None:  # shutdown sentinel
-                return
-            self.node.stats.add("pvfs.mgr.requests")
-            if isinstance(msg, OpenRequest):
-                meta = self._files.get(msg.path)
-                if meta is None:
-                    if not msg.create:
-                        raise FileNotFoundError(msg.path)
-                    meta = self.create(msg.path)
-                reply = OpenReply(
-                    handle=meta.handle,
-                    stripe_size=meta.stripe_size,
-                    n_iods=meta.n_iods,
-                    base_iod=meta.base_iod,
-                    size=meta.size,
-                    request_id=msg.request_id,
-                )
-            elif isinstance(msg, UnlinkRequest):
-                meta = self._files.pop(msg.path, None)
-                reply = UnlinkReply(
-                    handle=meta.handle if meta else None,
-                    request_id=msg.request_id,
-                )
-            else:
-                raise TypeError(f"manager got unexpected message {msg!r}")
-            yield from qp.send(reply, nbytes=self.node.testbed.reply_msg_bytes)
+    def __init__(self, sim: Simulator, node: Node, stripe_size: int, n_iods: int):
+        super().__init__(sim, node, stripe_size, n_iods)

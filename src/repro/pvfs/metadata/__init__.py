@@ -1,0 +1,34 @@
+"""Sharded, replicated PVFS metadata plane.
+
+The original ``pvfs/manager.py`` was a single flat-dict daemon — the
+only server in the simulation with no fault hooks, no QoS surface and
+no oracle coverage.  This package splits it into:
+
+- :mod:`repro.pvfs.metadata.shardmap` — the static hash partitioning of
+  the namespace (path → shard) and the strided pre-partitioning of the
+  handle space (so ``create`` never needs cross-shard coordination).
+- :mod:`repro.pvfs.metadata.shard` — :class:`MetadataShard`, one shard
+  *member* daemon with the same surface the I/O daemons have: crash /
+  restart fault hooks, typed error replies, optional QoS admission, and
+  a synchronous-replication apply path.
+- :mod:`repro.pvfs.metadata.service` — :class:`MetadataService`, the
+  cluster-facing bundle of shard groups: wiring, primary tracking,
+  seeded-deterministic failover, and the direct (in-process) namespace
+  API the rest of the simulator uses.
+
+The single-manager configuration is simply ``n_shards=1, replicas=1``
+on this same code path (the PR 3 ``elevator_enabled`` pattern): its
+event sequence is byte-identical to the old ``MetadataManager``.
+"""
+
+from repro.pvfs.metadata.shard import FileMeta, MetadataShard
+from repro.pvfs.metadata.shardmap import ShardMap
+from repro.pvfs.metadata.service import MetadataService, ShardGroup
+
+__all__ = [
+    "FileMeta",
+    "MetadataShard",
+    "MetadataService",
+    "ShardGroup",
+    "ShardMap",
+]

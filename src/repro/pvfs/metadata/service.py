@@ -1,0 +1,265 @@
+"""The cluster-facing metadata service: shard groups and failover.
+
+A :class:`MetadataService` owns ``K`` :class:`ShardGroup`\\ s, each a
+primary plus ``R-1`` replicas of one namespace shard.  The group runs
+the primary/replica protocol:
+
+- **Synchronous log shipping.**  The primary applies a mutation, ships
+  it over a dedicated member-to-member link, and waits for the ack
+  before replying to the client.  An ack that does not arrive within
+  ``REPLICATE_TIMEOUT_US`` marks the replica *stale*; a stale replica
+  is skipped (and lazily resynced from a full snapshot on the next
+  mutation, or when it restarts after a crash).
+- **Seeded-deterministic failover.**  When the primary crashes (the
+  ``mgr.crash`` hook), the group arms a promotion timer; after
+  ``FAILOVER_DETECT_US`` the lowest-index alive, non-stale member
+  becomes primary and the group epoch increments.  Replicas answer
+  client requests with ``WrongShard`` redirects naming the current
+  primary, so clients re-route instead of hanging.
+
+With ``K=1, R=1`` every loop in here degenerates to a no-op and the
+service is event-for-event the old single manager.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.ib.qp import QueuePair, connect
+from repro.pvfs.metadata.shard import FileMeta, LogEntry, MetadataShard
+from repro.pvfs.metadata.shardmap import ShardMap
+from repro.pvfs.protocol import ReplicateAck, ReplicateRequest
+from repro.sim.engine import Simulator
+from repro.sim.resources import Lock
+
+__all__ = ["MetadataService", "ShardGroup", "FAILOVER_DETECT_US", "REPLICATE_TIMEOUT_US"]
+
+# How long a shard group waits after a primary crash before promoting a
+# replica.  Well under the clients' per-attempt RPC timeout so a single
+# client retry already lands on the promoted primary.
+FAILOVER_DETECT_US = 25_000.0
+
+# How long the primary waits for a replica's ack before declaring it
+# stale and moving on (synchronous shipping must not hold a client
+# reply hostage to a dead replica).
+REPLICATE_TIMEOUT_US = 30_000.0
+
+_REPL_TIMED_OUT = object()
+
+
+class _ReplLink:
+    """One directed primary→replica shipping link (QP + exchange lock)."""
+
+    __slots__ = ("qp", "lock", "seq")
+
+    def __init__(self, qp: QueuePair, lock: Lock):
+        self.qp = qp
+        self.lock = lock
+        self.seq = 0
+
+
+class ShardGroup:
+    """Primary + replicas of one metadata shard."""
+
+    def __init__(self, sim: Simulator, shard: int):
+        self.sim = sim
+        self.shard = shard
+        self.members: List[MetadataShard] = []
+        self.primary_idx = 0
+        self.epoch = 0
+        self.stale: set = set()
+        self.links: Dict[Tuple[int, int], _ReplLink] = {}
+
+    @property
+    def primary(self) -> MetadataShard:
+        return self.members[self.primary_idx]
+
+    def build_mesh(self) -> None:
+        """Wire every ordered member pair for log shipping (R > 1 only)."""
+        for i, a in enumerate(self.members):
+            for j, b in enumerate(self.members):
+                if i == j:
+                    continue
+                qa, qb = connect(self.sim, a.node, b.node)
+                lock = Lock(self.sim, name=f"repl:{a.node.name}->{b.node.name}")
+                self.links[(i, j)] = _ReplLink(qa, lock)
+                self.sim.process(
+                    b.serve_repl(qb), name=f"repl:{b.node.name}<-{a.node.name}"
+                )
+
+    # -- replication --------------------------------------------------------
+
+    def replicate(self, member: MetadataShard, entry: LogEntry):
+        """Ship one applied mutation from ``member`` to every peer."""
+        for j, peer in enumerate(self.members):
+            if peer is member or peer.crashed:
+                continue
+            if j in self.stale:
+                # Lazy resync: the peer missed entries while stale; hand
+                # it a full snapshot (the entry below is then a no-op
+                # re-apply) and put it back in the replication set.
+                peer.load_snapshot(member.snapshot())
+                self.stale.discard(j)
+                member.node.stats.add("pvfs.mgr.resyncs")
+            ok = yield from self._ship(member.member, j, entry)
+            if not ok:
+                self.stale.add(j)
+                member.node.stats.add("pvfs.mgr.repl_timeouts")
+
+    def _ship(self, i: int, j: int, entry: LogEntry):
+        link = self.links[(i, j)]
+        yield link.lock.request()
+        try:
+            link.seq += 1
+            seq = link.seq
+            op, path, handle, size = entry
+            req = ReplicateRequest(
+                seq=seq, op=op, path=path, handle=handle, size=size, epoch=self.epoch
+            )
+            sender = self.members[i]
+            yield from link.qp.send(
+                req, nbytes=sender.node.testbed.request_msg_bytes
+            )
+            while True:
+                get = link.qp.recv()
+                to = self.sim.timeout(REPLICATE_TIMEOUT_US, value=_REPL_TIMED_OUT)
+                result = yield self.sim.any_of([get, to])
+                if result is _REPL_TIMED_OUT:
+                    if not get.triggered:
+                        get.cancel()
+                    return False
+                if isinstance(result, ReplicateAck) and result.seq == seq:
+                    return True
+                # A stale ack from an abandoned exchange: drop, keep waiting.
+        finally:
+            link.lock.release()
+
+    # -- failover -----------------------------------------------------------
+
+    def on_member_crash(self, member_idx: int) -> None:
+        if member_idx != self.primary_idx or len(self.members) <= 1:
+            return
+        self.sim.process(
+            self._failover(self.epoch), name=f"mgr{self.shard}.failover"
+        )
+
+    def _failover(self, epoch_at_crash: int):
+        yield self.sim.timeout(FAILOVER_DETECT_US)
+        if self.epoch != epoch_at_crash:
+            return  # a concurrent failover already promoted someone
+        if not self.members[self.primary_idx].crashed:
+            return  # the primary restarted inside the detection window
+        alive = [
+            j
+            for j, m in enumerate(self.members)
+            if not m.crashed and j not in self.stale
+        ]
+        if not alive:
+            return  # nothing promotable; clients keep timing out
+        self.primary_idx = alive[0]
+        self.epoch += 1
+        self.primary.node.stats.add("pvfs.mgr.failovers")
+
+    def on_member_restart(self, member_idx: int) -> None:
+        if member_idx == self.primary_idx:
+            return  # restarted before any failover: its state is intact
+        primary = self.primary
+        if primary.crashed:
+            # No resync source right now; rejoin once one exists.
+            self.stale.add(member_idx)
+            return
+        self.members[member_idx].load_snapshot(primary.snapshot())
+        self.stale.discard(member_idx)
+        self.members[member_idx].node.stats.add("pvfs.mgr.resyncs")
+
+
+class MetadataService:
+    """All shard groups plus the direct namespace API the cluster uses."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_grid,
+        stripe_size: int,
+        n_iods: int,
+        qos=None,
+        metrics=None,
+    ):
+        self.sim = sim
+        self.shard_map = ShardMap(len(node_grid))
+        self.groups: List[ShardGroup] = []
+        for s, nodes in enumerate(node_grid):
+            group = ShardGroup(sim, s)
+            for m, node in enumerate(nodes):
+                gate = None
+                if qos is not None and qos.enabled:
+                    from repro.pvfs.qos import QoSGate
+
+                    gate = QoSGate(
+                        qos,
+                        clock=lambda: sim.now,
+                        stats=node.stats,
+                        metrics=metrics,
+                        stat_prefix="pvfs.mgr.qos",
+                        wait_metric="mgr.qos.wait",
+                        cost=lambda req: 1.0,
+                    )
+                shard = MetadataShard(
+                    sim,
+                    node,
+                    stripe_size,
+                    n_iods,
+                    shard=s,
+                    shard_map=self.shard_map,
+                    member=m,
+                    group=group,
+                    service=self,
+                    qos=gate,
+                )
+                group.members.append(shard)
+            if len(group.members) > 1:
+                group.build_mesh()
+            self.groups.append(group)
+
+    # -- topology -----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.groups)
+
+    def primary_of(self, shard: int) -> int:
+        return self.groups[shard].primary_idx
+
+    def epoch_of(self, shard: int) -> int:
+        return self.groups[shard].epoch
+
+    def all_members(self):
+        """Every shard member daemon, shard-major."""
+        for group in self.groups:
+            for member in group.members:
+                yield member
+
+    # -- direct (in-process) namespace API ----------------------------------
+    #
+    # Reads go to the owning shard's current primary; ``note_size`` is a
+    # size hint with no wire message, so it applies directly to every
+    # in-sync member (crashed/stale members catch up via resync).
+
+    def lookup(self, path: str) -> Optional[FileMeta]:
+        group = self.groups[self.shard_map.shard_of(path)]
+        return group.primary.lookup(path)
+
+    def lookup_handle(self, handle: int) -> Optional[FileMeta]:
+        group = self.groups[self.shard_map.shard_of_handle(handle)]
+        return group.primary.lookup_handle(handle)
+
+    def create(self, path: str) -> FileMeta:
+        group = self.groups[self.shard_map.shard_of(path)]
+        return group.primary.create(path)
+
+    def note_size(self, handle: int, end: int) -> None:
+        group = self.groups[self.shard_map.shard_of_handle(handle)]
+        for j, member in enumerate(group.members):
+            if member.crashed or j in group.stale:
+                continue
+            member.note_size(handle, end)

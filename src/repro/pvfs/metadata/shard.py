@@ -1,0 +1,390 @@
+"""One metadata shard member: the namespace daemon, now crashable.
+
+A :class:`MetadataShard` owns the slice of the namespace its
+:class:`~repro.pvfs.metadata.shardmap.ShardMap` hashes to it and serves
+the same wire protocol the old single manager did — plus the surface
+the I/O daemons already had:
+
+- ``mgr.crash`` / ``mgr.send`` fault hooks (crash black-holes requests,
+  optionally restarting after ``duration_us``; a lost send models a
+  reply dropped in flight, recovered by the client's RPC retry),
+- typed error replies (:class:`~repro.pvfs.protocol.MetaError`) instead
+  of exceptions raised into the event loop,
+- optional QoS admission via a :class:`~repro.pvfs.qos.QoSGate` metered
+  at unit cost (``ServerBusy``/``Overloaded`` on the open path),
+- a handle→meta index so ``lookup_handle`` is O(1), and
+- a per-path tombstone map of unlinked handles so a retried unlink
+  whose first reply was lost still reports the removed handle (without
+  it the client would skip the stripe unlinks and leak extents).
+
+Replication state (apply/snapshot) lives here; the primary/replica
+protocol itself — who ships what to whom, failover — is the
+:class:`~repro.pvfs.metadata.service.ShardGroup`'s job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ib.hca import Node
+from repro.ib.qp import QueuePair
+from repro.pvfs.protocol import (
+    MetaError,
+    OpenReply,
+    OpenRequest,
+    ReplicateAck,
+    ReplicateRequest,
+    UnlinkReply,
+    UnlinkRequest,
+    WrongShard,
+)
+from repro.pvfs.metadata.shardmap import ShardMap
+from repro.sim.engine import Simulator
+
+__all__ = ["FileMeta", "MetadataShard"]
+
+
+@dataclass
+class FileMeta:
+    """Cluster-wide metadata of one PVFS file."""
+
+    handle: int
+    path: str
+    stripe_size: int
+    n_iods: int
+    base_iod: int = 0
+    size: int = 0  # logical size high-water mark
+
+
+# (op, path, handle, size): one namespace mutation for the shipping log.
+LogEntry = Tuple[str, str, int, int]
+
+
+class MetadataShard:
+    """One shard member daemon; runs one serving loop per connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        stripe_size: int,
+        n_iods: int,
+        shard: int = 0,
+        shard_map: Optional[ShardMap] = None,
+        member: int = 0,
+        group=None,
+        service=None,
+        qos=None,
+    ):
+        self.sim = sim
+        self.node = node
+        self.stripe_size = stripe_size
+        self.n_iods = n_iods
+        self.shard = shard
+        self.shard_map = shard_map if shard_map is not None else ShardMap(1)
+        self.member = member
+        self.group = group
+        self.service = service
+        self.qos = qos
+        self.faults = None  # FaultPlan, wired by the cluster
+        self.crashed = False
+        self._files: Dict[str, FileMeta] = {}
+        self._by_handle: Dict[int, FileMeta] = {}
+        self._unlinked: Dict[str, int] = {}  # path -> last unlinked handle
+        self._next_handle = self.shard_map.first_handle(shard)
+        self._next_conn = 0
+
+    @property
+    def is_primary(self) -> bool:
+        return self.group is None or self.group.primary_idx == self.member
+
+    # -- direct (in-process) namespace API --------------------------------------
+
+    def lookup(self, path: str) -> Optional[FileMeta]:
+        return self._files.get(path)
+
+    def lookup_handle(self, handle: int) -> Optional[FileMeta]:
+        return self._by_handle.get(handle)
+
+    def create(self, path: str) -> FileMeta:
+        meta = FileMeta(
+            handle=self._next_handle,
+            path=path,
+            stripe_size=self.stripe_size,
+            n_iods=self.n_iods,
+        )
+        self._next_handle += self.shard_map.handle_stride
+        self._files[path] = meta
+        self._by_handle[meta.handle] = meta
+        self._unlinked.pop(path, None)
+        return meta
+
+    def note_size(self, handle: int, end: int) -> None:
+        meta = self._by_handle.get(handle)
+        if meta is not None and end > meta.size:
+            meta.size = end
+
+    # -- replication state ------------------------------------------------------
+
+    def apply(self, entry: ReplicateRequest) -> None:
+        """Re-apply one shipped log entry on this (replica) member."""
+        if entry.op == "create":
+            meta = FileMeta(
+                handle=entry.handle,
+                path=entry.path,
+                stripe_size=self.stripe_size,
+                n_iods=self.n_iods,
+                size=entry.size,
+            )
+            self._files[entry.path] = meta
+            self._by_handle[entry.handle] = meta
+            self._unlinked.pop(entry.path, None)
+            if entry.handle >= self._next_handle:
+                self._next_handle = entry.handle + self.shard_map.handle_stride
+        elif entry.op == "unlink":
+            meta = self._files.pop(entry.path, None)
+            if meta is not None:
+                self._by_handle.pop(meta.handle, None)
+            self._unlinked[entry.path] = entry.handle
+        elif entry.op == "note_size":
+            self.note_size(entry.handle, entry.size)
+
+    def snapshot(self) -> dict:
+        """Full namespace state, for replica resync after crash/staleness."""
+        return {
+            "files": [
+                (m.path, m.handle, m.base_iod, m.size) for m in self._files.values()
+            ],
+            "unlinked": dict(self._unlinked),
+            "next_handle": self._next_handle,
+        }
+
+    def load_snapshot(self, snap: dict) -> None:
+        self._files = {}
+        self._by_handle = {}
+        for path, handle, base_iod, size in snap["files"]:
+            meta = FileMeta(
+                handle=handle,
+                path=path,
+                stripe_size=self.stripe_size,
+                n_iods=self.n_iods,
+                base_iod=base_iod,
+                size=size,
+            )
+            self._files[path] = meta
+            self._by_handle[handle] = meta
+        self._unlinked = dict(snap["unlinked"])
+        self._next_handle = snap["next_handle"]
+
+    # -- crash / restart --------------------------------------------------------
+
+    def _crash(self, duration_us: Optional[float]) -> None:
+        self.crashed = True
+        self.node.stats.add("pvfs.mgr.crashes")
+        if self.qos is not None:
+            self.qos.purge()
+        if self.group is not None:
+            self.group.on_member_crash(self.member)
+        if duration_us is not None:
+            self.sim.process(
+                self._restart(duration_us), name=f"{self.node.name}.restart"
+            )
+
+    def _restart(self, duration_us: float):
+        yield self.sim.timeout(duration_us)
+        self.crashed = False
+        self.node.stats.add("pvfs.mgr.restarts")
+        if self.group is not None:
+            self.group.on_member_restart(self.member)
+
+    def _check_crash_hook(self) -> None:
+        if self.faults is not None and not self.crashed:
+            rule = self.faults.fires("mgr.crash", node=self.node.name)
+            if rule is not None:
+                self._crash(rule.duration_us)
+
+    def _send_reliable(self, qp: QueuePair, msg, nbytes: int):
+        """Send unless crashed or the ``mgr.send`` hook eats the reply."""
+        if self.crashed:
+            return False
+        if self.faults is not None and (
+            self.faults.fires("mgr.send", node=self.node.name) is not None
+        ):
+            self.node.stats.add("pvfs.mgr.lost_replies")
+            return False
+        yield from qp.send(msg, nbytes=nbytes)
+        return True
+
+    # -- request processing -----------------------------------------------------
+
+    def _route_check(self, msg) -> Optional[WrongShard]:
+        """Redirect when this member must not serve ``msg`` (pure)."""
+        shard = self.shard_map.shard_of(msg.path)
+        if shard != self.shard:
+            self.node.stats.add("pvfs.mgr.redirects")
+            if self.service is not None:
+                primary = self.service.primary_of(shard)
+                epoch = self.service.epoch_of(shard)
+            else:
+                primary, epoch = 0, 0
+            return WrongShard(
+                request_id=msg.request_id, shard=shard, primary=primary, epoch=epoch
+            )
+        if self.group is not None and self.group.primary_idx != self.member:
+            self.node.stats.add("pvfs.mgr.redirects")
+            return WrongShard(
+                request_id=msg.request_id,
+                shard=shard,
+                primary=self.group.primary_idx,
+                epoch=self.group.epoch,
+            )
+        return None
+
+    def _process(self, msg) -> Tuple[object, List[LogEntry]]:
+        """Compute the reply and the mutations to replicate (pure)."""
+        entries: List[LogEntry] = []
+        if isinstance(msg, OpenRequest):
+            redirect = self._route_check(msg)
+            if redirect is not None:
+                return redirect, entries
+            self.node.stats.add("pvfs.mgr.opens")
+            meta = self._files.get(msg.path)
+            if meta is None:
+                if not msg.create:
+                    return (
+                        MetaError(
+                            request_id=msg.request_id,
+                            code="not_found",
+                            detail=msg.path,
+                        ),
+                        entries,
+                    )
+                meta = self.create(msg.path)
+                self.node.stats.add("pvfs.mgr.creates")
+                entries.append(("create", meta.path, meta.handle, meta.size))
+            reply = OpenReply(
+                handle=meta.handle,
+                stripe_size=meta.stripe_size,
+                n_iods=meta.n_iods,
+                base_iod=meta.base_iod,
+                size=meta.size,
+                request_id=msg.request_id,
+            )
+            return reply, entries
+        if isinstance(msg, UnlinkRequest):
+            redirect = self._route_check(msg)
+            if redirect is not None:
+                return redirect, entries
+            self.node.stats.add("pvfs.mgr.unlinks")
+            meta = self._files.pop(msg.path, None)
+            if meta is not None:
+                self._by_handle.pop(meta.handle, None)
+                self._unlinked[msg.path] = meta.handle
+                entries.append(("unlink", msg.path, meta.handle, 0))
+                handle: Optional[int] = meta.handle
+            else:
+                # A retried unlink whose first reply was lost must still
+                # name the removed handle, or the client never issues the
+                # stripe unlinks and the extents leak.
+                handle = self._unlinked.get(msg.path)
+            return UnlinkReply(handle=handle, request_id=msg.request_id), entries
+        self.node.stats.add("pvfs.mgr.bad_requests")
+        return (
+            MetaError(
+                request_id=getattr(msg, "request_id", 0),
+                code="bad_request",
+                detail=f"unexpected message {msg!r}",
+            ),
+            entries,
+        )
+
+    def _handle(self, qp: QueuePair, msg):
+        reply, entries = self._process(msg)
+        for entry in entries:
+            yield from self._replicate(entry)
+        yield from self._send_reliable(
+            qp, reply, nbytes=self.node.testbed.reply_msg_bytes
+        )
+
+    def _replicate(self, entry: LogEntry):
+        if self.group is None:
+            return
+        yield from self.group.replicate(self, entry)
+
+    # -- wire service -------------------------------------------------------------
+
+    def serve(self, qp: QueuePair):
+        """Serving loop for one client connection (a simulated process)."""
+        conn_id = self._next_conn
+        self._next_conn += 1
+        if self.qos is not None:
+            self.qos.register(conn_id)
+        while True:
+            msg = yield qp.recv()
+            if msg is None:  # shutdown sentinel
+                return
+            self._check_crash_hook()
+            if self.crashed:
+                self.node.stats.add("pvfs.mgr.dropped_while_crashed")
+                continue
+            self.node.stats.add("pvfs.mgr.requests")
+            if self.qos is not None and isinstance(msg, (OpenRequest, UnlinkRequest)):
+                self.qos.submit(
+                    conn_id,
+                    msg,
+                    start=lambda m, _qp=qp, _c=conn_id: self._spawn_handler(
+                        _qp, m, _c
+                    ),
+                    reject=lambda kind, hint, m, _qp=qp: self._spawn_reject(
+                        _qp, m, kind, hint
+                    ),
+                )
+                continue
+            yield from self._handle(qp, msg)
+
+    def serve_repl(self, qp: QueuePair):
+        """Replica-side loop for one primary→replica log-shipping link."""
+        while True:
+            msg = yield qp.recv()
+            if msg is None:
+                return
+            self._check_crash_hook()
+            if self.crashed:
+                self.node.stats.add("pvfs.mgr.dropped_while_crashed")
+                continue
+            if not isinstance(msg, ReplicateRequest):
+                continue
+            self.apply(msg)
+            self.node.stats.add("pvfs.mgr.replicated")
+            yield from self._send_reliable(
+                qp,
+                ReplicateAck(seq=msg.seq, epoch=msg.epoch),
+                nbytes=self.node.testbed.reply_msg_bytes,
+            )
+
+    # -- QoS admission callbacks --------------------------------------------------
+
+    def _spawn_handler(self, qp: QueuePair, msg, conn_id: int) -> None:
+        def gated():
+            try:
+                yield from self._handle(qp, msg)
+            finally:
+                self.qos.complete(conn_id)
+
+        self.sim.process(
+            gated(), name=f"{self.node.name}.h{getattr(msg, 'request_id', 0)}"
+        )
+
+    def _spawn_reject(self, qp: QueuePair, msg, kind: str, hint: float) -> None:
+        from repro.pvfs.protocol import Overloaded, ServerBusy
+
+        cls = ServerBusy if kind == "busy" else Overloaded
+        reply = cls(request_id=getattr(msg, "request_id", 0), retry_after_us=hint)
+
+        def proc():
+            yield from self._send_reliable(
+                qp, reply, nbytes=self.node.testbed.reply_msg_bytes
+            )
+
+        self.sim.process(proc(), name=f"{self.node.name}.reject")

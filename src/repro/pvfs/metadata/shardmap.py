@@ -1,0 +1,57 @@
+"""Static partitioning of the namespace and the handle space.
+
+Two functions decide everything:
+
+- **path → shard** is a stable hash (``zlib.crc32``; Python's builtin
+  ``hash`` is salted per process and would break replayability).
+- **handle → shard** is strided: shard ``k`` of ``K`` allocates handles
+  ``k+1, k+1+K, k+1+2K, ...``.  Handle ranges are therefore disjoint by
+  construction and ``create`` never needs cross-shard coordination —
+  and with ``K=1`` the sequence degenerates to ``1, 2, 3, ...``, the
+  exact allocation order of the pre-shard manager, which is what keeps
+  single-manager traces byte-identical.
+
+The map is static configuration (shard count never changes at runtime),
+so clients can compute routes locally; ``WrongShard`` redirects exist
+for the *primary member* of a shard moving under failover, not for the
+map itself changing.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["ShardMap"]
+
+
+class ShardMap:
+    """Path and handle partitioning for ``n_shards`` metadata shards."""
+
+    def __init__(self, n_shards: int = 1):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.n_shards = n_shards
+
+    def shard_of(self, path: str) -> int:
+        """The shard owning ``path`` (stable across processes and runs)."""
+        return zlib.crc32(path.encode()) % self.n_shards
+
+    def first_handle(self, shard: int) -> int:
+        """The first handle in ``shard``'s strided allocation sequence."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} outside [0, {self.n_shards})")
+        return shard + 1
+
+    @property
+    def handle_stride(self) -> int:
+        """Distance between consecutive handles of one shard."""
+        return self.n_shards
+
+    def shard_of_handle(self, handle: int) -> int:
+        """Invert the strided allocation: which shard issued ``handle``."""
+        if handle < 1:
+            raise ValueError(f"bad handle {handle}")
+        return (handle - 1) % self.n_shards
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ShardMap n_shards={self.n_shards}>"

@@ -38,6 +38,14 @@ __all__ = [
     "ReleaseStaging",
     "ServerBusy",
     "Overloaded",
+    "UnlinkRequest",
+    "UnlinkReply",
+    "StripeUnlink",
+    "FsyncRequest",
+    "MetaError",
+    "WrongShard",
+    "ReplicateRequest",
+    "ReplicateAck",
     "ProtocolError",
     "expect_reply",
 ]
@@ -213,3 +221,63 @@ class FsyncRequest:
 
     request_id: int
     handle: int
+
+
+@dataclass(frozen=True)
+class MetaError:
+    """Typed metadata-service failure reply.
+
+    The shard answers a bad request with one of these instead of raising
+    into the event loop, so a missing path degrades the *request*, not
+    the simulation.  ``code`` is a small closed vocabulary the client
+    maps back to exceptions: ``"not_found"`` (open with ``create=False``
+    on a missing path) and ``"bad_request"`` (a message the shard does
+    not understand).
+    """
+
+    request_id: int
+    code: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class WrongShard:
+    """Metadata routing redirect.
+
+    A shard member answers with this when it is not the right place to
+    serve the request: either the path hashes to a different shard
+    (``shard``) or this member is a replica and the caller should talk
+    to the group's current primary (``primary``, valid as of ``epoch``).
+    The client updates its cached shard map and retries.
+    """
+
+    request_id: int
+    shard: int
+    primary: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ReplicateRequest:
+    """Primary→replica synchronous log shipping of one namespace mutation.
+
+    ``op`` is ``"create"``, ``"unlink"`` or ``"note_size"``; the payload
+    fields carry enough state to re-apply the mutation verbatim on the
+    replica.  ``seq`` orders entries per primary/replica link so a stale
+    ack from a timed-out exchange is never mistaken for the current one.
+    """
+
+    seq: int
+    op: str
+    path: str
+    handle: int
+    size: int = 0
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class ReplicateAck:
+    """Replica→primary acknowledgement of one shipped log entry."""
+
+    seq: int
+    epoch: int = 0

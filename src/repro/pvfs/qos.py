@@ -139,12 +139,21 @@ class QoSGate:
         stats=None,
         metrics=None,
         backlog_us: Optional[Callable[[], float]] = None,
+        stat_prefix: str = "pvfs.iod.qos",
+        wait_metric: str = "iod.qos.wait",
+        cost: Optional[Callable[[object], float]] = None,
     ):
         self.cfg = cfg
         self._clock = clock if clock is not None else (lambda: 0.0)
         self._stats = stats
         self._metrics = metrics
         self._backlog_us = backlog_us
+        # The gate serves two daemons now: I/O daemons meter requests by
+        # byte cost under "pvfs.iod.qos.*", metadata shards meter them
+        # at unit cost under "pvfs.mgr.qos.*".
+        self._stat_prefix = stat_prefix
+        self._wait_metric = wait_metric
+        self._cost = cost if cost is not None else (lambda req: req.total_bytes)
         self._queues: Dict[int, Deque[_Pending]] = {}
         self._order: List[int] = []  # rotation order (registration order)
         self._deficit: Dict[int, float] = {}
@@ -171,7 +180,7 @@ class QoSGate:
 
     def _count(self, name: str) -> None:
         if self._stats is not None:
-            self._stats.add(f"pvfs.iod.qos.{name}")
+            self._stats.add(f"{self._stat_prefix}.{name}")
 
     # -- client lifecycle ---------------------------------------------------
 
@@ -296,7 +305,7 @@ class QoSGate:
             self.max_rounds_waited = entry.rounds_waited
         self._count("admitted")
         if self._metrics is not None:
-            self._metrics.record("iod.qos.wait", self._clock() - entry.arrived_us)
+            self._metrics.record(self._wait_metric, self._clock() - entry.arrived_us)
         entry.start(entry.req)
 
     def _pick_fifo(self) -> Optional[_Pending]:
@@ -330,16 +339,17 @@ class QoSGate:
                     continue
                 self._deficit[client] += self.cfg.quantum_bytes
                 head = q[0]
+                head_cost = self._cost(head.req)
                 if (
-                    self._deficit[client] >= head.req.total_bytes
+                    self._deficit[client] >= head_cost
                     or head.rounds_waited >= self.cfg.starvation_round_limit
                 ):
-                    if self._deficit[client] < head.req.total_bytes:
+                    if self._deficit[client] < head_cost:
                         self.forced_admissions += 1
                         self._count("forced")
                         self._deficit[client] = 0.0
                     else:
-                        self._deficit[client] -= head.req.total_bytes
+                        self._deficit[client] -= head_cost
                     q.popleft()
                     if not q:
                         self._deficit[client] = 0.0

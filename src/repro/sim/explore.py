@@ -38,11 +38,13 @@ from typing import Dict, Generator, Iterable, List, Optional, Tuple
 
 from repro.mem.segments import Segment
 from repro.pvfs.cluster import PVFSCluster
-from repro.pvfs.errors import DegradedError, RetryPolicy
+from repro.pvfs.errors import DegradedError, RetryPolicy, StaleHandleError
+from repro.pvfs.metadata.shardmap import ShardMap
 from repro.sim.engine import SchedulePolicy
 from repro.sim.faults import FaultPlan
 from repro.sim.invariants import (
     InvariantChecker,
+    NamespaceModel,
     SpecFileModel,
     Violation,
     first_diff,
@@ -81,7 +83,7 @@ class OpSpec:
     """One client operation, fully explicit so the shrinker can edit it."""
 
     client: int
-    kind: str  # "write" | "read" | "fsync"
+    kind: str  # "write" | "read" | "fsync" | "unlink"
     path: str = EXPLORE_PATH
     segments: List[List[int]] = field(default_factory=list)  # [offset, length]
     mem_gap: int = 0
@@ -124,6 +126,8 @@ class ExploreCase:
     elevator: bool = True
     qos: Optional[dict] = None  # QoSConfig.to_dict() or None (legacy admission)
     plant_bug: Optional[str] = None
+    n_mgr_shards: int = 1
+    mgr_replicas: int = 1
 
     def to_dict(self) -> dict:
         return {
@@ -137,6 +141,8 @@ class ExploreCase:
             "elevator": self.elevator,
             "qos": self.qos,
             "plant_bug": self.plant_bug,
+            "n_mgr_shards": self.n_mgr_shards,
+            "mgr_replicas": self.mgr_replicas,
         }
 
     @classmethod
@@ -152,6 +158,8 @@ class ExploreCase:
             elevator=d.get("elevator", True),
             qos=d.get("qos"),
             plant_bug=d.get("plant_bug"),
+            n_mgr_shards=d.get("n_mgr_shards", 1),
+            mgr_replicas=d.get("mgr_replicas", 1),
         )
 
 
@@ -182,6 +190,7 @@ def generate_case(
     smoke: bool = False,
     schemes: Optional[List[str]] = None,
     plant_bug: Optional[str] = None,
+    meta: bool = False,
 ) -> ExploreCase:
     """Derive a full case from one integer seed.
 
@@ -193,6 +202,18 @@ def generate_case(
     across clients — the precondition for the spec-model oracle — while
     zero gaps keep extents adjacent often enough to exercise the
     elevator's cross-request merging.
+
+    Every eighth seed is a *metadata* case: a sharded, replicated
+    metadata plane (K=2, R=2) plus per-client namespace churn
+    (create/write/unlink/re-create cycles) and, when the geometry
+    allows, a deliberately raced path one client writes while another
+    unlinks it.  Every sixteenth seed also kills (and restarts) one
+    shard primary mid-run, exercising failover, redirects, and resync.
+    The axis is arithmetic-coded from the seed with its *own* derived
+    RNG, so every pre-existing seed's ops and fault plan stay
+    byte-identical.  ``meta=True`` forces the axis on for every seed
+    and always includes the rotating primary kill — the shape of the
+    CI metadata-kill sweep (``explore --meta``).
     """
     from repro.transfer import scheme_names
 
@@ -312,6 +333,81 @@ def generate_case(
             "retry_after_us": 100.0,
         }
 
+    # Metadata axis, arithmetic-coded like QoS above: its ops and fault
+    # edits come from a freshly derived RNG, so non-metadata seeds (and
+    # everything generated before this axis existed) stay byte-identical.
+    n_mgr_shards = mgr_replicas = 1
+    if meta or seed % 8 == 6:
+        mrng = random.Random(seed * 0xA5F152 + 0x4D47)
+        n_mgr_shards = 2 + (seed % 2 if meta else 0)
+        mgr_replicas = 2
+        churn_piece = 1024
+        for client in range(n_clients):
+            for k in range(2 if smoke else mrng.randint(2, 3)):
+                path = f"/pfs/meta/c{client}.{k}"
+                ops.append(
+                    OpSpec(
+                        client=client,
+                        kind="write",
+                        path=path,
+                        segments=[[0, churn_piece]],
+                        payload_seed=mrng.randrange(1 << 30),
+                        use_ads=False,
+                    )
+                )
+                if mrng.random() < 0.4:
+                    ops.append(
+                        OpSpec(
+                            client=client,
+                            kind="read",
+                            path=path,
+                            segments=[[0, churn_piece]],
+                        )
+                    )
+                ops.append(OpSpec(client=client, kind="unlink", path=path))
+                if mrng.random() < 0.5:
+                    # Re-create under a fresh handle.
+                    ops.append(
+                        OpSpec(
+                            client=client,
+                            kind="write",
+                            path=path,
+                            segments=[[0, churn_piece]],
+                            payload_seed=mrng.randrange(1 << 30),
+                            use_ads=False,
+                        )
+                    )
+        if n_clients >= 2:
+            # One deliberately raced path: client 0 writes it while
+            # client 1 unlinks it.  No client-side linearization exists;
+            # the oracles fall back to plane-truth + orphan checks.
+            shared = "/pfs/meta/raced"
+            ops.append(
+                OpSpec(
+                    client=0,
+                    kind="write",
+                    path=shared,
+                    segments=[[0, 4096]],
+                    payload_seed=mrng.randrange(1 << 30),
+                    use_ads=False,
+                )
+            )
+            ops.append(OpSpec(client=1, kind="unlink", path=shared))
+        if meta or seed % 16 == 6:
+            # Kill the primary of the shard serving the churn paths after
+            # its second request (hashing guarantees it has traffic); it
+            # restarts and resyncs while a replica is promoted and
+            # clients re-route.
+            plan = (
+                FaultPlan.from_dict(fault)
+                if fault is not None
+                else FaultPlan(seed=seed * 31 + 7)
+            )
+            busy = ShardMap(n_mgr_shards).shard_of(f"/pfs/meta/c{seed % n_clients}.0")
+            victim = f"mgr{busy}.0"
+            plan.one_shot("mgr.crash", at=2, node=victim, duration_us=40_000.0)
+            fault = plan.to_dict()
+
     return ExploreCase(
         seed=seed,
         schedule_seed=seed,
@@ -323,6 +419,8 @@ def generate_case(
         elevator=(seed % 7 != 3),
         qos=qos,
         plant_bug=plant_bug,
+        n_mgr_shards=n_mgr_shards,
+        mgr_replicas=mgr_replicas,
     )
 
 
@@ -395,17 +493,27 @@ def _client_proc(
     client,
     client_ops: List[Tuple[int, OpSpec]],
     spec: SpecFileModel,
+    ns: NamespaceModel,
     read_payloads: Dict[int, bytes],
     violations: List[Violation],
     state: dict,
 ) -> Generator:
     files: Dict[str, object] = {}
     for op_idx, op in client_ops:
+        raced = op.path in ns.raced
         try:
+            if op.kind == "unlink":
+                existed = yield from client.unlink(op.path)
+                files.pop(op.path, None)
+                ns.record_unlink(op.path, existed)
+                if not raced:
+                    spec.files.pop(op.path, None)
+                continue
             f = files.get(op.path)
             if f is None:
                 f = yield from client.open(op.path)
                 files[op.path] = f
+                ns.record_open(op.path, f.handle)
             if op.kind == "fsync":
                 yield from client.fsync(f)
                 continue
@@ -423,11 +531,14 @@ def _client_proc(
                     f, mem_segs, file_segs, use_ads=op.use_ads, sync=op.sync
                 )
                 # Acked: from here on the spec image must contain it.
-                spec.record_write(op.path, file_segs, payload)
+                if not raced:
+                    spec.record_write(op.path, file_segs, payload)
             else:
                 yield from client.read_list(
                     f, mem_segs, file_segs, use_ads=op.use_ads
                 )
+                if raced:
+                    continue
                 got = b"".join(
                     bytes(client.node.space.read(ms.addr, ms.length))
                     for ms in mem_segs
@@ -443,6 +554,20 @@ def _client_proc(
                             f"at byte {diff[0]}: spec={diff[1]} got={diff[2]}",
                         )
                     )
+        except StaleHandleError:
+            # The path was unlinked out from under an in-flight op: the
+            # expected outcome of a deliberate race, not a finding.  The
+            # cached handle is dead; a later op re-opens fresh.
+            files.pop(op.path, None)
+            if not raced:
+                violations.append(
+                    Violation(
+                        "crash",
+                        f"op#{op_idx} (client {op.client}): stale handle "
+                        f"on the un-raced path {op.path}",
+                    )
+                )
+                return
         except DegradedError:
             # The fault plan killed an I/O node past the retry budget;
             # the run is inconclusive for the data oracles, not failed.
@@ -472,11 +597,25 @@ def run_case(case: ExploreCase, record_trace: bool = False) -> CaseResult:
             retry=EXPLORE_RETRY,
             elevator_enabled=case.elevator,
             qos=case.qos,
+            n_mgr_shards=case.n_mgr_shards,
+            mgr_replicas=case.mgr_replicas,
         )
         if record_trace:
             cluster.sim.record_trace()
         checker = InvariantChecker(cluster)
         spec = SpecFileModel()
+        ns = NamespaceModel(shard_map=cluster.metadata.shard_map)
+        # A path one client unlinks while another touches it has no
+        # client-side linearization: determined statically from the case.
+        touched: Dict[str, set] = {}
+        unlinked: set = set()
+        for op in case.ops:
+            touched.setdefault(op.path, set()).add(op.client)
+            if op.kind == "unlink":
+                unlinked.add(op.path)
+        for path in unlinked:
+            if len(touched.get(path, set())) > 1:
+                ns.mark_raced(path)
         violations: List[Violation] = []
         read_payloads: Dict[int, bytes] = {}
         state = {"degraded": False}
@@ -486,7 +625,8 @@ def run_case(case: ExploreCase, record_trace: bool = False) -> CaseResult:
             per_client.setdefault(op.client, []).append((idx, op))
         procs = [
             _client_proc(
-                cluster.clients[c], ops, spec, read_payloads, violations, state
+                cluster.clients[c], ops, spec, ns, read_payloads, violations,
+                state,
             )
             for c, ops in sorted(per_client.items())
             if c < len(cluster.clients)
@@ -504,7 +644,9 @@ def run_case(case: ExploreCase, record_trace: bool = False) -> CaseResult:
         else:
             if not state["degraded"]:
                 violations.extend(checker.check_file_images(spec))
+                violations.extend(checker.check_namespace(ns))
             violations.extend(checker.check_leaks())
+            violations.extend(checker.check_replicas())
 
         file_images: Dict[str, bytes] = {}
         for path in spec.paths():
@@ -535,7 +677,11 @@ def case_size(case: ExploreCase) -> Tuple[int, int, int]:
     when it moves no bytes — without it those candidates could never be
     accepted and every artifact would keep its full fault plan."""
     data_ops = [op for op in case.ops if op.kind != "fsync"]
-    extras = int(case.fault is not None) + int(case.qos is not None)
+    extras = (
+        int(case.fault is not None)
+        + int(case.qos is not None)
+        + int((case.n_mgr_shards, case.mgr_replicas) != (1, 1))
+    )
     return (len(data_ops), sum(op.nbytes for op in data_ops), extras)
 
 
@@ -545,6 +691,10 @@ def _shrink_candidates(case: ExploreCase) -> Iterable[ExploreCase]:
         yield dataclasses.replace(case, fault=None)
     if case.qos is not None:
         yield dataclasses.replace(case, qos=None)
+    if (case.n_mgr_shards, case.mgr_replicas) != (1, 1):
+        # Collapse the metadata plane to the single-manager shape (a
+        # fault rule naming a dead mgr node then simply never matches).
+        yield dataclasses.replace(case, n_mgr_shards=1, mgr_replicas=1)
     # Drop whole ops (fsyncs ride along for free via the same loop).
     for i in range(len(case.ops)):
         yield dataclasses.replace(
@@ -666,24 +816,34 @@ def sweep(
     do_shrink: bool = True,
     schemes: Optional[List[str]] = None,
     plant: Optional[str] = None,
+    meta: bool = False,
     echo=print,
 ) -> int:
     """Explore ``seeds`` consecutive seeds; returns the failure count.
 
     Per-seed and summary lines are deterministic for a fixed tree, so
-    they double as golden output in CI.
+    they double as golden output in CI.  ``meta=True`` makes every seed
+    a metadata-kill case (sharded replicated plane, namespace churn,
+    one primary killed and restarted per seed).
     """
     failures = 0
     for i in range(seeds):
         seed = base + i
-        case = generate_case(seed, smoke=smoke, schemes=schemes, plant_bug=plant)
+        case = generate_case(
+            seed, smoke=smoke, schemes=schemes, plant_bug=plant, meta=meta
+        )
         policy = SchedulePolicy.from_seed(case.schedule_seed)
         result = run_case(case)
+        mgr_tag = (
+            f" mgr={case.n_mgr_shards}x{case.mgr_replicas}"
+            if (case.n_mgr_shards, case.mgr_replicas) != (1, 1)
+            else ""
+        )
         tag = (
             f"policy={policy.describe()} scheme={case.scheme}"
             f" elevator={'on' if case.elevator else 'off'}"
             f" qos={case.qos['policy'] if case.qos else 'off'}"
-            f" ops={len(case.ops)} faults={result.injected}"
+            f" ops={len(case.ops)} faults={result.injected}{mgr_tag}"
         )
         if result.ok:
             note = " (degraded: data oracles skipped)" if result.degraded else ""

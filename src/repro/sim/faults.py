@@ -23,6 +23,11 @@ hook                  where it fires / what it models
 ``staging.acquire``   staging/fast-buffer pool acquisition fails
 ``iod.crash``         the whole I/O daemon crashes (optionally restarts
                       after ``duration_us``)
+``mgr.send``          a metadata shard's reply send is lost in flight
+                      (recovered by the client's manager-RPC retry)
+``mgr.crash``         a metadata shard member crashes (optionally
+                      restarts after ``duration_us``; a crashed primary
+                      triggers a seeded-deterministic failover)
 ===================  =====================================================
 
 Everything is deterministic for a fixed seed: rules are evaluated in
@@ -56,6 +61,8 @@ FAULT_HOOKS = (
     "disk.write",
     "staging.acquire",
     "iod.crash",
+    "mgr.send",
+    "mgr.crash",
 )
 
 
@@ -173,12 +180,17 @@ class FaultPlan:
     ) -> "FaultPlan":
         """A background-noise plan: every hook fails with ``probability``.
 
-        ``iod.crash`` is excluded unless ``crash=True`` (random crashes
-        need far more recovery budget than transient op failures).
+        ``iod.crash`` and ``mgr.crash`` are excluded unless
+        ``crash=True`` (random crashes need far more recovery budget
+        than transient op failures), and ``mgr.send`` is excluded from
+        the default hook set so plans built before the metadata plane
+        was refactored keep byte-identical rule lists.
         """
         plan = cls(seed=seed)
         for hook in hooks if hooks is not None else FAULT_HOOKS:
-            if hook == "iod.crash" and not crash and hooks is None:
+            if hook in ("iod.crash", "mgr.crash") and not crash and hooks is None:
+                continue
+            if hook == "mgr.send" and hooks is None:
                 continue
             plan.add(hook, probability=probability)
         return plan

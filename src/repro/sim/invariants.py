@@ -37,7 +37,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.mem.segments import Segment
 
-__all__ = ["Violation", "SpecFileModel", "InvariantChecker", "first_diff"]
+__all__ = [
+    "Violation",
+    "SpecFileModel",
+    "NamespaceModel",
+    "InvariantChecker",
+    "first_diff",
+]
 
 
 @dataclass(frozen=True)
@@ -114,6 +120,95 @@ class SpecFileModel:
         return self.files.keys()
 
 
+class NamespaceModel:
+    """Naive linearized namespace: *acknowledged* create/open/unlink ops.
+
+    The reference implementation of the metadata plane, with none of the
+    machinery under test (no shards, no replicas, no retries).  It is
+    exact for per-client-private paths because each client's ops are
+    sequential, so a path touched by one client has one well-defined
+    linearization.  Paths deliberately *raced* across clients (one
+    client unlinks while another opens/writes) have no client-side
+    linearization; mark them with :meth:`mark_raced` and the checker
+    treats the metadata plane itself as the source of truth for their
+    final state — but handle uniqueness, shard placement, and the
+    no-orphaned-extent rule still apply to them unconditionally.
+
+    Recording happens at *ack* time in the workload driver; structural
+    violations (handle reuse, a reopen renaming the file, a handle
+    granted by the wrong shard) are caught immediately, state divergence
+    at quiesce by :meth:`InvariantChecker.check_namespace`.
+    """
+
+    def __init__(self, shard_map=None) -> None:
+        self.shard_map = shard_map  # optional: enables placement checks
+        self.live: Dict[str, int] = {}  # path -> currently linked handle
+        self.handles: Dict[int, str] = {}  # every handle ever granted -> path
+        self.raced: set = set()  # paths with no client-side linearization
+        self.violations: List[Violation] = []
+
+    def mark_raced(self, path: str) -> None:
+        self.raced.add(path)
+        self.live.pop(path, None)
+
+    def record_open(self, path: str, handle: int) -> None:
+        prev = self.live.get(path)
+        if prev is not None:
+            if handle != prev:
+                self.violations.append(
+                    Violation(
+                        "namespace",
+                        f"reopen of {path} returned handle {handle}, "
+                        f"expected the linked handle {prev}",
+                    )
+                )
+            return
+        owner = self.handles.get(handle)
+        if owner is not None:
+            self.violations.append(
+                Violation(
+                    "namespace",
+                    f"handle {handle} granted to {path} was already "
+                    f"granted to {owner} (handles must never be reused)",
+                )
+            )
+        if self.shard_map is not None:
+            want = self.shard_map.shard_of(path)
+            got = self.shard_map.shard_of_handle(handle)
+            if want != got:
+                self.violations.append(
+                    Violation(
+                        "namespace",
+                        f"{path} hashes to shard {want} but handle "
+                        f"{handle} belongs to shard {got}'s range",
+                    )
+                )
+        self.handles[handle] = path
+        if path not in self.raced:
+            self.live[path] = handle
+
+    def record_unlink(self, path: str, existed: bool) -> None:
+        if path in self.raced:
+            return
+        if existed and path not in self.live:
+            self.violations.append(
+                Violation(
+                    "namespace",
+                    f"unlink of {path} reported an existing file but the "
+                    "model never saw it created",
+                )
+            )
+        self.live.pop(path, None)
+
+    def unlinked_handles(self) -> List[int]:
+        """Handles whose file is gone per the model (non-raced paths)."""
+        return sorted(
+            h
+            for h, path in self.handles.items()
+            if path not in self.raced and self.live.get(path) != h
+        )
+
+
 class InvariantChecker:
     """Arm on a freshly built cluster; check at quiesce / end of run."""
 
@@ -122,9 +217,8 @@ class InvariantChecker:
         # Resource baselines: anything registered during setup (staging
         # buffers, fast pools, eager buffers) is expected state, not a
         # leak.
-        self._nodes = (
-            [cluster.manager_node] + cluster.iod_nodes + cluster.client_nodes
-        )
+        mgr_nodes = [n for row in getattr(cluster, "mgr_nodes", [[cluster.manager_node]]) for n in row]
+        self._nodes = mgr_nodes + cluster.iod_nodes + cluster.client_nodes
         self._reg_baseline = [
             set(node.hca.table._regions) for node in self._nodes
         ]
@@ -280,7 +374,11 @@ class InvariantChecker:
                         )
             open_inboxes = sum(
                 len(conn._inboxes) for conn in client.iod_conns
-            ) + len(client._mgr_inbox._inboxes)
+            ) + sum(
+                len(conn._inboxes)
+                for row in client._mgr_router.conns
+                for conn in row
+            )
             if open_inboxes:
                 out.append(
                     Violation(
@@ -308,6 +406,105 @@ class InvariantChecker:
                 )
         return out
 
-    def check_all(self, spec: SpecFileModel) -> List[Violation]:
+    # -- namespace oracles -------------------------------------------------
+
+    def check_namespace(self, ns: NamespaceModel) -> List[Violation]:
+        """Diff the namespace model against the metadata plane at quiesce.
+
+        Live paths must resolve to the model's handle, unlinked handles
+        must not resolve, and no I/O daemon may hold a stripe file for
+        an unlinked handle (an *orphaned extent*: disk space the
+        namespace can never reach again).
+        """
+        cluster = self.cluster
+        out: List[Violation] = list(ns.violations)
+        for path, handle in sorted(ns.live.items()):
+            meta = cluster.manager.lookup(path)
+            if meta is None:
+                out.append(
+                    Violation(
+                        "namespace",
+                        f"{path}: acked open exists but the metadata "
+                        "plane lost the entry",
+                    )
+                )
+            elif meta.handle != handle:
+                out.append(
+                    Violation(
+                        "namespace",
+                        f"{path}: metadata plane has handle {meta.handle}, "
+                        f"model has {handle}",
+                    )
+                )
+        for handle in ns.unlinked_handles():
+            meta = cluster.manager.lookup_handle(handle)
+            if meta is not None:
+                out.append(
+                    Violation(
+                        "namespace",
+                        f"unlinked handle {handle} still resolves "
+                        f"to {meta.path}",
+                    )
+                )
+        # Orphan extents, raced paths included: whatever the winning
+        # linearization was, a handle the metadata plane no longer
+        # resolves must have no stripe file left on any I/O node.
+        for handle in sorted(ns.handles):
+            if cluster.manager.lookup_handle(handle) is not None:
+                continue
+            stripe = f"f{handle:08d}.stripe"
+            for iod in cluster.iods:
+                if iod.fs.exists(stripe):
+                    out.append(
+                        Violation(
+                            "orphan-extent",
+                            f"{iod.name}: stripe {stripe} survives the "
+                            f"unlink of handle {handle}",
+                        )
+                    )
+        return out
+
+    def check_replicas(self) -> List[Violation]:
+        """Replica convergence at quiesce.
+
+        Synchronous shipping means every acked mutation reached every
+        in-sync replica before the client saw the reply, so once the
+        workloads drain, all non-crashed, non-stale members of a shard
+        group must hold identical namespace state.
+        """
+        service = getattr(self.cluster, "metadata", None)
+        if service is None or not hasattr(service, "groups"):
+            return []
+        out: List[Violation] = []
+        for group in service.groups:
+            base = base_j = None
+            for j, member in enumerate(group.members):
+                if member.crashed or j in group.stale:
+                    continue
+                snap = member.snapshot()
+                key = (
+                    sorted(snap["files"]),
+                    sorted(snap["unlinked"].items()),
+                    snap["next_handle"],
+                )
+                if base is None:
+                    base, base_j = key, j
+                elif key != base:
+                    out.append(
+                        Violation(
+                            "replica-divergence",
+                            f"shard {group.shard}: member {j} diverges "
+                            f"from member {base_j} at quiesce",
+                        )
+                    )
+        return out
+
+    def check_all(
+        self, spec: SpecFileModel, ns: Optional[NamespaceModel] = None
+    ) -> List[Violation]:
         """Every oracle at a quiesce point."""
-        return self.check_file_images(spec) + self.check_leaks()
+        out = self.check_file_images(spec) + self.check_leaks()
+        if ns is not None:
+            out += self.check_namespace(ns)
+        out += self.check_replicas()
+        return out

@@ -6,7 +6,7 @@ from repro.calibration import paper_testbed
 from repro.ib.hca import Node
 from repro.ib.qp import connect
 from repro.pvfs.manager import MetadataManager
-from repro.pvfs.protocol import OpenReply, OpenRequest
+from repro.pvfs.protocol import MetaError, OpenReply, OpenRequest
 from repro.sim import Simulator
 
 
@@ -63,10 +63,13 @@ def test_open_without_create_missing_file(env):
         yield from qp.send(
             OpenRequest("/pfs/missing", create=False, request_id=9), nbytes=356
         )
+        return (yield qp.recv())
 
-    sim.process(prog())
-    with pytest.raises(FileNotFoundError):
-        sim.run()
+    p = sim.process(prog())
+    sim.run()
+    assert isinstance(p.value, MetaError)
+    assert p.value.code == "not_found"
+    assert p.value.request_id == 9
 
 
 def test_lookup_handle(env):
@@ -93,12 +96,22 @@ def test_manager_counts_requests(env):
     assert mgr.node.stats.count("pvfs.mgr.requests") == 2
 
 
+class _Bogus:
+    """A message the manager has no handler for."""
+
+    request_id = 77
+
+
 def test_unexpected_message_rejected(env):
     sim, mgr, qp = env
 
     def prog():
-        yield from qp.send({"not": "an open"}, nbytes=16)
+        yield from qp.send(_Bogus(), nbytes=16)
+        return (yield qp.recv())
 
-    sim.process(prog())
-    with pytest.raises(TypeError, match="unexpected"):
-        sim.run()
+    p = sim.process(prog())
+    sim.run()
+    assert isinstance(p.value, MetaError)
+    assert p.value.code == "bad_request"
+    assert "unexpected" in p.value.detail
+    assert mgr.node.stats.count("pvfs.mgr.bad_requests") == 1

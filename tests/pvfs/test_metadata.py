@@ -1,0 +1,286 @@
+"""Sharded, replicated metadata plane: routing, replication, failover.
+
+These drive the real client through the real cluster wiring — shard
+routing, WrongShard redirects, synchronous log shipping, primary
+failover, unlink tombstones and stale-handle fencing — rather than
+poking the shard daemons directly, so they double as end-to-end
+regression tests for the metadata refactor.
+"""
+
+import pytest
+
+from repro.calibration import KB
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster, RequestTimeout, RetryPolicy
+from repro.pvfs.errors import StaleHandleError
+from repro.pvfs.metadata.shardmap import ShardMap
+from repro.sim import FaultPlan
+from repro.sim.invariants import InvariantChecker
+
+FAST_RETRY = RetryPolicy(timeout_us=150_000.0, backoff_base_us=100.0)
+
+
+# ---------------------------------------------------------------------------
+# ShardMap
+# ---------------------------------------------------------------------------
+
+
+def test_shardmap_strided_handle_ranges():
+    m = ShardMap(4)
+    # Shard k owns handles k+1, k+1+4, k+1+8, ... — disjoint by
+    # construction, so no cross-shard allocation protocol is needed.
+    for shard in range(4):
+        h = m.first_handle(shard)
+        assert h == shard + 1
+        for _ in range(5):
+            assert m.shard_of_handle(h) == shard
+            h += m.handle_stride
+    assert m.handle_stride == 4
+
+
+def test_shardmap_path_placement_deterministic():
+    m = ShardMap(3)
+    paths = [f"/pfs/f{i}" for i in range(50)]
+    first = [m.shard_of(p) for p in paths]
+    assert first == [m.shard_of(p) for p in paths]
+    assert set(first) == {0, 1, 2}  # crc32 actually spreads the namespace
+    single = ShardMap(1)
+    assert all(single.shard_of(p) == 0 for p in paths)
+
+
+# ---------------------------------------------------------------------------
+# Sharded namespace through the real client
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_opens_give_unique_correctly_placed_handles():
+    cluster = PVFSCluster(n_clients=2, n_iods=2, n_mgr_shards=3)
+    c = cluster.clients[0]
+    handles = {}
+
+    def proc():
+        for i in range(12):
+            f = yield from c.open(f"/pfs/s{i}")
+            handles[f"/pfs/s{i}"] = f.handle
+
+    cluster.run([proc()])
+    assert len(set(handles.values())) == 12
+    smap = cluster.metadata.shard_map
+    for path, handle in handles.items():
+        assert smap.shard_of_handle(handle) == smap.shard_of(path)
+        meta = cluster.manager.lookup_handle(handle)
+        assert meta is not None and meta.path == path
+
+
+def test_single_manager_shape_is_the_old_one():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    assert cluster.manager_node.name == "mgr"
+    assert cluster.metadata.n_shards == 1
+    assert cluster.manager is cluster.metadata
+
+
+def test_wrong_shard_redirect_reroutes_the_client():
+    cluster = PVFSCluster(n_clients=1, n_iods=2, n_mgr_shards=1, mgr_replicas=2)
+    group = cluster.metadata.groups[0]
+    # Simulate a completed failover the client has not heard about: its
+    # cached route still points at member 0, which must redirect.
+    group.primary_idx = 1
+    group.epoch = 1
+    c = cluster.clients[0]
+
+    def proc():
+        f = yield from c.open("/pfs/redirected")
+        return f.handle
+
+    cluster.run([proc()])
+    delta = cluster.stat_delta()
+    assert delta["pvfs.mgr.redirects"][0] >= 1
+    assert delta["pvfs.client.mgr_redirects"][0] >= 1
+    router = c._mgr_router
+    assert router.primary[0] == 1  # route cache learned the promotion
+    assert router.epoch[0] == 1
+    assert cluster.manager.lookup("/pfs/redirected") is not None
+
+
+# ---------------------------------------------------------------------------
+# Replication and failover
+# ---------------------------------------------------------------------------
+
+
+def _churn(c, n, prefix="/pfs/m"):
+    piece = 4 * KB
+    base = c.node.space.malloc(piece)
+    c.node.space.fill(base, piece, 7)
+    for i in range(n):
+        f = yield from c.open(f"{prefix}{i}")
+        yield from c.write_list(
+            f, [Segment(base, piece)], [Segment(0, piece)], use_ads=False
+        )
+        if i % 2:
+            yield from c.unlink(f"{prefix}{i}")
+
+
+def test_replicas_converge_after_churn():
+    cluster = PVFSCluster(n_clients=2, n_iods=2, n_mgr_shards=2, mgr_replicas=3)
+    cluster.run([_churn(c, 6, prefix=f"/pfs/r{i}.") for i, c in enumerate(cluster.clients)])
+    checker = InvariantChecker(cluster)
+    assert checker.check_replicas() == []
+    for group in cluster.metadata.groups:
+        snaps = [m.snapshot() for m in group.members]
+        for snap in snaps[1:]:
+            assert sorted(snap["files"]) == sorted(snaps[0]["files"])
+            assert snap["next_handle"] == snaps[0]["next_handle"]
+    assert cluster.stat_delta()["pvfs.mgr.replicated"][0] > 0
+
+
+def test_primary_crash_fails_over_and_restarted_member_resyncs():
+    plan = FaultPlan(seed=4)
+    plan.one_shot("mgr.crash", at=2, node="mgr0.0", duration_us=60_000.0)
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=2, n_mgr_shards=1, mgr_replicas=2,
+        fault_plan=plan, retry=FAST_RETRY,
+    )
+    c = cluster.clients[0]
+    cluster.run([_churn(c, 8)])
+    delta = cluster.stat_delta()
+    assert delta["pvfs.mgr.crashes"][0] == 1
+    assert delta["pvfs.mgr.restarts"][0] == 1
+    assert delta["pvfs.mgr.failovers"][0] == 1
+    group = cluster.metadata.groups[0]
+    assert group.primary_idx == 1 and group.epoch == 1
+    # The restarted ex-primary rejoined via snapshot resync and converged.
+    assert delta["pvfs.mgr.resyncs"][0] >= 1
+    assert InvariantChecker(cluster).check_replicas() == []
+    # Everything the client believes exists is served by the new primary.
+    assert cluster.manager.lookup("/pfs/m0") is not None
+    assert cluster.manager.lookup("/pfs/m1") is None  # unlinked
+
+
+def test_dead_single_manager_fails_typed_not_hang():
+    plan = FaultPlan(seed=2)
+    plan.one_shot("mgr.crash", node="mgr")  # no duration: dead for good
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=2, fault_plan=plan, retry=FAST_RETRY
+    )
+    c = cluster.clients[0]
+
+    def proc():
+        yield from c.open("/pfs/doomed")
+
+    with pytest.raises(RequestTimeout):
+        cluster.run([proc()])
+    # Bounded: the whole retry budget is a handful of simulated seconds.
+    assert cluster.sim.now < 10e6
+    assert cluster.stat_delta()["pvfs.mgr.dropped_while_crashed"][0] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Unlink protocol: lost replies and stale handles
+# ---------------------------------------------------------------------------
+
+
+def test_unlink_retry_after_lost_reply_still_removes_stripes():
+    plan = FaultPlan(seed=3)
+    plan.one_shot("mgr.send", node="mgr")  # eat the first unlink reply
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=2, fault_plan=plan, retry=FAST_RETRY
+    )
+    c = cluster.clients[0]
+    piece = 4 * KB
+    outcome = []
+
+    def proc():
+        base = c.node.space.malloc(piece)
+        c.node.space.fill(base, piece, 9)
+        f = yield from c.open("/pfs/lost")
+        yield from c.write_list(
+            f, [Segment(base, piece)], [Segment(0, piece)], use_ads=False
+        )
+        outcome.append((yield from c.unlink("/pfs/lost")))
+        handle = f.handle
+        return handle
+
+    cluster.run([proc()])
+    delta = cluster.stat_delta()
+    # The first reply was eaten; the retried unlink answered from the
+    # tombstone map with the same handle, so the stripes still died.
+    assert delta["pvfs.mgr.lost_replies"][0] == 1
+    assert outcome == [True]
+    assert cluster.manager.lookup("/pfs/lost") is None
+    for iod in cluster.iods:
+        assert not any(
+            name.endswith(".stripe") for name in iod.fs.files()
+        ), "stripe files must be gone after the retried unlink"
+
+
+def test_write_through_stale_handle_is_fenced_not_resurrected():
+    # Satellite regression: unlink racing in-flight I/O.  Client 0 holds
+    # an open handle while client 1 unlinks the file; client 0's next
+    # write must fail typed (StaleHandleError) and must NOT re-create
+    # stripe extents on any I/O node.
+    cluster = PVFSCluster(n_clients=2, n_iods=2)
+    a, b = cluster.clients
+    piece = 4 * KB
+    errors = []
+
+    def proc():
+        base = a.node.space.malloc(piece)
+        a.node.space.fill(base, piece, 5)
+        f = yield from a.open("/pfs/raced")
+        yield from a.write_list(
+            f, [Segment(base, piece)], [Segment(0, piece)], use_ads=False
+        )
+        yield from b.unlink("/pfs/raced")
+        try:
+            yield from a.write_list(
+                f, [Segment(base, piece)], [Segment(0, piece)], use_ads=False
+            )
+        except StaleHandleError as e:
+            errors.append(e)
+        # fsync through the dead handle is a clean no-op, not an error.
+        yield from a.fsync(f)
+        return f.handle
+
+    cluster.run([proc()])
+    assert len(errors) == 1
+    assert errors[0].handle != 0
+    assert cluster.stat_delta()["pvfs.iod.stale_handle_rejects"][0] >= 1
+    for iod in cluster.iods:
+        assert not any(name.endswith(".stripe") for name in iod.fs.files())
+    assert cluster.manager.lookup("/pfs/raced") is None
+
+
+# ---------------------------------------------------------------------------
+# Per-shard QoS admission
+# ---------------------------------------------------------------------------
+
+
+def test_mgr_qos_busy_reject_backs_off_and_completes():
+    mgr_qos = {
+        "enabled": True,
+        "policy": "fifo",
+        "credits_per_client": 1,
+        "max_inflight": 1,
+        "retry_after_us": 100.0,
+    }
+    # Replication lengthens each handler by a log-shipping round trip,
+    # so concurrent opens on one connection actually overlap.
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=2, mgr_replicas=2, mgr_qos=mgr_qos,
+        retry=FAST_RETRY,
+    )
+    c = cluster.clients[0]
+    done = []
+
+    def opener(i):
+        f = yield from c.open(f"/pfs/q{i}")
+        done.append(f.handle)
+
+    # Concurrent opens beyond the single credit must be refused with
+    # ServerBusy, backed off, retried, and all eventually admitted.
+    cluster.run([opener(i) for i in range(4)])
+    assert len(done) == 4 and len(set(done)) == 4
+    delta = cluster.stat_delta()
+    assert delta["pvfs.mgr.qos.admitted"][0] >= 4
+    assert delta["pvfs.mgr.qos.busy_rejects"][0] >= 1
+    assert delta["pvfs.client.busy_retries"][0] >= 1

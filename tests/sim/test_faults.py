@@ -91,11 +91,13 @@ def test_uniform_excludes_crash_unless_asked():
     plan = FaultPlan.uniform(0.1, seed=1)
     hooks = {r.hook for r in plan.rules}
     assert "iod.crash" not in hooks
-    assert hooks == set(FAULT_HOOKS) - {"iod.crash"}
+    # mgr.send/mgr.crash never join the default set: plans built before
+    # the metadata plane existed must keep byte-identical rule lists.
+    assert hooks == set(FAULT_HOOKS) - {"iod.crash", "mgr.crash", "mgr.send"}
     with_crash = FaultPlan.uniform(0.1, seed=1, crash=True)
-    assert {r.hook for r in with_crash.rules} == set(FAULT_HOOKS)
-    explicit = FaultPlan.uniform(0.1, hooks=["iod.crash"])
-    assert [r.hook for r in explicit.rules] == ["iod.crash"]
+    assert {r.hook for r in with_crash.rules} == set(FAULT_HOOKS) - {"mgr.send"}
+    explicit = FaultPlan.uniform(0.1, hooks=["iod.crash", "mgr.send"])
+    assert [r.hook for r in explicit.rules] == ["iod.crash", "mgr.send"]
 
 
 def test_injections_land_in_wired_stats():
