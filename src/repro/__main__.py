@@ -163,6 +163,7 @@ def _profile_report(args) -> str:
         args.workload, scheme=args.scheme, op=args.op, size=args.size,
         fault_rate=args.fault_rate, fault_seed=args.fault_seed,
         mgr_shards=args.mgr_shards, mgr_replicas=args.mgr_replicas,
+        wb_cache=args.wb_cache,
     )
     if args.json:
         return json.dumps(export, indent=2, sort_keys=True)
@@ -229,6 +230,8 @@ def _bench_report(args) -> int:
         )
     if args.meta:
         result["metadata"] = wallclock.bench_metadata()
+    if args.wb:
+        result["wb"] = wallclock.bench_wb()
     if args.json:
         path = wallclock.write_bench(result, out=args.out)
         print(f"wrote {path}")
@@ -271,6 +274,16 @@ def _bench_report(args) -> int:
                 f" open {tail}"
                 f" ({meta['open_p99_speedup']:.2f}x tail win)"
             )
+        wb = result.get("wb")
+        if wb is not None:
+            note += (
+                f"\nwrite-behind ({wb['clients']} clients x"
+                f" {wb['pieces_per_client']} x {wb['piece_bytes']} B):"
+                f" sim {wb['uncached_sim_us']:.0f} ->"
+                f" {wb['cached_sim_us']:.0f} us"
+                f" ({wb['sim_speedup']:.2f}x), requests"
+                f" {wb['uncached_requests']} -> {wb['cached_requests']}"
+            )
         t.note(note)
         print(t)
     if args.contend is not None:
@@ -296,6 +309,18 @@ def _bench_report(args) -> int:
             f"metadata scaling check: OK (open p99"
             f" {meta['open_p99_speedup']:.2f}x better at"
             f" K={meta['runs'][-1]['shards']} than K=1)"
+        )
+    if args.wb:
+        failures = wallclock.check_wb(result["wb"])
+        if failures:
+            for f in failures:
+                print(f"WRITE-BEHIND: {f}", file=sys.stderr)
+            return 1
+        wb = result["wb"]
+        print(
+            f"write-behind check: OK (sim speedup {wb['sim_speedup']:.2f}x"
+            f" >= 2.0 on small strided writes;"
+            f" {wb['uncached_requests']} -> {wb['cached_requests']} requests)"
         )
     if args.check is not None:
         with open(args.check) as fh:
@@ -349,6 +374,7 @@ def _explore_report(args) -> int:
         schemes=args.schemes,
         plant=args.plant_bug,
         meta=args.meta,
+        wb=args.wb,
     )
     return 1 if failures else 0
 
@@ -410,6 +436,12 @@ def main(argv=None) -> int:
         default=1,
         metavar="R",
         help="replicas per metadata shard (default 1: no replication)",
+    )
+    prof.add_argument(
+        "--wb-cache",
+        action="store_true",
+        help="enable the client write-behind cache on every client "
+        "(buffered bytes are flushed inside the timed window)",
     )
     prof.add_argument(
         "--json", action="store_true", help="dump the raw metrics export as JSON"
@@ -480,6 +512,13 @@ def main(argv=None) -> int:
         "shrinking as shards are added",
     )
     bench.add_argument(
+        "--wb",
+        action="store_true",
+        help="also run the client write-behind benchmark (small strided "
+        "writes, cache on vs off) and gate on a >= 2x simulated-time "
+        "speedup",
+    )
+    bench.add_argument(
         "--check",
         default=None,
         metavar="BASELINE",
@@ -533,6 +572,13 @@ def main(argv=None) -> int:
         help="make every seed a metadata-kill case: sharded replicated "
         "metadata plane, namespace churn, one shard primary crashed "
         "and restarted per seed",
+    )
+    explore.add_argument(
+        "--wb",
+        action="store_true",
+        help="make every seed a write-behind case: a mix of cached and "
+        "uncached clients racing on a shared file, checked by the "
+        "cache-coherence oracles",
     )
     explore.add_argument(
         "--plant-bug",

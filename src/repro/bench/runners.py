@@ -551,6 +551,7 @@ def profile_workload(
     fault_seed: int = 0,
     mgr_shards: int = 1,
     mgr_replicas: int = 1,
+    wb_cache: bool = False,
 ) -> Dict[str, object]:
     """Run one workload and return the cluster metrics export.
 
@@ -574,6 +575,11 @@ def profile_workload(
     that per-hook-site probability (seeded by ``fault_seed``) on the
     timed pass only; the export then carries a ``faults`` section and
     nonzero retry counters.
+
+    ``wb_cache`` enables the client write-behind cache on every client.
+    The timed window then *includes* a drain pass that flushes every
+    buffered byte and releases every lease — the measurement never
+    credits the cache with work it merely deferred.
     """
     if workload not in PROFILE_WORKLOADS:
         raise ValueError(
@@ -596,7 +602,18 @@ def profile_workload(
         scheme=scheme,
         n_mgr_shards=mgr_shards,
         mgr_replicas=mgr_replicas,
+        wb_cache=wb_cache or None,
     )
+
+    def _wb_drain(c):
+        # Flush + lease release for anything the workload left buffered
+        # or open; runs inside the timed window for an honest figure.
+        for path in list(c._leases):
+            st = c.wb.peek(path)
+            f = st.file if st is not None else (
+                yield from c.open(path, create=False)
+            )
+            yield from c.close(f)
     if workload == "metadata":
         if fault_rate:
             cluster.set_fault_plan(FaultPlan.uniform(fault_rate, seed=fault_seed))
@@ -619,6 +636,10 @@ def profile_workload(
         since = cluster.stats.snapshot()
         start = cluster.sim.now
         mpi_run(cluster, w.program(op, Hints(method=Method.LIST_IO_ADS)))
+    if wb_cache:
+        cluster.run(
+            [_wb_drain(c) for c in cluster.clients if c.wb is not None]
+        )
     elapsed = cluster.sim.now - start
     export = cluster.metrics_export(since=since, include_trace=include_trace)
     export["elapsed_us"] = elapsed
@@ -628,6 +649,7 @@ def profile_workload(
         "scheme": scheme,
         "size": size,
         "bytes": total,
+        "wb_cache": wb_cache,
         "mb_per_s": _mb_s(total, elapsed),
     }
     return export

@@ -26,6 +26,9 @@ Benchmarks:
   Figure 3 subarray shipped through each transfer scheme.
 - :func:`bench_elevator` — simulated time of a multi-client interleaved
   write workload with the IOD elevator scheduler on versus FIFO.
+- :func:`bench_wb` — simulated time of a small-strided-write workload
+  with the client write-behind cache on versus off (``--wb``); gated at
+  a 2x speedup by :func:`check_wb`.
 """
 
 from __future__ import annotations
@@ -51,6 +54,8 @@ __all__ = [
     "check_contention",
     "bench_metadata",
     "check_metadata",
+    "bench_wb",
+    "check_wb",
     "run_bench",
     "write_bench",
     "check_regression",
@@ -470,6 +475,108 @@ def check_metadata(meta: Dict) -> List[str]:
     return failures
 
 
+def _wb_write_run(cached: bool, n_clients: int, npieces: int, piece: int):
+    """One small-strided-write run; returns the finished cluster.
+
+    Each client streams ``npieces`` small pieces into its own file, one
+    ``write_list`` per piece: scattered in client memory (2x stride) but
+    adjacent in the file — the classic noncontiguous pattern the paper's
+    workloads emit.  A cached client absorbs every piece locally (one
+    memcpy each), the dirty-extent tree merges the adjacent pieces into
+    a single run, and one coalesced list-I/O flush ships it at close; an
+    uncached client pays a full request round trip *and* a separate
+    small disk write per piece.
+    """
+    from repro.pvfs import PVFSCluster
+
+    cluster = PVFSCluster(
+        n_clients=n_clients, n_iods=2, scheme="gather",
+        wb_cache=True if cached else None,
+        wb_clients=list(range(n_clients)) if cached else None,
+    )
+
+    def proc(c, rank):
+        base = c.node.space.malloc(npieces * piece * 2)
+        c.node.space.fill(base, npieces * piece * 2, (rank % 255) + 1)
+        f = yield from c.open(f"/pfs/wbbench/c{rank}")
+        for i in range(npieces):
+            yield from c.write_list(
+                f,
+                [Segment(base + i * 2 * piece, piece)],
+                [Segment(i * piece, piece)],
+                use_ads=False,
+            )
+        yield from c.close(f)
+
+    cluster.run([proc(c, i) for i, c in enumerate(cluster.clients)])
+    return cluster
+
+
+def bench_wb(
+    n_clients: int = 4, npieces: int = 48, piece: int = 2048
+) -> Dict[str, object]:
+    """Write-behind caching versus write-through on small strided writes.
+
+    The tentpole number is ``sim_speedup``: elapsed simulated time of
+    the uncached run over the cached one, on the workload the cache is
+    built for — many small noncontiguous writes to a private file,
+    closed at the end (so the cached figure *includes* the lease grant,
+    the coalesced flush and the lease release; nothing is deferred past
+    the measurement).  Deterministic — simulated time only.  The
+    acceptance gate (:func:`check_wb`) requires >= 2x.
+    """
+    cached = _wb_write_run(True, n_clients, npieces, piece)
+    uncached = _wb_write_run(False, n_clients, npieces, piece)
+    cached_counters = cached.stat_delta()
+    uncached_counters = uncached.stat_delta()
+
+    def count(counters, name: str, field: int = 0):
+        return counters.get(name, (0, 0.0))[field]
+
+    nbytes = n_clients * npieces * piece
+    return {
+        "clients": n_clients,
+        "pieces_per_client": npieces,
+        "piece_bytes": piece,
+        "bytes": nbytes,
+        "cached_sim_us": cached.sim.now,
+        "uncached_sim_us": uncached.sim.now,
+        "sim_speedup": (
+            uncached.sim.now / cached.sim.now
+            if cached.sim.now
+            else float("inf")
+        ),
+        "cached_requests": int(count(cached_counters, "pvfs.client.requests")),
+        "uncached_requests": int(
+            count(uncached_counters, "pvfs.client.requests")
+        ),
+        "absorbed_bytes": count(cached_counters, "pvfs.client.wb.absorbed", 1),
+        "flushes": int(count(cached_counters, "pvfs.client.wb.flushes")),
+    }
+
+
+def check_wb(wb: Dict) -> List[str]:
+    """The write-behind acceptance gate; list the failures."""
+    failures: List[str] = []
+    if wb["sim_speedup"] < 2.0:
+        failures.append(
+            f"write-behind sim speedup {wb['sim_speedup']:.2f}x fell below "
+            "the 2x floor on small strided writes"
+        )
+    if wb["absorbed_bytes"] != wb["bytes"]:
+        failures.append(
+            f"cached run absorbed {wb['absorbed_bytes']:.0f} of "
+            f"{wb['bytes']} bytes — small writes leaked to the wire"
+        )
+    if wb["cached_requests"] >= wb["uncached_requests"]:
+        failures.append(
+            f"cached run issued {wb['cached_requests']} wire requests, "
+            f"not fewer than the uncached run's {wb['uncached_requests']} — "
+            "coalescing is not happening"
+        )
+    return failures
+
+
 def run_bench(
     label: str = "local",
     n: int = 1024,
@@ -568,4 +675,24 @@ def check_regression(
                         f"{cur_run['open_p99_us']:.1f} us differs from "
                         f"baseline {base_run['open_p99_us']:.1f} us"
                     )
+
+    base_wb = baseline.get("wb")
+    if base_wb is not None:
+        cur_wb = current.get("wb")
+        if cur_wb is None:
+            failures.append(
+                "wb: baseline has the write-behind bench but the current "
+                "run was made without --wb"
+            )
+        else:
+            # Simulated time: any drift means the client caching or
+            # lease cost model changed and the baseline needs
+            # regenerating.
+            for key in ("cached_sim_us", "uncached_sim_us"):
+                if cur_wb[key] != base_wb[key]:
+                    failures.append(
+                        f"wb: {key} {cur_wb[key]:.1f} us differs from "
+                        f"baseline {base_wb[key]:.1f} us"
+                    )
+            failures.extend(check_wb(cur_wb))
     return failures

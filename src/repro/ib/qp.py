@@ -39,6 +39,12 @@ class QueuePair:
         # MPI transports are reliable; the fault layer targets the PVFS
         # I/O path, which owns timeout/retry recovery).
         self.fault_exempt = False
+        # Receiver-side hook invoked (synchronously, from the sender's
+        # coroutine) when a qp.recv fault eats a delivery destined for
+        # this endpoint.  Lets a protocol layer recover messages whose
+        # loss nothing times out on (fire-and-forget cleanup); None for
+        # everything else — recovery stays the requester's timeout.
+        self.on_drop = None
 
     # -- internals -----------------------------------------------------------
 
@@ -183,6 +189,8 @@ class QueuePair:
         if self._recv_dropped():
             # Receive completion lost: the wire time was spent but the
             # message never lands.  Recovery is the requester's timeout.
+            if self.peer.on_drop is not None:
+                self.peer.on_drop(payload)
             return nbytes
         yield self.peer.recv_queue.put(payload)
         return nbytes

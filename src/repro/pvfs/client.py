@@ -30,7 +30,9 @@ from repro.ib.qp import QueuePair
 from repro.mem.segments import Segment
 from repro.pvfs.errors import (
     DegradedError,
+    LeaseLostError,
     OverloadedError,
+    PVFSError,
     RequestTimeout,
     RetryPolicy,
     ServerBusyError,
@@ -44,6 +46,11 @@ from repro.pvfs.protocol import (
     Done,
     FsyncRequest,
     IORequest,
+    LeaseGranted,
+    LeaseLost,
+    LeaseRelease,
+    LeaseRenew,
+    LeaseRevoke,
     MetaError,
     OpenReply,
     OpenRequest,
@@ -58,6 +65,7 @@ from repro.pvfs.protocol import (
     expect_reply,
 )
 from repro.pvfs.striping import StripeLayout, StripedPiece
+from repro.pvfs.wbcache import WBConfig, WriteBehindCache
 from repro.sim.engine import Simulator
 from repro.sim.faults import FaultError, InjectedFault
 from repro.sim.metrics import MetricsRegistry, RequestContext
@@ -107,6 +115,9 @@ class _Connection:
         self.qp = qp
         self._inboxes: Dict[int, Store] = {}
         self.eager_free: List[int] = list(eager_buffers)
+        # Unsolicited server→client pushes (no request_id — e.g. a
+        # LeaseRevoke) land here instead of a reply inbox.
+        self.on_push = None
         sim.process(self._dispatch(), name=f"dispatch:{qp.node.name}")
 
     def inbox(self, request_id: int) -> Store:
@@ -125,6 +136,9 @@ class _Connection:
                 return
             rid = getattr(msg, "request_id", None)
             if rid is None:
+                if self.on_push is not None:
+                    self.on_push(msg)
+                    continue
                 raise TypeError(f"client got unroutable message {msg!r}")
             box = self._inboxes.get(rid)
             if box is None:
@@ -193,6 +207,9 @@ class PVFSFile:
     def read(self, *args, **kwargs):
         return self.client.read(self, *args, **kwargs)
 
+    def close(self):
+        return self.client.close(self)
+
 
 class PVFSClient:
     """One compute node's PVFS client state."""
@@ -209,6 +226,7 @@ class PVFSClient:
         eager_buffers: Optional[Sequence[Sequence[int]]] = None,
         metrics: Optional[MetricsRegistry] = None,
         retry: Optional[RetryPolicy] = None,
+        wb_cache: Optional[WBConfig | dict | bool] = None,
     ):
         from repro.transfer import get_scheme
 
@@ -243,6 +261,22 @@ class PVFSClient:
         # fail fast with DegradedError instead of burning timeout cycles.
         self.failed_iods: set = set()
         self.on_degraded = None  # set by PVFSCluster to fan the mark out
+        # Write-behind cache (off unless configured): absorbs small
+        # writes under a per-path lease; see repro.pvfs.wbcache.
+        if wb_cache is None or wb_cache is False:
+            self.wb: Optional[WriteBehindCache] = None
+        else:
+            if wb_cache is True:
+                cfg = WBConfig()
+            elif isinstance(wb_cache, dict):
+                cfg = WBConfig.from_dict(wb_cache)
+            else:
+                cfg = wb_cache
+            self.wb = WriteBehindCache(sim, node, cfg)
+        self._leases: Dict[str, int] = {}  # path -> lease epoch held
+        for row in self._mgr_router.conns:
+            for conn in row:
+                conn.on_push = self._on_mgr_push
 
     def new_context(self, op: str) -> RequestContext:
         """A fresh request-lifecycle context for one list operation."""
@@ -474,14 +508,24 @@ class PVFSClient:
     # -- namespace -----------------------------------------------------------
 
     def open(self, path: str, create: bool = True) -> Generator:
-        """Open (or create) a file; returns a :class:`PVFSFile`."""
+        """Open (or create) a file; returns a :class:`PVFSFile`.
+
+        A write-behind client also asks for the path's lease; the grant
+        (when no other client holds it) is what licenses buffering.
+        """
         t0 = self.sim.now
+        want_lease = self.wb is not None
         reply = yield from self._mgr_rpc(
             path,
-            lambda rid: OpenRequest(path, create=create, request_id=rid),
+            lambda rid: OpenRequest(
+                path, create=create, request_id=rid, want_lease=want_lease
+            ),
             OpenReply, "open",
         )
         self.metrics.record("mgr.open", self.sim.now - t0)
+        if reply.lease:
+            self._leases[path] = reply.lease_epoch
+            self.node.stats.add("pvfs.client.wb.leases")
         layout = StripeLayout(reply.stripe_size, reply.n_iods, reply.base_iod)
         return PVFSFile(self, path, reply.handle, layout, size=reply.size)
 
@@ -492,6 +536,12 @@ class PVFSClient:
         the namespace and the I/O daemons own the stripe files; both are
         told.
         """
+        if self.wb is not None:
+            # Our own buffered bytes for the path die with it; the
+            # shard's unlink-break revoke then finds nothing to flush.
+            self.wb.drop_path(path, "unlink")
+            self.wb.forget(path)
+        self._leases.pop(path, None)
         reply = yield from self._mgr_rpc(
             path,
             lambda rid: UnlinkRequest(path, request_id=rid),
@@ -537,8 +587,11 @@ class PVFSClient:
         """pvfs_fsync: flush the file's dirty data on every I/O node.
 
         Issued to all I/O daemons concurrently; returns total bytes
-        flushed across the cluster.
+        flushed across the cluster.  A write-behind client first drains
+        its own dirty extents so the daemons have the bytes to sync.
         """
+        if self.wb is not None:
+            yield from self._wb_flush(f)
 
         def one(conn):
             done = yield from self._iod_rpc(
@@ -549,6 +602,229 @@ class PVFSClient:
         workers = [self.sim.process(one(conn)) for conn in self.iod_conns]
         flushed = yield self.sim.all_of(workers)
         return sum(flushed)
+
+    # -- write-behind cache ------------------------------------------------------
+
+    def close(self, f: PVFSFile) -> Generator:
+        """pvfs_close: flush write-behind data, then release the lease.
+
+        This is the "close" half of close-to-open consistency: after it
+        returns, every byte this client acked is durable at the I/O
+        daemons, and the next opener sees them.  Free for non-caching
+        clients (no simulated events at all).
+        """
+        if self.wb is None:
+            self._leases.pop(f.path, None)
+            return 0
+        try:
+            flushed = yield from self._wb_flush(f)
+        except StaleHandleError:
+            # The file was unlinked under us; its bytes are gone either
+            # way (the drained extents were counted as dropped_stale).
+            flushed = 0
+        epoch = self._leases.pop(f.path, None)
+        if epoch is not None:
+            try:
+                yield from self._mgr_rpc(
+                    f.path,
+                    lambda rid: LeaseRelease(f.path, epoch, request_id=rid),
+                    LeaseLost, "lease release",
+                )
+            except PVFSError:
+                # The shard is unreachable or already force-expired the
+                # lease; either way our standing is "no lease".
+                pass
+        return flushed
+
+    def renew_lease(self, f: PVFSFile) -> Generator:
+        """Confirm our lease on the file still stands; returns its epoch.
+
+        A refusal means the shard no longer knows us (revoked behind our
+        back, force-expired, or purged by a member restart — the epoch
+        check is what makes that safe).  We then flush what we have,
+        drop the lease, and raise :class:`LeaseLostError`.
+        """
+        epoch = self._leases.get(f.path)
+        if epoch is None:
+            raise LeaseLostError(f.path, 0)
+        reply = yield from self._mgr_rpc(
+            f.path,
+            lambda rid: LeaseRenew(f.path, epoch, request_id=rid),
+            (LeaseGranted, LeaseLost), "lease renew",
+        )
+        if isinstance(reply, LeaseGranted):
+            return reply.lease_epoch
+        self._leases.pop(f.path, None)
+        try:
+            yield from self._wb_flush(f)
+        except StaleHandleError:
+            pass
+        raise LeaseLostError(f.path, epoch)
+
+    def _on_mgr_push(self, msg) -> None:
+        """Unsolicited shard→client message (runs inside dispatch)."""
+        if isinstance(msg, LeaseRevoke):
+            self.sim.process(
+                self._handle_lease_revoke(msg),
+                name=f"{self.node.name}.revoke",
+            )
+
+    def _handle_lease_revoke(self, msg: LeaseRevoke) -> Generator:
+        """Flush-before-release: answer a revocation.
+
+        The lease entry is dropped *first* so concurrent writes go
+        write-through from this instant; the flush then drains whatever
+        was buffered (riding the normal retry machinery), and only then
+        is the release sent — the conflicting opener waits on exactly
+        that ordering.
+        """
+        self.node.stats.add("pvfs.client.wb.revokes")
+        if self._leases.get(msg.path) != msg.lease_epoch:
+            # Stale revoke: we already released (or never had this
+            # epoch).  The shard's force-expiry covers the rest.
+            return
+        self._leases.pop(msg.path, None)
+        st = self.wb.peek(msg.path) if self.wb is not None else None
+        if st is not None:
+            try:
+                yield from self._wb_flush(st.file)
+            except StaleHandleError:
+                pass  # unlinked under us; drained bytes counted dropped
+            except DegradedError:
+                pass  # the stripe server is gone; nothing left to save
+        try:
+            yield from self._mgr_rpc(
+                msg.path,
+                lambda rid: LeaseRelease(msg.path, msg.lease_epoch, request_id=rid),
+                LeaseLost, "lease release",
+            )
+        except PVFSError:
+            pass  # shard crashed or force-expired; either way it's over
+
+    def _wb_flush(self, f: PVFSFile) -> Generator:
+        """Drain the file's dirty extents through one vectored write.
+
+        Serialized per path by the state's lock, so a revocation racing
+        an application-triggered flush (or an in-flight flush retry)
+        waits it out instead of tearing it.  The coalesced runs go
+        through the ordinary ``_list_op`` machinery — same schemes, same
+        retries, same elevator on the far side.
+        """
+        st = self.wb.peek(f.path) if self.wb is not None else None
+        if st is None:
+            return 0
+        if not st.tree.dirty_bytes and not st.lock.locked:
+            return 0
+        yield st.lock.request()
+        try:
+            runs = st.tree.drain()
+            if not runs:
+                return 0
+            total = sum(len(data) for _, data in runs)
+            self.node.stats.add("pvfs.client.wb.flushes")
+            self.node.stats.add("pvfs.client.wb.flush_bytes", total)
+            target = st.file if st.file is not None else f
+            buf = self.node.space.malloc(total)
+            try:
+                mem_segs: List[Segment] = []
+                file_segs: List[Segment] = []
+                off = 0
+                for file_off, data in runs:
+                    self.node.space.write(buf + off, data)
+                    mem_segs.append(Segment(buf + off, len(data)))
+                    file_segs.append(Segment(file_off, len(data)))
+                    off += len(data)
+                try:
+                    yield from self._list_op(
+                        target, "write", mem_segs, file_segs, False, False, False
+                    )
+                except StaleHandleError:
+                    self.node.stats.add("pvfs.client.wb.dropped_stale", total)
+                    raise
+            finally:
+                self.node.space.free(buf)
+            return total
+        finally:
+            st.lock.release()
+
+    def _wb_absorb(
+        self,
+        f: PVFSFile,
+        mem_segments: Sequence[Segment],
+        file_segments: Sequence[Segment],
+        total: int,
+    ) -> Generator:
+        """Buffer one small write locally; ack without touching the wire."""
+        # One memcpy out of the caller's pieces — the only real cost of
+        # an absorbed write, and what the bench measures against a wire
+        # round trip.
+        yield self.sim.timeout(self.testbed.memcpy_us(total))
+        payload = self.node.space.gather(mem_segments)
+        self.wb.absorb(f, file_segments, payload)
+        end = max(s.end for s in file_segments)
+        if end > f.size:
+            f.size = end
+        st = self.wb.peek(f.path)
+        if st is not None and st.tree.dirty_bytes >= self.wb.config.flush_threshold_bytes:
+            yield from self._wb_flush(f)
+        return total
+
+    def _wb_read_overlay(
+        self,
+        f: PVFSFile,
+        mem_segments: Sequence[Segment],
+        file_segments: Sequence[Segment],
+        use_ads: bool,
+        sync: bool,
+        nocache: bool,
+    ) -> Generator:
+        """Read-through-merged: serve reads across a dirty cache.
+
+        The overlay (this client's own buffered bytes for the requested
+        ranges) is snapshotted *before* the wire read goes out, so a
+        concurrent revocation draining the tree mid-read cannot make the
+        result miss bytes we had already acked.  A fully-covered read is
+        a pure cache hit: one memcpy, zero requests.
+        """
+        st = self.wb.peek(f.path)
+        if st is not None and st.lock.locked:
+            # A flush is mid-drain; wait it out so the snapshot below
+            # sees either all-dirty or all-flushed, never a torn half.
+            yield st.lock.request()
+            st.lock.release()
+        total = sum(s.length for s in file_segments)
+        if st is not None and st.tree.dirty_bytes and all(
+            st.tree.covers(s.addr, s.length) for s in file_segments
+        ):
+            self.node.stats.add("pvfs.client.wb.read_hits", total)
+            payload = bytearray()
+            for s in file_segments:
+                for _, data in st.tree.slices(s.addr, s.length):
+                    payload.extend(data)
+            yield self.sim.timeout(self.testbed.memcpy_us(total))
+            self.node.space.scatter(mem_segments, bytes(payload))
+            return total
+        # (linear offset into the concatenated payload, dirty bytes):
+        # snapshotted now, applied after the wire read lands.
+        overlay: List[Tuple[int, bytes]] = []
+        if st is not None and st.tree.dirty_bytes:
+            lin = 0
+            for s in file_segments:
+                for fo, data in st.tree.slices(s.addr, s.length):
+                    overlay.append((lin + (fo - s.addr), data))
+                lin += s.length
+        n = yield from self._list_op(
+            f, "read", mem_segments, file_segments, use_ads, sync, nocache
+        )
+        if overlay:
+            patched = sum(len(data) for _, data in overlay)
+            self.node.stats.add("pvfs.client.wb.read_overlays", patched)
+            flat = bytearray(self.node.space.gather(mem_segments))
+            for lin_off, data in overlay:
+                flat[lin_off : lin_off + len(data)] = data
+            yield self.sim.timeout(self.testbed.memcpy_us(patched))
+            self.node.space.scatter(mem_segments, bytes(flat))
+        return n
 
     # -- list I/O ----------------------------------------------------------------
 
@@ -561,7 +837,28 @@ class PVFSClient:
         sync: bool = False,
         nocache: bool = False,
     ) -> Generator:
-        """pvfs_write_list: noncontiguous memory -> noncontiguous file."""
+        """pvfs_write_list: noncontiguous memory -> noncontiguous file.
+
+        Under a held write-behind lease, small writes (``sync``/
+        ``nocache`` excluded) are absorbed into the dirty-extent tree
+        and acked locally; anything else drains the tree first (older
+        buffered bytes must never overtake a write-through) and goes to
+        the wire as before.
+        """
+        if self.wb is not None:
+            total = sum(s.length for s in file_segments)
+            if (
+                f.path in self._leases
+                and not sync
+                and not nocache
+                and total <= self.wb.config.absorb_max_bytes
+            ):
+                return (
+                    yield from self._wb_absorb(
+                        f, mem_segments, file_segments, total
+                    )
+                )
+            yield from self._wb_flush(f)
         return (
             yield from self._list_op(
                 f, "write", mem_segments, file_segments, use_ads, sync, nocache
@@ -577,7 +874,17 @@ class PVFSClient:
         sync: bool = False,
         nocache: bool = False,
     ) -> Generator:
-        """pvfs_read_list: noncontiguous file -> noncontiguous memory."""
+        """pvfs_read_list: noncontiguous file -> noncontiguous memory.
+
+        A write-behind client reads through its dirty cache
+        (read-through-merged); everyone else goes straight to the wire.
+        """
+        if self.wb is not None and self.wb.peek(f.path) is not None:
+            return (
+                yield from self._wb_read_overlay(
+                    f, mem_segments, file_segments, use_ads, sync, nocache
+                )
+            )
         return (
             yield from self._list_op(
                 f, "read", mem_segments, file_segments, use_ads, sync, nocache
@@ -589,8 +896,8 @@ class PVFSClient:
     def write(self, f: PVFSFile, mem_addr: int, file_offset: int, length: int, **kw) -> Generator:
         req = ListIORequest.contiguous(mem_addr, file_offset, length)
         return (
-            yield from self._list_op(
-                f, "write", req.mem_segments, req.file_segments,
+            yield from self.write_list(
+                f, req.mem_segments, req.file_segments,
                 kw.get("use_ads", False), kw.get("sync", False), kw.get("nocache", False),
             )
         )
@@ -598,8 +905,8 @@ class PVFSClient:
     def read(self, f: PVFSFile, mem_addr: int, file_offset: int, length: int, **kw) -> Generator:
         req = ListIORequest.contiguous(mem_addr, file_offset, length)
         return (
-            yield from self._list_op(
-                f, "read", req.mem_segments, req.file_segments,
+            yield from self.read_list(
+                f, req.mem_segments, req.file_segments,
                 kw.get("use_ads", False), kw.get("sync", False), kw.get("nocache", False),
             )
         )

@@ -59,6 +59,8 @@ class PVFSCluster:
         n_mgr_shards: int = 1,
         mgr_replicas: int = 1,
         mgr_qos: Optional[Union[QoSConfig, dict]] = None,
+        wb_cache: Optional[Union[dict, bool]] = None,
+        wb_clients: Optional[Sequence[int]] = None,
     ):
         if n_clients < 1 or n_iods < 1:
             raise ValueError("need at least one client and one I/O node")
@@ -174,6 +176,12 @@ class PVFSCluster:
                 client_scheme = scheme_factory()
             else:
                 client_scheme = scheme
+            # Write-behind: off by default (byte-identical to the
+            # pre-cache cluster); ``wb_clients`` restricts the cache to
+            # a subset so cached and uncached clients can race.
+            client_wb = wb_cache
+            if wb_cache and wb_clients is not None and ci not in set(wb_clients):
+                client_wb = None
             self.clients.append(
                 PVFSClient(
                     self.sim,
@@ -184,6 +192,7 @@ class PVFSCluster:
                     eager_buffers=eager_buffers,
                     metrics=self.metrics,
                     retry=retry,
+                    wb_cache=client_wb,
                 )
             )
         for client in self.clients:

@@ -28,6 +28,7 @@ __all__ = [
     "ServerBusyError",
     "OverloadedError",
     "StaleHandleError",
+    "LeaseLostError",
     "RetryPolicy",
 ]
 
@@ -121,6 +122,21 @@ class StaleHandleError(PVFSError):
         super().__init__(f"{what}: handle {handle} is stale (file unlinked)")
         self.what = what
         self.handle = handle
+
+
+class LeaseLostError(PVFSError):
+    """A write-behind lease renewal was refused: the shard no longer
+    recognizes the holder's epoch (revoked, force-expired, or purged by
+    a crash — leases are soft state and do not survive member
+    restarts).  By the time this is raised the client has already
+    flushed what it had buffered and dropped the lease; the caller's
+    recovery is to re-open if it wants to keep caching.
+    """
+
+    def __init__(self, path: str, epoch: int):
+        super().__init__(f"write-behind lease on {path} lost (epoch {epoch})")
+        self.path = path
+        self.epoch = epoch
 
 
 @dataclass(frozen=True)

@@ -212,6 +212,7 @@ class IODaemon:
         inboxes: Dict[int, Store] = {}
         handlers: Dict[int, Process] = {}  # rid -> in-flight handler
         completed: Dict[int, Done] = {}  # rid -> Done of a finished write
+        qp.on_drop = lambda msg: self._reclaim_on_drop(msg, inboxes)
         conn_id = len(self._all_handlers)  # this connection's QoS identity
         self._all_handlers.append(handlers)
         self._dedup_tables.append(completed)
@@ -402,6 +403,24 @@ class IODaemon:
                     self.node.stats.add("pvfs.iod.reply_failures")
                     return False
                 yield self.sim.timeout(SEND_RETRY_BACKOFF_US * failures)
+
+    def _reclaim_on_drop(self, msg, inboxes: Dict[int, Store]) -> None:
+        """Recover a ``ReleaseStaging`` eaten by a ``qp.recv`` fault.
+
+        The release is fire-and-forget: the client returns success the
+        moment it is sent, so nothing ever times out and re-issues the
+        exchange — a drop in flight would pin the read handler (and its
+        staging buffer) forever.  Model the responder-side reclaim by
+        delivering the release anyway, as the HCA's completion-error
+        feedback would let a real server do.  Every message with a
+        requester timeout (requests, ``TransferDone``) stays droppable;
+        their recovery path is the client's re-issue.
+        """
+        if isinstance(msg, ReleaseStaging):
+            inbox = inboxes.get(msg.request_id)
+            if inbox is not None:
+                self.node.stats.add("pvfs.iod.staging_reclaims")
+                inbox.put(msg)
 
     def _expect_followup(self, inbox: Store, cls, req: IORequest, what: str) -> Generator:
         """Next follow-up message for this request's *current* attempt.

@@ -24,12 +24,17 @@ protocol itself — who ships what to whom, failover — is the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.ib.hca import Node
 from repro.ib.qp import QueuePair
 from repro.pvfs.protocol import (
+    LeaseGranted,
+    LeaseLost,
+    LeaseRelease,
+    LeaseRenew,
+    LeaseRevoke,
     MetaError,
     OpenReply,
     OpenRequest,
@@ -40,9 +45,17 @@ from repro.pvfs.protocol import (
     WrongShard,
 )
 from repro.pvfs.metadata.shardmap import ShardMap
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
-__all__ = ["FileMeta", "MetadataShard"]
+__all__ = ["FileMeta", "LeaseState", "MetadataShard", "LEASE_REVOKE_TIMEOUT_US"]
+
+# How long a conflicting open waits for the holder to flush and release
+# before the shard force-expires the lease.  Generous against a healthy
+# flush (milliseconds of simulated I/O) yet bounded, so a crashed or
+# partitioned holder can never wedge the namespace.
+LEASE_REVOKE_TIMEOUT_US = 50_000.0
+
+_EXPIRED = object()  # sentinel for the revoke-wait timeout race
 
 
 @dataclass
@@ -59,6 +72,28 @@ class FileMeta:
 
 # (op, path, handle, size): one namespace mutation for the shipping log.
 LogEntry = Tuple[str, str, int, int]
+
+
+@dataclass
+class LeaseState:
+    """One held write-behind lease, as the shard tracks it.
+
+    ``qp`` is the holder's serving connection (identity of the owner —
+    a re-open over the same connection never self-revokes); ``revoke``
+    is created lazily when the first conflicting open starts waiting,
+    and is succeeded when the lease dies (release, force-expiry,
+    unlink-break, crash) so every waiter re-checks the table.
+
+    Leases are deliberately *soft* state: never replicated, never
+    snapshotted, purged wholesale by a crash.  Safety then rests on the
+    epoch: grants fold the group's failover epoch in, so a renew from
+    before a restart can never match a post-restart grant.
+    """
+
+    path: str
+    qp: QueuePair
+    epoch: int
+    revoke: Optional[Event] = None
 
 
 class MetadataShard:
@@ -94,6 +129,8 @@ class MetadataShard:
         self._unlinked: Dict[str, int] = {}  # path -> last unlinked handle
         self._next_handle = self.shard_map.first_handle(shard)
         self._next_conn = 0
+        self._leases: Dict[str, LeaseState] = {}
+        self._lease_seq = 0
 
     @property
     def is_primary(self) -> bool:
@@ -184,6 +221,14 @@ class MetadataShard:
         self.node.stats.add("pvfs.mgr.crashes")
         if self.qos is not None:
             self.qos.purge()
+        # Leases are soft state: gone with the member.  Waiters on a
+        # pending revocation are released so they re-check (and find the
+        # table empty); holders discover the loss on their next renew,
+        # whose epoch can never match a post-restart grant.
+        for st in self._leases.values():
+            if st.revoke is not None and not st.revoke.triggered:
+                st.revoke.succeed()
+        self._leases.clear()
         if self.group is not None:
             self.group.on_member_crash(self.member)
         if duration_us is not None:
@@ -299,8 +344,145 @@ class MetadataShard:
             entries,
         )
 
+    # -- write-behind leases -----------------------------------------------------
+
+    def _serves(self, path: str) -> bool:
+        """True when this member is the path's serving primary (pure —
+        no redirect counting; ``_route_check`` owns the stats)."""
+        if self.shard_map.shard_of(path) != self.shard:
+            return False
+        return self.group is None or self.group.primary_idx == self.member
+
+    def _new_lease_epoch(self) -> int:
+        """Mint a lease epoch that can never repeat across failovers.
+
+        The group's failover epoch is folded into the high digits, so a
+        lease granted before a crash/promotion is distinguishable from
+        any grant after it even though the per-member counter restarts.
+        """
+        self._lease_seq += 1
+        group_epoch = self.group.epoch if self.group is not None else 0
+        return group_epoch * 1_000_000 + self._lease_seq
+
+    def _break_lease(self, st: LeaseState) -> None:
+        """Drop a lease and wake anything waiting on its revocation."""
+        self._leases.pop(st.path, None)
+        if st.revoke is not None and not st.revoke.triggered:
+            st.revoke.succeed()
+
+    def _lease_rpc(self, msg) -> object:
+        """Answer a renew/release (pure state transition, typed reply).
+
+        Lease state lives only on the granting primary, so a renew or
+        release that lands anywhere else (the client's router rotates
+        members when a reply goes missing) must be redirected, not
+        answered: a replica acking a release it never held would leak
+        the primary's table entry forever.
+        """
+        redirect = self._route_check(msg)
+        if redirect is not None:
+            return redirect
+        st = self._leases.get(msg.path)
+        if isinstance(msg, LeaseRelease):
+            self.node.stats.add("pvfs.mgr.lease_releases")
+            if st is not None and st.epoch == msg.lease_epoch:
+                self._break_lease(st)
+            return LeaseLost(request_id=msg.request_id, path=msg.path)
+        # LeaseRenew: valid only if held at the same epoch with no
+        # revocation pending (a renew must not resurrect a lease that a
+        # conflicting open is already waiting out).
+        self.node.stats.add("pvfs.mgr.lease_renewals")
+        if (
+            st is not None
+            and st.epoch == msg.lease_epoch
+            and st.revoke is None
+            and self._serves(msg.path)
+        ):
+            return LeaseGranted(request_id=msg.request_id, lease_epoch=st.epoch)
+        self.node.stats.add("pvfs.mgr.lease_refusals")
+        return LeaseLost(request_id=msg.request_id, path=msg.path)
+
+    def _lease_conflict_wait(self, qp: QueuePair, path: str):
+        """Revoke a conflicting holder's lease and wait for the release.
+
+        Loop-poll rather than a single shared wait: the lease table is
+        re-read after every wake-up, so any number of concurrent openers
+        and any interleaving of release / crash / force-expiry converge
+        on the same answer.  The wait is bounded by
+        ``LEASE_REVOKE_TIMEOUT_US``; on timeout the lease is
+        force-expired so a dead holder cannot wedge opens forever (its
+        stale epoch keeps it from ever renewing back in).
+        """
+        while True:
+            st = self._leases.get(path)
+            if st is None or st.qp is qp:
+                return
+            if st.revoke is None:
+                st.revoke = self.sim.event(name=f"revoke:{path}")
+                self.node.stats.add("pvfs.mgr.lease_revokes")
+                yield from self._send_reliable(
+                    st.qp,
+                    LeaseRevoke(path=path, lease_epoch=st.epoch),
+                    nbytes=self.node.testbed.reply_msg_bytes,
+                )
+            to = self.sim.timeout(LEASE_REVOKE_TIMEOUT_US, value=_EXPIRED)
+            result = yield self.sim.any_of([st.revoke, to])
+            if not to.processed:
+                to.cancel()
+            if result is _EXPIRED and self._leases.get(path) is st:
+                self.node.stats.add("pvfs.mgr.lease_expirations")
+                self._break_lease(st)
+
+    def _maybe_grant_lease(self, qp: QueuePair, msg, reply):
+        """Grant a requested lease on a successful, conflict-free open."""
+        if (
+            not isinstance(msg, OpenRequest)
+            or not msg.want_lease
+            or not isinstance(reply, OpenReply)
+            or not self._serves(msg.path)
+        ):
+            return reply
+        st = self._leases.get(msg.path)
+        if st is not None:
+            # Held already.  The same connection re-opening (a retried
+            # open whose first reply was lost) keeps its lease; a
+            # different connection lost the conflict wait's force-expiry
+            # race and goes without.
+            if st.qp is qp:
+                return replace(reply, lease=True, lease_epoch=st.epoch)
+            return reply
+        st = LeaseState(path=msg.path, qp=qp, epoch=self._new_lease_epoch())
+        self._leases[msg.path] = st
+        self.node.stats.add("pvfs.mgr.lease_grants")
+        return replace(reply, lease=True, lease_epoch=st.epoch)
+
     def _handle(self, qp: QueuePair, msg):
+        if isinstance(msg, (LeaseRenew, LeaseRelease)):
+            reply = self._lease_rpc(msg)
+            yield from self._send_reliable(
+                qp, reply, nbytes=self.node.testbed.reply_msg_bytes
+            )
+            return
+        # A conflicting open waits the current lease out *before* the
+        # namespace lookup, so the reply reflects post-flush state.  An
+        # unlink breaks the lease without waiting: the holder's flush
+        # then lands against the stripe-fencing tombstones and is
+        # dropped, exactly like any other write racing an unlink.
+        if self._leases:
+            if isinstance(msg, OpenRequest) and self._serves(msg.path):
+                yield from self._lease_conflict_wait(qp, msg.path)
+            elif isinstance(msg, UnlinkRequest) and self._serves(msg.path):
+                st = self._leases.get(msg.path)
+                if st is not None:
+                    self.node.stats.add("pvfs.mgr.lease_revokes")
+                    self._break_lease(st)
+                    yield from self._send_reliable(
+                        st.qp,
+                        LeaseRevoke(path=msg.path, lease_epoch=st.epoch),
+                        nbytes=self.node.testbed.reply_msg_bytes,
+                    )
         reply, entries = self._process(msg)
+        reply = self._maybe_grant_lease(qp, msg, reply)
         for entry in entries:
             yield from self._replicate(entry)
         yield from self._send_reliable(

@@ -42,6 +42,11 @@ __all__ = [
     "UnlinkReply",
     "StripeUnlink",
     "FsyncRequest",
+    "LeaseRevoke",
+    "LeaseRenew",
+    "LeaseRelease",
+    "LeaseGranted",
+    "LeaseLost",
     "MetaError",
     "WrongShard",
     "ReplicateRequest",
@@ -82,19 +87,30 @@ class AccessMode(enum.Flag):
 
 @dataclass(frozen=True)
 class OpenRequest:
+    """``want_lease`` asks for a write-behind lease on the path (clients
+    with a :class:`~repro.pvfs.wbcache.WriteBehindCache`); plain clients
+    leave it False and the exchange is byte-identical to the pre-lease
+    protocol."""
+
     path: str
     create: bool = True
     request_id: int = 0
+    want_lease: bool = False
 
 
 @dataclass(frozen=True)
 class OpenReply:
+    """``lease``/``lease_epoch`` report a granted write-behind lease;
+    the defaults keep replies to non-caching clients unchanged."""
+
     handle: int
     stripe_size: int
     n_iods: int
     base_iod: int
     size: int
     request_id: int = 0
+    lease: bool = False
+    lease_epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -221,6 +237,65 @@ class FsyncRequest:
 
     request_id: int
     handle: int
+
+
+@dataclass(frozen=True)
+class LeaseRevoke:
+    """Shard→client push: give the write-behind lease on ``path`` back.
+
+    Deliberately carries *no* ``request_id`` — it is unsolicited, routed
+    through the client connection's push hook rather than a reply inbox.
+    The holder flushes its dirty extents and answers with
+    :class:`LeaseRelease`; a shard that hears nothing within
+    ``LEASE_REVOKE_TIMEOUT_US`` force-expires the lease.
+    """
+
+    path: str
+    lease_epoch: int
+
+
+@dataclass(frozen=True)
+class LeaseRenew:
+    """Client→shard: confirm the lease on ``path`` is still standing.
+
+    Answered with :class:`LeaseGranted` (same epoch, still valid) or
+    :class:`LeaseLost` (revoked, expired, or forgotten by a failover —
+    the epoch check is what makes shard restarts safe: a restarted
+    member grants fresh epochs, so a stale holder's renew never
+    matches).
+    """
+
+    path: str
+    lease_epoch: int
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class LeaseRelease:
+    """Client→shard: voluntarily give up the lease (close, or the tail
+    of revocation handling).  Always answered with :class:`LeaseLost` —
+    after a release the holder's standing is "no lease" regardless of
+    whether the shard still remembered it."""
+
+    path: str
+    lease_epoch: int
+    request_id: int = 0
+
+
+@dataclass(frozen=True)
+class LeaseGranted:
+    """Shard→client: the renewed lease stands at ``lease_epoch``."""
+
+    request_id: int
+    lease_epoch: int
+
+
+@dataclass(frozen=True)
+class LeaseLost:
+    """Shard→client: no lease is held (renew refused / release acked)."""
+
+    request_id: int
+    path: str = ""
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,269 @@
+"""Client-side write-behind cache: dirty-extent trees + flush policy.
+
+The paper's central lever is coalescing noncontiguous accesses before
+they hit the wire (list I/O server-side, data sieving on the I/O
+daemon).  The one layer that still issued every small write eagerly was
+the client.  This module is the client half of the fix: a per-file
+:class:`DirtyExtentTree` absorbs small noncontiguous writes into merged
+dirty extents, and :class:`WriteBehindCache` tracks per-file state so
+the client can flush coalesced runs through the existing transfer
+schemes — the I/O daemon's elevator then sees the large vectored
+batches it loves.
+
+Correctness is lease-based (close-to-open consistency): the client may
+only buffer while it holds the file's lease from the metadata shard
+(see :mod:`repro.pvfs.metadata.shard`).  A conflicting open on another
+client revokes the lease, which forces flush-before-release; reads
+through a dirty cache are served read-through-merged.  The cache itself
+is deliberately unaware of the protocol — it is a pure data structure
+plus bookkeeping, so the property suite
+(``tests/properties/test_wb_extent_props.py``) can drive it against a
+naive byte-map model.
+
+Counters (on the client node's stats): ``pvfs.client.wb.absorbed``,
+``.merges``, ``.flushes``, ``.read_hits``, ``.read_overlays``,
+``.revokes``, ``.dropped_stale``, ``.dropped_unlink``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mem.segments import Segment
+from repro.sim.resources import Lock
+
+__all__ = ["DirtyExtentTree", "WBConfig", "WriteBehindCache"]
+
+
+class DirtyExtentTree:
+    """Sorted, non-overlapping, maximally-merged dirty extents of one file.
+
+    Invariants (the property suite checks them after every mutation):
+
+    - extents are sorted by offset and pairwise disjoint,
+    - no two extents are adjacent (touching extents are merged),
+    - ``dirty_bytes`` equals the sum of extent lengths.
+
+    Overlapping inserts take the *new* data (last write wins), exactly
+    like the byte-map reference model.
+    """
+
+    def __init__(self) -> None:
+        self._offsets: List[int] = []
+        self._data: List[bytearray] = []
+        self.dirty_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def extents(self) -> List[Tuple[int, int]]:
+        """``(offset, length)`` per extent, in file order."""
+        return [(o, len(d)) for o, d in zip(self._offsets, self._data)]
+
+    def insert(self, offset: int, data: bytes) -> int:
+        """Absorb one write; returns how many existing extents it merged."""
+        if not data:
+            return 0
+        new = bytearray(data)
+        start, end = offset, offset + len(new)
+        # Find the window of existing extents that overlap or touch
+        # [start, end): everything in it collapses into one extent.
+        lo = bisect_right(self._offsets, start) - 1
+        if lo >= 0 and self._offsets[lo] + len(self._data[lo]) < start:
+            lo += 1
+        lo = max(lo, 0)
+        hi = lo
+        while hi < len(self._offsets) and self._offsets[hi] <= end:
+            hi += 1
+        merged = 0
+        for i in range(lo, hi):
+            eo, ed = self._offsets[i], self._data[i]
+            merged += 1
+            if eo < start:
+                new = ed[: start - eo] + new
+                start = eo
+            tail_end = eo + len(ed)
+            if tail_end > end:
+                new = new + ed[len(ed) - (tail_end - end):]
+                end = tail_end
+        removed = sum(len(d) for d in self._data[lo:hi])
+        del self._offsets[lo:hi]
+        del self._data[lo:hi]
+        self._offsets.insert(lo, start)
+        self._data.insert(lo, new)
+        self.dirty_bytes += len(new) - removed
+        return merged
+
+    def covers(self, offset: int, length: int) -> bool:
+        """True when one extent fully contains ``[offset, offset+length)``."""
+        if length <= 0:
+            return True
+        i = bisect_right(self._offsets, offset) - 1
+        if i < 0:
+            return False
+        return self._offsets[i] + len(self._data[i]) >= offset + length
+
+    def slices(self, offset: int, length: int) -> List[Tuple[int, bytes]]:
+        """Dirty sub-ranges overlapping ``[offset, offset+length)``.
+
+        Returns ``(file_offset, bytes)`` pairs — the overlay a
+        read-through merge applies over the bytes fetched from the I/O
+        daemons.
+        """
+        out: List[Tuple[int, bytes]] = []
+        end = offset + length
+        i = max(bisect_right(self._offsets, offset) - 1, 0)
+        while i < len(self._offsets) and self._offsets[i] < end:
+            eo, ed = self._offsets[i], self._data[i]
+            s = max(eo, offset)
+            e = min(eo + len(ed), end)
+            if e > s:
+                out.append((s, bytes(ed[s - eo : e - eo])))
+            i += 1
+        return out
+
+    def trim(self, offset: int, length: int) -> int:
+        """Discard dirty bytes in ``[offset, offset+length)``; returns count."""
+        if length <= 0:
+            return 0
+        end = offset + length
+        removed = 0
+        new_offsets: List[int] = []
+        new_data: List[bytearray] = []
+        for eo, ed in zip(self._offsets, self._data):
+            ee = eo + len(ed)
+            if ee <= offset or eo >= end:
+                new_offsets.append(eo)
+                new_data.append(ed)
+                continue
+            if eo < offset:
+                new_offsets.append(eo)
+                new_data.append(ed[: offset - eo])
+            if ee > end:
+                new_offsets.append(end)
+                new_data.append(ed[end - eo :])
+            removed += min(ee, end) - max(eo, offset)
+        self._offsets, self._data = new_offsets, new_data
+        self.dirty_bytes -= removed
+        return removed
+
+    def drain(self) -> List[Tuple[int, bytes]]:
+        """Pop every dirty extent as coalesced ``(offset, bytes)`` runs."""
+        runs = [(o, bytes(d)) for o, d in zip(self._offsets, self._data)]
+        self._offsets = []
+        self._data = []
+        self.dirty_bytes = 0
+        return runs
+
+    def clear(self) -> int:
+        """Discard everything; returns how many bytes were dropped."""
+        dropped = self.dirty_bytes
+        self._offsets = []
+        self._data = []
+        self.dirty_bytes = 0
+        return dropped
+
+
+@dataclass(frozen=True)
+class WBConfig:
+    """Write-behind policy knobs.
+
+    ``absorb_max_bytes`` bounds which writes the cache absorbs (large
+    writes gain nothing from buffering and go straight through);
+    ``flush_threshold_bytes`` bounds per-file dirty data before an
+    inline flush coalesces it out.
+    """
+
+    flush_threshold_bytes: int = 256 * 1024
+    absorb_max_bytes: int = 64 * 1024
+
+    def to_dict(self) -> dict:
+        return {
+            "flush_threshold_bytes": self.flush_threshold_bytes,
+            "absorb_max_bytes": self.absorb_max_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WBConfig":
+        return cls(
+            flush_threshold_bytes=d.get("flush_threshold_bytes", 256 * 1024),
+            absorb_max_bytes=d.get("absorb_max_bytes", 64 * 1024),
+        )
+
+
+@dataclass
+class _FileState:
+    """Per-file cache state: the dirty tree plus the flush lock.
+
+    The lock serializes flushes against each other and against the
+    revocation handler, so a lease revoke racing an in-flight flush
+    retry waits for that flush to finish (or re-drive) instead of
+    tearing it.
+    """
+
+    file: object  # the PVFSFile whose handle/layout flushes use
+    tree: DirtyExtentTree = field(default_factory=DirtyExtentTree)
+    lock: Optional[Lock] = None
+
+
+class WriteBehindCache:
+    """Per-client write-behind state across all of its open files."""
+
+    def __init__(self, sim, node, config: Optional[WBConfig] = None):
+        self.sim = sim
+        self.node = node
+        self.config = config if config is not None else WBConfig()
+        self._files: Dict[str, _FileState] = {}
+
+    # -- state access ------------------------------------------------------
+
+    def state(self, f) -> _FileState:
+        """The file's cache state, created on first touch."""
+        st = self._files.get(f.path)
+        if st is None:
+            st = self._files[f.path] = _FileState(
+                file=f, lock=Lock(self.sim, name=f"wb:{f.path}")
+            )
+        st.file = f  # a re-open refreshes the handle flushes will use
+        return st
+
+    def peek(self, path: str) -> Optional[_FileState]:
+        return self._files.get(path)
+
+    def dirty_paths(self) -> List[str]:
+        return sorted(p for p, st in self._files.items() if st.tree.dirty_bytes)
+
+    @property
+    def total_dirty_bytes(self) -> int:
+        return sum(st.tree.dirty_bytes for st in self._files.values())
+
+    # -- mutations ---------------------------------------------------------
+
+    def absorb(self, f, file_segments: Sequence[Segment], payload: bytes) -> int:
+        """Record one acked write into the file's dirty tree."""
+        st = self.state(f)
+        merges = 0
+        off = 0
+        for seg in file_segments:
+            merges += st.tree.insert(seg.addr, payload[off : off + seg.length])
+            off += seg.length
+        self.node.stats.add("pvfs.client.wb.absorbed", len(payload))
+        if merges:
+            self.node.stats.add("pvfs.client.wb.merges", merges)
+        return merges
+
+    def drop_path(self, path: str, reason: str = "stale") -> int:
+        """Discard a file's dirty data (unlink/stale fencing); returns bytes."""
+        st = self._files.get(path)
+        if st is None:
+            return 0
+        dropped = st.tree.clear()
+        if dropped:
+            self.node.stats.add(f"pvfs.client.wb.dropped_{reason}", dropped)
+        return dropped
+
+    def forget(self, path: str) -> None:
+        """Drop the per-file state entirely (after unlink)."""
+        self._files.pop(path, None)

@@ -83,7 +83,7 @@ class OpSpec:
     """One client operation, fully explicit so the shrinker can edit it."""
 
     client: int
-    kind: str  # "write" | "read" | "fsync" | "unlink"
+    kind: str  # "write" | "read" | "fsync" | "unlink" | "close"
     path: str = EXPLORE_PATH
     segments: List[List[int]] = field(default_factory=list)  # [offset, length]
     mem_gap: int = 0
@@ -128,6 +128,9 @@ class ExploreCase:
     plant_bug: Optional[str] = None
     n_mgr_shards: int = 1
     mgr_replicas: int = 1
+    # Write-behind axis: {"cfg": WBConfig.to_dict(), "clients": [ids]}
+    # or None (no caching anywhere — the historical shape).
+    wb: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return {
@@ -143,6 +146,7 @@ class ExploreCase:
             "plant_bug": self.plant_bug,
             "n_mgr_shards": self.n_mgr_shards,
             "mgr_replicas": self.mgr_replicas,
+            "wb": self.wb,
         }
 
     @classmethod
@@ -160,6 +164,7 @@ class ExploreCase:
             plant_bug=d.get("plant_bug"),
             n_mgr_shards=d.get("n_mgr_shards", 1),
             mgr_replicas=d.get("mgr_replicas", 1),
+            wb=d.get("wb"),
         )
 
 
@@ -191,6 +196,7 @@ def generate_case(
     schemes: Optional[List[str]] = None,
     plant_bug: Optional[str] = None,
     meta: bool = False,
+    wb: bool = False,
 ) -> ExploreCase:
     """Derive a full case from one integer seed.
 
@@ -214,6 +220,17 @@ def generate_case(
     byte-identical.  ``meta=True`` forces the axis on for every seed
     and always includes the rotating primary kill — the shape of the
     CI metadata-kill sweep (``explore --meta``).
+
+    Every sixth seed (``seed % 6 == 4``) is additionally a *write-behind*
+    case: roughly half the clients get a
+    :class:`~repro.pvfs.wbcache.WriteBehindCache` (small flush
+    thresholds, so threshold flushes race revocations mid-run) and all
+    of them take turns on one shared file — disjoint strided extents, so
+    the spec oracle stays exact while opens ping-pong the lease, with
+    explicit closes between rounds driving flush/release/re-grant
+    cycles.  Like QoS and metadata, the axis is arithmetic-coded with
+    its own derived RNG: older seeds stay byte-identical.  ``wb=True``
+    forces the axis on every seed (the CI ``explore --wb`` sweep).
     """
     from repro.transfer import scheme_names
 
@@ -408,6 +425,57 @@ def generate_case(
             plan.one_shot("mgr.crash", at=2, node=victim, duration_us=40_000.0)
             fault = plan.to_dict()
 
+    # Write-behind axis (arithmetic-coded, own RNG — older seeds stay
+    # byte-identical).  Cached and uncached clients interleave rounds of
+    # strided disjoint writes to one shared file, optionally read their
+    # own extents back through the dirty cache, and close between
+    # rounds; re-opens revoke whoever holds the lease mid-flush.
+    wb_axis: Optional[dict] = None
+    if wb or seed % 6 == 4:
+        wrng = random.Random(seed * 0x5EEDCA + 0x3B)
+        cached = sorted(wrng.sample(range(n_clients), (n_clients + 1) // 2))
+        piece = 512 if smoke else wrng.choice([256, 512, 1024])
+        per = 3 if smoke else wrng.randint(4, 6)
+        shared = "/pfs/wb/shared"
+        wcursor = 0
+        for _round in range(2):
+            for client in range(n_clients):
+                segments = [
+                    [wcursor + (i * n_clients + client) * piece, piece]
+                    for i in range(per)
+                ]
+                ops.append(
+                    OpSpec(
+                        client=client,
+                        kind="write",
+                        path=shared,
+                        segments=segments,
+                        payload_seed=wrng.randrange(1 << 30),
+                        use_ads=False,
+                    )
+                )
+                if wrng.random() < 0.5:
+                    ops.append(
+                        OpSpec(
+                            client=client,
+                            kind="read",
+                            path=shared,
+                            segments=[list(s) for s in segments],
+                        )
+                    )
+                ops.append(OpSpec(client=client, kind="close", path=shared))
+            wcursor += per * n_clients * piece
+        wb_axis = {
+            "cfg": {
+                # Small thresholds force mid-workload flushes that race
+                # the revocation traffic; the large one exercises pure
+                # close-driven flushing.
+                "flush_threshold_bytes": wrng.choice([2048, 4096, 65536]),
+                "absorb_max_bytes": 64 * 1024,
+            },
+            "clients": cached,
+        }
+
     return ExploreCase(
         seed=seed,
         schedule_seed=seed,
@@ -421,6 +489,7 @@ def generate_case(
         plant_bug=plant_bug,
         n_mgr_shards=n_mgr_shards,
         mgr_replicas=mgr_replicas,
+        wb=wb_axis,
     )
 
 
@@ -448,8 +517,26 @@ def _plant_sched_drop_extent():
     return lambda: setattr(ElevatorScheduler, "_merged_runs", orig)
 
 
+def _plant_wb_drop_dirty_extent():
+    """Write-behind coherence bug: a flush silently discards the
+    highest-offset dirty extent (when there is more than one), so bytes
+    the client already acked never reach the I/O daemons.  Exactly the
+    failure class the cache-coherence oracle exists to catch."""
+    from repro.pvfs.wbcache import DirtyExtentTree
+
+    orig = DirtyExtentTree.drain
+
+    def buggy(self):
+        runs = orig(self)
+        return runs[:-1] if len(runs) > 1 else runs
+
+    DirtyExtentTree.drain = buggy
+    return lambda: setattr(DirtyExtentTree, "drain", orig)
+
+
 PLANTED_BUGS = {
     "sched-drop-extent": _plant_sched_drop_extent,
+    "wb-drop-dirty-extent": _plant_wb_drop_dirty_extent,
 }
 
 
@@ -508,6 +595,11 @@ def _client_proc(
                 ns.record_unlink(op.path, existed)
                 if not raced:
                     spec.files.pop(op.path, None)
+                continue
+            if op.kind == "close":
+                f = files.pop(op.path, None)
+                if f is not None:
+                    yield from client.close(f)
                 continue
             f = files.get(op.path)
             if f is None:
@@ -582,6 +674,16 @@ def _client_proc(
                 )
             )
             return
+    # Close-to-open: a caching client's acked-but-buffered bytes must
+    # not outlive its session.  (Non-caching clients skip this — zero
+    # events — so pre-wb seeds replay byte-identically.)
+    if getattr(client, "wb", None) is not None:
+        for f in list(files.values()):
+            try:
+                yield from client.close(f)
+            except DegradedError:
+                state["degraded"] = True
+                return
 
 
 def run_case(case: ExploreCase, record_trace: bool = False) -> CaseResult:
@@ -599,6 +701,8 @@ def run_case(case: ExploreCase, record_trace: bool = False) -> CaseResult:
             qos=case.qos,
             n_mgr_shards=case.n_mgr_shards,
             mgr_replicas=case.mgr_replicas,
+            wb_cache=case.wb["cfg"] if case.wb is not None else None,
+            wb_clients=case.wb["clients"] if case.wb is not None else None,
         )
         if record_trace:
             cluster.sim.record_trace()
@@ -645,6 +749,8 @@ def run_case(case: ExploreCase, record_trace: bool = False) -> CaseResult:
             if not state["degraded"]:
                 violations.extend(checker.check_file_images(spec))
                 violations.extend(checker.check_namespace(ns))
+                if case.wb is not None:
+                    violations.extend(checker.check_wb())
             violations.extend(checker.check_leaks())
             violations.extend(checker.check_replicas())
 
@@ -676,11 +782,12 @@ def case_size(case: ExploreCase) -> Tuple[int, int, int]:
     (fault plan, QoS config) so dropping one is a strict reduction even
     when it moves no bytes — without it those candidates could never be
     accepted and every artifact would keep its full fault plan."""
-    data_ops = [op for op in case.ops if op.kind != "fsync"]
+    data_ops = [op for op in case.ops if op.kind not in ("fsync", "close")]
     extras = (
         int(case.fault is not None)
         + int(case.qos is not None)
         + int((case.n_mgr_shards, case.mgr_replicas) != (1, 1))
+        + int(case.wb is not None)
     )
     return (len(data_ops), sum(op.nbytes for op in data_ops), extras)
 
@@ -691,6 +798,10 @@ def _shrink_candidates(case: ExploreCase) -> Iterable[ExploreCase]:
         yield dataclasses.replace(case, fault=None)
     if case.qos is not None:
         yield dataclasses.replace(case, qos=None)
+    if case.wb is not None:
+        # Drop the cache axis entirely (closes become no-op leases-off
+        # closes, so the op list needs no surgery).
+        yield dataclasses.replace(case, wb=None)
     if (case.n_mgr_shards, case.mgr_replicas) != (1, 1):
         # Collapse the metadata plane to the single-manager shape (a
         # fault rule naming a dead mgr node then simply never matches).
@@ -714,7 +825,7 @@ def _shrink_candidates(case: ExploreCase) -> Iterable[ExploreCase]:
     # total bytes strictly shrink.  The repacked extents stay inside the
     # op's original footprint, so cross-op disjointness is preserved too.
     for i, op in enumerate(case.ops):
-        if op.kind == "fsync" or not op.segments:
+        if op.kind in ("fsync", "close") or not op.segments:
             continue
         if all(length <= 1 for _, length in op.segments):
             continue
@@ -817,6 +928,7 @@ def sweep(
     schemes: Optional[List[str]] = None,
     plant: Optional[str] = None,
     meta: bool = False,
+    wb: bool = False,
     echo=print,
 ) -> int:
     """Explore ``seeds`` consecutive seeds; returns the failure count.
@@ -824,13 +936,16 @@ def sweep(
     Per-seed and summary lines are deterministic for a fixed tree, so
     they double as golden output in CI.  ``meta=True`` makes every seed
     a metadata-kill case (sharded replicated plane, namespace churn,
-    one primary killed and restarted per seed).
+    one primary killed and restarted per seed).  ``wb=True`` makes every
+    seed a write-behind case (a cached/uncached client mix racing on a
+    shared file with interleaved closes).
     """
     failures = 0
     for i in range(seeds):
         seed = base + i
         case = generate_case(
-            seed, smoke=smoke, schemes=schemes, plant_bug=plant, meta=meta
+            seed, smoke=smoke, schemes=schemes, plant_bug=plant, meta=meta,
+            wb=wb,
         )
         policy = SchedulePolicy.from_seed(case.schedule_seed)
         result = run_case(case)
@@ -839,11 +954,16 @@ def sweep(
             if (case.n_mgr_shards, case.mgr_replicas) != (1, 1)
             else ""
         )
+        wb_tag = (
+            f" wb={len(case.wb['clients'])}/{case.n_clients}"
+            if case.wb is not None
+            else ""
+        )
         tag = (
             f"policy={policy.describe()} scheme={case.scheme}"
             f" elevator={'on' if case.elevator else 'off'}"
             f" qos={case.qos['policy'] if case.qos else 'off'}"
-            f" ops={len(case.ops)} faults={result.injected}{mgr_tag}"
+            f" ops={len(case.ops)} faults={result.injected}{mgr_tag}{wb_tag}"
         )
         if result.ok:
             note = " (degraded: data oracles skipped)" if result.degraded else ""

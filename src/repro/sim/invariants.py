@@ -499,6 +499,54 @@ class InvariantChecker:
                     )
         return out
 
+    def check_wb(self) -> List[Violation]:
+        """Cache-coherence oracle for the write-behind plane at quiesce.
+
+        Close-to-open consistency demands that once every workload has
+        closed its files, no client holds dirty data or a lease, and no
+        shard member's lease table retains an entry (a leaked lease
+        would block the next opener forever on a revoke that cannot be
+        answered).  Crashed shard members are exempt from the table
+        check only vacuously — a crash purges leases as soft state, so
+        their tables are empty anyway.
+        """
+        cluster = self.cluster
+        out: List[Violation] = []
+        for ci, client in enumerate(cluster.clients):
+            cache = getattr(client, "wb", None)
+            if cache is not None and cache.total_dirty_bytes:
+                dirty = {p: cache.peek(p).tree.dirty_bytes
+                         for p in cache.dirty_paths()}
+                out.append(
+                    Violation(
+                        "wb-dirty",
+                        f"cn{ci}: {cache.total_dirty_bytes} acked bytes "
+                        f"still buffered at quiesce ({dirty})",
+                    )
+                )
+            leases = getattr(client, "_leases", {})
+            if leases:
+                out.append(
+                    Violation(
+                        "wb-lease",
+                        f"cn{ci}: leases still held at quiesce: "
+                        f"{sorted(leases)}",
+                    )
+                )
+        for member in cluster.metadata.all_members():
+            if getattr(member, "crashed", False):
+                continue
+            table = getattr(member, "_leases", {})
+            if table:
+                out.append(
+                    Violation(
+                        "wb-lease-table",
+                        f"{member.node.name}: lease table not empty at "
+                        f"quiesce: {sorted(table)}",
+                    )
+                )
+        return out
+
     def check_all(
         self, spec: SpecFileModel, ns: Optional[NamespaceModel] = None
     ) -> List[Violation]:

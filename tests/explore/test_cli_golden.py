@@ -20,7 +20,7 @@ seed 0: ok policy=fifo/0 scheme=gather elevator=on qos=drr ops=2 faults=0
 seed 1: ok policy=random/1 scheme=hybrid elevator=on qos=drr ops=7 faults=0
 seed 2: ok policy=adversarial-delay/2 scheme=multiple elevator=on qos=off ops=4 faults=0
 seed 3: ok policy=priority-flip/3 scheme=pack elevator=off qos=drr ops=8 faults=0
-seed 4: ok policy=fifo/4 scheme=gather elevator=on qos=drr ops=2 faults=1
+seed 4: ok policy=fifo/4 scheme=gather elevator=on qos=drr ops=6 faults=1 wb=1/1
 seed 5: ok policy=random/5 scheme=hybrid elevator=on qos=drr ops=6 faults=0
 seed 6: ok policy=adversarial-delay/6 scheme=multiple elevator=on qos=off ops=8 faults=1 mgr=2x2
 seed 7: ok policy=priority-flip/7 scheme=pack elevator=on qos=fifo ops=6 faults=0

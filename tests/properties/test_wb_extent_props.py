@@ -1,0 +1,146 @@
+"""Property tests: the dirty-extent tree against a naive byte-map model.
+
+The :class:`~repro.pvfs.wbcache.DirtyExtentTree` is the write-behind
+cache's one clever data structure — everything the lease protocol
+guarantees rests on it absorbing, merging, trimming and draining dirty
+bytes without losing or corrupting a single one.  The reference model is
+a plain ``dict`` of dirty bytes keyed by file offset: every operation is
+applied to both, and after each step the tree must (a) report exactly
+the model's bytes and (b) hold its structural invariants — extents
+sorted, pairwise disjoint, never adjacent (touching runs are merged),
+with ``dirty_bytes`` equal to the sum of extent lengths.
+
+Seeded ``random.Random`` drives the op mix, so failures replay exactly.
+"""
+
+import random
+
+from repro.pvfs.wbcache import DirtyExtentTree
+
+
+class ByteMapModel:
+    """Naive reference: one dict entry per dirty byte."""
+
+    def __init__(self):
+        self.bytes = {}
+
+    def insert(self, offset, data):
+        for i, b in enumerate(data):
+            self.bytes[offset + i] = b
+
+    def trim(self, offset, length):
+        removed = 0
+        for o in range(offset, offset + length):
+            if self.bytes.pop(o, None) is not None:
+                removed += 1
+        return removed
+
+    def runs(self):
+        """Maximal contiguous (offset, bytes) runs, sorted."""
+        out = []
+        for o in sorted(self.bytes):
+            if out and out[-1][0] + len(out[-1][1]) == o:
+                out[-1][1].append(self.bytes[o])
+            else:
+                out.append([o, bytearray([self.bytes[o]])])
+        return [(o, bytes(d)) for o, d in out]
+
+
+def check_invariants(tree):
+    extents = tree.extents()
+    assert extents == sorted(extents)
+    for (o1, n1), (o2, _n2) in zip(extents, extents[1:]):
+        # Disjoint AND non-adjacent: touching extents must have merged.
+        assert o1 + n1 < o2, f"extents [{o1},+{n1}) and [{o2},..) touch"
+    assert tree.dirty_bytes == sum(n for _, n in extents)
+    assert len(tree) == len(extents)
+
+
+def check_equivalent(tree, model):
+    assert tree.extents() == [(o, len(d)) for o, d in model.runs()]
+    # slices() over the full span reproduces the model's dirty bytes.
+    if model.bytes:
+        lo = min(model.bytes)
+        hi = max(model.bytes) + 1
+        assert tree.slices(lo, hi - lo) == model.runs()
+
+
+def random_op(rng, tree, model, span=2048):
+    kind = rng.choice(["insert", "insert", "insert", "trim", "query"])
+    offset = rng.randrange(span)
+    length = rng.randint(1, 96)
+    if kind == "insert":
+        data = bytes(rng.randrange(256) for _ in range(length))
+        tree.insert(offset, data)
+        model.insert(offset, data)
+    elif kind == "trim":
+        assert tree.trim(offset, length) == model.trim(offset, length)
+    else:
+        # covers() iff the model holds every byte of the range.
+        covered = all(o in model.bytes for o in range(offset, offset + length))
+        assert tree.covers(offset, length) == covered
+        got = tree.slices(offset, length)
+        flat = {}
+        for o, d in got:
+            for i, b in enumerate(d):
+                flat[o + i] = b
+        assert flat == {
+            o: model.bytes[o]
+            for o in range(offset, offset + length)
+            if o in model.bytes
+        }
+
+
+def test_random_ops_match_byte_map_model():
+    for seed in range(20):
+        rng = random.Random(0xD1127 + seed)
+        tree, model = DirtyExtentTree(), ByteMapModel()
+        for _ in range(300):
+            random_op(rng, tree, model)
+            check_invariants(tree)
+        check_equivalent(tree, model)
+
+
+def test_drain_pops_everything_as_model_runs():
+    for seed in range(10):
+        rng = random.Random(0x5EED + seed)
+        tree, model = DirtyExtentTree(), ByteMapModel()
+        for _ in range(150):
+            random_op(rng, tree, model)
+        assert tree.drain() == model.runs()
+        assert tree.dirty_bytes == 0 and len(tree) == 0
+        assert tree.drain() == []
+
+
+def test_overlap_takes_new_data():
+    tree = DirtyExtentTree()
+    tree.insert(10, b"aaaaaaaaaa")
+    merged = tree.insert(14, b"BBBB")
+    assert merged == 1
+    assert tree.drain() == [(10, b"aaaaBBBBaa")]
+
+
+def test_adjacent_extents_merge_to_one():
+    tree = DirtyExtentTree()
+    tree.insert(0, b"xx")
+    tree.insert(4, b"zz")
+    assert len(tree) == 2
+    assert tree.insert(2, b"yy") == 2  # bridges both neighbours
+    assert tree.extents() == [(0, 6)]
+    assert tree.slices(0, 6) == [(0, b"xxyyzz")]
+
+
+def test_trim_splits_an_extent():
+    tree = DirtyExtentTree()
+    tree.insert(0, b"abcdefgh")
+    assert tree.trim(3, 2) == 2
+    assert tree.extents() == [(0, 3), (5, 3)]
+    assert tree.drain() == [(0, b"abc"), (5, b"fgh")]
+
+
+def test_clear_reports_dropped_bytes():
+    tree = DirtyExtentTree()
+    tree.insert(0, b"abc")
+    tree.insert(100, b"defg")
+    assert tree.clear() == 7
+    assert tree.extents() == [] and tree.dirty_bytes == 0

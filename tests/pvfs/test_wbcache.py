@@ -1,0 +1,317 @@
+"""Write-behind cache end-to-end: absorb/flush/lease lifecycle.
+
+Covers the client-visible contract (small writes absorbed with zero wire
+requests, threshold and close flushes, read-through-merged reads), the
+lease protocol (conflicting open revokes and flush-before-reply, lease
+epochs across shard restarts), and the two nastiest races: a revocation
+arriving while an in-flight flush is riding send-fault retries, and an
+unlink landing while dirty data is still buffered (stripe fencing must
+drop it, not resurrect the file).
+"""
+
+import pytest
+
+from repro.calibration import KB
+from repro.mem.segments import Segment
+from repro.pvfs import PVFSCluster, RetryPolicy
+from repro.pvfs.errors import LeaseLostError
+from repro.sim import FaultPlan
+
+FAST_RETRY = RetryPolicy(timeout_us=150_000.0, backoff_base_us=100.0)
+
+PATH = "/pfs/wb"
+
+
+def _cluster(**kw):
+    kw.setdefault("n_clients", 2)
+    kw.setdefault("n_iods", 2)
+    kw.setdefault("retry", FAST_RETRY)
+    kw.setdefault("wb_cache", True)
+    kw.setdefault("wb_clients", [0])
+    return PVFSCluster(**kw)
+
+
+def _strided_write(client, f, base_off, npieces=8, piece=512, fill=7):
+    """One small strided write_list; returns (file_segs, payload)."""
+    addr = client.node.space.malloc(npieces * piece)
+    payload = bytearray()
+    mem_segs, file_segs = [], []
+    for i in range(npieces):
+        chunk = bytes((fill * (i + 1) + j) % 251 for j in range(piece))
+        client.node.space.write(addr + i * piece, chunk)
+        payload += chunk
+        mem_segs.append(Segment(addr + i * piece, piece))
+        file_segs.append(Segment(base_off + i * piece * 2, piece))
+    return mem_segs, file_segs, bytes(payload)
+
+
+def _expected_image(file_segs, payload):
+    img = bytearray()
+    off = 0
+    for seg in file_segs:
+        if seg.end > len(img):
+            img.extend(bytes(seg.end - len(img)))
+        img[seg.addr : seg.end] = payload[off : off + seg.length]
+        off += seg.length
+    return bytes(img)
+
+
+def test_absorbed_writes_send_no_requests_until_close():
+    cluster = _cluster()
+    c = cluster.clients[0]
+    mem_segs, file_segs, payload = _strided_write(c, None, 0)
+
+    requests_during_write = []
+
+    def proc():
+        f = yield from c.open(PATH)
+        before = c.node.stats.count("pvfs.client.requests")
+        yield from c.write_list(f, mem_segs, file_segs)
+        requests_during_write.append(
+            c.node.stats.count("pvfs.client.requests") - before
+        )
+        yield from c.close(f)
+
+    cluster.run([proc()])
+    assert requests_during_write == [0], "absorbed write must not hit the wire"
+    delta = cluster.stat_delta()
+    assert delta["pvfs.client.wb.absorbed"][1] == len(payload)
+    assert delta["pvfs.client.wb.flushes"][0] == 1  # the close's drain
+    assert delta["pvfs.client.wb.flush_bytes"][1] == len(payload)
+    assert delta["pvfs.mgr.lease_grants"][0] == 1
+    assert delta["pvfs.mgr.lease_releases"][0] == 1
+    assert cluster.logical_file_bytes(PATH) == _expected_image(file_segs, payload)
+    # Nothing left behind: dirty bytes, client lease, shard lease tables.
+    assert c.wb.total_dirty_bytes == 0
+    assert not c._leases
+    assert all(not m._leases for m in cluster.metadata.all_members())
+
+
+def test_threshold_triggers_inline_flush():
+    cluster = _cluster(wb_cache={"flush_threshold_bytes": 2 * KB,
+                                 "absorb_max_bytes": 64 * KB})
+    c = cluster.clients[0]
+    mem_segs, file_segs, payload = _strided_write(c, None, 0, npieces=8, piece=512)
+
+    def proc():
+        f = yield from c.open(PATH)
+        yield from c.write_list(f, mem_segs, file_segs)  # 4 KB >= 2 KB
+        yield from c.close(f)
+
+    cluster.run([proc()])
+    delta = cluster.stat_delta()
+    assert delta["pvfs.client.wb.flushes"][0] == 1  # inline, close found clean
+    assert cluster.logical_file_bytes(PATH) == _expected_image(file_segs, payload)
+
+
+def test_dirty_read_is_a_pure_cache_hit():
+    cluster = _cluster()
+    c = cluster.clients[0]
+    mem_segs, file_segs, payload = _strided_write(c, None, 0)
+    back = c.node.space.malloc(sum(s.length for s in file_segs))
+    back_segs = [Segment(back + i * 512, 512) for i in range(len(file_segs))]
+    wire_reads = []
+
+    def proc():
+        f = yield from c.open(PATH)
+        yield from c.write_list(f, mem_segs, file_segs)
+        before = c.node.stats.count("pvfs.client.requests")
+        n = yield from c.read_list(f, back_segs, file_segs)
+        wire_reads.append(c.node.stats.count("pvfs.client.requests") - before)
+        assert n == len(payload)
+        yield from c.close(f)
+
+    cluster.run([proc()])
+    assert wire_reads == [0], "fully-covered read must be served from cache"
+    assert cluster.stat_delta()["pvfs.client.wb.read_hits"][1] == len(payload)
+    assert c.node.space.read(back, len(payload)) == payload
+
+
+def test_partially_dirty_read_overlays_wire_bytes():
+    cluster = _cluster()
+    c = cluster.clients[0]
+
+    def proc():
+        f = yield from c.open(PATH)
+        # Base bytes on the daemons (sync write: not absorbed).
+        a = c.node.space.malloc(4 * KB)
+        c.node.space.write(a, b"\x11" * (4 * KB))
+        yield from c.write_list(f, [Segment(a, 4 * KB)], [Segment(0, 4 * KB)],
+                                sync=True)
+        # Dirty a hole in the middle, buffered only.
+        b = c.node.space.malloc(KB)
+        c.node.space.write(b, b"\x22" * KB)
+        yield from c.write_list(f, [Segment(b, KB)], [Segment(KB, KB)])
+        # Read the full range: wire bytes patched with the dirty overlay.
+        back = c.node.space.malloc(4 * KB)
+        yield from c.read_list(f, [Segment(back, 4 * KB)], [Segment(0, 4 * KB)])
+        got = c.node.space.read(back, 4 * KB)
+        assert got == b"\x11" * KB + b"\x22" * KB + b"\x11" * (2 * KB)
+        yield from c.close(f)
+
+    cluster.run([proc()])
+    assert cluster.stat_delta()["pvfs.client.wb.read_overlays"][1] == KB
+
+
+def test_conflicting_open_revokes_and_sees_flushed_bytes():
+    cluster = _cluster()
+    c0, c1 = cluster.clients[0], cluster.clients[1]
+    mem_segs, file_segs, payload = _strided_write(c0, None, 0)
+    total = len(payload)
+    seen = []
+
+    def writer():
+        f = yield from c0.open(PATH)
+        yield from c0.write_list(f, mem_segs, file_segs)
+        yield self_sim.timeout(200_000.0)  # stay open; revoke does the flush
+        yield from c0.close(f)
+
+    def reader():
+        yield self_sim.timeout(5_000.0)  # let the writer absorb first
+        f = yield from c1.open(PATH)  # conflicting: triggers the revoke
+        back = c1.node.space.malloc(total)
+        back_segs = [Segment(back + i * 512, 512) for i in range(len(file_segs))]
+        yield from c1.read_list(f, back_segs, file_segs)
+        seen.append(c1.node.space.read(back, total))
+
+    self_sim = cluster.sim
+    cluster.run([writer(), reader()])
+    assert seen == [payload], "opener must see the holder's flushed bytes"
+    delta = cluster.stat_delta()
+    assert delta["pvfs.mgr.lease_revokes"][0] == 1
+    assert delta["pvfs.client.wb.revokes"][0] == 1
+    assert delta["pvfs.client.wb.flushes"][0] >= 1
+    assert all(not m._leases for m in cluster.metadata.all_members())
+
+
+def test_revocation_racing_inflight_flush_retry_never_tears():
+    # The holder's flush rides qp.send retries when the revoke lands.
+    # The per-path lock forces the revocation handler to wait the flush
+    # out (or re-drive it); either way every acked byte reaches the
+    # daemons exactly once and the opener reads a consistent image.
+    plan = FaultPlan.uniform(0.08, seed=9, hooks=["qp.send"])
+    cluster = _cluster(fault_plan=plan)
+    c0, c1 = cluster.clients[0], cluster.clients[1]
+    mem_segs, file_segs, payload = _strided_write(c0, None, 0, npieces=16)
+    sim = cluster.sim
+
+    def writer():
+        f = yield from c0.open(PATH)
+        yield from c0.write_list(f, mem_segs, file_segs)
+        yield from c0.fsync(f)  # explicit flush, retrying through faults
+        yield sim.timeout(100_000.0)
+        yield from c0.close(f)
+
+    def opener():
+        yield sim.timeout(1_000.0)  # land mid-flush
+        yield from c1.open(PATH)
+
+    cluster.run([writer(), opener()])
+    cluster.sync_all()
+    delta = cluster.stat_delta()
+    assert delta["pvfs.client.send_retries"][0] >= 1, "faults must have fired"
+    assert cluster.logical_file_bytes(PATH) == _expected_image(file_segs, payload)
+    assert c0.wb.total_dirty_bytes == 0
+    assert all(not m._leases for m in cluster.metadata.all_members())
+
+
+def test_unlink_while_dirty_drops_buffered_bytes():
+    cluster = _cluster()
+    c0, c1 = cluster.clients[0], cluster.clients[1]
+    mem_segs, file_segs, payload = _strided_write(c0, None, 0)
+    sim = cluster.sim
+
+    def writer():
+        f = yield from c0.open(PATH)
+        yield from c0.write_list(f, mem_segs, file_segs)
+        yield sim.timeout(100_000.0)
+        yield from c0.close(f)
+
+    def unlinker():
+        yield sim.timeout(2_000.0)
+        yield from c1.unlink(PATH)
+
+    cluster.run([writer(), unlinker()])
+    delta = cluster.stat_delta()
+    # The holder's dirty bytes landed against stripe-fencing tombstones
+    # (dropped_stale) or were discarded before the flush (dropped_unlink)
+    # — either way all of them are accounted dropped, none written.
+    dropped = (
+        delta.get("pvfs.client.wb.dropped_stale", (0, 0))[1]
+        + delta.get("pvfs.client.wb.dropped_unlink", (0, 0))[1]
+    )
+    assert dropped == len(payload)
+    with pytest.raises(FileNotFoundError):
+        cluster.logical_file_bytes(PATH)
+    for iod in cluster.iods:
+        assert not any(n.endswith(".stripe") and iod.fs.exists(n)
+                       for n in [f"f{h:08d}.stripe" for h in range(1, 32)])
+    assert all(not m._leases for m in cluster.metadata.all_members())
+    assert c0.wb.total_dirty_bytes == 0
+
+
+def test_renewal_after_shard_purge_flushes_and_raises():
+    # Leases are soft state: a member restart (here: tables purged
+    # directly, as _crash does) forgets every grant.  The next renewal
+    # must come back LeaseLost, at which point the client flushes what
+    # it buffered and surfaces LeaseLostError to the caller.
+    cluster = _cluster()
+    c = cluster.clients[0]
+    mem_segs, file_segs, payload = _strided_write(c, None, 0)
+    outcome = []
+
+    def proc():
+        f = yield from c.open(PATH)
+        yield from c.write_list(f, mem_segs, file_segs)
+        for member in cluster.metadata.all_members():
+            member._leases.clear()  # what _crash does to soft state
+        try:
+            yield from c.renew_lease(f)
+        except LeaseLostError as exc:
+            outcome.append(exc)
+
+    cluster.run([proc()])
+    cluster.sync_all()
+    assert outcome and outcome[0].path == PATH
+    assert not c._leases
+    assert cluster.stat_delta()["pvfs.mgr.lease_refusals"][0] == 1
+    # The flush ran before the raise: the acked bytes are durable.
+    assert cluster.logical_file_bytes(PATH) == _expected_image(file_segs, payload)
+
+
+def test_wb_off_is_the_default_and_adds_no_lease_traffic():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    c = cluster.clients[0]
+    a = c.node.space.malloc(KB)
+    c.node.space.write(a, b"q" * KB)
+
+    def proc():
+        f = yield from c.open(PATH)
+        yield from c.write(f, a, 0, KB)
+        n = yield from c.close(f)
+        assert n == 0
+
+    cluster.run([proc()])
+    delta = cluster.stat_delta()
+    assert c.wb is None
+    assert "pvfs.mgr.lease_grants" not in delta
+    assert "pvfs.client.wb.absorbed" not in delta
+
+
+def test_large_and_sync_writes_bypass_the_cache():
+    cluster = _cluster(wb_cache={"absorb_max_bytes": 1 * KB,
+                                 "flush_threshold_bytes": 256 * KB})
+    c = cluster.clients[0]
+
+    def proc():
+        f = yield from c.open(PATH)
+        big = c.node.space.malloc(4 * KB)
+        c.node.space.write(big, b"L" * (4 * KB))
+        before = c.node.stats.count("pvfs.client.requests")
+        yield from c.write_list(f, [Segment(big, 4 * KB)], [Segment(0, 4 * KB)])
+        assert c.node.stats.count("pvfs.client.requests") > before
+        yield from c.close(f)
+
+    cluster.run([proc()])
+    assert "pvfs.client.wb.absorbed" not in cluster.stat_delta()
+    assert cluster.logical_file_bytes(PATH) == b"L" * (4 * KB)
