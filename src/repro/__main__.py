@@ -159,11 +159,14 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
 
 
 def _profile_report(args) -> str:
+    backends = None
+    if args.backends:
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
     export = runners.profile_workload(
         args.workload, scheme=args.scheme, op=args.op, size=args.size,
         fault_rate=args.fault_rate, fault_seed=args.fault_seed,
         mgr_shards=args.mgr_shards, mgr_replicas=args.mgr_replicas,
-        wb_cache=args.wb_cache,
+        wb_cache=args.wb_cache, backends=backends, autotune=args.autotune,
     )
     if args.json:
         return json.dumps(export, indent=2, sort_keys=True)
@@ -207,6 +210,22 @@ def _profile_report(args) -> str:
             f" disk retries {n('pvfs.iod.disk_retries')},"
             f" degraded iods {len(faults['degraded_iods'])}"
         )
+    tuners = export.get("autotune")
+    if tuners:
+        for snap in tuners:
+            knobs = snap.get("knobs")
+            chosen = (
+                ", ".join(
+                    f"{k}={v:g}" for k, v in knobs.items()
+                )
+                if knobs
+                else "defaults (never enough observed bytes)"
+            )
+            out += (
+                f"\nautotune {snap['iod']} ({snap['backend']}):"
+                f" {snap['observations']} obs, {snap['retunes']} retunes,"
+                f" {snap['clamped']} clamped; {chosen}"
+            )
     return out
 
 
@@ -232,6 +251,8 @@ def _bench_report(args) -> int:
         result["metadata"] = wallclock.bench_metadata()
     if args.wb:
         result["wb"] = wallclock.bench_wb()
+    if args.hetero:
+        result["hetero"] = wallclock.bench_hetero()
     if args.json:
         path = wallclock.write_bench(result, out=args.out)
         print(f"wrote {path}")
@@ -284,6 +305,22 @@ def _bench_report(args) -> int:
                 f" ({wb['sim_speedup']:.2f}x), requests"
                 f" {wb['uncached_requests']} -> {wb['cached_requests']}"
             )
+        het = result.get("hetero")
+        if het is not None:
+            nv = het["phases"]["nvme"]
+            at_ = het["phases"]["ata"]
+            note += (
+                f"\nhetero phases: ata disk {at_['disk_us'] / 1e3:.0f} ms vs"
+                f" reg+xfer {(at_['register_us'] + at_['transfer_us']) / 1e3:.0f} ms;"
+                f" nvme disk {nv['disk_us'] / 1e3:.1f} ms vs"
+                f" reg+xfer {(nv['register_us'] + nv['transfer_us']) / 1e3:.1f} ms"
+                f" (pin-cache hit rate {nv['pin_cache_hit_rate']:.0%})"
+                f"\nhetero mixed: frozen"
+                f" {het['mixed']['frozen']['aggregate_mb_s']:.0f} -> tuned"
+                f" {het['mixed']['tuned']['aggregate_mb_s']:.0f} MB/s aggregate"
+                f" ({het['autotune_speedup']:.2f}x,"
+                f" {het['mixed']['tuned']['retunes']} retunes)"
+            )
         t.note(note)
         print(t)
     if args.contend is not None:
@@ -321,6 +358,18 @@ def _bench_report(args) -> int:
             f"write-behind check: OK (sim speedup {wb['sim_speedup']:.2f}x"
             f" >= 2.0 on small strided writes;"
             f" {wb['uncached_requests']} -> {wb['cached_requests']} requests)"
+        )
+    if args.hetero:
+        failures = wallclock.check_hetero(result["hetero"])
+        if failures:
+            for f in failures:
+                print(f"HETERO: {f}", file=sys.stderr)
+            return 1
+        het = result["hetero"]
+        print(
+            f"hetero check: OK (autotune"
+            f" {het['autotune_speedup']:.2f}x >= 1.3 on mixed ATA+NVMe;"
+            f" NVMe run registration+transfer >= disk time)"
         )
     if args.check is not None:
         with open(args.check) as fh:
@@ -375,6 +424,7 @@ def _explore_report(args) -> int:
         plant=args.plant_bug,
         meta=args.meta,
         wb=args.wb,
+        hetero=args.hetero,
     )
     return 1 if failures else 0
 
@@ -442,6 +492,21 @@ def main(argv=None) -> int:
         action="store_true",
         help="enable the client write-behind cache on every client "
         "(buffered bytes are flushed inside the timed window)",
+    )
+    prof.add_argument(
+        "--backends",
+        default=None,
+        metavar="LIST",
+        help="comma-separated per-IOD backend profiles cycled over the "
+        "daemons, e.g. ata,nvme (choices: ata, ssd, nvme; default: the "
+        "calibrated ATA testbed everywhere)",
+    )
+    prof.add_argument(
+        "--autotune",
+        action="store_true",
+        help="run the per-daemon policy controller (observes service "
+        "curves, retunes ADS/elevator/QoS knobs; choices appear in the "
+        "report footer)",
     )
     prof.add_argument(
         "--json", action="store_true", help="dump the raw metrics export as JSON"
@@ -519,6 +584,13 @@ def main(argv=None) -> int:
         "speedup",
     )
     bench.add_argument(
+        "--hetero",
+        action="store_true",
+        help="also run the heterogeneous-backend benchmark (ATA vs NVMe "
+        "phase breakdown + frozen-vs-autotuned mixed cluster) and gate "
+        "on the 6.4 prediction and a >= 1.3x autotune speedup",
+    )
+    bench.add_argument(
         "--check",
         default=None,
         metavar="BASELINE",
@@ -579,6 +651,13 @@ def main(argv=None) -> int:
         help="make every seed a write-behind case: a mix of cached and "
         "uncached clients racing on a shared file, checked by the "
         "cache-coherence oracles",
+    )
+    explore.add_argument(
+        "--hetero",
+        action="store_true",
+        help="make every seed a heterogeneous-backend case: a random "
+        "ATA/SSD/NVMe assignment per I/O daemon with the autotune "
+        "controller on, checked by the standard oracles",
     )
     explore.add_argument(
         "--plant-bug",

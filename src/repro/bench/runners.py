@@ -552,6 +552,8 @@ def profile_workload(
     mgr_shards: int = 1,
     mgr_replicas: int = 1,
     wb_cache: bool = False,
+    backends: Optional[List[str]] = None,
+    autotune: bool = False,
 ) -> Dict[str, object]:
     """Run one workload and return the cluster metrics export.
 
@@ -580,6 +582,11 @@ def profile_workload(
     The timed window then *includes* a drain pass that flushes every
     buffered byte and releases every lease — the measurement never
     credits the cache with work it merely deferred.
+
+    ``backends`` assigns per-IOD storage profiles (names cycled over
+    the daemons, e.g. ``["ata", "nvme"]``); ``autotune`` turns the
+    per-daemon policy controller on — its choices land in the export's
+    ``autotune`` section (and the profile footer).
     """
     if workload not in PROFILE_WORKLOADS:
         raise ValueError(
@@ -603,6 +610,8 @@ def profile_workload(
         n_mgr_shards=mgr_shards,
         mgr_replicas=mgr_replicas,
         wb_cache=wb_cache or None,
+        backends=backends,
+        autotune=autotune,
     )
 
     def _wb_drain(c):
@@ -650,6 +659,10 @@ def profile_workload(
         "size": size,
         "bytes": total,
         "wb_cache": wb_cache,
+        "backends": [b.name if b else "ata" for b in cluster.backends]
+        if backends is not None
+        else None,
+        "autotune": autotune,
         "mb_per_s": _mb_s(total, elapsed),
     }
     return export

@@ -56,6 +56,8 @@ __all__ = [
     "check_metadata",
     "bench_wb",
     "check_wb",
+    "bench_hetero",
+    "check_hetero",
     "run_bench",
     "write_bench",
     "check_regression",
@@ -577,6 +579,228 @@ def check_wb(wb: Dict) -> List[str]:
     return failures
 
 
+def _phase_breakdown_run(backend: Optional[str], n_clients: int, npieces: int, piece: int):
+    """One uncached noncontiguous write+read run; returns its phase table.
+
+    Every client ships strided pieces of a private file through the
+    gather scheme (the registration-heavy path) and reads them back, so
+    the run exercises registration, transfer, and disk service on one
+    backend; caches are disabled, the paper's "without cache" setup.
+    """
+    from repro.pvfs import PVFSCluster
+
+    cluster = PVFSCluster(
+        n_clients=n_clients,
+        n_iods=n_clients,
+        scheme="gather",
+        cache_enabled=False,
+        backends=[backend] if backend else None,
+    )
+
+    def proc(c, rank):
+        base = c.node.space.malloc(npieces * piece)
+        c.node.space.fill(base, npieces * piece, (rank % 255) + 1)
+        mem_segs = [Segment(base + i * piece, piece) for i in range(npieces)]
+        file_segs = [Segment(i * piece * 2, piece) for i in range(npieces)]
+        f = yield from c.open(f"/pfs/hetero/c{rank}")
+        yield from c.write_list(f, mem_segs, file_segs)
+        yield from c.read_list(f, mem_segs, file_segs)
+
+    cluster.run([proc(c, i) for i, c in enumerate(cluster.clients)])
+    export = cluster.metrics_export()
+    phases = export["phases"]
+
+    def total(name: str) -> float:
+        row = phases.get(name)
+        return row["total_us"] if row else 0.0
+
+    counters = export["counters"]
+
+    def count(name: str) -> int:
+        row = counters.get(name)
+        return int(row["count"]) if row else 0
+
+    hits = count("ib.pincache.hits")
+    regs = count("ib.reg.ops")
+    return {
+        "backend": backend if backend else "ata",
+        "elapsed_us": cluster.sim.now,
+        "register_us": total("transfer.register"),
+        "transfer_us": total("transfer.move"),
+        "disk_us": total("iod.disk"),
+        "pin_cache_hits": hits,
+        "registrations": regs,
+        "pin_cache_hit_rate": hits / (hits + regs) if (hits + regs) else 0.0,
+    }
+
+
+def _hetero_mixed_run(autotune: bool, n_iods: int, streams: int, ops: int, piece: int):
+    """One mixed ATA+NVMe run; returns per-client throughput + controller stats.
+
+    Two clients share each I/O daemon (pinned there by writing inside
+    the 16 MB stripe at offset ``(rank // 2) * 16 MB`` of a base-0
+    layout), each driving ``streams`` concurrent writers into its own
+    file; the shared QoS config is the frozen ATA-tuned default.
+    Untuned, the NVMe daemons idle between credit-starved retry backoffs
+    sized for an 8 ms-seek disk, and ``max_inflight=2`` keeps their
+    elevator queues too shallow to feed the service slots; with the
+    controller on, observed service curves raise the NVMe daemons'
+    credits/quanta/inflight within a few intervals, and the two files'
+    jobs service slot-parallel.
+    """
+    from repro.pvfs import PVFSCluster, RetryPolicy
+
+    n_clients = 2 * n_iods
+    qos = {
+        "enabled": True,
+        "policy": "drr",
+        "quantum_bytes": 64 * 1024,
+        "max_inflight": 2,
+        "credits_per_client": 8,
+        "high_water": 64,
+        "retry_after_us": 200.0,
+    }
+    # Patient clients: the frozen config sheds load aggressively, and the
+    # honored retry-after waits ARE the penalty under measurement.
+    retry = RetryPolicy(max_retries=400, timeout_us=60_000_000.0)
+    cluster = PVFSCluster(
+        n_clients=n_clients,
+        n_iods=n_iods,
+        scheme="gather",
+        cache_enabled=False,
+        stripe_size=16 * MB,
+        qos=qos,
+        backends=["ata", "nvme"],
+        autotune=autotune,
+        retry=retry,
+    )
+    sim = cluster.sim
+    finish = [0.0] * n_clients
+    client_bytes = [0] * n_clients
+
+    def stream(c, rank: int, sidx: int):
+        space = c.node.space
+        base = space.malloc(ops * piece)
+        space.fill(base, ops * piece, (rank % 255) + 1)
+        f = yield from c.open(f"/pfs/hetero/c{rank}")
+        pin = (rank // 2) * 16 * MB  # stripe rank//2 of a base-0 layout
+        for k in range(ops):
+            # Stream-interleaved offsets: the k-th round's pieces across
+            # all streams are contiguous on disk, so elevator merging is
+            # exactly as good as the queue the admission gate lets it see.
+            yield from c.write_list(
+                f,
+                [Segment(base + k * piece, piece)],
+                [Segment(pin + (k * streams + sidx) * piece, piece)],
+                use_ads=False,
+            )
+            client_bytes[rank] += piece
+        finish[rank] = max(finish[rank], sim.now)
+
+    procs = [
+        stream(c, rank, sidx)
+        for rank, c in enumerate(cluster.clients)
+        for sidx in range(streams)
+    ]
+    cluster.run(procs)
+
+    per_client_mb_s = [
+        client_bytes[r] / finish[r] * US_PER_S / MB for r in range(n_clients)
+    ]
+    counters = cluster.stat_delta()
+
+    def count(name: str) -> int:
+        return int(counters.get(name, (0, 0.0))[0])
+
+    return {
+        "autotune": autotune,
+        "elapsed_us": sim.now,
+        "backends": [b.name if b else "ata" for b in cluster.backends],
+        "per_client_mb_s": [round(v, 3) for v in per_client_mb_s],
+        "aggregate_mb_s": round(sum(per_client_mb_s), 3),
+        "busy_rejects": count("pvfs.iod.qos.busy_rejects"),
+        "retunes": count("pvfs.autotune.retunes"),
+        "observations": count("pvfs.autotune.observations"),
+        "clamped": count("pvfs.autotune.clamped"),
+        "controllers": [c.snapshot() for c in cluster.autotuners],
+    }
+
+
+def bench_hetero(
+    n_clients: int = 4,
+    npieces: int = 24,
+    piece: int = 64 * 1024,
+    streams: int = 16,
+    ops: int = 18,
+    mixed_piece: int = 8 * 1024,
+) -> Dict[str, object]:
+    """Heterogeneous backends: the §6.4 prediction plus the autotune gate.
+
+    Two experiments, both simulated time only (deterministic):
+
+    - ``phases``: the same uncached noncontiguous workload on an all-ATA
+      and an all-NVMe cluster.  The paper's §6.4 prediction is that a
+      faster file system flips the bottleneck — on ATA disk service
+      dominates; on NVMe registration+transfer must meet or exceed disk
+      time, making pin-cache hit rate the top-line lever.
+    - ``mixed``: a 2×ATA + 2×NVMe cluster (two clients per daemon)
+      under frozen ATA-tuned QoS defaults versus the same cluster with
+      the autotune controller on.
+      ``autotune_speedup`` is the tuned aggregate throughput (sum of
+      per-client MB/s) over the frozen one; the acceptance gate
+      (:func:`check_hetero`) requires >= 1.3x.
+    """
+    ata = _phase_breakdown_run(None, n_clients, npieces, piece)
+    nvme = _phase_breakdown_run("nvme", n_clients, npieces, piece)
+    frozen = _hetero_mixed_run(False, n_clients, streams, ops, mixed_piece)
+    tuned = _hetero_mixed_run(True, n_clients, streams, ops, mixed_piece)
+    return {
+        "clients": n_clients,
+        "pieces_per_client": npieces,
+        "piece_bytes": piece,
+        "streams": streams,
+        "ops_per_stream": ops,
+        "mixed_piece_bytes": mixed_piece,
+        "phases": {"ata": ata, "nvme": nvme},
+        "mixed": {"frozen": frozen, "tuned": tuned},
+        "autotune_speedup": (
+            tuned["aggregate_mb_s"] / frozen["aggregate_mb_s"]
+            if frozen["aggregate_mb_s"]
+            else float("inf")
+        ),
+    }
+
+
+def check_hetero(het: Dict) -> List[str]:
+    """The heterogeneous-backend acceptance gate; list the failures."""
+    failures: List[str] = []
+    nvme = het["phases"]["nvme"]
+    ata = het["phases"]["ata"]
+    if nvme["register_us"] + nvme["transfer_us"] < nvme["disk_us"]:
+        failures.append(
+            f"NVMe run is still disk-bound: registration+transfer "
+            f"{nvme['register_us'] + nvme['transfer_us']:.0f} us < disk "
+            f"{nvme['disk_us']:.0f} us — the 6.4 prediction does not hold"
+        )
+    if ata["register_us"] + ata["transfer_us"] >= ata["disk_us"]:
+        failures.append(
+            f"ATA control is not disk-bound (registration+transfer "
+            f"{ata['register_us'] + ata['transfer_us']:.0f} us >= disk "
+            f"{ata['disk_us']:.0f} us) — the contrast has no baseline"
+        )
+    if het["autotune_speedup"] < 1.3:
+        failures.append(
+            f"autotune speedup {het['autotune_speedup']:.2f}x fell below the "
+            "1.3x floor on the mixed ATA+NVMe cluster"
+        )
+    if het["mixed"]["tuned"]["retunes"] < 1:
+        failures.append(
+            "the tuned run published no retunes — the controller never "
+            "engaged, so any speedup is accidental"
+        )
+    return failures
+
+
 def run_bench(
     label: str = "local",
     n: int = 1024,
@@ -695,4 +919,33 @@ def check_regression(
                         f"baseline {base_wb[key]:.1f} us"
                     )
             failures.extend(check_wb(cur_wb))
+
+    base_het = baseline.get("hetero")
+    if base_het is not None:
+        cur_het = current.get("hetero")
+        if cur_het is None:
+            failures.append(
+                "hetero: baseline has the heterogeneous bench but the "
+                "current run was made without --hetero"
+            )
+        else:
+            # Simulated time: any drift means the backend profiles or the
+            # controller changed and the baseline needs regenerating.
+            for leg in ("frozen", "tuned"):
+                cur_us = cur_het["mixed"][leg]["elapsed_us"]
+                base_us = base_het["mixed"][leg]["elapsed_us"]
+                if cur_us != base_us:
+                    failures.append(
+                        f"hetero: mixed {leg} elapsed {cur_us:.1f} us differs "
+                        f"from baseline {base_us:.1f} us"
+                    )
+            for backend in ("ata", "nvme"):
+                cur_us = cur_het["phases"][backend]["elapsed_us"]
+                base_us = base_het["phases"][backend]["elapsed_us"]
+                if cur_us != base_us:
+                    failures.append(
+                        f"hetero: {backend} phase run elapsed {cur_us:.1f} us "
+                        f"differs from baseline {base_us:.1f} us"
+                    )
+            failures.extend(check_hetero(cur_het))
     return failures

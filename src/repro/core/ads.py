@@ -28,9 +28,9 @@ is track-to-track, not a full-platter average seek.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Literal, Sequence
+from typing import List, Literal, Optional, Sequence
 
-from repro.calibration import Testbed
+from repro.calibration import BackendProfile, Testbed
 from repro.disk.costmodel import DiskCostModel
 from repro.mem.segments import Segment, coalesce, total_bytes
 
@@ -39,14 +39,25 @@ __all__ = ["AdsCostModel", "SievePlan", "plan_sieve"]
 
 @dataclass(frozen=True)
 class AdsCostModel:
-    """Evaluates the paper's four cost formulas for one I/O node."""
+    """Evaluates the paper's four cost formulas for one I/O node.
+
+    ``seek_estimate_us`` overrides the model's per-access O_seek; it is
+    how the autotune controller feeds the *observed* positioning cost of
+    a backend into the sieve decision instead of the hand-set constant.
+    """
 
     testbed: Testbed
     disk: DiskCostModel
+    seek_estimate_us: Optional[float] = None
 
     @classmethod
     def for_testbed(cls, testbed: Testbed) -> "AdsCostModel":
         return cls(testbed, DiskCostModel(testbed))
+
+    @classmethod
+    def for_backend(cls, testbed: Testbed, profile: BackendProfile) -> "AdsCostModel":
+        """A model whose B(s) curves and O_seek match one backend profile."""
+        return cls(testbed, DiskCostModel(testbed, profile=profile))
 
     # -- bandwidth selectors ------------------------------------------------
     def _read_bw(self, size: int, cached: bool) -> float:
@@ -58,7 +69,13 @@ class AdsCostModel:
     def _seek_est(self, cached: bool) -> float:
         # Cached accesses never move the head; uncached pieces of one
         # stripe file are short strides apart (the model's O_seek).
-        return 0.0 if cached else self.testbed.ads_seek_estimate_us
+        if cached:
+            return 0.0
+        if self.seek_estimate_us is not None:
+            return self.seek_estimate_us
+        if self.disk.profile is not None:
+            return self.disk.profile.ads_seek_estimate_us
+        return self.testbed.ads_seek_estimate_us
 
     # -- the four formulas -----------------------------------------------------
     def t_read(self, sizes: Sequence[int], cached: bool) -> float:

@@ -12,6 +12,13 @@ MB/s while a 4 MB read runs at ~19.8 MB/s, consistent with the small-
 vs-large access behaviour of an early-2000s ATA disk; the streaming
 asymptote matches Table 3 (read 20 MB/s, write 25 MB/s).
 
+Reads and writes saturate at different request sizes on real devices, so
+the half-speed point is split into ``read_half_speed_size`` and
+``write_half_speed_size`` (``half_speed_size`` remains as an alias that
+sets both).  A :class:`~repro.calibration.BackendProfile` supplies the
+whole storage-facing parameter set at once, letting the same model
+describe ATA, SSD, and NVMe backends.
+
 These same functions are what the Active Data Sieving decision model
 evaluates on the I/O node, so model and execution are always consistent.
 """
@@ -19,33 +26,78 @@ evaluates on the I/O node, so model and execution are always consistent.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from repro.calibration import KB, Testbed
+from repro.calibration import KB, BackendProfile, Testbed
 
 __all__ = ["DiskCostModel"]
 
 
 @dataclass(frozen=True)
 class DiskCostModel:
-    """Pure cost functions for one I/O node's disk stack."""
+    """Pure cost functions for one I/O node's disk stack.
+
+    Parameter precedence for the half-speed sizes: an explicit
+    ``read_half_speed_size``/``write_half_speed_size`` wins, then the
+    ``profile``'s calibrated values, then the legacy shared
+    ``half_speed_size`` alias (default 32 kB).  Stream bandwidths and
+    seek costs come from ``profile`` when one is attached, otherwise
+    from the testbed's built-in ATA constants.
+    """
 
     testbed: Testbed
     half_speed_size: int = 32 * KB
+    read_half_speed_size: Optional[int] = None
+    write_half_speed_size: Optional[int] = None
+    profile: Optional[BackendProfile] = None
+
+    # -- resolved parameters -------------------------------------------------
+    @property
+    def read_s_half(self) -> int:
+        if self.read_half_speed_size is not None:
+            return self.read_half_speed_size
+        if self.profile is not None:
+            return self.profile.read_half_speed_size
+        return self.half_speed_size
+
+    @property
+    def write_s_half(self) -> int:
+        if self.write_half_speed_size is not None:
+            return self.write_half_speed_size
+        if self.profile is not None:
+            return self.profile.write_half_speed_size
+        return self.half_speed_size
+
+    @property
+    def stream_read_bw(self) -> float:
+        if self.profile is not None:
+            return self.profile.disk_read_bw
+        return self.testbed.disk_read_bw
+
+    @property
+    def stream_write_bw(self) -> float:
+        if self.profile is not None:
+            return self.profile.disk_write_bw
+        return self.testbed.disk_write_bw
+
+    @property
+    def full_seek_us(self) -> float:
+        if self.profile is not None:
+            return self.profile.disk_seek_us
+        return self.testbed.disk_seek_us
 
     # -- raw bandwidth curves ----------------------------------------------
     def read_bw(self, size: int) -> float:
         """Uncached read bandwidth B_r(s) in bytes/us."""
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
-        t = self.testbed
-        return t.disk_read_bw * size / (size + self.half_speed_size)
+        return self.stream_read_bw * size / (size + self.read_s_half)
 
     def write_bw(self, size: int) -> float:
         """Uncached write bandwidth B_w(s) in bytes/us."""
         if size <= 0:
             raise ValueError(f"size must be positive, got {size}")
-        t = self.testbed
-        return t.disk_write_bw * size / (size + self.half_speed_size)
+        return self.stream_write_bw * size / (size + self.write_s_half)
 
     # -- single-call costs ---------------------------------------------------
     def read_us(self, size: int, cached: bool, seek: bool) -> float:
@@ -56,7 +108,7 @@ class DiskCostModel:
             cost += size / t.cache_read_bw
         else:
             if seek:
-                cost += t.disk_seek_us
+                cost += self.full_seek_us
             cost += size / self.read_bw(size)
         return cost
 
@@ -68,7 +120,7 @@ class DiskCostModel:
             cost += size / t.cache_write_bw
         else:
             if seek:
-                cost += t.disk_seek_us
+                cost += self.full_seek_us
             cost += size / self.write_bw(size)
         return cost
 

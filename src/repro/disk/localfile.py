@@ -23,12 +23,12 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional, Tuple
 
-from repro.calibration import Testbed
+from repro.calibration import BackendProfile, Testbed
 from repro.disk.costmodel import DiskCostModel
 from repro.disk.pagecache import PageCache
 from repro.mem.segments import Segment, coalesce
 from repro.sim.engine import Simulator
-from repro.sim.resources import Lock
+from repro.sim.resources import Lock, Resource
 from repro.sim.stats import StatRegistry
 
 __all__ = ["FileLockError", "LocalFile", "LocalFileSystem"]
@@ -121,6 +121,8 @@ class LocalFile:
             yield fs.sim.timeout(fs.cost.seek_us())
             return 0
         cost = fs._read_cost(self, offset, length)
+        fs.read_us_total += cost
+        fs.read_bytes_total += length
         yield fs.sim.timeout(cost)
         fs._mark_read(self, offset, length)
         self._copy_out(offset, dv)
@@ -146,6 +148,8 @@ class LocalFile:
             yield fs.sim.timeout(fs.cost.seek_us())
             return 0
         cost = fs._read_cost(self, offset, total)
+        fs.read_us_total += cost
+        fs.read_bytes_total += total
         yield fs.sim.timeout(cost)
         fs._mark_read(self, offset, total)
         pos = offset
@@ -172,6 +176,8 @@ class LocalFile:
             yield fs.sim.timeout(fs.cost.seek_us())
             return 0
         cost, evicted = fs._write_cost(self, offset, length)
+        fs.write_us_total += cost
+        fs.write_bytes_total += length
         yield fs.sim.timeout(cost)
         self._ensure_size(offset + length)
         self.data[offset : offset + length] = view
@@ -198,6 +204,8 @@ class LocalFile:
             yield fs.sim.timeout(fs.cost.seek_us())
             return 0
         cost, evicted = fs._write_cost(self, offset, total)
+        fs.write_us_total += cost
+        fs.write_bytes_total += total
         yield fs.sim.timeout(cost)
         self._ensure_size(offset + total)
         pos = offset
@@ -253,12 +261,28 @@ class LocalFileSystem:
         stats: Optional[StatRegistry] = None,
         name: str = "",
         cache_enabled: bool = True,
+        profile: Optional[BackendProfile] = None,
     ):
         self.sim = sim
         self.testbed = testbed
         self.stats = stats if stats is not None else StatRegistry()
         self.name = name
-        self.cost = DiskCostModel(testbed)
+        self.profile = profile
+        self.cost = DiskCostModel(testbed, profile=profile)
+        # Positioning parameters; without a profile these are exactly the
+        # testbed's built-in ATA constants.
+        p = profile
+        self._full_seek_us = p.disk_seek_us if p else testbed.disk_seek_us
+        self._short_seek_us = p.disk_short_seek_us if p else testbed.disk_short_seek_us
+        self._stride_floor_us = p.disk_stride_floor_us if p else testbed.disk_stride_floor_us
+        self._seek_near_bytes = p.seek_near_bytes if p else testbed.seek_near_bytes
+        self._passover_bw = p.disk_read_bw if p else testbed.disk_read_bw
+        # Internal device parallelism: >1 service slots lets the elevator
+        # drive that many groups concurrently (SSD/NVMe channels).
+        slots = p.service_slots if p else 1
+        self.slots: Optional[Resource] = (
+            Resource(sim, capacity=slots, name=f"{name}.slots") if slots > 1 else None
+        )
         # Fault-injection plan; attached by the cluster (None = healthy).
         self.faults = None
         self.cache = PageCache(testbed, self.stats, enabled=cache_enabled)
@@ -266,6 +290,14 @@ class LocalFileSystem:
         self._next_id = 0
         # Disk head position: (file_id, byte offset) after the last raw access.
         self._head: Optional[Tuple[int, int]] = None
+        # Observational accounting for the autotune controller (plain
+        # counters; reading them never perturbs simulated time).
+        self.seek_count = 0
+        self.seek_us_total = 0.0
+        self.read_us_total = 0.0
+        self.read_bytes_total = 0
+        self.write_us_total = 0.0
+        self.write_bytes_total = 0
 
     # -- namespace ------------------------------------------------------------
 
@@ -318,15 +350,18 @@ class LocalFileSystem:
         if not self._seek_needed(file_id, offset):
             return 0.0
         self.stats.add("disk.seek.calls")
-        t = self.testbed
+        self.seek_count += 1
         if self._head is not None and self._head[0] == file_id:
             distance = abs(offset - self._head[1])
-            if distance <= t.seek_near_bytes:
+            if distance <= self._seek_near_bytes:
                 # Rotational pass-over: skipping bytes on the platter
                 # costs about their transfer time, capped by a real seek.
-                passover = distance / t.disk_read_bw
-                return min(t.disk_short_seek_us, max(t.disk_stride_floor_us, passover))
-        return t.disk_seek_us
+                passover = distance / self._passover_bw
+                cost = min(self._short_seek_us, max(self._stride_floor_us, passover))
+                self.seek_us_total += cost
+                return cost
+        self.seek_us_total += self._full_seek_us
+        return self._full_seek_us
 
     def _read_cost(self, f: LocalFile, offset: int, length: int) -> float:
         """Time for a pread, accounting residency and sequentiality."""
@@ -396,4 +431,6 @@ class LocalFileSystem:
         cost += length / self.cost.write_bw(length)
         self._head = (file_id, offset + length)
         self.stats.add("disk.flush.bytes", length)
+        self.write_us_total += cost
+        self.write_bytes_total += length
         return cost

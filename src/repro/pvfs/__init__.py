@@ -15,10 +15,13 @@ The pieces (mirroring PVFS 1.5.x as the paper describes it):
   ``pvfs_write`` / ``pvfs_read_list`` / ``pvfs_write_list``.
 - :mod:`repro.pvfs.qos` — per-daemon admission control: fair-share
   (deficit round-robin) queueing, per-client credits, load shedding.
+- :mod:`repro.pvfs.autotune` — self-tuning policy controller deriving
+  ADS/elevator/QoS knobs from observed backend service curves.
 - :mod:`repro.pvfs.cluster` — builder wiring clients, manager and I/O
   daemons into one simulated cluster.
 """
 
+from repro.pvfs.autotune import AutotuneConfig, AutotuneController
 from repro.pvfs.striping import StripeLayout, StripedPiece
 from repro.pvfs.errors import (
     DegradedError,
@@ -49,6 +52,8 @@ from repro.pvfs.cluster import PVFSCluster
 
 __all__ = [
     "AccessMode",
+    "AutotuneConfig",
+    "AutotuneController",
     "DataReady",
     "DegradedError",
     "Done",

@@ -1,0 +1,395 @@
+"""Self-tuning policy controller for heterogeneous storage backends.
+
+Every policy knob downstream of the disk model — the ADS sieve
+threshold's per-access O_seek (``core/ads.py``), the elevator's batch
+and merge limits (``pvfs/scheduler.py``), and the QoS gate's
+quantum/credits/high-water (``pvfs/qos.py``) — was hand-tuned to the
+paper's ATA/ext3 profile.  On an SSD or NVMe backend those constants
+leave throughput on the table: credits sized for an 8000 us-seek disk
+throttle a device that drains its backlog three orders of magnitude
+faster.
+
+This module closes the loop.  An :class:`AutotuneController` per I/O
+daemon observes the backend's *realised* service-time curve online —
+EWMA over deltas of the file system's and elevator's observational
+accounting (never the simulated clock path, so observation is free) —
+and derives each knob from two quantities:
+
+- ``svc_us_per_byte`` — the EWMA cost of moving one byte through the
+  disk stack, the reciprocal of the effective B(s) at the sizes the
+  workload actually issues; and
+- ``seek_us`` — the EWMA realised positioning cost per head movement.
+
+The derivations are deliberately simple, monotone window rules::
+
+    quantum_bytes = quantum_slice_us  / svc_us_per_byte
+    credits       = credit_window_us  / (avg_job_bytes * svc_us_per_byte)
+    high_water    = queue_window_us   / (avg_job_bytes * svc_us_per_byte)
+    batch_limit   = batch_window_us   / (avg_job_bytes * svc_us_per_byte)
+    merge_limit   = 2 * batch_limit
+    max_inflight  = inflight_window_us / (avg_job_bytes * svc_us_per_byte)
+    seek_estimate = seek_us
+
+i.e. every knob is "how much work fits in a fixed wall-time window on
+*this* backend" — a faster backend (smaller ``svc_us_per_byte``) earns
+proportionally larger quanta, credit windows and batches.  Each result
+is clamped to a documented range (see :class:`AutotuneConfig`); clamped
+proposals are counted so a saturating controller is visible in metrics.
+
+Determinism: the controller only re-publishes at a bounded cadence
+(``interval_us``) from its own simulated process, and that process uses
+the wake-on-work pattern — it sleeps on a bare event until the elevator
+sees a submission, then samples on its timeout grid only while the
+daemon is busy, so an idle cluster still drains the event heap and
+``cluster.run()`` terminates.  Tuning changes *when* things happen,
+never *what* bytes move: the explore oracle's ``hetero`` axis checks
+exactly that.
+
+Everything the controller decides is visible under ``pvfs.autotune.*``:
+``observations``, ``retunes``, ``clamped``, and per-knob
+``pvfs.autotune.knob.<name>`` counters whose ``total`` holds the
+knob's current value (``count`` = number of publishes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.calibration import KB, MB
+from repro.sim.engine import Event
+
+__all__ = [
+    "AutotuneConfig",
+    "Observation",
+    "Proposal",
+    "derive",
+    "AutotuneController",
+]
+
+
+@dataclass(frozen=True)
+class AutotuneConfig:
+    """Controller cadence, target windows, and knob clamps.
+
+    The target windows are wall-time budgets: e.g. a DRR quantum should
+    represent ~``quantum_slice_us`` of service on whatever backend the
+    daemon has.  The clamps bound every published knob; proposals
+    outside them are clipped and counted under ``pvfs.autotune.clamped``.
+    """
+
+    enabled: bool = True
+    interval_us: float = 5_000.0        # re-publish cadence (bounded)
+    ewma_alpha: float = 0.4             # weight of the newest sample
+    min_observation_bytes: int = 8 * KB  # don't tune on noise
+
+    # Target service windows (us of backend time per knob unit).
+    quantum_slice_us: float = 3200.0    # one DRR quantum of service
+    credit_window_us: float = 1600.0    # per-client outstanding work
+    queue_window_us: float = 12_800.0   # total queue depth worth keeping
+    batch_window_us: float = 1600.0     # one elevator batch of service
+    inflight_window_us: float = 400.0   # concurrently serviced work
+
+    # Clamps (documented ranges; the controller never leaves them).
+    seek_estimate_min_us: float = 1.0
+    seek_estimate_max_us: float = 12_000.0
+    quantum_min_bytes: int = 16 * KB
+    quantum_max_bytes: int = 1 * MB
+    credits_min: int = 8
+    credits_max: int = 64
+    high_water_min: int = 64
+    high_water_max: int = 512
+    batch_limit_min: int = 8
+    batch_limit_max: int = 256
+    merge_limit_min: int = 16
+    merge_limit_max: int = 512
+    inflight_min: int = 2
+    inflight_max: int = 16
+
+    def __post_init__(self) -> None:
+        if self.interval_us <= 0:
+            raise ValueError("interval_us must be positive")
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "AutotuneConfig":
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One EWMA-smoothed view of a backend's realised behaviour."""
+
+    svc_us_per_byte: float      # EWMA service cost of one byte
+    seek_us: float              # EWMA positioning cost per head move
+    avg_job_bytes: float        # EWMA bytes per serviced disk job
+    depth: int = 0              # instantaneous elevator queue depth
+    backlog_us: float = 0.0     # QoS backlog hint at sample time
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """The derived knob set (already clamped)."""
+
+    seek_estimate_us: float
+    quantum_bytes: int
+    credits_per_client: int
+    high_water: int
+    batch_limit: int
+    merge_limit: int
+    max_inflight: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "seek_estimate_us": self.seek_estimate_us,
+            "quantum_bytes": float(self.quantum_bytes),
+            "credits_per_client": float(self.credits_per_client),
+            "high_water": float(self.high_water),
+            "batch_limit": float(self.batch_limit),
+            "merge_limit": float(self.merge_limit),
+            "max_inflight": float(self.max_inflight),
+        }
+
+
+def _clamp(value: float, lo: float, hi: float) -> tuple:
+    if value < lo:
+        return lo, True
+    if value > hi:
+        return hi, True
+    return value, False
+
+
+def derive(obs: Observation, cfg: AutotuneConfig) -> tuple:
+    """Pure knob derivation: ``(Proposal, n_clamped)``.
+
+    Monotone by construction: a *faster* backend (smaller
+    ``svc_us_per_byte``) can only raise quantum/credits/high-water/batch
+    within the clamps, and a smaller observed seek can only lower the
+    published sieve seek estimate.
+    """
+    svc = max(obs.svc_us_per_byte, 1e-9)
+    job_bytes = max(obs.avg_job_bytes, 1.0)
+    job_us = job_bytes * svc
+    clamped = 0
+
+    seek, c = _clamp(obs.seek_us, cfg.seek_estimate_min_us, cfg.seek_estimate_max_us)
+    clamped += c
+    quantum, c = _clamp(
+        cfg.quantum_slice_us / svc, cfg.quantum_min_bytes, cfg.quantum_max_bytes
+    )
+    clamped += c
+    credits, c = _clamp(cfg.credit_window_us / job_us, cfg.credits_min, cfg.credits_max)
+    clamped += c
+    high_water, c = _clamp(
+        cfg.queue_window_us / job_us, cfg.high_water_min, cfg.high_water_max
+    )
+    clamped += c
+    batch, c = _clamp(
+        cfg.batch_window_us / job_us, cfg.batch_limit_min, cfg.batch_limit_max
+    )
+    clamped += c
+    merge, c = _clamp(2 * int(batch), cfg.merge_limit_min, cfg.merge_limit_max)
+    clamped += c
+    inflight, c = _clamp(
+        cfg.inflight_window_us / job_us, cfg.inflight_min, cfg.inflight_max
+    )
+    clamped += c
+
+    return (
+        Proposal(
+            seek_estimate_us=float(seek),
+            quantum_bytes=int(quantum),
+            credits_per_client=int(credits),
+            high_water=int(high_water),
+            batch_limit=int(batch),
+            merge_limit=int(merge),
+            max_inflight=int(inflight),
+        ),
+        clamped,
+    )
+
+
+class AutotuneController:
+    """Observe one I/O daemon's backend online and re-publish its knobs.
+
+    Attach via ``iod.autotune = AutotuneController(iod, cfg)``; the
+    elevator's ``submit()`` calls :meth:`notify` so the sampling process
+    only runs while there is work in flight.
+    """
+
+    def __init__(self, iod, cfg: Optional[AutotuneConfig] = None):
+        self.iod = iod
+        self.sim = iod.sim
+        self.cfg = cfg if cfg is not None else AutotuneConfig()
+        self.stats = iod.node.stats
+        # EWMA state (None until the first qualifying sample).
+        self._svc_us_per_byte: Optional[float] = None
+        self._seek_us: Optional[float] = None
+        self._avg_job_bytes: Optional[float] = None
+        # Last-seen raw totals, for delta computation.
+        self._last_read_us = 0.0
+        self._last_read_bytes = 0
+        self._last_write_us = 0.0
+        self._last_write_bytes = 0
+        self._last_seek_us = 0.0
+        self._last_seek_count = 0
+        self._last_svc_jobs = 0
+        self._last_svc_bytes = 0
+        self.last_proposal: Optional[Proposal] = None
+        self.observations = 0
+        self.retunes = 0
+        self.clamped = 0
+        self._wake: Optional[Event] = None
+        if self.cfg.enabled:
+            self.proc = self.sim.process(
+                self._run(), name=f"{iod.name}.autotune"
+            )
+        else:
+            self.proc = None
+
+    # -- wiring --------------------------------------------------------------
+
+    def notify(self) -> None:
+        """Work arrived at the elevator; wake the sampling process."""
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    def _busy(self) -> bool:
+        iod = self.iod
+        if iod.scheduler.depth > 0 or iod.disk_lock.in_use > 0:
+            return True
+        qos = iod.qos
+        if qos is not None and (qos.pending_total > 0 or qos.inflight > 0):
+            return True
+        return False
+
+    def _run(self) -> Generator:
+        """Wake-on-work sampling loop.
+
+        Sleeping on a bare event (no pending timeout) while idle is what
+        lets the simulator's heap drain at end of run; the bounded
+        ``interval_us`` grid while busy is what keeps retuning cadence —
+        and therefore the event schedule — deterministic.
+        """
+        while True:
+            self._wake = Event(self.sim, name=f"{self.iod.name}.autotune.wake")
+            yield self._wake
+            self._wake = None
+            while True:
+                yield self.sim.timeout(self.cfg.interval_us)
+                self.observe_and_retune()
+                if not self._busy():
+                    break
+
+    # -- observation ---------------------------------------------------------
+
+    def _ewma(self, prev: Optional[float], sample: float) -> float:
+        if prev is None:
+            return sample
+        a = self.cfg.ewma_alpha
+        return a * sample + (1.0 - a) * prev
+
+    def observe_and_retune(self) -> Optional[Proposal]:
+        """Take one sample; publish a new knob set if it qualifies."""
+        iod = self.iod
+        fs = iod.fs
+        sched = iod.scheduler
+
+        d_us = (fs.read_us_total - self._last_read_us) + (
+            fs.write_us_total - self._last_write_us
+        )
+        d_bytes = (fs.read_bytes_total - self._last_read_bytes) + (
+            fs.write_bytes_total - self._last_write_bytes
+        )
+        d_seek_us = fs.seek_us_total - self._last_seek_us
+        d_seeks = fs.seek_count - self._last_seek_count
+        d_jobs = sched.svc_jobs - self._last_svc_jobs
+        d_job_bytes = sched.svc_bytes - self._last_svc_bytes
+
+        self._last_read_us = fs.read_us_total
+        self._last_read_bytes = fs.read_bytes_total
+        self._last_write_us = fs.write_us_total
+        self._last_write_bytes = fs.write_bytes_total
+        self._last_seek_us = fs.seek_us_total
+        self._last_seek_count = fs.seek_count
+        self._last_svc_jobs = sched.svc_jobs
+        self._last_svc_bytes = sched.svc_bytes
+
+        self.observations += 1
+        self.stats.add("pvfs.autotune.observations")
+        if d_bytes < self.cfg.min_observation_bytes:
+            return None
+
+        self._svc_us_per_byte = self._ewma(self._svc_us_per_byte, d_us / d_bytes)
+        if d_seeks > 0:
+            self._seek_us = self._ewma(self._seek_us, d_seek_us / d_seeks)
+        if d_jobs > 0:
+            self._avg_job_bytes = self._ewma(
+                self._avg_job_bytes, d_job_bytes / d_jobs
+            )
+
+        if self._svc_us_per_byte is None or self._avg_job_bytes is None:
+            return None
+        obs = Observation(
+            svc_us_per_byte=self._svc_us_per_byte,
+            seek_us=self._seek_us if self._seek_us is not None else 0.0,
+            avg_job_bytes=self._avg_job_bytes,
+            depth=sched.depth,
+            backlog_us=(iod.qos.retry_after_hint() if iod.qos is not None else 0.0),
+        )
+        proposal, n_clamped = derive(obs, self.cfg)
+        if n_clamped:
+            self.clamped += n_clamped
+            self.stats.add("pvfs.autotune.clamped", n_clamped)
+        self._publish(proposal)
+        return proposal
+
+    # -- publication ---------------------------------------------------------
+
+    def _publish(self, proposal: Proposal) -> None:
+        if proposal == self.last_proposal:
+            return
+        iod = self.iod
+        iod.ads_model = dataclasses.replace(
+            iod.ads_model, seek_estimate_us=proposal.seek_estimate_us
+        )
+        iod.scheduler.batch_limit = proposal.batch_limit
+        iod.scheduler.merge_limit = proposal.merge_limit
+        if iod.qos is not None:
+            iod.qos.retune(
+                quantum_bytes=proposal.quantum_bytes,
+                credits_per_client=proposal.credits_per_client,
+                high_water=proposal.high_water,
+                max_inflight=proposal.max_inflight,
+            )
+        self.last_proposal = proposal
+        self.retunes += 1
+        self.stats.add("pvfs.autotune.retunes")
+        for name, value in proposal.as_dict().items():
+            c = self.stats.counter(f"pvfs.autotune.knob.{name}")
+            c.count += 1
+            c.total = value  # "current value" gauge (count = publishes)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Controller state for ``metrics_export`` / profile footers."""
+        out: Dict[str, object] = {
+            "iod": self.iod.name,
+            "backend": self.iod.backend.name if self.iod.backend else "ata",
+            "observations": self.observations,
+            "retunes": self.retunes,
+            "clamped": self.clamped,
+        }
+        if self._svc_us_per_byte is not None:
+            out["svc_us_per_byte"] = self._svc_us_per_byte
+        if self._seek_us is not None:
+            out["seek_us"] = self._seek_us
+        if self.last_proposal is not None:
+            out["knobs"] = self.last_proposal.as_dict()
+        return out

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple, Union
 
-from repro.calibration import Testbed, paper_testbed
+from repro.calibration import BackendProfile, Testbed, backend_profile, paper_testbed
 from repro.ib.hca import Node
 from repro.ib.qp import connect
+from repro.pvfs.autotune import AutotuneConfig, AutotuneController
 from repro.pvfs.client import PVFSClient
 from repro.pvfs.errors import RetryPolicy
 from repro.pvfs.iod import IODaemon
@@ -61,6 +62,8 @@ class PVFSCluster:
         mgr_qos: Optional[Union[QoSConfig, dict]] = None,
         wb_cache: Optional[Union[dict, bool]] = None,
         wb_clients: Optional[Sequence[int]] = None,
+        backends: Optional[Sequence[Union[str, BackendProfile]]] = None,
+        autotune: Optional[Union[bool, dict, AutotuneConfig]] = None,
     ):
         if n_clients < 1 or n_iods < 1:
             raise ValueError("need at least one client and one I/O node")
@@ -128,6 +131,22 @@ class PVFSCluster:
         # Back-compat: ``cluster.manager`` keeps answering the direct
         # namespace API (lookup / lookup_handle / note_size).
         self.manager = self.metadata
+        # Heterogeneous storage: one backend profile per I/O daemon,
+        # cycled when fewer profiles than daemons are given.  ``None``
+        # (the default) keeps every daemon on the testbed's built-in ATA
+        # path, byte-identical to the pre-heterogeneous cluster.
+        self.backends: List[Optional[BackendProfile]]
+        if backends is None:
+            self.backends = [None] * n_iods
+        else:
+            resolved = [
+                b if isinstance(b, BackendProfile)
+                else backend_profile(b, self.testbed)
+                for b in backends
+            ]
+            if not resolved:
+                raise ValueError("backends must be non-empty when given")
+            self.backends = [resolved[i % len(resolved)] for i in range(n_iods)]
         self.iods = [
             IODaemon(
                 self.sim,
@@ -142,9 +161,26 @@ class PVFSCluster:
                 # each daemon gets its own gate over the shared config.
                 qos=qos,
                 metrics=self.metrics,
+                backend=self.backends[i],
             )
             for i, node in enumerate(self.iod_nodes)
         ]
+        # Self-tuning policy controllers (off by default: the knobs stay
+        # exactly the hand-tuned constants and no controller process is
+        # even spawned, so event schedules are unchanged).
+        if isinstance(autotune, dict):
+            autotune = AutotuneConfig.from_dict(autotune)
+        elif autotune is True:
+            autotune = AutotuneConfig()
+        elif autotune is False:
+            autotune = None
+        self.autotune_config = autotune
+        self.autotuners: List[AutotuneController] = []
+        if autotune is not None and autotune.enabled:
+            for iod in self.iods:
+                controller = AutotuneController(iod, autotune)
+                iod.autotune = controller
+                self.autotuners.append(controller)
 
         # -- connections -------------------------------------------------------
         self.clients: List[PVFSClient] = []
@@ -304,6 +340,8 @@ class PVFSCluster:
                 "injected": self.fault_plan.summary(),
                 "degraded_iods": sorted(self.failed_iods),
             }
+        if self.autotuners:
+            export["autotune"] = [c.snapshot() for c in self.autotuners]
         if include_trace and self.tracer is not None:
             export["trace"] = self.tracer.to_dict()
         return export

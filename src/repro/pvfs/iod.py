@@ -30,7 +30,7 @@ import dataclasses
 
 from typing import Dict, Generator, List, Optional
 
-from repro.calibration import MB, Testbed
+from repro.calibration import MB, BackendProfile, Testbed
 from repro.core.ads import AdsCostModel, SievePlan, plan_sieve
 from repro.disk.localfile import LocalFile, LocalFileSystem
 from repro.ib.hca import Node
@@ -93,19 +93,29 @@ class IODaemon:
         elevator_enabled: bool = True,
         qos: Optional[QoSConfig] = None,
         metrics=None,
+        backend: Optional[BackendProfile] = None,
     ):
         self.sim = sim
         self.node = node
         self.index = index
         self.testbed: Testbed = node.testbed
+        # Storage backend profile (None = the testbed's built-in ATA
+        # constants, byte-identical to the pre-heterogeneous daemon).
+        self.backend = backend
         self.fs = LocalFileSystem(
             sim,
             node.testbed,
             stats=node.stats,
             name=f"iod{index}",
             cache_enabled=cache_enabled,
+            profile=backend,
         )
-        self.ads_model = AdsCostModel.for_testbed(node.testbed)
+        if backend is not None:
+            self.ads_model = AdsCostModel.for_backend(node.testbed, backend)
+        else:
+            self.ads_model = AdsCostModel.for_testbed(node.testbed)
+        # Policy controller; attached by the cluster when autotune is on.
+        self.autotune = None
         self.ads_enabled_default = ads_enabled_default
         self.cache_aware_decisions = cache_aware_decisions
         # Ablation hook: True/False forces the sieving decision; None

@@ -182,6 +182,20 @@ class QoSGate:
         if self._stats is not None:
             self._stats.add(f"{self._stat_prefix}.{name}")
 
+    # -- live re-tuning ------------------------------------------------------
+
+    def retune(self, **changes) -> "QoSConfig":
+        """Swap in a new config with ``changes`` applied (autotune hook).
+
+        The gate reads ``self.cfg`` live on every decision, so replacing
+        the frozen config wholesale re-tunes quanta/credits/high-water
+        for all *future* admissions without touching queued state.
+        Returns the new config.
+        """
+        new_cfg = dataclasses.replace(self.cfg, **changes)
+        self.cfg = new_cfg
+        return new_cfg
+
     # -- client lifecycle ---------------------------------------------------
 
     def register(self, client: int) -> None:

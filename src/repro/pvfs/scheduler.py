@@ -126,6 +126,15 @@ class ElevatorScheduler:
         self._queue: List[DiskJob] = []
         self._seq = 0
         self._idle: Optional[Event] = None
+        # Autotune-adjustable knobs.  ``None`` keeps the historical
+        # unbounded behaviour (take everything queued; merge without cap).
+        self.batch_limit: Optional[int] = None
+        self.merge_limit: Optional[int] = None
+        # Observational accounting (simulated time spent servicing, bytes
+        # and jobs serviced) for the autotune controller.
+        self.svc_us = 0.0
+        self.svc_bytes = 0
+        self.svc_jobs = 0
         self.proc = self.sim.process(self._pump(), name=f"{iod.name}.sched")
 
     # -- submission --------------------------------------------------------
@@ -137,6 +146,9 @@ class ElevatorScheduler:
         self.iod.node.stats.add("pvfs.iod.sched.submitted")
         if self._idle is not None and not self._idle.triggered:
             self._idle.succeed()
+        autotune = getattr(self.iod, "autotune", None)
+        if autotune is not None:
+            autotune.notify()
         return job
 
     @property
@@ -208,6 +220,8 @@ class ElevatorScheduler:
             batch.append(job)
             if not self.enabled:
                 break
+            if self.batch_limit is not None and len(batch) >= self.batch_limit:
+                break
         return batch
 
     def _finish_skipped(self, job: DiskJob) -> None:
@@ -237,6 +251,9 @@ class ElevatorScheduler:
         stats = self.iod.node.stats
         stats.add("pvfs.iod.sched.batches")
         stats.counter("pvfs.iod.sched.batch_jobs").add(float(len(batch)))
+        t0 = self.sim.now
+        self.svc_jobs += len(batch)
+        self.svc_bytes += sum(j.nbytes for j in batch)
         for job in batch:
             job.state = "running"
             job.started.succeed()
@@ -247,6 +264,7 @@ class ElevatorScheduler:
             stats.add("pvfs.iod.sched.conflict_fallbacks")
             for job in batch:
                 yield from self._service_group([job])
+            self.svc_us += self.sim.now - t0
             return
         groups: Dict[Tuple[int, str, bool], List[DiskJob]] = {}
         for job in batch:
@@ -256,8 +274,47 @@ class ElevatorScheduler:
             jobs = groups[key]
             return (key[0], min(s.addr for j in jobs for s in j.segments))
 
-        for key in sorted(groups, key=elevator_key):
-            yield from self._service_group(groups[key])
+        ordered = sorted(groups, key=elevator_key)
+        slots = getattr(self.iod.fs, "slots", None)
+        distinct_files = len({key[0] for key in ordered})
+        if slots is not None and distinct_files > 1:
+            # SSD/NVMe internal parallelism: drive up to ``capacity``
+            # files concurrently.  Parallelism stops at file granularity
+            # — groups sharing a file keep their elevator order, because
+            # a sieving group's read-modify-write touches the *gap*
+            # bytes between its segments, which conflict screening (per
+            # requested extents) cannot see.  Per-file chains are
+            # spawned in elevator order so slot admission stays
+            # deterministic; _service_group never leaks exceptions
+            # (faults are delivered via job events).
+            by_file: Dict[int, List[List[DiskJob]]] = {}
+            file_order: List[int] = []
+            for key in ordered:
+                if key[0] not in by_file:
+                    by_file[key[0]] = []
+                    file_order.append(key[0])
+                by_file[key[0]].append(groups[key])
+            procs = [
+                self.sim.process(
+                    self._slotted_file(by_file[fid], slots),
+                    name=f"{self.iod.name}.sched.slot",
+                )
+                for fid in file_order
+            ]
+            yield self.sim.all_of(procs)
+        else:
+            for key in ordered:
+                yield from self._service_group(groups[key])
+        self.svc_us += self.sim.now - t0
+
+    def _slotted_file(self, file_groups: List[List[DiskJob]], slots) -> Generator:
+        """Service one file's groups in order, each under a service slot."""
+        for jobs in file_groups:
+            yield slots.request()
+            try:
+                yield from self._service_group(jobs)
+            finally:
+                slots.release()
 
     def _has_conflict(self, batch: List[DiskJob]) -> bool:
         per_file: Dict[int, List[DiskJob]] = {}
@@ -370,9 +427,10 @@ class ElevatorScheduler:
                 pieces.append((s.addr, s.end, buffers[i]))
                 i += 1
         pieces.sort(key=lambda p: (p[0], p[1]))
+        cap = self.merge_limit
         runs: List[Tuple[int, int, List]] = []
         for addr, end, buf in pieces:
-            if runs and runs[-1][1] == addr:
+            if runs and runs[-1][1] == addr and (cap is None or len(runs[-1][2]) < cap):
                 prev = runs[-1]
                 runs[-1] = (prev[0], end, prev[2] + [buf])
             else:

@@ -131,6 +131,11 @@ class ExploreCase:
     # Write-behind axis: {"cfg": WBConfig.to_dict(), "clients": [ids]}
     # or None (no caching anywhere — the historical shape).
     wb: Optional[dict] = None
+    # Heterogeneous-backend axis: one profile name per I/O daemon (or
+    # None — every daemon on the built-in ATA path) plus the autotune
+    # controller switch.  Tuning must change timing only, never bytes.
+    backends: Optional[List[str]] = None
+    autotune: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -147,6 +152,8 @@ class ExploreCase:
             "n_mgr_shards": self.n_mgr_shards,
             "mgr_replicas": self.mgr_replicas,
             "wb": self.wb,
+            "backends": self.backends,
+            "autotune": self.autotune,
         }
 
     @classmethod
@@ -165,6 +172,8 @@ class ExploreCase:
             n_mgr_shards=d.get("n_mgr_shards", 1),
             mgr_replicas=d.get("mgr_replicas", 1),
             wb=d.get("wb"),
+            backends=d.get("backends"),
+            autotune=d.get("autotune", False),
         )
 
 
@@ -197,6 +206,7 @@ def generate_case(
     plant_bug: Optional[str] = None,
     meta: bool = False,
     wb: bool = False,
+    hetero: bool = False,
 ) -> ExploreCase:
     """Derive a full case from one integer seed.
 
@@ -231,6 +241,17 @@ def generate_case(
     cycles.  Like QoS and metadata, the axis is arithmetic-coded with
     its own derived RNG: older seeds stay byte-identical.  ``wb=True``
     forces the axis on every seed (the CI ``explore --wb`` sweep).
+
+    Every tenth seed (``seed % 10 == 9``) is additionally a
+    *heterogeneous-backend* case: each I/O daemon draws a backend
+    profile (ata/ssd/nvme, at least one non-ATA), and most such cases
+    enable the autotune controller.  The oracle burden is that tuning
+    changes only timing — file images and read payloads must stay
+    exactly what the spec model predicts.  The axis draws from its own
+    derived RNG and touches nothing else, so every pre-existing seed
+    stays byte-identical.  ``hetero=True`` forces the axis (with
+    autotune always on) for every seed — the CI ``explore --hetero``
+    sweep.
     """
     from repro.transfer import scheme_names
 
@@ -476,6 +497,19 @@ def generate_case(
             "clients": cached,
         }
 
+    # Heterogeneous-backend axis (arithmetic-coded, own RNG — older
+    # seeds stay byte-identical).  Per-IOD backend profiles plus, most
+    # of the time, the autotune controller; the data oracles then prove
+    # tuning changed timing only, never bytes.
+    backends: Optional[List[str]] = None
+    autotune = False
+    if hetero or seed % 10 == 9:
+        hrng = random.Random(seed * 0xBAC4E2 + 0x1D)
+        backends = [hrng.choice(["ata", "ssd", "nvme"]) for _ in range(n_iods)]
+        if all(b == "ata" for b in backends):
+            backends[-1] = hrng.choice(["ssd", "nvme"])
+        autotune = True if hetero else (hrng.random() < 0.7)
+
     return ExploreCase(
         seed=seed,
         schedule_seed=seed,
@@ -490,6 +524,8 @@ def generate_case(
         n_mgr_shards=n_mgr_shards,
         mgr_replicas=mgr_replicas,
         wb=wb_axis,
+        backends=backends,
+        autotune=autotune,
     )
 
 
@@ -703,6 +739,8 @@ def run_case(case: ExploreCase, record_trace: bool = False) -> CaseResult:
             mgr_replicas=case.mgr_replicas,
             wb_cache=case.wb["cfg"] if case.wb is not None else None,
             wb_clients=case.wb["clients"] if case.wb is not None else None,
+            backends=case.backends,
+            autotune=case.autotune,
         )
         if record_trace:
             cluster.sim.record_trace()
@@ -788,6 +826,7 @@ def case_size(case: ExploreCase) -> Tuple[int, int, int]:
         + int(case.qos is not None)
         + int((case.n_mgr_shards, case.mgr_replicas) != (1, 1))
         + int(case.wb is not None)
+        + int(case.backends is not None or case.autotune)
     )
     return (len(data_ops), sum(op.nbytes for op in data_ops), extras)
 
@@ -802,6 +841,9 @@ def _shrink_candidates(case: ExploreCase) -> Iterable[ExploreCase]:
         # Drop the cache axis entirely (closes become no-op leases-off
         # closes, so the op list needs no surgery).
         yield dataclasses.replace(case, wb=None)
+    if case.backends is not None or case.autotune:
+        # Collapse to homogeneous untuned ATA (timing-only machinery).
+        yield dataclasses.replace(case, backends=None, autotune=False)
     if (case.n_mgr_shards, case.mgr_replicas) != (1, 1):
         # Collapse the metadata plane to the single-manager shape (a
         # fault rule naming a dead mgr node then simply never matches).
@@ -929,6 +971,7 @@ def sweep(
     plant: Optional[str] = None,
     meta: bool = False,
     wb: bool = False,
+    hetero: bool = False,
     echo=print,
 ) -> int:
     """Explore ``seeds`` consecutive seeds; returns the failure count.
@@ -938,14 +981,15 @@ def sweep(
     a metadata-kill case (sharded replicated plane, namespace churn,
     one primary killed and restarted per seed).  ``wb=True`` makes every
     seed a write-behind case (a cached/uncached client mix racing on a
-    shared file with interleaved closes).
+    shared file with interleaved closes).  ``hetero=True`` makes every
+    seed a heterogeneous-backend case with the autotune controller on.
     """
     failures = 0
     for i in range(seeds):
         seed = base + i
         case = generate_case(
             seed, smoke=smoke, schemes=schemes, plant_bug=plant, meta=meta,
-            wb=wb,
+            wb=wb, hetero=hetero,
         )
         policy = SchedulePolicy.from_seed(case.schedule_seed)
         result = run_case(case)
@@ -959,11 +1003,18 @@ def sweep(
             if case.wb is not None
             else ""
         )
+        hetero_tag = (
+            f" hetero={'/'.join(case.backends)}"
+            f"{'+tune' if case.autotune else ''}"
+            if case.backends is not None
+            else ""
+        )
         tag = (
             f"policy={policy.describe()} scheme={case.scheme}"
             f" elevator={'on' if case.elevator else 'off'}"
             f" qos={case.qos['policy'] if case.qos else 'off'}"
             f" ops={len(case.ops)} faults={result.injected}{mgr_tag}{wb_tag}"
+            f"{hetero_tag}"
         )
         if result.ok:
             note = " (degraded: data oracles skipped)" if result.degraded else ""

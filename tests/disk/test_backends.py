@@ -1,0 +1,168 @@
+"""Heterogeneous backend profiles: calibration, wiring, and slots."""
+
+import pytest
+
+from repro.calibration import (
+    BACKEND_NAMES,
+    KB,
+    MB,
+    backend_profile,
+    mb_per_s,
+    nvme_profile,
+    paper_testbed,
+    ssd_profile,
+)
+from repro.disk import DiskCostModel, LocalFileSystem
+from repro.pvfs import PVFSCluster
+from repro.sim import Simulator
+
+
+def run(sim, gen):
+    p = sim.process(gen)
+    sim.run()
+    return p.value
+
+
+# -- profile calibration ------------------------------------------------------
+
+
+def test_backend_names_resolve():
+    tb = paper_testbed()
+    for name in BACKEND_NAMES:
+        prof = backend_profile(name, tb)
+        assert prof.name == name
+        assert prof.disk_read_bw > 0
+        assert prof.service_slots >= 1
+
+
+def test_backend_profile_rejects_unknown():
+    with pytest.raises(ValueError):
+        backend_profile("floppy", paper_testbed())
+
+
+def test_ata_profile_tracks_testbed():
+    # "ata" is derived from the testbed so scaled testbeds keep their
+    # scaled disk — it is not a fixed constant set.
+    tb = paper_testbed()
+    prof = backend_profile("ata", tb)
+    assert prof.disk_read_bw == tb.disk_read_bw
+    assert prof.disk_seek_us == tb.disk_seek_us
+    assert prof.service_slots == 1
+
+
+def test_faster_tiers_are_ordered():
+    tb = paper_testbed()
+    ata = backend_profile("ata", tb)
+    ssd = ssd_profile()
+    nvme = nvme_profile()
+    assert ata.disk_read_bw < ssd.disk_read_bw < nvme.disk_read_bw
+    assert ata.disk_seek_us > ssd.disk_seek_us > nvme.disk_seek_us
+    assert ata.service_slots < ssd.service_slots < nvme.service_slots
+    # The sieve's per-access seek estimate follows the seek ordering.
+    assert tb.ads_seek_estimate_us > ssd.ads_seek_estimate_us
+    assert ssd.ads_seek_estimate_us > nvme.ads_seek_estimate_us
+
+
+def test_nvme_costmodel_saturates_early():
+    # NVMe's B(s) half-speed point is far below the ATA 32 kB knee.
+    tb = paper_testbed()
+    nvme = DiskCostModel(tb, profile=nvme_profile())
+    assert nvme.read_bw(4 * KB) == pytest.approx(
+        mb_per_s(2500) / 2, rel=0.01
+    )
+    assert nvme.read_bw(4 * MB) == pytest.approx(mb_per_s(2500), rel=0.01)
+
+
+# -- local file system wiring -------------------------------------------------
+
+
+def test_nvme_localfile_near_zero_seek():
+    # Write-through (no cache) so each far jump pays the positioning cost.
+    tb = paper_testbed()
+    sim = Simulator()
+    ata_fs = LocalFileSystem(sim, tb, name="ata0", cache_enabled=False)
+    nvme_fs = LocalFileSystem(
+        sim, tb, name="nvme0", cache_enabled=False, profile=nvme_profile()
+    )
+
+    def strided(fs):
+        f = fs.open("f")
+        t0 = sim.now
+        for i in range(8):
+            # Far-apart offsets force one positioning charge per write.
+            yield from f.pwrite(i * 64 * MB, b"x" * 4096)
+        return sim.now - t0
+
+    ata_us = run(sim, strided(ata_fs))
+    nvme_us = run(sim, strided(nvme_fs))
+    assert nvme_us < ata_us / 50
+    assert nvme_fs.seek_count == ata_fs.seek_count  # same access pattern
+    assert nvme_fs.seek_us_total < ata_fs.seek_us_total / 100
+
+
+def test_service_slots_resource():
+    tb = paper_testbed()
+    sim = Simulator()
+    ata_fs = LocalFileSystem(sim, tb, name="ata0")
+    nvme_fs = LocalFileSystem(sim, tb, name="nvme0", profile=nvme_profile())
+    assert ata_fs.slots is None  # single-spindle: no slot pool
+    assert nvme_fs.slots is not None
+    assert nvme_fs.slots.capacity == nvme_profile().service_slots
+
+
+# -- cluster assignment -------------------------------------------------------
+
+
+def test_cluster_backends_cycle_over_iods():
+    cluster = PVFSCluster(n_clients=1, n_iods=4, backends=["ata", "nvme"])
+    names = [b.name if b else "ata" for b in cluster.backends]
+    assert names == ["ata", "nvme", "ata", "nvme"]
+    assert cluster.iods[1].backend is not None
+    assert cluster.iods[1].backend.name == "nvme"
+    assert cluster.iods[1].fs.slots is not None
+    # The per-IOD ADS model resolves that backend's seek estimate (the
+    # explicit override slot stays None until the autotune controller
+    # publishes one).
+    assert cluster.iods[1].ads_model.seek_estimate_us is None
+    assert (
+        cluster.iods[1].ads_model._seek_est(False)
+        == nvme_profile().ads_seek_estimate_us
+    )
+    assert (
+        cluster.iods[0].ads_model._seek_est(False)
+        == cluster.testbed.ads_seek_estimate_us
+    )
+
+
+def test_cluster_backends_default_is_none():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    assert cluster.backends == [None, None]
+    assert all(iod.backend is None for iod in cluster.iods)
+    assert all(iod.fs.slots is None for iod in cluster.iods)
+
+
+def test_cluster_rejects_empty_backends():
+    with pytest.raises(ValueError):
+        PVFSCluster(n_clients=1, n_iods=2, backends=[])
+
+
+def test_hetero_cluster_roundtrip():
+    # Data written through a mixed cluster reads back intact.
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=3, backends=["ata", "ssd", "nvme"]
+    )
+    c = cluster.clients[0]
+    n = 200 * KB  # several stripes: lands on all three backends
+    payload = bytes((7 * i + 3) % 256 for i in range(n))
+    addr = c.node.space.malloc(n)
+    c.node.space.write(addr, payload)
+    back = c.node.space.malloc(n)
+
+    def prog():
+        f = yield from c.open("/pfs/mix")
+        yield from c.write(f, addr, 0, n)
+        yield from c.read(f, back, 0, n)
+
+    cluster.run([prog()])
+    assert c.node.space.read(back, n) == payload
+    assert cluster.logical_file_bytes("/pfs/mix") == payload

@@ -61,3 +61,40 @@ def test_syscall_floor(cost):
     assert cost.seek_us() == tb.syscall_seek_us
     assert cost.lock_us() == tb.lock_us
     assert cost.unlock_us() == tb.unlock_us
+
+
+def test_split_half_speed_sizes():
+    # Read and write B(s) curves can saturate at different sizes.
+    tb = paper_testbed()
+    split = DiskCostModel(
+        tb, read_half_speed_size=8 * KB, write_half_speed_size=64 * KB
+    )
+    assert split.read_bw(8 * KB) == pytest.approx(mb_per_s(20) / 2, rel=0.01)
+    assert split.write_bw(64 * KB) == pytest.approx(mb_per_s(25) / 2, rel=0.01)
+    # And the split points are independent: each curve keeps its own.
+    assert split.read_bw(64 * KB) > split.read_bw(8 * KB)
+
+
+def test_half_speed_size_alias_still_works():
+    # The historical single knob feeds both curves when no split given.
+    tb = paper_testbed()
+    legacy = DiskCostModel(tb, half_speed_size=16 * KB)
+    assert legacy.read_bw(16 * KB) == pytest.approx(mb_per_s(20) / 2, rel=0.01)
+    assert legacy.write_bw(16 * KB) == pytest.approx(mb_per_s(25) / 2, rel=0.01)
+
+
+def test_split_overrides_alias():
+    tb = paper_testbed()
+    m = DiskCostModel(tb, half_speed_size=16 * KB, read_half_speed_size=4 * KB)
+    assert m.read_s_half == 4 * KB
+    assert m.write_s_half == 16 * KB  # alias still covers the other curve
+
+
+def test_default_split_matches_alias():
+    # No profile, no split args: identical arithmetic to the seed model.
+    tb = paper_testbed()
+    a = DiskCostModel(tb)
+    b = DiskCostModel(tb, half_speed_size=32 * KB)
+    for size in (1, 4 * KB, 32 * KB, MB):
+        assert a.read_bw(size) == b.read_bw(size)
+        assert a.write_bw(size) == b.write_bw(size)

@@ -1,0 +1,80 @@
+"""Differential oracles for the heterogeneous-backend axis.
+
+Backend profiles and the autotune controller reshape *when* disk work
+happens — seek charges, batch sizes, QoS quanta — but must never change
+*what* bytes land in files or come back from reads.  These oracles run
+each hetero case against its stripped twin (no backends, no controller)
+and require identical file images and read payloads.  The axis is
+arithmetic-coded on its own RNG stream, so every pre-existing seed must
+keep regenerating byte-identical cases.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.explore import generate_case, run_case
+
+pytestmark = pytest.mark.explore
+
+# seed % 10 == 9 carries the hetero axis; these cover a mixed cluster
+# with the controller on (9), one where the coin left autotune off is
+# possible, and the hetero+faults overlap (29).
+HETERO_SEEDS = [9, 19, 29]
+
+
+@pytest.mark.parametrize("seed", HETERO_SEEDS)
+def test_hetero_on_vs_off_identical(seed):
+    case = generate_case(seed, smoke=True)
+    assert case.backends is not None, "chosen seeds must carry the axis"
+    on = run_case(case)
+    off = run_case(dataclasses.replace(case, backends=None, autotune=False))
+    assert on.ok, [str(v) for v in on.violations]
+    assert off.ok, [str(v) for v in off.violations]
+    assert on.file_images == off.file_images
+    assert on.read_payloads == off.read_payloads
+
+
+@pytest.mark.parametrize("seed", HETERO_SEEDS)
+def test_hetero_autotune_off_vs_on_identical(seed):
+    # The controller alone (backends kept) is also unobservable in
+    # bytes: it only retunes policy knobs, never data movement.
+    case = generate_case(seed, smoke=True)
+    if not case.autotune:
+        case = dataclasses.replace(case, autotune=True)
+    tuned = run_case(case)
+    frozen = run_case(dataclasses.replace(case, autotune=False))
+    assert tuned.ok, [str(v) for v in tuned.violations]
+    assert frozen.ok, [str(v) for v in frozen.violations]
+    assert tuned.file_images == frozen.file_images
+    assert tuned.read_payloads == frozen.read_payloads
+
+
+def test_hetero_axis_left_old_seeds_byte_identical():
+    # Seeds without the axis (seed % 10 != 9) draw nothing from the
+    # hetero RNG, so they regenerate exactly as before it existed.
+    for seed in range(9):
+        case = generate_case(seed, smoke=True)
+        assert case.backends is None
+        assert case.autotune is False
+        assert generate_case(seed, smoke=True) == case
+
+
+def test_forced_hetero_flag_only_adds_the_axis():
+    # ``--hetero`` forces backends + controller onto any seed without
+    # perturbing the rest of the generated case.
+    base = generate_case(3, smoke=True)
+    forced = generate_case(3, smoke=True, hetero=True)
+    assert forced.backends is not None
+    assert forced.autotune is True
+    assert dataclasses.replace(forced, backends=None, autotune=False) == base
+
+
+@pytest.mark.parametrize("schedule_seed", [0, 1, 2, 3])
+def test_hetero_seed_passes_under_every_schedule_policy(schedule_seed):
+    base = generate_case(9, smoke=True)
+    case = dataclasses.replace(base, schedule_seed=schedule_seed)
+    result = run_case(case)
+    assert result.ok, [str(v) for v in result.violations]
+    fifo = run_case(dataclasses.replace(base, schedule_seed=0))
+    assert result.file_images == fifo.file_images

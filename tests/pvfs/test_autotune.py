@@ -1,0 +1,237 @@
+"""Tests for the self-tuning policy controller (``pvfs/autotune.py``).
+
+Covers the pure derivation (monotonicity, clamping), the publish path
+(live QoS/scheduler/ADS retuning, idempotence, counters), and the
+disabled/default configurations that must leave the cluster untouched.
+"""
+
+import pytest
+
+from repro.calibration import KB, MB
+from repro.pvfs import PVFSCluster
+from repro.pvfs.autotune import (
+    AutotuneConfig,
+    AutotuneController,
+    Observation,
+    Proposal,
+    derive,
+)
+
+
+def obs(svc=0.05, seek=8000.0, job=64 * KB):
+    return Observation(svc_us_per_byte=svc, seek_us=seek, avg_job_bytes=job)
+
+
+KNOBS = (
+    "quantum_bytes",
+    "credits_per_client",
+    "high_water",
+    "batch_limit",
+    "merge_limit",
+    "max_inflight",
+)
+
+
+# -- pure derivation ----------------------------------------------------------
+
+
+def test_derive_faster_backend_never_lowers_window_knobs():
+    # Monotone: shrinking svc_us_per_byte (a faster backend) can only
+    # raise every window-derived knob, and never below the prior value.
+    cfg = AutotuneConfig()
+    svcs = [0.4, 0.1, 0.05, 0.01, 0.002, 0.0004]
+    proposals = [derive(obs(svc=s), cfg)[0] for s in svcs]
+    for prev, cur in zip(proposals, proposals[1:]):
+        for knob in KNOBS:
+            assert getattr(cur, knob) >= getattr(prev, knob), knob
+
+
+def test_derive_smaller_seek_never_raises_estimate():
+    cfg = AutotuneConfig()
+    seeks = [20_000.0, 8000.0, 900.0, 35.0, 2.0, 0.0]
+    estimates = [derive(obs(seek=s), cfg)[0].seek_estimate_us for s in seeks]
+    for prev, cur in zip(estimates, estimates[1:]):
+        assert cur <= prev
+
+
+@pytest.mark.parametrize("svc", [1e-6, 0.001, 0.05, 0.5, 10.0])
+@pytest.mark.parametrize("job", [1.0, 512.0, 64 * KB, 4 * MB])
+def test_derive_always_within_clamps(svc, job):
+    cfg = AutotuneConfig()
+    p, _ = derive(obs(svc=svc, job=job, seek=svc * 1e6), cfg)
+    assert cfg.seek_estimate_min_us <= p.seek_estimate_us <= cfg.seek_estimate_max_us
+    assert cfg.quantum_min_bytes <= p.quantum_bytes <= cfg.quantum_max_bytes
+    assert cfg.credits_min <= p.credits_per_client <= cfg.credits_max
+    assert cfg.high_water_min <= p.high_water <= cfg.high_water_max
+    assert cfg.batch_limit_min <= p.batch_limit <= cfg.batch_limit_max
+    assert cfg.merge_limit_min <= p.merge_limit <= cfg.merge_limit_max
+    assert cfg.inflight_min <= p.max_inflight <= cfg.inflight_max
+
+
+def test_derive_counts_clamped_knobs():
+    cfg = AutotuneConfig()
+    # Absurdly slow backend: every window collapses to its minimum.
+    p, n_clamped = derive(obs(svc=100.0, seek=1e9, job=4 * MB), cfg)
+    assert n_clamped >= 5
+    assert p.quantum_bytes == cfg.quantum_min_bytes
+    assert p.credits_per_client == cfg.credits_min
+    assert p.max_inflight == cfg.inflight_min
+    assert p.seek_estimate_us == cfg.seek_estimate_max_us
+    # A mid-range observation (~164 us jobs) clamps nothing.
+    _, none_clamped = derive(obs(svc=0.01, seek=5000.0, job=16 * KB), cfg)
+    assert none_clamped == 0
+
+
+def test_derive_is_deterministic():
+    cfg = AutotuneConfig()
+    assert derive(obs(), cfg) == derive(obs(), cfg)
+
+
+def test_config_validation_and_roundtrip():
+    with pytest.raises(ValueError):
+        AutotuneConfig(interval_us=0)
+    with pytest.raises(ValueError):
+        AutotuneConfig(ewma_alpha=0.0)
+    cfg = AutotuneConfig(interval_us=777.0, credits_max=32)
+    assert AutotuneConfig.from_dict(cfg.to_dict()) == cfg
+
+
+# -- controller publish path --------------------------------------------------
+
+
+def _tuned_cluster():
+    return PVFSCluster(
+        n_clients=1,
+        n_iods=1,
+        qos={"enabled": True},
+        autotune=True,
+        cache_enabled=False,
+    )
+
+
+def _feed(ctl, us=10_000.0, nbytes=1_000_000, seeks=10, seek_us=100.0, jobs=10):
+    """Advance the observational counters the controller samples from."""
+    fs = ctl.iod.fs
+    sched = ctl.iod.scheduler
+    fs.read_us_total += us
+    fs.read_bytes_total += nbytes
+    fs.seek_us_total += seek_us
+    fs.seek_count += seeks
+    sched.svc_jobs += jobs
+    sched.svc_bytes += nbytes
+
+
+def test_publish_retunes_qos_scheduler_and_sieve():
+    cluster = _tuned_cluster()
+    (ctl,) = cluster.autotuners
+    iod = cluster.iods[0]
+    _feed(ctl)  # svc = 0.01 us/B, 100 kB jobs, 10 us seeks
+    proposal = ctl.observe_and_retune()
+    assert proposal is not None
+    # QoS gate reads cfg live, so the swap is immediately effective.
+    assert iod.qos.cfg.quantum_bytes == proposal.quantum_bytes
+    assert iod.qos.cfg.credits_per_client == proposal.credits_per_client
+    assert iod.qos.cfg.high_water == proposal.high_water
+    assert iod.qos.cfg.max_inflight == proposal.max_inflight
+    assert iod.scheduler.batch_limit == proposal.batch_limit
+    assert iod.scheduler.merge_limit == proposal.merge_limit
+    assert iod.ads_model.seek_estimate_us == proposal.seek_estimate_us
+    assert ctl.retunes == 1
+
+
+def test_publish_is_idempotent_for_identical_proposals():
+    cluster = _tuned_cluster()
+    (ctl,) = cluster.autotuners
+    _feed(ctl)
+    ctl.observe_and_retune()
+    assert ctl.retunes == 1
+    # Same rates again: EWMA converges to the same values, so the
+    # proposal repeats and publication is a no-op.
+    _feed(ctl)
+    ctl.observe_and_retune()
+    assert ctl.observations == 2
+    assert ctl.retunes == 1
+
+
+def test_small_samples_are_ignored():
+    cluster = _tuned_cluster()
+    (ctl,) = cluster.autotuners
+    _feed(ctl, us=10.0, nbytes=512, jobs=1, seeks=1, seek_us=1.0)
+    assert ctl.observe_and_retune() is None  # below min_observation_bytes
+    assert ctl.observations == 1
+    assert ctl.retunes == 0
+    assert ctl.last_proposal is None
+
+
+def test_counters_and_snapshot_exported():
+    cluster = _tuned_cluster()
+    (ctl,) = cluster.autotuners
+    _feed(ctl)
+    ctl.observe_and_retune()
+    stats = cluster.iods[0].node.stats
+    assert stats.counter("pvfs.autotune.observations").count == 1
+    assert stats.counter("pvfs.autotune.retunes").count == 1
+    gauge = stats.counter("pvfs.autotune.knob.quantum_bytes")
+    assert gauge.total == float(ctl.last_proposal.quantum_bytes)
+    snap = ctl.snapshot()
+    assert snap["iod"] == cluster.iods[0].name
+    assert snap["retunes"] == 1
+    assert snap["knobs"] == ctl.last_proposal.as_dict()
+    export = cluster.metrics_export()
+    assert [s["iod"] for s in export["autotune"]] == [cluster.iods[0].name]
+
+
+def test_live_run_observes_and_retunes():
+    # End-to-end: a real workload long enough to cross several sampling
+    # intervals makes the controller publish without any manual feeding.
+    cluster = _tuned_cluster()
+    c = cluster.clients[0]
+    n = 2 * MB
+    addr = c.node.space.malloc(n)
+
+    def prog():
+        f = yield from c.open("/pfs/tune")
+        yield from c.write(f, addr, 0, n)
+
+    cluster.run([prog()])
+    (ctl,) = cluster.autotuners
+    assert ctl.observations > 0
+    assert ctl.retunes >= 1
+    assert ctl.last_proposal is not None
+
+
+# -- disabled / default configurations ---------------------------------------
+
+
+def test_disabled_config_spawns_no_controller():
+    cluster = PVFSCluster(
+        n_clients=1, n_iods=2, autotune=AutotuneConfig(enabled=False)
+    )
+    assert cluster.autotuners == []
+    assert "autotune" not in cluster.metrics_export()
+
+
+def test_default_cluster_has_no_controllers():
+    cluster = PVFSCluster(n_clients=1, n_iods=2)
+    assert cluster.autotuners == []
+
+
+def test_disabled_controller_object_has_no_process():
+    cluster = PVFSCluster(n_clients=1, n_iods=1)
+    ctl = AutotuneController(cluster.iods[0], AutotuneConfig(enabled=False))
+    assert ctl.proc is None
+
+
+def test_proposal_as_dict_covers_every_knob():
+    p = derive(obs(), AutotuneConfig())[0]
+    d = p.as_dict()
+    assert set(d) == {
+        "seek_estimate_us",
+        "quantum_bytes",
+        "credits_per_client",
+        "high_water",
+        "batch_limit",
+        "merge_limit",
+        "max_inflight",
+    }
+    assert isinstance(p, Proposal)
