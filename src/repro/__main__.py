@@ -6,6 +6,8 @@ Commands:
 - ``run <id> [...]`` — run one or more experiments (``all`` for every
   one) and print the paper-style tables.
 - ``calibration`` — dump the testbed constants in use.
+- ``sweep`` — resumable open-loop grid sweeps (scheme × rate × clients
+  × backend × seed) with atomic per-cell checkpoints.
 
 The heavyweight experiments (table5/table6) take a minute or two each;
 everything else finishes in seconds.
@@ -167,6 +169,7 @@ def _profile_report(args) -> str:
         fault_rate=args.fault_rate, fault_seed=args.fault_seed,
         mgr_shards=args.mgr_shards, mgr_replicas=args.mgr_replicas,
         wb_cache=args.wb_cache, backends=backends, autotune=args.autotune,
+        sample_interval_us=args.timeseries,
     )
     if args.json:
         return json.dumps(export, indent=2, sort_keys=True)
@@ -226,6 +229,21 @@ def _profile_report(args) -> str:
                 f" {snap['observations']} obs, {snap['retunes']} retunes,"
                 f" {snap['clamped']} clamped; {chosen}"
             )
+    ts = export.get("timeseries")
+    if ts is not None:
+        per = [
+            sum(
+                c["count"]
+                for name, c in s["counters"].items()
+                if name == "pvfs.client.requests"
+            )
+            for s in ts["samples"]
+        ]
+        out += (
+            f"\ntimeseries: {ts['n_samples']} samples @"
+            f" {ts['interval_us']:g} us; client requests per sample"
+            f" {min(per) if per else 0}..{max(per) if per else 0}"
+        )
     return out
 
 
@@ -253,6 +271,8 @@ def _bench_report(args) -> int:
         result["wb"] = wallclock.bench_wb()
     if args.hetero:
         result["hetero"] = wallclock.bench_hetero()
+    if args.knee:
+        result["knee"] = wallclock.bench_knee()
     if args.json:
         path = wallclock.write_bench(result, out=args.out)
         print(f"wrote {path}")
@@ -321,6 +341,21 @@ def _bench_report(args) -> int:
                 f" ({het['autotune_speedup']:.2f}x,"
                 f" {het['mixed']['tuned']['retunes']} retunes)"
             )
+        knee = result.get("knee")
+        if knee is not None:
+            curve = knee["curve"]
+            pts = ", ".join(
+                f"{p['offered_rate_ops_s']:g}:{p['p99_us']:.0f}us"
+                for p in curve
+            )
+            note += (
+                f"\nopen-loop knee ({knee['clients']} clients,"
+                f" {knee['iods']} iods): p99 by rate {pts};"
+                f" knee at {knee['knee_rate_ops_s']:g} ops/s"
+                f" (first rate past {knee['factor']:g}x the low-rate p99)"
+                if knee["knee_rate_ops_s"] is not None
+                else f"\nopen-loop knee: no knee found (p99 by rate {pts})"
+            )
         t.note(note)
         print(t)
     if args.contend is not None:
@@ -371,6 +406,20 @@ def _bench_report(args) -> int:
             f" {het['autotune_speedup']:.2f}x >= 1.3 on mixed ATA+NVMe;"
             f" NVMe run registration+transfer >= disk time)"
         )
+    if args.knee:
+        failures = wallclock.check_knee(result["knee"])
+        if failures:
+            for f in failures:
+                print(f"KNEE: {f}", file=sys.stderr)
+            return 1
+        knee = result["knee"]
+        print(
+            f"open-loop knee check: OK (saturation at"
+            f" {knee['knee_rate_ops_s']:g} ops/s;"
+            f" p99 {knee['curve'][0]['p99_us']:.0f} ->"
+            f" {knee['curve'][-1]['p99_us']:.0f} us across the sweep;"
+            f" all cells drained, per-file fairness <= 2.0 below the knee)"
+        )
     if args.check is not None:
         with open(args.check) as fh:
             baseline = json.load(fh)
@@ -386,6 +435,30 @@ def _bench_report(args) -> int:
             f" (tolerance {args.tolerance:.0%})"
         )
     return 0
+
+
+def _sweep_report(args) -> int:
+    from repro.bench import sweep as sw
+
+    try:
+        cells = sw.parse_grid(args.grid or [])
+    except ValueError as e:
+        print(f"sweep: {e}", file=sys.stderr)
+        return 2
+    status = sw.run_sweep(
+        cells,
+        label=args.label,
+        out_dir=args.out,
+        workers=args.workers,
+        resume=args.resume,
+        cell_budget=args.cell_budget,
+        duration_us=args.duration_us,
+        kind=args.arrivals,
+        sample_interval_us=args.timeseries,
+    )
+    if not status["complete"]:
+        return 0
+    return 1 if status["failures"] else 0
 
 
 def _explore_report(args) -> int:
@@ -509,6 +582,15 @@ def main(argv=None) -> int:
         "report footer)",
     )
     prof.add_argument(
+        "--timeseries",
+        type=float,
+        default=None,
+        metavar="US",
+        help="sample counter deltas every US microseconds of sim time "
+        "into a timeseries section (schedule-unobservable; appears in "
+        "the report footer and the --json export)",
+    )
+    prof.add_argument(
         "--json", action="store_true", help="dump the raw metrics export as JSON"
     )
     prof.add_argument(
@@ -591,6 +673,15 @@ def main(argv=None) -> int:
         "on the 6.4 prediction and a >= 1.3x autotune speedup",
     )
     bench.add_argument(
+        "--knee",
+        action="store_true",
+        help="also run the open-loop saturation benchmark (latency vs "
+        "offered Poisson rate on a striped 4x4 cluster) and gate on a "
+        "knee existing: first rate whose p99 exceeds 3x the low-rate "
+        "p99, with every cell drained and per-file fairness <= 2x "
+        "below the knee",
+    )
+    bench.add_argument(
         "--check",
         default=None,
         metavar="BASELINE",
@@ -601,6 +692,73 @@ def main(argv=None) -> int:
         type=float,
         default=0.20,
         help="allowed normalized wall-clock drop before failing (default 0.20)",
+    )
+    sweep = sub.add_parser(
+        "sweep",
+        help="open-loop grid sweep (scheme x rate x clients x backend x "
+        "seed) fanned over worker processes; every cell checkpoints an "
+        "atomic verdict JSON so interrupted sweeps resume with --resume",
+    )
+    sweep.add_argument(
+        "--grid",
+        nargs="+",
+        default=None,
+        metavar="AXIS=V[,V...]",
+        help="grid axes as axis=value lists, e.g. --grid rate=200,400 "
+        "seed=0,1 (axes: scheme, rate, clients, backend, seed; unset "
+        "axes take a single default)",
+    )
+    sweep.add_argument(
+        "--label", default="local", help="sweep label (names SWEEP_<label>.json)"
+    )
+    sweep.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="results directory (default sweep_results/)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan cells over N worker processes (default: sequential)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells whose checkpoint already exists (resume an "
+        "interrupted sweep; completed cells are not re-executed)",
+    )
+    sweep.add_argument(
+        "--cell-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after running N cells this invocation (simulates an "
+        "interrupt; finish later with --resume)",
+    )
+    sweep.add_argument(
+        "--duration-us",
+        type=float,
+        default=50_000.0,
+        metavar="US",
+        help="open-loop arrival window per cell in sim microseconds "
+        "(default 50000)",
+    )
+    sweep.add_argument(
+        "--arrivals",
+        default="poisson",
+        choices=["poisson", "bursty"],
+        help="arrival process per cell (default poisson)",
+    )
+    sweep.add_argument(
+        "--timeseries",
+        type=float,
+        default=None,
+        metavar="US",
+        help="attach a metrics sampler at this interval; each cell "
+        "verdict then carries a timeseries section",
     )
     explore = sub.add_parser(
         "explore",
@@ -697,6 +855,12 @@ def main(argv=None) -> int:
         if args.out is not None:
             args.json = True
         return _bench_report(args)
+    if args.cmd == "sweep":
+        from repro.bench.sweep import DEFAULT_OUT_DIR
+
+        if args.out is None:
+            args.out = DEFAULT_OUT_DIR
+        return _sweep_report(args)
     if args.cmd == "explore":
         return _explore_report(args)
 

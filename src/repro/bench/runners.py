@@ -554,6 +554,7 @@ def profile_workload(
     wb_cache: bool = False,
     backends: Optional[List[str]] = None,
     autotune: bool = False,
+    sample_interval_us: Optional[float] = None,
 ) -> Dict[str, object]:
     """Run one workload and return the cluster metrics export.
 
@@ -587,6 +588,11 @@ def profile_workload(
     the daemons, e.g. ``["ata", "nvme"]``); ``autotune`` turns the
     per-daemon policy controller on — its choices land in the export's
     ``autotune`` section (and the profile footer).
+
+    ``sample_interval_us`` attaches a :class:`repro.sim.MetricsSampler`
+    snapshotting counter deltas every that many microseconds of sim
+    time; the export then carries a ``timeseries`` section.  Sampling
+    rides the clock-observer hook, so it cannot perturb the schedule.
     """
     if workload not in PROFILE_WORKLOADS:
         raise ValueError(
@@ -612,6 +618,7 @@ def profile_workload(
         wb_cache=wb_cache or None,
         backends=backends,
         autotune=autotune,
+        sample_interval_us=sample_interval_us,
     )
 
     def _wb_drain(c):

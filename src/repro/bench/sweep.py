@@ -1,0 +1,321 @@
+"""Resumable parallel sweeps over open-loop experiment grids.
+
+``python -m repro sweep`` fans a grid of (scheme × rate × clients ×
+backend × seed) cells over ``multiprocessing`` workers.  Every cell is
+one independent open-loop run (:func:`repro.sim.loadgen.open_loop`) on
+a fresh cluster, and its verdict is checkpointed as an **atomic**
+per-cell JSON file under ``sweep_results/<label>/`` (write to a temp
+name, then ``os.replace``), so a sweep killed mid-flight resumes by
+skipping every completed cell (``--resume``) instead of restarting.
+
+Cells are simulated time only and seeded end to end, so a cell's
+verdict is a pure function of its parameters: an interrupted-then-
+resumed sweep produces a merged ``SWEEP_<label>.json`` summary that is
+byte-for-byte identical to an uninterrupted run's, regardless of
+worker count or completion order (the summary is assembled from the
+checkpoint files in grid order).
+
+The grid comes from ``--grid axis=v1,v2 ...`` tokens; unset axes take a
+single default, so ``--grid rate=200,400 seed=0,1`` is a 2×2 sweep.
+``--cell-budget N`` stops the invocation after N cells — the hook the
+resume tests (and the CI forced-interrupt job) use to simulate a kill.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SweepCell",
+    "parse_grid",
+    "run_cell",
+    "run_sweep",
+    "summary_path",
+    "DEFAULT_OUT_DIR",
+    "GRID_AXES",
+]
+
+DEFAULT_OUT_DIR = "sweep_results"
+
+# Axis name -> (parser, default).  Grid order is this declaration order,
+# which fixes both cell ids and the merged summary's cell order.
+GRID_AXES: Dict[str, Tuple[type, object]] = {
+    "scheme": (str, "gather"),
+    "rate": (float, 400.0),
+    "clients": (int, 2),
+    "backend": (str, "ata"),
+    "seed": (int, 0),
+}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point, hashable and picklable for the worker pool."""
+
+    scheme: str
+    rate: float
+    clients: int
+    backend: str
+    seed: int
+
+    @property
+    def cell_id(self) -> str:
+        """Stable filename-safe identity (doubles as checkpoint name)."""
+        return (
+            f"scheme-{self.scheme}_rate-{self.rate:g}"
+            f"_c{self.clients}_b-{self.backend}_s{self.seed}"
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepCell":
+        return cls(
+            scheme=d["scheme"],
+            rate=float(d["rate"]),
+            clients=int(d["clients"]),
+            backend=d["backend"],
+            seed=int(d["seed"]),
+        )
+
+
+def parse_grid(tokens: Sequence[str]) -> List[SweepCell]:
+    """``["rate=200,400", "seed=0,1"]`` -> the full cartesian product.
+
+    Unknown axes and empty value lists are errors; unset axes use their
+    single default.  The product is emitted in deterministic grid order
+    (axes in :data:`GRID_AXES` order, values in given order).
+    """
+    values: Dict[str, List[object]] = {}
+    for token in tokens:
+        axis, sep, raw = token.partition("=")
+        if not sep or axis not in GRID_AXES:
+            raise ValueError(
+                f"bad grid token {token!r}: want axis=v1[,v2...] with axis "
+                f"one of {', '.join(GRID_AXES)}"
+            )
+        parse = GRID_AXES[axis][0]
+        vals = [parse(v) for v in raw.split(",") if v != ""]
+        if not vals:
+            raise ValueError(f"grid axis {axis!r} has no values")
+        values[axis] = vals
+    axes = [values.get(name, [default]) for name, (_, default) in GRID_AXES.items()]
+    return [
+        SweepCell(scheme=s, rate=r, clients=c, backend=b, seed=sd)
+        for s, r, c, b, sd in itertools.product(*axes)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Cell execution
+# ---------------------------------------------------------------------------
+
+
+def run_cell(
+    cell: SweepCell,
+    duration_us: float = 50_000.0,
+    kind: str = "poisson",
+    pieces: int = 2,
+    piece: int = 4096,
+    n_iods: int = 2,
+    sample_interval_us: Optional[float] = None,
+) -> Dict[str, object]:
+    """Execute one cell on a fresh cluster; returns its verdict document.
+
+    The verdict is deterministic (simulated time, seeded arrivals) and
+    self-describing: it embeds the cell spec, so ``--resume`` can verify
+    a checkpoint belongs to the grid point it is named for.
+    """
+    from repro.pvfs.cluster import PVFSCluster
+    from repro.sim.loadgen import open_loop
+
+    cluster = None
+    error: Optional[str] = None
+    result: Optional[Dict[str, object]] = None
+    try:
+        cluster = PVFSCluster(
+            n_clients=cell.clients,
+            n_iods=n_iods,
+            scheme=cell.scheme,
+            backends=[cell.backend],
+            sample_interval_us=sample_interval_us,
+        )
+        res = open_loop(
+            cluster,
+            rate=cell.rate,
+            duration_us=duration_us,
+            kind=kind,
+            seed=cell.seed,
+            pieces=pieces,
+            piece=piece,
+        )
+        result = res.to_dict()
+    except Exception as exc:  # noqa: BLE001 - a crashed cell is a verdict
+        error = f"{type(exc).__name__}: {exc}"
+    verdict: Dict[str, object] = {
+        "cell": cell.to_dict(),
+        "config": {
+            "duration_us": duration_us,
+            "kind": kind,
+            "pieces": pieces,
+            "piece": piece,
+            "n_iods": n_iods,
+        },
+        "ok": error is None
+        and result is not None
+        and result["completed"] == result["issued"],
+        "result": result,
+        "error": error,
+    }
+    if (
+        sample_interval_us is not None
+        and cluster is not None
+        and cluster.sampler is not None
+    ):
+        verdict["timeseries"] = cluster.sampler.to_dict()
+    return verdict
+
+
+def _write_atomic(path: str, doc: Dict[str, object]) -> None:
+    """Write JSON so readers only ever see a complete document."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def _cell_path(out_dir: str, label: str, cell: SweepCell) -> str:
+    return os.path.join(out_dir, label, f"{cell.cell_id}.json")
+
+
+def summary_path(out_dir: str, label: str) -> str:
+    return os.path.join(out_dir, f"SWEEP_{label}.json")
+
+
+def _load_checkpoint(path: str, cell: SweepCell) -> Optional[Dict[str, object]]:
+    """The cell's verdict if a valid checkpoint exists, else None."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if doc.get("cell") != cell.to_dict():
+        return None
+    return doc
+
+
+def _worker(job: Tuple[dict, str, dict]) -> str:
+    """Pool entry point: run one cell and checkpoint it atomically."""
+    cell_dict, path, run_kw = job
+    cell = SweepCell.from_dict(cell_dict)
+    _write_atomic(path, run_cell(cell, **run_kw))
+    return cell.cell_id
+
+
+# ---------------------------------------------------------------------------
+# The sweep driver
+# ---------------------------------------------------------------------------
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    label: str = "local",
+    out_dir: str = DEFAULT_OUT_DIR,
+    workers: Optional[int] = None,
+    resume: bool = False,
+    cell_budget: Optional[int] = None,
+    echo=print,
+    **run_kw,
+) -> Dict[str, object]:
+    """Run (or resume) a sweep; returns the status/summary document.
+
+    ``resume=True`` skips every cell whose checkpoint already exists and
+    matches its grid point (the file is left untouched — not rewritten —
+    so its mtime proves it was not re-executed).  ``cell_budget`` caps
+    how many cells this invocation executes; remaining cells stay
+    pending and the merged summary is withheld until a later ``resume``
+    completes them.  With ``workers`` >= 2 cells fan out over a
+    fork-context :class:`multiprocessing.Pool`; completion order does
+    not matter because the summary is merged from the checkpoint files
+    in grid order.
+    """
+    if not cells:
+        raise ValueError("empty sweep grid")
+    ids = [c.cell_id for c in cells]
+    if len(set(ids)) != len(ids):
+        raise ValueError("duplicate cells in sweep grid")
+    cell_dir = os.path.join(out_dir, label)
+    os.makedirs(cell_dir, exist_ok=True)
+
+    todo: List[SweepCell] = []
+    skipped = 0
+    for cell in cells:
+        path = _cell_path(out_dir, label, cell)
+        if resume and _load_checkpoint(path, cell) is not None:
+            skipped += 1
+            continue
+        todo.append(cell)
+    if cell_budget is not None:
+        todo = todo[: max(0, cell_budget)]
+
+    jobs = [
+        (cell.to_dict(), _cell_path(out_dir, label, cell), dict(run_kw))
+        for cell in todo
+    ]
+    if len(jobs) > 1 and workers is not None and workers >= 2:
+        # Fork keeps the workers' sys.path (and the imported tree); cells
+        # are independent by construction, so order is irrelevant.
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(workers, len(jobs))) as pool:
+            for cell_id in pool.imap_unordered(_worker, jobs):
+                echo(f"cell {cell_id}: done")
+    else:
+        for job in jobs:
+            echo(f"cell {_worker(job)}: done")
+
+    done: List[Dict[str, object]] = []
+    pending: List[str] = []
+    for cell in cells:
+        doc = _load_checkpoint(_cell_path(out_dir, label, cell), cell)
+        if doc is None:
+            pending.append(cell.cell_id)
+        else:
+            done.append(doc)
+    status: Dict[str, object] = {
+        "label": label,
+        "n_cells": len(cells),
+        "completed": len(done),
+        "skipped": skipped,
+        "pending": pending,
+        "complete": not pending,
+    }
+    if pending:
+        echo(
+            f"sweep {label}: {len(done)}/{len(cells)} cells done, "
+            f"{len(pending)} pending — rerun with --resume to finish"
+        )
+        return status
+
+    failures = [doc["cell"] for doc in done if not doc["ok"]]
+    summary = {
+        "label": label,
+        "n_cells": len(cells),
+        "failures": failures,
+        "cells": done,  # grid order: independent of workers/interrupts
+    }
+    path = summary_path(out_dir, label)
+    _write_atomic(path, summary)
+    status["summary"] = path
+    status["failures"] = len(failures)
+    echo(
+        f"sweep {label}: {len(cells)} cells complete, "
+        f"{len(failures)} failed -> {path}"
+    )
+    return status

@@ -58,6 +58,8 @@ __all__ = [
     "check_wb",
     "bench_hetero",
     "check_hetero",
+    "bench_knee",
+    "check_knee",
     "run_bench",
     "write_bench",
     "check_regression",
@@ -801,6 +803,99 @@ def check_hetero(het: Dict) -> List[str]:
     return failures
 
 
+def bench_knee(
+    rates: Sequence[float] = (500.0, 1000.0, 2000.0, 4000.0, 8000.0, 16000.0),
+    n_clients: int = 4,
+    n_iods: int = 4,
+    duration_us: float = 50_000.0,
+    pieces: int = 2,
+    piece: int = 8 * 1024,
+    seed: int = 7,
+    factor: float = 3.0,
+    sample_interval_us: float = 5_000.0,
+) -> Dict[str, object]:
+    """Open-loop latency-vs-offered-rate curve and its saturation knee.
+
+    Each rate gets a fresh gather-scheme cluster driven by a seeded
+    Poisson arrival process (:func:`repro.sim.loadgen.open_loop`) — the
+    open loop keeps issuing at the offered rate past saturation, so the
+    latency blow-up the closed-loop benches hide is visible here.  The
+    knee is the first rate whose p99 exceeds ``factor``× the lowest
+    rate's p99.  Everything is simulated time, hence deterministic and
+    compared exactly by :func:`check_regression`.
+    """
+    from repro.pvfs.cluster import PVFSCluster
+    from repro.sim.loadgen import find_knee, open_loop
+
+    curve: List[Dict[str, object]] = []
+    for rate in sorted(rates):
+        cluster = PVFSCluster(
+            n_clients=n_clients,
+            n_iods=n_iods,
+            scheme="gather",
+            sample_interval_us=sample_interval_us,
+        )
+        res = open_loop(
+            cluster,
+            rate=rate,
+            duration_us=duration_us,
+            seed=seed,
+            pieces=pieces,
+            piece=piece,
+        )
+        point = res.to_dict()
+        point["timeseries"] = cluster.sampler.to_dict()
+        curve.append(point)
+    return {
+        "clients": n_clients,
+        "iods": n_iods,
+        "duration_us": duration_us,
+        "pieces": pieces,
+        "piece_bytes": piece,
+        "seed": seed,
+        "factor": factor,
+        "curve": curve,
+        "knee_rate_ops_s": find_knee(curve, factor=factor),
+    }
+
+
+def check_knee(knee: Dict) -> List[str]:
+    """The open-loop saturation gate; list the failures."""
+    failures: List[str] = []
+    curve = knee["curve"]
+    factor = knee["factor"]
+    if knee["knee_rate_ops_s"] is None:
+        failures.append(
+            f"no saturation knee found: p99 never exceeded {factor:.1f}x the "
+            f"low-rate p99 — the swept rates stop short of saturation"
+        )
+    base_p99 = curve[0]["p99_us"]
+    if curve[-1]["p99_us"] <= factor * base_p99:
+        failures.append(
+            f"top rate p99 {curve[-1]['p99_us']:.0f} us is within "
+            f"{factor:.1f}x of the base p99 {base_p99:.0f} us — the curve "
+            "never bends"
+        )
+    for point in curve:
+        if point["completed"] != point["issued"]:
+            failures.append(
+                f"rate {point['offered_rate_ops_s']:g}: only "
+                f"{point['completed']}/{point['issued']} ops completed — "
+                "the drain lost work"
+            )
+    knee_rate = knee["knee_rate_ops_s"]
+    for point in curve:
+        if knee_rate is not None and point["offered_rate_ops_s"] >= knee_rate:
+            break
+        if point["fairness_ratio"] > 2.0:
+            failures.append(
+                f"rate {point['offered_rate_ops_s']:g}: per-file fairness "
+                f"ratio {point['fairness_ratio']:.2f} exceeds 2.0 below the "
+                "knee — striping is starving some files pre-saturation"
+            )
+    return failures
+
+
 def run_bench(
     label: str = "local",
     n: int = 1024,
@@ -830,6 +925,23 @@ def write_bench(result: Dict, out: Optional[str] = None) -> str:
     return path
 
 
+def _strip_timeseries(doc):
+    """A copy of ``doc`` with every nested ``timeseries`` section removed.
+
+    Telemetry sampling is additive: results that differ only in the
+    presence (or interval) of a ``timeseries`` section are the same
+    experiment.  Stripping both sides before comparison keeps baselines
+    committed before the sampler existed valid, and vice versa.
+    """
+    if isinstance(doc, dict):
+        return {
+            k: _strip_timeseries(v) for k, v in doc.items() if k != "timeseries"
+        }
+    if isinstance(doc, list):
+        return [_strip_timeseries(v) for v in doc]
+    return doc
+
+
 def check_regression(
     current: Dict, baseline: Dict, tolerance: float = 0.20
 ) -> List[str]:
@@ -840,7 +952,13 @@ def check_regression(
     committed from one machine gates runs on another.  Simulated-time
     figures are deterministic and compared exactly (any drift at all is
     reported, since it means the cost model changed).
+
+    ``timeseries`` sections are stripped from both documents first, so
+    runs with telemetry sampling on validate against baselines made
+    without it (and the other way around).
     """
+    current = _strip_timeseries(current)
+    baseline = _strip_timeseries(baseline)
     failures: List[str] = []
     if current.get("config") != baseline.get("config"):
         # Different workload shapes produce legitimately different
@@ -948,4 +1066,31 @@ def check_regression(
                         f"differs from baseline {base_us:.1f} us"
                     )
             failures.extend(check_hetero(cur_het))
+
+    base_knee = baseline.get("knee")
+    if base_knee is not None:
+        cur_knee = current.get("knee")
+        if cur_knee is None:
+            failures.append(
+                "knee: baseline has the open-loop knee bench but the "
+                "current run was made without --knee"
+            )
+        else:
+            # Simulated time: any drift means the arrival process or the
+            # service-time model changed and the baseline needs
+            # regenerating.
+            if cur_knee["knee_rate_ops_s"] != base_knee["knee_rate_ops_s"]:
+                failures.append(
+                    f"knee: saturation rate {cur_knee['knee_rate_ops_s']} "
+                    f"ops/s differs from baseline "
+                    f"{base_knee['knee_rate_ops_s']} ops/s"
+                )
+            for cur_pt, base_pt in zip(cur_knee["curve"], base_knee["curve"]):
+                if cur_pt["p99_us"] != base_pt["p99_us"]:
+                    failures.append(
+                        f"knee: rate {base_pt['offered_rate_ops_s']:g} p99 "
+                        f"{cur_pt['p99_us']:.1f} us differs from baseline "
+                        f"{base_pt['p99_us']:.1f} us"
+                    )
+            failures.extend(check_knee(cur_knee))
     return failures

@@ -30,7 +30,7 @@ from repro.pvfs.metadata import MetadataService
 from repro.pvfs.qos import QoSConfig
 from repro.sim.engine import SchedulePolicy, Simulator
 from repro.sim.faults import FaultPlan
-from repro.sim.metrics import MetricsRegistry
+from repro.sim.metrics import MetricsRegistry, MetricsSampler
 from repro.sim.stats import StatRegistry
 from repro.transfer.base import TransferScheme
 
@@ -64,6 +64,7 @@ class PVFSCluster:
         wb_clients: Optional[Sequence[int]] = None,
         backends: Optional[Sequence[Union[str, BackendProfile]]] = None,
         autotune: Optional[Union[bool, dict, AutotuneConfig]] = None,
+        sample_interval_us: Optional[float] = None,
     ):
         if n_clients < 1 or n_iods < 1:
             raise ValueError("need at least one client and one I/O node")
@@ -236,6 +237,10 @@ class PVFSCluster:
 
         # Setup registered a lot of buffers; benchmark counts start here.
         self.setup_snapshot = self.stats.snapshot()
+        # Periodic counter sampling (off by default; see enable_sampling).
+        self.sampler: Optional[MetricsSampler] = None
+        if sample_interval_us is not None:
+            self.enable_sampling(sample_interval_us)
         self.tracer = None
         self.fault_plan: Optional[FaultPlan] = None
         self.failed_iods: set = set()
@@ -275,6 +280,19 @@ class PVFSCluster:
         self.stats.add("pvfs.cluster.degraded_iods")
         for client in self.clients:
             client.failed_iods.add(iod)
+
+    def enable_sampling(self, interval_us: float) -> MetricsSampler:
+        """Attach a :class:`~repro.sim.metrics.MetricsSampler`; returns it.
+
+        Every ``interval_us`` of simulated time the cluster-wide counter
+        deltas are recorded, and :meth:`metrics_export` grows a
+        ``timeseries`` section.  Sampling rides the simulator's clock
+        observers, entirely off the event heap, so enabling it cannot
+        perturb event schedules (the sampler differential tests pin
+        this: same seed, byte-identical images and traces either way).
+        """
+        self.sampler = MetricsSampler(self.stats, interval_us).attach(self.sim)
+        return self.sampler
 
     def enable_tracing(self, max_events: Optional[int] = None):
         """Attach a :class:`repro.sim.trace.Tracer`; returns it.
@@ -342,6 +360,8 @@ class PVFSCluster:
             }
         if self.autotuners:
             export["autotune"] = [c.snapshot() for c in self.autotuners]
+        if self.sampler is not None:
+            export["timeseries"] = self.sampler.to_dict()
         if include_trace and self.tracer is not None:
             export["trace"] = self.tracer.to_dict()
         return export

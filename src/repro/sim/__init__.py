@@ -41,7 +41,13 @@ from repro.sim.faults import (
     FaultRule,
     InjectedFault,
 )
-from repro.sim.metrics import Histogram, MetricsRegistry, RequestContext, Span
+from repro.sim.metrics import (
+    Histogram,
+    MetricsRegistry,
+    MetricsSampler,
+    RequestContext,
+    Span,
+)
 from repro.sim.resources import Lock, Resource, Store
 from repro.sim.stats import Counter, StatRegistry, TimeSeries
 from repro.sim.trace import TraceEvent, Tracer
@@ -60,6 +66,7 @@ __all__ = [
     "Interrupt",
     "Lock",
     "MetricsRegistry",
+    "MetricsSampler",
     "Process",
     "RequestContext",
     "Resource",

@@ -385,6 +385,23 @@ class Simulator:
         # compares traces to prove determinism (same seed, same trace)
         # and divergence (different seed, different trace).
         self.trace: Optional[List[Tuple[float, str]]] = None
+        # Clock observers: called as cb(prev_now, new_now) whenever the
+        # clock advances, *before* the events at the new time run.  They
+        # live entirely off the event heap — an observer never schedules
+        # an event, never consumes a sequence number, and never draws
+        # from the tie-break policy — so attaching one cannot perturb
+        # the schedule (the metrics sampler depends on this guarantee).
+        self._time_observers: List[Callable[[float, float], None]] = []
+
+    def observe_time(self, callback: Callable[[float, float], None]) -> None:
+        """Register a clock observer ``cb(prev_us, now_us)``.
+
+        Observers fire on every clock advance, outside the event heap;
+        they must only *read* simulation state (sampling counters is the
+        intended use).  Mutating state or scheduling events from an
+        observer is unsupported.
+        """
+        self._time_observers.append(callback)
 
     def record_trace(self) -> List[Tuple[float, str]]:
         """Start recording the processed-event schedule; returns the list."""
@@ -434,6 +451,9 @@ class Simulator:
         t, _, _, event = heapq.heappop(self._heap)
         if event.canceled:
             return
+        if self._time_observers and t > self.now:
+            for cb in self._time_observers:
+                cb(self.now, t)
         self.now = t
         if self.trace is not None:
             self.trace.append((t, event.name))

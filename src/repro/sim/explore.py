@@ -136,6 +136,9 @@ class ExploreCase:
     # controller switch.  Tuning must change timing only, never bytes.
     backends: Optional[List[str]] = None
     autotune: bool = False
+    # Telemetry axis: MetricsSampler interval (or None — off).  Sampling
+    # must be schedule-unobservable: bytes and traces cannot change.
+    sample_interval_us: Optional[float] = None
 
     def to_dict(self) -> dict:
         return {
@@ -154,6 +157,7 @@ class ExploreCase:
             "wb": self.wb,
             "backends": self.backends,
             "autotune": self.autotune,
+            "sample_interval_us": self.sample_interval_us,
         }
 
     @classmethod
@@ -174,6 +178,7 @@ class ExploreCase:
             wb=d.get("wb"),
             backends=d.get("backends"),
             autotune=d.get("autotune", False),
+            sample_interval_us=d.get("sample_interval_us"),
         )
 
 
@@ -741,6 +746,7 @@ def run_case(case: ExploreCase, record_trace: bool = False) -> CaseResult:
             wb_clients=case.wb["clients"] if case.wb is not None else None,
             backends=case.backends,
             autotune=case.autotune,
+            sample_interval_us=case.sample_interval_us,
         )
         if record_trace:
             cluster.sim.record_trace()

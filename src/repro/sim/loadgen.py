@@ -1,0 +1,424 @@
+"""Open-loop load generation: arrival-rate driven noncontiguous I/O.
+
+The closed-loop harness (``bench --contend``) self-throttles: every
+client waits for its previous request before issuing the next, so at
+saturation the *offered* load silently drops to match service capacity
+and the latency knee never shows.  This module drives the cluster
+open-loop instead — a seeded arrival process (Poisson or bursty on/off)
+names the issue time of every operation up front, and each operation is
+spawned as its own simulator process *without waiting for earlier
+operations to complete*.  Queueing delay therefore accumulates past
+saturation exactly as it would under real independent clients, and the
+per-op issue→ack latencies expose the knee.
+
+Three pieces:
+
+- :class:`PoissonArrivals` / :class:`BurstyArrivals` — deterministic
+  seeded arrival-time generators (rate is in operations per *second of
+  simulated time*; times come out in simulated microseconds).
+- :func:`open_loop` — run one offered rate against a
+  :class:`~repro.pvfs.cluster.PVFSCluster`: every arrival issues a
+  noncontiguous ``write_list``/``read_list`` against the issuing
+  client's own striped file, latencies are recorded per op, and
+  fairness is measured **per file** (each file is striped over every
+  I/O daemon, so per-daemon numbers would hide client-level skew).
+- :func:`find_knee` — locate the saturation knee in a
+  latency-vs-offered-rate curve: the first rate whose p99 exceeds
+  ``factor``× the lowest rate's p99.
+
+Everything is simulated time, so results are deterministic for a fixed
+seed — the sweep runner (:mod:`repro.bench.sweep`) leans on that to
+make interrupted sweeps resumable byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.mem.segments import Segment
+
+__all__ = [
+    "ARRIVAL_KINDS",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "make_arrivals",
+    "OpenLoopResult",
+    "open_loop",
+    "find_knee",
+]
+
+US_PER_S = 1e6
+
+ARRIVAL_KINDS = ("poisson", "bursty")
+
+
+def _mix(seed: int, salt: int) -> int:
+    """Derive an independent RNG stream from (seed, salt)."""
+    return (seed * 0x9E3779B1 + salt) & 0xFFFFFFFF
+
+
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate`` ops per second of simulated time.
+
+    ``times(horizon_us)`` is a pure function of ``(rate, seed)``: the
+    same seed always yields the identical arrival schedule, which is
+    what makes open-loop runs replayable and sweep cells resumable.
+    """
+
+    kind = "poisson"
+
+    def __init__(self, rate: float, seed: int = 0):
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        self.rate = rate
+        self.seed = seed
+
+    @property
+    def mean_interarrival_us(self) -> float:
+        return US_PER_S / self.rate
+
+    def times(self, horizon_us: float) -> List[float]:
+        """Arrival times (simulated us) strictly inside ``[0, horizon)``."""
+        rng = random.Random(_mix(self.seed, 0x0A1))
+        mean = self.mean_interarrival_us
+        out: List[float] = []
+        t = 0.0
+        while True:
+            t += rng.expovariate(1.0 / mean)
+            if t >= horizon_us:
+                return out
+            out.append(t)
+
+    def describe(self) -> str:
+        return f"poisson rate={self.rate:g}/s seed={self.seed}"
+
+
+class BurstyArrivals:
+    """On/off modulated Poisson arrivals (bursts at ``rate``, then silence).
+
+    The timeline alternates deterministic ON windows of ``on_us`` and
+    OFF windows of ``off_us``, starting ON at t=0.  Inside an ON window
+    arrivals are Poisson at ``rate``; a draw that lands in an OFF window
+    is discarded and generation resumes at the next window start (the
+    exponential is memoryless, so the restart is statistically clean).
+    The duty cycle ``on_us / (on_us + off_us)`` scales the average rate.
+    """
+
+    kind = "bursty"
+
+    def __init__(
+        self,
+        rate: float,
+        seed: int = 0,
+        on_us: float = 20_000.0,
+        off_us: float = 20_000.0,
+    ):
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        if on_us <= 0 or off_us < 0:
+            raise ValueError(f"bad on/off window ({on_us}, {off_us})")
+        self.rate = rate
+        self.seed = seed
+        self.on_us = on_us
+        self.off_us = off_us
+
+    @property
+    def duty_cycle(self) -> float:
+        return self.on_us / (self.on_us + self.off_us)
+
+    def times(self, horizon_us: float) -> List[float]:
+        """Arrival times (simulated us) inside ON windows of ``[0, horizon)``."""
+        rng = random.Random(_mix(self.seed, 0x0B2))
+        mean = US_PER_S / self.rate
+        period = self.on_us + self.off_us
+        out: List[float] = []
+        t = 0.0
+        while t < horizon_us:
+            t += rng.expovariate(1.0 / mean)
+            window, pos = divmod(t, period)
+            if pos >= self.on_us:
+                # Landed in the OFF window: fast-forward to the next burst.
+                t = (window + 1) * period
+                continue
+            if t >= horizon_us:
+                break
+            out.append(t)
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"bursty rate={self.rate:g}/s on={self.on_us:g}us"
+            f" off={self.off_us:g}us seed={self.seed}"
+        )
+
+
+def make_arrivals(
+    kind: str,
+    rate: float,
+    seed: int = 0,
+    on_us: float = 20_000.0,
+    off_us: float = 20_000.0,
+):
+    """Factory over :data:`ARRIVAL_KINDS`; raises on an unknown kind."""
+    if kind == "poisson":
+        return PoissonArrivals(rate, seed=seed)
+    if kind == "bursty":
+        return BurstyArrivals(rate, seed=seed, on_us=on_us, off_us=off_us)
+    raise ValueError(
+        f"unknown arrival kind {kind!r}; known: {', '.join(ARRIVAL_KINDS)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Open-loop execution
+# ---------------------------------------------------------------------------
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (matches sim.metrics.Histogram)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, int(round(q / 100.0 * len(ordered))))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass
+class OpenLoopResult:
+    """One open-loop run condensed to its plottable facts.
+
+    ``latencies_us`` keeps the raw per-op issue→ack samples (issue =
+    the scheduled arrival time, ack = the client's return from the list
+    op, both simulated); the percentiles are nearest-rank over them.
+    ``fairness_ratio`` is max/min achieved MB/s *per file* — each
+    client's file is striped across every I/O daemon, so this is the
+    client-level fairness the paper's multi-IOD geometry calls for.
+    """
+
+    kind: str
+    offered_rate_ops_s: float
+    duration_us: float
+    issued: int
+    completed: int
+    elapsed_us: float
+    latencies_us: List[float] = field(default_factory=list, repr=False)
+    per_file_mb_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def p50_us(self) -> float:
+        return _percentile(self.latencies_us, 50)
+
+    @property
+    def p95_us(self) -> float:
+        return _percentile(self.latencies_us, 95)
+
+    @property
+    def p99_us(self) -> float:
+        return _percentile(self.latencies_us, 99)
+
+    @property
+    def mean_us(self) -> float:
+        lat = self.latencies_us
+        return sum(lat) / len(lat) if lat else 0.0
+
+    @property
+    def max_us(self) -> float:
+        return max(self.latencies_us) if self.latencies_us else 0.0
+
+    @property
+    def achieved_ops_s(self) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.completed / self.elapsed_us * US_PER_S
+
+    @property
+    def fairness_ratio(self) -> float:
+        rates = [v for v in self.per_file_mb_s.values() if v > 0]
+        if len(rates) < 2:
+            return 1.0
+        return max(rates) / min(rates)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (raw latencies reduced to percentiles)."""
+        return {
+            "kind": self.kind,
+            "offered_rate_ops_s": self.offered_rate_ops_s,
+            "duration_us": self.duration_us,
+            "issued": self.issued,
+            "completed": self.completed,
+            "elapsed_us": self.elapsed_us,
+            "achieved_ops_s": self.achieved_ops_s,
+            "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
+            "p99_us": self.p99_us,
+            "mean_us": self.mean_us,
+            "max_us": self.max_us,
+            "per_file_mb_s": {
+                k: round(v, 3) for k, v in sorted(self.per_file_mb_s.items())
+            },
+            "fairness_ratio": round(self.fairness_ratio, 4),
+        }
+
+
+def open_loop(
+    cluster,
+    rate: float,
+    duration_us: float,
+    kind: str = "poisson",
+    seed: int = 0,
+    pieces: int = 2,
+    piece: int = 4096,
+    op: str = "write",
+    read_fraction: float = 0.5,
+    on_us: float = 20_000.0,
+    off_us: float = 20_000.0,
+) -> OpenLoopResult:
+    """Drive ``cluster`` open-loop at ``rate`` ops/s for ``duration_us``.
+
+    One arrival stream at the full offered rate is generated up front
+    and dealt round-robin to the clients, so the *total* offered rate is
+    exact regardless of client count.  Each operation moves ``pieces``
+    noncontiguous ``piece``-byte extents of the issuing client's own
+    file (gapped in the file, so list I/O stays noncontiguous); each
+    client's per-op extents advance through the file, striding across
+    every I/O daemon's stripes.  ``op`` is ``"write"``, ``"read"``, or
+    ``"mixed"`` (a seeded per-op coin at ``read_fraction``); reads are
+    preceded by an untimed closed-loop populate pass so they always hit
+    written bytes.
+
+    The run is open-loop during the arrival window only: after the last
+    arrival the drivers *wait* for every in-flight op, so ``elapsed_us``
+    covers the drain and ``completed == issued`` on a healthy cluster.
+    """
+    if op not in ("write", "read", "mixed"):
+        raise ValueError(f"bad op {op!r}: want write, read, or mixed")
+    if pieces < 1 or piece < 1:
+        raise ValueError(f"bad op shape: pieces={pieces} piece={piece}")
+    sim = cluster.sim
+    arrivals = make_arrivals(kind, rate, seed=seed, on_us=on_us, off_us=off_us)
+    times = arrivals.times(duration_us)
+    n_clients = len(cluster.clients)
+    per_client: List[List[float]] = [[] for _ in range(n_clients)]
+    for i, t in enumerate(times):
+        per_client[i % n_clients].append(t)
+
+    # Per-op read/write coin, drawn up front so the choice sequence is a
+    # pure function of the seed (never of the schedule).
+    coin = random.Random(_mix(seed, 0x0C3))
+    is_read = {
+        "write": [False] * len(times),
+        "read": [True] * len(times),
+        "mixed": [coin.random() < read_fraction for _ in times],
+    }[op]
+    per_client_reads: List[List[bool]] = [[] for _ in range(n_clients)]
+    for i, r in enumerate(is_read):
+        per_client_reads[i % n_clients].append(r)
+
+    span = 2 * pieces * piece  # per-op file footprint (gapped extents)
+    latencies: List[float] = []
+    file_bytes: Dict[str, int] = {}
+    paths = [f"/pfs/loadgen/c{rank}" for rank in range(n_clients)]
+
+    def _segs(client, k: int):
+        base = client.node.space.malloc(pieces * piece)
+        mem = [Segment(base + i * piece, piece) for i in range(pieces)]
+        file = [Segment(k * span + i * 2 * piece, piece) for i in range(pieces)]
+        return mem, file
+
+    def populate(client, rank: int, n_ops: int) -> Generator:
+        # Untimed closed-loop pass covering every extent the timed ops
+        # will touch, so reads always observe written bytes.
+        f = yield from client.open(paths[rank])
+        for k in range(n_ops):
+            mem, file = _segs(client, k)
+            client.node.space.fill(mem[0].addr, pieces * piece, (rank % 255) + 1)
+            yield from client.write_list(f, mem, file, use_ads=False)
+
+    def one_op(client, f, rank: int, k: int, read: bool, issued_at: float) -> Generator:
+        mem, file = _segs(client, k)
+        if read:
+            yield from client.read_list(f, mem, file, use_ads=False)
+        else:
+            client.node.space.fill(
+                mem[0].addr, pieces * piece, ((rank + k) % 255) + 1
+            )
+            yield from client.write_list(f, mem, file, use_ads=False)
+        latencies.append(sim.now - issued_at)
+        file_bytes[paths[rank]] = file_bytes.get(paths[rank], 0) + pieces * piece
+
+    def driver(client, rank: int, arrival_times: List[float], reads: List[bool]) -> Generator:
+        f = yield from client.open(paths[rank])
+        inflight = []
+        for k, t in enumerate(arrival_times):
+            if t > sim.now:
+                yield sim.timeout(t - sim.now)
+            # Open loop: spawn the op and move on to the next arrival.
+            inflight.append(
+                sim.process(
+                    one_op(client, f, rank, k, reads[k], sim.now),
+                    name=f"loadgen.c{rank}.op{k}",
+                )
+            )
+        if inflight:
+            yield sim.all_of(inflight)
+
+    if op in ("read", "mixed"):
+        cluster.run(
+            [
+                populate(client, rank, len(per_client[rank]))
+                for rank, client in enumerate(cluster.clients)
+                if per_client[rank]
+            ]
+        )
+    start = sim.now
+    procs = [
+        driver(client, rank, per_client[rank], per_client_reads[rank])
+        for rank, client in enumerate(cluster.clients)
+        if per_client[rank]
+    ]
+    if procs:
+        cluster.run(procs)
+    elapsed = sim.now - start
+
+    per_file_mb_s = {
+        path: nbytes / elapsed * US_PER_S / (1 << 20) if elapsed > 0 else 0.0
+        for path, nbytes in file_bytes.items()
+    }
+    return OpenLoopResult(
+        kind=kind,
+        offered_rate_ops_s=rate,
+        duration_us=duration_us,
+        issued=len(times),
+        completed=len(latencies),
+        elapsed_us=elapsed,
+        latencies_us=latencies,
+        per_file_mb_s=per_file_mb_s,
+    )
+
+
+def find_knee(
+    curve: Sequence[Dict[str, object]], factor: float = 3.0
+) -> Optional[float]:
+    """Locate the saturation knee in a latency-vs-offered-rate curve.
+
+    ``curve`` is a rate-ascending sequence of dicts with
+    ``offered_rate_ops_s`` and ``p99_us`` (the shape
+    :meth:`OpenLoopResult.to_dict` emits).  The knee is the first rate
+    whose p99 exceeds ``factor`` times the lowest rate's p99 — the
+    open-loop blow-up point closed-loop harnesses cannot see.  Returns
+    the knee rate, or ``None`` when the curve never blows up (the swept
+    rates all sit below saturation).
+    """
+    if factor <= 1.0:
+        raise ValueError(f"knee factor must exceed 1.0, got {factor}")
+    if len(curve) < 2:
+        return None
+    base = float(curve[0]["p99_us"])
+    if base <= 0:
+        return None
+    for point in curve[1:]:
+        if float(point["p99_us"]) > factor * base:
+            return float(point["offered_rate_ops_s"])
+    return None

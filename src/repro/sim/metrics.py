@@ -37,7 +37,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-__all__ = ["Histogram", "MetricsRegistry", "RequestContext", "Span"]
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSampler",
+    "RequestContext",
+    "Span",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -158,6 +164,84 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         self._phases.clear()
+
+
+# ---------------------------------------------------------------------------
+# Periodic time-series sampling
+# ---------------------------------------------------------------------------
+
+class MetricsSampler:
+    """Periodic snapshots of a :class:`~repro.sim.stats.StatRegistry`.
+
+    Every ``interval_us`` of *simulated* time the sampler records the
+    counter deltas since the previous sample, turning a run's end-state
+    totals into a plottable trajectory (requests per interval, bytes per
+    interval, ...).  The export lands in the cluster's
+    :meth:`~repro.pvfs.cluster.PVFSCluster.metrics_export` under the
+    ``timeseries`` key.
+
+    The sampler rides :meth:`~repro.sim.engine.Simulator.observe_time`,
+    which fires on clock advances *outside* the event heap: sampling
+    never schedules an event, never consumes an event sequence number,
+    and never draws from the tie-break policy.  Enabling it is therefore
+    schedule-unobservable — same seed, same event trace, byte-identical
+    file images with sampling on or off (the differential tests in
+    ``tests/explore/`` pin this).
+
+    Empty intervals are elided (the sample times still name their
+    boundary, so plots keep their gaps); between two clock advances no
+    event runs, so at most one sample per advance can carry data.
+    """
+
+    def __init__(self, stats, interval_us: float):
+        if interval_us <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval_us}")
+        self.stats = stats
+        self.interval_us = float(interval_us)
+        self.samples: List[Dict[str, object]] = []
+        self._next_due = self.interval_us
+        self._last = stats.snapshot()
+
+    def attach(self, sim) -> "MetricsSampler":
+        """Register on ``sim``'s clock-observer list; returns self."""
+        sim.observe_time(self._on_advance)
+        return self
+
+    def _on_advance(self, prev_us: float, now_us: float) -> None:
+        if self._next_due > now_us:
+            return
+        # No event ran between prev_us and now_us, so every boundary in
+        # (prev_us, now_us] sees the same counter state: sample the
+        # first due boundary, then skip the rest in O(1).
+        delta = self.stats.diff(self._last)
+        if delta:
+            self._last = self.stats.snapshot()
+            self.samples.append(
+                {
+                    "t_us": self._next_due,
+                    "counters": {
+                        name: {"count": count, "total": total}
+                        for name, (count, total) in sorted(delta.items())
+                    },
+                }
+            )
+        missed = math.floor((now_us - self._next_due) / self.interval_us)
+        self._next_due += (missed + 1) * self.interval_us
+
+    def series(self, counter: str, field: str = "count") -> List[tuple]:
+        """(t_us, per-interval delta) points for one counter name."""
+        return [
+            (s["t_us"], s["counters"][counter][field])
+            for s in self.samples
+            if counter in s["counters"]
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "interval_us": self.interval_us,
+            "n_samples": len(self.samples),
+            "samples": self.samples,
+        }
 
 
 # ---------------------------------------------------------------------------

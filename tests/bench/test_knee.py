@@ -1,0 +1,122 @@
+"""Knee-gate logic and baseline backward compatibility.
+
+``check_regression`` grew a ``timeseries`` tolerance: results that
+differ only in telemetry must compare clean, so ``BENCH_*.json``
+baselines committed before the sampler existed keep validating — and
+baselines committed *with* telemetry keep validating runs made without.
+"""
+
+import copy
+
+from repro.bench.wallclock import (
+    _strip_timeseries,
+    check_knee,
+    check_regression,
+)
+
+
+def _knee_doc():
+    def pt(rate, p99, fair=1.0, issued=40, completed=40):
+        return {
+            "offered_rate_ops_s": rate,
+            "p99_us": p99,
+            "fairness_ratio": fair,
+            "issued": issued,
+            "completed": completed,
+        }
+
+    return {
+        "clients": 4,
+        "iods": 4,
+        "duration_us": 50_000.0,
+        "pieces": 2,
+        "piece_bytes": 8192,
+        "seed": 7,
+        "factor": 3.0,
+        "curve": [pt(500.0, 200.0), pt(2000.0, 350.0), pt(8000.0, 900.0)],
+        "knee_rate_ops_s": 8000.0,
+    }
+
+
+def test_check_knee_clean():
+    assert check_knee(_knee_doc()) == []
+
+
+def test_check_knee_flags_missing_knee():
+    doc = _knee_doc()
+    doc["knee_rate_ops_s"] = None
+    doc["curve"][-1]["p99_us"] = 300.0
+    failures = check_knee(doc)
+    assert any("no saturation knee" in f for f in failures)
+    assert any("never bends" in f for f in failures)
+
+
+def test_check_knee_flags_lost_work_and_unfairness():
+    doc = _knee_doc()
+    doc["curve"][1]["completed"] = 39
+    doc["curve"][0]["fairness_ratio"] = 2.5  # below the knee: gated
+    doc["curve"][-1]["fairness_ratio"] = 9.0  # at/past the knee: allowed
+    failures = check_knee(doc)
+    assert any("only 39/40 ops completed" in f for f in failures)
+    assert sum("fairness" in f for f in failures) == 1
+
+
+def _bench_doc(with_timeseries):
+    doc = {
+        "label": "t",
+        "config": {"n": 1024, "repeats": 3},
+        "machine": {"memcpy_mb_s": 5000.0},
+        "schemes": {"gather": {"wall_mb_s": 100.0, "sim_mb_s": 480.0}},
+        "data_plane": {
+            "legacy_mb_s": 400.0,
+            "zerocopy_mb_s": 1600.0,
+            "speedup": 4.0,
+        },
+        "knee": _knee_doc(),
+    }
+    if with_timeseries:
+        for p in doc["knee"]["curve"]:
+            p["timeseries"] = {
+                "interval_us": 5000.0,
+                "n_samples": 1,
+                "samples": [{"t_us": 5000.0, "counters": {}}],
+            }
+    return doc
+
+
+def test_regression_tolerates_timeseries_only_differences():
+    # New run (with telemetry) vs old baseline (without): clean both ways.
+    new = _bench_doc(with_timeseries=True)
+    old = _bench_doc(with_timeseries=False)
+    assert check_regression(new, old) == []
+    assert check_regression(old, new) == []
+
+
+def test_regression_still_catches_real_drift_under_timeseries():
+    new = _bench_doc(with_timeseries=True)
+    old = _bench_doc(with_timeseries=False)
+    new["knee"]["curve"][1]["p99_us"] = 351.0
+    failures = check_regression(new, old)
+    assert any("differs from baseline" in f for f in failures)
+
+
+def test_regression_flags_baseline_knee_missing_from_current():
+    new = _bench_doc(with_timeseries=False)
+    del new["knee"]
+    failures = check_regression(new, _bench_doc(with_timeseries=False))
+    assert any("without --knee" in f for f in failures)
+
+
+def test_regression_flags_knee_rate_drift():
+    new = _bench_doc(with_timeseries=False)
+    new["knee"]["knee_rate_ops_s"] = 2000.0
+    failures = check_regression(new, _bench_doc(with_timeseries=False))
+    assert any("saturation rate" in f for f in failures)
+
+
+def test_strip_timeseries_is_deep_and_nonmutating():
+    doc = _bench_doc(with_timeseries=True)
+    snapshot = copy.deepcopy(doc)
+    stripped = _strip_timeseries(doc)
+    assert doc == snapshot, "_strip_timeseries mutated its input"
+    assert stripped == _bench_doc(with_timeseries=False)

@@ -1,0 +1,185 @@
+"""Sweep-runner campaign: grids, atomic checkpoints, resume semantics.
+
+The load-bearing property: a sweep interrupted after N cells (via the
+cell-budget hook) and later finished with ``resume=True`` must (a) never
+re-execute a completed cell — its checkpoint file is untouched down to
+the mtime and bytes — and (b) produce a merged ``SWEEP_<label>.json``
+byte-for-byte identical to an uninterrupted run's.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.sweep import (
+    GRID_AXES,
+    SweepCell,
+    parse_grid,
+    run_cell,
+    run_sweep,
+    summary_path,
+)
+
+RUN_KW = {"duration_us": 15_000.0}  # small cells: the campaign stays fast
+
+
+def _silent(_msg):
+    pass
+
+
+def test_parse_grid_defaults_and_product():
+    cells = parse_grid([])
+    assert len(cells) == 1
+    assert cells[0] == SweepCell(
+        scheme="gather", rate=400.0, clients=2, backend="ata", seed=0
+    )
+    cells = parse_grid(["rate=200,400", "seed=0,1,2"])
+    assert len(cells) == 6
+    # Deterministic grid order: rate is the outer axis, seed the inner.
+    assert [(c.rate, c.seed) for c in cells[:4]] == [
+        (200.0, 0), (200.0, 1), (200.0, 2), (400.0, 0),
+    ]
+    assert len({c.cell_id for c in cells}) == 6
+
+
+def test_parse_grid_rejects_junk():
+    with pytest.raises(ValueError):
+        parse_grid(["velocity=3"])
+    with pytest.raises(ValueError):
+        parse_grid(["rate"])
+    with pytest.raises(ValueError):
+        parse_grid(["rate="])
+
+
+def test_cell_roundtrip_and_id():
+    cell = SweepCell(scheme="hybrid", rate=1500.0, clients=4, backend="nvme", seed=9)
+    assert SweepCell.from_dict(cell.to_dict()) == cell
+    assert cell.cell_id == "scheme-hybrid_rate-1500_c4_b-nvme_s9"
+
+
+def test_run_cell_verdict_shape():
+    cell = SweepCell(scheme="gather", rate=500.0, clients=2, backend="ata", seed=1)
+    doc = run_cell(cell, **RUN_KW)
+    assert doc["ok"] is True
+    assert doc["error"] is None
+    assert doc["cell"] == cell.to_dict()
+    assert doc["result"]["completed"] == doc["result"]["issued"] > 0
+    assert "timeseries" not in doc
+    doc = run_cell(cell, sample_interval_us=3_000.0, **RUN_KW)
+    assert doc["timeseries"]["n_samples"] > 0
+
+
+def test_bad_cell_is_a_failed_verdict_not_a_crash():
+    cell = SweepCell(scheme="gather", rate=500.0, clients=2, backend="floppy", seed=0)
+    doc = run_cell(cell, **RUN_KW)
+    assert doc["ok"] is False
+    assert doc["error"]
+    assert doc["result"] is None
+
+
+def test_interrupted_then_resumed_equals_uninterrupted(tmp_path):
+    cells = parse_grid(["rate=300,600", "seed=0,1"])
+
+    # Reference: one uninterrupted run.
+    ref_dir = str(tmp_path / "ref")
+    status = run_sweep(cells, label="t", out_dir=ref_dir, echo=_silent, **RUN_KW)
+    assert status["complete"] and status["failures"] == 0
+
+    # Interrupted run: budget stops it after 2 of 4 cells.
+    out_dir = str(tmp_path / "out")
+    status = run_sweep(
+        cells, label="t", out_dir=out_dir, cell_budget=2, echo=_silent, **RUN_KW
+    )
+    assert not status["complete"]
+    assert status["completed"] == 2 and len(status["pending"]) == 2
+    assert not os.path.exists(summary_path(out_dir, "t"))
+
+    done = sorted(os.listdir(os.path.join(out_dir, "t")))
+    assert len(done) == 2
+    before = {
+        p: (
+            os.path.getmtime(os.path.join(out_dir, "t", p)),
+            open(os.path.join(out_dir, "t", p), "rb").read(),
+        )
+        for p in done
+    }
+
+    # Resume finishes the other cells without touching the completed ones.
+    status = run_sweep(
+        cells, label="t", out_dir=out_dir, resume=True, echo=_silent, **RUN_KW
+    )
+    assert status["complete"]
+    assert status["skipped"] == 2
+    for p, (mtime, blob) in before.items():
+        path = os.path.join(out_dir, "t", p)
+        assert os.path.getmtime(path) == mtime, f"{p} was re-executed"
+        assert open(path, "rb").read() == blob
+
+    # The merged summary is byte-for-byte the uninterrupted one.
+    with open(summary_path(out_dir, "t"), "rb") as fh:
+        resumed = fh.read()
+    with open(summary_path(ref_dir, "t"), "rb") as fh:
+        reference = fh.read()
+    assert resumed == reference
+
+
+def test_resume_skips_everything_when_all_done(tmp_path):
+    cells = parse_grid(["seed=0,1"])
+    out = str(tmp_path)
+    run_sweep(cells, label="t", out_dir=out, echo=_silent, **RUN_KW)
+    status = run_sweep(
+        cells, label="t", out_dir=out, resume=True, echo=_silent, **RUN_KW
+    )
+    assert status["skipped"] == 2 and status["complete"]
+
+
+def test_without_resume_cells_are_rerun(tmp_path):
+    cells = parse_grid(["seed=0"])
+    out = str(tmp_path)
+    run_sweep(cells, label="t", out_dir=out, echo=_silent, **RUN_KW)
+    path = os.path.join(out, "t", cells[0].cell_id + ".json")
+    first = os.path.getmtime(path)
+    os.utime(path, (first - 10, first - 10))  # make any rewrite visible
+    run_sweep(cells, label="t", out_dir=out, echo=_silent, **RUN_KW)
+    assert os.path.getmtime(path) > first - 10, "cell was not re-executed"
+
+
+def test_stale_checkpoint_for_wrong_cell_is_ignored(tmp_path):
+    cells = parse_grid(["seed=0"])
+    out = str(tmp_path)
+    cell_dir = os.path.join(out, "t")
+    os.makedirs(cell_dir)
+    # A checkpoint file named for the cell but recording a different one
+    # (e.g. the grid definition changed): resume must not trust it.
+    with open(os.path.join(cell_dir, cells[0].cell_id + ".json"), "w") as fh:
+        json.dump({"cell": {"scheme": "other"}, "ok": True}, fh)
+    status = run_sweep(
+        cells, label="t", out_dir=out, resume=True, echo=_silent, **RUN_KW
+    )
+    assert status["skipped"] == 0 and status["complete"]
+
+
+def test_parallel_workers_match_sequential_bytes(tmp_path):
+    cells = parse_grid(["rate=300,600", "seed=0,1"])
+    seq = str(tmp_path / "seq")
+    par = str(tmp_path / "par")
+    run_sweep(cells, label="t", out_dir=seq, echo=_silent, **RUN_KW)
+    run_sweep(cells, label="t", out_dir=par, workers=2, echo=_silent, **RUN_KW)
+    with open(summary_path(seq, "t"), "rb") as fh:
+        a = fh.read()
+    with open(summary_path(par, "t"), "rb") as fh:
+        b = fh.read()
+    assert a == b
+
+
+def test_empty_and_duplicate_grids_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        run_sweep([], label="t", out_dir=str(tmp_path))
+    cell = parse_grid(["seed=0"])[0]
+    with pytest.raises(ValueError):
+        run_sweep([cell, cell], label="t", out_dir=str(tmp_path))
+
+
+def test_grid_axes_cover_the_documented_axes():
+    assert tuple(GRID_AXES) == ("scheme", "rate", "clients", "backend", "seed")

@@ -1,0 +1,137 @@
+"""Property tests for the open-loop arrival processes and knee finder.
+
+The arrival generators are the root of sweep reproducibility: the same
+(kind, rate, seed) must always yield the identical schedule, the mean
+inter-arrival must converge to 1/rate, and bursty arrivals must respect
+their on/off windows exactly.
+"""
+
+import pytest
+
+from repro.pvfs.cluster import PVFSCluster
+from repro.sim.loadgen import (
+    ARRIVAL_KINDS,
+    BurstyArrivals,
+    PoissonArrivals,
+    find_knee,
+    make_arrivals,
+    open_loop,
+)
+
+US_PER_S = 1e6
+
+
+@pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+@pytest.mark.parametrize("seed", [0, 1, 17, 123456])
+def test_same_seed_same_arrivals(kind, seed):
+    a = make_arrivals(kind, 800.0, seed=seed)
+    b = make_arrivals(kind, 800.0, seed=seed)
+    assert a.times(500_000.0) == b.times(500_000.0)
+
+
+@pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+def test_different_seeds_differ(kind):
+    a = make_arrivals(kind, 800.0, seed=0).times(500_000.0)
+    b = make_arrivals(kind, 800.0, seed=1).times(500_000.0)
+    assert a != b
+
+
+@pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+@pytest.mark.parametrize("seed", [0, 3, 9])
+def test_arrivals_sorted_within_horizon(kind, seed):
+    horizon = 300_000.0
+    times = make_arrivals(kind, 2000.0, seed=seed).times(horizon)
+    assert times == sorted(times)
+    assert all(0.0 <= t < horizon for t in times)
+
+
+@pytest.mark.parametrize("rate", [200.0, 1000.0, 5000.0])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_poisson_mean_interarrival_converges(rate, seed):
+    # Long horizon -> thousands of samples; the empirical mean gap must
+    # land within 10% of 1/rate (standard error ~ mean/sqrt(n) << 10%).
+    horizon = max(5_000_000.0, 5000 * US_PER_S / rate)
+    times = PoissonArrivals(rate, seed=seed).times(horizon)
+    assert len(times) > 1000
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    mean_gap = sum(gaps) / len(gaps)
+    assert mean_gap == pytest.approx(US_PER_S / rate, rel=0.10)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 5])
+@pytest.mark.parametrize("on_us,off_us", [(20_000.0, 20_000.0), (5_000.0, 15_000.0)])
+def test_bursty_honors_duty_cycle_windows(seed, on_us, off_us):
+    gen = BurstyArrivals(3000.0, seed=seed, on_us=on_us, off_us=off_us)
+    period = on_us + off_us
+    times = gen.times(2_000_000.0)
+    assert times, "bursty generator produced no arrivals"
+    # Every arrival lands strictly inside an ON window.
+    assert all(t % period < on_us for t in times)
+    assert gen.duty_cycle == pytest.approx(on_us / period)
+
+
+def test_bursty_average_rate_scales_with_duty_cycle():
+    # ON-window arrivals at the full rate -> the long-run average rate
+    # is rate * duty_cycle.
+    rate, horizon = 4000.0, 10_000_000.0
+    gen = BurstyArrivals(rate, seed=2, on_us=10_000.0, off_us=30_000.0)
+    times = gen.times(horizon)
+    achieved = len(times) / horizon * US_PER_S
+    assert achieved == pytest.approx(rate * gen.duty_cycle, rel=0.10)
+
+
+def test_arrival_validation():
+    with pytest.raises(ValueError):
+        PoissonArrivals(0.0)
+    with pytest.raises(ValueError):
+        BurstyArrivals(100.0, on_us=0.0)
+    with pytest.raises(ValueError):
+        make_arrivals("weibull", 100.0)
+
+
+def test_find_knee_picks_first_blowup():
+    curve = [
+        {"offered_rate_ops_s": 100.0, "p99_us": 100.0},
+        {"offered_rate_ops_s": 200.0, "p99_us": 150.0},
+        {"offered_rate_ops_s": 400.0, "p99_us": 400.0},
+        {"offered_rate_ops_s": 800.0, "p99_us": 900.0},
+    ]
+    assert find_knee(curve, factor=3.0) == 400.0
+    assert find_knee(curve, factor=8.5) == 800.0
+    assert find_knee(curve, factor=10.0) is None
+    assert find_knee(curve[:1]) is None
+    with pytest.raises(ValueError):
+        find_knee(curve, factor=1.0)
+
+
+@pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+def test_open_loop_end_to_end(kind):
+    cluster = PVFSCluster(n_clients=2, n_iods=2, scheme="gather")
+    res = open_loop(cluster, rate=600.0, duration_us=40_000.0, kind=kind, seed=4)
+    assert res.issued > 0
+    assert res.completed == res.issued
+    assert len(res.latencies_us) == res.issued
+    assert all(lat > 0 for lat in res.latencies_us)
+    assert res.p50_us <= res.p95_us <= res.p99_us <= res.max_us
+    # Both clients got arrivals (round-robin deal), so both files moved.
+    assert len(res.per_file_mb_s) == 2
+    doc = res.to_dict()
+    assert doc["completed"] == res.completed
+    assert doc["fairness_ratio"] >= 1.0
+
+
+def test_open_loop_deterministic():
+    runs = []
+    for _ in range(2):
+        cluster = PVFSCluster(n_clients=2, n_iods=2, scheme="gather")
+        res = open_loop(cluster, rate=900.0, duration_us=30_000.0, seed=11)
+        runs.append(res.to_dict())
+    assert runs[0] == runs[1]
+
+
+def test_open_loop_mixed_reads_hit_populated_bytes():
+    cluster = PVFSCluster(n_clients=2, n_iods=2, scheme="gather")
+    res = open_loop(
+        cluster, rate=700.0, duration_us=30_000.0, op="mixed", seed=5
+    )
+    assert res.completed == res.issued > 0
