@@ -160,7 +160,80 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
 }
 
 
+def _phase_table(export, title: str, note: str) -> Table:
+    t = Table(
+        title,
+        ["phase", "count", "total (ms)", "p50 (us)", "p95 (us)", "p99 (us)"],
+    )
+    for name, h in export["phases"].items():
+        t.add(
+            name,
+            h["count"],
+            h["total_us"] / 1e3,
+            h["p50_us"],
+            h["p95_us"],
+            h["p99_us"],
+        )
+    t.note(note)
+    return t
+
+
+def _profile_scenario_report(args) -> str:
+    from repro.sim import scenario as sc
+
+    spec = sc.load_scenario(args.scenario)
+    result = sc.run_scenario(spec, sample_interval_us=args.timeseries)
+    export = result.cluster.metrics_export()
+    export["scenario"] = result.to_dict()
+    if args.json:
+        return json.dumps(export, indent=2, sort_keys=True)
+    s = result.summary
+    moved = (s.get("bytes_written", 0) + s.get("bytes_read", 0)) / MB
+    note = (
+        f"elapsed {result.elapsed_us / 1e6:.3f} s sim;"
+        f" {s['workload']} workload, {s.get('ops', 0)} ops"
+        + (f", {moved:.1f} MB moved" if moved else "")
+        + f"; digest {result.digest[:12]}"
+    )
+    out = str(
+        _phase_table(
+            export,
+            f"Per-phase latency: scenario {spec.name}"
+            f" (seed {spec.seed}, {spec.cluster.n_clients}c x"
+            f" {spec.cluster.n_iods}iod {spec.cluster.scheme})",
+            note,
+        )
+    )
+    ol = s.get("open_loop")
+    if ol is not None:
+        out += (
+            f"\nopen loop: {ol['kind']} {ol['offered_rate_ops_s']:g} ops/s"
+            f" offered, {ol['achieved_ops_s']:.0f} achieved;"
+            f" {ol['completed']}/{ol['issued']} ops,"
+            f" p50/p99 {ol['p50_us']:.0f}/{ol['p99_us']:.0f} us,"
+            f" fairness {ol['fairness_ratio']:.2f}x"
+        )
+    for ev in s.get("events", []):
+        out += (
+            f"\nevent {ev['kind']}: scheduled t={ev['at_us']:g} us,"
+            f" finished t={ev['done_us']:g} us"
+        )
+    return out + _profile_footers(export)
+
+
 def _profile_report(args) -> str:
+    if args.scenario is not None:
+        if args.workload is not None:
+            raise ValueError(
+                "pass either a named workload or --scenario, not both "
+                "(the scenario file defines the workload)"
+            )
+        return _profile_scenario_report(args)
+    if args.workload is None:
+        raise ValueError(
+            "a workload is required: name one of "
+            f"{', '.join(runners.PROFILE_WORKLOADS)} or pass --scenario FILE"
+        )
     backends = None
     if args.backends:
         backends = [b.strip() for b in args.backends.split(",") if b.strip()]
@@ -174,26 +247,19 @@ def _profile_report(args) -> str:
     if args.json:
         return json.dumps(export, indent=2, sort_keys=True)
     w = export["workload"]
-    t = Table(
+    t = _phase_table(
+        export,
         f"Per-phase latency: {w['name']} {w['op']}"
         f" (scheme={w['scheme']}, {w['bytes'] / MB:.1f} MB)",
-        ["phase", "count", "total (ms)", "p50 (us)", "p95 (us)", "p99 (us)"],
-    )
-    for name, h in export["phases"].items():
-        t.add(
-            name,
-            h["count"],
-            h["total_us"] / 1e3,
-            h["p50_us"],
-            h["p95_us"],
-            h["p99_us"],
-        )
-    t.note(
         f"elapsed {export['elapsed_us'] / 1e6:.3f} s"
         f" ({w['mb_per_s']:.1f} MB/s aggregate);"
-        " totals sum concurrent requests, so they exceed elapsed"
+        " totals sum concurrent requests, so they exceed elapsed",
     )
-    out = str(t)
+    return str(t) + _profile_footers(export)
+
+
+def _profile_footers(export) -> str:
+    out = ""
     faults = export.get("faults")
     if faults is not None:
         counters = export["counters"]
@@ -273,6 +339,8 @@ def _bench_report(args) -> int:
         result["hetero"] = wallclock.bench_hetero()
     if args.knee:
         result["knee"] = wallclock.bench_knee()
+    if args.scenario is not None:
+        result["scenario"] = wallclock.bench_scenario(args.scenario)
     if args.json:
         path = wallclock.write_bench(result, out=args.out)
         print(f"wrote {path}")
@@ -356,6 +424,17 @@ def _bench_report(args) -> int:
                 if knee["knee_rate_ops_s"] is not None
                 else f"\nopen-loop knee: no knee found (p99 by rate {pts})"
             )
+        scn = result.get("scenario")
+        if scn is not None:
+            if "error" in scn:
+                note += f"\nscenario {scn['path']}: ERROR {scn['error']}"
+            else:
+                note += (
+                    f"\nscenario {scn['name']} (seed {scn['seed']}):"
+                    f" sim {scn['elapsed_us']:.0f} us in {scn['wall_s']:.2f} s"
+                    f" wall; digest {scn['digest'][:12]}"
+                    f" ({'deterministic' if scn['deterministic'] else 'NON-DETERMINISTIC'})"
+                )
         t.note(note)
         print(t)
     if args.contend is not None:
@@ -419,6 +498,18 @@ def _bench_report(args) -> int:
             f" p99 {knee['curve'][0]['p99_us']:.0f} ->"
             f" {knee['curve'][-1]['p99_us']:.0f} us across the sweep;"
             f" all cells drained, per-file fairness <= 2.0 below the knee)"
+        )
+    if args.scenario is not None:
+        failures = wallclock.check_scenario(result["scenario"])
+        if failures:
+            for f in failures:
+                print(f"SCENARIO: {f}", file=sys.stderr)
+            return 1
+        scn = result["scenario"]
+        print(
+            f"scenario check: OK ({scn['name']} ran twice with identical"
+            f" sim-outcome digest {scn['digest'][:12]};"
+            f" sim elapsed {scn['elapsed_us']:.0f} us)"
         )
     if args.check is not None:
         with open(args.check) as fh:
@@ -487,6 +578,22 @@ def _explore_report(args) -> int:
             file=sys.stderr,
         )
         return 2
+    scenario = None
+    if args.scenario is not None:
+        if args.meta or args.wb or args.hetero:
+            print(
+                "explore: --scenario already fixes the workload shape;"
+                " drop --meta/--wb/--hetero",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.sim.scenario import ScenarioError, load_scenario
+
+        try:
+            scenario = load_scenario(args.scenario)
+        except ScenarioError as e:
+            print(f"explore: {e}", file=sys.stderr)
+            return 2
     failures = ex.sweep(
         args.seeds,
         base=args.base,
@@ -498,6 +605,7 @@ def _explore_report(args) -> int:
         meta=args.meta,
         wb=args.wb,
         hetero=args.hetero,
+        scenario=scenario,
     )
     return 1 if failures else 0
 
@@ -525,8 +633,20 @@ def main(argv=None) -> int:
     )
     prof.add_argument(
         "workload",
+        nargs="?",
+        default=None,
         choices=list(runners.PROFILE_WORKLOADS),
-        help="workload to profile",
+        help="workload to profile (omit when using --scenario)",
+    )
+    prof.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="profile a declarative scenario spec (JSON; see SCENARIOS.md) "
+        "instead of a named workload — the file defines the cluster "
+        "geometry, access shape, seed and timed events, so the "
+        "workload-shaping flags below are ignored (--timeseries and "
+        "--json still apply)",
     )
     from repro.transfer import scheme_names
 
@@ -682,6 +802,15 @@ def main(argv=None) -> int:
         "below the knee",
     )
     bench.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="also run one declarative scenario spec (see SCENARIOS.md) "
+        "twice on fresh clusters and gate on a clean, deterministic "
+        "run: both executions must produce the identical sim-outcome "
+        "digest",
+    )
+    bench.add_argument(
         "--check",
         default=None,
         metavar="BASELINE",
@@ -705,8 +834,10 @@ def main(argv=None) -> int:
         default=None,
         metavar="AXIS=V[,V...]",
         help="grid axes as axis=value lists, e.g. --grid rate=200,400 "
-        "seed=0,1 (axes: scheme, rate, clients, backend, seed; unset "
-        "axes take a single default)",
+        "seed=0,1 (axes: scheme, rate, clients, backend, seed, "
+        "scenario; unset axes take a single default). scenario=a.json,"
+        "b.json swaps cell bodies for declarative spec files and "
+        "composes with seed= only (seed overrides each spec's own)",
     )
     sweep.add_argument(
         "--label", default="local", help="sweep label (names SWEEP_<label>.json)"
@@ -816,6 +947,16 @@ def main(argv=None) -> int:
         help="make every seed a heterogeneous-backend case: a random "
         "ATA/SSD/NVMe assignment per I/O daemon with the autotune "
         "controller on, checked by the standard oracles",
+    )
+    explore.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="explore one declarative scenario spec (see SCENARIOS.md) "
+        "instead of generated cases: every seed materializes the same "
+        "spec under a different schedule perturbation, judged by all "
+        "oracles (replaces --meta/--wb/--hetero; the spec fixes the "
+        "case shape)",
     )
     explore.add_argument(
         "--plant-bug",

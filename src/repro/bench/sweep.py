@@ -19,6 +19,12 @@ The grid comes from ``--grid axis=v1,v2 ...`` tokens; unset axes take a
 single default, so ``--grid rate=200,400 seed=0,1`` is a 2×2 sweep.
 ``--cell-budget N`` stops the invocation after N cells — the hook the
 resume tests (and the CI forced-interrupt job) use to simulate a kill.
+
+The ``scenario=`` axis trades the open-loop cell body for declarative
+spec files (:mod:`repro.sim.scenario`): ``--grid
+scenario=a.json,b.json seed=0,1`` runs each spec under each seed, with
+the same checkpoint/resume guarantees, because scenario runs are just
+as deterministic.
 """
 
 from __future__ import annotations
@@ -43,14 +49,25 @@ __all__ = [
 DEFAULT_OUT_DIR = "sweep_results"
 
 # Axis name -> (parser, default).  Grid order is this declaration order,
-# which fixes both cell ids and the merged summary's cell order.
+# which fixes both cell ids and the merged summary's cell order.  The
+# ``scenario`` axis swaps the cell body for a declarative spec file
+# (:mod:`repro.sim.scenario`): it replaces scheme/rate/clients/backend
+# (the spec carries its own geometry and workload) and composes with
+# ``seed``, which overrides the spec's seed per cell.
 GRID_AXES: Dict[str, Tuple[type, object]] = {
     "scheme": (str, "gather"),
     "rate": (float, 400.0),
     "clients": (int, 2),
     "backend": (str, "ata"),
     "seed": (int, 0),
+    "scenario": (str, None),
 }
+
+
+def _scenario_slug(path: str) -> str:
+    """Filename-safe tag for a scenario path (basename, extension off)."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return "".join(ch if ch.isalnum() or ch in "._-" else "-" for ch in stem)
 
 
 @dataclass(frozen=True)
@@ -62,14 +79,20 @@ class SweepCell:
     clients: int
     backend: str
     seed: int
+    scenario: Optional[str] = None
 
     @property
     def cell_id(self) -> str:
         """Stable filename-safe identity (doubles as checkpoint name)."""
-        return (
+        base = (
             f"scheme-{self.scheme}_rate-{self.rate:g}"
             f"_c{self.clients}_b-{self.backend}_s{self.seed}"
         )
+        if self.scenario is not None:
+            # Suffix-only so pre-scenario grids keep their historical
+            # checkpoint names (and stay resumable in place).
+            base += f"_scn-{_scenario_slug(self.scenario)}"
+        return base
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -82,6 +105,7 @@ class SweepCell:
             clients=int(d["clients"]),
             backend=d["backend"],
             seed=int(d["seed"]),
+            scenario=d.get("scenario"),
         )
 
 
@@ -91,6 +115,11 @@ def parse_grid(tokens: Sequence[str]) -> List[SweepCell]:
     Unknown axes and empty value lists are errors; unset axes use their
     single default.  The product is emitted in deterministic grid order
     (axes in :data:`GRID_AXES` order, values in given order).
+
+    ``scenario=`` values must name readable spec files and cannot be
+    combined with the scheme/rate/clients/backend axes (a scenario
+    carries its own geometry and workload; only ``seed=`` composes,
+    overriding each scenario's baked-in seed per cell).
     """
     values: Dict[str, List[object]] = {}
     for token in tokens:
@@ -105,10 +134,23 @@ def parse_grid(tokens: Sequence[str]) -> List[SweepCell]:
         if not vals:
             raise ValueError(f"grid axis {axis!r} has no values")
         values[axis] = vals
+    if "scenario" in values:
+        clashing = sorted(
+            a for a in ("scheme", "rate", "clients", "backend") if a in values
+        )
+        if clashing:
+            raise ValueError(
+                "the scenario axis replaces the open-loop harness, so it "
+                f"cannot be combined with {', '.join(clashing)}; compose it "
+                "with seed= only (seed overrides each scenario's own seed)"
+            )
+        for path in values["scenario"]:
+            if not os.path.isfile(path):
+                raise ValueError(f"scenario axis: no such spec file: {path}")
     axes = [values.get(name, [default]) for name, (_, default) in GRID_AXES.items()]
     return [
-        SweepCell(scheme=s, rate=r, clients=c, backend=b, seed=sd)
-        for s, r, c, b, sd in itertools.product(*axes)
+        SweepCell(scheme=s, rate=r, clients=c, backend=b, seed=sd, scenario=scn)
+        for s, r, c, b, sd, scn in itertools.product(*axes)
     ]
 
 
@@ -131,45 +173,76 @@ def run_cell(
     The verdict is deterministic (simulated time, seeded arrivals) and
     self-describing: it embeds the cell spec, so ``--resume`` can verify
     a checkpoint belongs to the grid point it is named for.
+
+    A scenario cell (``cell.scenario`` set) runs the declarative spec
+    through :func:`repro.sim.scenario.run_scenario` instead of the
+    open-loop harness; the cell's ``seed`` overrides the spec's, and the
+    verdict's result carries the run digest so identical cells from any
+    front-end can be compared byte for byte.
     """
+    import dataclasses as _dc
+
     from repro.pvfs.cluster import PVFSCluster
     from repro.sim.loadgen import open_loop
 
     cluster = None
     error: Optional[str] = None
     result: Optional[Dict[str, object]] = None
+    ok = False
+    config: Dict[str, object]
     try:
-        cluster = PVFSCluster(
-            n_clients=cell.clients,
-            n_iods=n_iods,
-            scheme=cell.scheme,
-            backends=[cell.backend],
-            sample_interval_us=sample_interval_us,
-        )
-        res = open_loop(
-            cluster,
-            rate=cell.rate,
-            duration_us=duration_us,
-            kind=kind,
-            seed=cell.seed,
-            pieces=pieces,
-            piece=piece,
-        )
-        result = res.to_dict()
+        if cell.scenario is not None:
+            from repro.sim import scenario as sc
+
+            spec = _dc.replace(sc.load_scenario(cell.scenario), seed=cell.seed)
+            run = sc.run_scenario(spec, sample_interval_us=sample_interval_us)
+            cluster = run.cluster
+            result = run.to_dict()
+            ok = run.ok
+            config = {"scenario": cell.scenario}
+        else:
+            cluster = PVFSCluster(
+                n_clients=cell.clients,
+                n_iods=n_iods,
+                scheme=cell.scheme,
+                backends=[cell.backend],
+                sample_interval_us=sample_interval_us,
+            )
+            res = open_loop(
+                cluster,
+                rate=cell.rate,
+                duration_us=duration_us,
+                kind=kind,
+                seed=cell.seed,
+                pieces=pieces,
+                piece=piece,
+            )
+            result = res.to_dict()
+            ok = result["completed"] == result["issued"]
+            config = {
+                "duration_us": duration_us,
+                "kind": kind,
+                "pieces": pieces,
+                "piece": piece,
+                "n_iods": n_iods,
+            }
     except Exception as exc:  # noqa: BLE001 - a crashed cell is a verdict
         error = f"{type(exc).__name__}: {exc}"
+        config = (
+            {"scenario": cell.scenario}
+            if cell.scenario is not None
+            else {
+                "duration_us": duration_us,
+                "kind": kind,
+                "pieces": pieces,
+                "piece": piece,
+                "n_iods": n_iods,
+            }
+        )
     verdict: Dict[str, object] = {
         "cell": cell.to_dict(),
-        "config": {
-            "duration_us": duration_us,
-            "kind": kind,
-            "pieces": pieces,
-            "piece": piece,
-            "n_iods": n_iods,
-        },
-        "ok": error is None
-        and result is not None
-        and result["completed"] == result["issued"],
+        "config": config,
+        "ok": error is None and result is not None and ok,
         "result": result,
         "error": error,
     }

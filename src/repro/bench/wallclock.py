@@ -896,6 +896,61 @@ def check_knee(knee: Dict) -> List[str]:
     return failures
 
 
+def bench_scenario(path: str) -> Dict[str, object]:
+    """Run one declarative scenario spec twice and witness determinism.
+
+    The spec (:mod:`repro.sim.scenario`) is executed on two fresh
+    clusters; the run is valid only if both produce the identical
+    :func:`repro.sim.scenario.export_digest` — the cheap proof that the
+    scenario's simulated outcome is a pure function of the spec + seed,
+    which is what lets profile/bench/sweep/explore share one library of
+    specs.  Wall time is recorded for the curious, but everything gated
+    on is simulated time.
+    """
+    from repro.sim import scenario as sc
+
+    t0 = time.perf_counter()
+    try:
+        spec = sc.load_scenario(path)
+        first = sc.run_scenario(spec)
+        second = sc.run_scenario(spec)
+    except Exception as exc:  # noqa: BLE001 - a failed run is the verdict
+        return {
+            "path": path,
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+    return {
+        "path": path,
+        "name": spec.name,
+        "seed": spec.seed,
+        "wall_s": time.perf_counter() - t0,
+        "elapsed_us": first.elapsed_us,
+        "digest": first.digest,
+        "deterministic": first.digest == second.digest,
+        "ok": first.ok and first.digest == second.digest,
+        "summary": first.summary,
+    }
+
+
+def check_scenario(scn: Dict) -> List[str]:
+    """The scenario-run gate; list the failures."""
+    failures: List[str] = []
+    if scn.get("error"):
+        failures.append(f"{scn['path']}: {scn['error']}")
+        return failures
+    if not scn.get("deterministic"):
+        failures.append(
+            f"{scn['path']}: two runs of the same spec produced different "
+            "export digests — the scenario layer leaked nondeterminism"
+        )
+    if not scn["summary"].get("ok"):
+        failures.append(
+            f"{scn['path']}: the workload did not complete cleanly "
+            f"(summary: {scn['summary']})"
+        )
+    return failures
+
+
 def run_bench(
     label: str = "local",
     n: int = 1024,

@@ -83,7 +83,7 @@ class OpSpec:
     """One client operation, fully explicit so the shrinker can edit it."""
 
     client: int
-    kind: str  # "write" | "read" | "fsync" | "unlink" | "close"
+    kind: str  # "write" | "read" | "fsync" | "unlink" | "close" | "open"
     path: str = EXPLORE_PATH
     segments: List[List[int]] = field(default_factory=list)  # [offset, length]
     mem_gap: int = 0
@@ -647,6 +647,10 @@ def _client_proc(
                 f = yield from client.open(op.path)
                 files[op.path] = f
                 ns.record_open(op.path, f.handle)
+            if op.kind == "open":
+                # The open itself was the point (lease-touching no-data
+                # op, e.g. a scenario's lease-revoking open event).
+                continue
             if op.kind == "fsync":
                 yield from client.fsync(f)
                 continue
@@ -978,6 +982,7 @@ def sweep(
     meta: bool = False,
     wb: bool = False,
     hetero: bool = False,
+    scenario=None,
     echo=print,
 ) -> int:
     """Explore ``seeds`` consecutive seeds; returns the failure count.
@@ -989,14 +994,25 @@ def sweep(
     seed a write-behind case (a cached/uncached client mix racing on a
     shared file with interleaved closes).  ``hetero=True`` makes every
     seed a heterogeneous-backend case with the autotune controller on.
+    ``scenario`` (a :class:`repro.sim.scenario.Scenario`) replaces the
+    generated cases entirely: every seed materializes the *same*
+    declarative spec (:func:`repro.sim.scenario.scenario_case`) under a
+    different schedule-perturbation seed, still judged by every oracle.
     """
     failures = 0
     for i in range(seeds):
         seed = base + i
-        case = generate_case(
-            seed, smoke=smoke, schemes=schemes, plant_bug=plant, meta=meta,
-            wb=wb, hetero=hetero,
-        )
+        if scenario is not None:
+            from repro.sim.scenario import scenario_case
+
+            case = scenario_case(scenario, seed)
+            if plant is not None:
+                case = dataclasses.replace(case, plant_bug=plant)
+        else:
+            case = generate_case(
+                seed, smoke=smoke, schemes=schemes, plant_bug=plant, meta=meta,
+                wb=wb, hetero=hetero,
+            )
         policy = SchedulePolicy.from_seed(case.schedule_seed)
         result = run_case(case)
         mgr_tag = (
@@ -1015,12 +1031,13 @@ def sweep(
             if case.backends is not None
             else ""
         )
+        scn_tag = f" scenario={scenario.name}" if scenario is not None else ""
         tag = (
             f"policy={policy.describe()} scheme={case.scheme}"
             f" elevator={'on' if case.elevator else 'off'}"
             f" qos={case.qos['policy'] if case.qos else 'off'}"
             f" ops={len(case.ops)} faults={result.injected}{mgr_tag}{wb_tag}"
-            f"{hetero_tag}"
+            f"{hetero_tag}{scn_tag}"
         )
         if result.ok:
             note = " (degraded: data oracles skipped)" if result.degraded else ""

@@ -1,0 +1,1383 @@
+"""Declarative experiment scenarios: workloads as data, not code.
+
+Every workload in the repo used to be code — bench patterns hardcoded
+in :mod:`repro.bench.wallclock`, arithmetic-coded cases in
+:mod:`repro.sim.explore`, open-loop shapes in :mod:`repro.sim.loadgen`
+— so adding a scenario meant editing three harnesses.  This module
+makes scenarios *data*: a versioned JSON document (strict
+``to_dict``/``from_dict`` dataclasses, schema version
+:data:`SCENARIO_VERSION`) composes
+
+- **cluster geometry** (:class:`ClusterSpec`) — every public
+  :class:`~repro.pvfs.cluster.PVFSCluster` knob: scheme, elevator,
+  QoS, metadata shards/replicas, write-behind cache population,
+  per-IOD backends, autotune, a background fault plan;
+- **an access shape** (one workload per scenario) — noncontiguous
+  strided read/write/mixed (:class:`StridedWorkload`), checkpoint
+  bursts (:class:`CheckpointWorkload`), small-file metadata storms
+  (:class:`MetadataStormWorkload`), arrival-rate open-loop load
+  (:class:`OpenLoopWorkload`, riding :mod:`repro.sim.loadgen`), or an
+  explicit op list in the explore format (:class:`OpsWorkload`);
+- **timed mid-run events** (:class:`ScenarioEvent`) — IOD crash at t,
+  load spike at t (a seeded Poisson burst through the loadgen arrival
+  machinery), and a lease-revoking ``open`` at t.
+
+One loader feeds all four front-ends: ``profile --scenario``, ``bench
+--scenario``, ``sweep --grid scenario=...`` and ``explore --scenario``
+(which materializes the same spec into an
+:class:`~repro.sim.explore.ExploreCase` so every scenario runs under
+the spec-model, leak, namespace, wb and qos oracles).
+
+Scenario runs are simulated time only and seeded end to end, so a
+scenario's :func:`run_scenario` outcome is a pure function of the spec
+plus its seed — the committed ``scenarios/`` library includes
+reconstructions of the historical bench workloads proved equivalent by
+byte-identical ``metrics_export()`` documents (see
+``tests/sim/test_scenario.py``).  :func:`export_digest` condenses that
+equivalence into a sha256 the front-ends can compare cheaply.
+
+The loader is *strict*: unknown fields, unknown enum values, and
+unsupported schema versions are :class:`ScenarioError`\\ s with the
+offending field path and a did-you-mean suggestion, so a typo in a
+spec file fails loudly at load time rather than silently running the
+default shape.  ``tools/docs_check.py`` runs every fenced JSON
+scenario block in the docs and every committed ``scenarios/*.json``
+through this loader in CI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Union
+
+from repro.mem.segments import Segment
+from repro.sim.loadgen import ARRIVAL_KINDS, _mix, make_arrivals, open_loop
+
+__all__ = [
+    "SCENARIO_VERSION",
+    "WORKLOAD_KINDS",
+    "EVENT_KINDS",
+    "ScenarioError",
+    "ClusterSpec",
+    "StridedWorkload",
+    "OpenLoopWorkload",
+    "CheckpointWorkload",
+    "MetadataStormWorkload",
+    "OpsWorkload",
+    "ScenarioEvent",
+    "Scenario",
+    "ScenarioResult",
+    "load_scenario",
+    "run_scenario",
+    "scenario_case",
+    "export_digest",
+]
+
+SCENARIO_VERSION = 1
+
+WORKLOAD_KINDS = (
+    "strided",
+    "open-loop",
+    "checkpoint",
+    "metadata-storm",
+    "ops",
+)
+
+EVENT_KINDS = ("iod-crash", "load-spike", "open")
+
+# OpSpec surface for the "ops" workload (kept in sync with
+# repro.sim.explore.OpSpec; "open" is the lease-touching no-data op).
+OP_KINDS = ("write", "read", "fsync", "unlink", "close", "open")
+OP_FIELDS = (
+    "client",
+    "kind",
+    "path",
+    "segments",
+    "mem_gap",
+    "payload_seed",
+    "use_ads",
+    "sync",
+)
+
+
+class ScenarioError(ValueError):
+    """A scenario document that the loader refuses, with the reason."""
+
+
+def _reject_unknown(where: str, d: dict, allowed: Sequence[str]) -> None:
+    """Strict-schema guard: unknown keys fail with a did-you-mean hint."""
+    if not isinstance(d, dict):
+        raise ScenarioError(f"{where}: expected a JSON object, got {type(d).__name__}")
+    unknown = [k for k in d if k not in allowed]
+    if unknown:
+        hint = difflib.get_close_matches(unknown[0], allowed, n=1)
+        suggest = f" (did you mean {hint[0]!r}?)" if hint else ""
+        raise ScenarioError(
+            f"{where}: unknown field(s) {', '.join(repr(k) for k in sorted(unknown))}"
+            f"{suggest}; allowed fields: {', '.join(sorted(allowed))}"
+        )
+
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise ScenarioError(msg)
+
+
+def _enum(where: str, value: str, allowed: Sequence[str]) -> str:
+    if value not in allowed:
+        hint = difflib.get_close_matches(str(value), allowed, n=1)
+        suggest = f" (did you mean {hint[0]!r}?)" if hint else ""
+        raise ScenarioError(
+            f"{where}: unknown value {value!r}{suggest}; "
+            f"one of: {', '.join(allowed)}"
+        )
+    return value
+
+
+def _client_path(template: str, rank: int) -> str:
+    return template.replace("{client}", str(rank))
+
+
+# ---------------------------------------------------------------------------
+# Cluster geometry
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClusterSpec:
+    """The :class:`~repro.pvfs.cluster.PVFSCluster` geometry as data.
+
+    Field defaults match the historical bench cluster (two ATA I/O
+    daemons, gather scheme, elevator on, no QoS/sharding/caching), so
+    the committed reconstruction scenarios stay short.  ``fault`` is a
+    :meth:`repro.sim.faults.FaultPlan.to_dict` document for seeded
+    *background* fault noise; precisely-timed crashes belong in
+    :class:`ScenarioEvent` instead.
+    """
+
+    n_clients: int = 4
+    n_iods: int = 2
+    scheme: str = "gather"
+    elevator: bool = True
+    stripe_size: Optional[int] = None
+    qos: Optional[dict] = None
+    fault: Optional[dict] = None
+    n_mgr_shards: int = 1
+    mgr_replicas: int = 1
+    wb_cache: Union[bool, dict, None] = None
+    wb_clients: Optional[List[int]] = None
+    backends: Optional[List[str]] = None
+    autotune: Union[bool, dict] = False
+    sample_interval_us: Optional[float] = None
+
+    def validate(self) -> None:
+        _require(self.n_clients >= 1, f"cluster.n_clients must be >= 1, got {self.n_clients}")
+        _require(self.n_iods >= 1, f"cluster.n_iods must be >= 1, got {self.n_iods}")
+        _require(
+            self.n_mgr_shards >= 1 and self.mgr_replicas >= 1,
+            "cluster.n_mgr_shards and cluster.mgr_replicas must be >= 1",
+        )
+        from repro.transfer import scheme_names
+
+        _enum("cluster.scheme", self.scheme, scheme_names())
+        if self.backends is not None:
+            from repro.calibration import BACKEND_NAMES
+
+            _require(bool(self.backends), "cluster.backends must not be an empty list")
+            for b in self.backends:
+                _enum("cluster.backends", b, BACKEND_NAMES)
+        if self.wb_clients is not None:
+            bad = [c for c in self.wb_clients if not 0 <= c < self.n_clients]
+            _require(
+                not bad,
+                f"cluster.wb_clients {bad} out of range for {self.n_clients} clients",
+            )
+            _require(
+                bool(self.wb_cache),
+                "cluster.wb_clients is set but cluster.wb_cache is off",
+            )
+        if self.qos is not None:
+            from repro.pvfs.qos import QoSConfig
+
+            _reject_unknown(
+                "cluster.qos",
+                self.qos,
+                [f.name for f in dataclasses.fields(QoSConfig)],
+            )
+        if self.fault is not None:
+            from repro.sim.faults import FAULT_HOOKS
+
+            _reject_unknown("cluster.fault", self.fault, ("seed", "rules"))
+            for i, r in enumerate(self.fault.get("rules", [])):
+                _reject_unknown(
+                    f"cluster.fault.rules[{i}]",
+                    r,
+                    ("hook", "probability", "at", "node", "max_fires", "duration_us"),
+                )
+                _enum(f"cluster.fault.rules[{i}].hook", r.get("hook"), FAULT_HOOKS)
+
+    def build(self, sample_interval_us: Optional[float] = None, **extra):
+        """A fresh :class:`~repro.pvfs.cluster.PVFSCluster` for this spec.
+
+        ``sample_interval_us`` overrides the spec's own telemetry knob
+        (the front-ends pass their ``--timeseries`` flag through); any
+        ``extra`` kwargs (``schedule_policy``, ``retry``) go straight to
+        the cluster constructor.
+        """
+        from repro.pvfs.cluster import PVFSCluster
+        from repro.sim.faults import FaultPlan
+
+        interval = (
+            self.sample_interval_us if sample_interval_us is None else sample_interval_us
+        )
+        return PVFSCluster(
+            n_clients=self.n_clients,
+            n_iods=self.n_iods,
+            scheme=self.scheme,
+            elevator_enabled=self.elevator,
+            stripe_size=self.stripe_size,
+            fault_plan=FaultPlan.from_dict(self.fault) if self.fault else None,
+            qos=self.qos,
+            n_mgr_shards=self.n_mgr_shards,
+            mgr_replicas=self.mgr_replicas,
+            wb_cache=self.wb_cache if self.wb_cache else None,
+            wb_clients=self.wb_clients,
+            backends=self.backends,
+            autotune=self.autotune or None,
+            sample_interval_us=interval,
+            **extra,
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ClusterSpec":
+        _reject_unknown("cluster", d, [f.name for f in dataclasses.fields(cls)])
+        spec = cls(**d)
+        spec.validate()
+        return spec
+
+
+# ---------------------------------------------------------------------------
+# Workloads (access shapes)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StridedWorkload:
+    """Closed-loop noncontiguous strided list I/O — the paper's shape.
+
+    Per round, every client fills one ``pieces * piece_bytes *
+    mem_stride``-byte buffer and moves ``pieces`` noncontiguous
+    ``piece_bytes`` extents between memory (stride ``mem_stride``
+    pieces) and its file region, ``batch`` pieces per list op (``0`` =
+    all pieces in one op).  ``layout`` places the file extents:
+
+    - ``"private"`` — each client owns its own region (use ``{client}``
+      in ``path`` for per-client files); ``file_gap_pieces`` gaps the
+      extents so the file side stays noncontiguous too.
+    - ``"interleaved"`` — one shared file where client ``c`` owns every
+      ``n_clients``-th piece; adjacent extents belong to *different*
+      requests, the elevator-merge shape.
+
+    ``batch=0, layout="interleaved"`` reconstructs the elevator bench;
+    ``batch=1, mem_stride=2, close=true`` reconstructs the write-behind
+    bench (see ``scenarios/``).
+    """
+
+    kind = "strided"
+
+    op: str = "write"
+    pieces: int = 16
+    piece_bytes: int = 4096
+    mem_stride: int = 1
+    file_gap_pieces: int = 0
+    layout: str = "private"
+    batch: int = 0
+    rounds: int = 1
+    path: str = "/pfs/scenario/strided/c{client}"
+    use_ads: bool = True
+    sync: bool = False
+    close: bool = False
+    read_fraction: float = 0.5
+
+    def validate(self) -> None:
+        _enum("workload.op", self.op, ("write", "read", "mixed"))
+        _enum("workload.layout", self.layout, ("private", "interleaved"))
+        _require(self.pieces >= 1, f"workload.pieces must be >= 1, got {self.pieces}")
+        _require(
+            self.piece_bytes >= 1,
+            f"workload.piece_bytes must be >= 1, got {self.piece_bytes}",
+        )
+        _require(
+            self.mem_stride >= 1,
+            f"workload.mem_stride must be >= 1, got {self.mem_stride}",
+        )
+        _require(self.rounds >= 1, f"workload.rounds must be >= 1, got {self.rounds}")
+        _require(self.batch >= 0, f"workload.batch must be >= 0, got {self.batch}")
+        _require(
+            self.file_gap_pieces >= 0,
+            f"workload.file_gap_pieces must be >= 0, got {self.file_gap_pieces}",
+        )
+        _require(
+            self.layout == "private" or self.file_gap_pieces == 0,
+            "workload.file_gap_pieces only applies to the private layout "
+            "(interleaving gaps each client's extents already)",
+        )
+        _require(
+            0.0 <= self.read_fraction <= 1.0,
+            f"workload.read_fraction must be in [0, 1], got {self.read_fraction}",
+        )
+
+    def file_offset(self, rnd: int, i: int, rank: int, n_clients: int) -> int:
+        """File offset of piece ``i`` of round ``rnd`` for client ``rank``."""
+        if self.layout == "interleaved":
+            return ((rnd * self.pieces + i) * n_clients + rank) * self.piece_bytes
+        stride = (1 + self.file_gap_pieces) * self.piece_bytes
+        return (rnd * self.pieces + i) * stride
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **dataclasses.asdict(self)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "StridedWorkload":
+        w = cls(**d)
+        w.validate()
+        return w
+
+
+@dataclass
+class OpenLoopWorkload:
+    """Arrival-rate driven load (:func:`repro.sim.loadgen.open_loop`).
+
+    A seeded arrival process (``arrivals`` in ``poisson``/``bursty``)
+    names every issue time up front at ``rate_ops_s`` total offered
+    ops/s over ``duration_us``; arrivals are dealt round-robin to the
+    clients and each op moves ``pieces`` gapped ``piece_bytes`` extents
+    of the issuing client's own file without waiting for earlier ops —
+    the saturation-knee shape the closed-loop harnesses hide.
+    """
+
+    kind = "open-loop"
+
+    arrivals: str = "poisson"
+    rate_ops_s: float = 400.0
+    duration_us: float = 50_000.0
+    on_us: float = 20_000.0
+    off_us: float = 20_000.0
+    op: str = "write"
+    read_fraction: float = 0.5
+    pieces: int = 2
+    piece_bytes: int = 4096
+
+    def validate(self) -> None:
+        _enum("workload.arrivals", self.arrivals, ARRIVAL_KINDS)
+        _enum("workload.op", self.op, ("write", "read", "mixed"))
+        _require(
+            self.rate_ops_s > 0,
+            f"workload.rate_ops_s must be positive, got {self.rate_ops_s}",
+        )
+        _require(
+            self.duration_us > 0,
+            f"workload.duration_us must be positive, got {self.duration_us}",
+        )
+        _require(
+            self.on_us > 0 and self.off_us >= 0,
+            f"workload bad on/off window ({self.on_us}, {self.off_us})",
+        )
+        _require(self.pieces >= 1, f"workload.pieces must be >= 1, got {self.pieces}")
+        _require(
+            self.piece_bytes >= 1,
+            f"workload.piece_bytes must be >= 1, got {self.piece_bytes}",
+        )
+        _require(
+            0.0 <= self.read_fraction <= 1.0,
+            f"workload.read_fraction must be in [0, 1], got {self.read_fraction}",
+        )
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **dataclasses.asdict(self)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "OpenLoopWorkload":
+        w = cls(**d)
+        w.validate()
+        return w
+
+
+@dataclass
+class CheckpointWorkload:
+    """Bulk synchronous checkpoints: write burst, fsync, compute, repeat.
+
+    Every client dumps ``pieces`` noncontiguous ``piece_bytes`` extents
+    (``gap_pieces`` pieces of foreign state between its own) into its
+    own checkpoint file per burst, fsyncs when ``sync`` is set, then
+    models ``compute_us`` of computation before the next burst.
+    """
+
+    kind = "checkpoint"
+
+    bursts: int = 3
+    pieces: int = 8
+    piece_bytes: int = 65_536
+    gap_pieces: int = 1
+    compute_us: float = 5_000.0
+    path: str = "/pfs/scenario/ckpt/c{client}"
+    use_ads: bool = True
+    sync: bool = True
+
+    def validate(self) -> None:
+        _require(self.bursts >= 1, f"workload.bursts must be >= 1, got {self.bursts}")
+        _require(self.pieces >= 1, f"workload.pieces must be >= 1, got {self.pieces}")
+        _require(
+            self.piece_bytes >= 1,
+            f"workload.piece_bytes must be >= 1, got {self.piece_bytes}",
+        )
+        _require(
+            self.gap_pieces >= 0,
+            f"workload.gap_pieces must be >= 0, got {self.gap_pieces}",
+        )
+        _require(
+            self.compute_us >= 0,
+            f"workload.compute_us must be >= 0, got {self.compute_us}",
+        )
+
+    def file_offset(self, burst: int, i: int) -> int:
+        stride = (1 + self.gap_pieces) * self.piece_bytes
+        return burst * self.pieces * stride + i * stride
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **dataclasses.asdict(self)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CheckpointWorkload":
+        w = cls(**d)
+        w.validate()
+        return w
+
+
+@dataclass
+class MetadataStormWorkload:
+    """Small-file churn: open, one eager piece, optionally unlink.
+
+    Nearly every request is a metadata RPC, so this shape loads the
+    shard primaries; with ``{client}``/``{i}`` placeholders each client
+    churns its own ``files`` distinct paths.  Reconstructs the metadata
+    bench (``bench --meta``) run for run.
+    """
+
+    kind = "metadata-storm"
+
+    files: int = 8
+    piece_bytes: int = 4096
+    path: str = "/pfs/scenario/meta/c{client}.{i}"
+    unlink: bool = True
+
+    def validate(self) -> None:
+        _require(self.files >= 1, f"workload.files must be >= 1, got {self.files}")
+        _require(
+            self.piece_bytes >= 1,
+            f"workload.piece_bytes must be >= 1, got {self.piece_bytes}",
+        )
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, **dataclasses.asdict(self)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "MetadataStormWorkload":
+        w = cls(**d)
+        w.validate()
+        return w
+
+
+@dataclass
+class OpsWorkload:
+    """A fixed, fully explicit op list in the explore artifact format.
+
+    Each entry is a :class:`repro.sim.explore.OpSpec` dict (``client``,
+    ``kind``, ``path``, ``segments`` as ``[offset, length]`` pairs,
+    ``mem_gap``, ``payload_seed``, ``use_ads``, ``sync``) — the same
+    shape the explore harness shrinks and replays, so a failure
+    artifact's op list can be pasted into a scenario verbatim.
+    """
+
+    kind = "ops"
+
+    ops: List[dict] = field(default_factory=list)
+
+    def validate(self) -> None:
+        _require(bool(self.ops), "workload.ops must not be empty")
+        for i, op in enumerate(self.ops):
+            _reject_unknown(f"workload.ops[{i}]", op, OP_FIELDS)
+            _require(
+                "client" in op and "kind" in op,
+                f"workload.ops[{i}]: 'client' and 'kind' are required",
+            )
+            _enum(f"workload.ops[{i}].kind", op["kind"], OP_KINDS)
+            _require(
+                isinstance(op["client"], int) and op["client"] >= 0,
+                f"workload.ops[{i}].client must be a non-negative integer",
+            )
+            for seg in op.get("segments", []):
+                _require(
+                    isinstance(seg, (list, tuple))
+                    and len(seg) == 2
+                    and all(isinstance(v, int) and v >= 0 for v in seg)
+                    and seg[1] >= 1,
+                    f"workload.ops[{i}].segments entries must be "
+                    f"[offset, length] pairs of non-negative ints, got {seg!r}",
+                )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "ops": [dict(op) for op in self.ops],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "OpsWorkload":
+        w = cls(**d)
+        w.validate()
+        return w
+
+
+_WORKLOADS = {
+    w.kind: w
+    for w in (
+        StridedWorkload,
+        OpenLoopWorkload,
+        CheckpointWorkload,
+        MetadataStormWorkload,
+        OpsWorkload,
+    )
+}
+
+Workload = Union[
+    StridedWorkload,
+    OpenLoopWorkload,
+    CheckpointWorkload,
+    MetadataStormWorkload,
+    OpsWorkload,
+]
+
+
+def _workload_from_dict(d: dict) -> Workload:
+    if not isinstance(d, dict) or "kind" not in d:
+        raise ScenarioError(
+            "workload: expected an object with a 'kind' field "
+            f"(one of: {', '.join(WORKLOAD_KINDS)})"
+        )
+    kind = _enum("workload.kind", d["kind"], WORKLOAD_KINDS)
+    cls = _WORKLOADS[kind]
+    body = {k: v for k, v in d.items() if k != "kind"}
+    _reject_unknown(
+        f"workload[{kind}]", body, [f.name for f in dataclasses.fields(cls)]
+    )
+    return cls.from_dict(body)
+
+
+# ---------------------------------------------------------------------------
+# Timed mid-run events
+# ---------------------------------------------------------------------------
+
+# Per-kind field surface; ``kind``/``at_us`` are always required.
+_EVENT_FIELDS = {
+    "iod-crash": ("kind", "at_us", "iod", "duration_us"),
+    "load-spike": (
+        "kind",
+        "at_us",
+        "client",
+        "rate_ops_s",
+        "duration_us",
+        "pieces",
+        "piece_bytes",
+        "path",
+    ),
+    "open": ("kind", "at_us", "client", "path"),
+}
+
+
+@dataclass
+class ScenarioEvent:
+    """One timed mid-run disturbance, fired at ``at_us`` of sim time.
+
+    - ``iod-crash`` — crash I/O daemon ``iod`` (the same crash/restart
+      machinery the ``iod.crash`` fault hook drives); ``duration_us``
+      schedules the restart, ``null`` leaves the daemon down for good.
+    - ``load-spike`` — client ``client`` issues an open-loop Poisson
+      burst at ``rate_ops_s`` for ``duration_us`` against ``path``
+      (``pieces`` gapped ``piece_bytes`` extents per op), reusing the
+      seeded loadgen arrival machinery.
+    - ``open`` — client ``client`` opens and closes ``path``: on a
+      write-behind path this revokes other clients' leases mid-run.
+    """
+
+    kind: str
+    at_us: float
+    iod: int = 0
+    client: int = 0
+    duration_us: Optional[float] = None
+    rate_ops_s: float = 2_000.0
+    pieces: int = 2
+    piece_bytes: int = 4096
+    path: str = "/pfs/scenario/spike"
+
+    def validate(self) -> None:
+        _enum("events[].kind", self.kind, EVENT_KINDS)
+        _require(self.at_us >= 0, f"events[].at_us must be >= 0, got {self.at_us}")
+        _require(self.iod >= 0, f"events[].iod must be >= 0, got {self.iod}")
+        _require(self.client >= 0, f"events[].client must be >= 0, got {self.client}")
+        if self.kind == "load-spike":
+            _require(
+                self.duration_us is not None and self.duration_us > 0,
+                "events[load-spike].duration_us is required and must be positive",
+            )
+            _require(
+                self.rate_ops_s > 0,
+                f"events[].rate_ops_s must be positive, got {self.rate_ops_s}",
+            )
+            _require(
+                self.pieces >= 1 and self.piece_bytes >= 1,
+                "events[load-spike] pieces and piece_bytes must be >= 1",
+            )
+        if self.duration_us is not None:
+            _require(
+                self.duration_us > 0,
+                f"events[].duration_us must be positive, got {self.duration_us}",
+            )
+
+    def to_dict(self) -> dict:
+        full = dataclasses.asdict(self)
+        return {k: full[k] for k in _EVENT_FIELDS[self.kind]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScenarioEvent":
+        if not isinstance(d, dict) or "kind" not in d:
+            raise ScenarioError(
+                "events[]: expected an object with a 'kind' field "
+                f"(one of: {', '.join(EVENT_KINDS)})"
+            )
+        kind = _enum("events[].kind", d["kind"], EVENT_KINDS)
+        _reject_unknown(f"events[{kind}]", d, _EVENT_FIELDS[kind])
+        _require("at_us" in d, f"events[{kind}]: 'at_us' is required")
+        ev = cls(**d)
+        ev.validate()
+        return ev
+
+
+# ---------------------------------------------------------------------------
+# The scenario document
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Scenario:
+    """One named, versioned, self-contained experiment description."""
+
+    name: str
+    version: int = SCENARIO_VERSION
+    description: str = ""
+    seed: int = 0
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    workload: Workload = field(default_factory=StridedWorkload)
+    events: List[ScenarioEvent] = field(default_factory=list)
+
+    def validate(self) -> None:
+        _require(
+            bool(self.name) and isinstance(self.name, str),
+            "scenario.name must be a non-empty string",
+        )
+        self.cluster.validate()
+        self.workload.validate()
+        n_clients = self.cluster.n_clients
+        if isinstance(self.workload, StridedWorkload):
+            _require(
+                self.workload.layout != "private"
+                or n_clients == 1
+                or "{client}" in self.workload.path,
+                "workload[strided]: the private layout with more than one "
+                "client needs a '{client}' placeholder in path (clients "
+                "would otherwise race the same extents)",
+            )
+        if isinstance(self.workload, OpsWorkload):
+            bad = [op["client"] for op in self.workload.ops if op["client"] >= n_clients]
+            _require(
+                not bad,
+                f"workload.ops references client(s) {sorted(set(bad))} but the "
+                f"cluster has only {n_clients} clients",
+            )
+        for i, ev in enumerate(self.events):
+            ev.validate()
+            if ev.kind == "iod-crash":
+                _require(
+                    ev.iod < self.cluster.n_iods,
+                    f"events[{i}]: iod {ev.iod} out of range for "
+                    f"{self.cluster.n_iods} I/O daemons",
+                )
+            else:
+                _require(
+                    ev.client < n_clients,
+                    f"events[{i}]: client {ev.client} out of range for "
+                    f"{n_clients} clients",
+                )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "version": self.version,
+            "description": self.description,
+            "seed": self.seed,
+            "cluster": self.cluster.to_dict(),
+            "workload": self.workload.to_dict(),
+            "events": [ev.to_dict() for ev in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Scenario":
+        _reject_unknown(
+            "scenario",
+            d,
+            ("name", "version", "description", "seed", "cluster", "workload", "events"),
+        )
+        _require("name" in d, "scenario: 'name' is required")
+        _require(
+            "version" in d,
+            "scenario: 'version' is required "
+            f"(this tree reads version {SCENARIO_VERSION})",
+        )
+        version = d["version"]
+        if version != SCENARIO_VERSION:
+            raise ScenarioError(
+                f"scenario {d.get('name', '?')!r}: schema version {version!r} is "
+                f"not supported — this tree reads version {SCENARIO_VERSION}; "
+                "re-export the spec against the current schema"
+            )
+        _require("workload" in d, "scenario: 'workload' is required")
+        events = d.get("events", [])
+        _require(
+            isinstance(events, list),
+            "scenario.events must be a list of event objects",
+        )
+        s = cls(
+            name=d["name"],
+            version=version,
+            description=d.get("description", ""),
+            seed=int(d.get("seed", 0)),
+            cluster=ClusterSpec.from_dict(d.get("cluster", {})),
+            workload=_workload_from_dict(d["workload"]),
+            events=[ScenarioEvent.from_dict(ev) for ev in events],
+        )
+        s.validate()
+        return s
+
+
+def load_scenario(path: str) -> Scenario:
+    """Load and strictly validate one scenario JSON file."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ScenarioError(f"{path}: cannot read scenario file: {exc}") from exc
+    except ValueError as exc:
+        raise ScenarioError(f"{path}: not valid JSON: {exc}") from exc
+    try:
+        return Scenario.from_dict(doc)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{path}: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Execution (profile / bench / sweep front-ends)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario run: the finished cluster plus the condensed facts."""
+
+    scenario: Scenario
+    cluster: object
+    elapsed_us: float
+    digest: str
+    summary: Dict[str, object]
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.summary.get("ok", False))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.scenario.name,
+            "seed": self.scenario.seed,
+            "elapsed_us": self.elapsed_us,
+            "digest": self.digest,
+            "ok": self.ok,
+            "summary": self.summary,
+        }
+
+
+def export_digest(cluster) -> str:
+    """sha256 over the cluster's ``metrics_export()`` minus telemetry.
+
+    The timeseries section depends on the (schedule-unobservable)
+    sampling interval the front-end chose, so it is excluded: the
+    digest witnesses the *simulation outcome*, and must be identical
+    for the same scenario + seed across every front-end.
+    """
+    doc = cluster.metrics_export()
+    doc.pop("timeseries", None)
+    blob = json.dumps(doc, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def _strided_proc(
+    cluster, w: StridedWorkload, rank: int, seed: int, tally: Dict[str, int]
+) -> Generator:
+    """One client's strided rounds; mirrors the historical bench procs
+    op for op (malloc, fill, open, list ops, optional close) so the
+    reconstruction scenarios replay them byte-identically."""
+    c = cluster.clients[rank]
+    n_clients = len(cluster.clients)
+    piece = w.piece_bytes
+    path = _client_path(w.path, rank)
+    batch = w.batch if w.batch > 0 else w.pieces
+    coin = (
+        random.Random(_mix(seed, 0x5CE + rank)) if w.op == "mixed" else None
+    )
+    f = None
+    for rnd in range(w.rounds):
+        total = w.pieces * piece * w.mem_stride
+        base = c.node.space.malloc(total)
+        c.node.space.fill(base, total, (rank % 255) + 1)
+        if f is None:
+            f = yield from c.open(path)
+        for start in range(0, w.pieces, batch):
+            idxs = range(start, min(start + batch, w.pieces))
+            mem = [Segment(base + i * piece * w.mem_stride, piece) for i in idxs]
+            file_segs = [
+                Segment(w.file_offset(rnd, i, rank, n_clients), piece) for i in idxs
+            ]
+            read = w.op == "read" or (
+                w.op == "mixed" and coin.random() < w.read_fraction
+            )
+            if read:
+                yield from c.read_list(f, mem, file_segs, use_ads=w.use_ads)
+                tally["bytes_read"] += len(mem) * piece
+            else:
+                yield from c.write_list(
+                    f, mem, file_segs, use_ads=w.use_ads, sync=w.sync
+                )
+                tally["bytes_written"] += len(mem) * piece
+            tally["ops"] += 1
+        if w.close and f is not None:
+            yield from c.close(f)
+            f = None
+
+
+def _strided_populate(cluster, w: StridedWorkload, rank: int) -> Generator:
+    """Untimed populate pass so reads always observe written bytes."""
+    c = cluster.clients[rank]
+    n_clients = len(cluster.clients)
+    piece = w.piece_bytes
+    total = w.pieces * piece
+    base = c.node.space.malloc(total)
+    c.node.space.fill(base, total, (rank % 255) + 1)
+    f = yield from c.open(_client_path(w.path, rank))
+    for rnd in range(w.rounds):
+        mem = [Segment(base + i * piece, piece) for i in range(w.pieces)]
+        file_segs = [
+            Segment(w.file_offset(rnd, i, rank, n_clients), piece)
+            for i in range(w.pieces)
+        ]
+        yield from c.write_list(f, mem, file_segs, use_ads=False)
+
+
+def _checkpoint_proc(
+    cluster, w: CheckpointWorkload, rank: int, tally: Dict[str, int]
+) -> Generator:
+    c = cluster.clients[rank]
+    sim = cluster.sim
+    piece = w.piece_bytes
+    base = c.node.space.malloc(w.pieces * piece)
+    c.node.space.fill(base, w.pieces * piece, (rank % 255) + 1)
+    f = yield from c.open(_client_path(w.path, rank))
+    for b in range(w.bursts):
+        mem = [Segment(base + i * piece, piece) for i in range(w.pieces)]
+        file_segs = [Segment(w.file_offset(b, i), piece) for i in range(w.pieces)]
+        yield from c.write_list(f, mem, file_segs, use_ads=w.use_ads)
+        tally["bytes_written"] += w.pieces * piece
+        tally["ops"] += 1
+        if w.sync:
+            yield from c.fsync(f)
+        if w.compute_us > 0 and b < w.bursts - 1:
+            yield sim.timeout(w.compute_us)
+
+
+def _metadata_proc(
+    cluster, w: MetadataStormWorkload, rank: int, tally: Dict[str, int]
+) -> Generator:
+    """Mirrors the metadata bench churn loop (open, eager piece, unlink)."""
+    c = cluster.clients[rank]
+    piece = w.piece_bytes
+    base = c.node.space.malloc(piece)
+    c.node.space.fill(base, piece, (rank % 255) + 1)
+    for k in range(w.files):
+        path = _client_path(w.path, rank).replace("{i}", str(k))
+        f = yield from c.open(path)
+        yield from c.write_list(
+            f, [Segment(base, piece)], [Segment(0, piece)], use_ads=False
+        )
+        tally["bytes_written"] += piece
+        tally["ops"] += 1
+        if w.unlink:
+            yield from c.unlink(path)
+
+
+def _ops_proc(cluster, client_ops: List[dict], tally: Dict[str, int]) -> Generator:
+    """Replay an explicit explore-format op list (no oracles here; use
+    ``explore --scenario`` when the run should be judged)."""
+    from repro.sim.explore import OpSpec
+
+    client_idx = client_ops[0]["client"]
+    c = cluster.clients[client_idx]
+    files: Dict[str, object] = {}
+    for d in client_ops:
+        op = OpSpec.from_dict(d)
+        if op.kind == "unlink":
+            yield from c.unlink(op.path)
+            files.pop(op.path, None)
+            tally["ops"] += 1
+            continue
+        if op.kind == "close":
+            f = files.pop(op.path, None)
+            if f is not None:
+                yield from c.close(f)
+            tally["ops"] += 1
+            continue
+        f = files.get(op.path)
+        if f is None:
+            f = yield from c.open(op.path)
+            files[op.path] = f
+        if op.kind == "open":
+            tally["ops"] += 1
+            continue
+        if op.kind == "fsync":
+            yield from c.fsync(f)
+            tally["ops"] += 1
+            continue
+        file_segs = [Segment(a, length) for a, length in op.segments]
+        total = sum(length + op.mem_gap for _, length in op.segments) or 1
+        base = c.node.space.malloc(total)
+        mem, off = [], base
+        for _, length in op.segments:
+            mem.append(Segment(off, length))
+            off += length + op.mem_gap
+        if op.kind == "write":
+            payload = random.Random(op.payload_seed).randbytes(op.nbytes)
+            off = 0
+            for ms in mem:
+                c.node.space.write(ms.addr, payload[off : off + ms.length])
+                off += ms.length
+            yield from c.write_list(
+                f, mem, file_segs, use_ads=op.use_ads, sync=op.sync
+            )
+            tally["bytes_written"] += op.nbytes
+        else:
+            yield from c.read_list(f, mem, file_segs, use_ads=op.use_ads)
+            tally["bytes_read"] += op.nbytes
+        tally["ops"] += 1
+    if getattr(c, "wb", None) is not None:
+        for f in list(files.values()):
+            yield from c.close(f)
+
+
+def _event_proc(
+    cluster, ev: ScenarioEvent, seed: int, idx: int, fired: List[dict]
+) -> Generator:
+    """Fire one timed event: sleep to ``at_us``, then disturb the run."""
+    sim = cluster.sim
+    if ev.at_us > sim.now:
+        yield sim.timeout(ev.at_us - sim.now)
+    if ev.kind == "iod-crash":
+        # The same crash/restart path the iod.crash fault hook invokes,
+        # minus the probability draw: the event names an exact time.
+        cluster.iods[ev.iod]._crash(ev.duration_us)
+    elif ev.kind == "open":
+        c = cluster.clients[ev.client]
+        f = yield from c.open(ev.path)
+        yield from c.close(f)
+    else:  # load-spike
+        c = cluster.clients[ev.client]
+        piece = ev.piece_bytes
+        span = 2 * ev.pieces * piece
+        times = make_arrivals(
+            "poisson", ev.rate_ops_s, seed=_mix(seed, 0x59E + idx)
+        ).times(ev.duration_us)
+        f = yield from c.open(ev.path)
+
+        def spike_op(k: int) -> Generator:
+            base = c.node.space.malloc(ev.pieces * piece)
+            c.node.space.fill(base, ev.pieces * piece, ((ev.client + k) % 255) + 1)
+            mem = [Segment(base + i * piece, piece) for i in range(ev.pieces)]
+            file_segs = [
+                Segment(k * span + i * 2 * piece, piece) for i in range(ev.pieces)
+            ]
+            yield from c.write_list(f, mem, file_segs, use_ads=False)
+
+        inflight = []
+        for k, t in enumerate(times):
+            target = ev.at_us + t
+            if target > sim.now:
+                yield sim.timeout(target - sim.now)
+            inflight.append(
+                sim.process(spike_op(k), name=f"scenario.spike{idx}.op{k}")
+            )
+        if inflight:
+            yield sim.all_of(inflight)
+    fired.append({"kind": ev.kind, "at_us": ev.at_us, "done_us": sim.now})
+
+
+def run_scenario(
+    scenario: Scenario,
+    sample_interval_us: Optional[float] = None,
+    cluster=None,
+) -> ScenarioResult:
+    """Execute one scenario on a fresh cluster; simulated time only.
+
+    This is the single execution path behind ``profile --scenario``,
+    ``bench --scenario`` and the sweep's scenario cells, so for a fixed
+    spec + seed every front-end observes the identical simulation (the
+    :func:`export_digest` witnesses it).  ``sample_interval_us``
+    overrides the spec's telemetry interval; pass ``cluster`` to reuse
+    a pre-built (matching!) cluster instead of building one.
+    """
+    if cluster is None:
+        cluster = scenario.cluster.build(sample_interval_us=sample_interval_us)
+    w = scenario.workload
+    seed = scenario.seed
+    fired: List[dict] = []
+    tally = {"ops": 0, "bytes_written": 0, "bytes_read": 0}
+    events = [
+        _event_proc(cluster, ev, seed, i, fired)
+        for i, ev in enumerate(scenario.events)
+    ]
+    summary: Dict[str, object] = {"workload": w.kind}
+    if isinstance(w, OpenLoopWorkload):
+        res = open_loop(
+            cluster,
+            rate=w.rate_ops_s,
+            duration_us=w.duration_us,
+            kind=w.arrivals,
+            seed=seed,
+            pieces=w.pieces,
+            piece=w.piece_bytes,
+            op=w.op,
+            read_fraction=w.read_fraction,
+            on_us=w.on_us,
+            off_us=w.off_us,
+            extra_procs=events,
+        )
+        summary["open_loop"] = res.to_dict()
+        summary["ops"] = res.completed
+        summary["ok"] = res.completed == res.issued
+    else:
+        if isinstance(w, StridedWorkload):
+            if w.op in ("read", "mixed"):
+                cluster.run(
+                    [
+                        _strided_populate(cluster, w, rank)
+                        for rank in range(len(cluster.clients))
+                    ]
+                )
+            procs = [
+                _strided_proc(cluster, w, rank, seed, tally)
+                for rank in range(len(cluster.clients))
+            ]
+        elif isinstance(w, CheckpointWorkload):
+            procs = [
+                _checkpoint_proc(cluster, w, rank, tally)
+                for rank in range(len(cluster.clients))
+            ]
+        elif isinstance(w, MetadataStormWorkload):
+            procs = [
+                _metadata_proc(cluster, w, rank, tally)
+                for rank in range(len(cluster.clients))
+            ]
+        else:  # OpsWorkload
+            per_client: Dict[int, List[dict]] = {}
+            for op in w.ops:
+                per_client.setdefault(op["client"], []).append(op)
+            procs = [
+                _ops_proc(cluster, ops, tally)
+                for _, ops in sorted(per_client.items())
+            ]
+        cluster.run(procs + events)
+        summary.update(tally)
+        summary["ok"] = True
+    summary["events"] = fired
+    summary["elapsed_us"] = cluster.sim.now
+    return ScenarioResult(
+        scenario=scenario,
+        cluster=cluster,
+        elapsed_us=cluster.sim.now,
+        digest=export_digest(cluster),
+        summary=summary,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Materialization (explore front-end)
+# ---------------------------------------------------------------------------
+
+
+def _strided_ops(scenario: Scenario, w: StridedWorkload, rng) -> List[dict]:
+    ops: List[dict] = []
+    n_clients = scenario.cluster.n_clients
+    piece = w.piece_bytes
+    mem_gap = (w.mem_stride - 1) * piece
+    for rank in range(n_clients):
+        path = _client_path(w.path, rank)
+        coin = (
+            random.Random(_mix(scenario.seed, 0x5CE + rank))
+            if w.op == "mixed"
+            else None
+        )
+        if w.op in ("read", "mixed"):
+            for rnd in range(w.rounds):
+                ops.append(
+                    {
+                        "client": rank,
+                        "kind": "write",
+                        "path": path,
+                        "segments": [
+                            [w.file_offset(rnd, i, rank, n_clients), piece]
+                            for i in range(w.pieces)
+                        ],
+                        "payload_seed": rng.randrange(1 << 31),
+                        "use_ads": False,
+                    }
+                )
+        batch = w.batch if w.batch > 0 else w.pieces
+        for rnd in range(w.rounds):
+            for start in range(0, w.pieces, batch):
+                idxs = range(start, min(start + batch, w.pieces))
+                read = w.op == "read" or (
+                    w.op == "mixed" and coin.random() < w.read_fraction
+                )
+                ops.append(
+                    {
+                        "client": rank,
+                        "kind": "read" if read else "write",
+                        "path": path,
+                        "segments": [
+                            [w.file_offset(rnd, i, rank, n_clients), piece]
+                            for i in idxs
+                        ],
+                        "mem_gap": mem_gap,
+                        "payload_seed": rng.randrange(1 << 31),
+                        "use_ads": w.use_ads,
+                        "sync": w.sync,
+                    }
+                )
+            if w.close:
+                ops.append({"client": rank, "kind": "close", "path": path})
+    return ops
+
+
+def _checkpoint_ops(scenario: Scenario, w: CheckpointWorkload, rng) -> List[dict]:
+    ops: List[dict] = []
+    piece = w.piece_bytes
+    for rank in range(scenario.cluster.n_clients):
+        path = _client_path(w.path, rank)
+        for b in range(w.bursts):
+            ops.append(
+                {
+                    "client": rank,
+                    "kind": "write",
+                    "path": path,
+                    "segments": [
+                        [w.file_offset(b, i), piece] for i in range(w.pieces)
+                    ],
+                    "payload_seed": rng.randrange(1 << 31),
+                    "use_ads": w.use_ads,
+                }
+            )
+            if w.sync:
+                ops.append({"client": rank, "kind": "fsync", "path": path})
+    return ops
+
+
+def _metadata_ops(scenario: Scenario, w: MetadataStormWorkload, rng) -> List[dict]:
+    ops: List[dict] = []
+    for rank in range(scenario.cluster.n_clients):
+        for k in range(w.files):
+            path = _client_path(w.path, rank).replace("{i}", str(k))
+            ops.append(
+                {
+                    "client": rank,
+                    "kind": "write",
+                    "path": path,
+                    "segments": [[0, w.piece_bytes]],
+                    "payload_seed": rng.randrange(1 << 31),
+                    "use_ads": False,
+                }
+            )
+            if w.unlink:
+                ops.append({"client": rank, "kind": "unlink", "path": path})
+    return ops
+
+
+def _open_loop_ops(scenario: Scenario, w: OpenLoopWorkload, rng) -> List[dict]:
+    """The open-loop shape under *closed-loop* oracle execution: the
+    arrival process sizes and types the op list (the explore harness
+    owns timing via schedule perturbation, not arrival times)."""
+    arrivals = make_arrivals(
+        w.arrivals, w.rate_ops_s, seed=scenario.seed, on_us=w.on_us, off_us=w.off_us
+    )
+    times = arrivals.times(w.duration_us)
+    n_clients = scenario.cluster.n_clients
+    piece = w.piece_bytes
+    span = 2 * w.pieces * piece
+    coin = random.Random(_mix(scenario.seed, 0x0C3))
+    is_read = {
+        "write": [False] * len(times),
+        "read": [True] * len(times),
+        "mixed": [coin.random() < w.read_fraction for _ in times],
+    }[w.op]
+    per_client_k: Dict[int, int] = {}
+    ops: List[dict] = []
+    populated: set = set()
+    for i in range(len(times)):
+        rank = i % n_clients
+        k = per_client_k.get(rank, 0)
+        per_client_k[rank] = k + 1
+        path = f"/pfs/loadgen/c{rank}"
+        segments = [[k * span + j * 2 * piece, piece] for j in range(w.pieces)]
+        if is_read[i] and (rank, k) not in populated:
+            ops.append(
+                {
+                    "client": rank,
+                    "kind": "write",
+                    "path": path,
+                    "segments": segments,
+                    "payload_seed": rng.randrange(1 << 31),
+                    "use_ads": False,
+                }
+            )
+            populated.add((rank, k))
+        ops.append(
+            {
+                "client": rank,
+                "kind": "read" if is_read[i] else "write",
+                "path": path,
+                "segments": segments,
+                "payload_seed": rng.randrange(1 << 31),
+                "use_ads": False,
+            }
+        )
+    return ops
+
+
+def scenario_case(scenario: Scenario, seed: int):
+    """Materialize a scenario into an :class:`~repro.sim.explore.ExploreCase`.
+
+    The workload becomes an explicit op list (the explore harness then
+    runs it under every oracle: spec-model, namespace, leak, wb, qos,
+    replica).  ``seed`` doubles as the schedule-perturbation seed, so an
+    explore sweep replays one scenario under many interleavings.  Timed
+    events map onto the existing machinery with *approximate* timing —
+    the explore clock is schedule-perturbed, so exact instants are
+    meaningless there: ``iod-crash`` arms an ``iod.crash`` fault-plan
+    one-shot on the named daemon, ``open`` becomes an open+close op
+    pair, and ``load-spike`` appends its materialized burst writes.
+    """
+    from repro.sim.explore import ExploreCase, OpSpec
+
+    w = scenario.workload
+    cl = scenario.cluster
+    rng = random.Random(_mix(seed, 0xA11))
+    if isinstance(w, StridedWorkload):
+        ops = _strided_ops(scenario, w, rng)
+    elif isinstance(w, CheckpointWorkload):
+        ops = _checkpoint_ops(scenario, w, rng)
+    elif isinstance(w, MetadataStormWorkload):
+        ops = _metadata_ops(scenario, w, rng)
+    elif isinstance(w, OpenLoopWorkload):
+        ops = _open_loop_ops(scenario, w, rng)
+    else:
+        ops = [dict(op) for op in w.ops]
+
+    fault = cl.fault
+    crash_events = [ev for ev in scenario.events if ev.kind == "iod-crash"]
+    if crash_events:
+        from repro.sim.faults import FaultPlan
+
+        plan = FaultPlan.from_dict(fault) if fault else FaultPlan(seed=seed)
+        for ev in crash_events:
+            plan.one_shot(
+                "iod.crash",
+                at=1,
+                node=f"iod{ev.iod}",
+                duration_us=ev.duration_us,
+            )
+        fault = plan.to_dict()
+    for i, ev in enumerate(scenario.events):
+        if ev.kind == "open":
+            ops.append({"client": ev.client, "kind": "open", "path": ev.path})
+            ops.append({"client": ev.client, "kind": "close", "path": ev.path})
+        elif ev.kind == "load-spike":
+            piece = ev.piece_bytes
+            span = 2 * ev.pieces * piece
+            times = make_arrivals(
+                "poisson", ev.rate_ops_s, seed=_mix(scenario.seed, 0x59E + i)
+            ).times(ev.duration_us)
+            for k in range(len(times)):
+                ops.append(
+                    {
+                        "client": ev.client,
+                        "kind": "write",
+                        "path": ev.path,
+                        "segments": [
+                            [k * span + j * 2 * piece, piece]
+                            for j in range(ev.pieces)
+                        ],
+                        "payload_seed": rng.randrange(1 << 31),
+                        "use_ads": False,
+                    }
+                )
+
+    wb = None
+    if cl.wb_cache:
+        from repro.pvfs.wbcache import WBConfig
+
+        cfg = cl.wb_cache if isinstance(cl.wb_cache, dict) else WBConfig().to_dict()
+        clients = (
+            list(cl.wb_clients)
+            if cl.wb_clients is not None
+            else list(range(cl.n_clients))
+        )
+        wb = {"cfg": cfg, "clients": clients}
+
+    return ExploreCase(
+        seed=seed,
+        schedule_seed=seed,
+        scheme=cl.scheme,
+        n_clients=cl.n_clients,
+        n_iods=cl.n_iods,
+        ops=[OpSpec.from_dict(d) for d in ops],
+        fault=fault,
+        elevator=cl.elevator,
+        qos=cl.qos,
+        n_mgr_shards=cl.n_mgr_shards,
+        mgr_replicas=cl.mgr_replicas,
+        wb=wb,
+        backends=list(cl.backends) if cl.backends is not None else None,
+        autotune=bool(cl.autotune),
+        sample_interval_us=cl.sample_interval_us,
+    )

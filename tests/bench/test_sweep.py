@@ -182,4 +182,6 @@ def test_empty_and_duplicate_grids_rejected(tmp_path):
 
 
 def test_grid_axes_cover_the_documented_axes():
-    assert tuple(GRID_AXES) == ("scheme", "rate", "clients", "backend", "seed")
+    assert tuple(GRID_AXES) == (
+        "scheme", "rate", "clients", "backend", "seed", "scenario"
+    )

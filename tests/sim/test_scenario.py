@@ -1,0 +1,253 @@
+"""Scenario layer: strict schema, reconstruction proofs, determinism.
+
+The load-bearing properties:
+
+- ``from_dict(to_dict(s)) == s`` for every committed spec, and every
+  committed ``scenarios/*.json`` is byte-identical to its own
+  canonical round-trip (one-line diffs stay one-line).
+- Unknown fields, unknown enum values and foreign schema versions are
+  rejected with actionable errors, never best-effort parsed.
+- Committed reconstructions of the hardcoded bench workloads produce
+  **byte-identical** sim results (full ``metrics_export`` JSON), and
+  the open-loop knee spec reproduces ``bench_knee``'s rate-4000 cell.
+- The same (spec, seed) yields the same sim-outcome digest through
+  ``run_scenario``, ``bench_scenario`` and the sweep's scenario cells.
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import wallclock
+from repro.bench.sweep import SweepCell, parse_grid, run_cell
+from repro.pvfs.cluster import PVFSCluster
+from repro.sim.explore import run_case
+from repro.sim.loadgen import open_loop
+from repro.sim.scenario import (
+    ClusterSpec,
+    OpenLoopWorkload,
+    Scenario,
+    ScenarioError,
+    StridedWorkload,
+    load_scenario,
+    run_scenario,
+    scenario_case,
+)
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SCENARIOS = sorted((ROOT / "scenarios").glob("*.json"))
+IDS = [p.stem for p in SCENARIOS]
+
+
+# ---------------------------------------------------------------- schema
+
+@pytest.mark.parametrize("path", SCENARIOS, ids=IDS)
+def test_committed_specs_are_canonical_round_trips(path):
+    spec = load_scenario(str(path))
+    assert Scenario.from_dict(spec.to_dict()) == spec
+    canonical = json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n"
+    assert path.read_text() == canonical, (
+        f"{path.name} is not in canonical form; re-export it with "
+        "json.dumps(spec.to_dict(), indent=2, sort_keys=True)"
+    )
+
+
+def test_unknown_top_level_field_rejected_with_hint():
+    d = Scenario(name="x").to_dict()
+    d["evnts"] = []
+    with pytest.raises(ScenarioError) as ei:
+        Scenario.from_dict(d)
+    assert "evnts" in str(ei.value)
+    assert "events" in str(ei.value)  # did-you-mean hint
+
+
+def test_unknown_workload_field_rejected():
+    d = Scenario(name="x").to_dict()
+    d["workload"]["peices"] = 4
+    with pytest.raises(ScenarioError) as ei:
+        Scenario.from_dict(d)
+    assert "peices" in str(ei.value)
+    assert "pieces" in str(ei.value)
+
+
+def test_unknown_enum_value_rejected_with_suggestion():
+    d = Scenario(name="x").to_dict()
+    d["workload"]["kind"] = "stride"
+    with pytest.raises(ScenarioError) as ei:
+        Scenario.from_dict(d)
+    assert "strided" in str(ei.value)
+
+
+def test_foreign_version_rejected_with_instruction():
+    d = Scenario(name="x").to_dict()
+    d["version"] = 2
+    with pytest.raises(ScenarioError) as ei:
+        Scenario.from_dict(d)
+    assert "version" in str(ei.value)
+    assert "re-export" in str(ei.value)
+
+
+def test_load_scenario_prefixes_the_path(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ScenarioError) as ei:
+        load_scenario(str(bad))
+    assert "bad.json" in str(ei.value)
+    with pytest.raises(ScenarioError) as ei:
+        load_scenario(str(tmp_path / "missing.json"))
+    assert "missing.json" in str(ei.value)
+
+
+def test_cross_field_validation():
+    # Private multi-client strided paths must disambiguate per client.
+    with pytest.raises(ScenarioError):
+        Scenario(
+            name="x",
+            workload=StridedWorkload(layout="private", path="/pfs/one"),
+        ).validate()
+    # Event targets must exist in the declared geometry.
+    d = Scenario(name="x").to_dict()
+    d["events"] = [{"kind": "iod-crash", "at_us": 10.0, "iod": 9,
+                    "duration_us": 5.0}]
+    with pytest.raises(ScenarioError):
+        Scenario.from_dict(d).validate()
+
+
+# -------------------------------------------- reconstruction proofs
+
+def _export_json(cluster):
+    return json.dumps(cluster.metrics_export(), sort_keys=True)
+
+
+def test_elevator_bench_reconstruction_is_byte_identical():
+    spec = load_scenario(str(ROOT / "scenarios" /
+                             "bench-elevator-interleaved.json"))
+    run = run_scenario(spec)
+    ref = wallclock._interleaved_write_cluster(True, 4, 48, 16384)
+    assert _export_json(run.cluster) == _export_json(ref)
+
+
+def test_wb_bench_reconstruction_is_byte_identical():
+    spec = load_scenario(str(ROOT / "scenarios" /
+                             "bench-wb-smallwrites.json"))
+    run = run_scenario(spec)
+    ref = wallclock._wb_write_run(True, 4, 48, 2048)
+    assert _export_json(run.cluster) == _export_json(ref)
+
+
+def test_metadata_bench_reconstruction_matches_elapsed():
+    spec = load_scenario(str(ROOT / "scenarios" /
+                             "bench-metadata-churn.json"))
+    run = run_scenario(spec)
+    ref = wallclock._metadata_churn_run(2, 2, 16, 6, 4096)
+    assert run.elapsed_us == ref["elapsed_us"]
+
+
+def test_knee_scenario_reproduces_bench_knee_cell():
+    spec = load_scenario(str(ROOT / "scenarios" / "knee-4x4-gather.json"))
+    run = run_scenario(spec)
+    ref = open_loop(
+        PVFSCluster(n_clients=4, n_iods=4, scheme="gather"),
+        rate=4000.0, duration_us=50_000.0, seed=7, pieces=2, piece=8192,
+    )
+    assert run.summary["open_loop"] == ref.to_dict()
+    assert run.ok
+
+
+# ------------------------------------------------------ determinism
+
+def test_same_spec_same_seed_same_digest_across_front_ends():
+    path = ROOT / "scenarios" / "mixed-readers-writers.json"
+    spec = load_scenario(str(path))
+
+    direct = run_scenario(spec)
+
+    bench = wallclock.bench_scenario(str(path))
+    assert "error" not in bench
+    assert bench["deterministic"]
+    assert bench["digest"] == direct.digest
+
+    cell = SweepCell(scheme="gather", rate=400.0, clients=2, backend="ata",
+                     seed=spec.seed, scenario=str(path))
+    verdict = run_cell(cell)
+    assert verdict["ok"]
+    assert verdict["result"]["digest"] == direct.digest
+
+
+def test_sweep_seed_overrides_spec_seed():
+    path = ROOT / "scenarios" / "mixed-readers-writers.json"
+    spec = load_scenario(str(path))
+    assert spec.seed != 11
+    cell = SweepCell(scheme="gather", rate=400.0, clients=2, backend="ata",
+                     seed=11, scenario=str(path))
+    verdict = run_cell(cell)
+    assert verdict["ok"]
+    assert verdict["result"]["seed"] == 11
+    reseeded = run_scenario(dataclasses.replace(spec, seed=11))
+    assert verdict["result"]["digest"] == reseeded.digest
+
+
+def test_scenario_case_is_deterministic_and_passes_oracles():
+    spec = load_scenario(str(ROOT / "scenarios" /
+                             "mixed-readers-writers.json"))
+    a = scenario_case(spec, 9)
+    b = scenario_case(spec, 9)
+    assert a.to_dict() == b.to_dict()
+    assert a.seed == a.schedule_seed == 9
+    result = run_case(a)
+    assert result.ok, result.violations
+
+
+# ----------------------------------------------------------- events
+
+def test_events_fire_and_crash_is_observable():
+    spec = load_scenario(str(ROOT / "scenarios" /
+                             "degraded-iod-spike.json"))
+    run = run_scenario(spec)
+    assert run.ok
+    fired = {e["kind"] for e in run.summary["events"]}
+    assert fired == {"iod-crash", "load-spike", "open"}
+    counters = run.cluster.metrics_export()["counters"]
+    assert counters["pvfs.iod.crashes"]["count"] >= 1
+
+
+# -------------------------------------------------------- sweep grid
+
+def test_scenario_cell_id_is_suffix_only():
+    path = str(ROOT / "scenarios" / "knee-4x4-gather.json")
+    plain = SweepCell(scheme="hybrid", rate=1500.0, clients=4,
+                      backend="nvme", seed=9)
+    assert plain.cell_id == "scheme-hybrid_rate-1500_c4_b-nvme_s9"
+    scn = dataclasses.replace(plain, scenario=path)
+    assert scn.cell_id == plain.cell_id + "_scn-knee-4x4-gather"
+
+
+def test_parse_grid_scenario_axis_guards():
+    path = str(ROOT / "scenarios" / "knee-4x4-gather.json")
+    cells = parse_grid([f"scenario={path}", "seed=0,1"])
+    assert len(cells) == 2
+    assert all(c.scenario == path for c in cells)
+    with pytest.raises(ValueError, match="seed"):
+        parse_grid([f"scenario={path}", "rate=200,400"])
+    with pytest.raises(ValueError, match="no such spec file"):
+        parse_grid(["scenario=/nonexistent/spec.json"])
+
+
+# -------------------------------------------------- open-loop purity
+
+def test_open_loop_without_extra_procs_is_unchanged():
+    """extra_procs=None must keep the historical loadgen byte-for-byte."""
+    spec = Scenario(
+        name="plain",
+        seed=4,
+        cluster=ClusterSpec(n_clients=2, n_iods=2, scheme="gather"),
+        workload=OpenLoopWorkload(rate_ops_s=800.0, duration_us=20_000.0),
+    )
+    via_scenario = run_scenario(spec)
+    ref = open_loop(
+        PVFSCluster(n_clients=2, n_iods=2, scheme="gather"),
+        rate=800.0, duration_us=20_000.0, seed=4,
+    )
+    assert via_scenario.summary["open_loop"] == ref.to_dict()

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Docs smoke gate: every documented CLI invocation must still parse.
 
-Walks the fenced code blocks in README.md and EXPERIMENTS.md, collects
-each ``python -m repro ...`` command, and checks it against the real
-argument parser:
+Walks the fenced code blocks in README.md, EXPERIMENTS.md and
+SCENARIOS.md, collects each ``python -m repro ...`` command, and checks
+it against the real argument parser:
 
 - the subcommand must exist,
 - every ``--flag`` the docs mention must appear in that subcommand's
@@ -11,19 +11,32 @@ argument parser:
 - and, the other direction, every subcommand the CLI exposes must be
   documented in EXPERIMENTS.md at least once.
 
-Only ``--help`` is ever executed, so the gate is fast and side-effect
-free — it validates the documentation surface, not the benchmarks.
+The scenario surface is held to the same standard:
+
+- every fenced JSON block that looks like a scenario (a top-level
+  object with a ``workload`` key) must parse through the real
+  ``Scenario.from_dict`` loader, so documented schemas cannot go stale;
+- every committed ``scenarios/*.json`` must load, and must be
+  mentioned by filename in SCENARIOS.md;
+- the scenario front-ends must stay documented: ``--scenario`` for
+  ``profile``/``bench``/``explore`` and a ``scenario=`` grid axis for
+  ``sweep``, each in at least one fenced command.
+
+Only ``--help`` and the in-process loader are ever executed, so the
+gate is fast and side-effect free — it validates the documentation
+surface, not the benchmarks.
 
 Exit status: 0 when the docs and the CLI agree, 1 otherwise.
 """
 
+import json
 import pathlib
 import re
 import subprocess
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-DOCS = ["README.md", "EXPERIMENTS.md"]
+DOCS = ["README.md", "EXPERIMENTS.md", "SCENARIOS.md"]
 FENCE = re.compile(r"^```")
 
 
@@ -54,6 +67,86 @@ def fenced_commands(path: pathlib.Path):
                 yield i, text
 
 
+def fenced_json_blocks(path: pathlib.Path):
+    """(start_line, text) for each fenced block opened with ```json."""
+    lines = path.read_text().splitlines()
+    block = None
+    for i, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if FENCE.match(stripped):
+            if block is None and stripped.lower().startswith("```json"):
+                block = (i, [])
+            elif block is not None:
+                yield block[0], "\n".join(block[1])
+                block = None
+            continue
+        if block is not None:
+            block[1].append(line)
+
+
+def check_scenarios(problems):
+    """Validate documented scenario JSON and the committed library."""
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        from repro.sim.scenario import Scenario, ScenarioError, load_scenario
+    except Exception as e:  # pragma: no cover - import wiring broke
+        problems.append(f"scenario loader import failed: {e}")
+        return
+
+    # Fenced ```json blocks that look like scenarios must load.
+    for doc in DOCS:
+        path = ROOT / doc
+        if not path.exists():
+            continue
+        for lineno, text in fenced_json_blocks(path):
+            try:
+                obj = json.loads(text)
+            except ValueError as e:
+                problems.append(f"{doc}:{lineno}: fenced json does not "
+                                f"parse: {e}")
+                continue
+            if not (isinstance(obj, dict) and "workload" in obj):
+                continue
+            try:
+                Scenario.from_dict(obj)
+            except ScenarioError as e:
+                problems.append(f"{doc}:{lineno}: scenario block rejected "
+                                f"by the loader: {e}")
+
+    # Every committed spec must load and be documented in SCENARIOS.md.
+    cookbook = ROOT / "SCENARIOS.md"
+    cookbook_text = cookbook.read_text() if cookbook.exists() else ""
+    specs = sorted((ROOT / "scenarios").glob("*.json"))
+    if not specs:
+        problems.append("scenarios/: no committed *.json specs found")
+    for spec in specs:
+        rel = spec.relative_to(ROOT)
+        try:
+            load_scenario(str(spec))
+        except ScenarioError as e:
+            problems.append(f"{rel}: {e}")
+        if spec.name not in cookbook_text:
+            problems.append(f"SCENARIOS.md: committed spec {rel} is not "
+                            "documented (mention it by filename)")
+
+
+def check_scenario_coverage(problems, documented_cmds):
+    """The four scenario front-ends must each have a documented command."""
+    want = {
+        "profile": lambda cmd: "--scenario" in cmd,
+        "bench": lambda cmd: "--scenario" in cmd,
+        "explore": lambda cmd: "--scenario" in cmd,
+        "sweep": lambda cmd: "scenario=" in cmd,
+    }
+    for sub, pred in want.items():
+        hits = [c for c in documented_cmds
+                if c.split()[3:4] == [sub] and pred(c)]
+        if not hits:
+            flag = "scenario= grid axis" if sub == "sweep" else "--scenario"
+            problems.append(f"docs: no fenced `python -m repro {sub}` "
+                            f"command exercises the {flag}")
+
+
 def run_help(args):
     proc = subprocess.run(
         [sys.executable, "-m", "repro", *args, "--help"],
@@ -75,6 +168,7 @@ def main() -> int:
     problems = []
     help_cache = {}
     documented = {doc: set() for doc in DOCS}
+    all_commands = []
     for doc in DOCS:
         path = ROOT / doc
         if not path.exists():
@@ -92,6 +186,7 @@ def main() -> int:
                                 f"`{cmd}`")
                 continue
             documented[doc].add(sub)
+            all_commands.append(cmd)
             if sub not in help_cache:
                 help_cache[sub] = run_help([sub])
             rc, help_text = help_cache[sub]
@@ -112,14 +207,18 @@ def main() -> int:
         problems.append(f"EXPERIMENTS.md: subcommand {sub!r} has no "
                         "documented invocation")
 
+    check_scenarios(problems)
+    check_scenario_coverage(problems, all_commands)
+
     for p in problems:
         print(f"docs-check: {p}", file=sys.stderr)
     n_cmds = sum(len(s) for s in documented.values())
     if problems:
         print(f"docs-check: FAIL ({len(problems)} problems)")
         return 1
-    print(f"docs-check: OK ({len(subcommands)} subcommands, commands "
-          f"verified across {', '.join(DOCS)})")
+    n_specs = len(list((ROOT / "scenarios").glob("*.json")))
+    print(f"docs-check: OK ({len(subcommands)} subcommands, {n_specs} "
+          f"scenario specs, commands verified across {', '.join(DOCS)})")
     return 0
 
 
